@@ -1,0 +1,90 @@
+// Ablation: the overlap heuristic's candidate generation (Algorithm 1).
+//
+// Compares three candidate generators at several thresholds:
+//   brute  — all |A|x|B| pairs screened by overlap (the baseline the
+//            inverted index is designed to beat),
+//   paper  — inverted index probing the ⌈kθ⌉ least frequent objects
+//            (complete only for θ > 1/2),
+//   sound  — the default: prefix max(⌈kθ⌉, k-⌈kθ⌉+1), complete at every θ.
+//
+// Reported: wall time, candidate pairs screened, matches found.
+
+#include <functional>
+
+#include "bench/harness.h"
+#include "core/edit_distance.h"
+#include "core/overlap.h"
+#include "gen/textgen.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+using namespace rdfalign;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const size_t n = static_cast<size_t>(2000 * flags.GetDouble("scale", 1.0));
+  Rng rng(flags.GetInt("seed", 3));
+
+  // Build an evolving-literal workload: n multi-word strings, half typo'd.
+  std::vector<NodeId> a_nodes, b_nodes;
+  CharacterizingSets a_char, b_char;
+  std::vector<std::string> a_text, b_text;
+  std::unordered_map<std::string, uint64_t> words;
+  auto charset = [&](const std::string& text) {
+    std::vector<uint64_t> ids;
+    for (const std::string& w : SplitWords(text)) {
+      auto [it, ins] = words.emplace(w, words.size());
+      ids.push_back(it->second);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    std::string base = gen::RandomSentence(rng, 3, 8);
+    std::string evolved =
+        rng.Bernoulli(0.5) ? gen::ApplyTypo(base, rng) : base;
+    a_nodes.push_back(static_cast<NodeId>(i));
+    b_nodes.push_back(static_cast<NodeId>(n + i));
+    a_text.push_back(base);
+    b_text.push_back(evolved);
+    a_char.push_back(charset(base));
+    b_char.push_back(charset(evolved));
+  }
+  auto sigma = [&](size_t ai, size_t bi) {
+    return NormalizedEditDistance(a_text[ai], b_text[bi]);
+  };
+
+  bench::Banner("Ablation: overlap candidate generation",
+                "brute force vs paper prefix (⌈kθ⌉) vs sound prefix");
+  bench::TablePrinter table({"theta", "variant", "time(ms)", "screened",
+                             "matches"});
+  for (double theta : {0.35, 0.5, 0.65, 0.8, 0.95}) {
+    {
+      WallTimer t;
+      auto h = OverlapMatchBruteForce(a_nodes, b_nodes, a_char, b_char,
+                                      theta, sigma);
+      table.Row({bench::Fmt("%.2f", theta), "brute",
+                 bench::Fmt("%.1f", t.ElapsedMillis()),
+                 bench::FmtInt(a_nodes.size() * b_nodes.size()),
+                 bench::FmtInt(h.NumEdges())});
+    }
+    for (bool paper : {true, false}) {
+      OverlapMatchOptions opt;
+      opt.paper_prefix = paper;
+      OverlapMatchStats stats;
+      WallTimer t;
+      auto h = OverlapMatch(a_nodes, b_nodes, a_char, b_char, theta, sigma,
+                            opt, &stats);
+      table.Row({bench::Fmt("%.2f", theta), paper ? "paper" : "sound",
+                 bench::Fmt("%.1f", t.ElapsedMillis()),
+                 bench::FmtInt(stats.overlap_checked),
+                 bench::FmtInt(h.NumEdges())});
+    }
+  }
+  std::printf("\n(paper prefix may drop matches below θ=0.5; the sound "
+              "prefix never does and still screens far fewer pairs than "
+              "brute force)\n");
+  return 0;
+}

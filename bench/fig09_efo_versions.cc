@@ -1,0 +1,52 @@
+// Figure 9: EFO dataset versions — node and edge counts of ten versions.
+//
+// Paper shape: literals are >75% of every version's nodes; URIs track
+// ~10% of nodes; blank counts fluctuate (7-15%) due to bisimilar
+// duplication while *normalized* blank counts (duplicates merged by
+// bisimulation) grow steadily.
+
+#include "bench/harness.h"
+#include "core/bisim.h"
+#include "gen/efo_gen.h"
+#include "rdf/statistics.h"
+
+using namespace rdfalign;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  gen::EfoOptions options;
+  options.initial_classes = static_cast<size_t>(
+      300 * flags.GetDouble("scale", 1.0));
+  options.versions = flags.GetInt("versions", 10);
+  options.seed = flags.GetInt("seed", 11);
+
+  bench::Banner("Figure 9", "EFO dataset versions: per-version counts "
+                "(synthetic EFO-like chain; see DESIGN.md substitutions)");
+  gen::EfoChain chain = gen::EfoChain::Generate(options);
+
+  bench::TablePrinter table(
+      {"version", "edges", "literals", "uris", "blanks", "lit%", "blank%",
+       "norm-blanks"});
+  for (size_t v = 0; v < chain.NumVersions(); ++v) {
+    const TripleGraph& g = chain.Version(v);
+    GraphStatistics s = ComputeStatistics(g);
+    // Normalized blank count: blank classes of the maximal bisimulation
+    // (bisimilar duplicates merged) — the paper's steadily-growing series.
+    Partition bisim = BisimPartition(g);
+    std::vector<uint8_t> seen(bisim.NumColors(), 0);
+    size_t norm_blanks = 0;
+    for (NodeId n = 0; n < g.NumNodes(); ++n) {
+      if (g.IsBlank(n) && !seen[bisim.ColorOf(n)]) {
+        seen[bisim.ColorOf(n)] = 1;
+        ++norm_blanks;
+      }
+    }
+    table.Row({bench::FmtInt(v + 1), bench::FmtInt(s.edges),
+               bench::FmtInt(s.literals), bench::FmtInt(s.uris),
+               bench::FmtInt(s.blanks),
+               bench::Fmt("%.1f", 100.0 * s.literals / s.nodes),
+               bench::Fmt("%.1f", 100.0 * s.blanks / s.nodes),
+               bench::FmtInt(norm_blanks)});
+  }
+  return 0;
+}

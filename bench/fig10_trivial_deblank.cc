@@ -1,0 +1,58 @@
+// Figure 10: Trivial and Deblank alignments (EFO) — the ratio of aligned
+// edges to all edges of both versions, for every (source, target) version
+// pair.
+//
+// Paper shape: the Deblank diagonal is exactly 1.0 (self-alignment is
+// complete) while the Trivial diagonal is visibly below 1 (blank-touching
+// edges cannot be aligned); both matrices fade with version distance.
+
+#include "bench/harness.h"
+#include "core/alignment.h"
+#include "core/deblank.h"
+#include "gen/efo_gen.h"
+
+using namespace rdfalign;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  gen::EfoOptions options;
+  options.initial_classes = static_cast<size_t>(
+      300 * flags.GetDouble("scale", 1.0));
+  options.versions = flags.GetInt("versions", 10);
+  options.seed = flags.GetInt("seed", 11);
+
+  bench::Banner("Figure 10",
+                "Trivial and Deblank alignments (EFO-like chain): "
+                "aligned-edge ratio for every version pair");
+  gen::EfoChain chain = gen::EfoChain::Generate(options);
+  const size_t n = chain.NumVersions();
+
+  std::vector<std::vector<double>> trivial(n, std::vector<double>(n));
+  std::vector<std::vector<double>> deblank(n, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      auto cg =
+          CombinedGraph::Build(chain.Version(i), chain.Version(j)).value();
+      trivial[i][j] =
+          ComputeEdgeAlignment(cg, TrivialPartition(cg.graph())).Ratio();
+      deblank[i][j] = ComputeEdgeAlignment(cg, DeblankPartition(cg)).Ratio();
+    }
+  }
+  bench::PrintMatrix("Trivial alignment (aligned-edge ratio)", trivial);
+  bench::PrintMatrix("Deblank alignment (aligned-edge ratio)", deblank);
+
+  // Headline checks the reader can eyeball.
+  std::printf("diagonal: trivial avg = %.3f, deblank avg = %.3f "
+              "(paper: deblank self-alignment is complete)\n",
+              [&] {
+                double s = 0;
+                for (size_t i = 0; i < n; ++i) s += trivial[i][i];
+                return s / n;
+              }(),
+              [&] {
+                double s = 0;
+                for (size_t i = 0; i < n; ++i) s += deblank[i][i];
+                return s / n;
+              }());
+  return 0;
+}

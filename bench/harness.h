@@ -1,0 +1,114 @@
+// Shared harness for the figure-reproduction benches: fixed-width table
+// printing in the shape of the paper's tables/series, plus a tiny flag
+// parser (--scale=, --seed=, --theta=) so every experiment can be re-run at
+// other sizes.
+
+#ifndef RDFALIGN_BENCH_HARNESS_H_
+#define RDFALIGN_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace rdfalign::bench {
+
+/// Parses `--name=value` style flags.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    std::string value;
+    return Find(name, &value) ? std::atof(value.c_str()) : fallback;
+  }
+
+  uint64_t GetInt(const std::string& name, uint64_t fallback) const {
+    std::string value;
+    return Find(name, &value)
+               ? static_cast<uint64_t>(std::atoll(value.c_str()))
+               : fallback;
+  }
+
+ private:
+  bool Find(const std::string& name, std::string* value) const {
+    std::string prefix = "--" + name + "=";
+    for (const std::string& a : args_) {
+      if (a.rfind(prefix, 0) == 0) {
+        *value = a.substr(prefix.size());
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::string> args_;
+};
+
+/// Prints the experiment banner.
+inline void Banner(const char* figure, const char* description) {
+  std::printf("\n=== %s ===\n%s\n\n", figure, description);
+}
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns, int width = 12)
+      : columns_(std::move(columns)), width_(width) {
+    for (const auto& c : columns_) {
+      std::printf("%*s", width_, c.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      for (int j = 0; j < width_; ++j) std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) const {
+    for (const auto& c : cells) {
+      std::printf("%*s", width_, c.c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+/// Prints a version-by-version matrix (the Fig. 10/11 heat-map data) with
+/// row = target version, column = source version.
+inline void PrintMatrix(const char* title,
+                        const std::vector<std::vector<double>>& m,
+                        const char* cell_format = "%8.3f") {
+  std::printf("%s\n", title);
+  const size_t n = m.size();
+  std::printf("tgt\\src ");
+  for (size_t j = 0; j < n; ++j) std::printf("%8zu", j + 1);
+  std::printf("\n");
+  for (size_t i = 0; i < n; ++i) {
+    std::printf("%7zu ", i + 1);
+    for (size_t j = 0; j < n; ++j) {
+      std::printf(cell_format, m[j][i]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+inline std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+}  // namespace rdfalign::bench
+
+#endif  // RDFALIGN_BENCH_HARNESS_H_

@@ -1,0 +1,89 @@
+// Ontology evolution scenario (the paper's EFO study, §5.1): generate an
+// evolving ontology chain with blank-node reification, literal edits, and a
+// staged URI-prefix migration, then watch each alignment method recover
+// more of the change history.
+//
+//   $ ./ontology_evolution [--classes=N] [--versions=K] [--seed=S]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/aligner.h"
+#include "core/delta.h"
+#include "gen/efo_gen.h"
+#include "gen/ground_truth.h"
+#include "rdf/statistics.h"
+
+using namespace rdfalign;
+
+namespace {
+
+uint64_t FlagInt(int argc, char** argv, const std::string& name,
+                 uint64_t fallback) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) {
+      return static_cast<uint64_t>(std::atoll(a.substr(prefix.size()).c_str()));
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gen::EfoOptions options;
+  options.initial_classes = FlagInt(argc, argv, "classes", 200);
+  options.versions = FlagInt(argc, argv, "versions", 10);
+  options.seed = FlagInt(argc, argv, "seed", 11);
+
+  std::printf("generating %zu-version ontology chain (%zu initial "
+              "classes)...\n\n",
+              options.versions, options.initial_classes);
+  gen::EfoChain chain = gen::EfoChain::Generate(options);
+
+  std::printf("%8s %8s %8s %8s %8s\n", "version", "edges", "literals",
+              "uris", "blanks");
+  for (size_t v = 0; v < chain.NumVersions(); ++v) {
+    GraphStatistics s = ComputeStatistics(chain.Version(v));
+    std::printf("%8zu %8zu %8zu %8zu %8zu\n", v + 1, s.edges, s.literals,
+                s.uris, s.blanks);
+  }
+
+  std::printf("\naligning consecutive versions:\n");
+  std::printf("%6s | %10s %10s %10s %10s | %8s %8s\n", "pair", "trivial",
+              "deblank", "hybrid", "overlap", "GT-exact", "renames");
+  for (size_t v = 0; v + 1 < chain.NumVersions(); ++v) {
+    auto cg = CombinedGraph::Build(chain.Version(v), chain.Version(v + 1))
+                  .value();
+    double ratios[4];
+    Partition overlap_partition;
+    int i = 0;
+    for (AlignMethod m : {AlignMethod::kTrivial, AlignMethod::kDeblank,
+                          AlignMethod::kHybrid, AlignMethod::kOverlap}) {
+      AlignerOptions o;
+      o.method = m;
+      AlignmentOutcome out = Aligner(o).AlignCombined(cg);
+      ratios[i++] = out.edge_stats.Ratio();
+      if (m == AlignMethod::kOverlap) {
+        overlap_partition = std::move(out.partition);
+      }
+    }
+    // Score the overlap alignment against the class-entity ground truth.
+    gen::GroundTruth gt = chain.ClassGroundTruth(v, v + 1);
+    gen::PrecisionStats stats =
+        gen::EvaluatePrecision(cg, overlap_partition, gt);
+    RdfDelta delta = ComputeDelta(cg, overlap_partition);
+    std::printf("%3zu-%-2zu | %10.3f %10.3f %10.3f %10.3f | %7.1f%% %8zu\n",
+                v + 1, v + 2, ratios[0], ratios[1], ratios[2], ratios[3],
+                100.0 * stats.ExactRate(), delta.renamed_uris.size());
+  }
+
+  std::printf("\nnote the hybrid/overlap jump at the URI-prefix migration "
+              "(pair %zu-%zu) — renamed classes need structural identity.\n",
+              options.big_migration_version + 1,
+              options.big_migration_version + 2);
+  return 0;
+}

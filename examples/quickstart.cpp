@@ -1,0 +1,135 @@
+// Quickstart: build two versions of a tiny RDF graph (the paper's Figure 1
+// example), align them with every method, and print what each method finds.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "core/aligner.h"
+#include "core/delta.h"
+#include "core/hybrid.h"
+#include "core/sigma_edit.h"
+#include "rdf/graph.h"
+#include "rdf/merge.h"
+
+using namespace rdfalign;
+
+namespace {
+
+// Version 1: Slawek's record with a typo'd middle name and the old
+// university URI.
+TripleGraph BuildVersion1(std::shared_ptr<Dictionary> dict) {
+  GraphBuilder b(std::move(dict));
+  NodeId ss = b.AddUri("ex:ss");
+  NodeId eduni = b.AddUri("ex:ed-uni");
+  NodeId address = b.AddBlank("addr");
+  b.AddTriple(ss, b.AddUri("ex:address"), address);
+  b.AddTriple(ss, b.AddUri("ex:employer"), eduni);
+  b.AddTriple(address, b.AddUri("ex:zip"), b.AddLiteral("EH8"));
+  b.AddTriple(address, b.AddUri("ex:city"), b.AddLiteral("Edinburgh"));
+  b.AddTriple(eduni, b.AddUri("ex:name"),
+              b.AddLiteral("University of Edinburgh"));
+  b.AddTriple(eduni, b.AddUri("ex:city"), b.AddLiteral("Edinburgh"));
+  NodeId name = b.AddBlank("name");
+  b.AddTriple(ss, b.AddUri("ex:name"), name);
+  b.AddTriple(name, b.AddUri("ex:first"), b.AddLiteral("Slawek"));
+  b.AddTriple(name, b.AddUri("ex:middle"), b.AddLiteral("Pawel"));
+  b.AddTriple(name, b.AddUri("ex:last"), b.AddLiteral("Staworko"));
+  return std::move(b.Build(true)).value();
+}
+
+// Version 2: first name corrected, middle name removed, university URI
+// renamed — and the blank nodes carry fresh local names.
+TripleGraph BuildVersion2(std::shared_ptr<Dictionary> dict) {
+  GraphBuilder b(std::move(dict));
+  NodeId ss = b.AddUri("ex:ss");
+  NodeId uoe = b.AddUri("ex:uoe");
+  NodeId address = b.AddBlank("a1");
+  b.AddTriple(ss, b.AddUri("ex:address"), address);
+  b.AddTriple(ss, b.AddUri("ex:employer"), uoe);
+  b.AddTriple(address, b.AddUri("ex:zip"), b.AddLiteral("EH8"));
+  b.AddTriple(address, b.AddUri("ex:city"), b.AddLiteral("Edinburgh"));
+  b.AddTriple(uoe, b.AddUri("ex:name"),
+              b.AddLiteral("University of Edinburgh"));
+  b.AddTriple(uoe, b.AddUri("ex:city"), b.AddLiteral("Edinburgh"));
+  NodeId name = b.AddBlank("n1");
+  b.AddTriple(ss, b.AddUri("ex:name"), name);
+  b.AddTriple(name, b.AddUri("ex:first"), b.AddLiteral("Slawomir"));
+  b.AddTriple(name, b.AddUri("ex:last"), b.AddLiteral("Staworko"));
+  return std::move(b.Build(true)).value();
+}
+
+std::string Describe(const TripleGraph& g, NodeId n) {
+  switch (g.KindOf(n)) {
+    case TermKind::kUri:
+      return "<" + std::string(g.Lexical(n)) + ">";
+    case TermKind::kLiteral:
+      return "\"" + std::string(g.Lexical(n)) + "\"";
+    case TermKind::kBlank:
+      return "_:" + std::string(g.Lexical(n));
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  auto dict = std::make_shared<Dictionary>();
+  TripleGraph v1 = BuildVersion1(dict);
+  TripleGraph v2 = BuildVersion2(dict);
+  auto cg = CombinedGraph::Build(v1, v2).value();
+  const TripleGraph& g = cg.graph();
+
+  std::printf("version 1: %zu nodes, %zu triples\n", v1.NumNodes(),
+              v1.NumEdges());
+  std::printf("version 2: %zu nodes, %zu triples\n\n", v2.NumNodes(),
+              v2.NumEdges());
+
+  for (AlignMethod method :
+       {AlignMethod::kTrivial, AlignMethod::kDeblank, AlignMethod::kHybrid,
+        AlignMethod::kOverlap}) {
+    AlignerOptions options;
+    options.method = method;
+    AlignmentOutcome out = Aligner(options).AlignCombined(cg);
+    std::printf("--- %s ---\n", std::string(AlignMethodToString(method)).c_str());
+    std::printf("aligned-edge ratio: %.2f, aligned classes: %zu\n",
+                out.edge_stats.Ratio(), out.node_stats.aligned_classes);
+    // Show the non-trivial discoveries: aligned pairs whose labels differ.
+    for (auto [a, b] : EnumerateAlignedPairs(cg, out.partition)) {
+      bool interesting =
+          g.IsBlank(a) || g.LexicalId(a) != g.LexicalId(b);
+      if (interesting) {
+        std::printf("  %s  ~  %s\n", Describe(g, a).c_str(),
+                    Describe(g, b).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  // The name records need the similarity measure (σEdit).
+  Partition hybrid = HybridPartition(cg);
+  auto se = SigmaEdit::Compute(cg, hybrid);
+  if (se.ok()) {
+    NodeId b2 = g.FindBlank("name");
+    NodeId b4 = g.FindBlank("n1");
+    std::printf("--- sigma-edit ---\n");
+    std::printf("distance(_:name, _:n1) = %.3f  "
+                "(the edited name record; bisimulation alone cannot align "
+                "it)\n\n",
+                se->Distance(b2, b4));
+  }
+
+  // And the alignment doubles as a delta.
+  AlignerOptions overlap_options;
+  overlap_options.method = AlignMethod::kOverlap;
+  AlignmentOutcome overlap = Aligner(overlap_options).AlignCombined(cg);
+  RdfDelta delta = ComputeDelta(cg, overlap.partition);
+  std::printf("--- delta (from the overlap alignment) ---\n%s\n",
+              DeltaSummary(delta).c_str());
+  for (const UriRename& r : delta.renamed_uris) {
+    std::printf("  renamed: %s -> %s\n", r.source_uri.c_str(),
+                r.target_uri.c_str());
+  }
+  return 0;
+}

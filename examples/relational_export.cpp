@@ -1,0 +1,89 @@
+// Relational-export scenario (the paper's GtoPdb study, §5.2): a curated
+// relational database evolves; each version is exported to RDF via the W3C
+// Direct Mapping under a *different* URI prefix, so no URIs are shared and
+// only structural alignment can reconnect the versions. Persistent primary
+// keys provide exact ground truth.
+//
+//   $ ./relational_export [--ligands=N] [--seed=S]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/aligner.h"
+#include "gen/gtopdb_gen.h"
+#include "gen/ground_truth.h"
+#include "rdf/statistics.h"
+
+using namespace rdfalign;
+
+namespace {
+
+uint64_t FlagInt(int argc, char** argv, const std::string& name,
+                 uint64_t fallback) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) {
+      return static_cast<uint64_t>(std::atoll(a.substr(prefix.size()).c_str()));
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gen::GtoPdbOptions options;
+  options.num_ligands = FlagInt(argc, argv, "ligands", 300);
+  options.versions = 2;
+  options.seed = FlagInt(argc, argv, "seed", 7);
+
+  std::printf("building pharmacology database (%zu ligands) and evolving "
+              "one version step...\n",
+              options.num_ligands);
+  gen::GtoPdbChain chain = gen::GenerateGtoPdbChain(options);
+  for (size_t v = 0; v < 2; ++v) {
+    std::printf("  version %zu: %zu rows\n", v + 1,
+                chain.versions[v].TotalRows());
+  }
+
+  auto dict = std::make_shared<Dictionary>();
+  auto g1 = gen::ExportGtoPdbVersion(chain.versions[0], 0, dict);
+  auto g2 = gen::ExportGtoPdbVersion(chain.versions[1], 1, dict);
+  if (!g1.ok() || !g2.ok()) {
+    std::fprintf(stderr, "export failed\n");
+    return 1;
+  }
+  GraphStatistics s1 = ComputeStatistics(*g1);
+  GraphStatistics s2 = ComputeStatistics(*g2);
+  std::printf("exported: v1 %zu triples (%zu URIs, %zu literals), "
+              "v2 %zu triples\n",
+              s1.edges, s1.uris, s1.literals, s2.edges);
+  std::printf("URI prefixes: %s vs %s — no shared identifiers.\n\n",
+              gen::GtoPdbVersionPrefix(0).c_str(),
+              gen::GtoPdbVersionPrefix(1).c_str());
+
+  auto cg = CombinedGraph::Build(*g1, *g2).value();
+  gen::GroundTruth gt = gen::RelationalGroundTruth(
+      chain.versions[0], *g1, 0, chain.versions[1], *g2, 1);
+  std::printf("ground truth: %zu node pairs (by table + persistent key)\n\n",
+              gt.NumPairs());
+
+  std::printf("%-10s %8s %10s %8s %8s %8s %8s\n", "method", "exact",
+              "inclusive", "false", "missing", "exact%", "sec");
+  for (AlignMethod m : {AlignMethod::kTrivial, AlignMethod::kHybrid,
+                        AlignMethod::kOverlap}) {
+    AlignerOptions o;
+    o.method = m;
+    AlignmentOutcome out = Aligner(o).AlignCombined(cg);
+    gen::PrecisionStats stats = gen::EvaluatePrecision(cg, out.partition, gt);
+    std::printf("%-10s %8zu %10zu %8zu %8zu %7.1f%% %8.3f\n",
+                std::string(AlignMethodToString(m)).c_str(), stats.exact,
+                stats.inclusive, stats.false_matches, stats.missing,
+                100.0 * stats.ExactRate(), out.seconds);
+  }
+  std::printf("\n(trivial aligns nothing but rdf:type and shared literals; "
+              "overlap reconnects the renamed key space)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Version-archive scenario (§6 future work): use alignments to store many
+// versions of an evolving RDF graph compactly, decorating each triple with
+// the version intervals in which it is present.
+//
+//   $ ./version_archive [--classes=N] [--versions=K]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/archive.h"
+#include "gen/efo_gen.h"
+
+using namespace rdfalign;
+
+namespace {
+
+uint64_t FlagInt(int argc, char** argv, const std::string& name,
+                 uint64_t fallback) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) {
+      return static_cast<uint64_t>(std::atoll(a.substr(prefix.size()).c_str()));
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gen::EfoOptions options;
+  options.initial_classes = FlagInt(argc, argv, "classes", 150);
+  options.versions = FlagInt(argc, argv, "versions", 8);
+
+  std::printf("archiving a %zu-version ontology chain...\n\n",
+              options.versions);
+  gen::EfoChain chain = gen::EfoChain::Generate(options);
+
+  VersionArchive archive;  // hybrid alignment chains the entities
+  size_t naive = 0;
+  for (size_t v = 0; v < chain.NumVersions(); ++v) {
+    auto appended = archive.Append(chain.Version(v));
+    if (!appended.ok()) {
+      std::fprintf(stderr, "append failed: %s\n",
+                   appended.status().ToString().c_str());
+      return 1;
+    }
+    naive += chain.Version(v).NumEdges();
+    ArchiveStats s = archive.Stats();
+    std::printf("after version %zu: %zu triple-version pairs stored as "
+                "%zu interval records (%.2fx compression)\n",
+                v + 1, s.triple_version_pairs, s.interval_records,
+                s.CompressionRatio());
+  }
+
+  ArchiveStats s = archive.Stats();
+  std::printf("\nfinal: %zu versions, %zu distinct entity triples, "
+              "%zu entities\n",
+              s.versions, s.distinct_triples, s.entities);
+  std::printf("naive storage:   %zu triple copies\n", naive);
+  std::printf("archive storage: %zu interval records\n", s.interval_records);
+  std::printf("compression:     %.2fx\n", s.CompressionRatio());
+
+  // Reconstruct one version and sanity-check the count.
+  uint32_t mid = static_cast<uint32_t>(chain.NumVersions() / 2);
+  auto at = archive.TriplesAt(mid);
+  std::printf("\nreconstructed version %u: %zu entity triples "
+              "(graph had %zu node triples)\n",
+              mid + 1, at.size(), chain.Version(mid).NumEdges());
+  std::printf("(triples enter and leave with their subject, so intervals "
+              "compress well — the paper's closing conjecture)\n");
+  return 0;
+}

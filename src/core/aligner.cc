@@ -1,0 +1,62 @@
+#include "core/aligner.h"
+
+#include "core/context.h"
+#include "core/deblank.h"
+#include "core/hybrid.h"
+#include "util/timer.h"
+
+namespace rdfalign {
+
+std::string_view AlignMethodToString(AlignMethod method) {
+  switch (method) {
+    case AlignMethod::kTrivial:
+      return "trivial";
+    case AlignMethod::kDeblank:
+      return "deblank";
+    case AlignMethod::kHybrid:
+      return "hybrid";
+    case AlignMethod::kHybridContextual:
+      return "hybrid-contextual";
+    case AlignMethod::kOverlap:
+      return "overlap";
+  }
+  return "unknown";
+}
+
+Result<AlignmentOutcome> Aligner::Align(const TripleGraph& g1,
+                                        const TripleGraph& g2) const {
+  RDFALIGN_ASSIGN_OR_RETURN(CombinedGraph cg, CombinedGraph::Build(g1, g2));
+  return AlignCombined(cg);
+}
+
+AlignmentOutcome Aligner::AlignCombined(const CombinedGraph& cg) const {
+  AlignmentOutcome outcome;
+  WallTimer timer;
+  switch (options_.method) {
+    case AlignMethod::kTrivial:
+      outcome.partition = TrivialPartition(cg.graph());
+      break;
+    case AlignMethod::kDeblank:
+      outcome.partition = DeblankPartition(cg, &outcome.refinement);
+      break;
+    case AlignMethod::kHybrid:
+      outcome.partition = HybridPartition(cg, &outcome.refinement);
+      break;
+    case AlignMethod::kHybridContextual:
+      outcome.partition =
+          PredicateAwareHybridPartition(cg, &outcome.refinement);
+      break;
+    case AlignMethod::kOverlap: {
+      OverlapAlignResult r = OverlapAlign(cg, options_.overlap);
+      outcome.partition = std::move(r.xi.partition);
+      outcome.weights = std::move(r.xi.weight);
+      break;
+    }
+  }
+  outcome.seconds = timer.ElapsedSeconds();
+  outcome.edge_stats = ComputeEdgeAlignment(cg, outcome.partition);
+  outcome.node_stats = ComputeNodeAlignment(cg, outcome.partition);
+  return outcome;
+}
+
+}  // namespace rdfalign

@@ -1,0 +1,197 @@
+#include "core/alignment.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace rdfalign {
+
+namespace {
+
+uint8_t SideBit(const CombinedGraph& cg, NodeId n) {
+  return cg.InSource(n) ? 1 : 2;
+}
+
+/// 96-bit edge key packed into two 64-bit words for hashing.
+struct TripleKey {
+  uint64_t hi;
+  uint64_t lo;
+  bool operator==(const TripleKey&) const = default;
+};
+
+struct TripleKeyHash {
+  size_t operator()(const TripleKey& k) const {
+    return static_cast<size_t>(HashCombine(Mix64(k.hi), k.lo));
+  }
+};
+
+TripleKey MakeColorKey(const Partition& p, const Triple& t) {
+  return TripleKey{PackPair(p.ColorOf(t.s), p.ColorOf(t.p)),
+                   static_cast<uint64_t>(p.ColorOf(t.o))};
+}
+
+}  // namespace
+
+std::vector<ClassSides> ComputeClassSides(const CombinedGraph& cg,
+                                          const Partition& p) {
+  std::vector<uint8_t> bits(p.NumColors(), 0);
+  for (NodeId n = 0; n < p.NumNodes(); ++n) {
+    bits[p.ColorOf(n)] |= SideBit(cg, n);
+  }
+  std::vector<ClassSides> out(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    out[i] = static_cast<ClassSides>(bits[i]);
+  }
+  return out;
+}
+
+std::vector<NodeId> UnalignedNodes(const CombinedGraph& cg,
+                                   const Partition& p) {
+  std::vector<ClassSides> sides = ComputeClassSides(cg, p);
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < p.NumNodes(); ++n) {
+    if (sides[p.ColorOf(n)] != ClassSides::kBoth) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> UnalignedNonLiterals(const CombinedGraph& cg,
+                                         const Partition& p) {
+  std::vector<ClassSides> sides = ComputeClassSides(cg, p);
+  const TripleGraph& g = cg.graph();
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < p.NumNodes(); ++n) {
+    if (sides[p.ColorOf(n)] != ClassSides::kBoth && !g.IsLiteral(n)) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+EdgeAlignmentStats ComputeEdgeAlignment(const CombinedGraph& cg,
+                                        const Partition& p) {
+  const TripleGraph& g = cg.graph();
+
+  // Pass 1: count label-identical non-blank edges present on both sides —
+  // these are "edges using precisely the same identifiers" and are counted
+  // once. Blank nodes are never persistent identifiers, so edges touching a
+  // blank never merge.
+  // Lexical ids are shared across kinds (a URI and a literal can intern the
+  // same string), so the object's kind is packed into the key; subjects are
+  // never literals and predicates are always URIs.
+  auto label_key = [&](const Triple& t) -> TripleKey {
+    return TripleKey{PackPair(g.LexicalId(t.s), g.LexicalId(t.p)),
+                     static_cast<uint64_t>(g.LexicalId(t.o)) |
+                         (static_cast<uint64_t>(g.KindOf(t.o)) << 32)};
+  };
+  auto has_blank = [&](const Triple& t) {
+    return g.IsBlank(t.s) || g.IsBlank(t.p) || g.IsBlank(t.o);
+  };
+
+  std::unordered_set<TripleKey, TripleKeyHash> source_label_edges;
+  source_label_edges.reserve(cg.e1());
+  for (const Triple& t : g.triples()) {
+    if (cg.InSource(t.s) && !has_blank(t)) {
+      source_label_edges.insert(label_key(t));
+    }
+  }
+  size_t merged = 0;
+  for (const Triple& t : g.triples()) {
+    if (cg.InTarget(t.s) && !has_blank(t) &&
+        source_label_edges.count(label_key(t)) > 0) {
+      ++merged;
+    }
+  }
+
+  // Pass 2: an edge is aligned when the opposite side has an edge whose
+  // color triple matches.
+  std::unordered_set<TripleKey, TripleKeyHash> source_colors;
+  std::unordered_set<TripleKey, TripleKeyHash> target_colors;
+  source_colors.reserve(cg.e1());
+  target_colors.reserve(cg.e2());
+  for (const Triple& t : g.triples()) {
+    if (cg.InSource(t.s)) {
+      source_colors.insert(MakeColorKey(p, t));
+    } else {
+      target_colors.insert(MakeColorKey(p, t));
+    }
+  }
+  size_t aligned = 0;
+  for (const Triple& t : g.triples()) {
+    const auto& opposite = cg.InSource(t.s) ? target_colors : source_colors;
+    if (opposite.count(MakeColorKey(p, t)) > 0) ++aligned;
+  }
+  // Merged edges are aligned on both sides by construction; count them once.
+  aligned -= merged;
+
+  EdgeAlignmentStats stats;
+  stats.total_edges = cg.e1() + cg.e2() - merged;
+  stats.aligned_edges = aligned;
+  return stats;
+}
+
+NodeAlignmentStats ComputeNodeAlignment(const CombinedGraph& cg,
+                                        const Partition& p) {
+  std::vector<ClassSides> sides = ComputeClassSides(cg, p);
+  NodeAlignmentStats stats;
+  for (const ClassSides s : sides) {
+    if (s == ClassSides::kBoth) ++stats.aligned_classes;
+  }
+  for (NodeId n = 0; n < p.NumNodes(); ++n) {
+    bool aligned = sides[p.ColorOf(n)] == ClassSides::kBoth;
+    if (cg.InSource(n)) {
+      aligned ? ++stats.aligned_source_nodes : ++stats.unaligned_source_nodes;
+    } else {
+      aligned ? ++stats.aligned_target_nodes : ++stats.unaligned_target_nodes;
+    }
+  }
+  return stats;
+}
+
+std::vector<std::pair<NodeId, NodeId>> EnumerateAlignedPairs(
+    const CombinedGraph& cg, const Partition& p, size_t limit) {
+  // Group nodes per class, split by side.
+  std::unordered_map<ColorId, std::pair<std::vector<NodeId>,
+                                        std::vector<NodeId>>>
+      classes;
+  for (NodeId n = 0; n < p.NumNodes(); ++n) {
+    auto& entry = classes[p.ColorOf(n)];
+    (cg.InSource(n) ? entry.first : entry.second).push_back(n);
+  }
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (auto& [color, nodes] : classes) {
+    for (NodeId a : nodes.first) {
+      for (NodeId b : nodes.second) {
+        if (out.size() >= limit) return out;
+        out.emplace_back(a, b);
+      }
+    }
+  }
+  return out;
+}
+
+bool HasCrossoverProperty(
+    const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  std::set<std::pair<NodeId, NodeId>> set(pairs.begin(), pairs.end());
+  std::multimap<NodeId, NodeId> by_source;
+  std::multimap<NodeId, NodeId> by_target;
+  for (const auto& [n, m] : pairs) {
+    by_source.emplace(n, m);
+    by_target.emplace(m, n);
+  }
+  for (const auto& [n, m] : pairs) {
+    auto ms = by_source.equal_range(n);   // all m' with (n, m')
+    auto ns = by_target.equal_range(m);   // all n' with (n', m)
+    for (auto it1 = ns.first; it1 != ns.second; ++it1) {
+      for (auto it2 = ms.first; it2 != ms.second; ++it2) {
+        if (set.count({it1->second, it2->second}) == 0) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rdfalign

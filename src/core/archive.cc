@@ -1,0 +1,109 @@
+#include "core/archive.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "core/alignment.h"
+
+namespace rdfalign {
+
+VersionArchive::VersionArchive(AlignerOptions options) : options_(options) {}
+
+Result<uint32_t> VersionArchive::Append(const TripleGraph& version) {
+  const uint32_t v = static_cast<uint32_t>(versions_.size());
+  if (v == 0) {
+    versions_.push_back(version);
+    std::vector<EntityId> ids(version.NumNodes());
+    for (NodeId n = 0; n < version.NumNodes(); ++n) ids[n] = next_entity_++;
+    entity_of_.push_back(std::move(ids));
+    RecordTriples(v);
+    return v;
+  }
+
+  const TripleGraph& prev = versions_.back();
+  if (prev.dict_ptr().get() != version.dict_ptr().get()) {
+    return Status::InvalidArgument(
+        "archived versions must share one Dictionary");
+  }
+  RDFALIGN_ASSIGN_OR_RETURN(CombinedGraph cg,
+                            CombinedGraph::Build(prev, version));
+  Aligner aligner(options_);
+  AlignmentOutcome outcome = aligner.AlignCombined(cg);
+
+  // Entity inheritance: a class containing nodes of both versions hands the
+  // smallest previous entity id to all its new-version members (blank
+  // duplicates merge deliberately); unmatched nodes found new entities.
+  std::unordered_map<ColorId, EntityId> class_entity;
+  const std::vector<EntityId>& prev_ids = entity_of_.back();
+  for (NodeId n = 0; n < cg.n1(); ++n) {
+    ColorId c = outcome.partition.ColorOf(n);
+    EntityId e = prev_ids[cg.ToLocal(n)];
+    auto [it, inserted] = class_entity.emplace(c, e);
+    if (!inserted && e < it->second) it->second = e;
+  }
+  std::vector<EntityId> ids(version.NumNodes());
+  for (NodeId local = 0; local < version.NumNodes(); ++local) {
+    ColorId c = outcome.partition.ColorOf(cg.FromTarget(local));
+    auto it = class_entity.find(c);
+    ids[local] = it != class_entity.end() ? it->second : next_entity_++;
+  }
+
+  versions_.push_back(version);
+  entity_of_.push_back(std::move(ids));
+  RecordTriples(v);
+  return v;
+}
+
+void VersionArchive::RecordTriples(uint32_t version) {
+  const TripleGraph& g = versions_[version];
+  const std::vector<EntityId>& ids = entity_of_[version];
+  triple_version_pairs_ += g.NumEdges();
+  // Entity-level deduplication within a version (merged blank duplicates
+  // can map distinct node triples onto one entity triple).
+  std::set<std::tuple<EntityId, EntityId, EntityId>> present;
+  for (const Triple& t : g.triples()) {
+    present.emplace(ids[t.s], ids[t.p], ids[t.o]);
+  }
+  for (const auto& key : present) {
+    std::vector<VersionInterval>& intervals = records_[key];
+    if (!intervals.empty() && intervals.back().to == version) {
+      ++intervals.back().to;  // extend the open interval
+    } else {
+      intervals.push_back(VersionInterval{version, version + 1});
+    }
+  }
+}
+
+EntityId VersionArchive::EntityOf(uint32_t version, NodeId node) const {
+  return entity_of_[version][node];
+}
+
+std::vector<ArchivedTriple> VersionArchive::TriplesAt(
+    uint32_t version) const {
+  std::vector<ArchivedTriple> out;
+  for (const auto& [key, intervals] : records_) {
+    for (const VersionInterval& iv : intervals) {
+      if (iv.from <= version && version < iv.to) {
+        out.push_back(ArchivedTriple{std::get<0>(key), std::get<1>(key),
+                                     std::get<2>(key), intervals});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+ArchiveStats VersionArchive::Stats() const {
+  ArchiveStats s;
+  s.versions = versions_.size();
+  s.triple_version_pairs = triple_version_pairs_;
+  s.distinct_triples = records_.size();
+  s.entities = next_entity_;
+  for (const auto& [key, intervals] : records_) {
+    s.interval_records += intervals.size();
+  }
+  return s;
+}
+
+}  // namespace rdfalign

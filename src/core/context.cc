@@ -1,0 +1,153 @@
+#include "core/context.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "core/alignment.h"
+#include "util/hash.h"
+
+namespace rdfalign {
+
+std::vector<NodeId> PredicateOnlyUris(const TripleGraph& g) {
+  std::vector<uint8_t> as_subject_or_object(g.NumNodes(), 0);
+  std::vector<uint8_t> as_predicate(g.NumNodes(), 0);
+  for (const Triple& t : g.triples()) {
+    as_subject_or_object[t.s] = 1;
+    as_subject_or_object[t.o] = 1;
+    as_predicate[t.p] = 1;
+  }
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (g.IsUri(n) && as_predicate[n] && !as_subject_or_object[n]) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+MediationIndex::MediationIndex(const TripleGraph& g) {
+  const size_t n = g.NumNodes();
+  offsets_.assign(n + 1, 0);
+  for (const Triple& t : g.triples()) {
+    ++offsets_[t.p + 1];
+  }
+  for (size_t i = 0; i < n; ++i) offsets_[i + 1] += offsets_[i];
+  pairs_.resize(g.NumEdges());
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Triple& t : g.triples()) {
+    pairs_[cursor[t.p]++] = PredicateObject{t.s, t.o};
+  }
+  for (size_t i = 0; i < n; ++i) {
+    std::sort(pairs_.begin() + static_cast<ptrdiff_t>(offsets_[i]),
+              pairs_.begin() + static_cast<ptrdiff_t>(offsets_[i + 1]));
+  }
+}
+
+namespace {
+
+constexpr uint32_t kKeepTag = 0;
+constexpr uint32_t kRecolorTag = 1;
+constexpr uint32_t kMediationSeparator = 0xfffffffe;
+
+using SignatureMap =
+    std::unordered_map<std::vector<uint32_t>, ColorId, U32VectorHash>;
+
+}  // namespace
+
+Partition ContextualRefineStep(const TripleGraph& g, const Partition& p,
+                               const std::vector<NodeId>& x,
+                               const MediationIndex& mediation,
+                               const std::vector<uint8_t>& predicate_only) {
+  const size_t n = g.NumNodes();
+  assert(p.NumNodes() == n);
+  std::vector<uint8_t> in_x(n, 0);
+  for (NodeId node : x) in_x[node] = 1;
+
+  SignatureMap cons;
+  cons.reserve(n);
+  std::vector<ColorId> next(n);
+  std::vector<uint32_t> sig;
+  std::vector<uint64_t> packed;
+
+  auto append_pairs = [&](std::span<const PredicateObject> pairs) {
+    packed.clear();
+    for (const PredicateObject& po : pairs) {
+      packed.push_back(PackPair(p.ColorOf(po.p), p.ColorOf(po.o)));
+    }
+    std::sort(packed.begin(), packed.end());
+    packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
+    for (uint64_t v : packed) {
+      sig.push_back(UnpackHi(v));
+      sig.push_back(UnpackLo(v));
+    }
+  };
+
+  for (NodeId node = 0; node < n; ++node) {
+    sig.clear();
+    if (!in_x[node]) {
+      sig.push_back(kKeepTag);
+      sig.push_back(p.ColorOf(node));
+    } else {
+      sig.push_back(kRecolorTag);
+      sig.push_back(p.ColorOf(node));
+      append_pairs(g.Out(node));
+      if (predicate_only[node]) {
+        // The mediation signature: colors of (subject, object) pairs of the
+        // triples this node mediates, separated from the out-signature.
+        sig.push_back(kMediationSeparator);
+        append_pairs(mediation.Mediated(node));
+      }
+    }
+    auto [it, inserted] = cons.try_emplace(std::vector<uint32_t>(sig),
+                                           static_cast<ColorId>(cons.size()));
+    next[node] = it->second;
+  }
+  return Partition::FromColors(std::move(next));
+}
+
+Partition ContextualRefineFixpoint(const TripleGraph& g, Partition initial,
+                                   const std::vector<NodeId>& x,
+                                   const MediationIndex& mediation,
+                                   const std::vector<uint8_t>& predicate_only,
+                                   RefinementStats* stats) {
+  RefinementStats local;
+  local.initial_classes = initial.NumColors();
+  Partition current = std::move(initial);
+  const size_t hard_cap = g.NumNodes() + 2;
+  for (size_t iter = 0; iter < hard_cap; ++iter) {
+    Partition next =
+        ContextualRefineStep(g, current, x, mediation, predicate_only);
+    ++local.iterations;
+    if (next.NumColors() == current.NumColors()) {
+      current = std::move(next);
+      break;
+    }
+    current = std::move(next);
+  }
+  local.final_classes = current.NumColors();
+  if (stats != nullptr) *stats = local;
+  return current;
+}
+
+Partition PredicateAwareHybridPartition(const CombinedGraph& cg,
+                                        RefinementStats* stats) {
+  const TripleGraph& g = cg.graph();
+  Partition base = TrivialPartition(g);
+  std::vector<NodeId> x = UnalignedNonLiterals(cg, base);
+  {
+    std::vector<uint8_t> in_x(g.NumNodes(), 0);
+    for (NodeId n : x) in_x[n] = 1;
+    for (NodeId n = 0; n < g.NumNodes(); ++n) {
+      if (g.IsBlank(n) && !in_x[n]) x.push_back(n);
+    }
+  }
+  std::vector<uint8_t> predicate_only(g.NumNodes(), 0);
+  for (NodeId n : PredicateOnlyUris(g)) predicate_only[n] = 1;
+  MediationIndex mediation(g);
+  Partition blanked = BlankColors(base, x);
+  return ContextualRefineFixpoint(g, std::move(blanked), x, mediation,
+                                  predicate_only, stats);
+}
+
+}  // namespace rdfalign

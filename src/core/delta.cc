@@ -1,0 +1,95 @@
+#include "core/delta.h"
+
+#include <unordered_map>
+
+#include "core/alignment.h"
+#include "util/hash.h"
+
+namespace rdfalign {
+
+namespace {
+
+struct TripleKey {
+  uint64_t hi;
+  uint64_t lo;
+  bool operator==(const TripleKey&) const = default;
+};
+
+struct TripleKeyHash {
+  size_t operator()(const TripleKey& k) const {
+    return static_cast<size_t>(HashCombine(Mix64(k.hi), k.lo));
+  }
+};
+
+TripleKey ColorKey(const Partition& p, const Triple& t) {
+  return TripleKey{PackPair(p.ColorOf(t.s), p.ColorOf(t.p)),
+                   static_cast<uint64_t>(p.ColorOf(t.o))};
+}
+
+}  // namespace
+
+RdfDelta ComputeDelta(const CombinedGraph& cg, const Partition& p) {
+  const TripleGraph& g = cg.graph();
+  RdfDelta delta;
+
+  // Multiset of target-side edges by color triple.
+  std::unordered_map<TripleKey, size_t, TripleKeyHash> target_counts;
+  for (const Triple& t : g.triples()) {
+    if (cg.InTarget(t.s)) ++target_counts[ColorKey(p, t)];
+  }
+  // Source edges consume matching target counts; leftovers are deletions.
+  std::unordered_map<TripleKey, size_t, TripleKeyHash> consumed;
+  for (const Triple& t : g.triples()) {
+    if (!cg.InSource(t.s)) continue;
+    TripleKey key = ColorKey(p, t);
+    auto it = target_counts.find(key);
+    size_t& used = consumed[key];
+    if (it != target_counts.end() && used < it->second) {
+      ++used;
+      ++delta.unchanged;
+    } else {
+      delta.deleted.push_back(t);
+    }
+  }
+  // Target edges beyond the matched multiplicity are additions.
+  std::unordered_map<TripleKey, size_t, TripleKeyHash> seen;
+  for (const Triple& t : g.triples()) {
+    if (!cg.InTarget(t.s)) continue;
+    TripleKey key = ColorKey(p, t);
+    size_t& cnt = seen[key];
+    ++cnt;
+    auto it = consumed.find(key);
+    size_t matched = it == consumed.end() ? 0 : it->second;
+    if (cnt > matched) delta.added.push_back(t);
+  }
+
+  // Renames: classes holding URI nodes of both sides with differing labels.
+  std::unordered_map<ColorId,
+                     std::pair<std::vector<NodeId>, std::vector<NodeId>>>
+      uri_classes;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (!g.IsUri(n)) continue;
+    auto& entry = uri_classes[p.ColorOf(n)];
+    (cg.InSource(n) ? entry.first : entry.second).push_back(n);
+  }
+  for (auto& [color, nodes] : uri_classes) {
+    for (NodeId a : nodes.first) {
+      for (NodeId b : nodes.second) {
+        if (g.LexicalId(a) != g.LexicalId(b)) {
+          delta.renamed_uris.push_back(UriRename{
+              a, b, std::string(g.Lexical(a)), std::string(g.Lexical(b))});
+        }
+      }
+    }
+  }
+  return delta;
+}
+
+std::string DeltaSummary(const RdfDelta& delta) {
+  return "+" + std::to_string(delta.added.size()) + " -" +
+         std::to_string(delta.deleted.size()) + " ~" +
+         std::to_string(delta.unchanged) + ", " +
+         std::to_string(delta.renamed_uris.size()) + " renames";
+}
+
+}  // namespace rdfalign

@@ -1,0 +1,51 @@
+// Alignment-driven deltas: the change description between two versions.
+//
+// "Constructing an alignment between two graphs is virtually equivalent to
+// constructing their delta" (§1, Related Work). Given a partition-based
+// alignment, every edge of either side either has an aligned counterpart on
+// the other side (unchanged up to renaming) or is an insertion/deletion.
+// URI nodes aligned across different labels are reported as renames — the
+// ontology changes the hybrid method is designed to find.
+
+#ifndef RDFALIGN_CORE_DELTA_H_
+#define RDFALIGN_CORE_DELTA_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/partition.h"
+#include "rdf/merge.h"
+
+namespace rdfalign {
+
+/// A rename discovered by the alignment: one entity, two URIs.
+struct UriRename {
+  NodeId source;           ///< combined id in G1
+  NodeId target;           ///< combined id in G2
+  std::string source_uri;
+  std::string target_uri;
+};
+
+/// The triple-level difference between two aligned versions.
+struct RdfDelta {
+  /// Triples of G1 without an aligned counterpart in G2 (combined ids).
+  std::vector<Triple> deleted;
+  /// Triples of G2 without an aligned counterpart in G1 (combined ids).
+  std::vector<Triple> added;
+  /// Edges matched across versions (counted once per matched pair).
+  size_t unchanged = 0;
+  /// Aligned URI pairs whose labels differ.
+  std::vector<UriRename> renamed_uris;
+};
+
+/// Computes the delta induced by a partition-based alignment. Edges are
+/// matched by color triple with multiplicity (min of the per-side counts).
+RdfDelta ComputeDelta(const CombinedGraph& cg, const Partition& p);
+
+/// Renders a human-readable summary ("+N -M ~K, R renames").
+std::string DeltaSummary(const RdfDelta& delta);
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_CORE_DELTA_H_

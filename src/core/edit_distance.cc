@@ -1,0 +1,87 @@
+#include "core/edit_distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace rdfalign {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (b.empty()) return a.size();
+
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];  // row[i-1][0]
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t up = row[j];
+      size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j - 1] + 1, up + 1, sub});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t LevenshteinDistanceBounded(std::string_view a, std::string_view b,
+                                  size_t bound) {
+  if (a.size() < b.size()) std::swap(a, b);
+  const size_t len_diff = a.size() - b.size();
+  if (len_diff > bound) return bound + 1;
+  if (b.empty()) return a.size();
+
+  // Banded DP: only cells with |i-j| <= bound can stay within the bound.
+  constexpr size_t kInf = std::numeric_limits<size_t>::max() / 2;
+  std::vector<size_t> row(b.size() + 1, kInf);
+  std::vector<size_t> next(b.size() + 1, kInf);
+  for (size_t j = 0; j <= std::min(b.size(), bound); ++j) row[j] = j;
+
+  for (size_t i = 1; i <= a.size(); ++i) {
+    std::fill(next.begin(), next.end(), kInf);
+    const size_t lo = i > bound ? i - bound : 0;
+    const size_t hi = std::min(b.size(), i + bound);
+    if (lo == 0) next[0] = i;
+    size_t row_min = kInf;
+    for (size_t j = std::max<size_t>(lo, 1); j <= hi; ++j) {
+      size_t best = kInf;
+      if (next[j - 1] != kInf) best = std::min(best, next[j - 1] + 1);
+      if (row[j] != kInf) best = std::min(best, row[j] + 1);
+      if (row[j - 1] != kInf) {
+        best = std::min(best, row[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1));
+      }
+      next[j] = best;
+      row_min = std::min(row_min, best);
+    }
+    if (lo == 0) row_min = std::min(row_min, next[0]);
+    if (row_min > bound) return bound + 1;  // the band can only grow
+    std::swap(row, next);
+  }
+  return row[b.size()] <= bound ? row[b.size()] : bound + 1;
+}
+
+double NormalizedEditDistance(std::string_view a, std::string_view b) {
+  const size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 0.0;
+  return static_cast<double>(LevenshteinDistance(a, b)) /
+         static_cast<double>(max_len);
+}
+
+double NormalizedEditDistanceBounded(std::string_view a, std::string_view b,
+                                     double theta) {
+  const size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 0.0;
+  // d/max_len < theta  <=>  d < theta*max_len, so the largest admissible
+  // distance is ceil(theta*max_len) - 1; anything above maps to 1.
+  const double limit = theta * static_cast<double>(max_len);
+  size_t bound = static_cast<size_t>(std::ceil(limit));
+  if (bound > 0) bound -= 1;
+  size_t d = LevenshteinDistanceBounded(a, b, bound);
+  if (d > bound) return 1.0;
+  double norm = static_cast<double>(d) / static_cast<double>(max_len);
+  return norm < theta ? norm : 1.0;
+}
+
+}  // namespace rdfalign

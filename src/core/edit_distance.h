@@ -1,0 +1,35 @@
+// String edit distance (Levenshtein) and its normalized form, the literal
+// distance of §4.2: two unaligned literals are at distance ed(s,t)/max(|s|,
+// |t|) — e.g. "abc" vs "ac" is 1/3 in Example 5.
+
+#ifndef RDFALIGN_CORE_EDIT_DISTANCE_H_
+#define RDFALIGN_CORE_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace rdfalign {
+
+/// Unit-cost Levenshtein distance (insert / delete / substitute), O(|a|·|b|)
+/// time, O(min(|a|,|b|)) space. Operates on bytes.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein with early exit: returns the exact distance when it is
+/// <= `bound`, and any value > `bound` otherwise (banded computation,
+/// O(bound·min(|a|,|b|)) time).
+size_t LevenshteinDistanceBounded(std::string_view a, std::string_view b,
+                                  size_t bound);
+
+/// ed(a,b) / max(|a|,|b|); 0 when both strings are empty. A metric on
+/// strings with values in [0,1].
+double NormalizedEditDistance(std::string_view a, std::string_view b);
+
+/// Threshold variant: returns the exact normalized distance when it is
+/// < `theta`, and 1.0 otherwise (uses the banded computation — the overlap
+/// heuristic only needs distances below its threshold).
+double NormalizedEditDistanceBounded(std::string_view a, std::string_view b,
+                                     double theta);
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_CORE_EDIT_DISTANCE_H_

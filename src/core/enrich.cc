@@ -1,0 +1,126 @@
+#include "core/enrich.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace rdfalign {
+
+namespace {
+
+/// Union-find over the (dense-compressed) nodes of H.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), rank_(n, 0) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> rank_;
+};
+
+}  // namespace
+
+WeightedPartition Enrich(const WeightedPartition& xi,
+                         const BipartiteMatching& h) {
+  WeightedPartition out = xi;
+  if (h.Empty()) return out;
+
+  // Compress the nodes mentioned in H into dense local ids.
+  std::unordered_map<NodeId, size_t> local;
+  std::vector<NodeId> nodes;
+  auto local_id = [&](NodeId n) -> size_t {
+    auto [it, inserted] = local.emplace(n, nodes.size());
+    if (inserted) nodes.push_back(n);
+    return it->second;
+  };
+
+  std::vector<std::vector<std::pair<size_t, double>>> adj;
+  UnionFind uf(2 * h.edges.size());  // upper bound on distinct nodes
+  for (const MatchEdge& e : h.edges) {
+    size_t a = local_id(e.a);
+    size_t b = local_id(e.b);
+    if (adj.size() < nodes.size()) adj.resize(nodes.size());
+    adj[a].emplace_back(b, e.distance);
+    adj[b].emplace_back(a, e.distance);
+    uf.Union(a, b);
+  }
+  adj.resize(nodes.size());
+
+  // Sides: a node can only appear as `a` (source) or `b` (target) in H.
+  const size_t k = nodes.size();
+  std::vector<uint8_t> is_source(k, 0);
+  for (const MatchEdge& e : h.edges) {
+    is_source[local[e.a]] = 1;
+  }
+
+  // d*: single-source shortest paths under ⊕ from every node of H, then
+  // w(src) = ½ max over *opposite-side* nodes of the same component. ⊕ is
+  // monotone and H's components are tiny in practice (near one-to-one
+  // matchings), so Dijkstra per node is cheap.
+  std::vector<double> half_max(k, 0.0);
+  {
+    std::vector<double> dist(k);
+    using Item = std::pair<double, size_t>;
+    for (size_t src = 0; src < k; ++src) {
+      std::fill(dist.begin(), dist.end(), 2.0);
+      std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+      dist[src] = 0.0;
+      pq.emplace(0.0, src);
+      while (!pq.empty()) {
+        auto [d, u] = pq.top();
+        pq.pop();
+        if (d > dist[u]) continue;
+        for (const auto& [v, w] : adj[u]) {
+          double nd = OPlus(d, w);
+          if (nd < dist[v]) {
+            dist[v] = nd;
+            pq.emplace(nd, v);
+          }
+        }
+      }
+      double max_d = 0.0;
+      for (size_t v = 0; v < k; ++v) {
+        if (dist[v] > 1.0 || v == src) continue;
+        if (is_source[v] == is_source[src]) continue;  // same side
+        max_d = std::max(max_d, dist[v]);
+      }
+      half_max[src] = 0.5 * max_d;
+    }
+  }
+
+  // Fresh color per component; Partition::FromColors renumbers densely.
+  std::vector<ColorId> colors(out.partition.colors());
+  const ColorId base = static_cast<ColorId>(out.partition.NumColors());
+  std::unordered_map<size_t, ColorId> component_color;
+  for (size_t v = 0; v < k; ++v) {
+    size_t root = uf.Find(v);
+    auto [it, inserted] = component_color.emplace(
+        root, base + static_cast<ColorId>(component_color.size()));
+    colors[nodes[v]] = it->second;
+    out.weight[nodes[v]] = half_max[v];
+  }
+  out.partition = Partition::FromColors(std::move(colors));
+  return out;
+}
+
+}  // namespace rdfalign

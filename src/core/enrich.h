@@ -1,0 +1,50 @@
+// Enrichment of a weighted partition with newly discovered close pairs
+// (§4.4).
+//
+// The pairs arrive as a weighted bipartite graph H = (A, B, M, d) between
+// unaligned source and target nodes. H is decomposed into connected
+// components; each component becomes one new cluster, and every member
+// receives the weight
+//
+//     w(a) = ½ · max_{b ∈ B∩X} d*(a,b)      (and symmetrically for b ∈ B)
+//
+// where d* is the shortest-path distance in H under ⊕. This guarantees the
+// consistency requirement d*(a,b) ≤ w(a) ⊕ w(b) for members of one
+// component.
+
+#ifndef RDFALIGN_CORE_ENRICH_H_
+#define RDFALIGN_CORE_ENRICH_H_
+
+#include <vector>
+
+#include "core/weighted_partition.h"
+#include "rdf/term.h"
+
+namespace rdfalign {
+
+/// One newly discovered close pair: a source node, a target node, and their
+/// distance under the discovering similarity measure.
+struct MatchEdge {
+  NodeId a;        ///< combined-graph id of the source-side node
+  NodeId b;        ///< combined-graph id of the target-side node
+  double distance; ///< d(a,b) ∈ [0,1)
+};
+
+/// The weighted bipartite graph H of Algorithm 1's output. Isolated nodes
+/// are impossible by construction (only matched nodes appear in edges).
+struct BipartiteMatching {
+  std::vector<MatchEdge> edges;
+
+  bool Empty() const { return edges.empty(); }
+  size_t NumEdges() const { return edges.size(); }
+};
+
+/// Enrich(ξ, H): merges each connected component of H into a fresh cluster
+/// with the component-derived weights; all other nodes keep their cluster
+/// and weight. Nodes mentioned in H should be unaligned in ξ.
+WeightedPartition Enrich(const WeightedPartition& xi,
+                         const BipartiteMatching& h);
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_CORE_ENRICH_H_

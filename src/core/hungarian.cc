@@ -1,0 +1,88 @@
+#include "core/hungarian.h"
+
+#include <cassert>
+#include <limits>
+
+namespace rdfalign {
+
+AssignmentResult SolveAssignment(const std::vector<double>& cost, size_t n) {
+  assert(cost.size() == n * n);
+  AssignmentResult result;
+  if (n == 0) return result;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Shortest-augmenting-path formulation with row/column potentials
+  // (1-indexed over columns; p[j] is the row matched to column j).
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(n + 1, 0.0);
+  std::vector<size_t> p(n + 1, 0);
+  std::vector<size_t> way(n + 1, 0);
+
+  auto a = [&](size_t i, size_t j) -> double {
+    return cost[(i - 1) * n + (j - 1)];  // 1-indexed accessor
+  };
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      size_t i0 = p[j0];
+      size_t j1 = 0;
+      double delta = kInf;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        double cur = a(i0, j) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  result.row_of_col.assign(n, 0);
+  result.col_of_row.assign(n, 0);
+  for (size_t j = 1; j <= n; ++j) {
+    result.row_of_col[j - 1] = p[j] - 1;
+    result.col_of_row[p[j] - 1] = j - 1;
+    result.cost += a(p[j], j);
+  }
+  return result;
+}
+
+AssignmentResult SolveRectangularAssignment(const std::vector<double>& cost,
+                                            size_t rows, size_t cols,
+                                            double pad_cost) {
+  assert(cost.size() == rows * cols);
+  const size_t n = rows > cols ? rows : cols;
+  std::vector<double> square(n * n, pad_cost);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      square[i * n + j] = cost[i * cols + j];
+    }
+  }
+  return SolveAssignment(square, n);
+}
+
+}  // namespace rdfalign

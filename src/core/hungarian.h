@@ -1,0 +1,36 @@
+// Hungarian algorithm (Kuhn–Munkres) for the assignment problem [Kuhn 2005],
+// used by the σEdit graph-edit-distance propagation (§4.2): the optimal
+// matching among the outgoing edges of two nodes.
+
+#ifndef RDFALIGN_CORE_HUNGARIAN_H_
+#define RDFALIGN_CORE_HUNGARIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rdfalign {
+
+/// The solution of an assignment problem.
+struct AssignmentResult {
+  /// row_of_col[j] = row assigned to column j.
+  std::vector<size_t> row_of_col;
+  /// col_of_row[i] = column assigned to row i.
+  std::vector<size_t> col_of_row;
+  /// Total cost of the optimal assignment.
+  double cost = 0.0;
+};
+
+/// Solves the n×n minimum-cost assignment problem over a dense row-major
+/// cost matrix in O(n³). Costs may be any finite doubles.
+AssignmentResult SolveAssignment(const std::vector<double>& cost, size_t n);
+
+/// Rectangular convenience: pads a rows×cols matrix to square with
+/// `pad_cost` entries (the cost of leaving a row/column unmatched) and
+/// solves. Assignments to padded slots appear as indices >= rows/cols.
+AssignmentResult SolveRectangularAssignment(const std::vector<double>& cost,
+                                            size_t rows, size_t cols,
+                                            double pad_cost);
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_CORE_HUNGARIAN_H_

@@ -1,0 +1,138 @@
+#include "core/overlap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace rdfalign {
+
+double OverlapMeasure(const std::vector<uint64_t>& o1,
+                      const std::vector<uint64_t>& o2) {
+  if (o1.empty() && o2.empty()) return 1.0;
+  size_t inter = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < o1.size() && j < o2.size()) {
+    if (o1[i] == o2[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (o1[i] < o2[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = o1.size() + o2.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double DiffMeasure(const std::vector<uint64_t>& o1,
+                   const std::vector<uint64_t>& o2) {
+  return 1.0 - OverlapMeasure(o1, o2);
+}
+
+BipartiteMatching OverlapMatch(
+    const std::vector<NodeId>& a_nodes, const std::vector<NodeId>& b_nodes,
+    const CharacterizingSets& a_char, const CharacterizingSets& b_char,
+    double theta, const std::function<double(size_t, size_t)>& sigma,
+    const OverlapMatchOptions& options, OverlapMatchStats* stats) {
+  BipartiteMatching h;
+  OverlapMatchStats local;
+  if (a_nodes.empty() || b_nodes.empty()) {
+    if (stats != nullptr) *stats = local;
+    return h;
+  }
+
+  // Lines 1-6: inverted index Inv over B's objects; freq[o] = |Inv[o]|.
+  std::unordered_map<uint64_t, std::vector<uint32_t>, U64Hash> inv;
+  for (uint32_t bi = 0; bi < b_nodes.size(); ++bi) {
+    for (uint64_t o : b_char[bi]) {
+      inv[o].push_back(bi);
+    }
+  }
+  auto freq = [&](uint64_t o) -> size_t {
+    auto it = inv.find(o);
+    return it == inv.end() ? 0 : it->second.size();
+  };
+
+  // Per-B visited stamp to deduplicate the candidate set C cheaply.
+  std::vector<uint32_t> stamp(b_nodes.size(), 0);
+  uint32_t round = 0;
+
+  std::vector<uint64_t> objects;
+  for (uint32_t ai = 0; ai < a_nodes.size(); ++ai) {
+    const std::vector<uint64_t>& chars = a_char[ai];
+    if (chars.empty()) continue;
+    const size_t k = chars.size();
+
+    // Line 11: objects of char(n) ordered by ascending frequency (the rare,
+    // discriminating objects first).
+    objects.assign(chars.begin(), chars.end());
+    std::sort(objects.begin(), objects.end(),
+              [&](uint64_t x, uint64_t y) {
+                size_t fx = freq(x);
+                size_t fy = freq(y);
+                return fx != fy ? fx < fy : x < y;
+              });
+
+    // Line 12: the prefix that must contain a shared object of any node
+    // with overlap >= θ (see header comment).
+    const size_t paper_len = static_cast<size_t>(
+        std::ceil(static_cast<double>(k) * theta));
+    size_t prefix_len = paper_len;
+    if (!options.paper_prefix) {
+      const size_t theta_k = static_cast<size_t>(
+          std::ceil(static_cast<double>(k) * theta));
+      const size_t sound_len = k >= theta_k ? k - theta_k + 1 : 1;
+      prefix_len = std::max(paper_len, sound_len);
+    }
+    prefix_len = std::min(prefix_len, k);
+
+    // Lines 12-15: gather candidates sharing a prefix object, screen by
+    // overlap.
+    ++round;
+    for (size_t i = 0; i < prefix_len; ++i) {
+      auto it = inv.find(objects[i]);
+      if (it == inv.end()) continue;
+      for (uint32_t bi : it->second) {
+        ++local.candidates_probed;
+        if (stamp[bi] == round) continue;
+        stamp[bi] = round;
+        ++local.overlap_checked;
+        if (OverlapMeasure(chars, b_char[bi]) < theta) continue;
+        // Lines 16-19: verify with the distance function.
+        ++local.sigma_checked;
+        double d = sigma(ai, bi);
+        if (d < theta) {
+          h.edges.push_back(MatchEdge{a_nodes[ai], b_nodes[bi], d});
+          ++local.matched;
+        }
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return h;
+}
+
+BipartiteMatching OverlapMatchBruteForce(
+    const std::vector<NodeId>& a_nodes, const std::vector<NodeId>& b_nodes,
+    const CharacterizingSets& a_char, const CharacterizingSets& b_char,
+    double theta, const std::function<double(size_t, size_t)>& sigma) {
+  BipartiteMatching h;
+  for (uint32_t ai = 0; ai < a_nodes.size(); ++ai) {
+    if (a_char[ai].empty()) continue;
+    for (uint32_t bi = 0; bi < b_nodes.size(); ++bi) {
+      if (OverlapMeasure(a_char[ai], b_char[bi]) < theta) continue;
+      double d = sigma(ai, bi);
+      if (d < theta) {
+        h.edges.push_back(MatchEdge{a_nodes[ai], b_nodes[bi], d});
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace rdfalign

@@ -1,0 +1,191 @@
+#include "core/overlap_align.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "core/alignment.h"
+#include "core/edit_distance.h"
+#include "core/hybrid.h"
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace rdfalign {
+
+std::vector<uint64_t> OutColorSet(const TripleGraph& g,
+                                  const WeightedPartition& xi, NodeId n) {
+  std::vector<uint64_t> out;
+  out.reserve(g.OutDegree(n));
+  for (const PredicateObject& po : g.Out(n)) {
+    out.push_back(PackPair(xi.partition.ColorOf(po.p),
+                           xi.partition.ColorOf(po.o)));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+/// One out-edge annotated with its color key and endpoint weights.
+struct KeyedEdge {
+  uint64_t key;
+  double wp;
+  double wo;
+
+  bool operator<(const KeyedEdge& other) const {
+    if (key != other.key) return key < other.key;
+    return (wp + wo) < (other.wp + other.wo);
+  }
+};
+
+void CollectKeyedEdges(const TripleGraph& g, const WeightedPartition& xi,
+                       NodeId n, std::vector<KeyedEdge>& out) {
+  out.clear();
+  for (const PredicateObject& po : g.Out(n)) {
+    out.push_back(KeyedEdge{PackPair(xi.partition.ColorOf(po.p),
+                                     xi.partition.ColorOf(po.o)),
+                            xi.weight[po.p], xi.weight[po.o]});
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace
+
+double SigmaNonLiteral(const TripleGraph& g, const WeightedPartition& xi,
+                       NodeId n, NodeId m) {
+  const size_t deg_n = g.OutDegree(n);
+  const size_t deg_m = g.OutDegree(m);
+  const size_t f = std::max(deg_n, deg_m);
+  if (f == 0) return 0.0;
+
+  static thread_local std::vector<KeyedEdge> en;
+  static thread_local std::vector<KeyedEdge> em;
+  CollectKeyedEdges(g, xi, n, en);
+  CollectKeyedEdges(g, xi, m, em);
+
+  // Two-pointer merge over color-key runs; within one run both sides are
+  // weight-sorted, so rank coupling is the optimal same-color assignment.
+  double total = 0.0;
+  size_t coupled = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < en.size() && j < em.size()) {
+    if (en[i].key < em[j].key) {
+      ++i;
+    } else if (em[j].key < en[i].key) {
+      ++j;
+    } else {
+      const uint64_t key = en[i].key;
+      size_t i_end = i;
+      while (i_end < en.size() && en[i_end].key == key) ++i_end;
+      size_t j_end = j;
+      while (j_end < em.size() && em[j_end].key == key) ++j_end;
+      const size_t c = std::min(i_end - i, j_end - j);
+      for (size_t t = 0; t < c; ++t) {
+        // σ_ξ on same-color nodes is the ⊕ of their weights (eq. 5).
+        double sigma_p = OPlus(en[i + t].wp, em[j + t].wp);
+        double sigma_o = OPlus(en[i + t].wo, em[j + t].wo);
+        total += OPlus(sigma_p, sigma_o);
+      }
+      coupled += c;
+      i = i_end;
+      j = j_end;
+    }
+  }
+  const double r = static_cast<double>((deg_n - coupled) + (deg_m - coupled));
+  return std::min(1.0, (total + r) / static_cast<double>(f));
+}
+
+OverlapAlignResult OverlapAlign(const CombinedGraph& cg,
+                                const OverlapAlignOptions& options,
+                                const Partition* hybrid) {
+  const TripleGraph& g = cg.graph();
+  OverlapAlignResult result;
+
+  // Line 1: ξ0 = (λ_Hybrid, 0).
+  WeightedPartition xi =
+      MakeZeroWeighted(hybrid != nullptr ? *hybrid : HybridPartition(cg));
+
+  // Lines 2-4: match unaligned literals by word sets + edit distance.
+  std::vector<NodeId> a0;
+  std::vector<NodeId> b0;
+  {
+    std::vector<ClassSides> sides = ComputeClassSides(cg, xi.partition);
+    for (NodeId n = 0; n < g.NumNodes(); ++n) {
+      if (!g.IsLiteral(n)) continue;
+      if (sides[xi.partition.ColorOf(n)] == ClassSides::kBoth) continue;
+      (cg.InSource(n) ? a0 : b0).push_back(n);
+    }
+  }
+  CharacterizingSets a0_char(a0.size());
+  CharacterizingSets b0_char(b0.size());
+  {
+    // Word ids shared across both sides via one interning map.
+    std::unordered_map<std::string, uint64_t> words;
+    auto charset = [&](NodeId n) {
+      std::vector<uint64_t> ids;
+      for (std::string& w : SplitWords(g.Lexical(n))) {
+        auto [it, inserted] = words.emplace(std::move(w), words.size());
+        ids.push_back(it->second);
+      }
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      return ids;
+    };
+    for (size_t i = 0; i < a0.size(); ++i) a0_char[i] = charset(a0[i]);
+    for (size_t i = 0; i < b0.size(); ++i) b0_char[i] = charset(b0[i]);
+  }
+  OverlapMatchStats h0_stats;
+  BipartiteMatching h = OverlapMatch(
+      a0, b0, a0_char, b0_char, options.theta,
+      [&](size_t ai, size_t bi) {
+        return NormalizedEditDistanceBounded(g.Lexical(a0[ai]),
+                                             g.Lexical(b0[bi]),
+                                             options.theta);
+      },
+      options.match, &h0_stats);
+  result.literal_matches = h.NumEdges();
+  result.round_stats.push_back(h0_stats);
+
+  // Lines 5-12: enrich, propagate, match non-literals; repeat until dry.
+  for (size_t round = 1; round <= options.max_rounds; ++round) {
+    xi = Propagate(cg, Enrich(xi, h), options.propagate);
+    result.rounds = round;
+
+    std::vector<NodeId> ai;
+    std::vector<NodeId> bi;
+    {
+      std::vector<ClassSides> sides = ComputeClassSides(cg, xi.partition);
+      for (NodeId n = 0; n < g.NumNodes(); ++n) {
+        if (g.IsLiteral(n)) continue;
+        if (sides[xi.partition.ColorOf(n)] == ClassSides::kBoth) continue;
+        (cg.InSource(n) ? ai : bi).push_back(n);
+      }
+    }
+    CharacterizingSets ai_char(ai.size());
+    CharacterizingSets bi_char(bi.size());
+    for (size_t i = 0; i < ai.size(); ++i) {
+      ai_char[i] = OutColorSet(g, xi, ai[i]);
+    }
+    for (size_t i = 0; i < bi.size(); ++i) {
+      bi_char[i] = OutColorSet(g, xi, bi[i]);
+    }
+
+    OverlapMatchStats round_stats;
+    h = OverlapMatch(
+        ai, bi, ai_char, bi_char, options.theta,
+        [&](size_t x, size_t y) {
+          return SigmaNonLiteral(g, xi, ai[x], bi[y]);
+        },
+        options.match, &round_stats);
+    result.round_stats.push_back(round_stats);
+    result.nonliteral_matches += h.NumEdges();
+    if (h.Empty()) break;
+  }
+
+  result.xi = std::move(xi);
+  return result;
+}
+
+}  // namespace rdfalign

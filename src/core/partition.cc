@@ -1,0 +1,104 @@
+#include "core/partition.h"
+
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace rdfalign {
+
+Partition Partition::FromColors(std::vector<ColorId> colors) {
+  Partition p;
+  p.colors_ = std::move(colors);
+  std::unordered_map<ColorId, ColorId> renumber;
+  renumber.reserve(p.colors_.size() / 4 + 8);
+  for (ColorId& c : p.colors_) {
+    auto [it, inserted] =
+        renumber.emplace(c, static_cast<ColorId>(renumber.size()));
+    c = it->second;
+  }
+  p.num_colors_ = renumber.size();
+  return p;
+}
+
+bool Partition::Equivalent(const Partition& a, const Partition& b) {
+  if (a.NumNodes() != b.NumNodes()) return false;
+  if (a.NumColors() != b.NumColors()) return false;
+  // Check that the color-to-color correspondence is a bijection.
+  std::unordered_map<ColorId, ColorId> a_to_b;
+  std::unordered_map<ColorId, ColorId> b_to_a;
+  a_to_b.reserve(a.NumColors());
+  b_to_a.reserve(b.NumColors());
+  for (size_t i = 0; i < a.NumNodes(); ++i) {
+    ColorId ca = a.colors_[i];
+    ColorId cb = b.colors_[i];
+    auto [it1, ins1] = a_to_b.emplace(ca, cb);
+    if (!ins1 && it1->second != cb) return false;
+    auto [it2, ins2] = b_to_a.emplace(cb, ca);
+    if (!ins2 && it2->second != ca) return false;
+  }
+  return true;
+}
+
+bool Partition::IsFinerOrEqual(const Partition& fine,
+                               const Partition& coarse) {
+  if (fine.NumNodes() != coarse.NumNodes()) return false;
+  // Each fine class must map into exactly one coarse class.
+  std::unordered_map<ColorId, ColorId> fine_to_coarse;
+  fine_to_coarse.reserve(fine.NumColors());
+  for (size_t i = 0; i < fine.NumNodes(); ++i) {
+    auto [it, inserted] =
+        fine_to_coarse.emplace(fine.colors_[i], coarse.colors_[i]);
+    if (!inserted && it->second != coarse.colors_[i]) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<NodeId>> Partition::Classes() const {
+  std::vector<std::vector<NodeId>> out(num_colors_);
+  for (NodeId i = 0; i < colors_.size(); ++i) {
+    out[colors_[i]].push_back(i);
+  }
+  return out;
+}
+
+Partition LabelPartition(const TripleGraph& g) {
+  std::vector<ColorId> colors(g.NumNodes());
+  std::unordered_map<uint64_t, ColorId> by_label;
+  by_label.reserve(g.NumNodes());
+  // All blanks share a reserved key; URIs/literals key on (kind, lex).
+  constexpr uint64_t kBlankKey = ~0ULL;
+  for (NodeId i = 0; i < g.NumNodes(); ++i) {
+    uint64_t key;
+    if (g.IsBlank(i)) {
+      key = kBlankKey;
+    } else {
+      key = (static_cast<uint64_t>(g.KindOf(i)) << 33) | g.LexicalId(i);
+    }
+    auto [it, inserted] =
+        by_label.emplace(key, static_cast<ColorId>(by_label.size()));
+    colors[i] = it->second;
+  }
+  return Partition::FromColors(std::move(colors));
+}
+
+Partition TrivialPartition(const TripleGraph& g) {
+  std::vector<ColorId> colors(g.NumNodes());
+  std::unordered_map<uint64_t, ColorId> by_label;
+  by_label.reserve(g.NumNodes());
+  ColorId next = 0;
+  for (NodeId i = 0; i < g.NumNodes(); ++i) {
+    if (g.IsBlank(i)) {
+      colors[i] = next++;  // singleton class per blank node
+      continue;
+    }
+    uint64_t key = (static_cast<uint64_t>(g.KindOf(i)) << 33) | g.LexicalId(i);
+    auto it = by_label.find(key);
+    if (it == by_label.end()) {
+      it = by_label.emplace(key, next++).first;
+    }
+    colors[i] = it->second;
+  }
+  return Partition::FromColors(std::move(colors));
+}
+
+}  // namespace rdfalign

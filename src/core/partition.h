@@ -1,0 +1,69 @@
+// Partitions of a graph's node set (§2.2).
+//
+// A partition assigns every node a color; the equivalence classes are the
+// sets of nodes with one color. Colors here are dense integers local to a
+// Partition instance — the paper's structured colors (derivation trees) are
+// realized by hash-consing signatures in the refinement engine, exactly the
+// "compact DAG + hashing" representation §3.2 describes.
+
+#ifndef RDFALIGN_CORE_PARTITION_H_
+#define RDFALIGN_CORE_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/merge.h"
+
+namespace rdfalign {
+
+/// Dense color identifier within one Partition.
+using ColorId = uint32_t;
+
+/// A partition λ : N_G -> C with dense integer colors.
+class Partition {
+ public:
+  Partition() = default;
+
+  /// All nodes in one class (color 0).
+  explicit Partition(size_t num_nodes)
+      : colors_(num_nodes, 0), num_colors_(num_nodes == 0 ? 0 : 1) {}
+
+  /// Adopts a color vector; renumbers colors densely (first-occurrence
+  /// order) and records the class count.
+  static Partition FromColors(std::vector<ColorId> colors);
+
+  size_t NumNodes() const { return colors_.size(); }
+  size_t NumColors() const { return num_colors_; }
+
+  ColorId ColorOf(NodeId n) const { return colors_[n]; }
+  const std::vector<ColorId>& colors() const { return colors_; }
+
+  /// Two partitions of the same node set are equivalent iff they induce the
+  /// same equivalence relation (λ1 ≡ λ2, §2.2).
+  static bool Equivalent(const Partition& a, const Partition& b);
+
+  /// True iff `fine` refines `coarse`: every class of `fine` is contained
+  /// in a class of `coarse` (R_fine ⊆ R_coarse).
+  static bool IsFinerOrEqual(const Partition& fine, const Partition& coarse);
+
+  /// Groups node ids by color; result[c] lists the members of class c.
+  std::vector<std::vector<NodeId>> Classes() const;
+
+ private:
+  std::vector<ColorId> colors_;
+  size_t num_colors_ = 0;
+};
+
+/// The node-labeling partition ℓ_G: nodes grouped by label, all blank nodes
+/// in one class (§2.2). This is the initial partition of every bisimulation
+/// refinement.
+Partition LabelPartition(const TripleGraph& g);
+
+/// The trivial-alignment partition λ_Trivial (§3.1): non-blank nodes grouped
+/// by label equality, every blank node a singleton class.
+Partition TrivialPartition(const TripleGraph& g);
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_CORE_PARTITION_H_

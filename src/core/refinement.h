@@ -1,0 +1,77 @@
+// The partition-refinement engine (§3.2, Definitions 3 & 4).
+//
+// One refinement step recolors every node n in a chosen subset X with the
+// hash-consed signature
+//     recolor_λ(n) = (λ(n), { (λ(p), λ(o)) | (p,o) ∈ out_G(n) })      (1)
+// while nodes outside X keep their color (2). The fixpoint driver iterates
+// until the induced equivalence stops changing; because a step only splits
+// classes, the fixpoint is detected by a stable class count.
+//
+// This is the paper's "derivation tree as a DAG with simple hashing": a
+// dense ColorId stands for the whole derivation tree rooted at the node.
+
+#ifndef RDFALIGN_CORE_REFINEMENT_H_
+#define RDFALIGN_CORE_REFINEMENT_H_
+
+#include <vector>
+
+#include "core/partition.h"
+#include "rdf/graph.h"
+
+namespace rdfalign {
+
+/// Telemetry of a refinement run.
+struct RefinementStats {
+  size_t iterations = 0;      ///< steps executed (incl. the stabilizing one)
+  size_t final_classes = 0;   ///< classes in the fixpoint partition
+  size_t initial_classes = 0; ///< classes in the input partition
+};
+
+/// One-step refinement BisimRefine_X(λ): recolors exactly the nodes in X by
+/// signature; all other nodes keep their class. X entries must be valid node
+/// ids of `g`.
+Partition BisimRefineStep(const TripleGraph& g, const Partition& p,
+                          const std::vector<NodeId>& x);
+
+/// Fixpoint refinement BisimRefine*_X(λ) (Definition 4): applies the step
+/// until the partition stabilizes.
+Partition BisimRefineFixpoint(const TripleGraph& g, Partition initial,
+                              const std::vector<NodeId>& x,
+                              RefinementStats* stats = nullptr);
+
+/// Blank(λ, X): resets the color of every node in X to one shared fresh
+/// "blank" color (eq. 3) — the precursor of the hybrid alignment and of
+/// weighted propagation.
+Partition BlankColors(const Partition& p, const std::vector<NodeId>& x);
+
+// --- key-restricted refinement (§6 future work) ----------------------------
+//
+// "variants of our approach where only selected parts of the outbound
+//  neighborhood are used, for instance specified by a notion of a key for
+//  graph databases, possibly allowing to align nodes of graphs following
+//  different structure."
+//
+// A *graph key* is a set of predicates; keyed refinement identifies a node
+// by the key attributes only, so nodes agreeing on the key align even when
+// their non-key attributes changed.
+
+/// Builds a per-node mask marking the nodes whose URI label is one of
+/// `predicate_uris` (the key predicates).
+std::vector<uint8_t> BuildPredicateMask(
+    const TripleGraph& g, const std::vector<std::string>& predicate_uris);
+
+/// One-step keyed refinement: as BisimRefineStep, but only out-pairs whose
+/// predicate node is marked in `predicate_mask` enter the signature.
+Partition BisimRefineStepKeyed(const TripleGraph& g, const Partition& p,
+                               const std::vector<NodeId>& x,
+                               const std::vector<uint8_t>& predicate_mask);
+
+/// Fixpoint of the keyed step.
+Partition BisimRefineFixpointKeyed(const TripleGraph& g, Partition initial,
+                                   const std::vector<NodeId>& x,
+                                   const std::vector<uint8_t>& predicate_mask,
+                                   RefinementStats* stats = nullptr);
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_CORE_REFINEMENT_H_

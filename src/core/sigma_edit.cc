@@ -1,0 +1,166 @@
+#include "core/sigma_edit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/alignment.h"
+#include "core/edit_distance.h"
+#include "core/hungarian.h"
+#include "core/weighted_partition.h"
+
+namespace rdfalign {
+
+double SigmaEdit::FixedDistance(NodeId n, NodeId m, bool* is_fixed) const {
+  *is_fixed = true;
+  const TripleGraph& g = cg_->graph();
+  if (hybrid_colors_[n] == hybrid_colors_[m]) return 0.0;
+  if (aligned_[n] || aligned_[m]) return 1.0;
+  const bool lit_n = g.IsLiteral(n);
+  const bool lit_m = g.IsLiteral(m);
+  if (lit_n && lit_m) {
+    return NormalizedEditDistance(g.Lexical(n), g.Lexical(m));
+  }
+  if (lit_n != lit_m) return 1.0;
+  *is_fixed = false;  // unaligned non-literal pair: propagated value
+  return 0.0;
+}
+
+Result<SigmaEdit> SigmaEdit::Compute(const CombinedGraph& cg,
+                                     const Partition& hybrid,
+                                     const SigmaEditOptions& options) {
+  SigmaEdit se;
+  se.cg_ = &cg;
+  se.hybrid_colors_ = hybrid.colors();
+
+  const TripleGraph& g = cg.graph();
+  std::vector<ClassSides> sides = ComputeClassSides(cg, hybrid);
+  se.aligned_.assign(g.NumNodes(), 0);
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    se.aligned_[n] = sides[hybrid.ColorOf(n)] == ClassSides::kBoth ? 1 : 0;
+  }
+
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (se.aligned_[n] || g.IsLiteral(n)) continue;
+    if (cg.InSource(n)) {
+      se.index1_.emplace(n, static_cast<uint32_t>(se.u1_.size()));
+      se.u1_.push_back(n);
+    } else {
+      se.index2_.emplace(n, static_cast<uint32_t>(se.u2_.size()));
+      se.u2_.push_back(n);
+    }
+  }
+
+  const size_t rows = se.u1_.size();
+  const size_t cols = se.u2_.size();
+  if (rows * cols > options.max_matrix_entries) {
+    return Status::OutOfRange(
+        "sigma-edit matrix would need " + std::to_string(rows * cols) +
+        " entries (cap " + std::to_string(options.max_matrix_entries) +
+        "); use the overlap alignment for graphs of this size");
+  }
+  se.matrix_.assign(rows * cols, 0.0);
+
+  // Distance of a (predicate|object) node pair under the current matrix.
+  auto lookup = [&](NodeId a, NodeId b) -> double {
+    bool fixed;
+    double d = se.FixedDistance(a, b, &fixed);
+    if (fixed) return d;
+    return se.matrix_[se.index1_.at(a) * cols + se.index2_.at(b)];
+  };
+
+  std::vector<double> next(rows * cols, 0.0);
+  std::vector<double> cost;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (size_t i = 0; i < rows; ++i) {
+      const NodeId n = se.u1_[i];
+      auto out_n = g.Out(n);
+      for (size_t j = 0; j < cols; ++j) {
+        const NodeId m = se.u2_[j];
+        auto out_m = g.Out(m);
+        const size_t f = std::max(out_n.size(), out_m.size());
+        double value = 0.0;
+        if (f > 0) {
+          // Optimal matching of out-neighborhoods; unmatched slots cost 1.
+          cost.assign(f * f, 1.0);
+          for (size_t r = 0; r < out_n.size(); ++r) {
+            for (size_t c = 0; c < out_m.size(); ++c) {
+              cost[r * f + c] = OPlus(lookup(out_n[r].p, out_m[c].p),
+                                      lookup(out_n[r].o, out_m[c].o));
+            }
+          }
+          AssignmentResult ar = SolveAssignment(cost, f);
+          value = std::min(ar.cost / static_cast<double>(f), 1.0);
+        }
+        next[i * cols + j] = value;
+        max_delta =
+            std::max(max_delta, std::abs(value - se.matrix_[i * cols + j]));
+      }
+    }
+    se.matrix_.swap(next);
+    ++se.iterations_;
+    if (max_delta < options.epsilon) break;
+  }
+  return se;
+}
+
+double SigmaEdit::Distance(NodeId n, NodeId m) const {
+  bool fixed;
+  double d = FixedDistance(n, m, &fixed);
+  if (fixed) return d;
+  auto it1 = index1_.find(n);
+  auto it2 = index2_.find(m);
+  if (it1 == index1_.end() || it2 == index2_.end()) {
+    // A source/target pair passed in the wrong order, or ids outside the
+    // unaligned sets: treat as maximally distant.
+    return 1.0;
+  }
+  return matrix_[it1->second * index2_.size() + it2->second];
+}
+
+std::vector<std::pair<NodeId, NodeId>> SigmaEdit::AlignAt(
+    double theta) const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  const CombinedGraph& cg = *cg_;
+  // Hybrid-aligned pairs (distance 0) come from class membership...
+  std::unordered_map<ColorId,
+                     std::pair<std::vector<NodeId>, std::vector<NodeId>>>
+      classes;
+  for (NodeId n = 0; n < cg.graph().NumNodes(); ++n) {
+    if (!aligned_[n]) continue;
+    auto& entry = classes[hybrid_colors_[n]];
+    (cg.InSource(n) ? entry.first : entry.second).push_back(n);
+  }
+  for (auto& [color, nodes] : classes) {
+    for (NodeId a : nodes.first) {
+      for (NodeId b : nodes.second) out.emplace_back(a, b);
+    }
+  }
+  // ...unaligned literal pairs from the string edit distance...
+  const TripleGraph& g = cg.graph();
+  std::vector<NodeId> lit1;
+  std::vector<NodeId> lit2;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (aligned_[n] || !g.IsLiteral(n)) continue;
+    (cg.InSource(n) ? lit1 : lit2).push_back(n);
+  }
+  for (NodeId a : lit1) {
+    for (NodeId b : lit2) {
+      if (NormalizedEditDistance(g.Lexical(a), g.Lexical(b)) <= theta) {
+        out.emplace_back(a, b);
+      }
+    }
+  }
+  // ...and unaligned non-literal pairs from the propagated matrix.
+  const size_t cols = u2_.size();
+  for (size_t i = 0; i < u1_.size(); ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (matrix_[i * cols + j] <= theta) {
+        out.emplace_back(u1_[i], u2_[j]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rdfalign

@@ -1,0 +1,146 @@
+#include "core/similarity_flooding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/edit_distance.h"
+#include "util/hash.h"
+
+namespace rdfalign {
+
+namespace {
+
+uint64_t PairKey(NodeId n, NodeId m) { return PackPair(n, m); }
+
+}  // namespace
+
+Result<SimilarityFlooding> SimilarityFlooding::Compute(
+    const CombinedGraph& cg, const SimilarityFloodingOptions& options) {
+  const TripleGraph& g = cg.graph();
+  SimilarityFlooding sf;
+
+  // --- support: the pairwise connectivity graph ---------------------------
+  // Candidate pairs are seeded from label-compatible pairs and closed under
+  // the flooding edges. To keep the support sparse we start from (a) label-
+  // equal pairs and (b) pairs induced by same-predicate-label triples.
+  auto intern_pair = [&](NodeId n, NodeId m) -> uint32_t {
+    auto [it, inserted] = sf.index_.emplace(
+        PairKey(n, m), static_cast<uint32_t>(sf.pairs_.size()));
+    if (inserted) sf.pairs_.emplace_back(n, m);
+    return it->second;
+  };
+
+  // Group triples by predicate *label* on both sides.
+  std::unordered_map<uint64_t, std::pair<std::vector<Triple>,
+                                         std::vector<Triple>>>
+      by_predicate;
+  for (const Triple& t : g.triples()) {
+    uint64_t key = g.LexicalId(t.p);
+    auto& bucket = by_predicate[key];
+    (cg.InSource(t.s) ? bucket.first : bucket.second).push_back(t);
+  }
+
+  // Edges of the pairwise graph: ((s1,s2) <-> (o1,o2)) per shared-label
+  // predicate; also (p1,p2) participates as a pair seeded by equality.
+  struct FlowEdge {
+    uint32_t from;
+    uint32_t to;
+  };
+  std::vector<FlowEdge> edges;
+  for (auto& [key, bucket] : by_predicate) {
+    if (bucket.first.empty() || bucket.second.empty()) continue;
+    if (bucket.first.size() * bucket.second.size() > options.max_pairs) {
+      return Status::OutOfRange(
+          "similarity flooding support too large; reduce the input");
+    }
+    for (const Triple& t1 : bucket.first) {
+      for (const Triple& t2 : bucket.second) {
+        uint32_t sp = intern_pair(t1.s, t2.s);
+        uint32_t op = intern_pair(t1.o, t2.o);
+        edges.push_back(FlowEdge{sp, op});
+        edges.push_back(FlowEdge{op, sp});
+        if (sf.pairs_.size() > options.max_pairs) {
+          return Status::OutOfRange(
+              "similarity flooding support exceeded max_pairs");
+        }
+      }
+    }
+  }
+
+  // --- seed similarities ----------------------------------------------------
+  const size_t k = sf.pairs_.size();
+  sf.similarity_.assign(k, 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    auto [n, m] = sf.pairs_[i];
+    double seed = options.seed_floor;
+    if (g.KindOf(n) != g.KindOf(m)) {
+      seed = 0.0;
+    } else if (g.IsLiteral(n)) {
+      seed = std::max(
+          options.seed_floor,
+          1.0 - NormalizedEditDistance(g.Lexical(n), g.Lexical(m)));
+    } else if (!g.IsBlank(n) && g.LexicalId(n) == g.LexicalId(m)) {
+      seed = options.seed_equal;
+    }
+    sf.similarity_[i] = seed;
+  }
+
+  // --- flooding fixpoint ----------------------------------------------------
+  // σ_{t+1}(p) = σ_0(p) + Σ_{q -> p} σ_t(q) / outdeg(q), then normalize by
+  // the global maximum (the classic "basic" SF iteration).
+  std::vector<uint32_t> out_degree(k, 0);
+  for (const FlowEdge& e : edges) ++out_degree[e.from];
+  std::vector<double> seed(sf.similarity_);
+  std::vector<double> next(k);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    next = seed;
+    for (const FlowEdge& e : edges) {
+      next[e.to] += sf.similarity_[e.from] /
+                    static_cast<double>(out_degree[e.from]);
+    }
+    double max_value = 0.0;
+    for (double v : next) max_value = std::max(max_value, v);
+    if (max_value > 0) {
+      for (double& v : next) v /= max_value;
+    }
+    double delta = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      delta = std::max(delta, std::abs(next[i] - sf.similarity_[i]));
+    }
+    sf.similarity_.swap(next);
+    ++sf.iterations_;
+    if (delta < options.epsilon) break;
+  }
+  return sf;
+}
+
+double SimilarityFlooding::Similarity(NodeId n, NodeId m) const {
+  auto it = index_.find(PairKey(n, m));
+  return it == index_.end() ? 0.0 : similarity_[it->second];
+}
+
+std::vector<std::pair<NodeId, NodeId>> SimilarityFlooding::GreedyMatching(
+    double min_similarity) const {
+  std::vector<uint32_t> order(pairs_.size());
+  for (uint32_t i = 0; i < pairs_.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (similarity_[a] != similarity_[b]) {
+      return similarity_[a] > similarity_[b];
+    }
+    return pairs_[a] < pairs_[b];  // deterministic tie-break
+  });
+  std::unordered_map<NodeId, uint8_t> used_left;
+  std::unordered_map<NodeId, uint8_t> used_right;
+  std::vector<std::pair<NodeId, NodeId>> matching;
+  for (uint32_t i : order) {
+    if (similarity_[i] < min_similarity) break;
+    auto [n, m] = pairs_[i];
+    if (used_left.count(n) > 0 || used_right.count(m) > 0) continue;
+    used_left.emplace(n, 1);
+    used_right.emplace(m, 1);
+    matching.emplace_back(n, m);
+  }
+  return matching;
+}
+
+}  // namespace rdfalign

@@ -1,0 +1,62 @@
+#include "core/weighted_partition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rdfalign {
+
+WeightedPartition MakeZeroWeighted(Partition p) {
+  WeightedPartition xi;
+  xi.weight.assign(p.NumNodes(), 0.0);
+  xi.partition = std::move(p);
+  return xi;
+}
+
+std::vector<std::pair<NodeId, NodeId>> EnumerateAlignedPairsWeighted(
+    const CombinedGraph& cg, const WeightedPartition& xi, double theta,
+    size_t limit) {
+  std::unordered_map<ColorId,
+                     std::pair<std::vector<NodeId>, std::vector<NodeId>>>
+      classes;
+  for (NodeId n = 0; n < xi.partition.NumNodes(); ++n) {
+    auto& entry = classes[xi.partition.ColorOf(n)];
+    (cg.InSource(n) ? entry.first : entry.second).push_back(n);
+  }
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (auto& [color, nodes] : classes) {
+    for (NodeId a : nodes.first) {
+      for (NodeId b : nodes.second) {
+        if (OPlus(xi.weight[a], xi.weight[b]) < theta) {
+          if (out.size() >= limit) return out;
+          out.emplace_back(a, b);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+size_t CountAlignedClassesWeighted(const CombinedGraph& cg,
+                                   const WeightedPartition& xi,
+                                   double theta) {
+  // A class is aligned when its lightest source node and lightest target
+  // node are within θ (⊕ is monotone, so the minima decide).
+  constexpr double kNone = 2.0;
+  std::vector<double> min_source(xi.partition.NumColors(), kNone);
+  std::vector<double> min_target(xi.partition.NumColors(), kNone);
+  for (NodeId n = 0; n < xi.partition.NumNodes(); ++n) {
+    ColorId c = xi.partition.ColorOf(n);
+    auto& slot = cg.InSource(n) ? min_source[c] : min_target[c];
+    slot = std::min(slot, xi.weight[n]);
+  }
+  size_t count = 0;
+  for (size_t c = 0; c < xi.partition.NumColors(); ++c) {
+    if (min_source[c] < kNone && min_target[c] < kNone &&
+        OPlus(min_source[c], min_target[c]) < theta) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace rdfalign

@@ -1,0 +1,57 @@
+// Weighted partitions ξ = (λ, ω) (§4.3).
+//
+// Every node belongs to exactly one cluster but carries a confidence weight:
+// the distance from the cluster's center. The induced distance function is
+//
+//   σ_ξ(n,m) = ω(n) ⊕ ω(m)   when λ(n) = λ(m),   1 otherwise        (5)
+//
+// with x ⊕ y = min(x+y, 1) the truncated addition compatible with the
+// triangle inequality.
+
+#ifndef RDFALIGN_CORE_WEIGHTED_PARTITION_H_
+#define RDFALIGN_CORE_WEIGHTED_PARTITION_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/partition.h"
+#include "rdf/merge.h"
+
+namespace rdfalign {
+
+/// The truncated addition operator ⊕ : [0,1]² -> [0,1] (§4.1).
+inline double OPlus(double x, double y) {
+  double s = x + y;
+  return s < 1.0 ? s : 1.0;
+}
+
+/// A partition with per-node confidence weights in [0,1].
+struct WeightedPartition {
+  Partition partition;
+  std::vector<double> weight;
+
+  /// σ_ξ(n, m) per eq. (5).
+  double Distance(NodeId n, NodeId m) const {
+    if (partition.ColorOf(n) != partition.ColorOf(m)) return 1.0;
+    return OPlus(weight[n], weight[m]);
+  }
+};
+
+/// Wraps a plain partition with the constant-zero weight function; the
+/// starting point ξ0 = (λ_Hybrid, 0) of Algorithm 2.
+WeightedPartition MakeZeroWeighted(Partition p);
+
+/// Align_θ(ξ) = {(n,m) | λ(n)=λ(m), ω(n) ⊕ ω(m) < θ}, materialized for
+/// tests/small graphs; stops after `limit` pairs.
+std::vector<std::pair<NodeId, NodeId>> EnumerateAlignedPairsWeighted(
+    const CombinedGraph& cg, const WeightedPartition& xi, double theta,
+    size_t limit = SIZE_MAX);
+
+/// Fig. 13-style aligned-class count under the threshold: classes that
+/// contain at least one source/target pair within distance θ.
+size_t CountAlignedClassesWeighted(const CombinedGraph& cg,
+                                   const WeightedPartition& xi, double theta);
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_CORE_WEIGHTED_PARTITION_H_

@@ -1,0 +1,133 @@
+#include "gen/category_gen.h"
+
+#include <algorithm>
+
+#include "gen/textgen.h"
+
+namespace rdfalign::gen {
+
+namespace {
+
+constexpr char kRdfType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+constexpr char kSkosConcept[] =
+    "http://www.w3.org/2004/02/skos/core#Concept";
+constexpr char kSkosBroader[] =
+    "http://www.w3.org/2004/02/skos/core#broader";
+constexpr char kSkosPrefLabel[] =
+    "http://www.w3.org/2004/02/skos/core#prefLabel";
+constexpr char kDctSubject[] = "http://purl.org/dc/terms/subject";
+
+struct Category {
+  uint64_t id;
+  std::string name;      // URI slug; renames change it
+  std::string label;
+  uint64_t parent;       // index into categories, self for roots
+};
+
+struct Article {
+  uint64_t id;
+  std::string title;
+  std::vector<uint64_t> subjects;  // category indices
+};
+
+std::string CategoryUri(const Category& c) {
+  return "http://dbpedia.example/resource/Category:" + c.name + "_" +
+         std::to_string(c.id);
+}
+
+std::string ArticleUri(const Article& a) {
+  return "http://dbpedia.example/resource/" + a.title + "_" +
+         std::to_string(a.id);
+}
+
+}  // namespace
+
+CategoryChain CategoryChain::Generate(const CategoryOptions& options) {
+  CategoryChain chain;
+  chain.dict_ = std::make_shared<rdfalign::Dictionary>();
+  Rng rng(options.seed);
+
+  std::vector<Category> categories;
+  std::vector<Article> articles;
+
+  auto add_category = [&]() {
+    Category c;
+    c.id = categories.size();
+    c.name = RandomName(rng);
+    c.label = c.name + " " + RandomWord(rng, 1, 2);
+    // Preferential attachment: earlier categories are likelier parents.
+    c.parent = categories.empty()
+                   ? c.id
+                   : rng.Uniform(std::max<uint64_t>(1, categories.size()));
+    categories.push_back(std::move(c));
+  };
+  auto add_article = [&]() {
+    Article a;
+    a.id = articles.size();
+    a.title = RandomName(rng) + "_" + RandomWord(rng, 1, 3);
+    const size_t n_subjects = 1 + rng.Uniform(3);
+    for (size_t s = 0; s < n_subjects; ++s) {
+      a.subjects.push_back(rng.Uniform(categories.size()));
+    }
+    std::sort(a.subjects.begin(), a.subjects.end());
+    a.subjects.erase(std::unique(a.subjects.begin(), a.subjects.end()),
+                     a.subjects.end());
+    articles.push_back(std::move(a));
+  };
+
+  for (size_t i = 0; i < options.initial_categories; ++i) add_category();
+  for (size_t i = 0; i < options.initial_articles; ++i) add_article();
+
+  for (size_t v = 0; v < options.versions; ++v) {
+    if (v > 0) {
+      // Growth.
+      const size_t new_categories = static_cast<size_t>(
+          static_cast<double>(categories.size()) * (options.growth - 1.0));
+      const size_t new_articles = static_cast<size_t>(
+          static_cast<double>(articles.size()) * (options.growth - 1.0));
+      for (size_t i = 0; i < new_categories; ++i) add_category();
+      for (size_t i = 0; i < new_articles; ++i) add_article();
+      // Churn: renames (URI changes) and label edits.
+      for (Category& c : categories) {
+        if (rng.Bernoulli(options.rename_rate)) {
+          c.name = RandomName(rng);
+        }
+        if (rng.Bernoulli(options.label_edit_rate)) {
+          c.label = ApplyTypo(c.label, rng);
+        }
+      }
+    }
+
+    rdfalign::GraphBuilder builder(chain.dict_);
+    const rdfalign::NodeId type_p = builder.AddUri(kRdfType);
+    const rdfalign::NodeId concept_node = builder.AddUri(kSkosConcept);
+    const rdfalign::NodeId broader_p = builder.AddUri(kSkosBroader);
+    const rdfalign::NodeId label_p = builder.AddUri(kSkosPrefLabel);
+    const rdfalign::NodeId subject_p = builder.AddUri(kDctSubject);
+
+    std::vector<rdfalign::NodeId> category_nodes(categories.size());
+    for (size_t i = 0; i < categories.size(); ++i) {
+      category_nodes[i] = builder.AddUri(CategoryUri(categories[i]));
+    }
+    for (size_t i = 0; i < categories.size(); ++i) {
+      const Category& c = categories[i];
+      builder.AddTriple(category_nodes[i], type_p, concept_node);
+      builder.AddTriple(category_nodes[i], label_p,
+                        builder.AddLiteral(c.label));
+      if (c.parent != c.id) {
+        builder.AddTriple(category_nodes[i], broader_p,
+                          category_nodes[c.parent]);
+      }
+    }
+    for (const Article& a : articles) {
+      const rdfalign::NodeId art = builder.AddUri(ArticleUri(a));
+      for (uint64_t s : a.subjects) {
+        builder.AddTriple(art, subject_p, category_nodes[s]);
+      }
+    }
+    chain.versions_.push_back(std::move(builder.Build(true)).value());
+  }
+  return chain;
+}
+
+}  // namespace rdfalign::gen

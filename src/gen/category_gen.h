@@ -1,0 +1,52 @@
+// The DBpedia-categories simulation (§5.3; DESIGN.md substitution table).
+//
+// Fig. 16 only needs a *scalability* workload: a chain of progressively
+// growing versions whose alignment cost can be timed. The generator builds
+// a SKOS-style category hierarchy (preferential attachment) plus article
+// categorization edges, growing each version and churning a small fraction
+// of labels/URIs. Scale is a single knob; the default is far below
+// DBpedia's millions of nodes so the whole bench suite stays fast, and
+// benches accept a scale multiplier.
+
+#ifndef RDFALIGN_GEN_CATEGORY_GEN_H_
+#define RDFALIGN_GEN_CATEGORY_GEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "util/random.h"
+
+namespace rdfalign::gen {
+
+/// Generation parameters.
+struct CategoryOptions {
+  size_t initial_categories = 2500;
+  size_t initial_articles = 12000;
+  size_t versions = 6;
+  double growth = 1.11;          ///< per-version node growth factor
+  double label_edit_rate = 0.02; ///< labels touched per version
+  double rename_rate = 0.01;     ///< categories renamed (URI change)
+  uint64_t seed = 5;
+};
+
+/// A generated chain of category-graph versions sharing one dictionary.
+class CategoryChain {
+ public:
+  static CategoryChain Generate(const CategoryOptions& options = {});
+
+  size_t NumVersions() const { return versions_.size(); }
+  const rdfalign::TripleGraph& Version(size_t v) const {
+    return versions_[v];
+  }
+  const std::shared_ptr<rdfalign::Dictionary>& dict() const { return dict_; }
+
+ private:
+  std::shared_ptr<rdfalign::Dictionary> dict_;
+  std::vector<rdfalign::TripleGraph> versions_;
+};
+
+}  // namespace rdfalign::gen
+
+#endif  // RDFALIGN_GEN_CATEGORY_GEN_H_

@@ -1,0 +1,254 @@
+#include "gen/efo_gen.h"
+
+#include <algorithm>
+
+#include "gen/textgen.h"
+
+namespace rdfalign::gen {
+
+namespace {
+
+constexpr char kOldPrefix[] = "http://purl.org/obo/owl/EFO#EFO_";
+constexpr char kNewPrefix[] = "http://purl.obolibrary.org/obo/EFO_";
+
+// Vocabulary predicates/classes (stable across versions, as in real EFO).
+constexpr char kRdfType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+constexpr char kRdfsLabel[] = "http://www.w3.org/2000/01/rdf-schema#label";
+constexpr char kRdfsSubClassOf[] =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+constexpr char kOwlClass[] = "http://www.w3.org/2002/07/owl#Class";
+constexpr char kOwlAxiom[] = "http://www.w3.org/2002/07/owl#Axiom";
+constexpr char kAnnotatedSource[] =
+    "http://www.w3.org/2002/07/owl#annotatedSource";
+constexpr char kAnnotatedProperty[] =
+    "http://www.w3.org/2002/07/owl#annotatedProperty";
+constexpr char kAnnotatedTarget[] =
+    "http://www.w3.org/2002/07/owl#annotatedTarget";
+constexpr char kDefinition[] = "http://purl.obolibrary.org/obo/IAO_0000115";
+constexpr char kHasExactSynonym[] =
+    "http://www.geneontology.org/formats/oboInOwl#hasExactSynonym";
+constexpr char kHasDbXref[] =
+    "http://www.geneontology.org/formats/oboInOwl#hasDbXref";
+constexpr char kDcCreator[] = "http://purl.org/dc/elements/1.1/creator";
+constexpr char kDcDate[] = "http://purl.org/dc/elements/1.1/date";
+constexpr char kHasMetadata[] = "http://efo.example/vocab#hasMetadata";
+
+}  // namespace
+
+std::string EfoChain::ClassUri(const ClassEntity& e, size_t version) const {
+  return (e.MigratedAt(version) ? kNewPrefix : kOldPrefix) +
+         std::to_string(1000000 + e.id);
+}
+
+EfoChain EfoChain::Generate(const EfoOptions& options) {
+  EfoChain chain;
+  chain.options_ = options;
+  chain.dict_ = std::make_shared<rdfalign::Dictionary>();
+  Rng rng(options.seed);
+
+  // --- create the initial entity population -----------------------------
+  auto new_entity = [&](size_t born) {
+    ClassEntity e;
+    e.id = chain.entities_.size();
+    e.label = RandomName(rng) + " " + RandomWord(rng, 2, 3);
+    e.definition = RandomSentence(rng, 8, 18);
+    e.comment = RandomSentence(rng, 5, 12);
+    const size_t syns = 2 + rng.Uniform(3);  // 2-4 synonyms
+    for (size_t s = 0; s < syns; ++s) {
+      e.synonyms.push_back(RandomSentence(rng, 1, 3));
+    }
+    e.born = born;
+    if (!chain.entities_.empty() && rng.Bernoulli(0.85)) {
+      e.parent = chain.entities_[rng.Uniform(chain.entities_.size())].id;
+    }
+    if (rng.Bernoulli(0.35)) {
+      e.has_record = true;
+      e.record_creator = RandomName(rng);
+      e.record_date = std::to_string(2005 + rng.Uniform(20)) + "-" +
+                      std::to_string(1 + rng.Uniform(12));
+    }
+    chain.entities_.push_back(std::move(e));
+  };
+  for (size_t i = 0; i < options.initial_classes; ++i) new_entity(0);
+
+  // --- schedule ontology changes -----------------------------------------
+  {
+    // Big migration batch between big_migration_version and +1.
+    const size_t batch = static_cast<size_t>(
+        static_cast<double>(chain.entities_.size()) *
+        options.big_migration_fraction);
+    std::vector<uint64_t> idx =
+        rng.SampleDistinct(chain.entities_.size(), batch);
+    for (uint64_t i : idx) {
+      chain.entities_[i].migrate_at = options.big_migration_version + 1;
+    }
+    // Hiatus cohort: hidden in [hiatus_start, hiatus_end), reappears
+    // migrated.
+    const size_t hiatus = static_cast<size_t>(
+        static_cast<double>(chain.entities_.size()) *
+        options.hiatus_fraction);
+    std::vector<uint64_t> hidx =
+        rng.SampleDistinct(chain.entities_.size(), hiatus);
+    for (uint64_t i : hidx) {
+      ClassEntity& e = chain.entities_[i];
+      if (e.migrate_at != SIZE_MAX) continue;  // keep cohorts disjoint
+      e.hide_from = options.hiatus_start;
+      e.hide_until = options.hiatus_end;
+      e.migrate_at = options.hiatus_end;
+    }
+  }
+
+  // --- emit versions while evolving ---------------------------------------
+  for (size_t v = 0; v < options.versions; ++v) {
+    if (v > 0) {
+      // Retire some classes.
+      std::vector<size_t> alive;
+      for (size_t i = 0; i < chain.entities_.size(); ++i) {
+        if (chain.entities_[i].AliveAt(v - 1) &&
+            chain.entities_[i].died == SIZE_MAX) {
+          alive.push_back(i);
+        }
+      }
+      const size_t deaths = static_cast<size_t>(
+          static_cast<double>(alive.size()) * options.delete_rate);
+      for (uint64_t k : rng.SampleDistinct(alive.size(), deaths)) {
+        chain.entities_[alive[k]].died = v;
+      }
+      // Insert new classes.
+      const size_t births = static_cast<size_t>(
+          static_cast<double>(alive.size()) * options.insert_rate);
+      for (size_t i = 0; i < births; ++i) new_entity(v);
+      // Edit literals.
+      for (ClassEntity& e : chain.entities_) {
+        if (!e.AliveAt(v)) continue;
+        if (rng.Bernoulli(options.literal_edit_rate)) {
+          switch (rng.Uniform(4)) {
+            case 0:
+              e.label = ApplyTypo(e.label, rng);
+              break;
+            case 1:
+              e.definition = ApplyTypo(e.definition, rng);
+              break;
+            case 2:
+              e.comment = ApplyTypo(e.comment, rng);
+              break;
+            default:
+              if (!e.synonyms.empty()) {
+                auto& syn = e.synonyms[rng.Uniform(e.synonyms.size())];
+                syn = ApplyTypo(syn, rng);
+              }
+          }
+        }
+      }
+    }
+    chain.EmitVersion(v, rng);
+  }
+  return chain;
+}
+
+void EfoChain::EmitVersion(size_t v, Rng& rng) {
+  rdfalign::GraphBuilder builder(dict_);
+  std::unordered_map<uint64_t, rdfalign::NodeId> class_nodes;
+
+  const rdfalign::NodeId type_p = builder.AddUri(kRdfType);
+  const rdfalign::NodeId label_p = builder.AddUri(kRdfsLabel);
+  const rdfalign::NodeId comment_p =
+      builder.AddUri("http://www.w3.org/2000/01/rdf-schema#comment");
+  const rdfalign::NodeId subclass_p = builder.AddUri(kRdfsSubClassOf);
+  const rdfalign::NodeId owl_class = builder.AddUri(kOwlClass);
+  const rdfalign::NodeId owl_axiom = builder.AddUri(kOwlAxiom);
+  const rdfalign::NodeId ann_source = builder.AddUri(kAnnotatedSource);
+  const rdfalign::NodeId ann_property = builder.AddUri(kAnnotatedProperty);
+  const rdfalign::NodeId ann_target = builder.AddUri(kAnnotatedTarget);
+  const rdfalign::NodeId def_p = builder.AddUri(kDefinition);
+  const rdfalign::NodeId synonym_p = builder.AddUri(kHasExactSynonym);
+  const rdfalign::NodeId xref_p = builder.AddUri(kHasDbXref);
+  const rdfalign::NodeId creator_p = builder.AddUri(kDcCreator);
+  const rdfalign::NodeId date_p = builder.AddUri(kDcDate);
+  const rdfalign::NodeId metadata_p = builder.AddUri(kHasMetadata);
+
+  // Per-version blank duplication rate fluctuates (the paper's observed
+  // 7-15% swings in blank counts).
+  const double dup_rate =
+      options_.blank_dup_base +
+      options_.blank_dup_amplitude * rng.UniformReal();
+
+  size_t blank_counter = 0;
+  auto fresh_blank = [&]() {
+    // Local names are version-scoped — they carry no cross-version identity.
+    return builder.AddBlank("b" + std::to_string(blank_counter++));
+  };
+
+  for (const ClassEntity& e : entities_) {
+    if (!e.AliveAt(v)) continue;
+    const rdfalign::NodeId cls = builder.AddUri(ClassUri(e, v));
+    class_nodes[e.id] = cls;
+    builder.AddTriple(cls, type_p, owl_class);
+    builder.AddTriple(cls, label_p, builder.AddLiteral(e.label));
+    builder.AddTriple(cls, def_p, builder.AddLiteral(e.definition));
+    builder.AddTriple(cls, comment_p, builder.AddLiteral(e.comment));
+    if (e.parent != UINT64_MAX) {
+      const ClassEntity& parent = entities_[e.parent];
+      if (parent.AliveAt(v)) {
+        builder.AddTriple(cls, subclass_p,
+                          builder.AddUri(ClassUri(parent, v)));
+      }
+    }
+    for (size_t s = 0; s < e.synonyms.size(); ++s) {
+      const rdfalign::NodeId syn_lit = builder.AddLiteral(e.synonyms[s]);
+      builder.AddTriple(cls, synonym_p, syn_lit);
+      // A stable subset of synonyms carries a reified annotation axiom
+      // (blank record), sometimes duplicated into a bisimilar twin — the
+      // duplication rate fluctuates per version while reification itself is
+      // an entity property (so blank *contents* persist across versions).
+      if ((e.id * 7 + s) % 10 >= 3) continue;
+      const size_t copies = rng.Bernoulli(dup_rate) ? 2 : 1;
+      const std::string xref =
+          "EFO:" + std::to_string(e.id) + "-" + std::to_string(s);
+      for (size_t copy = 0; copy < copies; ++copy) {
+        const rdfalign::NodeId ax = fresh_blank();
+        builder.AddTriple(ax, type_p, owl_axiom);
+        builder.AddTriple(ax, ann_source, cls);
+        builder.AddTriple(ax, ann_property, synonym_p);
+        builder.AddTriple(ax, ann_target, syn_lit);
+        builder.AddTriple(ax, xref_p, builder.AddLiteral(xref));
+      }
+    }
+    if (e.has_record) {
+      const rdfalign::NodeId rec = fresh_blank();
+      builder.AddTriple(cls, metadata_p, rec);
+      builder.AddTriple(rec, creator_p,
+                        builder.AddLiteral(e.record_creator));
+      builder.AddTriple(rec, date_p, builder.AddLiteral(e.record_date));
+    }
+  }
+
+  auto graph = builder.Build(/*validate_rdf=*/true);
+  // Generation cannot produce invalid RDF; surface violations loudly in
+  // debug builds.
+  versions_.push_back(std::move(graph).value());
+  class_nodes_.push_back(std::move(class_nodes));
+}
+
+GroundTruth EfoChain::ClassGroundTruth(size_t v1, size_t v2) const {
+  GroundTruth gt;
+  for (const ClassEntity& e : entities_) {
+    if (!e.AliveAt(v1) || !e.AliveAt(v2)) continue;
+    auto it1 = class_nodes_[v1].find(e.id);
+    auto it2 = class_nodes_[v2].find(e.id);
+    if (it1 != class_nodes_[v1].end() && it2 != class_nodes_[v2].end()) {
+      gt.AddPair(it1->second, it2->second);
+    }
+  }
+  return gt;
+}
+
+size_t EfoChain::AliveClasses(size_t v) const {
+  size_t count = 0;
+  for (const ClassEntity& e : entities_) {
+    if (e.AliveAt(v)) ++count;
+  }
+  return count;
+}
+
+}  // namespace rdfalign::gen

@@ -1,0 +1,101 @@
+#include "gen/ground_truth.h"
+
+namespace rdfalign::gen {
+
+using rdfalign::ColorId;
+using rdfalign::CombinedGraph;
+using rdfalign::NodeId;
+using rdfalign::Partition;
+
+PrecisionStats EvaluatePrecision(const CombinedGraph& cg, const Partition& p,
+                                 const GroundTruth& gt,
+                                 bool non_literals_only) {
+  // Per class: how many members on each side.
+  std::vector<uint32_t> source_count(p.NumColors(), 0);
+  std::vector<uint32_t> target_count(p.NumColors(), 0);
+  for (NodeId n = 0; n < p.NumNodes(); ++n) {
+    if (cg.InSource(n)) {
+      ++source_count[p.ColorOf(n)];
+    } else {
+      ++target_count[p.ColorOf(n)];
+    }
+  }
+
+  const rdfalign::TripleGraph& g = cg.graph();
+  PrecisionStats stats;
+
+  auto classify = [&](NodeId node_combined, NodeId partner_combined,
+                      uint32_t opposite_count) {
+    ++stats.evaluated;
+    const bool has_partner = partner_combined != rdfalign::kInvalidNode;
+    const bool aligned = opposite_count > 0;
+    if (!has_partner) {
+      aligned ? ++stats.false_matches : ++stats.true_negatives;
+      return;
+    }
+    if (!aligned) {
+      ++stats.missing;
+      return;
+    }
+    const bool partner_in_class =
+        p.ColorOf(partner_combined) == p.ColorOf(node_combined);
+    if (!partner_in_class) {
+      ++stats.missing;
+    } else if (opposite_count == 1) {
+      ++stats.exact;
+    } else {
+      ++stats.inclusive;
+    }
+  };
+
+  for (NodeId n = 0; n < p.NumNodes(); ++n) {
+    if (non_literals_only && g.IsLiteral(n)) continue;
+    if (cg.InSource(n)) {
+      NodeId partner = gt.TargetOf(cg.ToLocal(n));
+      classify(n,
+               partner == rdfalign::kInvalidNode ? rdfalign::kInvalidNode
+                                                 : cg.FromTarget(partner),
+               target_count[p.ColorOf(n)]);
+    } else {
+      NodeId partner = gt.SourceOf(cg.ToLocal(n));
+      classify(n,
+               partner == rdfalign::kInvalidNode ? rdfalign::kInvalidNode
+                                                 : cg.FromSource(partner),
+               source_count[p.ColorOf(n)]);
+    }
+  }
+  return stats;
+}
+
+PrecisionStats EvaluatePrecisionCovered(const CombinedGraph& cg,
+                                        const Partition& p,
+                                        const GroundTruth& gt) {
+  std::vector<uint32_t> source_count(p.NumColors(), 0);
+  std::vector<uint32_t> target_count(p.NumColors(), 0);
+  for (NodeId n = 0; n < p.NumNodes(); ++n) {
+    if (cg.InSource(n)) {
+      ++source_count[p.ColorOf(n)];
+    } else {
+      ++target_count[p.ColorOf(n)];
+    }
+  }
+  PrecisionStats stats;
+  for (const auto& [a, b] : gt.pairs()) {
+    NodeId n = cg.FromSource(a);
+    NodeId m = cg.FromTarget(b);
+    ++stats.evaluated;
+    if (target_count[p.ColorOf(n)] == 0) {
+      ++stats.missing;
+    } else if (p.ColorOf(n) != p.ColorOf(m)) {
+      ++stats.missing;
+    } else if (target_count[p.ColorOf(n)] == 1 &&
+               source_count[p.ColorOf(m)] == 1) {
+      ++stats.exact;
+    } else {
+      ++stats.inclusive;
+    }
+  }
+  return stats;
+}
+
+}  // namespace rdfalign::gen

@@ -1,0 +1,91 @@
+// Ground-truth alignments and the precision metrics of Fig. 14.
+//
+// The GtoPdb experiment's ground truth maps nodes across versions by
+// (table, persistent key); an alignment is then scored per node as
+//   exact     — aligned to exactly the ground-truth partner,
+//   inclusive — aligned to a set properly including the partner,
+//   missing   — the partner is not in the aligned set,
+//   false     — aligned to a nonempty set though the truth aligns nothing.
+
+#ifndef RDFALIGN_GEN_GROUND_TRUTH_H_
+#define RDFALIGN_GEN_GROUND_TRUTH_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/partition.h"
+#include "rdf/merge.h"
+
+namespace rdfalign::gen {
+
+/// A (partial) one-to-one correspondence between the node sets of two
+/// versions, stored with graph-local ids.
+class GroundTruth {
+ public:
+  /// Records that source-graph node `a` and target-graph node `b` are the
+  /// same entity.
+  void AddPair(rdfalign::NodeId a, rdfalign::NodeId b) {
+    source_to_target_.emplace(a, b);
+    target_to_source_.emplace(b, a);
+    pairs_.emplace_back(a, b);
+  }
+
+  size_t NumPairs() const { return pairs_.size(); }
+
+  /// kInvalidNode when the node has no partner.
+  rdfalign::NodeId TargetOf(rdfalign::NodeId a) const {
+    auto it = source_to_target_.find(a);
+    return it == source_to_target_.end() ? rdfalign::kInvalidNode
+                                         : it->second;
+  }
+  rdfalign::NodeId SourceOf(rdfalign::NodeId b) const {
+    auto it = target_to_source_.find(b);
+    return it == target_to_source_.end() ? rdfalign::kInvalidNode
+                                         : it->second;
+  }
+
+  const std::vector<std::pair<rdfalign::NodeId, rdfalign::NodeId>>& pairs()
+      const {
+    return pairs_;
+  }
+
+ private:
+  std::unordered_map<rdfalign::NodeId, rdfalign::NodeId> source_to_target_;
+  std::unordered_map<rdfalign::NodeId, rdfalign::NodeId> target_to_source_;
+  std::vector<std::pair<rdfalign::NodeId, rdfalign::NodeId>> pairs_;
+};
+
+/// Per-node match categories (counted over the nodes of both versions).
+struct PrecisionStats {
+  size_t exact = 0;
+  size_t inclusive = 0;
+  size_t missing = 0;
+  size_t false_matches = 0;
+  size_t true_negatives = 0;  ///< unaligned and truly new/removed
+  size_t evaluated = 0;
+
+  double ExactRate() const {
+    return evaluated == 0 ? 0 : static_cast<double>(exact) / evaluated;
+  }
+};
+
+/// Scores a partition-based alignment against the ground truth. Literal
+/// nodes are skipped by default (they are aligned by label equality and the
+/// ground truth tracks entities).
+PrecisionStats EvaluatePrecision(const rdfalign::CombinedGraph& cg,
+                                 const rdfalign::Partition& p,
+                                 const GroundTruth& gt,
+                                 bool non_literals_only = true);
+
+/// As EvaluatePrecision, but only over nodes the ground truth covers —
+/// appropriate when the truth is deliberately partial (e.g. the EFO chain
+/// tracks class URIs but not axiom blanks), where uncovered-but-aligned
+/// nodes must not count as false matches.
+PrecisionStats EvaluatePrecisionCovered(const rdfalign::CombinedGraph& cg,
+                                        const rdfalign::Partition& p,
+                                        const GroundTruth& gt);
+
+}  // namespace rdfalign::gen
+
+#endif  // RDFALIGN_GEN_GROUND_TRUTH_H_

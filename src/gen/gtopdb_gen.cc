@@ -1,0 +1,311 @@
+#include "gen/gtopdb_gen.h"
+
+#include <algorithm>
+
+#include "gen/textgen.h"
+
+namespace rdfalign::gen {
+
+using relational::ColumnDef;
+using relational::ColumnType;
+using relational::Database;
+using relational::DirectMappingOptions;
+using relational::ForeignKey;
+using relational::Null;
+using relational::Row;
+using relational::Table;
+using relational::TableSchema;
+using relational::Value;
+
+namespace {
+
+TableSchema LigandSchema() {
+  return TableSchema{
+      .name = "ligand",
+      .columns = {{"ligand_id", ColumnType::kInteger, false},
+                  {"name", ColumnType::kText, false},
+                  {"type", ColumnType::kText, false},
+                  {"approved", ColumnType::kInteger, false},
+                  {"comment", ColumnType::kText, true}},
+      .primary_key = 0,
+      .foreign_keys = {}};
+}
+
+TableSchema TargetSchema() {
+  return TableSchema{
+      .name = "target",
+      .columns = {{"target_id", ColumnType::kInteger, false},
+                  {"name", ColumnType::kText, false},
+                  {"family", ColumnType::kText, false},
+                  {"species", ColumnType::kText, false}},
+      .primary_key = 0,
+      .foreign_keys = {}};
+}
+
+TableSchema InteractionSchema() {
+  return TableSchema{
+      .name = "interaction",
+      .columns = {{"interaction_id", ColumnType::kInteger, false},
+                  {"ligand_id", ColumnType::kInteger, false},
+                  {"target_id", ColumnType::kInteger, false},
+                  {"affinity", ColumnType::kReal, true},
+                  {"units", ColumnType::kText, true},
+                  {"action", ColumnType::kText, false}},
+      .primary_key = 0,
+      .foreign_keys = {{1, "ligand"}, {2, "target"}}};
+}
+
+TableSchema ReferenceSchema() {
+  return TableSchema{
+      .name = "reference",
+      .columns = {{"reference_id", ColumnType::kInteger, false},
+                  {"title", ColumnType::kText, false},
+                  {"journal", ColumnType::kText, false},
+                  {"year", ColumnType::kInteger, false}},
+      .primary_key = 0,
+      .foreign_keys = {}};
+}
+
+TableSchema InteractionRefSchema() {
+  return TableSchema{
+      .name = "interaction_ref",
+      .columns = {{"link_id", ColumnType::kInteger, false},
+                  {"interaction_id", ColumnType::kInteger, false},
+                  {"reference_id", ColumnType::kInteger, false}},
+      .primary_key = 0,
+      .foreign_keys = {{1, "interaction"}, {2, "reference"}}};
+}
+
+const char* kLigandTypes[] = {"Synthetic organic", "Peptide", "Antibody",
+                              "Natural product", "Inorganic"};
+const char* kFamilies[] = {"GPCR", "Ion channel", "Kinase", "Transporter",
+                           "Nuclear receptor", "Enzyme"};
+const char* kSpecies[] = {"Human", "Mouse", "Rat"};
+const char* kActions[] = {"Agonist", "Antagonist", "Inhibitor",
+                          "Activator", "Modulator"};
+const char* kUnits[] = {"pKi", "pIC50", "pEC50", "pKd"};
+const char* kJournals[] = {"Br J Pharmacol", "Nucleic Acids Res",
+                           "Mol Pharmacol", "J Med Chem"};
+
+template <size_t N>
+std::string Pick(Rng& rng, const char* const (&arr)[N]) {
+  return arr[rng.Uniform(N)];
+}
+
+void InsertLigand(Database& db, int64_t key, Rng& rng) {
+  Row row{key, Value{RandomName(rng)}, Value{Pick(rng, kLigandTypes)},
+          Value{static_cast<int64_t>(rng.Uniform(2))},
+          rng.Bernoulli(0.6) ? Value{RandomSentence(rng, 4, 12)}
+                             : Value{Null{}}};
+  db.Insert("ligand", std::move(row)).ok();
+}
+
+void InsertTarget(Database& db, int64_t key, Rng& rng) {
+  Row row{key, Value{RandomName(rng) + " receptor"},
+          Value{Pick(rng, kFamilies)}, Value{Pick(rng, kSpecies)}};
+  db.Insert("target", std::move(row)).ok();
+}
+
+void InsertReference(Database& db, int64_t key, Rng& rng) {
+  Row row{key, Value{RandomSentence(rng, 5, 11)}, Value{Pick(rng, kJournals)},
+          Value{static_cast<int64_t>(1990 + rng.Uniform(35))}};
+  db.Insert("reference", std::move(row)).ok();
+}
+
+bool InsertInteraction(Database& db, int64_t key, Rng& rng) {
+  std::vector<int64_t> ligands = db.GetTable("ligand")->Keys();
+  std::vector<int64_t> targets = db.GetTable("target")->Keys();
+  if (ligands.empty() || targets.empty()) return false;
+  Row row{key,
+          Value{ligands[rng.Uniform(ligands.size())]},
+          Value{targets[rng.Uniform(targets.size())]},
+          Value{4.0 + rng.UniformReal() * 6.0},
+          Value{Pick(rng, kUnits)},
+          Value{Pick(rng, kActions)}};
+  return db.Insert("interaction", std::move(row)).ok();
+}
+
+bool InsertInteractionRef(Database& db, int64_t key, Rng& rng) {
+  std::vector<int64_t> interactions = db.GetTable("interaction")->Keys();
+  std::vector<int64_t> refs = db.GetTable("reference")->Keys();
+  if (interactions.empty() || refs.empty()) return false;
+  Row row{key, Value{interactions[rng.Uniform(interactions.size())]},
+          Value{refs[rng.Uniform(refs.size())]}};
+  return db.Insert("interaction_ref", std::move(row)).ok();
+}
+
+Database MakeBaseDatabase(const GtoPdbOptions& options, Rng& rng) {
+  Database db;
+  db.CreateTable(LigandSchema()).ok();
+  db.CreateTable(TargetSchema()).ok();
+  db.CreateTable(InteractionSchema()).ok();
+  db.CreateTable(ReferenceSchema()).ok();
+  db.CreateTable(InteractionRefSchema()).ok();
+
+  const size_t ligands = options.num_ligands;
+  const size_t targets = std::max<size_t>(1, ligands / 3);
+  const size_t references = std::max<size_t>(1, ligands / 2);
+  const size_t interactions = ligands + ligands / 2;
+  const size_t links = interactions;
+
+  for (size_t i = 1; i <= ligands; ++i) {
+    InsertLigand(db, static_cast<int64_t>(i), rng);
+  }
+  for (size_t i = 1; i <= targets; ++i) {
+    InsertTarget(db, static_cast<int64_t>(i), rng);
+  }
+  for (size_t i = 1; i <= references; ++i) {
+    InsertReference(db, static_cast<int64_t>(i), rng);
+  }
+  for (size_t i = 1; i <= interactions; ++i) {
+    InsertInteraction(db, static_cast<int64_t>(i), rng);
+  }
+  for (size_t i = 1; i <= links; ++i) {
+    InsertInteractionRef(db, static_cast<int64_t>(i), rng);
+  }
+  return db;
+}
+
+}  // namespace
+
+void EvolveGtoPdb(Database& db, const GtoPdbEvolveRates& rates, Rng& rng) {
+  // Deletions first (cascade), over the entity tables.
+  for (const char* table : {"ligand", "target", "reference"}) {
+    std::vector<int64_t> keys = db.GetTable(table)->Keys();
+    const size_t doomed = static_cast<size_t>(
+        static_cast<double>(keys.size()) * rates.delete_rate);
+    for (uint64_t idx : rng.SampleDistinct(keys.size(),
+                                           std::min(doomed, keys.size()))) {
+      db.DeleteCascade(table, keys[idx]).ok();
+    }
+  }
+
+  // Literal edits: typos in text cells, jitter in numeric cells.
+  for (relational::Table& table : db.tables()) {
+    const TableSchema& schema = table.schema();
+    std::vector<int64_t> keys = table.Keys();
+    for (int64_t key : keys) {
+      const Row* row = table.Find(key);
+      for (size_t c = 0; c < schema.columns.size(); ++c) {
+        if (c == schema.primary_key || schema.IsForeignKeyColumn(c)) continue;
+        const Value& cell = (*row)[c];
+        if (IsNull(cell)) continue;
+        if (schema.columns[c].type == ColumnType::kText &&
+            rng.Bernoulli(rates.text_edit_rate)) {
+          table
+              .UpdateCell(key, c,
+                          Value{ApplyTypo(std::get<std::string>(cell), rng)})
+              .ok();
+          row = table.Find(key);
+        } else if (schema.columns[c].type == ColumnType::kReal &&
+                   std::holds_alternative<double>(cell) &&
+                   rng.Bernoulli(rates.numeric_edit_rate)) {
+          table
+              .UpdateCell(key, c,
+                          Value{std::get<double>(cell) +
+                                (rng.UniformReal() - 0.5) * 0.2})
+              .ok();
+          row = table.Find(key);
+        }
+      }
+    }
+  }
+
+  // Insertions, respecting FK order. New keys continue beyond MaxKey so
+  // keys stay persistent.
+  auto grow = [&](const char* table, auto&& insert_fn) {
+    Table* t = db.GetTable(table);
+    const size_t additions = static_cast<size_t>(
+        static_cast<double>(t->NumRows()) * rates.insert_rate);
+    int64_t next = t->MaxKey() + 1;
+    for (size_t i = 0; i < additions; ++i) {
+      insert_fn(db, next++, rng);
+    }
+  };
+  grow("ligand", [](Database& d, int64_t k, Rng& r) { InsertLigand(d, k, r); });
+  grow("target", [](Database& d, int64_t k, Rng& r) { InsertTarget(d, k, r); });
+  grow("reference",
+       [](Database& d, int64_t k, Rng& r) { InsertReference(d, k, r); });
+  grow("interaction",
+       [](Database& d, int64_t k, Rng& r) { InsertInteraction(d, k, r); });
+  grow("interaction_ref",
+       [](Database& d, int64_t k, Rng& r) { InsertInteractionRef(d, k, r); });
+}
+
+GtoPdbChain GenerateGtoPdbChain(const GtoPdbOptions& options) {
+  Rng rng(options.seed);
+  GtoPdbChain chain;
+  chain.versions.push_back(MakeBaseDatabase(options, rng));
+  for (size_t v = 1; v < options.versions; ++v) {
+    Database next = chain.versions.back();
+    GtoPdbEvolveRates rates = options.rates;
+    if (options.churn_burst_version != 0 &&
+        v == options.churn_burst_version) {
+      rates.insert_rate *= 4.0;  // the paper's high-churn 3->4 transition
+      rates.delete_rate *= 2.0;
+    }
+    EvolveGtoPdb(next, rates, rng);
+    chain.versions.push_back(std::move(next));
+  }
+  return chain;
+}
+
+std::string GtoPdbVersionPrefix(size_t version) {
+  return "http://gtopdb.example/ver" + std::to_string(version + 1) + "/";
+}
+
+Result<rdfalign::TripleGraph> ExportGtoPdbVersion(
+    const Database& db, size_t version,
+    std::shared_ptr<rdfalign::Dictionary> dict) {
+  DirectMappingOptions options;
+  options.base_uri = GtoPdbVersionPrefix(version);
+  return relational::ExportDirectMapping(db, options, std::move(dict));
+}
+
+GroundTruth RelationalGroundTruth(const Database& db1,
+                                  const rdfalign::TripleGraph& g1,
+                                  size_t version1, const Database& db2,
+                                  const rdfalign::TripleGraph& g2,
+                                  size_t version2) {
+  DirectMappingOptions opt1;
+  opt1.base_uri = GtoPdbVersionPrefix(version1);
+  DirectMappingOptions opt2;
+  opt2.base_uri = GtoPdbVersionPrefix(version2);
+
+  GroundTruth gt;
+  auto add_if_present = [&](const std::string& uri1,
+                            const std::string& uri2) {
+    rdfalign::NodeId a = g1.FindUri(uri1);
+    rdfalign::NodeId b = g2.FindUri(uri2);
+    if (a != rdfalign::kInvalidNode && b != rdfalign::kInvalidNode) {
+      gt.AddPair(a, b);
+    }
+  };
+
+  for (const Table& t1 : db1.tables()) {
+    const Table* t2 = db2.GetTable(t1.schema().name);
+    if (t2 == nullptr) continue;
+    const TableSchema& s1 = t1.schema();
+    const TableSchema& s2 = t2->schema();
+    // Schema objects: type node and per-column predicates.
+    add_if_present(TableTypeUri(opt1, s1), TableTypeUri(opt2, s2));
+    for (size_t c = 0; c < s1.columns.size(); ++c) {
+      if (c == s1.primary_key) continue;
+      if (s1.IsForeignKeyColumn(c)) {
+        add_if_present(RefPredicateUri(opt1, s1, c),
+                       RefPredicateUri(opt2, s2, c));
+      } else {
+        add_if_present(ColumnPredicateUri(opt1, s1, c),
+                       ColumnPredicateUri(opt2, s2, c));
+      }
+    }
+    // Tuples by persistent key.
+    for (int64_t key : t1.Keys()) {
+      if (t2->Find(key) == nullptr) continue;
+      add_if_present(RowUri(opt1, s1, key), RowUri(opt2, s2, key));
+    }
+  }
+  return gt;
+}
+
+}  // namespace rdfalign::gen

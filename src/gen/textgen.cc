@@ -1,0 +1,92 @@
+#include "gen/textgen.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace rdfalign::gen {
+
+namespace {
+
+constexpr const char* kOnsets[] = {"b",  "c",  "d",  "f",  "g",  "k",
+                                   "l",  "m",  "n",  "p",  "r",  "s",
+                                   "t",  "v",  "z",  "br", "cl", "dr",
+                                   "gl", "pr", "st", "tr", "th", "ph"};
+constexpr const char* kNuclei[] = {"a", "e", "i", "o", "u", "ae", "ia", "io"};
+constexpr const char* kCodas[] = {"",  "",  "n", "r", "s",  "l",
+                                  "x", "m", "t", "d", "ne", "ze"};
+
+template <size_t N>
+const char* Pick(Rng& rng, const char* const (&arr)[N]) {
+  return arr[rng.Uniform(N)];
+}
+
+}  // namespace
+
+std::string RandomWord(Rng& rng, size_t min_syllables, size_t max_syllables) {
+  const size_t syllables =
+      min_syllables +
+      rng.Uniform(max_syllables - min_syllables + 1);
+  std::string out;
+  for (size_t i = 0; i < syllables; ++i) {
+    out += Pick(rng, kOnsets);
+    out += Pick(rng, kNuclei);
+    if (i + 1 == syllables || rng.Bernoulli(0.35)) {
+      out += Pick(rng, kCodas);
+    }
+  }
+  return out;
+}
+
+std::string RandomName(Rng& rng) {
+  std::string w = RandomWord(rng, 2, 4);
+  w[0] = static_cast<char>(w[0] - 'a' + 'A');
+  return w;
+}
+
+std::string RandomSentence(Rng& rng, size_t min_words, size_t max_words) {
+  const size_t n = min_words + rng.Uniform(max_words - min_words + 1);
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ' ';
+    out += RandomWord(rng, 1, 3);
+  }
+  return out;
+}
+
+std::string ApplyTypo(const std::string& s, Rng& rng) {
+  std::string out = s;
+  if (out.empty()) {
+    out.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    return out;
+  }
+  const uint64_t op = rng.Uniform(4);
+  const size_t pos = rng.Uniform(out.size());
+  const char c = static_cast<char>('a' + rng.Uniform(26));
+  switch (op) {
+    case 0:  // insert
+      out.insert(out.begin() + static_cast<ptrdiff_t>(pos), c);
+      break;
+    case 1:  // delete
+      out.erase(out.begin() + static_cast<ptrdiff_t>(pos));
+      break;
+    case 2:  // substitute
+      out[pos] = c;
+      break;
+    case 3:  // adjacent swap
+      if (out.size() >= 2) {
+        size_t p = pos + 1 < out.size() ? pos : pos - 1;
+        std::swap(out[p], out[p + 1]);
+      } else {
+        out[pos] = c;
+      }
+      break;
+  }
+  return out;
+}
+
+std::string ApplyTypos(std::string s, size_t n, Rng& rng) {
+  for (size_t i = 0; i < n; ++i) s = ApplyTypo(s, rng);
+  return s;
+}
+
+}  // namespace rdfalign::gen

@@ -1,0 +1,33 @@
+// Deterministic synthetic text: pronounceable words, names, sentences, and
+// typo edits — the literal content of the simulated datasets and the "small
+// changes in the data values" the paper's similarity methods must absorb.
+
+#ifndef RDFALIGN_GEN_TEXTGEN_H_
+#define RDFALIGN_GEN_TEXTGEN_H_
+
+#include <string>
+
+#include "util/random.h"
+
+namespace rdfalign::gen {
+
+/// A pronounceable lowercase word of `min_syllables`..`max_syllables`.
+std::string RandomWord(Rng& rng, size_t min_syllables = 2,
+                       size_t max_syllables = 4);
+
+/// A capitalized name ("Veltrazine").
+std::string RandomName(Rng& rng);
+
+/// A space-separated sentence of `min_words`..`max_words` words.
+std::string RandomSentence(Rng& rng, size_t min_words, size_t max_words);
+
+/// Applies one small random edit (insert / delete / substitute a character,
+/// or swap two adjacent characters) — a typo. Empty strings gain one char.
+std::string ApplyTypo(const std::string& s, Rng& rng);
+
+/// Applies `n` typos.
+std::string ApplyTypos(std::string s, size_t n, Rng& rng);
+
+}  // namespace rdfalign::gen
+
+#endif  // RDFALIGN_GEN_TEXTGEN_H_

@@ -1,0 +1,225 @@
+#include "parser/ntriples_parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace rdfalign {
+
+namespace {
+
+/// Cursor over one line of N-Triples input.
+class LineCursor {
+ public:
+  LineCursor(std::string_view line, size_t line_no)
+      : line_(line), line_no_(line_no) {}
+
+  void SkipWs() {
+    while (pos_ < line_.size() &&
+           (line_[pos_] == ' ' || line_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= line_.size(); }
+  char Peek() const { return line_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Status Error(std::string msg) const {
+    return Status::ParseError("line " + std::to_string(line_no_) + ", col " +
+                              std::to_string(pos_ + 1) + ": " +
+                              std::move(msg));
+  }
+
+  /// Parses `<...>`; returns the IRI body unescaped.
+  Result<std::string> ParseIriRef() {
+    if (AtEnd() || Peek() != '<') return Error("expected '<'");
+    Advance();
+    std::string raw;
+    while (!AtEnd() && Peek() != '>') {
+      raw.push_back(Peek());
+      Advance();
+    }
+    if (AtEnd()) return Error("unterminated IRI");
+    Advance();  // consume '>'
+    std::string out;
+    if (!UnescapeNTriplesString(raw, &out)) {
+      return Error("bad escape in IRI <" + raw + ">");
+    }
+    return out;
+  }
+
+  /// Parses `_:label`.
+  Result<std::string> ParseBlankLabel() {
+    if (AtEnd() || Peek() != '_') return Error("expected '_:'");
+    Advance();
+    if (AtEnd() || Peek() != ':') return Error("expected ':' after '_'");
+    Advance();
+    std::string label;
+    while (!AtEnd() && !IsWs(Peek()) && Peek() != '.') {
+      label.push_back(Peek());
+      Advance();
+    }
+    if (label.empty()) return Error("empty blank node label");
+    return label;
+  }
+
+  /// Parses `"..."` with optional `@lang` or `^^<datatype>`; folds the
+  /// suffix into the returned label string.
+  Result<std::string> ParseLiteral() {
+    if (AtEnd() || Peek() != '"') return Error("expected '\"'");
+    Advance();
+    std::string raw;
+    bool closed = false;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '\\') {
+        raw.push_back(c);
+        Advance();
+        if (AtEnd()) return Error("dangling backslash in literal");
+        raw.push_back(Peek());
+        Advance();
+        continue;
+      }
+      if (c == '"') {
+        closed = true;
+        Advance();
+        break;
+      }
+      raw.push_back(c);
+      Advance();
+    }
+    if (!closed) return Error("unterminated literal");
+    std::string value;
+    if (!UnescapeNTriplesString(raw, &value)) {
+      return Error("bad escape in literal");
+    }
+    // Optional language tag or datatype; folded into the label (see header).
+    if (!AtEnd() && Peek() == '@') {
+      std::string tag;
+      tag.push_back('@');
+      Advance();
+      while (!AtEnd() && !IsWs(Peek()) && Peek() != '.') {
+        tag.push_back(Peek());
+        Advance();
+      }
+      if (tag.size() == 1) return Error("empty language tag");
+      value += tag;
+    } else if (!AtEnd() && Peek() == '^') {
+      Advance();
+      if (AtEnd() || Peek() != '^') return Error("expected '^^'");
+      Advance();
+      RDFALIGN_ASSIGN_OR_RETURN(std::string dt, ParseIriRef());
+      value += "^^<" + dt + ">";
+    }
+    return value;
+  }
+
+  static bool IsWs(char c) { return c == ' ' || c == '\t'; }
+
+ private:
+  std::string_view line_;
+  size_t line_no_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TripleGraph> ParseNTriplesString(std::string_view text,
+                                        std::shared_ptr<Dictionary> dict,
+                                        NTriplesParseStats* stats) {
+  GraphBuilder builder(std::move(dict));
+  NTriplesParseStats local;
+
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view line = (nl == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    start = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    ++local.lines;
+
+    LineCursor cur(line, line_no);
+    cur.SkipWs();
+    if (cur.AtEnd()) continue;
+    if (cur.Peek() == '#') {
+      ++local.comments;
+      continue;
+    }
+
+    // Subject: IRI or blank node.
+    NodeId s;
+    if (cur.Peek() == '<') {
+      RDFALIGN_ASSIGN_OR_RETURN(std::string iri, cur.ParseIriRef());
+      s = builder.AddUri(iri);
+    } else if (cur.Peek() == '_') {
+      RDFALIGN_ASSIGN_OR_RETURN(std::string label, cur.ParseBlankLabel());
+      s = builder.AddBlank(label);
+    } else {
+      return cur.Error("subject must be an IRI or blank node");
+    }
+
+    cur.SkipWs();
+    if (cur.AtEnd() || cur.Peek() != '<') {
+      return cur.Error("predicate must be an IRI");
+    }
+    RDFALIGN_ASSIGN_OR_RETURN(std::string pred, cur.ParseIriRef());
+    NodeId p = builder.AddUri(pred);
+
+    cur.SkipWs();
+    if (cur.AtEnd()) return cur.Error("missing object");
+    NodeId o;
+    if (cur.Peek() == '<') {
+      RDFALIGN_ASSIGN_OR_RETURN(std::string iri, cur.ParseIriRef());
+      o = builder.AddUri(iri);
+    } else if (cur.Peek() == '_') {
+      RDFALIGN_ASSIGN_OR_RETURN(std::string label, cur.ParseBlankLabel());
+      o = builder.AddBlank(label);
+    } else if (cur.Peek() == '"') {
+      RDFALIGN_ASSIGN_OR_RETURN(std::string lit, cur.ParseLiteral());
+      o = builder.AddLiteral(lit);
+    } else {
+      return cur.Error("object must be an IRI, blank node, or literal");
+    }
+
+    cur.SkipWs();
+    if (cur.AtEnd() || cur.Peek() != '.') {
+      return cur.Error("expected '.' terminating the triple");
+    }
+    cur.Advance();
+    cur.SkipWs();
+    if (!cur.AtEnd() && cur.Peek() == '#') {
+      ++local.comments;
+    } else if (!cur.AtEnd()) {
+      return cur.Error("trailing content after '.'");
+    }
+
+    builder.AddTriple(s, p, o);
+    ++local.triples;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return builder.Build(/*validate_rdf=*/true);
+}
+
+Result<TripleGraph> ParseNTriplesFile(const std::string& path,
+                                      std::shared_ptr<Dictionary> dict,
+                                      NTriplesParseStats* stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("error reading file: " + path);
+  }
+  return ParseNTriplesString(buf.str(), std::move(dict), stats);
+}
+
+}  // namespace rdfalign

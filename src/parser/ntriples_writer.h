@@ -1,0 +1,27 @@
+// N-Triples serialization (canonical form, one triple per line, sorted).
+
+#ifndef RDFALIGN_PARSER_NTRIPLES_WRITER_H_
+#define RDFALIGN_PARSER_NTRIPLES_WRITER_H_
+
+#include <ostream>
+#include <string>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rdfalign {
+
+/// Writes the graph as N-Triples. Blank nodes are emitted as `_:<local>`
+/// using their per-graph local names; literals are escaped. Triples come
+/// out in the graph's canonical (sorted, deduplicated) order.
+Status WriteNTriples(const TripleGraph& g, std::ostream& out);
+
+/// Serializes to a string (convenience for tests and small graphs).
+std::string NTriplesToString(const TripleGraph& g);
+
+/// Writes to a file.
+Status WriteNTriplesFile(const TripleGraph& g, const std::string& path);
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_PARSER_NTRIPLES_WRITER_H_

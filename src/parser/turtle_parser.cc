@@ -1,0 +1,455 @@
+#include "parser/turtle_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace rdfalign {
+
+namespace {
+
+/// Recursive-descent parser over the whole document (Turtle is not
+/// line-oriented).
+class TurtleParser {
+ public:
+  TurtleParser(std::string_view text, std::shared_ptr<Dictionary> dict)
+      : text_(text), builder_(std::move(dict)) {}
+
+  Result<TripleGraph> Parse() {
+    while (true) {
+      SkipWsAndComments();
+      if (AtEnd()) break;
+      RDFALIGN_RETURN_IF_ERROR(ParseStatement());
+    }
+    return builder_.Build(/*validate_rdf=*/true);
+  }
+
+ private:
+  // --- character-level helpers -------------------------------------------
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < text_.size() ? text_[pos_ + off] : '\0';
+  }
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void SkipWsAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Error(std::string msg) const {
+    return Status::ParseError("line " + std::to_string(line_) + ", col " +
+                              std::to_string(col_) + ": " + std::move(msg));
+  }
+
+  bool ConsumeChar(char c) {
+    if (!AtEnd() && Peek() == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  /// Case-insensitive keyword match at the cursor, followed by a
+  /// non-name character.
+  bool ConsumeKeyword(std::string_view kw) {
+    if (pos_ + kw.size() > text_.size()) return false;
+    for (size_t i = 0; i < kw.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::tolower(static_cast<unsigned char>(kw[i]))) {
+        return false;
+      }
+    }
+    char next = PeekAt(kw.size());
+    if (std::isalnum(static_cast<unsigned char>(next)) || next == '_') {
+      return false;
+    }
+    for (size_t i = 0; i < kw.size(); ++i) Advance();
+    return true;
+  }
+
+  // --- grammar ------------------------------------------------------------
+
+  Status ParseStatement() {
+    if (Peek() == '@') {
+      Advance();
+      if (ConsumeKeyword("prefix")) {
+        RDFALIGN_RETURN_IF_ERROR(ParsePrefixDecl());
+        SkipWsAndComments();
+        if (!ConsumeChar('.')) return Error("expected '.' after @prefix");
+        return Status::OK();
+      }
+      if (ConsumeKeyword("base")) {
+        RDFALIGN_RETURN_IF_ERROR(ParseBaseDecl());
+        SkipWsAndComments();
+        if (!ConsumeChar('.')) return Error("expected '.' after @base");
+        return Status::OK();
+      }
+      return Error("unknown @-directive");
+    }
+    // SPARQL-style directives (no trailing dot).
+    if ((Peek() == 'p' || Peek() == 'P') && ConsumeKeyword("prefix")) {
+      return ParsePrefixDecl();
+    }
+    if ((Peek() == 'b' || Peek() == 'B') && ConsumeKeyword("base")) {
+      return ParseBaseDecl();
+    }
+    return ParseTriples();
+  }
+
+  Status ParsePrefixDecl() {
+    SkipWsAndComments();
+    std::string prefix;
+    while (!AtEnd() && Peek() != ':') {
+      if (std::isspace(static_cast<unsigned char>(Peek()))) {
+        return Error("whitespace in prefix name");
+      }
+      prefix.push_back(Peek());
+      Advance();
+    }
+    if (!ConsumeChar(':')) return Error("expected ':' in prefix declaration");
+    SkipWsAndComments();
+    RDFALIGN_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+    prefixes_[prefix] = iri;
+    return Status::OK();
+  }
+
+  Status ParseBaseDecl() {
+    SkipWsAndComments();
+    RDFALIGN_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+    base_ = iri;
+    return Status::OK();
+  }
+
+  Status ParseTriples() {
+    RDFALIGN_ASSIGN_OR_RETURN(NodeId subject, ParseSubject());
+    RDFALIGN_RETURN_IF_ERROR(ParsePredicateObjectList(subject));
+    SkipWsAndComments();
+    if (!ConsumeChar('.')) return Error("expected '.' terminating triples");
+    return Status::OK();
+  }
+
+  Result<NodeId> ParseSubject() {
+    SkipWsAndComments();
+    if (AtEnd()) return Error("expected subject");
+    char c = Peek();
+    if (c == '<') {
+      RDFALIGN_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+      return builder_.AddUri(iri);
+    }
+    if (c == '_') {
+      RDFALIGN_ASSIGN_OR_RETURN(std::string label, ParseBlankLabel());
+      return builder_.AddBlank(label);
+    }
+    if (c == '[') {
+      return ParseAnonBlank();
+    }
+    if (c == '(') {
+      return Status::NotSupported("Turtle collections '(...)' not supported");
+    }
+    RDFALIGN_ASSIGN_OR_RETURN(std::string iri, ParsePrefixedName());
+    return builder_.AddUri(iri);
+  }
+
+  Status ParsePredicateObjectList(NodeId subject) {
+    while (true) {
+      SkipWsAndComments();
+      RDFALIGN_ASSIGN_OR_RETURN(NodeId predicate, ParsePredicate());
+      RDFALIGN_RETURN_IF_ERROR(ParseObjectList(subject, predicate));
+      SkipWsAndComments();
+      if (ConsumeChar(';')) {
+        SkipWsAndComments();
+        // A dangling ';' before '.' or ']' is permitted.
+        if (AtEnd() || Peek() == '.' || Peek() == ']') return Status::OK();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Result<NodeId> ParsePredicate() {
+    SkipWsAndComments();
+    if (AtEnd()) return Error("expected predicate");
+    if (Peek() == 'a') {
+      char next = PeekAt(1);
+      if (std::isspace(static_cast<unsigned char>(next))) {
+        Advance();
+        return builder_.AddUri(
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+      }
+    }
+    if (Peek() == '<') {
+      RDFALIGN_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+      return builder_.AddUri(iri);
+    }
+    RDFALIGN_ASSIGN_OR_RETURN(std::string iri, ParsePrefixedName());
+    return builder_.AddUri(iri);
+  }
+
+  Status ParseObjectList(NodeId subject, NodeId predicate) {
+    while (true) {
+      RDFALIGN_ASSIGN_OR_RETURN(NodeId object, ParseObject());
+      builder_.AddTriple(subject, predicate, object);
+      SkipWsAndComments();
+      if (!ConsumeChar(',')) return Status::OK();
+    }
+  }
+
+  Result<NodeId> ParseObject() {
+    SkipWsAndComments();
+    if (AtEnd()) return Error("expected object");
+    char c = Peek();
+    if (c == '<') {
+      RDFALIGN_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+      return builder_.AddUri(iri);
+    }
+    if (c == '_') {
+      RDFALIGN_ASSIGN_OR_RETURN(std::string label, ParseBlankLabel());
+      return builder_.AddBlank(label);
+    }
+    if (c == '[') {
+      return ParseAnonBlank();
+    }
+    if (c == '(') {
+      return Status::NotSupported("Turtle collections '(...)' not supported");
+    }
+    if (c == '"' || c == '\'') {
+      return ParseLiteralNode();
+    }
+    if (c == '+' || c == '-' || c == '.' ||
+        std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumericLiteral();
+    }
+    if (ConsumeKeyword("true")) return builder_.AddLiteral("true");
+    if (ConsumeKeyword("false")) return builder_.AddLiteral("false");
+    RDFALIGN_ASSIGN_OR_RETURN(std::string iri, ParsePrefixedName());
+    return builder_.AddUri(iri);
+  }
+
+  Result<NodeId> ParseAnonBlank() {
+    // '[' predicateObjectList? ']'
+    if (!ConsumeChar('[')) return Error("expected '['");
+    NodeId blank = builder_.AddBlank();
+    SkipWsAndComments();
+    if (ConsumeChar(']')) return blank;
+    RDFALIGN_RETURN_IF_ERROR(ParsePredicateObjectList(blank));
+    SkipWsAndComments();
+    if (!ConsumeChar(']')) return Error("expected ']'");
+    return blank;
+  }
+
+  Result<std::string> ParseIriRef() {
+    if (AtEnd() || Peek() != '<') return Error("expected '<'");
+    Advance();
+    std::string raw;
+    while (!AtEnd() && Peek() != '>') {
+      if (Peek() == '\n') return Error("newline inside IRI");
+      raw.push_back(Peek());
+      Advance();
+    }
+    if (!ConsumeChar('>')) return Error("unterminated IRI");
+    std::string out;
+    if (!UnescapeNTriplesString(raw, &out)) {
+      return Error("bad escape in IRI");
+    }
+    // Rudimentary base resolution: prepend the base to relative IRIs.
+    if (!base_.empty() && out.find("://") == std::string::npos &&
+        !StartsWith(out, "urn:") && !StartsWith(out, "mailto:")) {
+      return base_ + out;
+    }
+    return out;
+  }
+
+  Result<std::string> ParseBlankLabel() {
+    if (!ConsumeChar('_')) return Error("expected '_:'");
+    if (!ConsumeChar(':')) return Error("expected ':' after '_'");
+    std::string label;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_' || Peek() == '-')) {
+      label.push_back(Peek());
+      Advance();
+    }
+    if (label.empty()) return Error("empty blank node label");
+    return label;
+  }
+
+  Result<std::string> ParsePrefixedName() {
+    std::string prefix;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_' || Peek() == '-' || Peek() == '.')) {
+      prefix.push_back(Peek());
+      Advance();
+    }
+    if (!ConsumeChar(':')) {
+      return Error("expected prefixed name (missing ':' after '" + prefix +
+                   "')");
+    }
+    std::string local;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_' || Peek() == '-' || Peek() == '.' ||
+                        Peek() == '%')) {
+      local.push_back(Peek());
+      Advance();
+    }
+    // A trailing '.' terminates the statement, not the name.
+    while (!local.empty() && local.back() == '.') {
+      local.pop_back();
+      --pos_;  // un-consume; safe because '.' is single-byte, not '\n'
+      --col_;
+    }
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Error("undeclared prefix '" + prefix + ":'");
+    }
+    return it->second + local;
+  }
+
+  Result<NodeId> ParseLiteralNode() {
+    char quote = Peek();
+    if (quote == '\'' && PeekAt(1) == '\'' && PeekAt(2) == '\'') {
+      return Status::NotSupported("triple-quoted long strings not supported");
+    }
+    if (quote == '"' && PeekAt(1) == '"' && PeekAt(2) == '"') {
+      return Status::NotSupported("triple-quoted long strings not supported");
+    }
+    Advance();
+    std::string raw;
+    bool closed = false;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '\\') {
+        raw.push_back(c);
+        Advance();
+        if (AtEnd()) return Error("dangling backslash in literal");
+        raw.push_back(Peek());
+        Advance();
+        continue;
+      }
+      if (c == quote) {
+        closed = true;
+        Advance();
+        break;
+      }
+      if (c == '\n') return Error("newline in single-quoted literal");
+      raw.push_back(c);
+      Advance();
+    }
+    if (!closed) return Error("unterminated literal");
+    std::string value;
+    if (!UnescapeNTriplesString(raw, &value)) {
+      return Error("bad escape in literal");
+    }
+    if (!AtEnd() && Peek() == '@') {
+      std::string tag = "@";
+      Advance();
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '-')) {
+        tag.push_back(Peek());
+        Advance();
+      }
+      if (tag.size() == 1) return Error("empty language tag");
+      value += tag;
+    } else if (!AtEnd() && Peek() == '^') {
+      Advance();
+      if (!ConsumeChar('^')) return Error("expected '^^'");
+      SkipWsAndComments();
+      std::string dt;
+      if (Peek() == '<') {
+        RDFALIGN_ASSIGN_OR_RETURN(dt, ParseIriRef());
+      } else {
+        RDFALIGN_ASSIGN_OR_RETURN(dt, ParsePrefixedName());
+      }
+      value += "^^<" + dt + ">";
+    }
+    return builder_.AddLiteral(value);
+  }
+
+  Result<NodeId> ParseNumericLiteral() {
+    std::string lex;
+    if (Peek() == '+' || Peek() == '-') {
+      lex.push_back(Peek());
+      Advance();
+    }
+    bool saw_digit = false;
+    bool saw_dot = false;
+    bool saw_exp = false;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        saw_digit = true;
+        lex.push_back(c);
+        Advance();
+      } else if (c == '.' && !saw_dot && !saw_exp &&
+                 std::isdigit(static_cast<unsigned char>(PeekAt(1)))) {
+        saw_dot = true;
+        lex.push_back(c);
+        Advance();
+      } else if ((c == 'e' || c == 'E') && saw_digit && !saw_exp) {
+        saw_exp = true;
+        lex.push_back(c);
+        Advance();
+        if (!AtEnd() && (Peek() == '+' || Peek() == '-')) {
+          lex.push_back(Peek());
+          Advance();
+        }
+      } else {
+        break;
+      }
+    }
+    if (!saw_digit) return Error("malformed numeric literal");
+    return builder_.AddLiteral(lex);
+  }
+
+  std::string_view text_;
+  GraphBuilder builder_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+  std::string base_;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<TripleGraph> ParseTurtleString(std::string_view text,
+                                      std::shared_ptr<Dictionary> dict) {
+  TurtleParser parser(text, std::move(dict));
+  return parser.Parse();
+}
+
+Result<TripleGraph> ParseTurtleFile(const std::string& path,
+                                    std::shared_ptr<Dictionary> dict) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("error reading file: " + path);
+  }
+  return ParseTurtleString(buf.str(), std::move(dict));
+}
+
+}  // namespace rdfalign

@@ -1,0 +1,41 @@
+// Turtle serialization with automatic prefix compression and
+// subject/predicate grouping (`;` and `,` lists) — the compact form curated
+// ontologies are usually published in.
+
+#ifndef RDFALIGN_PARSER_TURTLE_WRITER_H_
+#define RDFALIGN_PARSER_TURTLE_WRITER_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rdfalign {
+
+/// Serialization options.
+struct TurtleWriteOptions {
+  /// Explicit prefix table (name -> IRI prefix). When empty, prefixes are
+  /// inferred from common IRI stems (up to the last '/' or '#').
+  std::map<std::string, std::string> prefixes;
+  /// Minimum number of IRIs sharing a stem before a prefix is inferred.
+  size_t min_prefix_uses = 3;
+};
+
+/// Writes the graph as Turtle: @prefix header, one subject block per
+/// subject with `;`/`,` grouping, sorted deterministically.
+Status WriteTurtle(const TripleGraph& g, std::ostream& out,
+                   const TurtleWriteOptions& options = {});
+
+/// Serializes to a string.
+std::string TurtleToString(const TripleGraph& g,
+                           const TurtleWriteOptions& options = {});
+
+/// Writes to a file.
+Status WriteTurtleFile(const TripleGraph& g, const std::string& path,
+                       const TurtleWriteOptions& options = {});
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_PARSER_TURTLE_WRITER_H_

@@ -1,0 +1,61 @@
+// String interning: lexical forms -> dense LexId.
+//
+// A Dictionary is shared between the two versions being aligned so that
+// label equality is an integer comparison — the trivial alignment (§3.1)
+// and the initial bisimulation coloring both reduce to comparing LexIds.
+
+#ifndef RDFALIGN_RDF_DICTIONARY_H_
+#define RDFALIGN_RDF_DICTIONARY_H_
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "rdf/term.h"
+
+namespace rdfalign {
+
+/// Append-only interner of lexical forms. Not thread-safe.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Movable but not copyable: interned string_views point into strings_.
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Interns `s`, returning its id; repeated calls with equal strings return
+  /// the same id.
+  LexId Intern(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    strings_.emplace_back(s);
+    LexId id = static_cast<LexId>(strings_.size() - 1);
+    index_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id of `s` or kInvalidLex when not interned.
+  LexId Find(std::string_view s) const {
+    auto it = index_.find(s);
+    return it == index_.end() ? kInvalidLex : it->second;
+  }
+
+  /// The lexical form for an id. id must be valid.
+  std::string_view Get(LexId id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  // std::deque keeps element references stable under growth, so the
+  // string_view keys of index_ remain valid.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, LexId> index_;
+};
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_RDF_DICTIONARY_H_

@@ -1,0 +1,187 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace rdfalign {
+
+uint64_t TripleGraph::LabelKey(TermKind kind, LexId lex) {
+  return (static_cast<uint64_t>(kind) << 32) | lex;
+}
+
+Result<TripleGraph> TripleGraph::FromParts(std::shared_ptr<Dictionary> dict,
+                                           std::vector<NodeLabel> labels,
+                                           std::vector<Triple> triples,
+                                           bool validate_rdf) {
+  TripleGraph g;
+  g.dict_ = dict ? std::move(dict) : std::make_shared<Dictionary>();
+  g.labels_ = std::move(labels);
+  g.triples_ = std::move(triples);
+  const NodeId n = static_cast<NodeId>(g.labels_.size());
+  for (const Triple& t : g.triples_) {
+    if (t.s >= n || t.p >= n || t.o >= n) {
+      return Status::InvalidArgument("triple references node out of range");
+    }
+  }
+  std::sort(g.triples_.begin(), g.triples_.end());
+  g.triples_.erase(std::unique(g.triples_.begin(), g.triples_.end()),
+                   g.triples_.end());
+  g.BuildIndexes();
+  if (validate_rdf) {
+    RDFALIGN_RETURN_IF_ERROR(g.ValidateRdf());
+  }
+  return g;
+}
+
+void TripleGraph::BuildIndexes() {
+  const size_t n = labels_.size();
+  out_offsets_.assign(n + 1, 0);
+  for (const Triple& t : triples_) {
+    ++out_offsets_[t.s + 1];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out_offsets_[i + 1] += out_offsets_[i];
+  }
+  out_pairs_.resize(triples_.size());
+  // triples_ is sorted by (s, p, o), so a single pass fills each node's
+  // slice in (p, o) order.
+  {
+    std::vector<uint64_t> cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+    for (const Triple& t : triples_) {
+      out_pairs_[cursor[t.s]++] = PredicateObject{t.p, t.o};
+    }
+  }
+  node_by_label_.clear();
+  node_by_label_.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    // Later nodes do not overwrite earlier ones; for unique-label graphs
+    // there is no collision anyway, and for combined graphs lookup by label
+    // is not meaningful (we keep the first, i.e. the source-graph node).
+    node_by_label_.emplace(LabelKey(labels_[i].kind, labels_[i].lex), i);
+  }
+}
+
+Status TripleGraph::ValidateRdf() const {
+  for (const Triple& t : triples_) {
+    if (IsLiteral(t.s)) {
+      return Status::InvalidArgument(
+          "literal node used as subject: \"" + std::string(Lexical(t.s)) +
+          "\"");
+    }
+    if (IsLiteral(t.p)) {
+      return Status::InvalidArgument(
+          "literal node used as predicate: \"" + std::string(Lexical(t.p)) +
+          "\"");
+    }
+    if (IsBlank(t.p)) {
+      return Status::InvalidArgument("blank node used as predicate");
+    }
+  }
+  return Status::OK();
+}
+
+NodeId TripleGraph::FindUri(std::string_view uri) const {
+  LexId lex = dict_->Find(uri);
+  if (lex == kInvalidLex) return kInvalidNode;
+  auto it = node_by_label_.find(LabelKey(TermKind::kUri, lex));
+  return it == node_by_label_.end() ? kInvalidNode : it->second;
+}
+
+NodeId TripleGraph::FindLiteral(std::string_view value) const {
+  LexId lex = dict_->Find(value);
+  if (lex == kInvalidLex) return kInvalidNode;
+  auto it = node_by_label_.find(LabelKey(TermKind::kLiteral, lex));
+  return it == node_by_label_.end() ? kInvalidNode : it->second;
+}
+
+NodeId TripleGraph::FindBlank(std::string_view local_name) const {
+  LexId lex = dict_->Find(local_name);
+  if (lex == kInvalidLex) return kInvalidNode;
+  auto it = node_by_label_.find(LabelKey(TermKind::kBlank, lex));
+  return it == node_by_label_.end() ? kInvalidNode : it->second;
+}
+
+size_t TripleGraph::CountOfKind(TermKind kind) const {
+  size_t count = 0;
+  for (const NodeLabel& l : labels_) {
+    if (l.kind == kind) ++count;
+  }
+  return count;
+}
+
+std::vector<NodeId> TripleGraph::NodesOfKind(TermKind kind) const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < labels_.size(); ++i) {
+    if (labels_[i].kind == kind) out.push_back(i);
+  }
+  return out;
+}
+
+GraphBuilder::GraphBuilder(std::shared_ptr<Dictionary> dict)
+    : dict_(dict ? std::move(dict) : std::make_shared<Dictionary>()) {}
+
+NodeId GraphBuilder::AddUri(std::string_view uri) {
+  LexId lex = dict_->Intern(uri);
+  uint64_t key = TripleGraph::LabelKey(TermKind::kUri, lex);
+  auto [it, inserted] =
+      node_by_label_.emplace(key, static_cast<NodeId>(labels_.size()));
+  if (inserted) {
+    labels_.push_back(NodeLabel{TermKind::kUri, lex});
+  }
+  return it->second;
+}
+
+NodeId GraphBuilder::AddLiteral(std::string_view value) {
+  LexId lex = dict_->Intern(value);
+  uint64_t key = TripleGraph::LabelKey(TermKind::kLiteral, lex);
+  auto [it, inserted] =
+      node_by_label_.emplace(key, static_cast<NodeId>(labels_.size()));
+  if (inserted) {
+    labels_.push_back(NodeLabel{TermKind::kLiteral, lex});
+  }
+  return it->second;
+}
+
+NodeId GraphBuilder::AddBlank(std::string_view local_name) {
+  std::string anon;
+  if (local_name.empty()) {
+    anon = "__anon" + std::to_string(anon_counter_++);
+    local_name = anon;
+  }
+  LexId lex = dict_->Intern(local_name);
+  uint64_t key = TripleGraph::LabelKey(TermKind::kBlank, lex);
+  auto [it, inserted] =
+      node_by_label_.emplace(key, static_cast<NodeId>(labels_.size()));
+  if (inserted) {
+    labels_.push_back(NodeLabel{TermKind::kBlank, lex});
+  }
+  return it->second;
+}
+
+void GraphBuilder::AddTriple(NodeId s, NodeId p, NodeId o) {
+  triples_.push_back(Triple{s, p, o});
+}
+
+void GraphBuilder::AddUriTriple(std::string_view s, std::string_view p,
+                                std::string_view o) {
+  NodeId sn = AddUri(s);
+  NodeId pn = AddUri(p);
+  NodeId on = AddUri(o);
+  AddTriple(sn, pn, on);
+}
+
+void GraphBuilder::AddLiteralTriple(std::string_view s, std::string_view p,
+                                    std::string_view literal) {
+  NodeId sn = AddUri(s);
+  NodeId pn = AddUri(p);
+  NodeId on = AddLiteral(literal);
+  AddTriple(sn, pn, on);
+}
+
+Result<TripleGraph> GraphBuilder::Build(bool validate_rdf) {
+  return TripleGraph::FromParts(std::move(dict_), std::move(labels_),
+                                std::move(triples_), validate_rdf);
+}
+
+}  // namespace rdfalign

@@ -1,0 +1,149 @@
+// TripleGraph: the node-identifier graph model of §2.1, plus GraphBuilder.
+//
+// A triple graph G = (N_G, E_G, ℓ_G) has a finite node set (dense ids),
+// edges that are node triples, and a labeling function into
+// I = URIs ∪ Literals ∪ {⊥b}. An *RDF graph* is a triple graph where no two
+// nodes share a URI or literal label, literals occur only in object
+// position, and predicates are never blank; GraphBuilder enforces the
+// uniqueness by construction and Build() validates the positional rules.
+
+#ifndef RDFALIGN_RDF_GRAPH_H_
+#define RDFALIGN_RDF_GRAPH_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rdfalign {
+
+/// An immutable triple graph with a CSR index of outbound neighborhoods.
+class TripleGraph {
+ public:
+  TripleGraph() : dict_(std::make_shared<Dictionary>()) {}
+
+  /// Builds a graph from parts. Does NOT deduplicate nodes (callers such as
+  /// the disjoint-union constructor rely on that). Sorts and deduplicates
+  /// edges and builds the out-index. When `validate_rdf` is set, checks the
+  /// RDF positional constraints (literals only as objects, predicates never
+  /// blank or literal).
+  static Result<TripleGraph> FromParts(std::shared_ptr<Dictionary> dict,
+                                       std::vector<NodeLabel> labels,
+                                       std::vector<Triple> triples,
+                                       bool validate_rdf);
+
+  size_t NumNodes() const { return labels_.size(); }
+  size_t NumEdges() const { return triples_.size(); }
+
+  TermKind KindOf(NodeId n) const { return labels_[n].kind; }
+  bool IsUri(NodeId n) const { return KindOf(n) == TermKind::kUri; }
+  bool IsLiteral(NodeId n) const { return KindOf(n) == TermKind::kLiteral; }
+  bool IsBlank(NodeId n) const { return KindOf(n) == TermKind::kBlank; }
+
+  const NodeLabel& LabelOf(NodeId n) const { return labels_[n]; }
+
+  /// Lexical form: the URI, the literal value, or the blank's local name.
+  std::string_view Lexical(NodeId n) const {
+    return dict_->Get(labels_[n].lex);
+  }
+  LexId LexicalId(NodeId n) const { return labels_[n].lex; }
+
+  /// Outbound neighborhood out(n), sorted by (p, o).
+  std::span<const PredicateObject> Out(NodeId n) const {
+    return {out_pairs_.data() + out_offsets_[n],
+            out_offsets_[n + 1] - out_offsets_[n]};
+  }
+  size_t OutDegree(NodeId n) const {
+    return out_offsets_[n + 1] - out_offsets_[n];
+  }
+
+  const std::vector<Triple>& triples() const { return triples_; }
+  const std::vector<NodeLabel>& labels() const { return labels_; }
+
+  const Dictionary& dict() const { return *dict_; }
+  const std::shared_ptr<Dictionary>& dict_ptr() const { return dict_; }
+
+  /// Node lookup by label; kInvalidNode when absent. Unique-label graphs
+  /// (built via GraphBuilder) have at most one match.
+  NodeId FindUri(std::string_view uri) const;
+  NodeId FindLiteral(std::string_view value) const;
+  /// Blank lookup is by *local* name, a per-graph convenience.
+  NodeId FindBlank(std::string_view local_name) const;
+
+  /// Counts nodes of each kind.
+  size_t CountOfKind(TermKind kind) const;
+
+  /// All node ids of a kind, ascending.
+  std::vector<NodeId> NodesOfKind(TermKind kind) const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::shared_ptr<Dictionary> dict_;
+  std::vector<NodeLabel> labels_;
+  std::vector<Triple> triples_;  // sorted, deduplicated
+  // CSR out-neighborhood index.
+  std::vector<uint64_t> out_offsets_;       // size NumNodes()+1
+  std::vector<PredicateObject> out_pairs_;  // size NumEdges()
+  // Label -> node maps for lookup (kind-tagged).
+  std::unordered_map<uint64_t, NodeId> node_by_label_;
+
+  void BuildIndexes();
+  Status ValidateRdf() const;
+  static uint64_t LabelKey(TermKind kind, LexId lex);
+};
+
+/// Incremental construction of an RDF graph with label deduplication:
+/// adding the same URI or literal twice returns the same node.
+class GraphBuilder {
+ public:
+  /// Starts a builder; when `dict` is null a fresh dictionary is created.
+  /// Two versions that will be aligned should share one dictionary.
+  explicit GraphBuilder(std::shared_ptr<Dictionary> dict = nullptr);
+
+  /// Returns the node labeled with this URI, creating it on first use.
+  NodeId AddUri(std::string_view uri);
+
+  /// Returns the node holding this literal value, creating it on first use.
+  NodeId AddLiteral(std::string_view value);
+
+  /// Returns the blank node with this local name, creating it on first use.
+  /// An empty name always creates a fresh anonymous blank node.
+  NodeId AddBlank(std::string_view local_name = "");
+
+  /// Adds the triple (s, p, o); ids must have been returned by this builder.
+  void AddTriple(NodeId s, NodeId p, NodeId o);
+
+  /// Convenience: interns all three terms as URIs and adds the triple.
+  void AddUriTriple(std::string_view s, std::string_view p,
+                    std::string_view o);
+
+  /// Convenience: subject/predicate URIs with a literal object.
+  void AddLiteralTriple(std::string_view s, std::string_view p,
+                        std::string_view literal);
+
+  size_t NumNodes() const { return labels_.size(); }
+  size_t NumTriples() const { return triples_.size(); }
+
+  /// Finalizes into an immutable TripleGraph. `validate_rdf` rejects graphs
+  /// violating RDF positional constraints. The builder is consumed.
+  Result<TripleGraph> Build(bool validate_rdf = true);
+
+ private:
+  std::shared_ptr<Dictionary> dict_;
+  std::vector<NodeLabel> labels_;
+  std::vector<Triple> triples_;
+  std::unordered_map<uint64_t, NodeId> node_by_label_;
+  uint64_t anon_counter_ = 0;
+};
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_RDF_GRAPH_H_

@@ -1,0 +1,44 @@
+#include "rdf/statistics.h"
+
+#include <vector>
+
+namespace rdfalign {
+
+GraphStatistics ComputeStatistics(const TripleGraph& g) {
+  GraphStatistics s;
+  s.nodes = g.NumNodes();
+  s.edges = g.NumEdges();
+
+  const size_t n = g.NumNodes();
+  std::vector<uint8_t> as_subject_or_object(n, 0);
+  std::vector<uint8_t> as_predicate(n, 0);
+  for (const Triple& t : g.triples()) {
+    as_subject_or_object[t.s] = 1;
+    as_subject_or_object[t.o] = 1;
+    as_predicate[t.p] = 1;
+  }
+
+  for (NodeId i = 0; i < n; ++i) {
+    switch (g.KindOf(i)) {
+      case TermKind::kUri:
+        ++s.uris;
+        if (as_predicate[i] && !as_subject_or_object[i]) {
+          ++s.predicate_only_uris;
+        }
+        break;
+      case TermKind::kLiteral:
+        ++s.literals;
+        break;
+      case TermKind::kBlank:
+        ++s.blanks;
+        break;
+    }
+    size_t deg = g.OutDegree(i);
+    if (deg == 0) ++s.sinks;
+    if (deg > s.max_out_degree) s.max_out_degree = deg;
+  }
+  s.avg_out_degree = n == 0 ? 0.0 : static_cast<double>(s.edges) / n;
+  return s;
+}
+
+}  // namespace rdfalign

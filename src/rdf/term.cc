@@ -1,0 +1,17 @@
+#include "rdf/term.h"
+
+namespace rdfalign {
+
+std::string_view TermKindToString(TermKind kind) {
+  switch (kind) {
+    case TermKind::kUri:
+      return "uri";
+    case TermKind::kLiteral:
+      return "literal";
+    case TermKind::kBlank:
+      return "blank";
+  }
+  return "unknown";
+}
+
+}  // namespace rdfalign

@@ -1,0 +1,69 @@
+// Core identifiers and label types of the data model (§2.1 of the paper).
+//
+// Nodes are dense integer identifiers, independent of their labels, so two
+// versions of a graph can carry the same URI on different nodes. Labels are
+// drawn from I = U ∪ L ∪ {⊥b}: URI labels, literal values, and the single
+// blank label.
+
+#ifndef RDFALIGN_RDF_TERM_H_
+#define RDFALIGN_RDF_TERM_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rdfalign {
+
+/// Dense node identifier within one TripleGraph (or a combined graph).
+using NodeId = uint32_t;
+
+/// Dictionary identifier of an interned lexical form.
+using LexId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+inline constexpr LexId kInvalidLex = 0xffffffffu;
+
+/// The three kinds of RDF node labels.
+enum class TermKind : uint8_t {
+  kUri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+std::string_view TermKindToString(TermKind kind);
+
+/// A node label: the kind plus the interned lexical form.
+///
+/// For blank nodes `lex` stores the *local* blank identifier (e.g. "b1"),
+/// which is not part of the label semantically — all blank nodes share the
+/// single blank label ⊥b and alignment code must never distinguish blanks by
+/// `lex`. It is kept for parsing round-trips and diagnostics only.
+struct NodeLabel {
+  TermKind kind;
+  LexId lex;
+
+  bool operator==(const NodeLabel& other) const = default;
+};
+
+/// A triple (s, p, o) of node identifiers. The predicate is itself a node
+/// and participates in bisimulation (§2.3).
+struct Triple {
+  NodeId s;
+  NodeId p;
+  NodeId o;
+
+  bool operator==(const Triple& other) const = default;
+  auto operator<=>(const Triple& other) const = default;
+};
+
+/// An element of a node's outbound neighborhood: out(n) = {(p,o) | (n,p,o)}.
+struct PredicateObject {
+  NodeId p;
+  NodeId o;
+
+  bool operator==(const PredicateObject& other) const = default;
+  auto operator<=>(const PredicateObject& other) const = default;
+};
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_RDF_TERM_H_

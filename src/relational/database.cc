@@ -1,0 +1,104 @@
+#include "relational/database.h"
+
+namespace rdfalign::relational {
+
+Status Database::CreateTable(TableSchema schema) {
+  if (index_.count(schema.name) > 0) {
+    return Status::AlreadyExists("table " + schema.name + " already exists");
+  }
+  for (const ForeignKey& fk : schema.foreign_keys) {
+    if (index_.count(fk.ref_table) == 0 && fk.ref_table != schema.name) {
+      return Status::InvalidArgument("foreign key of " + schema.name +
+                                     " references unknown table " +
+                                     fk.ref_table);
+    }
+    if (fk.column >= schema.columns.size()) {
+      return Status::OutOfRange("foreign key column index out of range");
+    }
+  }
+  index_.emplace(schema.name, tables_.size());
+  tables_.emplace_back(std::move(schema));
+  return Status::OK();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &tables_[it->second];
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &tables_[it->second];
+}
+
+Status Database::Insert(const std::string& table, Row row) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("no table " + table);
+  for (const ForeignKey& fk : t->schema().foreign_keys) {
+    const Value& cell = row.size() > fk.column ? row[fk.column] : Value{Null{}};
+    if (IsNull(cell)) continue;
+    const Table* ref = GetTable(fk.ref_table);
+    if (ref == nullptr || !std::holds_alternative<int64_t>(cell) ||
+        ref->Find(std::get<int64_t>(cell)) == nullptr) {
+      return Status::InvalidArgument(
+          "foreign key violation: " + table + "." +
+          t->schema().columns[fk.column].name + " -> " + fk.ref_table);
+    }
+  }
+  return t->Insert(std::move(row));
+}
+
+Status Database::DeleteCascade(const std::string& table, int64_t key) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("no table " + table);
+  RDFALIGN_RETURN_IF_ERROR(t->Delete(key));
+  // Cascade: delete rows in any table whose FK cell referenced this row.
+  for (Table& other : tables_) {
+    for (const ForeignKey& fk : other.schema().foreign_keys) {
+      if (fk.ref_table != table) continue;
+      std::vector<int64_t> doomed;
+      other.ForEachRow([&](const Row& row) {
+        const Value& cell = row[fk.column];
+        if (!IsNull(cell) && std::get<int64_t>(cell) == key) {
+          doomed.push_back(other.KeyOf(row));
+        }
+      });
+      for (int64_t k : doomed) {
+        RDFALIGN_RETURN_IF_ERROR(DeleteCascade(other.schema().name, k));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::ValidateIntegrity() const {
+  for (const Table& t : tables_) {
+    for (const ForeignKey& fk : t.schema().foreign_keys) {
+      const Table* ref = GetTable(fk.ref_table);
+      if (ref == nullptr) {
+        return Status::Corruption("dangling FK table " + fk.ref_table);
+      }
+      Status status = Status::OK();
+      t.ForEachRow([&](const Row& row) {
+        const Value& cell = row[fk.column];
+        if (IsNull(cell)) return;
+        if (ref->Find(std::get<int64_t>(cell)) == nullptr) {
+          status = Status::Corruption(
+              "FK violation in " + t.schema().name + "." +
+              t.schema().columns[fk.column].name + ": key " +
+              ValueToLexical(cell) + " missing in " + fk.ref_table);
+        }
+      });
+      RDFALIGN_RETURN_IF_ERROR(status);
+    }
+  }
+  return Status::OK();
+}
+
+size_t Database::TotalRows() const {
+  size_t n = 0;
+  for (const Table& t : tables_) n += t.NumRows();
+  return n;
+}
+
+}  // namespace rdfalign::relational

@@ -1,0 +1,48 @@
+// A database: named tables with enforced referential integrity.
+
+#ifndef RDFALIGN_RELATIONAL_DATABASE_H_
+#define RDFALIGN_RELATIONAL_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace rdfalign::relational {
+
+/// Tables in creation order with FK-checked mutation.
+class Database {
+ public:
+  /// Adds a table; FK target tables must already exist.
+  Status CreateTable(TableSchema schema);
+
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  /// Tables in creation order (deterministic exports).
+  const std::vector<Table>& tables() const { return tables_; }
+  std::vector<Table>& tables() { return tables_; }
+
+  /// Inserts with FK validation: every non-null referential cell must point
+  /// at an existing row.
+  Status Insert(const std::string& table, Row row);
+
+  /// Deletes a row and cascades to referencing rows.
+  Status DeleteCascade(const std::string& table, int64_t key);
+
+  /// Full referential-integrity audit (tests; O(total cells)).
+  Status ValidateIntegrity() const;
+
+  /// Total live rows across tables.
+  size_t TotalRows() const;
+
+ private:
+  std::vector<Table> tables_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace rdfalign::relational
+
+#endif  // RDFALIGN_RELATIONAL_DATABASE_H_

@@ -1,0 +1,105 @@
+#include "relational/direct_mapping.h"
+
+namespace rdfalign::relational {
+
+namespace {
+constexpr char kRdfType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+}  // namespace
+
+std::string RowUri(const DirectMappingOptions& options,
+                   const TableSchema& schema, int64_t key) {
+  return options.base_uri + schema.name + "/" +
+         schema.columns[schema.primary_key].name + "=" + std::to_string(key);
+}
+
+std::string ColumnPredicateUri(const DirectMappingOptions& options,
+                               const TableSchema& schema, size_t column) {
+  return options.base_uri + schema.name + "#" + schema.columns[column].name;
+}
+
+std::string RefPredicateUri(const DirectMappingOptions& options,
+                            const TableSchema& schema, size_t column) {
+  return options.base_uri + schema.name + "#ref-" +
+         schema.columns[column].name;
+}
+
+std::string TableTypeUri(const DirectMappingOptions& options,
+                         const TableSchema& schema) {
+  return options.base_uri + schema.name;
+}
+
+Result<rdfalign::TripleGraph> ExportDirectMapping(
+    const Database& db, const DirectMappingOptions& options,
+    std::shared_ptr<rdfalign::Dictionary> dict) {
+  rdfalign::GraphBuilder builder(std::move(dict));
+  const rdfalign::NodeId type_pred =
+      options.emit_type_triples ? builder.AddUri(kRdfType) : 0;
+
+  for (const Table& table : db.tables()) {
+    const TableSchema& schema = table.schema();
+
+    // Predicate nodes are interned lazily: a column whose cells are all
+    // NULL contributes no node, matching the Direct Mapping's output.
+    std::vector<rdfalign::NodeId> column_pred(schema.columns.size(),
+                                              rdfalign::kInvalidNode);
+    auto predicate_of = [&](size_t c) {
+      if (column_pred[c] == rdfalign::kInvalidNode) {
+        column_pred[c] =
+            schema.IsForeignKeyColumn(c)
+                ? builder.AddUri(RefPredicateUri(options, schema, c))
+                : builder.AddUri(ColumnPredicateUri(options, schema, c));
+      }
+      return column_pred[c];
+    };
+    rdfalign::NodeId type_node = 0;
+    if (options.emit_type_triples) {
+      type_node = builder.AddUri(TableTypeUri(options, schema));
+    }
+
+    Status status = Status::OK();
+    table.ForEachRow([&](const Row& row) {
+      const int64_t key = table.KeyOf(row);
+      rdfalign::NodeId subject =
+          builder.AddUri(RowUri(options, schema, key));
+      if (options.emit_type_triples) {
+        builder.AddTriple(subject, type_pred, type_node);
+      }
+      for (size_t c = 0; c < schema.columns.size(); ++c) {
+        if (c == schema.primary_key) continue;
+        const Value& cell = row[c];
+        if (IsNull(cell)) {
+          if (!options.skip_nulls) {
+            builder.AddTriple(subject, predicate_of(c), builder.AddLiteral(""));
+          }
+          continue;
+        }
+        if (schema.IsForeignKeyColumn(c)) {
+          // Resolve the referenced tuple's URI.
+          const ForeignKey* fk = nullptr;
+          for (const ForeignKey& candidate : schema.foreign_keys) {
+            if (candidate.column == c) {
+              fk = &candidate;
+              break;
+            }
+          }
+          const Table* ref = db.GetTable(fk->ref_table);
+          if (ref == nullptr) {
+            status = Status::Corruption("FK references missing table " +
+                                        fk->ref_table);
+            return;
+          }
+          rdfalign::NodeId object = builder.AddUri(
+              RowUri(options, ref->schema(), std::get<int64_t>(cell)));
+          builder.AddTriple(subject, predicate_of(c), object);
+        } else {
+          builder.AddTriple(subject, predicate_of(c),
+                            builder.AddLiteral(ValueToLexical(cell)));
+        }
+      }
+    });
+    RDFALIGN_RETURN_IF_ERROR(status);
+  }
+  return builder.Build(/*validate_rdf=*/true);
+}
+
+}  // namespace rdfalign::relational

@@ -1,0 +1,63 @@
+// W3C Direct Mapping of relational data to RDF [18] — the export scheme the
+// paper applies to GtoPdb (§5.2):
+//
+//   1. every tuple gets a URI built from a base prefix, the table name and
+//      the primary-key value:        <base><table>/<pk-col>=<key>
+//   2. value attributes become literal triples with predicate
+//      <base><table>#<column>
+//   3. referential attributes become edges to the referenced tuple's URI
+//      with predicate                <base><table>#ref-<column>
+//   4. every tuple is typed:         <row> rdf:type <base><table>
+//
+// Exporting two versions with *different* base prefixes reproduces the
+// paper's controlled setting: no URIs are shared across versions, so only
+// the hybrid/overlap methods can align them, while (table, key) pairs give
+// exact ground truth.
+
+#ifndef RDFALIGN_RELATIONAL_DIRECT_MAPPING_H_
+#define RDFALIGN_RELATIONAL_DIRECT_MAPPING_H_
+
+#include <memory>
+#include <string>
+
+#include "rdf/graph.h"
+#include "relational/database.h"
+#include "util/result.h"
+
+namespace rdfalign::relational {
+
+/// Export configuration.
+struct DirectMappingOptions {
+  /// Version-specific URI prefix, e.g. "http://gtopdb.example/ver3/".
+  std::string base_uri = "http://example.org/db/";
+  /// Emit rdf:type triples (rule 4).
+  bool emit_type_triples = true;
+  /// Skip NULL cells (the standard behaviour).
+  bool skip_nulls = true;
+};
+
+/// The URI of a tuple under the mapping (rule 1).
+std::string RowUri(const DirectMappingOptions& options,
+                   const TableSchema& schema, int64_t key);
+
+/// The predicate URI of a value column (rule 2).
+std::string ColumnPredicateUri(const DirectMappingOptions& options,
+                               const TableSchema& schema, size_t column);
+
+/// The predicate URI of a referential column (rule 3).
+std::string RefPredicateUri(const DirectMappingOptions& options,
+                            const TableSchema& schema, size_t column);
+
+/// The class URI of a table (rule 4).
+std::string TableTypeUri(const DirectMappingOptions& options,
+                         const TableSchema& schema);
+
+/// Exports the whole database as one RDF graph. Pass a shared dictionary so
+/// two versions can be aligned afterwards.
+Result<rdfalign::TripleGraph> ExportDirectMapping(
+    const Database& db, const DirectMappingOptions& options,
+    std::shared_ptr<rdfalign::Dictionary> dict);
+
+}  // namespace rdfalign::relational
+
+#endif  // RDFALIGN_RELATIONAL_DIRECT_MAPPING_H_

@@ -1,0 +1,62 @@
+// Table schemas: columns, single-column integer primary keys, and foreign
+// keys — the shape GtoPdb-style curated relational databases take and the
+// input of the W3C Direct Mapping.
+
+#ifndef RDFALIGN_RELATIONAL_SCHEMA_H_
+#define RDFALIGN_RELATIONAL_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rdfalign::relational {
+
+enum class ColumnType {
+  kInteger,
+  kReal,
+  kText,
+};
+
+/// One column of a table.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+  bool nullable = false;
+};
+
+/// A foreign key: `column` (by index) references the primary key of
+/// `ref_table`.
+struct ForeignKey {
+  size_t column;
+  std::string ref_table;
+};
+
+/// A table schema. The primary key is a single integer column (index
+/// `primary_key`), which matches both GtoPdb's conventions and the paper's
+/// "key values are generally persistent" ground-truth construction.
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  size_t primary_key = 0;
+  std::vector<ForeignKey> foreign_keys;
+
+  /// Index of a column by name; columns.size() when absent.
+  size_t ColumnIndex(const std::string& column_name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == column_name) return i;
+    }
+    return columns.size();
+  }
+
+  /// True when `column` is referential (part of some foreign key).
+  bool IsForeignKeyColumn(size_t column) const {
+    for (const ForeignKey& fk : foreign_keys) {
+      if (fk.column == column) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace rdfalign::relational
+
+#endif  // RDFALIGN_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,122 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+namespace rdfalign::relational {
+
+Status Table::CheckRow(const Row& row) const {
+  if (row.size() != schema_.columns.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.columns.size()) + " for table " +
+        schema_.name);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const ColumnDef& col = schema_.columns[i];
+    if (IsNull(row[i])) {
+      if (!col.nullable || i == schema_.primary_key) {
+        return Status::InvalidArgument("NULL in non-nullable column " +
+                                       col.name);
+      }
+      continue;
+    }
+    bool ok = false;
+    switch (col.type) {
+      case ColumnType::kInteger:
+        ok = std::holds_alternative<int64_t>(row[i]);
+        break;
+      case ColumnType::kReal:
+        ok = std::holds_alternative<double>(row[i]) ||
+             std::holds_alternative<int64_t>(row[i]);
+        break;
+      case ColumnType::kText:
+        ok = std::holds_alternative<std::string>(row[i]);
+        break;
+    }
+    if (!ok) {
+      return Status::InvalidArgument("type mismatch in column " + col.name +
+                                     " of table " + schema_.name);
+    }
+  }
+  if (!std::holds_alternative<int64_t>(row[schema_.primary_key])) {
+    return Status::InvalidArgument("primary key of table " + schema_.name +
+                                   " must be an integer");
+  }
+  return Status::OK();
+}
+
+Status Table::Insert(Row row) {
+  RDFALIGN_RETURN_IF_ERROR(CheckRow(row));
+  int64_t key = std::get<int64_t>(row[schema_.primary_key]);
+  if (pk_index_.count(key) > 0) {
+    return Status::AlreadyExists("duplicate primary key " +
+                                 std::to_string(key) + " in table " +
+                                 schema_.name);
+  }
+  pk_index_.emplace(key, rows_.size());
+  rows_.push_back(std::move(row));
+  tombstone_.push_back(0);
+  max_key_ = std::max(max_key_, key);
+  return Status::OK();
+}
+
+Status Table::Delete(int64_t key) {
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) {
+    return Status::NotFound("no row with key " + std::to_string(key) +
+                            " in table " + schema_.name);
+  }
+  tombstone_[it->second] = 1;
+  pk_index_.erase(it);
+  return Status::OK();
+}
+
+Status Table::UpdateCell(int64_t key, size_t column, Value value) {
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) {
+    return Status::NotFound("no row with key " + std::to_string(key) +
+                            " in table " + schema_.name);
+  }
+  if (column >= schema_.columns.size()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  if (column == schema_.primary_key) {
+    return Status::InvalidArgument(
+        "primary keys are persistent; updating them is not supported");
+  }
+  Row candidate = rows_[it->second];
+  candidate[column] = std::move(value);
+  RDFALIGN_RETURN_IF_ERROR(CheckRow(candidate));
+  rows_[it->second] = std::move(candidate);
+  return Status::OK();
+}
+
+const Row* Table::Find(int64_t key) const {
+  auto it = pk_index_.find(key);
+  return it == pk_index_.end() ? nullptr : &rows_[it->second];
+}
+
+std::vector<int64_t> Table::Keys() const {
+  std::vector<int64_t> keys;
+  keys.reserve(pk_index_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!tombstone_[i]) keys.push_back(KeyOf(rows_[i]));
+  }
+  return keys;
+}
+
+void Table::Compact() {
+  std::vector<Row> rows;
+  rows.reserve(pk_index_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!tombstone_[i]) rows.push_back(std::move(rows_[i]));
+  }
+  rows_ = std::move(rows);
+  tombstone_.assign(rows_.size(), 0);
+  pk_index_.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    pk_index_.emplace(KeyOf(rows_[i]), i);
+  }
+}
+
+}  // namespace rdfalign::relational

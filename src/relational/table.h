@@ -1,0 +1,76 @@
+// A table: schema + rows with a primary-key index.
+
+#ifndef RDFALIGN_RELATIONAL_TABLE_H_
+#define RDFALIGN_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "util/status.h"
+
+namespace rdfalign::relational {
+
+using Row = std::vector<Value>;
+
+/// An in-memory table. Rows are stored dense; deletion tombstones a row and
+/// Compact() reclaims. Key lookups go through the PK hash index.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+
+  /// Inserts a row (arity and PK uniqueness are checked; type checking is
+  /// per-column kind).
+  Status Insert(Row row);
+
+  /// Deletes the row with the given primary key; NotFound when absent.
+  Status Delete(int64_t key);
+
+  /// Updates one cell of the row with the given key.
+  Status UpdateCell(int64_t key, size_t column, Value value);
+
+  /// Fetches a row by key; nullptr when absent.
+  const Row* Find(int64_t key) const;
+
+  /// The primary key of a stored row.
+  int64_t KeyOf(const Row& row) const {
+    return std::get<int64_t>(row[schema_.primary_key]);
+  }
+
+  /// Number of live rows.
+  size_t NumRows() const { return pk_index_.size(); }
+
+  /// Live rows in insertion order (skips tombstones).
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (!tombstone_[i]) fn(rows_[i]);
+    }
+  }
+
+  /// All live primary keys in insertion order.
+  std::vector<int64_t> Keys() const;
+
+  /// The largest key ever inserted (0 when empty) — key allocation helper.
+  int64_t MaxKey() const { return max_key_; }
+
+  /// Drops tombstoned rows and rebuilds the index.
+  void Compact();
+
+ private:
+  Status CheckRow(const Row& row) const;
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<uint8_t> tombstone_;
+  std::unordered_map<int64_t, size_t> pk_index_;
+  int64_t max_key_ = 0;
+};
+
+}  // namespace rdfalign::relational
+
+#endif  // RDFALIGN_RELATIONAL_TABLE_H_

@@ -1,0 +1,18 @@
+#include "relational/value.h"
+
+#include <cstdio>
+
+namespace rdfalign::relational {
+
+std::string ValueToLexical(const Value& v) {
+  if (std::holds_alternative<Null>(v)) return "";
+  if (const auto* i = std::get_if<int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", *d);
+    return buf;
+  }
+  return std::get<std::string>(v);
+}
+
+}  // namespace rdfalign::relational

@@ -1,0 +1,29 @@
+// Cell values of the relational substrate (DESIGN.md S12).
+
+#ifndef RDFALIGN_RELATIONAL_VALUE_H_
+#define RDFALIGN_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace rdfalign::relational {
+
+/// NULL marker.
+struct Null {
+  bool operator==(const Null&) const = default;
+};
+
+/// A cell: NULL, integer, real, or text.
+using Value = std::variant<Null, int64_t, double, std::string>;
+
+inline bool IsNull(const Value& v) {
+  return std::holds_alternative<Null>(v);
+}
+
+/// Lexical form used by the Direct Mapping (plain literal label).
+std::string ValueToLexical(const Value& v);
+
+}  // namespace rdfalign::relational
+
+#endif  // RDFALIGN_RELATIONAL_VALUE_H_

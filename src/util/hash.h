@@ -1,0 +1,87 @@
+// Hashing utilities: 64-bit mixing, combination, and hashing of sequences.
+//
+// Used pervasively by the partition-refinement engine (hash-consing of color
+// signatures, §3.2 of the paper: "implemented with a simple hashing
+// technique") and by the overlap heuristic's inverted indexes (§4.6).
+
+#ifndef RDFALIGN_UTIL_HASH_H_
+#define RDFALIGN_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace rdfalign {
+
+/// Finalizer from SplitMix64: bijective, avalanching 64-bit mix.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines an existing hash with a new 64-bit value (order-dependent).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  // boost::hash_combine generalized to 64 bits.
+  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// FNV-1a over raw bytes; stable across platforms.
+inline uint64_t HashBytes(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// Hashes a sequence of 32-bit words (used for color signatures).
+inline uint64_t HashU32Span(const uint32_t* data, size_t n) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ (n * 0xff51afd7ed558ccdULL);
+  for (size_t i = 0; i < n; ++i) {
+    h = HashCombine(h, data[i]);
+  }
+  return h;
+}
+
+inline uint64_t HashU32Vector(const std::vector<uint32_t>& v) {
+  return HashU32Span(v.data(), v.size());
+}
+
+/// Packs two 32-bit values into one 64-bit key (e.g. a (predicate-color,
+/// object-color) pair used as an inverted-index object, §4.7).
+inline uint64_t PackPair(uint32_t hi, uint32_t lo) {
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+inline uint32_t UnpackHi(uint64_t packed) {
+  return static_cast<uint32_t>(packed >> 32);
+}
+
+inline uint32_t UnpackLo(uint64_t packed) {
+  return static_cast<uint32_t>(packed & 0xffffffffULL);
+}
+
+/// Hash functor for std::vector<uint32_t> keys (color signatures).
+struct U32VectorHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    return static_cast<size_t>(HashU32Vector(v));
+  }
+};
+
+/// Hash functor for 64-bit keys that require avalanching (dense packed ids).
+struct U64Hash {
+  size_t operator()(uint64_t v) const { return static_cast<size_t>(Mix64(v)); }
+};
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_UTIL_HASH_H_

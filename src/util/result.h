@@ -1,0 +1,80 @@
+// Result<T>: value-or-Status, the return type of fallible constructors and
+// parsers. Mirrors arrow::Result / rocksdb-style StatusOr.
+
+#ifndef RDFALIGN_UTIL_RESULT_H_
+#define RDFALIGN_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace rdfalign {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, so `return status;` works).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK iff a value is held.
+  const Status& status() const { return status_; }
+
+  /// The held value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK when value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status to the caller.
+#define RDFALIGN_ASSIGN_OR_RETURN(lhs, expr)      \
+  RDFALIGN_ASSIGN_OR_RETURN_IMPL_(                \
+      RDFALIGN_CONCAT_(_res_, __LINE__), lhs, expr)
+#define RDFALIGN_CONCAT_INNER_(a, b) a##b
+#define RDFALIGN_CONCAT_(a, b) RDFALIGN_CONCAT_INNER_(a, b)
+#define RDFALIGN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_UTIL_RESULT_H_

@@ -1,0 +1,47 @@
+// String helpers shared by the parser, the overlap heuristic's word
+// splitter (§4.7 `split`), and the workload generators.
+
+#ifndef RDFALIGN_UTIL_STRING_UTIL_H_
+#define RDFALIGN_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdfalign {
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Splits into maximal runs of alphanumeric characters, lower-cased.
+/// This is the `split` node-characterizing function of Algorithm 2: a
+/// literal label becomes the set of its words.
+std::vector<std::string> SplitWords(std::string_view s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Escapes a literal value for N-Triples output ("\n", "\"", "\\", ...).
+std::string EscapeNTriplesString(std::string_view s);
+
+/// Reverses EscapeNTriplesString. Returns false on a malformed escape.
+bool UnescapeNTriplesString(std::string_view s, std::string* out);
+
+/// Renders n with thousands separators ("1,234,567") for harness tables.
+std::string FormatWithCommas(uint64_t n);
+
+/// Renders a double with fixed precision.
+std::string FormatDouble(double v, int precision);
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_UTIL_STRING_UTIL_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing for the scalability experiments (Fig. 16).
+
+#ifndef RDFALIGN_UTIL_TIMER_H_
+#define RDFALIGN_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace rdfalign {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_UTIL_TIMER_H_

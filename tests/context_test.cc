@@ -1,0 +1,138 @@
+#include "core/context.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid.h"
+#include "test_util.h"
+
+namespace rdfalign {
+namespace {
+
+TEST(PredicateOnlyTest, IdentifiesPurePredicates) {
+  // ex:p is only a predicate; ex:o appears as object; ex:t is a predicate
+  // AND a subject (typed predicates).
+  GraphBuilder b;
+  NodeId s = b.AddUri("ex:s");
+  NodeId p = b.AddUri("ex:p");
+  NodeId t = b.AddUri("ex:t");
+  NodeId o = b.AddUri("ex:o");
+  b.AddTriple(s, p, o);
+  b.AddTriple(s, t, o);
+  b.AddTriple(t, p, o);
+  auto g = std::move(b.Build(true)).value();
+  auto preds = PredicateOnlyUris(g);
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0], p);
+}
+
+TEST(MediationIndexTest, ListsMediatedPairs) {
+  GraphBuilder b;
+  NodeId s1 = b.AddUri("ex:s1");
+  NodeId s2 = b.AddUri("ex:s2");
+  NodeId p = b.AddUri("ex:p");
+  NodeId q = b.AddUri("ex:q");
+  NodeId o = b.AddLiteral("o");
+  b.AddTriple(s1, p, o);
+  b.AddTriple(s2, p, o);
+  b.AddTriple(s1, q, o);
+  auto g = std::move(b.Build(true)).value();
+  MediationIndex index(g);
+  EXPECT_EQ(index.Mediated(p).size(), 2u);
+  EXPECT_EQ(index.Mediated(q).size(), 1u);
+  EXPECT_EQ(index.Mediated(o).size(), 0u);
+  // Pairs carry (subject, object).
+  EXPECT_EQ(index.Mediated(q)[0].p, s1);
+  EXPECT_EQ(index.Mediated(q)[0].o, o);
+}
+
+// The §5.1 error scenario: two unrelated predicate-only URIs per side.
+// Plain hybrid merges all four; the contextual variant aligns each with its
+// true counterpart.
+struct PredicateScenario {
+  PredicateScenario() {
+    auto dict = std::make_shared<Dictionary>();
+    GraphBuilder b1(dict);
+    {
+      NodeId person = b1.AddUri("ex:alice");
+      NodeId city = b1.AddUri("ex:paris");
+      b1.AddTriple(person, b1.AddUri("v1:hasAge"), b1.AddLiteral("42"));
+      b1.AddTriple(city, b1.AddUri("v1:population"),
+                   b1.AddLiteral("2100000"));
+    }
+    GraphBuilder b2(dict);
+    {
+      NodeId person = b2.AddUri("ex:alice");
+      NodeId city = b2.AddUri("ex:paris");
+      b2.AddTriple(person, b2.AddUri("v2:hasAge"), b2.AddLiteral("42"));
+      b2.AddTriple(city, b2.AddUri("v2:population"),
+                   b2.AddLiteral("2100000"));
+    }
+    g1 = std::move(b1.Build(true)).value();
+    g2 = std::move(b2.Build(true)).value();
+    cg = std::make_unique<CombinedGraph>(testing::Combine(g1, g2));
+  }
+  TripleGraph g1, g2;
+  std::unique_ptr<CombinedGraph> cg;
+};
+
+TEST(ContextualHybridTest, PlainHybridMergesUnrelatedPredicates) {
+  PredicateScenario s;
+  Partition hybrid = HybridPartition(*s.cg);
+  const TripleGraph& g = s.cg->graph();
+  // The documented error: hasAge and population collapse into one class.
+  EXPECT_EQ(hybrid.ColorOf(g.FindUri("v1:hasAge")),
+            hybrid.ColorOf(g.FindUri("v2:population")));
+}
+
+TEST(ContextualHybridTest, MediationSignaturesSplitThem) {
+  PredicateScenario s;
+  Partition aware = PredicateAwareHybridPartition(*s.cg);
+  const TripleGraph& g = s.cg->graph();
+  // Correct alignments survive...
+  EXPECT_EQ(aware.ColorOf(g.FindUri("v1:hasAge")),
+            aware.ColorOf(g.FindUri("v2:hasAge")));
+  EXPECT_EQ(aware.ColorOf(g.FindUri("v1:population")),
+            aware.ColorOf(g.FindUri("v2:population")));
+  // ...while the false merge is gone.
+  EXPECT_NE(aware.ColorOf(g.FindUri("v1:hasAge")),
+            aware.ColorOf(g.FindUri("v2:population")));
+}
+
+TEST(ContextualHybridTest, AgreesWithHybridOnFig3) {
+  // On a graph with no predicate-only churn the contextual variant must
+  // not disturb the standard result.
+  auto [g1, g2] = testing::Fig3Graphs();
+  auto cg = testing::Combine(g1, g2);
+  Partition plain = HybridPartition(cg);
+  Partition aware = PredicateAwareHybridPartition(cg);
+  const TripleGraph& g = cg.graph();
+  EXPECT_EQ(aware.ColorOf(g.FindUri("ex:u")), aware.ColorOf(g.FindUri("ex:v")));
+  EXPECT_EQ(aware.ColorOf(g.FindBlank("b1")),
+            aware.ColorOf(g.FindBlank("b5")));
+  EXPECT_EQ(aware.ColorOf(g.FindBlank("b2")),
+            aware.ColorOf(g.FindBlank("b4")));
+  (void)plain;
+}
+
+class ContextualRefineProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ContextualRefineProperty, ContextualIsFinerThanPlainHybrid) {
+  // The contextual signature strictly extends the plain one, so its
+  // greatest fixpoint refines plain hybrid's: every contextual class sits
+  // inside one plain class (splits may cascade from predicates to their
+  // subjects, which is the point — false merges dissolve, true alignments
+  // never span two plain classes).
+  auto [g1, g2] = testing::RandomEvolvingPair(GetParam());
+  auto cg = testing::Combine(g1, g2);
+  Partition plain = HybridPartition(cg);
+  Partition aware = PredicateAwareHybridPartition(cg);
+  EXPECT_TRUE(Partition::IsFinerOrEqual(aware, plain))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContextualRefineProperty,
+                         ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace rdfalign

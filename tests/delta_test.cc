@@ -1,0 +1,74 @@
+#include "core/delta.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid.h"
+#include "test_util.h"
+
+namespace rdfalign {
+namespace {
+
+TEST(DeltaTest, IdenticalVersionsHaveEmptyDelta) {
+  auto dict = std::make_shared<Dictionary>();
+  TripleGraph g1 = testing::Fig2Graph(dict);
+  TripleGraph g2 = testing::Fig2Graph(dict);
+  auto cg = testing::Combine(g1, g2);
+  RdfDelta delta = ComputeDelta(cg, HybridPartition(cg));
+  EXPECT_TRUE(delta.added.empty());
+  EXPECT_TRUE(delta.deleted.empty());
+  EXPECT_EQ(delta.unchanged, g1.NumEdges());
+  EXPECT_TRUE(delta.renamed_uris.empty());
+}
+
+TEST(DeltaTest, Fig3DeltaFindsRenameAndBlankMerge) {
+  auto [g1, g2] = testing::Fig3Graphs();
+  auto cg = testing::Combine(g1, g2);
+  RdfDelta delta = ComputeDelta(cg, HybridPartition(cg));
+  // u -> v rename discovered via alignment.
+  ASSERT_EQ(delta.renamed_uris.size(), 1u);
+  EXPECT_EQ(delta.renamed_uris[0].source_uri, "ex:u");
+  EXPECT_EQ(delta.renamed_uris[0].target_uri, "ex:v");
+  // The duplicate blank's edges collapse: G1 has one more edge than G2 and
+  // hybrid aligns all 9 of G2's; the leftover source edge is a deletion.
+  EXPECT_EQ(delta.deleted.size(), 1u);
+  EXPECT_TRUE(delta.added.empty());
+  EXPECT_EQ(delta.unchanged, 9u);
+}
+
+TEST(DeltaTest, TrivialAlignmentSeesRenamesAsAddDelete) {
+  auto [g1, g2] = testing::Fig3Graphs();
+  auto cg = testing::Combine(g1, g2);
+  RdfDelta delta = ComputeDelta(cg, TrivialPartition(cg.graph()));
+  // Without hybrid, the rename and blank edges all appear as changes.
+  EXPECT_GT(delta.deleted.size(), 1u);
+  EXPECT_FALSE(delta.added.empty());
+  EXPECT_TRUE(delta.renamed_uris.empty());
+}
+
+TEST(DeltaTest, PureInsertion) {
+  auto dict = std::make_shared<Dictionary>();
+  GraphBuilder b1(dict);
+  b1.AddLiteralTriple("ex:s", "ex:p", "v");
+  GraphBuilder b2(dict);
+  b2.AddLiteralTriple("ex:s", "ex:p", "v");
+  b2.AddLiteralTriple("ex:s", "ex:q", "w");
+  auto g1 = std::move(b1.Build(true)).value();
+  auto g2 = std::move(b2.Build(true)).value();
+  auto cg = testing::Combine(g1, g2);
+  RdfDelta delta = ComputeDelta(cg, HybridPartition(cg));
+  EXPECT_EQ(delta.added.size(), 1u);
+  EXPECT_TRUE(delta.deleted.empty());
+  EXPECT_EQ(delta.unchanged, 1u);
+}
+
+TEST(DeltaTest, SummaryFormat) {
+  RdfDelta delta;
+  delta.added.resize(3);
+  delta.deleted.resize(1);
+  delta.unchanged = 7;
+  delta.renamed_uris.resize(2);
+  EXPECT_EQ(DeltaSummary(delta), "+3 -1 ~7, 2 renames");
+}
+
+}  // namespace
+}  // namespace rdfalign

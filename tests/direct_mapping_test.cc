@@ -1,0 +1,131 @@
+#include "relational/direct_mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+
+namespace rdfalign::relational {
+namespace {
+
+Database MakeDb() {
+  Database db;
+  TableSchema person{
+      .name = "person",
+      .columns = {{"person_id", ColumnType::kInteger, false},
+                  {"name", ColumnType::kText, false},
+                  {"nickname", ColumnType::kText, true}},
+      .primary_key = 0,
+      .foreign_keys = {}};
+  TableSchema job{
+      .name = "job",
+      .columns = {{"job_id", ColumnType::kInteger, false},
+                  {"person_id", ColumnType::kInteger, false},
+                  {"title", ColumnType::kText, false}},
+      .primary_key = 0,
+      .foreign_keys = {{1, "person"}}};
+  EXPECT_TRUE(db.CreateTable(person).ok());
+  EXPECT_TRUE(db.CreateTable(job).ok());
+  EXPECT_TRUE(db.Insert("person",
+                        {int64_t{7}, std::string("Ada"), Null{}}).ok());
+  EXPECT_TRUE(db.Insert("job", {int64_t{1}, int64_t{7},
+                                std::string("Engineer")}).ok());
+  return db;
+}
+
+TEST(DirectMappingTest, UriConstructionRules) {
+  DirectMappingOptions opt;
+  opt.base_uri = "http://db.example/v1/";
+  Database db = MakeDb();
+  const TableSchema& person = db.GetTable("person")->schema();
+  EXPECT_EQ(RowUri(opt, person, 7),
+            "http://db.example/v1/person/person_id=7");
+  EXPECT_EQ(ColumnPredicateUri(opt, person, 1),
+            "http://db.example/v1/person#name");
+  const TableSchema& job = db.GetTable("job")->schema();
+  EXPECT_EQ(RefPredicateUri(opt, job, 1),
+            "http://db.example/v1/job#ref-person_id");
+  EXPECT_EQ(TableTypeUri(opt, person), "http://db.example/v1/person");
+}
+
+TEST(DirectMappingTest, ExportShape) {
+  DirectMappingOptions opt;
+  opt.base_uri = "http://db.example/v1/";
+  Database db = MakeDb();
+  auto g = ExportDirectMapping(db, opt, nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  // Row URIs exist.
+  NodeId ada = g->FindUri("http://db.example/v1/person/person_id=7");
+  NodeId job = g->FindUri("http://db.example/v1/job/job_id=1");
+  ASSERT_NE(ada, kInvalidNode);
+  ASSERT_NE(job, kInvalidNode);
+  // Value attribute -> literal edge.
+  EXPECT_NE(g->FindLiteral("Ada"), kInvalidNode);
+  EXPECT_NE(g->FindLiteral("Engineer"), kInvalidNode);
+  // NULL nickname is skipped.
+  EXPECT_EQ(g->FindUri("http://db.example/v1/person#nickname"),
+            kInvalidNode);
+  // Referential attribute points at the referenced row URI.
+  bool fk_edge = false;
+  NodeId ref_pred = g->FindUri("http://db.example/v1/job#ref-person_id");
+  ASSERT_NE(ref_pred, kInvalidNode);
+  for (const auto& po : g->Out(job)) {
+    if (po.p == ref_pred && po.o == ada) fk_edge = true;
+  }
+  EXPECT_TRUE(fk_edge);
+  // Type triples present: person row typed with the table class.
+  NodeId type_pred =
+      g->FindUri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  NodeId person_class = g->FindUri("http://db.example/v1/person");
+  ASSERT_NE(type_pred, kInvalidNode);
+  ASSERT_NE(person_class, kInvalidNode);
+  bool typed = false;
+  for (const auto& po : g->Out(ada)) {
+    if (po.p == type_pred && po.o == person_class) typed = true;
+  }
+  EXPECT_TRUE(typed);
+  // No blank nodes in a direct-mapped graph.
+  EXPECT_EQ(g->CountOfKind(TermKind::kBlank), 0u);
+}
+
+TEST(DirectMappingTest, TypeTriplesCanBeDisabled) {
+  DirectMappingOptions opt;
+  opt.base_uri = "http://db.example/v1/";
+  opt.emit_type_triples = false;
+  auto g = ExportDirectMapping(MakeDb(), opt, nullptr);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->FindUri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+            kInvalidNode);
+}
+
+TEST(DirectMappingTest, DistinctPrefixesShareNoRowUris) {
+  auto dict = std::make_shared<rdfalign::Dictionary>();
+  Database db = MakeDb();
+  DirectMappingOptions v1;
+  v1.base_uri = "http://db.example/v1/";
+  DirectMappingOptions v2;
+  v2.base_uri = "http://db.example/v2/";
+  auto g1 = ExportDirectMapping(db, v1, dict);
+  auto g2 = ExportDirectMapping(db, v2, dict);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  // The only shared URI is rdf:type; every value literal is shared.
+  size_t shared_uris = 0;
+  for (NodeId n = 0; n < g1->NumNodes(); ++n) {
+    if (g1->IsUri(n) && g2->FindUri(g1->Lexical(n)) != kInvalidNode) {
+      ++shared_uris;
+    }
+  }
+  EXPECT_EQ(shared_uris, 1u);  // rdf:type
+}
+
+TEST(DirectMappingTest, DeterministicExport) {
+  Database db = MakeDb();
+  DirectMappingOptions opt;
+  auto g1 = ExportDirectMapping(db, opt, nullptr);
+  auto g2 = ExportDirectMapping(db, opt, nullptr);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  EXPECT_EQ(g1->NumNodes(), g2->NumNodes());
+  EXPECT_EQ(g1->NumEdges(), g2->NumEdges());
+}
+
+}  // namespace
+}  // namespace rdfalign::relational

@@ -1,0 +1,113 @@
+#include "core/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "gen/textgen.h"
+#include "util/random.h"
+
+namespace rdfalign {
+namespace {
+
+TEST(LevenshteinTest, KnownValues) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "xy"), 2u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", "ac"), 1u);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("Slawek", "Slawomir"), 4u);
+}
+
+TEST(LevenshteinTest, Symmetric) {
+  EXPECT_EQ(LevenshteinDistance("abcdef", "azced"),
+            LevenshteinDistance("azced", "abcdef"));
+}
+
+TEST(NormalizedTest, PaperExample5Value) {
+  // "abc" vs "ac": differ by the presence of b, lengths bounded by 3 -> 1/3.
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", "ac"), 1.0 / 3.0);
+  // "a" vs "ac": normalized edit distance 1/2 (σEdit overrides it to 1 for
+  // aligned nodes, but the raw measure is 1/2).
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("a", "ac"), 0.5);
+}
+
+TEST(NormalizedTest, RangeAndIdentity) {
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("same", "same"), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", "xyz"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("", "abc"), 1.0);
+}
+
+TEST(BoundedTest, AgreesWithExactWithinBound) {
+  EXPECT_EQ(LevenshteinDistanceBounded("kitten", "sitting", 3), 3u);
+  EXPECT_EQ(LevenshteinDistanceBounded("kitten", "sitting", 5), 3u);
+  EXPECT_GT(LevenshteinDistanceBounded("kitten", "sitting", 2), 2u);
+  EXPECT_EQ(LevenshteinDistanceBounded("abc", "abc", 0), 0u);
+  EXPECT_GT(LevenshteinDistanceBounded("abc", "abd", 0), 0u);
+}
+
+TEST(BoundedTest, LengthDifferencePrunes) {
+  EXPECT_GT(LevenshteinDistanceBounded("a", "aaaaaaaaaa", 3), 3u);
+}
+
+TEST(BoundedNormalizedTest, BelowThetaExactAboveThetaOne) {
+  // 1/3 < 0.5: exact value returned.
+  EXPECT_DOUBLE_EQ(NormalizedEditDistanceBounded("abc", "ac", 0.5),
+                   1.0 / 3.0);
+  // 1/3 >= 0.2: pruned to 1.
+  EXPECT_DOUBLE_EQ(NormalizedEditDistanceBounded("abc", "ac", 0.2), 1.0);
+  // Equal strings always 0.
+  EXPECT_DOUBLE_EQ(NormalizedEditDistanceBounded("x", "x", 0.01), 0.0);
+}
+
+// Property sweep: the bounded variant agrees with the exact one, and the
+// normalized distance is a metric.
+class EditDistanceProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(EditDistanceProperty, BoundedMatchesExact) {
+  auto [seed, theta] = GetParam();
+  Rng rng(seed);
+  for (int i = 0; i < 50; ++i) {
+    std::string a = gen::RandomSentence(rng, 1, 4);
+    std::string b =
+        rng.Bernoulli(0.5) ? gen::ApplyTypos(a, rng.Uniform(4), rng)
+                           : gen::RandomSentence(rng, 1, 4);
+    double exact = NormalizedEditDistance(a, b);
+    double bounded = NormalizedEditDistanceBounded(a, b, theta);
+    if (exact < theta) {
+      EXPECT_DOUBLE_EQ(bounded, exact) << "a=" << a << " b=" << b;
+    } else {
+      EXPECT_DOUBLE_EQ(bounded, 1.0) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(EditDistanceProperty, TriangleInequality) {
+  auto [seed, theta] = GetParam();
+  (void)theta;
+  Rng rng(seed + 1000);
+  for (int i = 0; i < 30; ++i) {
+    std::string a = gen::RandomSentence(rng, 1, 3);
+    std::string b = gen::ApplyTypos(a, rng.Uniform(3), rng);
+    std::string c = gen::RandomSentence(rng, 1, 3);
+    double ab = NormalizedEditDistance(a, b);
+    double bc = NormalizedEditDistance(b, c);
+    double ac = NormalizedEditDistance(a, c);
+    EXPECT_LE(ac, ab + bc + 1e-12)
+        << "a=" << a << " b=" << b << " c=" << c;
+    EXPECT_DOUBLE_EQ(ab, NormalizedEditDistance(b, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EditDistanceProperty,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2, 3, 4),
+                       ::testing::Values(0.35, 0.65, 0.95)));
+
+}  // namespace
+}  // namespace rdfalign

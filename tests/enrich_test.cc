@@ -1,0 +1,127 @@
+#include "core/enrich.h"
+
+#include <gtest/gtest.h>
+
+#include "core/alignment.h"
+#include "core/hybrid.h"
+#include "test_util.h"
+
+namespace rdfalign {
+namespace {
+
+// A small combined graph with two unaligned literals per side.
+struct EnrichFixture {
+  EnrichFixture() {
+    auto dict = std::make_shared<Dictionary>();
+    GraphBuilder b1(dict);
+    NodeId s1 = b1.AddUri("ex:s1");
+    NodeId p1 = b1.AddUri("ex:p");
+    lit_a1 = b1.AddLiteral("alpha one");
+    lit_b1 = b1.AddLiteral("beta one");
+    b1.AddTriple(s1, p1, lit_a1);
+    b1.AddTriple(s1, p1, lit_b1);
+    GraphBuilder b2(dict);
+    NodeId s2 = b2.AddUri("ex:s2");
+    NodeId p2 = b2.AddUri("ex:p");
+    lit_a2 = b2.AddLiteral("alpha 1");
+    lit_b2 = b2.AddLiteral("beta 1");
+    b2.AddTriple(s2, p2, lit_a2);
+    b2.AddTriple(s2, p2, lit_b2);
+    g1 = std::move(b1.Build(true)).value();
+    g2 = std::move(b2.Build(true)).value();
+    cg = std::make_unique<CombinedGraph>(testing::Combine(g1, g2));
+    // Combined ids.
+    lit_a2 = cg->FromTarget(lit_a2);
+    lit_b2 = cg->FromTarget(lit_b2);
+  }
+  TripleGraph g1, g2;
+  std::unique_ptr<CombinedGraph> cg;
+  NodeId lit_a1, lit_b1, lit_a2, lit_b2;
+};
+
+TEST(EnrichTest, EmptyMatchingIsIdentity) {
+  EnrichFixture f;
+  WeightedPartition xi = MakeZeroWeighted(HybridPartition(*f.cg));
+  WeightedPartition out = Enrich(xi, BipartiteMatching{});
+  EXPECT_TRUE(Partition::Equivalent(out.partition, xi.partition));
+  EXPECT_EQ(out.weight, xi.weight);
+}
+
+TEST(EnrichTest, SinglePairFormsClusterWithHalfWeights) {
+  EnrichFixture f;
+  WeightedPartition xi = MakeZeroWeighted(HybridPartition(*f.cg));
+  ASSERT_NE(xi.partition.ColorOf(f.lit_a1), xi.partition.ColorOf(f.lit_a2));
+  BipartiteMatching h;
+  h.edges.push_back(MatchEdge{f.lit_a1, f.lit_a2, 0.4});
+  WeightedPartition out = Enrich(xi, h);
+  EXPECT_EQ(out.partition.ColorOf(f.lit_a1),
+            out.partition.ColorOf(f.lit_a2));
+  // w = ½·max distance to the opposite side = 0.2 each; the consistency
+  // requirement d ≤ w(a) ⊕ w(b) holds with equality.
+  EXPECT_DOUBLE_EQ(out.weight[f.lit_a1], 0.2);
+  EXPECT_DOUBLE_EQ(out.weight[f.lit_a2], 0.2);
+  // Unrelated literals untouched.
+  EXPECT_NE(out.partition.ColorOf(f.lit_b1),
+            out.partition.ColorOf(f.lit_a1));
+  EXPECT_DOUBLE_EQ(out.weight[f.lit_b1], 0.0);
+}
+
+TEST(EnrichTest, TwoIndependentComponents) {
+  EnrichFixture f;
+  WeightedPartition xi = MakeZeroWeighted(HybridPartition(*f.cg));
+  BipartiteMatching h;
+  h.edges.push_back(MatchEdge{f.lit_a1, f.lit_a2, 0.2});
+  h.edges.push_back(MatchEdge{f.lit_b1, f.lit_b2, 0.6});
+  WeightedPartition out = Enrich(xi, h);
+  EXPECT_EQ(out.partition.ColorOf(f.lit_a1),
+            out.partition.ColorOf(f.lit_a2));
+  EXPECT_EQ(out.partition.ColorOf(f.lit_b1),
+            out.partition.ColorOf(f.lit_b2));
+  EXPECT_NE(out.partition.ColorOf(f.lit_a1),
+            out.partition.ColorOf(f.lit_b1));
+  EXPECT_DOUBLE_EQ(out.weight[f.lit_a1], 0.1);
+  EXPECT_DOUBLE_EQ(out.weight[f.lit_b1], 0.3);
+}
+
+TEST(EnrichTest, StarComponentUsesMaxDistance) {
+  // One source node matched to both targets (a 3-node component).
+  EnrichFixture f;
+  WeightedPartition xi = MakeZeroWeighted(HybridPartition(*f.cg));
+  BipartiteMatching h;
+  h.edges.push_back(MatchEdge{f.lit_a1, f.lit_a2, 0.1});
+  h.edges.push_back(MatchEdge{f.lit_a1, f.lit_b2, 0.5});
+  WeightedPartition out = Enrich(xi, h);
+  EXPECT_EQ(out.partition.ColorOf(f.lit_a1),
+            out.partition.ColorOf(f.lit_a2));
+  EXPECT_EQ(out.partition.ColorOf(f.lit_a1),
+            out.partition.ColorOf(f.lit_b2));
+  // w(a1) = ½·max(0.1, 0.5) = 0.25.
+  EXPECT_DOUBLE_EQ(out.weight[f.lit_a1], 0.25);
+  // w(a2) = ½·d*(a2, a1) = 0.05; w(b2) = ½·0.5 = 0.25.
+  EXPECT_DOUBLE_EQ(out.weight[f.lit_a2], 0.05);
+  EXPECT_DOUBLE_EQ(out.weight[f.lit_b2], 0.25);
+  // Consistency d*(a,b) ≤ w(a) ⊕ w(b) for every cross pair.
+  EXPECT_LE(0.1, out.weight[f.lit_a1] + out.weight[f.lit_a2] + 1e-12);
+  EXPECT_LE(0.5, out.weight[f.lit_a1] + out.weight[f.lit_b2] + 1e-12);
+}
+
+TEST(EnrichTest, PathDistancesUseOPlus) {
+  // Component a1 - a2 - b1 - b2 (alternating sides): d*(a1,b2) = 0.2+0.3+0.4.
+  EnrichFixture f;
+  WeightedPartition xi = MakeZeroWeighted(HybridPartition(*f.cg));
+  BipartiteMatching h;
+  h.edges.push_back(MatchEdge{f.lit_a1, f.lit_a2, 0.2});
+  h.edges.push_back(MatchEdge{f.lit_b1, f.lit_a2, 0.3});
+  h.edges.push_back(MatchEdge{f.lit_b1, f.lit_b2, 0.4});
+  WeightedPartition out = Enrich(xi, h);
+  // All four in one cluster.
+  ColorId c = out.partition.ColorOf(f.lit_a1);
+  EXPECT_EQ(out.partition.ColorOf(f.lit_b2), c);
+  // w(a1) = ½·max(d(a1,a2)=0.2, d(a1,b2)=0.9) = 0.45.
+  EXPECT_DOUBLE_EQ(out.weight[f.lit_a1], 0.45);
+  // Consistency for the far pair: 0.9 <= 0.45 ⊕ w(b2)=½·0.9.
+  EXPECT_LE(0.9, OPlus(out.weight[f.lit_a1], out.weight[f.lit_b2]) + 1e-12);
+}
+
+}  // namespace
+}  // namespace rdfalign

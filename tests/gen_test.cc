@@ -1,0 +1,208 @@
+// Tests of the workload generators (DESIGN.md S13): the simulated datasets
+// must exhibit the structural properties the paper's experiments rely on.
+
+#include <gtest/gtest.h>
+
+#include "gen/category_gen.h"
+#include "gen/efo_gen.h"
+#include "gen/gtopdb_gen.h"
+#include "gen/textgen.h"
+#include "rdf/statistics.h"
+#include "test_util.h"
+
+namespace rdfalign::gen {
+namespace {
+
+TEST(TextGenTest, DeterministicAndShaped) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(RandomWord(a), RandomWord(b));
+  EXPECT_EQ(RandomSentence(a, 3, 5), RandomSentence(b, 3, 5));
+  Rng rng(7);
+  std::string name = RandomName(rng);
+  ASSERT_FALSE(name.empty());
+  EXPECT_TRUE(std::isupper(static_cast<unsigned char>(name[0])));
+  std::string sentence = RandomSentence(rng, 4, 4);
+  EXPECT_EQ(std::count(sentence.begin(), sentence.end(), ' '), 3);
+}
+
+TEST(TextGenTest, TypoChangesByBoundedDistance) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    std::string s = RandomSentence(rng, 2, 4);
+    std::string t = ApplyTypo(s, rng);
+    // One typo is at most 1 edit (swap counts as <= 2).
+    int diff = static_cast<int>(s.size()) - static_cast<int>(t.size());
+    EXPECT_LE(std::abs(diff), 1);
+  }
+  EXPECT_EQ(ApplyTypo("", rng).size(), 1u);
+}
+
+TEST(EfoGenTest, ProportionsMatchFig9Shape) {
+  EfoOptions options;
+  options.initial_classes = 120;
+  options.versions = 4;
+  EfoChain chain = EfoChain::Generate(options);
+  ASSERT_EQ(chain.NumVersions(), 4u);
+  for (size_t v = 0; v < chain.NumVersions(); ++v) {
+    GraphStatistics s = ComputeStatistics(chain.Version(v));
+    double lit_share = static_cast<double>(s.literals) / s.nodes;
+    double uri_share = static_cast<double>(s.uris) / s.nodes;
+    double blank_share = static_cast<double>(s.blanks) / s.nodes;
+    EXPECT_GT(lit_share, 0.6) << "version " << v;   // literal-heavy
+    EXPECT_LT(uri_share, 0.35) << "version " << v;  // URIs a small share
+    EXPECT_GT(blank_share, 0.02) << "version " << v;
+    EXPECT_LT(blank_share, 0.30) << "version " << v;
+  }
+}
+
+TEST(EfoGenTest, DeterministicForSeed) {
+  EfoOptions options;
+  options.initial_classes = 50;
+  options.versions = 3;
+  EfoChain a = EfoChain::Generate(options);
+  EfoChain b = EfoChain::Generate(options);
+  for (size_t v = 0; v < 3; ++v) {
+    EXPECT_EQ(a.Version(v).NumNodes(), b.Version(v).NumNodes());
+    EXPECT_EQ(a.Version(v).NumEdges(), b.Version(v).NumEdges());
+  }
+}
+
+TEST(EfoGenTest, VersionsShareDictionaryAndEvolve) {
+  EfoOptions options;
+  options.initial_classes = 60;
+  options.versions = 3;
+  EfoChain chain = EfoChain::Generate(options);
+  for (size_t v = 0; v + 1 < chain.NumVersions(); ++v) {
+    EXPECT_EQ(chain.Version(v).dict_ptr().get(),
+              chain.Version(v + 1).dict_ptr().get());
+    // Consecutive versions differ but overlap.
+    EXPECT_NE(chain.Version(v).NumEdges(), 0u);
+  }
+  // Ground truth between consecutive versions is non-trivial.
+  GroundTruth gt = chain.ClassGroundTruth(0, 1);
+  EXPECT_GT(gt.NumPairs(), 40u);
+}
+
+TEST(EfoGenTest, PrefixMigrationHappensAtScheduledVersion) {
+  EfoOptions options;
+  options.initial_classes = 100;
+  options.versions = 10;
+  options.big_migration_version = 7;
+  EfoChain chain = EfoChain::Generate(options);
+  auto count_new_prefix = [&](size_t v) {
+    size_t count = 0;
+    const TripleGraph& g = chain.Version(v);
+    for (NodeId n = 0; n < g.NumNodes(); ++n) {
+      if (g.IsUri(n) &&
+          g.Lexical(n).find("purl.obolibrary.org") != std::string_view::npos) {
+        ++count;
+      }
+    }
+    return count;
+  };
+  // A large batch of URIs moves to the new prefix between versions 7 and 8
+  // (0-based: version index 8).
+  EXPECT_GT(count_new_prefix(8), count_new_prefix(7) + 10);
+}
+
+TEST(GtoPdbGenTest, ChainShapeAndIntegrity) {
+  GtoPdbOptions options;
+  options.num_ligands = 60;
+  options.versions = 4;
+  GtoPdbChain chain = GenerateGtoPdbChain(options);
+  ASSERT_EQ(chain.versions.size(), 4u);
+  for (const auto& db : chain.versions) {
+    EXPECT_TRUE(db.ValidateIntegrity().ok());
+    EXPECT_GT(db.TotalRows(), 100u);
+  }
+  // Keys are persistent: a surviving ligand keeps its key across versions.
+  const auto* l0 = chain.versions[0].GetTable("ligand");
+  const auto* l3 = chain.versions[3].GetTable("ligand");
+  size_t survivors = 0;
+  for (int64_t key : l0->Keys()) {
+    if (l3->Find(key) != nullptr) ++survivors;
+  }
+  EXPECT_GT(survivors, l0->NumRows() / 2);
+}
+
+TEST(GtoPdbGenTest, ExportHasNoBlanksAndDistinctPrefixes) {
+  GtoPdbOptions options;
+  options.num_ligands = 40;
+  options.versions = 2;
+  GtoPdbChain chain = GenerateGtoPdbChain(options);
+  auto dict = std::make_shared<Dictionary>();
+  auto g1 = ExportGtoPdbVersion(chain.versions[0], 0, dict);
+  auto g2 = ExportGtoPdbVersion(chain.versions[1], 1, dict);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  EXPECT_EQ(g1->CountOfKind(TermKind::kBlank), 0u);
+  GraphStatistics s = ComputeStatistics(*g1);
+  // Fig. 12: literals slightly outnumber URIs.
+  EXPECT_GT(s.literals, 0u);
+  EXPECT_GT(s.uris, 0u);
+  // Only rdf:type is shared between version namespaces.
+  size_t shared = 0;
+  for (NodeId n = 0; n < g1->NumNodes(); ++n) {
+    if (g1->IsUri(n) && g2->FindUri(g1->Lexical(n)) != kInvalidNode) {
+      ++shared;
+    }
+  }
+  EXPECT_EQ(shared, 1u);
+}
+
+TEST(GtoPdbGenTest, GroundTruthCoversSurvivingRows) {
+  GtoPdbOptions options;
+  options.num_ligands = 40;
+  options.versions = 2;
+  GtoPdbChain chain = GenerateGtoPdbChain(options);
+  auto dict = std::make_shared<Dictionary>();
+  auto g1 = ExportGtoPdbVersion(chain.versions[0], 0, dict);
+  auto g2 = ExportGtoPdbVersion(chain.versions[1], 1, dict);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  GroundTruth gt = RelationalGroundTruth(chain.versions[0], *g1, 0,
+                                         chain.versions[1], *g2, 1);
+  // At least one pair per surviving row plus schema nodes.
+  size_t surviving = 0;
+  for (const auto& table : chain.versions[0].tables()) {
+    const auto* t2 = chain.versions[1].GetTable(table.schema().name);
+    for (int64_t key : table.Keys()) {
+      if (t2->Find(key) != nullptr) ++surviving;
+    }
+  }
+  EXPECT_GE(gt.NumPairs(), surviving);
+  // Pairs reference valid nodes on the correct sides.
+  for (auto [a, b] : gt.pairs()) {
+    EXPECT_LT(a, g1->NumNodes());
+    EXPECT_LT(b, g2->NumNodes());
+  }
+}
+
+TEST(CategoryGenTest, GrowingVersions) {
+  CategoryOptions options;
+  options.initial_categories = 100;
+  options.initial_articles = 400;
+  options.versions = 4;
+  CategoryChain chain = CategoryChain::Generate(options);
+  ASSERT_EQ(chain.NumVersions(), 4u);
+  for (size_t v = 0; v + 1 < chain.NumVersions(); ++v) {
+    EXPECT_LT(chain.Version(v).NumNodes(), chain.Version(v + 1).NumNodes());
+    EXPECT_LT(chain.Version(v).NumEdges(), chain.Version(v + 1).NumEdges());
+  }
+  GraphStatistics s = ComputeStatistics(chain.Version(0));
+  EXPECT_EQ(s.blanks, 0u);
+  EXPECT_GT(s.uris, s.blanks);
+}
+
+TEST(CategoryGenTest, DeterministicForSeed) {
+  CategoryOptions options;
+  options.initial_categories = 50;
+  options.initial_articles = 100;
+  options.versions = 2;
+  CategoryChain a = CategoryChain::Generate(options);
+  CategoryChain b = CategoryChain::Generate(options);
+  EXPECT_EQ(a.Version(1).NumNodes(), b.Version(1).NumNodes());
+  EXPECT_EQ(a.Version(1).NumEdges(), b.Version(1).NumEdges());
+}
+
+}  // namespace
+}  // namespace rdfalign::gen

@@ -1,0 +1,167 @@
+#include "rdf/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+
+namespace rdfalign {
+namespace {
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  LexId a = d.Intern("http://x");
+  LexId b = d.Intern("http://x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.Get(a), "http://x");
+}
+
+TEST(DictionaryTest, FindWithoutIntern) {
+  Dictionary d;
+  EXPECT_EQ(d.Find("missing"), kInvalidLex);
+  LexId a = d.Intern("present");
+  EXPECT_EQ(d.Find("present"), a);
+}
+
+TEST(DictionaryTest, ManyStringsStayStable) {
+  Dictionary d;
+  std::vector<LexId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(d.Intern("s" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(d.Get(ids[i]), "s" + std::to_string(i));
+  }
+}
+
+TEST(GraphBuilderTest, DeduplicatesUrisAndLiterals) {
+  GraphBuilder b;
+  NodeId u1 = b.AddUri("ex:a");
+  NodeId u2 = b.AddUri("ex:a");
+  EXPECT_EQ(u1, u2);
+  NodeId l1 = b.AddLiteral("x");
+  NodeId l2 = b.AddLiteral("x");
+  EXPECT_EQ(l1, l2);
+  // A URI and a literal with the same lexical form are distinct nodes.
+  NodeId u3 = b.AddUri("x");
+  EXPECT_NE(u3, l1);
+}
+
+TEST(GraphBuilderTest, NamedBlanksDedupAnonymousDoNot) {
+  GraphBuilder b;
+  EXPECT_EQ(b.AddBlank("b1"), b.AddBlank("b1"));
+  EXPECT_NE(b.AddBlank(), b.AddBlank());
+}
+
+TEST(GraphBuilderTest, BuildsValidGraph) {
+  GraphBuilder b;
+  b.AddLiteralTriple("ex:s", "ex:p", "value");
+  b.AddUriTriple("ex:s", "ex:q", "ex:o");
+  auto g = b.Build(true);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 5u);  // s, p, q, o, "value"
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST(GraphBuilderTest, DuplicateTriplesCollapse) {
+  GraphBuilder b;
+  b.AddUriTriple("ex:s", "ex:p", "ex:o");
+  b.AddUriTriple("ex:s", "ex:p", "ex:o");
+  auto g = b.Build(true);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(GraphValidationTest, RejectsLiteralSubject) {
+  GraphBuilder b;
+  NodeId lit = b.AddLiteral("x");
+  NodeId p = b.AddUri("ex:p");
+  NodeId o = b.AddUri("ex:o");
+  b.AddTriple(lit, p, o);
+  auto g = b.Build(true);
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsInvalidArgument());
+}
+
+TEST(GraphValidationTest, RejectsLiteralAndBlankPredicates) {
+  {
+    GraphBuilder b;
+    NodeId s = b.AddUri("ex:s");
+    NodeId lit = b.AddLiteral("p");
+    b.AddTriple(s, lit, s);
+    EXPECT_FALSE(b.Build(true).ok());
+  }
+  {
+    GraphBuilder b;
+    NodeId s = b.AddUri("ex:s");
+    NodeId blank = b.AddBlank("b");
+    b.AddTriple(s, blank, s);
+    EXPECT_FALSE(b.Build(true).ok());
+  }
+}
+
+TEST(GraphValidationTest, BlankSubjectAndObjectAreFine) {
+  GraphBuilder b;
+  NodeId s = b.AddBlank("b1");
+  NodeId p = b.AddUri("ex:p");
+  NodeId o = b.AddBlank("b2");
+  b.AddTriple(s, p, o);
+  EXPECT_TRUE(b.Build(true).ok());
+}
+
+TEST(TripleGraphTest, OutNeighborhoodsAreSortedSlices) {
+  GraphBuilder b;
+  NodeId s = b.AddUri("ex:s");
+  NodeId p = b.AddUri("ex:p");
+  NodeId q = b.AddUri("ex:q");
+  NodeId o1 = b.AddLiteral("1");
+  NodeId o2 = b.AddLiteral("2");
+  b.AddTriple(s, q, o2);
+  b.AddTriple(s, p, o1);
+  b.AddTriple(s, p, o2);
+  auto g = std::move(b.Build(true)).value();
+  auto out = g.Out(s);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0] < out[1] && out[1] < out[2]);
+  EXPECT_EQ(g.OutDegree(s), 3u);
+  EXPECT_EQ(g.OutDegree(o1), 0u);
+}
+
+TEST(TripleGraphTest, FindByLabel) {
+  GraphBuilder b;
+  b.AddLiteralTriple("ex:s", "ex:p", "hello");
+  NodeId blank = b.AddBlank("bn");
+  NodeId p = b.AddUri("ex:p");
+  NodeId lit = b.AddLiteral("hello");
+  b.AddTriple(blank, p, lit);
+  auto g = std::move(b.Build(true)).value();
+  EXPECT_NE(g.FindUri("ex:s"), kInvalidNode);
+  EXPECT_EQ(g.FindUri("ex:zzz"), kInvalidNode);
+  EXPECT_NE(g.FindLiteral("hello"), kInvalidNode);
+  EXPECT_NE(g.FindBlank("bn"), kInvalidNode);
+  EXPECT_EQ(g.FindBlank("zz"), kInvalidNode);
+}
+
+TEST(TripleGraphTest, NodesOfKindAndCounts) {
+  GraphBuilder b;
+  b.AddLiteralTriple("ex:s", "ex:p", "v");
+  NodeId blank = b.AddBlank();
+  NodeId p = b.AddUri("ex:p");
+  b.AddTriple(blank, p, b.AddLiteral("w"));
+  auto g = std::move(b.Build(true)).value();
+  EXPECT_EQ(g.CountOfKind(TermKind::kUri), 2u);
+  EXPECT_EQ(g.CountOfKind(TermKind::kLiteral), 2u);
+  EXPECT_EQ(g.CountOfKind(TermKind::kBlank), 1u);
+  EXPECT_EQ(g.NodesOfKind(TermKind::kBlank).size(), 1u);
+}
+
+TEST(TripleGraphTest, FromPartsRejectsOutOfRangeIds) {
+  auto dict = std::make_shared<Dictionary>();
+  std::vector<NodeLabel> labels{{TermKind::kUri, dict->Intern("ex:a")}};
+  std::vector<Triple> triples{{0, 0, 5}};
+  auto g = TripleGraph::FromParts(dict, labels, triples, false);
+  EXPECT_FALSE(g.ok());
+}
+
+}  // namespace
+}  // namespace rdfalign

@@ -1,0 +1,116 @@
+#include "gen/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid.h"
+#include "test_util.h"
+
+namespace rdfalign::gen {
+namespace {
+
+using rdfalign::CombinedGraph;
+using rdfalign::Dictionary;
+using rdfalign::GraphBuilder;
+using rdfalign::HybridPartition;
+using rdfalign::NodeId;
+using rdfalign::Partition;
+using rdfalign::TripleGraph;
+
+TEST(GroundTruthTest, LookupBothDirections) {
+  GroundTruth gt;
+  gt.AddPair(3, 8);
+  gt.AddPair(4, 9);
+  EXPECT_EQ(gt.NumPairs(), 2u);
+  EXPECT_EQ(gt.TargetOf(3), 8u);
+  EXPECT_EQ(gt.SourceOf(9), 4u);
+  EXPECT_EQ(gt.TargetOf(99), rdfalign::kInvalidNode);
+  EXPECT_EQ(gt.SourceOf(99), rdfalign::kInvalidNode);
+}
+
+// A controlled scenario covering all four Fig. 14 categories:
+//   v1 nodes: kept (aligned correctly), fuzzy (hybrid merges extra),
+//             dropped (deleted in v2), lost (exists in both, unaligned).
+struct PrecisionFixture {
+  PrecisionFixture() {
+    auto dict = std::make_shared<Dictionary>();
+    GraphBuilder b1(dict);
+    {
+      NodeId kept = b1.AddUri("v1:kept");
+      NodeId lost = b1.AddUri("v1:lost");
+      NodeId dropped = b1.AddUri("v1:dropped");
+      NodeId p = b1.AddUri("ex:p");
+      b1.AddTriple(kept, p, b1.AddLiteral("stable value"));
+      b1.AddTriple(lost, p, b1.AddLiteral("original text"));
+      b1.AddTriple(dropped, p, b1.AddLiteral("doomed"));
+    }
+    GraphBuilder b2(dict);
+    {
+      NodeId kept = b2.AddUri("v2:kept");
+      NodeId lost = b2.AddUri("v2:lost");
+      NodeId added = b2.AddUri("v2:added");
+      NodeId p = b2.AddUri("ex:p");
+      b2.AddTriple(kept, p, b2.AddLiteral("stable value"));
+      // "lost" changed all its content: hybrid cannot align it.
+      b2.AddTriple(lost, p, b2.AddLiteral("fully rewritten"));
+      // "added" mimics the dropped node's shape: it will falsely absorb
+      // nothing (its literal differs), it stays unaligned -> true negative.
+      b2.AddTriple(added, p, b2.AddLiteral("brand new"));
+    }
+    g1 = std::move(b1.Build(true)).value();
+    g2 = std::move(b2.Build(true)).value();
+    cg = std::make_unique<CombinedGraph>(testing::Combine(g1, g2));
+    gt.AddPair(g1.FindUri("v1:kept"), g2.FindUri("v2:kept"));
+    gt.AddPair(g1.FindUri("v1:lost"), g2.FindUri("v2:lost"));
+  }
+  TripleGraph g1, g2;
+  std::unique_ptr<CombinedGraph> cg;
+  GroundTruth gt;
+};
+
+TEST(PrecisionTest, CategoriesOnControlledScenario) {
+  PrecisionFixture f;
+  Partition hybrid = HybridPartition(*f.cg);
+  PrecisionStats stats = EvaluatePrecision(*f.cg, hybrid, f.gt);
+  // kept aligns exactly on both sides -> 2 exact.
+  EXPECT_EQ(stats.exact, 2u);
+  // lost has a partner but isn't aligned to it -> 2 missing.
+  EXPECT_EQ(stats.missing, 2u);
+  // dropped/added have no partner; whether they collide (false) or stay
+  // unaligned (true negative) they must be accounted for.
+  EXPECT_EQ(stats.false_matches + stats.true_negatives +
+                stats.exact + stats.inclusive + stats.missing,
+            stats.evaluated);
+  EXPECT_GT(stats.evaluated, 4u);
+}
+
+TEST(PrecisionTest, PerfectAlignmentScoresAllExact) {
+  // Self-alignment with the ground truth being the identity-by-label map.
+  auto dict = std::make_shared<Dictionary>();
+  TripleGraph g1 = testing::Fig2Graph(dict);
+  TripleGraph g2 = testing::Fig2Graph(dict);
+  auto cg = testing::Combine(g1, g2);
+  GroundTruth gt;
+  for (NodeId n = 0; n < g1.NumNodes(); ++n) {
+    gt.AddPair(n, n);  // same builder order on both sides
+  }
+  Partition hybrid = HybridPartition(cg);
+  PrecisionStats stats = EvaluatePrecision(cg, hybrid, gt,
+                                           /*non_literals_only=*/false);
+  // b2/b3 are bisimilar duplicates: they land in one class of size 2 per
+  // side, so they score inclusive, everything else exact.
+  EXPECT_EQ(stats.inclusive, 4u);
+  EXPECT_EQ(stats.exact, stats.evaluated - 4u);
+  EXPECT_EQ(stats.missing, 0u);
+  EXPECT_EQ(stats.false_matches, 0u);
+}
+
+TEST(PrecisionTest, LiteralFilter) {
+  PrecisionFixture f;
+  Partition hybrid = HybridPartition(*f.cg);
+  PrecisionStats with = EvaluatePrecision(*f.cg, hybrid, f.gt, false);
+  PrecisionStats without = EvaluatePrecision(*f.cg, hybrid, f.gt, true);
+  EXPECT_GT(with.evaluated, without.evaluated);
+}
+
+}  // namespace
+}  // namespace rdfalign::gen

@@ -1,0 +1,56 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rdfalign {
+namespace {
+
+TEST(HashTest, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  EXPECT_NE(Mix64(1), Mix64(2));
+  // Consecutive inputs should not produce consecutive outputs.
+  EXPECT_GT(Mix64(2) > Mix64(1) ? Mix64(2) - Mix64(1) : Mix64(1) - Mix64(2),
+            1000u);
+}
+
+TEST(HashTest, HashBytesMatchesHashString) {
+  const char* s = "bisimulation";
+  EXPECT_EQ(HashBytes(s, 12), HashString("bisimulation"));
+  EXPECT_NE(HashString("abc"), HashString("acb"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(HashTest, HashU32SpanOrderAndLengthSensitive) {
+  std::vector<uint32_t> a{1, 2, 3};
+  std::vector<uint32_t> b{3, 2, 1};
+  std::vector<uint32_t> c{1, 2};
+  EXPECT_NE(HashU32Vector(a), HashU32Vector(b));
+  EXPECT_NE(HashU32Vector(a), HashU32Vector(c));
+  EXPECT_EQ(HashU32Vector(a), HashU32Span(a.data(), a.size()));
+}
+
+TEST(HashTest, EmptyVsZeroLengthDistinctFromSingleZero) {
+  std::vector<uint32_t> empty;
+  std::vector<uint32_t> zero{0};
+  EXPECT_NE(HashU32Vector(empty), HashU32Vector(zero));
+}
+
+TEST(HashTest, PackPairRoundTrips) {
+  uint64_t packed = PackPair(0xdeadbeefu, 0xcafebabeu);
+  EXPECT_EQ(UnpackHi(packed), 0xdeadbeefu);
+  EXPECT_EQ(UnpackLo(packed), 0xcafebabeu);
+  EXPECT_NE(PackPair(1, 2), PackPair(2, 1));
+}
+
+TEST(HashTest, FewCollisionsOnSmallKeys) {
+  std::set<uint64_t> hashes;
+  for (uint32_t i = 0; i < 10000; ++i) {
+    hashes.insert(Mix64(i));
+  }
+  EXPECT_EQ(hashes.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace rdfalign

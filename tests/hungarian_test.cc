@@ -1,0 +1,120 @@
+#include "core/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "util/random.h"
+
+namespace rdfalign {
+namespace {
+
+double BruteForceAssignment(const std::vector<double>& cost, size_t n) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) total += cost[i * n + perm[i]];
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(HungarianTest, TrivialSizes) {
+  EXPECT_EQ(SolveAssignment({}, 0).cost, 0.0);
+  AssignmentResult r = SolveAssignment({3.5}, 1);
+  EXPECT_DOUBLE_EQ(r.cost, 3.5);
+  EXPECT_EQ(r.row_of_col[0], 0u);
+}
+
+TEST(HungarianTest, PicksOffDiagonal) {
+  // Diagonal costs 2+2, off-diagonal 1+1.
+  std::vector<double> cost{2, 1,
+                           1, 2};
+  AssignmentResult r = SolveAssignment(cost, 2);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);
+  EXPECT_EQ(r.col_of_row[0], 1u);
+  EXPECT_EQ(r.col_of_row[1], 0u);
+}
+
+TEST(HungarianTest, ClassicExample) {
+  std::vector<double> cost{4, 1, 3,
+                           2, 0, 5,
+                           3, 2, 2};
+  AssignmentResult r = SolveAssignment(cost, 3);
+  EXPECT_DOUBLE_EQ(r.cost, 5.0);  // 1 + 2 + 2
+}
+
+TEST(HungarianTest, AssignmentIsAPermutation) {
+  Rng rng(3);
+  const size_t n = 8;
+  std::vector<double> cost(n * n);
+  for (double& c : cost) c = rng.UniformReal();
+  AssignmentResult r = SolveAssignment(cost, n);
+  std::vector<bool> row_used(n, false);
+  std::vector<bool> col_used(n, false);
+  double total = 0;
+  for (size_t j = 0; j < n; ++j) {
+    size_t i = r.row_of_col[j];
+    ASSERT_LT(i, n);
+    EXPECT_FALSE(row_used[i]);
+    row_used[i] = true;
+    EXPECT_EQ(r.col_of_row[i], j);
+    total += cost[i * n + j];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    col_used[r.col_of_row[i]] = true;
+  }
+  EXPECT_TRUE(std::all_of(col_used.begin(), col_used.end(),
+                          [](bool b) { return b; }));
+  EXPECT_NEAR(r.cost, total, 1e-12);
+}
+
+class HungarianPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HungarianPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  for (size_t n = 1; n <= 6; ++n) {
+    std::vector<double> cost(n * n);
+    for (double& c : cost) c = rng.UniformReal() * 2 - 0.5;  // negatives too
+    AssignmentResult r = SolveAssignment(cost, n);
+    EXPECT_NEAR(r.cost, BruteForceAssignment(cost, n), 1e-9)
+        << "n=" << n << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(RectangularTest, PadsWithGivenCost) {
+  // 2 rows x 1 col, pad cost 1: one real match + one padded.
+  std::vector<double> cost{0.2,
+                           0.7};
+  AssignmentResult r = SolveRectangularAssignment(cost, 2, 1, 1.0);
+  EXPECT_DOUBLE_EQ(r.cost, 1.2);
+}
+
+TEST(RectangularTest, WideMatrix) {
+  // 1 row x 3 cols: pick the cheapest column, two pads.
+  std::vector<double> cost{0.9, 0.1, 0.5};
+  AssignmentResult r = SolveRectangularAssignment(cost, 1, 3, 1.0);
+  EXPECT_DOUBLE_EQ(r.cost, 0.1 + 2.0);
+  EXPECT_EQ(r.col_of_row[0], 1u);
+}
+
+TEST(RectangularTest, SigmaEditShapeExample) {
+  // Example 5's u/u2 matching as a matrix: 3 edges vs 2, costs 0 for the
+  // two label-equal pairs, 1 elsewhere; pad 1. Optimal = 0+0+1.
+  std::vector<double> cost{0, 1,
+                           1, 0,
+                           1, 1};
+  AssignmentResult r = SolveRectangularAssignment(cost, 3, 2, 1.0);
+  EXPECT_DOUBLE_EQ(r.cost, 1.0);
+}
+
+}  // namespace
+}  // namespace rdfalign

@@ -1,0 +1,106 @@
+#include "rdf/merge.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/statistics.h"
+#include "test_util.h"
+
+namespace rdfalign {
+namespace {
+
+TEST(MergeTest, DisjointUnionPreservesCountsAndProvenance) {
+  auto [g1, g2] = testing::Fig3Graphs();
+  auto cg = testing::Combine(g1, g2);
+  EXPECT_EQ(cg.graph().NumNodes(), g1.NumNodes() + g2.NumNodes());
+  EXPECT_EQ(cg.graph().NumEdges(), g1.NumEdges() + g2.NumEdges());
+  EXPECT_EQ(cg.n1(), g1.NumNodes());
+  EXPECT_EQ(cg.n2(), g2.NumNodes());
+  EXPECT_EQ(cg.e1(), g1.NumEdges());
+  EXPECT_EQ(cg.e2(), g2.NumEdges());
+  for (NodeId n = 0; n < cg.n1(); ++n) EXPECT_TRUE(cg.InSource(n));
+  for (NodeId n = cg.n1(); n < cg.n1() + cg.n2(); ++n) {
+    EXPECT_TRUE(cg.InTarget(n));
+  }
+}
+
+TEST(MergeTest, IdMappingsRoundTrip) {
+  auto [g1, g2] = testing::Fig3Graphs();
+  auto cg = testing::Combine(g1, g2);
+  for (NodeId n = 0; n < g2.NumNodes(); ++n) {
+    NodeId combined = cg.FromTarget(n);
+    EXPECT_TRUE(cg.InTarget(combined));
+    EXPECT_EQ(cg.ToLocal(combined), n);
+  }
+  for (NodeId n = 0; n < g1.NumNodes(); ++n) {
+    EXPECT_EQ(cg.ToLocal(cg.FromSource(n)), n);
+  }
+}
+
+TEST(MergeTest, LabelsAndEdgesSurviveUnchanged) {
+  auto [g1, g2] = testing::Fig3Graphs();
+  auto cg = testing::Combine(g1, g2);
+  for (NodeId n = 0; n < g1.NumNodes(); ++n) {
+    EXPECT_EQ(cg.graph().KindOf(n), g1.KindOf(n));
+    EXPECT_EQ(cg.graph().Lexical(n), g1.Lexical(n));
+  }
+  for (NodeId n = 0; n < g2.NumNodes(); ++n) {
+    EXPECT_EQ(cg.graph().KindOf(cg.FromTarget(n)), g2.KindOf(n));
+    EXPECT_EQ(cg.graph().Lexical(cg.FromTarget(n)), g2.Lexical(n));
+  }
+  // The shared URI "ex:w" now labels two distinct nodes (one per side):
+  // the combined graph is a triple graph, not an RDF graph.
+  size_t w_nodes = 0;
+  for (NodeId n = 0; n < cg.graph().NumNodes(); ++n) {
+    if (cg.graph().IsUri(n) && cg.graph().Lexical(n) == "ex:w") ++w_nodes;
+  }
+  EXPECT_EQ(w_nodes, 2u);
+}
+
+TEST(MergeTest, RequiresSharedDictionary) {
+  GraphBuilder b1;  // fresh dictionary
+  b1.AddUriTriple("ex:a", "ex:p", "ex:b");
+  GraphBuilder b2;  // another fresh dictionary
+  b2.AddUriTriple("ex:a", "ex:p", "ex:b");
+  auto g1 = std::move(b1.Build(true)).value();
+  auto g2 = std::move(b2.Build(true)).value();
+  auto cg = CombinedGraph::Build(g1, g2);
+  EXPECT_FALSE(cg.ok());
+  EXPECT_TRUE(cg.status().IsInvalidArgument());
+}
+
+TEST(StatisticsTest, CountsKindsAndDegrees) {
+  auto [g1, g2] = testing::Fig1Graphs();
+  GraphStatistics s = ComputeStatistics(g1);
+  EXPECT_EQ(s.nodes, g1.NumNodes());
+  EXPECT_EQ(s.edges, g1.NumEdges());
+  EXPECT_EQ(s.uris + s.literals + s.blanks, s.nodes);
+  EXPECT_EQ(s.blanks, 2u);
+  EXPECT_GT(s.literals, 0u);
+  EXPECT_GT(s.max_out_degree, 0u);
+  EXPECT_GT(s.sinks, 0u);  // literals have no out-edges
+  EXPECT_NEAR(s.avg_out_degree,
+              static_cast<double>(s.edges) / static_cast<double>(s.nodes),
+              1e-12);
+}
+
+TEST(StatisticsTest, PredicateOnlyUris) {
+  // ex:p and ex:q only ever appear in predicate position.
+  GraphBuilder b;
+  b.AddLiteralTriple("ex:s", "ex:p", "x");
+  b.AddUriTriple("ex:s", "ex:q", "ex:o");
+  auto g = std::move(b.Build(true)).value();
+  GraphStatistics s = ComputeStatistics(g);
+  EXPECT_EQ(s.predicate_only_uris, 2u);
+}
+
+TEST(StatisticsTest, EmptyGraph) {
+  GraphBuilder b;
+  auto g = std::move(b.Build(true)).value();
+  GraphStatistics s = ComputeStatistics(g);
+  EXPECT_EQ(s.nodes, 0u);
+  EXPECT_EQ(s.edges, 0u);
+  EXPECT_EQ(s.avg_out_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace rdfalign

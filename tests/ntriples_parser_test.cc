@@ -1,0 +1,132 @@
+#include "parser/ntriples_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/ntriples_writer.h"
+
+namespace rdfalign {
+namespace {
+
+TEST(NTriplesParserTest, ParsesUriTriple) {
+  auto g = ParseNTriplesString(
+      "<http://a> <http://p> <http://b> .\n", nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumEdges(), 1u);
+  EXPECT_NE(g->FindUri("http://a"), kInvalidNode);
+  EXPECT_NE(g->FindUri("http://p"), kInvalidNode);
+  EXPECT_NE(g->FindUri("http://b"), kInvalidNode);
+}
+
+TEST(NTriplesParserTest, ParsesLiteralsWithEscapes) {
+  auto g = ParseNTriplesString(
+      "<http://a> <http://p> \"line\\nbreak \\\"quoted\\\"\" .\n", nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_NE(g->FindLiteral("line\nbreak \"quoted\""), kInvalidNode);
+}
+
+TEST(NTriplesParserTest, FoldsLanguageTagsAndDatatypes) {
+  auto g = ParseNTriplesString(
+      "<http://a> <http://p> \"chat\"@fr .\n"
+      "<http://a> <http://q> "
+      "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+      nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_NE(g->FindLiteral("chat@fr"), kInvalidNode);
+  EXPECT_NE(
+      g->FindLiteral("5^^<http://www.w3.org/2001/XMLSchema#integer>"),
+      kInvalidNode);
+}
+
+TEST(NTriplesParserTest, ParsesBlankNodes) {
+  auto g = ParseNTriplesString(
+      "_:b1 <http://p> _:b2 .\n"
+      "_:b2 <http://p> \"x\" .\n",
+      nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->CountOfKind(TermKind::kBlank), 2u);
+  EXPECT_NE(g->FindBlank("b1"), kInvalidNode);
+}
+
+TEST(NTriplesParserTest, SkipsCommentsAndBlankLines) {
+  NTriplesParseStats stats;
+  auto g = ParseNTriplesString(
+      "# header comment\n"
+      "\n"
+      "<http://a> <http://p> <http://b> . # trailing comment\n",
+      nullptr, &stats);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumEdges(), 1u);
+  EXPECT_EQ(stats.triples, 1u);
+  EXPECT_EQ(stats.comments, 2u);
+}
+
+TEST(NTriplesParserTest, UnicodeEscapesInLiterals) {
+  auto g = ParseNTriplesString(
+      "<http://a> <http://p> \"caf\\u00e9\" .\n", nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_NE(g->FindLiteral("caf\xc3\xa9"), kInvalidNode);
+}
+
+TEST(NTriplesParserTest, ErrorsCarryLineNumbers) {
+  auto g = ParseNTriplesString(
+      "<http://a> <http://p> <http://b> .\n"
+      "<http://a> <http://p> 42 .\n",
+      nullptr);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsParseError());
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseNTriplesString("<a <p> <b> .\n", nullptr).ok());
+  EXPECT_FALSE(ParseNTriplesString("<a> \"p\" <b> .\n", nullptr).ok());
+  EXPECT_FALSE(ParseNTriplesString("<a> <p> <b>\n", nullptr).ok());
+  EXPECT_FALSE(ParseNTriplesString("<a> <p> \"unterminated .\n",
+                                   nullptr).ok());
+  EXPECT_FALSE(ParseNTriplesString("<a> <p> <b> . extra\n", nullptr).ok());
+}
+
+TEST(NTriplesParserTest, SharedDictionaryAcrossTwoParses) {
+  auto dict = std::make_shared<Dictionary>();
+  auto g1 = ParseNTriplesString("<http://a> <http://p> \"v\" .\n", dict);
+  auto g2 = ParseNTriplesString("<http://a> <http://p> \"v\" .\n", dict);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  EXPECT_EQ(g1->LexicalId(g1->FindUri("http://a")),
+            g2->LexicalId(g2->FindUri("http://a")));
+}
+
+TEST(NTriplesWriterTest, RoundTripsThroughText) {
+  const std::string input =
+      "_:b1 <http://p> \"a\\nb\" .\n"
+      "<http://s> <http://p> _:b1 .\n"
+      "<http://s> <http://q> <http://o> .\n";
+  auto g = ParseNTriplesString(input, nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  std::string serialized = NTriplesToString(*g);
+  auto g2 = ParseNTriplesString(serialized, g->dict_ptr());
+  ASSERT_TRUE(g2.ok()) << g2.status();
+  EXPECT_EQ(g->NumNodes(), g2->NumNodes());
+  EXPECT_EQ(g->NumEdges(), g2->NumEdges());
+  // Second round trip is a fixpoint.
+  EXPECT_EQ(serialized, NTriplesToString(*g2));
+}
+
+TEST(NTriplesFileTest, MissingFileIsIOError) {
+  auto g = ParseNTriplesFile("/nonexistent/path.nt", nullptr);
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+}
+
+TEST(NTriplesFileTest, WriteAndReadBack) {
+  GraphBuilder b;
+  b.AddLiteralTriple("http://s", "http://p", "hello world");
+  auto g = std::move(b.Build(true)).value();
+  const std::string path = ::testing::TempDir() + "/rt.nt";
+  ASSERT_TRUE(WriteNTriplesFile(g, path).ok());
+  auto g2 = ParseNTriplesFile(path, nullptr);
+  ASSERT_TRUE(g2.ok()) << g2.status();
+  EXPECT_EQ(g2->NumEdges(), 1u);
+}
+
+}  // namespace
+}  // namespace rdfalign

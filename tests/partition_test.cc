@@ -1,0 +1,101 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rdfalign {
+namespace {
+
+TEST(PartitionTest, FromColorsRenumbersDensely) {
+  Partition p = Partition::FromColors({7, 7, 42, 7, 9});
+  EXPECT_EQ(p.NumNodes(), 5u);
+  EXPECT_EQ(p.NumColors(), 3u);
+  EXPECT_EQ(p.ColorOf(0), p.ColorOf(1));
+  EXPECT_EQ(p.ColorOf(0), p.ColorOf(3));
+  EXPECT_NE(p.ColorOf(0), p.ColorOf(2));
+  EXPECT_NE(p.ColorOf(2), p.ColorOf(4));
+  for (NodeId n = 0; n < 5; ++n) EXPECT_LT(p.ColorOf(n), 3u);
+}
+
+TEST(PartitionTest, SingleClassConstructor) {
+  Partition p(4);
+  EXPECT_EQ(p.NumColors(), 1u);
+  Partition empty(0);
+  EXPECT_EQ(empty.NumColors(), 0u);
+}
+
+TEST(PartitionTest, EquivalenceIgnoresColorNames) {
+  Partition a = Partition::FromColors({0, 0, 1, 2});
+  Partition b = Partition::FromColors({5, 5, 9, 1});
+  EXPECT_TRUE(Partition::Equivalent(a, b));
+}
+
+TEST(PartitionTest, EquivalenceDetectsDifferentGrouping) {
+  Partition a = Partition::FromColors({0, 0, 1, 1});
+  Partition b = Partition::FromColors({0, 1, 1, 0});
+  EXPECT_FALSE(Partition::Equivalent(a, b));
+  // Same class count but different split.
+  EXPECT_EQ(a.NumColors(), b.NumColors());
+}
+
+TEST(PartitionTest, FinerOrEqual) {
+  Partition coarse = Partition::FromColors({0, 0, 0, 1});
+  Partition fine = Partition::FromColors({0, 0, 1, 2});
+  EXPECT_TRUE(Partition::IsFinerOrEqual(fine, coarse));
+  EXPECT_FALSE(Partition::IsFinerOrEqual(coarse, fine));
+  EXPECT_TRUE(Partition::IsFinerOrEqual(fine, fine));
+}
+
+TEST(PartitionTest, ClassesGroupsMembers) {
+  Partition p = Partition::FromColors({0, 1, 0, 1, 2});
+  auto classes = p.Classes();
+  ASSERT_EQ(classes.size(), 3u);
+  EXPECT_EQ(classes[p.ColorOf(0)], (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(classes[p.ColorOf(1)], (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(classes[p.ColorOf(4)], (std::vector<NodeId>{4}));
+}
+
+TEST(LabelPartitionTest, GroupsBlanksTogetherAndLabelsApart) {
+  TripleGraph g = testing::Fig2Graph();
+  Partition p = LabelPartition(g);
+  NodeId b1 = g.FindBlank("b1");
+  NodeId b2 = g.FindBlank("b2");
+  NodeId b3 = g.FindBlank("b3");
+  EXPECT_EQ(p.ColorOf(b1), p.ColorOf(b2));
+  EXPECT_EQ(p.ColorOf(b2), p.ColorOf(b3));
+  EXPECT_NE(p.ColorOf(g.FindUri("ex:w")), p.ColorOf(g.FindUri("ex:u")));
+  EXPECT_NE(p.ColorOf(g.FindLiteral("a")), p.ColorOf(g.FindLiteral("b")));
+  EXPECT_NE(p.ColorOf(g.FindUri("ex:w")), p.ColorOf(b1));
+}
+
+TEST(TrivialPartitionTest, BlanksAreSingletons) {
+  TripleGraph g = testing::Fig2Graph();
+  Partition p = TrivialPartition(g);
+  NodeId b1 = g.FindBlank("b1");
+  NodeId b2 = g.FindBlank("b2");
+  EXPECT_NE(p.ColorOf(b1), p.ColorOf(b2));
+}
+
+TEST(TrivialPartitionTest, AlignsEqualLabelsAcrossVersions) {
+  auto [g1, g2] = testing::Fig3Graphs();
+  auto cg = testing::Combine(g1, g2);
+  Partition p = TrivialPartition(cg.graph());
+  NodeId w1 = 0;
+  while (!(cg.graph().IsUri(w1) && cg.graph().Lexical(w1) == "ex:w")) ++w1;
+  NodeId w2 = cg.n1();
+  while (!(cg.graph().IsUri(w2) && cg.graph().Lexical(w2) == "ex:w")) ++w2;
+  EXPECT_EQ(p.ColorOf(w1), p.ColorOf(w2));
+  // A URI and a literal with the same lexical form stay apart.
+  GraphBuilder b;
+  NodeId uri_x = b.AddUri("x");
+  NodeId p_pred = b.AddUri("p");
+  NodeId lit_x = b.AddLiteral("x");
+  b.AddTriple(uri_x, p_pred, lit_x);
+  auto g = std::move(b.Build(true)).value();
+  Partition tp = TrivialPartition(g);
+  EXPECT_NE(tp.ColorOf(g.FindUri("x")), tp.ColorOf(g.FindLiteral("x")));
+}
+
+}  // namespace
+}  // namespace rdfalign

@@ -1,0 +1,160 @@
+#include "core/propagate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/alignment.h"
+#include "core/enrich.h"
+#include "core/hybrid.h"
+#include "test_util.h"
+
+namespace rdfalign {
+namespace {
+
+TEST(ReweightTest, AveragesOutEdgeWeights) {
+  // s has two out-edges (p, o1), (p, o2) with ω(p)=0, ω(o1)=0.4, ω(o2)=0.8:
+  // reweight(s) = (0.4 + 0.8)/2 = 0.6.
+  GraphBuilder b;
+  NodeId s = b.AddUri("ex:s");
+  NodeId p = b.AddUri("ex:p");
+  NodeId o1 = b.AddLiteral("one");
+  NodeId o2 = b.AddLiteral("two");
+  b.AddTriple(s, p, o1);
+  b.AddTriple(s, p, o2);
+  auto g = std::move(b.Build(true)).value();
+  std::vector<double> w(g.NumNodes(), 0.0);
+  w[o1] = 0.4;
+  w[o2] = 0.8;
+  double delta = ReweightStep(g, {s}, w);
+  EXPECT_NEAR(w[s], 0.6, 1e-12);
+  EXPECT_NEAR(delta, 0.6, 1e-12);
+  // Sinks keep their weight.
+  std::vector<double> w2(g.NumNodes(), 0.25);
+  EXPECT_DOUBLE_EQ(ReweightStep(g, {o1}, w2), 0.0);
+  EXPECT_DOUBLE_EQ(w2[o1], 0.25);
+}
+
+TEST(ReweightTest, PredicateWeightEntersViaOPlus) {
+  GraphBuilder b;
+  NodeId s = b.AddUri("ex:s");
+  NodeId p = b.AddUri("ex:p");
+  NodeId o = b.AddLiteral("o");
+  b.AddTriple(s, p, o);
+  auto g = std::move(b.Build(true)).value();
+  std::vector<double> w(g.NumNodes(), 0.0);
+  w[p] = 0.7;
+  w[o] = 0.6;
+  ReweightStep(g, {s}, w);
+  // (0.7 ⊕ 0.6)/1 = 1.0 (clamped).
+  EXPECT_DOUBLE_EQ(w[s], 1.0);
+}
+
+TEST(ReweightTest, JacobiUpdateIsOrderIndependent) {
+  // x -> y -> literal(0.9); updating {x, y} must use y's OLD weight for x.
+  GraphBuilder b;
+  NodeId x = b.AddBlank("x");
+  NodeId y = b.AddBlank("y");
+  NodeId p = b.AddUri("ex:p");
+  NodeId lit = b.AddLiteral("v");
+  b.AddTriple(x, p, y);
+  b.AddTriple(y, p, lit);
+  auto g = std::move(b.Build(true)).value();
+  std::vector<double> w(g.NumNodes(), 0.0);
+  w[lit] = 0.9;
+  ReweightStep(g, {x, y}, w);
+  EXPECT_DOUBLE_EQ(w[y], 0.9);
+  EXPECT_DOUBLE_EQ(w[x], 0.0);  // used y's old weight 0
+  ReweightStep(g, {x, y}, w);
+  EXPECT_DOUBLE_EQ(w[x], 0.9);  // now sees the propagated weight
+}
+
+TEST(PropagateTest, TrivialStartEqualsHybrid) {
+  // §4.5: Propagate((λTrivial, 0)) = (λHybrid, 0).
+  auto [g1, g2] = testing::Fig3Graphs();
+  auto cg = testing::Combine(g1, g2);
+  WeightedPartition xi =
+      MakeZeroWeighted(TrivialPartition(cg.graph()));
+  WeightedPartition propagated = Propagate(cg, std::move(xi));
+  Partition hybrid = HybridPartition(cg);
+  EXPECT_TRUE(Partition::Equivalent(propagated.partition, hybrid));
+  for (double w : propagated.weight) EXPECT_DOUBLE_EQ(w, 0.0);
+}
+
+class PropagatePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropagatePropertyTest, TrivialStartEqualsHybridOnRandomPairs) {
+  auto [g1, g2] = testing::RandomEvolvingPair(GetParam());
+  auto cg = testing::Combine(g1, g2);
+  WeightedPartition propagated =
+      Propagate(cg, MakeZeroWeighted(TrivialPartition(cg.graph())));
+  Partition hybrid = HybridPartition(cg);
+  EXPECT_TRUE(Partition::Equivalent(propagated.partition, hybrid))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagatePropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(PropagateTest, WeightsFlowFromEnrichedCluster) {
+  // v1: s1 -p-> lit1 ; v2: s2 -p-> lit2. Enrich matches lit1/lit2 at 0.4;
+  // propagation then gives the unaligned subjects the averaged weight and
+  // aligns them through the shared out-color.
+  auto dict = std::make_shared<Dictionary>();
+  GraphBuilder b1(dict);
+  NodeId s1 = b1.AddUri("ex:s1");
+  NodeId p1 = b1.AddUri("ex:p");
+  NodeId l1 = b1.AddLiteral("alpha beta");
+  b1.AddTriple(s1, p1, l1);
+  GraphBuilder b2(dict);
+  NodeId s2 = b2.AddUri("ex:s2");
+  NodeId p2 = b2.AddUri("ex:p");
+  NodeId l2 = b2.AddLiteral("alpha betas");
+  b2.AddTriple(s2, p2, l2);
+  auto g1 = std::move(b1.Build(true)).value();
+  auto g2 = std::move(b2.Build(true)).value();
+  auto cg = testing::Combine(g1, g2);
+
+  WeightedPartition xi = MakeZeroWeighted(HybridPartition(cg));
+  NodeId l2c = cg.FromTarget(l2);
+  NodeId s2c = cg.FromTarget(s2);
+  ASSERT_NE(xi.partition.ColorOf(l1), xi.partition.ColorOf(l2c));
+
+  BipartiteMatching h;
+  h.edges.push_back(MatchEdge{l1, l2c, 0.4});
+  WeightedPartition out = Propagate(cg, Enrich(xi, h));
+  // Subjects now share a class (same out-color) with weight
+  // (ω(p) ⊕ ω(lit))/1 = 0.2.
+  EXPECT_EQ(out.partition.ColorOf(s1), out.partition.ColorOf(s2c));
+  EXPECT_NEAR(out.weight[s1], 0.2, 1e-9);
+  EXPECT_NEAR(out.weight[s2c], 0.2, 1e-9);
+}
+
+TEST(PropagateTest, WeightIterationConvergesOnCycles) {
+  // Two-node blank cycle attached to a weighted literal: the weight
+  // iteration must stabilize under ε.
+  auto dict = std::make_shared<Dictionary>();
+  GraphBuilder b1(dict);
+  NodeId x = b1.AddBlank("x");
+  NodeId y = b1.AddBlank("y");
+  NodeId p = b1.AddUri("ex:p");
+  b1.AddTriple(x, p, y);
+  b1.AddTriple(y, p, x);
+  GraphBuilder b2(dict);
+  NodeId x2 = b2.AddBlank("x2");
+  NodeId y2 = b2.AddBlank("y2");
+  NodeId p2 = b2.AddUri("ex:p");
+  b2.AddTriple(x2, p2, y2);
+  b2.AddTriple(y2, p2, x2);
+  auto g1 = std::move(b1.Build(true)).value();
+  auto g2 = std::move(b2.Build(true)).value();
+  auto cg = testing::Combine(g1, g2);
+  WeightedPartition xi = MakeZeroWeighted(TrivialPartition(cg.graph()));
+  PropagateOptions options;
+  options.epsilon = 1e-6;
+  WeightedPartition out = Propagate(cg, std::move(xi), options);
+  // The cycle nodes align (identical structure) with weight 0.
+  EXPECT_EQ(out.partition.ColorOf(x), out.partition.ColorOf(cg.FromTarget(x2)));
+  EXPECT_NEAR(out.weight[x], 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rdfalign

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace rdfalign::relational {
+namespace {
+
+TableSchema PersonSchema() {
+  return TableSchema{
+      .name = "person",
+      .columns = {{"person_id", ColumnType::kInteger, false},
+                  {"name", ColumnType::kText, false},
+                  {"age", ColumnType::kInteger, true}},
+      .primary_key = 0,
+      .foreign_keys = {}};
+}
+
+TableSchema EmploymentSchema() {
+  return TableSchema{
+      .name = "employment",
+      .columns = {{"emp_id", ColumnType::kInteger, false},
+                  {"person_id", ColumnType::kInteger, false},
+                  {"title", ColumnType::kText, false}},
+      .primary_key = 0,
+      .foreign_keys = {{1, "person"}}};
+}
+
+TEST(ValueTest, LexicalForms) {
+  EXPECT_EQ(ValueToLexical(Value{int64_t{42}}), "42");
+  EXPECT_EQ(ValueToLexical(Value{std::string("hi")}), "hi");
+  EXPECT_EQ(ValueToLexical(Value{Null{}}), "");
+  EXPECT_EQ(ValueToLexical(Value{2.5}), "2.5");
+  EXPECT_TRUE(IsNull(Value{Null{}}));
+  EXPECT_FALSE(IsNull(Value{int64_t{0}}));
+}
+
+TEST(TableTest, InsertFindDelete) {
+  Table t(PersonSchema());
+  ASSERT_TRUE(t.Insert({int64_t{1}, std::string("Ada"), int64_t{36}}).ok());
+  ASSERT_TRUE(t.Insert({int64_t{2}, std::string("Bob"), Null{}}).ok());
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.MaxKey(), 2);
+  const Row* row = t.Find(1);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(std::get<std::string>((*row)[1]), "Ada");
+  ASSERT_TRUE(t.Delete(1).ok());
+  EXPECT_EQ(t.Find(1), nullptr);
+  EXPECT_EQ(t.NumRows(), 1u);
+  EXPECT_TRUE(t.Delete(1).IsNotFound());
+}
+
+TEST(TableTest, RejectsBadRows) {
+  Table t(PersonSchema());
+  // Wrong arity.
+  EXPECT_TRUE(t.Insert({int64_t{1}}).IsInvalidArgument());
+  // Duplicate key.
+  ASSERT_TRUE(t.Insert({int64_t{1}, std::string("Ada"), Null{}}).ok());
+  EXPECT_TRUE(
+      t.Insert({int64_t{1}, std::string("Eve"), Null{}}).IsAlreadyExists());
+  // Type mismatch.
+  EXPECT_TRUE(t.Insert({int64_t{2}, int64_t{5}, Null{}}).IsInvalidArgument());
+  // NULL in non-nullable column.
+  EXPECT_TRUE(t.Insert({int64_t{3}, Null{}, Null{}}).IsInvalidArgument());
+}
+
+TEST(TableTest, UpdateCell) {
+  Table t(PersonSchema());
+  ASSERT_TRUE(t.Insert({int64_t{1}, std::string("Ada"), int64_t{36}}).ok());
+  ASSERT_TRUE(t.UpdateCell(1, 1, Value{std::string("Ada L.")}).ok());
+  EXPECT_EQ(std::get<std::string>((*t.Find(1))[1]), "Ada L.");
+  // PK updates are rejected (keys are persistent).
+  EXPECT_TRUE(t.UpdateCell(1, 0, Value{int64_t{9}}).IsInvalidArgument());
+  EXPECT_TRUE(t.UpdateCell(99, 1, Value{std::string("x")}).IsNotFound());
+  // Type checking applies to updates too.
+  EXPECT_TRUE(t.UpdateCell(1, 1, Value{int64_t{1}}).IsInvalidArgument());
+}
+
+TEST(TableTest, CompactReclaimsTombstones) {
+  Table t(PersonSchema());
+  for (int64_t k = 1; k <= 10; ++k) {
+    ASSERT_TRUE(t.Insert({k, std::string("p") + std::to_string(k),
+                          Null{}}).ok());
+  }
+  for (int64_t k = 1; k <= 5; ++k) ASSERT_TRUE(t.Delete(k).ok());
+  t.Compact();
+  EXPECT_EQ(t.NumRows(), 5u);
+  EXPECT_EQ(t.Find(3), nullptr);
+  ASSERT_NE(t.Find(7), nullptr);
+  EXPECT_EQ(t.Keys().size(), 5u);
+}
+
+TEST(DatabaseTest, ForeignKeyEnforcement) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(PersonSchema()).ok());
+  ASSERT_TRUE(db.CreateTable(EmploymentSchema()).ok());
+  ASSERT_TRUE(db.Insert("person",
+                        {int64_t{1}, std::string("Ada"), Null{}}).ok());
+  // Valid reference.
+  ASSERT_TRUE(db.Insert("employment", {int64_t{1}, int64_t{1},
+                                       std::string("Engineer")}).ok());
+  // Dangling reference rejected.
+  EXPECT_TRUE(db.Insert("employment", {int64_t{2}, int64_t{99},
+                                       std::string("Ghost")})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db.ValidateIntegrity().ok());
+}
+
+TEST(DatabaseTest, CascadingDelete) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(PersonSchema()).ok());
+  ASSERT_TRUE(db.CreateTable(EmploymentSchema()).ok());
+  ASSERT_TRUE(db.Insert("person",
+                        {int64_t{1}, std::string("Ada"), Null{}}).ok());
+  ASSERT_TRUE(db.Insert("person",
+                        {int64_t{2}, std::string("Bob"), Null{}}).ok());
+  ASSERT_TRUE(db.Insert("employment", {int64_t{1}, int64_t{1},
+                                       std::string("Engineer")}).ok());
+  ASSERT_TRUE(db.Insert("employment", {int64_t{2}, int64_t{2},
+                                       std::string("Writer")}).ok());
+  ASSERT_TRUE(db.DeleteCascade("person", 1).ok());
+  EXPECT_EQ(db.GetTable("person")->NumRows(), 1u);
+  EXPECT_EQ(db.GetTable("employment")->NumRows(), 1u);
+  EXPECT_TRUE(db.ValidateIntegrity().ok());
+}
+
+TEST(DatabaseTest, CreateTableValidation) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(PersonSchema()).ok());
+  EXPECT_TRUE(db.CreateTable(PersonSchema()).IsAlreadyExists());
+  TableSchema bad = EmploymentSchema();
+  bad.name = "bad";
+  bad.foreign_keys = {{1, "nonexistent"}};
+  EXPECT_TRUE(db.CreateTable(bad).IsInvalidArgument());
+  EXPECT_EQ(db.GetTable("nope"), nullptr);
+}
+
+TEST(DatabaseTest, TotalRows) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(PersonSchema()).ok());
+  ASSERT_TRUE(db.Insert("person",
+                        {int64_t{1}, std::string("Ada"), Null{}}).ok());
+  ASSERT_TRUE(db.Insert("person",
+                        {int64_t{2}, std::string("Bob"), Null{}}).ok());
+  EXPECT_EQ(db.TotalRows(), 2u);
+}
+
+}  // namespace
+}  // namespace rdfalign::relational

@@ -1,0 +1,216 @@
+// Robustness and cross-cutting property tests: parser failure injection,
+// delta conservation laws, archive invariants, and end-to-end migration
+// recovery on the EFO chain.
+
+#include <gtest/gtest.h>
+
+#include "core/archive.h"
+#include "core/delta.h"
+#include "core/hybrid.h"
+#include "gen/efo_gen.h"
+#include "gen/textgen.h"
+#include "parser/ntriples_parser.h"
+#include "parser/ntriples_writer.h"
+#include "parser/turtle_parser.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace rdfalign {
+namespace {
+
+// --- parser failure injection ------------------------------------------------
+
+/// Corrupts a valid document: truncation, random byte flips, deletions.
+std::string Corrupt(const std::string& doc, Rng& rng) {
+  std::string out = doc;
+  switch (rng.Uniform(4)) {
+    case 0:  // truncate
+      out.resize(rng.Uniform(out.size() + 1));
+      break;
+    case 1: {  // flip bytes
+      for (int i = 0; i < 5 && !out.empty(); ++i) {
+        out[rng.Uniform(out.size())] =
+            static_cast<char>(rng.Uniform(256));
+      }
+      break;
+    }
+    case 2: {  // delete a span
+      if (!out.empty()) {
+        size_t start = rng.Uniform(out.size());
+        size_t len = rng.Uniform(out.size() - start + 1);
+        out.erase(start, len);
+      }
+      break;
+    }
+    case 3: {  // duplicate a span at a random position
+      if (!out.empty()) {
+        size_t start = rng.Uniform(out.size());
+        size_t len = std::min<size_t>(rng.Uniform(40), out.size() - start);
+        out.insert(rng.Uniform(out.size()), out.substr(start, len));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, NTriplesNeverCrashesOnCorruptInput) {
+  auto [g1, g2] = testing::RandomEvolvingPair(GetParam());
+  std::string doc = NTriplesToString(g1);
+  Rng rng(GetParam() * 31 + 7);
+  for (int round = 0; round < 50; ++round) {
+    std::string bad = Corrupt(doc, rng);
+    auto result = ParseNTriplesString(bad, nullptr);
+    // Must either parse (the corruption kept it valid) or fail cleanly.
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsParseError() ||
+                  result.status().IsInvalidArgument())
+          << result.status();
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, TurtleNeverCrashesOnCorruptInput) {
+  const std::string doc =
+      "@prefix ex: <http://e/> .\n"
+      "ex:a ex:p [ ex:q \"v\" ; ex:r 42 ] , \"lit\"@en .\n"
+      "ex:b a ex:T ; ex:s ex:a .\n";
+  Rng rng(GetParam() * 131 + 3);
+  for (int round = 0; round < 50; ++round) {
+    std::string bad = Corrupt(doc, rng);
+    auto result = ParseTurtleString(bad, nullptr);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsParseError() ||
+                  result.status().IsNotSupported() ||
+                  result.status().IsInvalidArgument())
+          << result.status();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Range<uint64_t>(1, 6));
+
+// --- delta conservation laws --------------------------------------------------
+
+class DeltaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaPropertyTest, CountsConserveEdges) {
+  auto [g1, g2] = testing::RandomEvolvingPair(GetParam());
+  auto cg = testing::Combine(g1, g2);
+  for (auto method : {AlignMethod::kTrivial, AlignMethod::kHybrid}) {
+    Partition p = method == AlignMethod::kTrivial
+                      ? TrivialPartition(cg.graph())
+                      : HybridPartition(cg);
+    RdfDelta delta = ComputeDelta(cg, p);
+    // Every source edge is either matched or deleted; every target edge is
+    // either matched or added.
+    EXPECT_EQ(delta.unchanged + delta.deleted.size(), g1.NumEdges())
+        << AlignMethodToString(method) << " seed " << GetParam();
+    EXPECT_EQ(delta.unchanged + delta.added.size(), g2.NumEdges())
+        << AlignMethodToString(method) << " seed " << GetParam();
+    // Deleted edges live on the source side, added on the target side.
+    for (const Triple& t : delta.deleted) EXPECT_TRUE(cg.InSource(t.s));
+    for (const Triple& t : delta.added) EXPECT_TRUE(cg.InTarget(t.s));
+  }
+}
+
+TEST_P(DeltaPropertyTest, BetterAlignmentsShrinkTheDelta) {
+  auto [g1, g2] = testing::RandomEvolvingPair(GetParam());
+  auto cg = testing::Combine(g1, g2);
+  RdfDelta trivial = ComputeDelta(cg, TrivialPartition(cg.graph()));
+  RdfDelta hybrid = ComputeDelta(cg, HybridPartition(cg));
+  EXPECT_LE(hybrid.added.size(), trivial.added.size()) << GetParam();
+  EXPECT_LE(hybrid.deleted.size(), trivial.deleted.size()) << GetParam();
+  EXPECT_GE(hybrid.unchanged, trivial.unchanged) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// --- archive invariants ---------------------------------------------------------
+
+TEST(ArchiveInvariantTest, IntervalsAreSortedDisjointAndInRange) {
+  gen::EfoOptions options;
+  options.initial_classes = 50;
+  options.versions = 6;
+  gen::EfoChain chain = gen::EfoChain::Generate(options);
+  VersionArchive archive;
+  for (size_t v = 0; v < chain.NumVersions(); ++v) {
+    ASSERT_TRUE(archive.Append(chain.Version(v)).ok());
+  }
+  for (const auto& [key, intervals] : archive.records()) {
+    ASSERT_FALSE(intervals.empty());
+    for (size_t i = 0; i < intervals.size(); ++i) {
+      EXPECT_LT(intervals[i].from, intervals[i].to);
+      EXPECT_LE(intervals[i].to, chain.NumVersions());
+      if (i > 0) {
+        // Sorted and non-adjacent (adjacent ones would have been merged).
+        EXPECT_GT(intervals[i].from, intervals[i - 1].to);
+      }
+    }
+  }
+}
+
+TEST(ArchiveInvariantTest, PerVersionTripleMultisetsMatchReconstruction) {
+  gen::EfoOptions options;
+  options.initial_classes = 40;
+  options.versions = 5;
+  gen::EfoChain chain = gen::EfoChain::Generate(options);
+  VersionArchive archive;
+  for (size_t v = 0; v < chain.NumVersions(); ++v) {
+    ASSERT_TRUE(archive.Append(chain.Version(v)).ok());
+  }
+  for (uint32_t v = 0; v < chain.NumVersions(); ++v) {
+    // Reconstruction size equals the entity-level deduplicated edge count.
+    const TripleGraph& g = chain.Version(v);
+    std::set<std::tuple<EntityId, EntityId, EntityId>> expected;
+    for (const Triple& t : g.triples()) {
+      expected.emplace(archive.EntityOf(v, t.s), archive.EntityOf(v, t.p),
+                       archive.EntityOf(v, t.o));
+    }
+    EXPECT_EQ(archive.TriplesAt(v).size(), expected.size()) << "v=" << v;
+  }
+}
+
+// --- end-to-end migration recovery ---------------------------------------------
+
+TEST(MigrationRecoveryTest, HybridAlignsEveryMigratedClassPair) {
+  gen::EfoOptions options;
+  options.initial_classes = 120;
+  options.versions = 10;
+  gen::EfoChain chain = gen::EfoChain::Generate(options);
+  const size_t before = options.big_migration_version;   // 0-based index 7
+  const size_t after = before + 1;
+  auto cg = testing::Combine(chain.Version(before), chain.Version(after));
+  Partition hybrid = HybridPartition(cg);
+  gen::GroundTruth gt = chain.ClassGroundTruth(before, after);
+  gen::PrecisionStats stats = gen::EvaluatePrecisionCovered(cg, hybrid, gt);
+  // Nearly all surviving classes — including every renamed one — align;
+  // literal edits may cost a few.
+  EXPECT_EQ(stats.evaluated, gt.NumPairs());
+  EXPECT_GT(stats.ExactRate(), 0.9)
+      << "exact=" << stats.exact << " missing=" << stats.missing;
+}
+
+TEST(MigrationRecoveryTest, CoveredPrecisionIgnoresUncoveredNodes) {
+  // EvaluatePrecisionCovered must not count axiom blanks/predicates (not in
+  // the class GT) as false matches.
+  gen::EfoOptions options;
+  options.initial_classes = 40;
+  options.versions = 2;
+  gen::EfoChain chain = gen::EfoChain::Generate(options);
+  auto cg = testing::Combine(chain.Version(0), chain.Version(1));
+  Partition hybrid = HybridPartition(cg);
+  gen::GroundTruth gt = chain.ClassGroundTruth(0, 1);
+  gen::PrecisionStats covered = gen::EvaluatePrecisionCovered(cg, hybrid, gt);
+  EXPECT_EQ(covered.false_matches, 0u);
+  EXPECT_EQ(covered.evaluated, gt.NumPairs());
+  gen::PrecisionStats full = gen::EvaluatePrecision(cg, hybrid, gt);
+  EXPECT_GT(full.evaluated, covered.evaluated);
+}
+
+}  // namespace
+}  // namespace rdfalign

@@ -1,0 +1,144 @@
+#include "core/sigma_edit.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid.h"
+#include "test_util.h"
+
+namespace rdfalign {
+namespace {
+
+struct Fig7Fixture {
+  Fig7Fixture() {
+    auto graphs = testing::Fig7Graphs();
+    g1 = std::move(graphs.first);
+    g2 = std::move(graphs.second);
+    cg = std::make_unique<CombinedGraph>(testing::Combine(g1, g2));
+    hybrid = HybridPartition(*cg);
+    auto result = SigmaEdit::Compute(*cg, hybrid);
+    EXPECT_TRUE(result.ok()) << result.status();
+    se = std::make_unique<SigmaEdit>(std::move(result).value());
+  }
+  NodeId Find(const char* label, bool literal = false) const {
+    NodeId n = literal ? cg->graph().FindLiteral(label)
+                       : cg->graph().FindUri(label);
+    EXPECT_NE(n, kInvalidNode) << label;
+    return n;
+  }
+  TripleGraph g1, g2;
+  std::unique_ptr<CombinedGraph> cg;
+  Partition hybrid;
+  std::unique_ptr<SigmaEdit> se;
+};
+
+TEST(SigmaEditTest, HybridAlignedPairsAreAtDistanceZero) {
+  Fig7Fixture f;
+  // "c" and the predicates are trivially aligned: distance 0.
+  NodeId c1 = f.Find("c", true);
+  // FindLiteral returns the source-side node; the target copy sits at the
+  // same label. Locate it by scanning the target side.
+  NodeId c2 = kInvalidNode;
+  for (NodeId n = f.cg->n1(); n < f.cg->graph().NumNodes(); ++n) {
+    if (f.cg->graph().IsLiteral(n) && f.cg->graph().Lexical(n) == "c") c2 = n;
+  }
+  ASSERT_NE(c2, kInvalidNode);
+  EXPECT_DOUBLE_EQ(f.se->Distance(c1, c2), 0.0);
+}
+
+TEST(SigmaEditTest, AlignedVsUnalignedIsOne) {
+  Fig7Fixture f;
+  // "a" is aligned; "ac" is not: σ = 1 even though the raw normalized edit
+  // distance is 1/2 (the Example 5 remark).
+  NodeId a = f.Find("a", true);
+  NodeId ac = kInvalidNode;
+  for (NodeId n = f.cg->n1(); n < f.cg->graph().NumNodes(); ++n) {
+    if (f.cg->graph().IsLiteral(n) && f.cg->graph().Lexical(n) == "ac") {
+      ac = n;
+    }
+  }
+  ASSERT_NE(ac, kInvalidNode);
+  EXPECT_DOUBLE_EQ(f.se->Distance(a, ac), 1.0);
+}
+
+TEST(SigmaEditTest, Example5LiteralDistance) {
+  Fig7Fixture f;
+  NodeId abc = f.Find("abc", true);
+  NodeId ac = kInvalidNode;
+  for (NodeId n = f.cg->n1(); n < f.cg->graph().NumNodes(); ++n) {
+    if (f.cg->graph().IsLiteral(n) && f.cg->graph().Lexical(n) == "ac") {
+      ac = n;
+    }
+  }
+  EXPECT_DOUBLE_EQ(f.se->Distance(abc, ac), 1.0 / 3.0);
+}
+
+TEST(SigmaEditTest, Example5PropagatedDistances) {
+  Fig7Fixture f;
+  NodeId u = f.Find("ex:u");
+  NodeId v = f.Find("ex:v");
+  NodeId w = f.Find("ex:w");
+  NodeId u2 = f.Find("ex:u2");
+  NodeId v2 = f.Find("ex:v2");
+  NodeId w2 = f.Find("ex:w2");
+  // The Example 5 values.
+  EXPECT_NEAR(f.se->Distance(u, u2), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(f.se->Distance(v, v2), 1.0 / 6.0, 1e-9);
+  EXPECT_NEAR(f.se->Distance(w, w2), 1.0 / 4.0, 1e-9);
+  // Cross pairs are far.
+  EXPECT_GT(f.se->Distance(u, v2), 0.5);
+  EXPECT_GT(f.se->Distance(v, u2), 0.5);
+}
+
+TEST(SigmaEditTest, AlignAtThresholdPicksClosePairs) {
+  Fig7Fixture f;
+  auto pairs = f.se->AlignAt(0.3);
+  // Contains (v, v2) at 1/6 and (w, w2) at 1/4 but not (u, u2) at 1/3.
+  NodeId v = f.Find("ex:v");
+  NodeId v2 = f.Find("ex:v2");
+  NodeId u = f.Find("ex:u");
+  NodeId u2 = f.Find("ex:u2");
+  bool has_v = false;
+  bool has_u = false;
+  for (auto [a, b] : pairs) {
+    if (a == v && b == v2) has_v = true;
+    if (a == u && b == u2) has_u = true;
+  }
+  EXPECT_TRUE(has_v);
+  EXPECT_FALSE(has_u);
+}
+
+TEST(SigmaEditTest, MatrixCapIsEnforced) {
+  Fig7Fixture f;
+  SigmaEditOptions options;
+  options.max_matrix_entries = 1;
+  auto result = SigmaEdit::Compute(*f.cg, f.hybrid, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfRange());
+}
+
+TEST(SigmaEditTest, Figure1NameRecordsAreClose) {
+  // The motivating example: b2 (Slawek/Pawel/Staworko) vs b4
+  // (Slawomir/Staworko) should be within distance ~0.5 — the similarity
+  // method aligns what bisimulation cannot.
+  auto [g1, g2] = testing::Fig1Graphs();
+  auto cg = testing::Combine(g1, g2);
+  Partition hybrid = HybridPartition(cg);
+  auto se = SigmaEdit::Compute(cg, hybrid);
+  ASSERT_TRUE(se.ok());
+  NodeId b2 = cg.graph().FindBlank("b2");
+  NodeId b4 = cg.graph().FindBlank("b4");
+  ASSERT_NE(hybrid.ColorOf(b2), hybrid.ColorOf(b4));  // hybrid can't
+  double d = se->Distance(b2, b4);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 0.51);
+  // And the aligned pairs at θ=0.55 include (b2, b4).
+  auto pairs = se->AlignAt(0.55);
+  bool found = false;
+  for (auto [a, b] : pairs) {
+    if (a == b2 && b == b4) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace rdfalign

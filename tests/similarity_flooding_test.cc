@@ -1,0 +1,101 @@
+#include "core/similarity_flooding.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rdfalign {
+namespace {
+
+TEST(SimilarityFloodingTest, LabelEqualPairsScoreHighest) {
+  auto [g1, g2] = testing::Fig3Graphs();
+  auto cg = testing::Combine(g1, g2);
+  auto sf = SimilarityFlooding::Compute(cg);
+  ASSERT_TRUE(sf.ok()) << sf.status();
+  const TripleGraph& g = cg.graph();
+  // The shared root w pairs with its twin more strongly than with anything
+  // else.
+  NodeId w1 = g.FindUri("ex:w");
+  NodeId w2 = kInvalidNode;
+  for (NodeId n = cg.n1(); n < g.NumNodes(); ++n) {
+    if (g.IsUri(n) && g.Lexical(n) == "ex:w") w2 = n;
+  }
+  ASSERT_NE(w2, kInvalidNode);
+  double self = sf->Similarity(w1, w2);
+  EXPECT_GT(self, 0.5);
+  NodeId v = kInvalidNode;
+  for (NodeId n = cg.n1(); n < g.NumNodes(); ++n) {
+    if (g.IsUri(n) && g.Lexical(n) == "ex:v") v = n;
+  }
+  EXPECT_GT(self, sf->Similarity(w1, v));
+}
+
+TEST(SimilarityFloodingTest, StructureFloodsToRenamedUri) {
+  auto [g1, g2] = testing::Fig3Graphs();
+  auto cg = testing::Combine(g1, g2);
+  auto sf = SimilarityFlooding::Compute(cg);
+  ASSERT_TRUE(sf.ok());
+  const TripleGraph& g = cg.graph();
+  NodeId u = g.FindUri("ex:u");
+  NodeId v = kInvalidNode;
+  NodeId w2 = kInvalidNode;
+  for (NodeId n = cg.n1(); n < g.NumNodes(); ++n) {
+    if (!g.IsUri(n)) continue;
+    if (g.Lexical(n) == "ex:v") v = n;
+    if (g.Lexical(n) == "ex:w") w2 = n;
+  }
+  // u's neighbors ("a", "b", w) pump similarity into (u, v): the renamed
+  // URI becomes u's best partner among the target URIs.
+  double uv = sf->Similarity(u, v);
+  EXPECT_GT(uv, 0.0);
+  EXPECT_GT(uv, sf->Similarity(u, w2));
+}
+
+TEST(SimilarityFloodingTest, GreedyMatchingIsOneToOne) {
+  auto [g1, g2] = testing::Fig3Graphs();
+  auto cg = testing::Combine(g1, g2);
+  auto sf = SimilarityFlooding::Compute(cg);
+  ASSERT_TRUE(sf.ok());
+  auto matching = sf->GreedyMatching(0.05);
+  std::set<NodeId> left;
+  std::set<NodeId> right;
+  for (auto [a, b] : matching) {
+    EXPECT_TRUE(cg.InSource(a));
+    EXPECT_TRUE(cg.InTarget(b));
+    EXPECT_TRUE(left.insert(a).second) << "duplicate left node";
+    EXPECT_TRUE(right.insert(b).second) << "duplicate right node";
+  }
+  EXPECT_FALSE(matching.empty());
+}
+
+TEST(SimilarityFloodingTest, DeterministicAcrossRuns) {
+  auto [g1, g2] = testing::RandomEvolvingPair(5);
+  auto cg = testing::Combine(g1, g2);
+  auto a = SimilarityFlooding::Compute(cg);
+  auto b = SimilarityFlooding::Compute(cg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->NumPairs(), b->NumPairs());
+  EXPECT_EQ(a->GreedyMatching(0.1), b->GreedyMatching(0.1));
+}
+
+TEST(SimilarityFloodingTest, SupportCapIsEnforced) {
+  auto [g1, g2] = testing::Fig3Graphs();
+  auto cg = testing::Combine(g1, g2);
+  SimilarityFloodingOptions options;
+  options.max_pairs = 2;
+  auto sf = SimilarityFlooding::Compute(cg, options);
+  EXPECT_FALSE(sf.ok());
+  EXPECT_TRUE(sf.status().IsOutOfRange());
+}
+
+TEST(SimilarityFloodingTest, OutsideSupportIsZero) {
+  auto [g1, g2] = testing::Fig3Graphs();
+  auto cg = testing::Combine(g1, g2);
+  auto sf = SimilarityFlooding::Compute(cg);
+  ASSERT_TRUE(sf.ok());
+  // A pair of two source-side nodes is never in the support.
+  EXPECT_DOUBLE_EQ(sf->Similarity(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace rdfalign

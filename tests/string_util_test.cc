@@ -1,0 +1,95 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfalign {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(SplitTest, NoSeparatorYieldsWhole) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWordsTest, LowercasesAndSplitsOnNonAlnum) {
+  auto words = SplitWords("University of Edinburgh, EH8!");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "university");
+  EXPECT_EQ(words[1], "of");
+  EXPECT_EQ(words[2], "edinburgh");
+  EXPECT_EQ(words[3], "eh8");
+}
+
+TEST(SplitWordsTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(SplitWords("").empty());
+  EXPECT_TRUE(SplitWords("--- !!").empty());
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(CaseAndAffixTest, Basics) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("ftp://x", "http://"));
+  EXPECT_TRUE(EndsWith("file.nt", ".nt"));
+  EXPECT_FALSE(EndsWith("file.ttl", ".nt"));
+}
+
+TEST(NTriplesEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(EscapeNTriplesString("a\"b\\c\nd\te\rf"),
+            "a\\\"b\\\\c\\nd\\te\\rf");
+}
+
+TEST(NTriplesEscapeTest, RoundTrip) {
+  std::string original = "line1\nline2\t\"quoted\" \\slash";
+  std::string unescaped;
+  ASSERT_TRUE(UnescapeNTriplesString(EscapeNTriplesString(original),
+                                     &unescaped));
+  EXPECT_EQ(unescaped, original);
+}
+
+TEST(NTriplesEscapeTest, UnicodeEscapes) {
+  std::string out;
+  ASSERT_TRUE(UnescapeNTriplesString("\\u0041\\u00e9", &out));
+  EXPECT_EQ(out, "A\xc3\xa9");  // 'A' + e-acute in UTF-8
+  ASSERT_TRUE(UnescapeNTriplesString("\\U0001F600", &out));
+  EXPECT_EQ(out.size(), 4u);  // 4-byte UTF-8 sequence
+}
+
+TEST(NTriplesEscapeTest, RejectsMalformedEscapes) {
+  std::string out;
+  EXPECT_FALSE(UnescapeNTriplesString("\\", &out));
+  EXPECT_FALSE(UnescapeNTriplesString("\\x", &out));
+  EXPECT_FALSE(UnescapeNTriplesString("\\u12", &out));
+  EXPECT_FALSE(UnescapeNTriplesString("\\uZZZZ", &out));
+}
+
+TEST(FormatTest, CommasAndDoubles) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatDouble(0.25, 2), "0.25");
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+}
+
+}  // namespace
+}  // namespace rdfalign

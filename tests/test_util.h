@@ -1,0 +1,58 @@
+// Shared test fixtures: the paper's worked-example graphs (Figs. 1, 2, 3, 7)
+// and random RDF graph generators for property tests.
+
+#ifndef RDFALIGN_TESTS_TEST_UTIL_H_
+#define RDFALIGN_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <utility>
+
+#include "rdf/graph.h"
+#include "rdf/merge.h"
+#include "util/random.h"
+
+namespace rdfalign::testing {
+
+/// The single RDF graph of Figure 2 (w, u, b1, b2, b3, "a", "b" and
+/// predicates p, q, r); b2 and b3 are bisimilar.
+TripleGraph Fig2Graph(std::shared_ptr<Dictionary> dict = nullptr);
+
+/// The two versions of Figure 3 (sharing one dictionary): evolving by
+/// merging equivalent blanks b2/b3 into b4 and renaming u to v.
+std::pair<TripleGraph, TripleGraph> Fig3Graphs();
+
+/// The two versions of Figure 1 (personal-information example; ASCII
+/// transliteration: Slawek/Slawomir/Pawel).
+std::pair<TripleGraph, TripleGraph> Fig1Graphs();
+
+/// The two graphs of Figure 7 (σEdit example): literals "abc"/"c"/"b"/"a"
+/// vs "ac"/"c"/"a" under w/u/v vs w2/u2/v2.
+std::pair<TripleGraph, TripleGraph> Fig7Graphs();
+
+/// Configuration of the random RDF graph generator.
+struct RandomGraphOptions {
+  size_t uris = 12;
+  size_t literals = 10;
+  size_t blanks = 6;
+  size_t edges = 40;
+  size_t predicates = 4;  ///< distinct predicate URIs drawn from the URI set
+  uint64_t seed = 1;
+};
+
+/// A random well-formed RDF graph (literals only in object position,
+/// non-blank predicates).
+TripleGraph RandomGraph(const RandomGraphOptions& options,
+                        std::shared_ptr<Dictionary> dict = nullptr);
+
+/// A random evolving pair: the second graph is the first after random
+/// literal edits, URI renames, node insertions and deletions, sharing one
+/// dictionary. Returns the combined pair.
+std::pair<TripleGraph, TripleGraph> RandomEvolvingPair(
+    uint64_t seed, const RandomGraphOptions& base_options = {});
+
+/// CombinedGraph convenience (CHECK-fails on error).
+CombinedGraph Combine(const TripleGraph& g1, const TripleGraph& g2);
+
+}  // namespace rdfalign::testing
+
+#endif  // RDFALIGN_TESTS_TEST_UTIL_H_

@@ -1,0 +1,152 @@
+#include "parser/turtle_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfalign {
+namespace {
+
+TEST(TurtleParserTest, PrefixesAndPrefixedNames) {
+  auto g = ParseTurtleString(
+      "@prefix ex: <http://example.org/> .\n"
+      "ex:a ex:p ex:b .\n",
+      nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_NE(g->FindUri("http://example.org/a"), kInvalidNode);
+  EXPECT_NE(g->FindUri("http://example.org/p"), kInvalidNode);
+}
+
+TEST(TurtleParserTest, SparqlStyleDirectives) {
+  auto g = ParseTurtleString(
+      "PREFIX ex: <http://example.org/>\n"
+      "ex:a ex:p ex:b .\n",
+      nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(TurtleParserTest, AKeywordExpandsToRdfType) {
+  auto g = ParseTurtleString(
+      "@prefix ex: <http://example.org/> .\n"
+      "ex:a a ex:Class .\n",
+      nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_NE(g->FindUri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+            kInvalidNode);
+}
+
+TEST(TurtleParserTest, PredicateObjectAndObjectLists) {
+  auto g = ParseTurtleString(
+      "@prefix ex: <http://e/> .\n"
+      "ex:a ex:p ex:b , ex:c ;\n"
+      "     ex:q \"v1\" , \"v2\" .\n",
+      nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumEdges(), 4u);
+}
+
+TEST(TurtleParserTest, BlankNodesLabeledAndAnonymous) {
+  auto g = ParseTurtleString(
+      "@prefix ex: <http://e/> .\n"
+      "_:x ex:p [ ex:q \"inner\" ] .\n"
+      "_:x ex:r _:y .\n",
+      nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->CountOfKind(TermKind::kBlank), 3u);  // x, y, anonymous
+  EXPECT_EQ(g->NumEdges(), 3u);
+}
+
+TEST(TurtleParserTest, LiteralsWithTagsAndDatatypes) {
+  auto g = ParseTurtleString(
+      "@prefix ex: <http://e/> .\n"
+      "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+      "ex:a ex:p \"hi\"@en .\n"
+      "ex:a ex:q \"3\"^^xsd:int .\n"
+      "ex:a ex:r 'single' .\n",
+      nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_NE(g->FindLiteral("hi@en"), kInvalidNode);
+  EXPECT_NE(g->FindLiteral("3^^<http://www.w3.org/2001/XMLSchema#int>"),
+            kInvalidNode);
+  EXPECT_NE(g->FindLiteral("single"), kInvalidNode);
+}
+
+TEST(TurtleParserTest, NumericAndBooleanAbbreviations) {
+  auto g = ParseTurtleString(
+      "@prefix ex: <http://e/> .\n"
+      "ex:a ex:p 42 .\n"
+      "ex:a ex:q -3.25 .\n"
+      "ex:a ex:r 1.5e3 .\n"
+      "ex:a ex:s true .\n",
+      nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_NE(g->FindLiteral("42"), kInvalidNode);
+  EXPECT_NE(g->FindLiteral("-3.25"), kInvalidNode);
+  EXPECT_NE(g->FindLiteral("1.5e3"), kInvalidNode);
+  EXPECT_NE(g->FindLiteral("true"), kInvalidNode);
+}
+
+TEST(TurtleParserTest, BaseResolution) {
+  auto g = ParseTurtleString(
+      "@base <http://base.org/> .\n"
+      "<rel> <http://p> <other> .\n",
+      nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_NE(g->FindUri("http://base.org/rel"), kInvalidNode);
+  EXPECT_NE(g->FindUri("http://base.org/other"), kInvalidNode);
+}
+
+TEST(TurtleParserTest, CommentsAnywhere) {
+  auto g = ParseTurtleString(
+      "# leading\n"
+      "@prefix ex: <http://e/> . # after directive\n"
+      "ex:a ex:p ex:b . # after triple\n",
+      nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(TurtleParserTest, UndeclaredPrefixIsError) {
+  auto g = ParseTurtleString("nope:a nope:p nope:b .\n", nullptr);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsParseError());
+  EXPECT_NE(g.status().message().find("nope"), std::string::npos);
+}
+
+TEST(TurtleParserTest, CollectionsAreNotSupported) {
+  auto g = ParseTurtleString(
+      "@prefix ex: <http://e/> .\n"
+      "ex:a ex:p ( ex:b ex:c ) .\n",
+      nullptr);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsNotSupported());
+}
+
+TEST(TurtleParserTest, LongStringsAreNotSupported) {
+  auto g = ParseTurtleString(
+      "@prefix ex: <http://e/> .\n"
+      "ex:a ex:p \"\"\"long\"\"\" .\n",
+      nullptr);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsNotSupported());
+}
+
+TEST(TurtleParserTest, NestedAnonymousBlanks) {
+  auto g = ParseTurtleString(
+      "@prefix ex: <http://e/> .\n"
+      "ex:a ex:p [ ex:q [ ex:r \"deep\" ] ; ex:s \"mid\" ] .\n",
+      nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->CountOfKind(TermKind::kBlank), 2u);
+  EXPECT_EQ(g->NumEdges(), 4u);
+}
+
+TEST(TurtleParserTest, MissingDotIsError) {
+  auto g = ParseTurtleString(
+      "@prefix ex: <http://e/> .\n"
+      "ex:a ex:p ex:b\n",
+      nullptr);
+  EXPECT_FALSE(g.ok());
+}
+
+}  // namespace
+}  // namespace rdfalign

@@ -1,0 +1,97 @@
+#include "parser/turtle_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/ntriples_writer.h"
+#include "parser/turtle_parser.h"
+#include "test_util.h"
+
+namespace rdfalign {
+namespace {
+
+TripleGraph SampleGraph() {
+  GraphBuilder b;
+  NodeId s = b.AddUri("http://data.example/person/1");
+  NodeId s2 = b.AddUri("http://data.example/person/2");
+  NodeId name = b.AddUri("http://schema.example/name");
+  NodeId knows = b.AddUri("http://schema.example/knows");
+  NodeId type = b.AddUri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  NodeId person = b.AddUri("http://schema.example/Person");
+  b.AddTriple(s, type, person);
+  b.AddTriple(s2, type, person);
+  b.AddTriple(s, name, b.AddLiteral("Alice"));
+  b.AddTriple(s, name, b.AddLiteral("Ally"));
+  b.AddTriple(s, knows, s2);
+  b.AddTriple(s2, name, b.AddLiteral("Bob \"the\" builder"));
+  return std::move(b.Build(true)).value();
+}
+
+TEST(TurtleWriterTest, InfersPrefixesAndGroups) {
+  TripleGraph g = SampleGraph();
+  std::string ttl = TurtleToString(g);
+  // Prefixes are inferred for the frequent stems.
+  EXPECT_NE(ttl.find("@prefix"), std::string::npos);
+  EXPECT_NE(ttl.find("http://schema.example/"), std::string::npos);
+  // rdf:type is abbreviated to 'a'.
+  EXPECT_NE(ttl.find(" a "), std::string::npos);
+  // Object lists: the two names of person/1 join with a comma.
+  EXPECT_NE(ttl.find(", "), std::string::npos);
+  // Predicate lists: at least one ';' grouping.
+  EXPECT_NE(ttl.find(";"), std::string::npos);
+}
+
+TEST(TurtleWriterTest, RoundTripsThroughTurtleParser) {
+  TripleGraph g = SampleGraph();
+  std::string ttl = TurtleToString(g);
+  auto parsed = ParseTurtleString(ttl, g.dict_ptr());
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << ttl;
+  EXPECT_EQ(parsed->NumEdges(), g.NumEdges());
+  EXPECT_EQ(parsed->NumNodes(), g.NumNodes());
+  // N-Triples canonical forms agree (same triples modulo node ids).
+  EXPECT_EQ(NTriplesToString(*parsed).size(), NTriplesToString(g).size());
+}
+
+TEST(TurtleWriterTest, ExplicitPrefixTable) {
+  TripleGraph g = SampleGraph();
+  TurtleWriteOptions options;
+  options.prefixes["sch"] = "http://schema.example/";
+  std::string ttl = TurtleToString(g, options);
+  EXPECT_NE(ttl.find("@prefix sch: <http://schema.example/>"),
+            std::string::npos);
+  EXPECT_NE(ttl.find("sch:name"), std::string::npos);
+  // Unprefixed IRIs fall back to <...> form.
+  EXPECT_NE(ttl.find("<http://data.example/person/1>"), std::string::npos);
+}
+
+TEST(TurtleWriterTest, BlankNodesAndEscapes) {
+  GraphBuilder b;
+  NodeId blank = b.AddBlank("rec");
+  NodeId p = b.AddUri("http://e/p");
+  b.AddTriple(blank, p, b.AddLiteral("line\nbreak"));
+  TripleGraph g = std::move(b.Build(true)).value();
+  std::string ttl = TurtleToString(g);
+  EXPECT_NE(ttl.find("_:rec"), std::string::npos);
+  EXPECT_NE(ttl.find("\\n"), std::string::npos);
+  auto parsed = ParseTurtleString(ttl, g.dict_ptr());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_NE(parsed->FindLiteral("line\nbreak"), kInvalidNode);
+}
+
+TEST(TurtleWriterTest, RoundTripsGeneratedOntology) {
+  // The writer must round-trip EFO-style content (blank axioms, unicode-free
+  // labels, URI vocab).
+  auto [g1, g2] = testing::Fig1Graphs();
+  std::string ttl = TurtleToString(g1);
+  auto parsed = ParseTurtleString(ttl, g1.dict_ptr());
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << ttl;
+  EXPECT_EQ(parsed->NumEdges(), g1.NumEdges());
+}
+
+TEST(TurtleWriterTest, EmptyGraph) {
+  GraphBuilder b;
+  TripleGraph g = std::move(b.Build(true)).value();
+  EXPECT_EQ(TurtleToString(g), "");
+}
+
+}  // namespace
+}  // namespace rdfalign

@@ -1,0 +1,99 @@
+#include "core/weighted_partition.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid.h"
+#include "test_util.h"
+
+namespace rdfalign {
+namespace {
+
+TEST(OPlusTest, TruncatedAddition) {
+  EXPECT_DOUBLE_EQ(OPlus(0.2, 0.3), 0.5);
+  EXPECT_DOUBLE_EQ(OPlus(0.7, 0.7), 1.0);
+  EXPECT_DOUBLE_EQ(OPlus(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(OPlus(1.0, 0.0), 1.0);
+}
+
+TEST(OPlusTest, TriangleCompatibility) {
+  // σ(n,z) ⊕ σ(z,m) >= σ(n,m) is required of the operator; for the
+  // truncated addition this reduces to monotonicity + commutativity.
+  EXPECT_DOUBLE_EQ(OPlus(0.2, 0.3), OPlus(0.3, 0.2));
+  EXPECT_LE(OPlus(0.2, 0.3), OPlus(0.25, 0.3));
+}
+
+TEST(WeightedPartitionTest, DistancePerEq5) {
+  // Figure 8's weighted partition: "abc" (2/9) and "ac" (1/9) share a
+  // cluster -> distance 1/3; w (2/9) and w2 (1/36) -> 1/4; cross-cluster
+  // pairs -> 1.
+  WeightedPartition xi;
+  xi.partition = Partition::FromColors({0, 0, 1, 1, 2});
+  xi.weight = {2.0 / 9, 1.0 / 9, 2.0 / 9, 1.0 / 36, 0.4};
+  EXPECT_DOUBLE_EQ(xi.Distance(0, 1), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(xi.Distance(2, 3), 1.0 / 4);
+  EXPECT_DOUBLE_EQ(xi.Distance(0, 2), 1.0);  // different clusters
+  EXPECT_DOUBLE_EQ(xi.Distance(4, 4), 0.8);  // self ⊕ under weights
+}
+
+TEST(WeightedPartitionTest, MakeZeroWeighted) {
+  auto [g1, g2] = testing::Fig3Graphs();
+  auto cg = testing::Combine(g1, g2);
+  WeightedPartition xi = MakeZeroWeighted(HybridPartition(cg));
+  EXPECT_EQ(xi.weight.size(), cg.graph().NumNodes());
+  for (double w : xi.weight) EXPECT_DOUBLE_EQ(w, 0.0);
+  // With zero weights the distance is 0 within a class, 1 across.
+  NodeId u = cg.graph().FindUri("ex:u");
+  NodeId v = cg.graph().FindUri("ex:v");
+  EXPECT_DOUBLE_EQ(xi.Distance(u, v), 0.0);
+}
+
+TEST(WeightedAlignTest, ThresholdFiltersPairs) {
+  // Two clusters: c0 = {source a, target b} with weights 0.3/0.3 (distance
+  // 0.6), c1 = {source c, target d} with weights 0.1/0.05 (distance 0.15).
+  auto dict = std::make_shared<Dictionary>();
+  GraphBuilder builder1(dict);
+  NodeId a = builder1.AddUri("ex:a");
+  NodeId c = builder1.AddUri("ex:c");
+  NodeId p1 = builder1.AddUri("ex:p");
+  builder1.AddTriple(a, p1, c);
+  GraphBuilder builder2(dict);
+  NodeId b = builder2.AddUri("ex:b");
+  NodeId d = builder2.AddUri("ex:d");
+  NodeId p2 = builder2.AddUri("ex:p");
+  builder2.AddTriple(b, p2, d);
+  auto g1 = std::move(builder1.Build(true)).value();
+  auto g2 = std::move(builder2.Build(true)).value();
+  auto cg = testing::Combine(g1, g2);
+
+  WeightedPartition xi;
+  // Filler nodes (the two ex:p copies) get distinct singleton colors so
+  // only the two clusters under test align.
+  std::vector<ColorId> colors(cg.graph().NumNodes());
+  for (size_t i = 0; i < colors.size(); ++i) {
+    colors[i] = static_cast<ColorId>(100 + i);
+  }
+  colors[a] = 0;
+  colors[cg.FromTarget(b)] = 0;
+  colors[c] = 1;
+  colors[cg.FromTarget(d)] = 1;
+  xi.partition = Partition::FromColors(std::move(colors));
+  xi.weight.assign(cg.graph().NumNodes(), 0.0);
+  xi.weight[a] = 0.3;
+  xi.weight[cg.FromTarget(b)] = 0.3;
+  xi.weight[c] = 0.1;
+  xi.weight[cg.FromTarget(d)] = 0.05;
+
+  auto at_05 = EnumerateAlignedPairsWeighted(cg, xi, 0.5);
+  ASSERT_EQ(at_05.size(), 1u);
+  EXPECT_EQ(at_05[0].first, c);
+  auto at_07 = EnumerateAlignedPairsWeighted(cg, xi, 0.7);
+  EXPECT_EQ(at_07.size(), 2u);
+  auto at_01 = EnumerateAlignedPairsWeighted(cg, xi, 0.1);
+  EXPECT_TRUE(at_01.empty());
+
+  EXPECT_EQ(CountAlignedClassesWeighted(cg, xi, 0.5), 1u);
+  EXPECT_EQ(CountAlignedClassesWeighted(cg, xi, 0.7), 2u);
+}
+
+}  // namespace
+}  // namespace rdfalign
