@@ -34,6 +34,12 @@ class Flags {
                : fallback;
   }
 
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    std::string value;
+    return Find(name, &value) ? value : fallback;
+  }
+
  private:
   bool Find(const std::string& name, std::string* value) const {
     std::string prefix = "--" + name + "=";

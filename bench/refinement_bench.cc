@@ -1,0 +1,167 @@
+// A/B bench of the refinement fixpoint engines (ISSUE 1 acceptance bench).
+//
+// Runs the bisimulation refinement fixpoint over combined two-version
+// graphs from the category (Fig. 16 scalability) and EFO (Fig. 9)
+// generators, once with the legacy full-rescan engine and once with the
+// incremental worklist engine, checks the partitions agree, and emits
+// machine-readable before/after numbers to a JSON file so the perf
+// trajectory is recorded (BENCH_refinement.json at the repo root holds the
+// reference run; the bench_smoke ctest target re-runs this at --scale=0.1).
+//
+// Default --scale=4 puts both workloads above 100k nodes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/partition.h"
+#include "core/refinement.h"
+#include "gen/category_gen.h"
+#include "gen/efo_gen.h"
+#include "rdf/merge.h"
+#include "util/timer.h"
+
+using namespace rdfalign;
+
+namespace {
+
+struct RunResult {
+  std::string name;
+  size_t nodes = 0;
+  size_t edges = 0;
+  double legacy_ms = 0;
+  double incremental_ms = 0;
+  size_t iterations = 0;
+  size_t legacy_resignings = 0;
+  size_t incremental_resignings = 0;
+  size_t signature_bytes = 0;
+  size_t final_classes = 0;
+  bool equivalent = false;
+};
+
+RunResult RunWorkload(const std::string& name, const TripleGraph& g) {
+  RunResult r;
+  r.name = name;
+  r.nodes = g.NumNodes();
+  r.edges = g.NumEdges();
+
+  std::vector<NodeId> all(g.NumNodes());
+  for (NodeId i = 0; i < g.NumNodes(); ++i) all[i] = i;
+
+  RefinementStats leg_stats;
+  WallTimer t_leg;
+  Partition leg = BisimRefineFixpoint(g, LabelPartition(g), all, &leg_stats,
+                                      RefinementOptions{.incremental = false});
+  r.legacy_ms = t_leg.ElapsedMillis();
+
+  RefinementStats inc_stats;
+  WallTimer t_inc;
+  Partition inc = BisimRefineFixpoint(g, LabelPartition(g), all, &inc_stats,
+                                      RefinementOptions{.incremental = true});
+  r.incremental_ms = t_inc.ElapsedMillis();
+
+  r.iterations = inc_stats.iterations;
+  r.legacy_resignings = leg_stats.TotalDirty();
+  r.incremental_resignings = inc_stats.TotalDirty();
+  r.signature_bytes = inc_stats.signature_bytes;
+  r.final_classes = inc.NumColors();
+  r.equivalent = Partition::Equivalent(leg, inc);
+  return r;
+}
+
+bool WriteJson(const std::string& path, const std::vector<RunResult>& runs,
+               double scale, uint64_t seed) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"refinement_fixpoint\",\n");
+  std::fprintf(f, "  \"scale\": %g,\n", scale);
+  std::fprintf(f, "  \"seed\": %llu,\n", (unsigned long long)seed);
+  std::fprintf(f, "  \"workloads\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"nodes\": %zu,\n", r.nodes);
+    std::fprintf(f, "      \"edges\": %zu,\n", r.edges);
+    std::fprintf(f, "      \"legacy_ms\": %.2f,\n", r.legacy_ms);
+    std::fprintf(f, "      \"incremental_ms\": %.2f,\n", r.incremental_ms);
+    std::fprintf(f, "      \"speedup\": %.2f,\n",
+                 r.incremental_ms > 0 ? r.legacy_ms / r.incremental_ms : 0.0);
+    std::fprintf(f, "      \"iterations\": %zu,\n", r.iterations);
+    std::fprintf(f, "      \"legacy_resignings\": %zu,\n",
+                 r.legacy_resignings);
+    std::fprintf(f, "      \"incremental_resignings\": %zu,\n",
+                 r.incremental_resignings);
+    std::fprintf(f, "      \"signature_bytes\": %zu,\n", r.signature_bytes);
+    std::fprintf(f, "      \"final_classes\": %zu,\n", r.final_classes);
+    std::fprintf(f, "      \"equivalent\": %s\n",
+                 r.equivalent ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 4.0);
+  const uint64_t seed = flags.GetInt("seed", 5);
+  const std::string out = flags.GetString("out", "BENCH_refinement.json");
+
+  bench::Banner("Refinement engine A/B",
+                "legacy full-rescan vs incremental worklist fixpoint");
+
+  std::vector<RunResult> runs;
+  {
+    gen::CategoryOptions options;
+    options.initial_categories =
+        static_cast<size_t>(2500 * scale < 8 ? 8 : 2500 * scale);
+    options.initial_articles =
+        static_cast<size_t>(12000 * scale < 16 ? 16 : 12000 * scale);
+    options.versions = 2;
+    options.seed = seed;
+    gen::CategoryChain chain = gen::CategoryChain::Generate(options);
+    auto cg = CombinedGraph::Build(chain.Version(0), chain.Version(1)).value();
+    runs.push_back(RunWorkload("category", cg.graph()));
+  }
+  {
+    gen::EfoOptions options;
+    options.initial_classes =
+        static_cast<size_t>(2000 * scale < 8 ? 8 : 2000 * scale);
+    options.versions = 2;
+    options.seed = seed;
+    gen::EfoChain chain = gen::EfoChain::Generate(options);
+    auto cg = CombinedGraph::Build(chain.Version(0), chain.Version(1)).value();
+    runs.push_back(RunWorkload("efo", cg.graph()));
+  }
+
+  bench::TablePrinter table({"workload", "nodes", "legacy(ms)", "incr(ms)",
+                             "speedup", "resign-", "equal"});
+  bool all_equivalent = true;
+  for (const RunResult& r : runs) {
+    table.Row({r.name, bench::FmtInt(r.nodes),
+               bench::Fmt("%.1f", r.legacy_ms),
+               bench::Fmt("%.1f", r.incremental_ms),
+               bench::Fmt("%.2fx", r.legacy_ms /
+                                       (r.incremental_ms > 0
+                                            ? r.incremental_ms
+                                            : 1.0)),
+               bench::Fmt("%.1fx", static_cast<double>(r.legacy_resignings) /
+                                       (r.incremental_resignings > 0
+                                            ? r.incremental_resignings
+                                            : 1)),
+               r.equivalent ? "yes" : "NO"});
+    all_equivalent = all_equivalent && r.equivalent;
+  }
+  const bool wrote = WriteJson(out, runs, scale, seed);
+  if (wrote) std::printf("\nwrote %s\n", out.c_str());
+  return all_equivalent && wrote ? 0 : 1;
+}

@@ -37,10 +37,12 @@ AlignmentOutcome Aligner::AlignCombined(const CombinedGraph& cg) const {
       outcome.partition = TrivialPartition(cg.graph());
       break;
     case AlignMethod::kDeblank:
-      outcome.partition = DeblankPartition(cg, &outcome.refinement);
+      outcome.partition =
+          DeblankPartition(cg, &outcome.refinement, options_.refinement);
       break;
     case AlignMethod::kHybrid:
-      outcome.partition = HybridPartition(cg, &outcome.refinement);
+      outcome.partition =
+          HybridPartition(cg, &outcome.refinement, options_.refinement);
       break;
     case AlignMethod::kHybridContextual:
       outcome.partition =

@@ -40,6 +40,10 @@ std::string_view AlignMethodToString(AlignMethod method);
 /// Configuration of an Aligner.
 struct AlignerOptions {
   AlignMethod method = AlignMethod::kHybrid;
+  /// Engine selection for the refinement fixpoints (kDeblank/kHybrid; the
+  /// contextual method has its own mediation-signature engine, and kOverlap
+  /// takes the setting from `overlap.propagate.refinement`).
+  RefinementOptions refinement;
   /// Used when method == kOverlap.
   OverlapAlignOptions overlap;
 };

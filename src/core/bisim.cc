@@ -32,10 +32,11 @@ bool Simulates(const TripleGraph& g,
 
 }  // namespace
 
-Partition BisimPartition(const TripleGraph& g, RefinementStats* stats) {
+Partition BisimPartition(const TripleGraph& g, RefinementStats* stats,
+                         const RefinementOptions& options) {
   std::vector<NodeId> all(g.NumNodes());
   for (NodeId i = 0; i < g.NumNodes(); ++i) all[i] = i;
-  return BisimRefineFixpoint(g, LabelPartition(g), all, stats);
+  return BisimRefineFixpoint(g, LabelPartition(g), all, stats, options);
 }
 
 bool AreBisimilar(const TripleGraph& g, NodeId n, NodeId m) {

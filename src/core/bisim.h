@@ -19,7 +19,8 @@ namespace rdfalign {
 
 /// The bisimulation partition λ_Bisim of G (Proposition 1).
 Partition BisimPartition(const TripleGraph& g,
-                         RefinementStats* stats = nullptr);
+                         RefinementStats* stats = nullptr,
+                         const RefinementOptions& options = {});
 
 /// True iff n and m are bisimilar in G (same λ_Bisim color). Prefer
 /// computing the partition once when testing many pairs.

@@ -2,10 +2,11 @@
 
 namespace rdfalign {
 
-Partition DeblankPartition(const CombinedGraph& cg, RefinementStats* stats) {
+Partition DeblankPartition(const CombinedGraph& cg, RefinementStats* stats,
+                           const RefinementOptions& options) {
   const TripleGraph& g = cg.graph();
   std::vector<NodeId> blanks = g.NodesOfKind(TermKind::kBlank);
-  return BisimRefineFixpoint(g, LabelPartition(g), blanks, stats);
+  return BisimRefineFixpoint(g, LabelPartition(g), blanks, stats, options);
 }
 
 }  // namespace rdfalign

@@ -16,7 +16,8 @@ namespace rdfalign {
 
 /// Computes λ_Deblank over the combined graph.
 Partition DeblankPartition(const CombinedGraph& cg,
-                           RefinementStats* stats = nullptr);
+                           RefinementStats* stats = nullptr,
+                           const RefinementOptions& options = {});
 
 }  // namespace rdfalign
 

@@ -6,7 +6,8 @@
 namespace rdfalign {
 
 Partition HybridPartitionFrom(const CombinedGraph& cg, const Partition& base,
-                              RefinementStats* stats) {
+                              RefinementStats* stats,
+                              const RefinementOptions& options) {
   // The refinable set is UN(base) plus every blank node. Including the
   // already-aligned blanks re-derives their deblank colors inside this run,
   // which realizes the paper's structured-color semantics: a previously
@@ -24,11 +25,14 @@ Partition HybridPartitionFrom(const CombinedGraph& cg, const Partition& base,
     }
   }
   Partition blanked = BlankColors(base, x);
-  return BisimRefineFixpoint(cg.graph(), std::move(blanked), x, stats);
+  return BisimRefineFixpoint(cg.graph(), std::move(blanked), x, stats,
+                             options);
 }
 
-Partition HybridPartition(const CombinedGraph& cg, RefinementStats* stats) {
-  return HybridPartitionFrom(cg, DeblankPartition(cg), stats);
+Partition HybridPartition(const CombinedGraph& cg, RefinementStats* stats,
+                          const RefinementOptions& options) {
+  return HybridPartitionFrom(cg, DeblankPartition(cg, nullptr, options),
+                             stats, options);
 }
 
 }  // namespace rdfalign

@@ -23,12 +23,14 @@ namespace rdfalign {
 
 /// Computes λ_Hybrid over the combined graph.
 Partition HybridPartition(const CombinedGraph& cg,
-                          RefinementStats* stats = nullptr);
+                          RefinementStats* stats = nullptr,
+                          const RefinementOptions& options = {});
 
 /// Computes λ_Hybrid starting from an arbitrary base partition (used by the
 /// equivalence property test and by callers that already computed Deblank).
 Partition HybridPartitionFrom(const CombinedGraph& cg, const Partition& base,
-                              RefinementStats* stats = nullptr);
+                              RefinementStats* stats = nullptr,
+                              const RefinementOptions& options = {});
 
 }  // namespace rdfalign
 

@@ -31,6 +31,8 @@ struct PropagateOptions {
   double epsilon = 1e-4;
   /// Safety cap on weight iterations after the partition stabilizes.
   size_t max_weight_iterations = 1000;
+  /// Engine selection for the color fixpoint.
+  RefinementOptions refinement;
 };
 
 /// One weight update pass over X; returns the largest change.

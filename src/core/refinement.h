@@ -9,6 +9,19 @@
 //
 // This is the paper's "derivation tree as a DAG with simple hashing": a
 // dense ColorId stands for the whole derivation tree rooted at the node.
+//
+// Two fixpoint engines are available (RefinementOptions::incremental):
+//
+//  * The incremental worklist engine (default). After the first pass over
+//    X, only nodes with an out-neighbor whose color changed in the previous
+//    round are re-signed; every other node keeps its color with zero work.
+//    Signatures are consed through a 64-bit hash into a shared arena with
+//    collision verification, so steady-state rounds perform no per-node
+//    heap allocation. See docs/refinement.md for the invariants.
+//  * The legacy full-rescan engine, which re-signs all of X every
+//    iteration. It is retained for A/B comparisons (bench/refinement_bench
+//    and the randomized equivalence tests); both engines produce identical
+//    partitions.
 
 #ifndef RDFALIGN_CORE_REFINEMENT_H_
 #define RDFALIGN_CORE_REFINEMENT_H_
@@ -20,24 +33,47 @@
 
 namespace rdfalign {
 
+/// Engine selection for the fixpoint drivers.
+struct RefinementOptions {
+  /// Use the incremental worklist engine (default); false selects the
+  /// legacy full-rescan step, kept for A/B testing.
+  bool incremental = true;
+};
+
 /// Telemetry of a refinement run.
 struct RefinementStats {
   size_t iterations = 0;      ///< steps executed (incl. the stabilizing one)
   size_t final_classes = 0;   ///< classes in the fixpoint partition
   size_t initial_classes = 0; ///< classes in the input partition
+  /// Nodes re-signed per iteration: the worklist sizes for the incremental
+  /// engine, |X| every iteration for the legacy engine.
+  std::vector<size_t> dirty_per_iteration;
+  /// Total bytes of signature words built while signing nodes (counted per
+  /// re-signing, including signatures deduplicated by the cons table — a
+  /// measure of signing work, not of cons-table memory). Reported by the
+  /// incremental engine only (0 under the legacy engine).
+  size_t signature_bytes = 0;
+
+  /// Sum of dirty_per_iteration: total node re-signings performed.
+  size_t TotalDirty() const {
+    size_t total = 0;
+    for (size_t d : dirty_per_iteration) total += d;
+    return total;
+  }
 };
 
 /// One-step refinement BisimRefine_X(λ): recolors exactly the nodes in X by
 /// signature; all other nodes keep their class. X entries must be valid node
-/// ids of `g`.
+/// ids of `g`. This is the legacy full-rescan step.
 Partition BisimRefineStep(const TripleGraph& g, const Partition& p,
                           const std::vector<NodeId>& x);
 
 /// Fixpoint refinement BisimRefine*_X(λ) (Definition 4): applies the step
-/// until the partition stabilizes.
+/// until the partition stabilizes, using the engine selected by `options`.
 Partition BisimRefineFixpoint(const TripleGraph& g, Partition initial,
                               const std::vector<NodeId>& x,
-                              RefinementStats* stats = nullptr);
+                              RefinementStats* stats = nullptr,
+                              const RefinementOptions& options = {});
 
 /// Blank(λ, X): resets the color of every node in X to one shared fresh
 /// "blank" color (eq. 3) — the precursor of the hybrid alignment and of
@@ -66,11 +102,12 @@ Partition BisimRefineStepKeyed(const TripleGraph& g, const Partition& p,
                                const std::vector<NodeId>& x,
                                const std::vector<uint8_t>& predicate_mask);
 
-/// Fixpoint of the keyed step.
+/// Fixpoint of the keyed step, using the engine selected by `options`.
 Partition BisimRefineFixpointKeyed(const TripleGraph& g, Partition initial,
                                    const std::vector<NodeId>& x,
                                    const std::vector<uint8_t>& predicate_mask,
-                                   RefinementStats* stats = nullptr);
+                                   RefinementStats* stats = nullptr,
+                                   const RefinementOptions& options = {});
 
 }  // namespace rdfalign
 

@@ -52,6 +52,49 @@ void TripleGraph::BuildIndexes() {
       out_pairs_[cursor[t.s]++] = PredicateObject{t.p, t.o};
     }
   }
+  // Reverse CSR: in(n) = subjects of the triples in which n occurs as the
+  // predicate or the object. The buffer is sized exactly by one counting
+  // pass (two slots per triple), filled, then deduplicated per node with an
+  // in-place left compaction — no push_back growth, one allocation.
+  in_offsets_.assign(n + 1, 0);
+  for (const Triple& t : triples_) {
+    ++in_offsets_[t.p + 1];
+    ++in_offsets_[t.o + 1];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    in_offsets_[i + 1] += in_offsets_[i];
+  }
+  in_subjects_.resize(in_offsets_[n]);
+  {
+    std::vector<uint64_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+    for (const Triple& t : triples_) {
+      in_subjects_[cursor[t.p]++] = t.s;
+      in_subjects_[cursor[t.o]++] = t.s;
+    }
+  }
+  {
+    // A node reached through several roles (or several predicates) appears
+    // once: sort each slice, drop duplicates, and slide the survivors left.
+    uint64_t write = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t begin = in_offsets_[i];
+      const uint64_t end = in_offsets_[i + 1];
+      auto first = in_subjects_.begin() + static_cast<ptrdiff_t>(begin);
+      auto last = in_subjects_.begin() + static_cast<ptrdiff_t>(end);
+      std::sort(first, last);
+      last = std::unique(first, last);
+      const uint64_t len = static_cast<uint64_t>(last - first);
+      if (write != begin) {
+        std::move(first, last,
+                  in_subjects_.begin() + static_cast<ptrdiff_t>(write));
+      }
+      in_offsets_[i] = write;
+      write += len;
+    }
+    in_offsets_[n] = write;
+    in_subjects_.resize(write);
+    in_subjects_.shrink_to_fit();  // release the pre-dedup slack
+  }
   node_by_label_.clear();
   node_by_label_.reserve(n);
   for (NodeId i = 0; i < n; ++i) {

@@ -64,6 +64,19 @@ class TripleGraph {
     return out_offsets_[n + 1] - out_offsets_[n];
   }
 
+  /// Inbound neighborhood in(n): the distinct subjects s having a triple
+  /// (s, p, o) in which n occurs as the predicate or as the object,
+  /// ascending. This is the split-propagation index of the incremental
+  /// refinement engine: when n's color changes, exactly the nodes in In(n)
+  /// can observe the change through their signatures.
+  std::span<const NodeId> In(NodeId n) const {
+    return {in_subjects_.data() + in_offsets_[n],
+            in_offsets_[n + 1] - in_offsets_[n]};
+  }
+  size_t InDegree(NodeId n) const {
+    return in_offsets_[n + 1] - in_offsets_[n];
+  }
+
   const std::vector<Triple>& triples() const { return triples_; }
   const std::vector<NodeLabel>& labels() const { return labels_; }
 
@@ -92,6 +105,10 @@ class TripleGraph {
   // CSR out-neighborhood index.
   std::vector<uint64_t> out_offsets_;       // size NumNodes()+1
   std::vector<PredicateObject> out_pairs_;  // size NumEdges()
+  // Reverse CSR in-neighborhood index (subjects per predicate/object node,
+  // deduplicated).
+  std::vector<uint64_t> in_offsets_;  // size NumNodes()+1
+  std::vector<NodeId> in_subjects_;   // size <= 2 * NumEdges()
   // Label -> node maps for lookup (kind-tagged).
   std::unordered_map<uint64_t, NodeId> node_by_label_;
 

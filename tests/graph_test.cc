@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <string>
+
 #include "rdf/dictionary.h"
 
 namespace rdfalign {
@@ -153,6 +157,95 @@ TEST(TripleGraphTest, NodesOfKindAndCounts) {
   EXPECT_EQ(g.CountOfKind(TermKind::kLiteral), 2u);
   EXPECT_EQ(g.CountOfKind(TermKind::kBlank), 1u);
   EXPECT_EQ(g.NodesOfKind(TermKind::kBlank).size(), 1u);
+}
+
+TEST(TripleGraphInIndexTest, EmptyNeighborhoodAndBasicEdges) {
+  GraphBuilder b;
+  NodeId s = b.AddUri("ex:s");
+  NodeId p = b.AddUri("ex:p");
+  NodeId o = b.AddUri("ex:o");
+  NodeId isolated = b.AddUri("ex:island");
+  b.AddTriple(s, p, o);
+  auto g = std::move(b.Build(true)).value();
+  // A subject-only node and an isolated node have empty in-neighborhoods.
+  EXPECT_EQ(g.InDegree(s), 0u);
+  EXPECT_TRUE(g.In(s).empty());
+  EXPECT_EQ(g.InDegree(isolated), 0u);
+  EXPECT_TRUE(g.In(isolated).empty());
+  // Predicate and object both see the subject.
+  ASSERT_EQ(g.InDegree(p), 1u);
+  EXPECT_EQ(g.In(p)[0], s);
+  ASSERT_EQ(g.InDegree(o), 1u);
+  EXPECT_EQ(g.In(o)[0], s);
+}
+
+TEST(TripleGraphInIndexTest, DeduplicatesAcrossRolesAndPredicates) {
+  GraphBuilder b;
+  NodeId s = b.AddUri("ex:s");
+  NodeId p = b.AddUri("ex:p");
+  NodeId q = b.AddUri("ex:q");
+  NodeId o = b.AddUri("ex:o");
+  // s reaches o through two predicates: one in-index entry.
+  b.AddTriple(s, p, o);
+  b.AddTriple(s, q, o);
+  // s also uses p both as predicate (above) and as object.
+  b.AddTriple(s, q, p);
+  auto g = std::move(b.Build(true)).value();
+  ASSERT_EQ(g.InDegree(o), 1u);
+  EXPECT_EQ(g.In(o)[0], s);
+  ASSERT_EQ(g.InDegree(p), 1u);
+  EXPECT_EQ(g.In(p)[0], s);
+}
+
+TEST(TripleGraphInIndexTest, HighFanoutNodeListsAllSubjectsSorted) {
+  // A hub referenced by many subjects through one predicate: the in-index
+  // must list every subject exactly once, ascending.
+  GraphBuilder b;
+  NodeId hub = b.AddUri("ex:hub");
+  NodeId p = b.AddUri("ex:p");
+  constexpr int kFanout = 500;
+  std::vector<NodeId> subjects;
+  for (int i = 0; i < kFanout; ++i) {
+    NodeId s = b.AddUri("ex:s" + std::to_string(i));
+    b.AddTriple(s, p, hub);
+    b.AddTriple(s, p, s);  // self-loop: s is its own in-neighbor
+    subjects.push_back(s);
+  }
+  auto g = std::move(b.Build(true)).value();
+  ASSERT_EQ(g.InDegree(hub), static_cast<size_t>(kFanout));
+  auto in = g.In(hub);
+  EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+  std::sort(subjects.begin(), subjects.end());
+  EXPECT_TRUE(std::equal(in.begin(), in.end(), subjects.begin()));
+  // The predicate sees all subjects too (fanout distinct subjects).
+  EXPECT_EQ(g.InDegree(p), static_cast<size_t>(kFanout));
+  // Self-loop: each subject occurs in its own in-neighborhood exactly once.
+  for (NodeId s : subjects) {
+    ASSERT_EQ(g.InDegree(s), 1u);
+    EXPECT_EQ(g.In(s)[0], s);
+  }
+}
+
+TEST(TripleGraphInIndexTest, ConsistentWithTriples) {
+  // Cross-check In() against a reference recomputation from the triples.
+  GraphBuilder b;
+  for (int i = 0; i < 40; ++i) {
+    b.AddUriTriple("ex:s" + std::to_string(i % 7),
+                   "ex:p" + std::to_string(i % 3),
+                   "ex:o" + std::to_string(i % 11));
+  }
+  auto g = std::move(b.Build(true)).value();
+  std::vector<std::set<NodeId>> expected(g.NumNodes());
+  for (const Triple& t : g.triples()) {
+    expected[t.p].insert(t.s);
+    expected[t.o].insert(t.s);
+  }
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    auto in = g.In(n);
+    ASSERT_EQ(g.InDegree(n), expected[n].size()) << "node " << n;
+    EXPECT_TRUE(std::equal(in.begin(), in.end(), expected[n].begin()))
+        << "node " << n;
+  }
 }
 
 TEST(TripleGraphTest, FromPartsRejectsOutOfRangeIds) {

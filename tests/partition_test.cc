@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/refinement.h"
 #include "test_util.h"
 
 namespace rdfalign {
@@ -67,6 +68,28 @@ TEST(LabelPartitionTest, GroupsBlanksTogetherAndLabelsApart) {
   EXPECT_NE(p.ColorOf(g.FindUri("ex:w")), p.ColorOf(g.FindUri("ex:u")));
   EXPECT_NE(p.ColorOf(g.FindLiteral("a")), p.ColorOf(g.FindLiteral("b")));
   EXPECT_NE(p.ColorOf(g.FindUri("ex:w")), p.ColorOf(b1));
+}
+
+TEST(BlankColorsRenumberTest, NonDenseBlankColorIsRenumberedDensely) {
+  // BlankColors assigns the blank class the id NumColors(), which is
+  // non-dense whenever blanking empties an existing class. FromColors must
+  // renumber by first occurrence, leaving no holes.
+  Partition p = Partition::FromColors({0, 1, 1, 2});
+  ASSERT_EQ(p.NumColors(), 3u);
+  // Blank exactly the nodes of color 1: color 1 disappears, the blank color
+  // enters as (pre-renumbering) id 3 — two holes without renumbering.
+  Partition blanked = BlankColors(p, {1, 2});
+  EXPECT_EQ(blanked.NumColors(), 3u);
+  for (NodeId n = 0; n < blanked.NumNodes(); ++n) {
+    EXPECT_LT(blanked.ColorOf(n), blanked.NumColors());
+  }
+  // First-occurrence order: node 0 keeps class 0, the blanked pair forms
+  // class 1, node 3 class 2.
+  EXPECT_EQ(blanked.colors(), (std::vector<ColorId>{0, 1, 1, 2}));
+  // Blanking every node collapses to a single dense class.
+  Partition all_blank = BlankColors(p, {0, 1, 2, 3});
+  EXPECT_EQ(all_blank.NumColors(), 1u);
+  EXPECT_EQ(all_blank.colors(), (std::vector<ColorId>{0, 0, 0, 0}));
 }
 
 TEST(TrivialPartitionTest, BlanksAreSingletons) {

@@ -1,0 +1,189 @@
+// Randomized equivalence harness: the incremental worklist engine and the
+// legacy full-rescan engine must compute the same fixpoint partition — in
+// fact bit-identical dense color vectors, since Partition::FromColors
+// renumbers canonically — across random graphs, refinable subsets, and
+// predicate keys. Small graphs are additionally cross-checked against the
+// brute-force maximal-bisimulation oracle.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "core/bisim.h"
+#include "core/refinement.h"
+#include "test_util.h"
+
+namespace rdfalign {
+namespace {
+
+const RefinementOptions kIncremental{.incremental = true};
+const RefinementOptions kLegacy{.incremental = false};
+
+std::vector<NodeId> AllNodes(const TripleGraph& g) {
+  std::vector<NodeId> all(g.NumNodes());
+  for (NodeId i = 0; i < g.NumNodes(); ++i) all[i] = i;
+  return all;
+}
+
+// Compares the two engines on one (graph, initial, x) instance and checks
+// the incremental stats invariants.
+void ExpectEnginesAgree(const TripleGraph& g, const Partition& initial,
+                        const std::vector<NodeId>& x,
+                        const std::vector<uint8_t>* mask) {
+  RefinementStats inc_stats;
+  RefinementStats leg_stats;
+  Partition inc =
+      mask == nullptr
+          ? BisimRefineFixpoint(g, initial, x, &inc_stats, kIncremental)
+          : BisimRefineFixpointKeyed(g, initial, x, *mask, &inc_stats,
+                                     kIncremental);
+  Partition leg =
+      mask == nullptr
+          ? BisimRefineFixpoint(g, initial, x, &leg_stats, kLegacy)
+          : BisimRefineFixpointKeyed(g, initial, x, *mask, &leg_stats,
+                                     kLegacy);
+  ASSERT_TRUE(Partition::Equivalent(inc, leg));
+  // FromColors renumbers by first occurrence, which is canonical for an
+  // equivalence relation: equal relations give equal vectors.
+  EXPECT_EQ(inc.colors(), leg.colors());
+  EXPECT_EQ(inc_stats.final_classes, leg_stats.final_classes);
+  EXPECT_TRUE(Partition::IsFinerOrEqual(inc, initial));
+  // The worklist can only shrink after the first full pass.
+  if (!inc_stats.dirty_per_iteration.empty()) {
+    EXPECT_EQ(inc_stats.dirty_per_iteration.front(), x.size());
+  }
+  // Steady-state work must not exceed the legacy engine's rescan total.
+  EXPECT_LE(inc_stats.TotalDirty(), leg_stats.TotalDirty());
+}
+
+class EngineEquivalenceProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(EngineEquivalenceProperty, RandomGraphsAllSubsets) {
+  const uint64_t seed = GetParam();
+  testing::RandomGraphOptions options;
+  options.seed = seed;
+  options.uris = 8 + seed % 13;
+  options.literals = 4 + seed % 9;
+  options.blanks = 3 + seed % 11;
+  options.edges = 20 + seed % 70;
+  options.predicates = 2 + seed % 5;
+  TripleGraph g = testing::RandomGraph(options);
+
+  const std::vector<NodeId> all = AllNodes(g);
+  const std::vector<NodeId> blanks = g.NodesOfKind(TermKind::kBlank);
+
+  // Full bisimulation from the label partition.
+  ExpectEnginesAgree(g, LabelPartition(g), all, nullptr);
+  // Deblanking restriction: X = blanks only.
+  ExpectEnginesAgree(g, LabelPartition(g), blanks, nullptr);
+  // From the trivial partition (URI singletons stay put).
+  ExpectEnginesAgree(g, TrivialPartition(g), all, nullptr);
+
+  // Keyed refinement under a pseudo-random key over the predicates.
+  std::vector<uint8_t> mask(g.NumNodes(), 0);
+  for (const Triple& t : g.triples()) {
+    if ((g.LexicalId(t.p) + seed) % 2 == 0) mask[t.p] = 1;
+  }
+  ExpectEnginesAgree(g, LabelPartition(g), all, &mask);
+  ExpectEnginesAgree(g, LabelPartition(g), blanks, &mask);
+}
+
+// 50 seeds x 5 engine comparisons each = 250 random instances, plus the
+// evolving-pair and oracle suites below.
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalenceProperty,
+                         ::testing::Range<uint64_t>(1, 51));
+
+class EvolvingPairEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EvolvingPairEquivalence, CombinedGraphsAgree) {
+  // The production shape: a combined two-version graph where label classes
+  // pair up across the sides.
+  auto [g1, g2] = testing::RandomEvolvingPair(GetParam());
+  CombinedGraph cg = testing::Combine(g1, g2);
+  const TripleGraph& g = cg.graph();
+  ExpectEnginesAgree(g, LabelPartition(g), AllNodes(g), nullptr);
+  ExpectEnginesAgree(g, LabelPartition(g), g.NodesOfKind(TermKind::kBlank),
+                     nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvolvingPairEquivalence,
+                         ::testing::Range<uint64_t>(1, 13));
+
+class BruteForceCrossCheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BruteForceCrossCheck, IncrementalMatchesOracleOnSmallGraphs) {
+  const uint64_t seed = GetParam();
+  testing::RandomGraphOptions options;
+  options.seed = seed;
+  options.uris = 4;
+  options.literals = 3;
+  options.blanks = 2 + seed % 4;
+  options.edges = 8 + seed % 10;
+  options.predicates = 2;
+  TripleGraph g = testing::RandomGraph(options);
+
+  Partition p = BisimPartition(g, nullptr, kIncremental);
+  auto oracle = MaximalBisimulationBruteForce(g);
+  std::set<std::pair<NodeId, NodeId>> rel(oracle.begin(), oracle.end());
+  for (NodeId a = 0; a < g.NumNodes(); ++a) {
+    for (NodeId b = 0; b < g.NumNodes(); ++b) {
+      EXPECT_EQ(p.ColorOf(a) == p.ColorOf(b), rel.count({a, b}) > 0)
+          << "nodes " << a << "," << b << " seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForceCrossCheck,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(EngineEquivalenceTest, PaperGraphsBitIdentical) {
+  TripleGraph g = testing::Fig2Graph();
+  ExpectEnginesAgree(g, LabelPartition(g), AllNodes(g), nullptr);
+
+  auto [g1, g2] = testing::Fig3Graphs();
+  CombinedGraph cg = testing::Combine(g1, g2);
+  ExpectEnginesAgree(cg.graph(), LabelPartition(cg.graph()),
+                     AllNodes(cg.graph()), nullptr);
+}
+
+TEST(EngineEquivalenceTest, EmptySubsetIsIdentityInBothEngines) {
+  TripleGraph g = testing::Fig2Graph();
+  Partition p0 = LabelPartition(g);
+  RefinementStats stats;
+  Partition inc = BisimRefineFixpoint(g, p0, {}, &stats, kIncremental);
+  EXPECT_TRUE(Partition::Equivalent(p0, inc));
+  EXPECT_GE(stats.iterations, 1u);
+  Partition leg = BisimRefineFixpoint(g, p0, {}, nullptr, kLegacy);
+  EXPECT_TRUE(Partition::Equivalent(inc, leg));
+}
+
+TEST(EngineEquivalenceTest, DirtyCountsShrinkOnChainGraph) {
+  // A long chain ending in a distinguishing literal: each round can split
+  // only one more node, so the worklist must collapse to O(1) per round
+  // while the legacy engine rescans everything.
+  GraphBuilder b;
+  NodeId p = b.AddUri("ex:p");
+  constexpr int kLen = 40;
+  std::vector<NodeId> chain;
+  for (int i = 0; i < kLen; ++i) chain.push_back(b.AddBlank());
+  for (int i = 0; i + 1 < kLen; ++i) b.AddTriple(chain[i], p, chain[i + 1]);
+  b.AddTriple(chain[kLen - 1], p, b.AddLiteral("end"));
+  TripleGraph g = std::move(b.Build(true)).value();
+
+  RefinementStats stats;
+  Partition fix = BisimRefineFixpoint(g, LabelPartition(g),
+                                      g.NodesOfKind(TermKind::kBlank),
+                                      &stats, kIncremental);
+  EXPECT_EQ(stats.final_classes, fix.NumColors());
+  ASSERT_GE(stats.dirty_per_iteration.size(), 3u);
+  // After the full first pass the worklist is tiny (the split frontier).
+  for (size_t i = 1; i < stats.dirty_per_iteration.size(); ++i) {
+    EXPECT_LE(stats.dirty_per_iteration[i], 2u) << "iteration " << i;
+  }
+  EXPECT_GT(stats.signature_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace rdfalign
