@@ -1,20 +1,29 @@
-// A/B bench of the refinement fixpoint engines (ISSUE 1 acceptance bench).
+// A/B bench of the refinement fixpoint engines.
 //
-// Runs the bisimulation refinement fixpoint over combined two-version
-// graphs from the category (Fig. 16 scalability) and EFO (Fig. 9)
-// generators, once with the legacy full-rescan engine and once with the
-// incremental worklist engine, checks the partitions agree, and emits
-// machine-readable before/after numbers to a JSON file so the perf
-// trajectory is recorded (BENCH_refinement.json at the repo root holds the
-// reference run; the bench_smoke ctest target re-runs this at --scale=0.1).
+// Three experiments over combined two-version graphs from the category
+// (Fig. 16 scalability) and EFO (Fig. 9) generators:
+//
+//  1. plain refinement: legacy full-rescan vs incremental worklist
+//     (the ISSUE 1 acceptance bench);
+//  2. a signing-thread sweep (threads = 1, 2, 4, 8) of the incremental
+//     engine's first round, which dominates its runtime — partitions are
+//     checked bit-identical across thread counts;
+//  3. contextual (mediation-aware) refinement: legacy full-rescan vs the
+//     worklist port, in the predicate-aware-hybrid shape.
+//
+// Emits machine-readable numbers to a JSON file so the perf trajectory is
+// recorded (BENCH_refinement.json at the repo root holds the reference
+// run; the bench_smoke ctest target re-runs this at --scale=0.1).
 //
 // Default --scale=4 puts both workloads above 100k nodes.
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/harness.h"
+#include "core/context.h"
 #include "core/partition.h"
 #include "core/refinement.h"
 #include "gen/category_gen.h"
@@ -36,6 +45,27 @@ struct RunResult {
   size_t legacy_resignings = 0;
   size_t incremental_resignings = 0;
   size_t signature_bytes = 0;
+  size_t final_classes = 0;
+  bool equivalent = false;
+};
+
+struct ThreadsResult {
+  std::string name;
+  size_t threads = 0;
+  double first_round_ms = 0;
+  double total_ms = 0;
+  bool identical = false;  // colors equal the threads=1 run
+};
+
+struct ContextualResult {
+  std::string name;
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t predicate_only = 0;
+  double legacy_ms = 0;
+  double incremental_ms = 0;
+  size_t legacy_resignings = 0;
+  size_t incremental_resignings = 0;
   size_t final_classes = 0;
   bool equivalent = false;
 };
@@ -70,8 +100,74 @@ RunResult RunWorkload(const std::string& name, const TripleGraph& g) {
   return r;
 }
 
+// The signing-thread sweep: full bisimulation with the incremental engine
+// at each thread count; the first round signs every node, so it is where
+// the pool bites. Bit-identical partitions across counts are part of the
+// engine contract and re-checked here at full scale.
+std::vector<ThreadsResult> RunThreadsSweep(const std::string& name,
+                                           const TripleGraph& g) {
+  std::vector<NodeId> all(g.NumNodes());
+  for (NodeId i = 0; i < g.NumNodes(); ++i) all[i] = i;
+  std::vector<ThreadsResult> results;
+  Partition baseline;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    RefinementOptions options;
+    options.threads = threads;
+    RefinementStats stats;
+    WallTimer timer;
+    Partition p = BisimRefineFixpoint(g, LabelPartition(g), all, &stats,
+                                      options);
+    ThreadsResult r;
+    r.name = name;
+    r.threads = threads;
+    r.total_ms = timer.ElapsedMillis();
+    r.first_round_ms = stats.first_round_ms;
+    if (threads == 1) baseline = std::move(p);
+    r.identical = threads == 1 || p.colors() == baseline.colors();
+    results.push_back(r);
+  }
+  return results;
+}
+
+// Contextual A/B in the predicate-aware-hybrid shape — the exact inputs
+// PredicateAwareHybridPartition refines over — once per engine.
+ContextualResult RunContextual(const std::string& name,
+                               const CombinedGraph& cg) {
+  const TripleGraph& g = cg.graph();
+  ContextualResult r;
+  r.name = name;
+  r.nodes = g.NumNodes();
+  r.edges = g.NumEdges();
+
+  ContextualHybridInputs in = BuildContextualHybridInputs(cg);
+  for (uint8_t flag : in.predicate_only) r.predicate_only += flag;
+
+  RefinementStats leg_stats;
+  WallTimer t_leg;
+  Partition leg = ContextualRefineFixpoint(
+      g, in.blanked, in.x, in.mediation, in.predicate_only, &leg_stats,
+      RefinementOptions{.incremental = false});
+  r.legacy_ms = t_leg.ElapsedMillis();
+
+  RefinementStats inc_stats;
+  WallTimer t_inc;
+  Partition inc = ContextualRefineFixpoint(
+      g, in.blanked, in.x, in.mediation, in.predicate_only, &inc_stats,
+      RefinementOptions{.incremental = true});
+  r.incremental_ms = t_inc.ElapsedMillis();
+
+  r.legacy_resignings = leg_stats.TotalDirty();
+  r.incremental_resignings = inc_stats.TotalDirty();
+  r.final_classes = inc.NumColors();
+  r.equivalent = Partition::Equivalent(leg, inc) &&
+                 leg.colors() == inc.colors();
+  return r;
+}
+
 bool WriteJson(const std::string& path, const std::vector<RunResult>& runs,
-               double scale, uint64_t seed) {
+               const std::vector<ThreadsResult>& sweep,
+               const std::vector<ContextualResult>& contextual, double scale,
+               uint64_t seed) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -81,6 +177,8 @@ bool WriteJson(const std::string& path, const std::vector<RunResult>& runs,
   std::fprintf(f, "  \"bench\": \"refinement_fixpoint\",\n");
   std::fprintf(f, "  \"scale\": %g,\n", scale);
   std::fprintf(f, "  \"seed\": %llu,\n", (unsigned long long)seed);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"workloads\": [\n");
   for (size_t i = 0; i < runs.size(); ++i) {
     const RunResult& r = runs[i];
@@ -103,6 +201,41 @@ bool WriteJson(const std::string& path, const std::vector<RunResult>& runs,
                  r.equivalent ? "true" : "false");
     std::fprintf(f, "    }%s\n", i + 1 < runs.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"threads_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const ThreadsResult& r = sweep[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"threads\": %zu,\n", r.threads);
+    std::fprintf(f, "      \"first_round_ms\": %.2f,\n", r.first_round_ms);
+    std::fprintf(f, "      \"total_ms\": %.2f,\n", r.total_ms);
+    std::fprintf(f, "      \"identical\": %s\n",
+                 r.identical ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"contextual\": [\n");
+  for (size_t i = 0; i < contextual.size(); ++i) {
+    const ContextualResult& r = contextual[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"nodes\": %zu,\n", r.nodes);
+    std::fprintf(f, "      \"edges\": %zu,\n", r.edges);
+    std::fprintf(f, "      \"predicate_only\": %zu,\n", r.predicate_only);
+    std::fprintf(f, "      \"legacy_ms\": %.2f,\n", r.legacy_ms);
+    std::fprintf(f, "      \"incremental_ms\": %.2f,\n", r.incremental_ms);
+    std::fprintf(f, "      \"speedup\": %.2f,\n",
+                 r.incremental_ms > 0 ? r.legacy_ms / r.incremental_ms : 0.0);
+    std::fprintf(f, "      \"legacy_resignings\": %zu,\n",
+                 r.legacy_resignings);
+    std::fprintf(f, "      \"incremental_resignings\": %zu,\n",
+                 r.incremental_resignings);
+    std::fprintf(f, "      \"final_classes\": %zu,\n", r.final_classes);
+    std::fprintf(f, "      \"equivalent\": %s\n",
+                 r.equivalent ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < contextual.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   return true;
@@ -120,6 +253,8 @@ int main(int argc, char** argv) {
                 "legacy full-rescan vs incremental worklist fixpoint");
 
   std::vector<RunResult> runs;
+  std::vector<ThreadsResult> sweep;
+  std::vector<ContextualResult> contextual;
   {
     gen::CategoryOptions options;
     options.initial_categories =
@@ -131,6 +266,10 @@ int main(int argc, char** argv) {
     gen::CategoryChain chain = gen::CategoryChain::Generate(options);
     auto cg = CombinedGraph::Build(chain.Version(0), chain.Version(1)).value();
     runs.push_back(RunWorkload("category", cg.graph()));
+    for (ThreadsResult& r : RunThreadsSweep("category", cg.graph())) {
+      sweep.push_back(std::move(r));
+    }
+    contextual.push_back(RunContextual("category", cg));
   }
   {
     gen::EfoOptions options;
@@ -141,27 +280,61 @@ int main(int argc, char** argv) {
     gen::EfoChain chain = gen::EfoChain::Generate(options);
     auto cg = CombinedGraph::Build(chain.Version(0), chain.Version(1)).value();
     runs.push_back(RunWorkload("efo", cg.graph()));
+    for (ThreadsResult& r : RunThreadsSweep("efo", cg.graph())) {
+      sweep.push_back(std::move(r));
+    }
+    contextual.push_back(RunContextual("efo", cg));
   }
 
-  bench::TablePrinter table({"workload", "nodes", "legacy(ms)", "incr(ms)",
-                             "speedup", "resign-", "equal"});
   bool all_equivalent = true;
-  for (const RunResult& r : runs) {
-    table.Row({r.name, bench::FmtInt(r.nodes),
-               bench::Fmt("%.1f", r.legacy_ms),
-               bench::Fmt("%.1f", r.incremental_ms),
-               bench::Fmt("%.2fx", r.legacy_ms /
-                                       (r.incremental_ms > 0
-                                            ? r.incremental_ms
-                                            : 1.0)),
-               bench::Fmt("%.1fx", static_cast<double>(r.legacy_resignings) /
-                                       (r.incremental_resignings > 0
-                                            ? r.incremental_resignings
-                                            : 1)),
-               r.equivalent ? "yes" : "NO"});
-    all_equivalent = all_equivalent && r.equivalent;
+  {
+    bench::TablePrinter table({"workload", "nodes", "legacy(ms)", "incr(ms)",
+                               "speedup", "resign-", "equal"});
+    for (const RunResult& r : runs) {
+      table.Row({r.name, bench::FmtInt(r.nodes),
+                 bench::Fmt("%.1f", r.legacy_ms),
+                 bench::Fmt("%.1f", r.incremental_ms),
+                 bench::Fmt("%.2fx", r.legacy_ms /
+                                         (r.incremental_ms > 0
+                                              ? r.incremental_ms
+                                              : 1.0)),
+                 bench::Fmt("%.1fx", static_cast<double>(r.legacy_resignings) /
+                                         (r.incremental_resignings > 0
+                                              ? r.incremental_resignings
+                                              : 1)),
+                 r.equivalent ? "yes" : "NO"});
+      all_equivalent = all_equivalent && r.equivalent;
+    }
   }
-  const bool wrote = WriteJson(out, runs, scale, seed);
+  std::printf("\nfirst-round signing thread sweep\n");
+  {
+    bench::TablePrinter table(
+        {"workload", "threads", "round1(ms)", "total(ms)", "identical"});
+    for (const ThreadsResult& r : sweep) {
+      table.Row({r.name, bench::FmtInt(r.threads),
+                 bench::Fmt("%.1f", r.first_round_ms),
+                 bench::Fmt("%.1f", r.total_ms),
+                 r.identical ? "yes" : "NO"});
+      all_equivalent = all_equivalent && r.identical;
+    }
+  }
+  std::printf("\ncontextual refinement A/B (predicate-aware hybrid shape)\n");
+  {
+    bench::TablePrinter table({"workload", "nodes", "pred-only", "legacy(ms)",
+                               "incr(ms)", "speedup", "equal"});
+    for (const ContextualResult& r : contextual) {
+      table.Row({r.name, bench::FmtInt(r.nodes), bench::FmtInt(r.predicate_only),
+                 bench::Fmt("%.1f", r.legacy_ms),
+                 bench::Fmt("%.1f", r.incremental_ms),
+                 bench::Fmt("%.2fx", r.legacy_ms /
+                                         (r.incremental_ms > 0
+                                              ? r.incremental_ms
+                                              : 1.0)),
+                 r.equivalent ? "yes" : "NO"});
+      all_equivalent = all_equivalent && r.equivalent;
+    }
+  }
+  const bool wrote = WriteJson(out, runs, sweep, contextual, scale, seed);
   if (wrote) std::printf("\nwrote %s\n", out.c_str());
   return all_equivalent && wrote ? 0 : 1;
 }

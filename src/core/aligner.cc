@@ -45,8 +45,8 @@ AlignmentOutcome Aligner::AlignCombined(const CombinedGraph& cg) const {
           HybridPartition(cg, &outcome.refinement, options_.refinement);
       break;
     case AlignMethod::kHybridContextual:
-      outcome.partition =
-          PredicateAwareHybridPartition(cg, &outcome.refinement);
+      outcome.partition = PredicateAwareHybridPartition(
+          cg, &outcome.refinement, options_.refinement);
       break;
     case AlignMethod::kOverlap: {
       OverlapAlignResult r = OverlapAlign(cg, options_.overlap);

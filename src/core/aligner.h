@@ -40,9 +40,9 @@ std::string_view AlignMethodToString(AlignMethod method);
 /// Configuration of an Aligner.
 struct AlignerOptions {
   AlignMethod method = AlignMethod::kHybrid;
-  /// Engine selection for the refinement fixpoints (kDeblank/kHybrid; the
-  /// contextual method has its own mediation-signature engine, and kOverlap
-  /// takes the setting from `overlap.propagate.refinement`).
+  /// Engine selection and signing-thread count for the refinement
+  /// fixpoints (kDeblank/kHybrid/kHybridContextual; kOverlap takes the
+  /// setting from `overlap.propagate.refinement`).
   RefinementOptions refinement;
   /// Used when method == kOverlap.
   OverlapAlignOptions overlap;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/alignment.h"
+#include "core/worklist_engine.h"
 #include "util/hash.h"
 
 namespace rdfalign {
@@ -34,13 +35,55 @@ MediationIndex::MediationIndex(const TripleGraph& g) {
   }
   for (size_t i = 0; i < n; ++i) offsets_[i + 1] += offsets_[i];
   pairs_.resize(g.NumEdges());
-  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (const Triple& t : g.triples()) {
-    pairs_[cursor[t.p]++] = PredicateObject{t.s, t.o};
+  {
+    std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const Triple& t : g.triples()) {
+      pairs_[cursor[t.p]++] = PredicateObject{t.s, t.o};
+    }
   }
   for (size_t i = 0; i < n; ++i) {
     std::sort(pairs_.begin() + static_cast<ptrdiff_t>(offsets_[i]),
               pairs_.begin() + static_cast<ptrdiff_t>(offsets_[i + 1]));
+  }
+  // Reverse CSR: the distinct predicates of the triples in which a node
+  // occurs as subject or object — the dirtiness relation of the
+  // incremental contextual engine. Built like TripleGraph's in-index: one
+  // exact counting pass (two slots per triple), one fill pass, then an
+  // in-place per-node sort+unique with left compaction.
+  rev_offsets_.assign(n + 1, 0);
+  for (const Triple& t : g.triples()) {
+    ++rev_offsets_[t.s + 1];
+    ++rev_offsets_[t.o + 1];
+  }
+  for (size_t i = 0; i < n; ++i) rev_offsets_[i + 1] += rev_offsets_[i];
+  rev_predicates_.resize(rev_offsets_[n]);
+  {
+    std::vector<uint64_t> cursor(rev_offsets_.begin(), rev_offsets_.end() - 1);
+    for (const Triple& t : g.triples()) {
+      rev_predicates_[cursor[t.s]++] = t.p;
+      rev_predicates_[cursor[t.o]++] = t.p;
+    }
+  }
+  {
+    uint64_t write = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t begin = rev_offsets_[i];
+      const uint64_t end = rev_offsets_[i + 1];
+      auto first = rev_predicates_.begin() + static_cast<ptrdiff_t>(begin);
+      auto last = rev_predicates_.begin() + static_cast<ptrdiff_t>(end);
+      std::sort(first, last);
+      last = std::unique(first, last);
+      const uint64_t len = static_cast<uint64_t>(last - first);
+      if (write != begin) {
+        std::move(first, last,
+                  rev_predicates_.begin() + static_cast<ptrdiff_t>(write));
+      }
+      rev_offsets_[i] = write;
+      write += len;
+    }
+    rev_offsets_[n] = write;
+    rev_predicates_.resize(write);
+    rev_predicates_.shrink_to_fit();
   }
 }
 
@@ -48,7 +91,9 @@ namespace {
 
 constexpr uint32_t kKeepTag = 0;
 constexpr uint32_t kRecolorTag = 1;
-constexpr uint32_t kMediationSeparator = 0xfffffffe;
+// The separator is shared with the worklist engine so both engines delimit
+// the mediation section identically.
+constexpr uint32_t kMediationSeparator = internal::kMediationSeparator;
 
 using SignatureMap =
     std::unordered_map<std::vector<uint32_t>, ColorId, U32VectorHash>;
@@ -110,28 +155,41 @@ Partition ContextualRefineFixpoint(const TripleGraph& g, Partition initial,
                                    const std::vector<NodeId>& x,
                                    const MediationIndex& mediation,
                                    const std::vector<uint8_t>& predicate_only,
-                                   RefinementStats* stats) {
+                                   RefinementStats* stats,
+                                   const RefinementOptions& options) {
   RefinementStats local;
   local.initial_classes = initial.NumColors();
-  Partition current = std::move(initial);
-  const size_t hard_cap = g.NumNodes() + 2;
-  for (size_t iter = 0; iter < hard_cap; ++iter) {
-    Partition next =
-        ContextualRefineStep(g, current, x, mediation, predicate_only);
-    ++local.iterations;
-    if (next.NumColors() == current.NumColors()) {
+  Partition result;
+  if (options.incremental) {
+    internal::WorklistConfig config;
+    config.mediation = &mediation;
+    config.predicate_only = &predicate_only;
+    config.threads = options.threads;
+    config.parallel_min_round = options.parallel_min_round;
+    result = internal::RunWorklistFixpoint(g, initial, x, config, &local);
+    assert(Partition::IsFinerOrEqual(result, initial));
+  } else {
+    Partition current = std::move(initial);
+    const size_t hard_cap = g.NumNodes() + 2;
+    for (size_t iter = 0; iter < hard_cap; ++iter) {
+      Partition next =
+          ContextualRefineStep(g, current, x, mediation, predicate_only);
+      ++local.iterations;
+      local.dirty_per_iteration.push_back(x.size());
+      if (next.NumColors() == current.NumColors()) {
+        current = std::move(next);
+        break;
+      }
       current = std::move(next);
-      break;
     }
-    current = std::move(next);
+    result = std::move(current);
   }
-  local.final_classes = current.NumColors();
-  if (stats != nullptr) *stats = local;
-  return current;
+  local.final_classes = result.NumColors();
+  if (stats != nullptr) *stats = std::move(local);
+  return result;
 }
 
-Partition PredicateAwareHybridPartition(const CombinedGraph& cg,
-                                        RefinementStats* stats) {
+ContextualHybridInputs BuildContextualHybridInputs(const CombinedGraph& cg) {
   const TripleGraph& g = cg.graph();
   Partition base = TrivialPartition(g);
   std::vector<NodeId> x = UnalignedNonLiterals(cg, base);
@@ -144,10 +202,18 @@ Partition PredicateAwareHybridPartition(const CombinedGraph& cg,
   }
   std::vector<uint8_t> predicate_only(g.NumNodes(), 0);
   for (NodeId n : PredicateOnlyUris(g)) predicate_only[n] = 1;
-  MediationIndex mediation(g);
-  Partition blanked = BlankColors(base, x);
-  return ContextualRefineFixpoint(g, std::move(blanked), x, mediation,
-                                  predicate_only, stats);
+  return ContextualHybridInputs{BlankColors(base, x), std::move(x),
+                                std::move(predicate_only),
+                                MediationIndex(g)};
+}
+
+Partition PredicateAwareHybridPartition(const CombinedGraph& cg,
+                                        RefinementStats* stats,
+                                        const RefinementOptions& options) {
+  ContextualHybridInputs in = BuildContextualHybridInputs(cg);
+  return ContextualRefineFixpoint(cg.graph(), std::move(in.blanked), in.x,
+                                  in.mediation, in.predicate_only, stats,
+                                  options);
 }
 
 }  // namespace rdfalign

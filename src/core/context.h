@@ -29,7 +29,12 @@ namespace rdfalign {
 std::vector<NodeId> PredicateOnlyUris(const TripleGraph& g);
 
 /// An index from predicate node to the (subject, object) pairs of the
-/// triples it mediates (CSR layout, pairs sorted).
+/// triples it mediates (CSR layout, pairs sorted), plus the reverse
+/// direction: from a node to the distinct predicates mediating it. The
+/// reverse index is the dirtiness relation of the incremental contextual
+/// engine — when a node's color changes, exactly the predicates in
+/// MediatingPredicates() can observe the change through their mediation
+/// signatures.
 class MediationIndex {
  public:
   explicit MediationIndex(const TripleGraph& g);
@@ -38,10 +43,19 @@ class MediationIndex {
     return {pairs_.data() + offsets_[p], offsets_[p + 1] - offsets_[p]};
   }
 
+  /// Distinct predicates p with a triple (n, p, o) or (s, p, n), ascending.
+  std::span<const NodeId> MediatingPredicates(NodeId n) const {
+    return {rev_predicates_.data() + rev_offsets_[n],
+            rev_offsets_[n + 1] - rev_offsets_[n]};
+  }
+
  private:
   std::vector<uint64_t> offsets_;
   // Reuses PredicateObject as a plain (subject, object) pair.
   std::vector<PredicateObject> pairs_;
+  // Reverse CSR: distinct predicates per subject-or-object node.
+  std::vector<uint64_t> rev_offsets_;
+  std::vector<NodeId> rev_predicates_;
 };
 
 /// One contextual refinement step: nodes in X are recolored by the usual
@@ -52,18 +66,41 @@ Partition ContextualRefineStep(const TripleGraph& g, const Partition& p,
                                const MediationIndex& mediation,
                                const std::vector<uint8_t>& predicate_only);
 
-/// Fixpoint of the contextual step.
+/// Fixpoint of the contextual step, using the engine selected by `options`:
+/// the incremental worklist engine (default) re-signs only dirty nodes,
+/// with dirtiness following both the out-neighborhood (TripleGraph::In) and
+/// the mediation index; the legacy engine full-rescans every iteration.
+/// Both produce bit-identical partitions, and both honor
+/// RefinementOptions::threads for parallel signing of wide rounds
+/// (incremental engine only).
 Partition ContextualRefineFixpoint(const TripleGraph& g, Partition initial,
                                    const std::vector<NodeId>& x,
                                    const MediationIndex& mediation,
                                    const std::vector<uint8_t>& predicate_only,
-                                   RefinementStats* stats = nullptr);
+                                   RefinementStats* stats = nullptr,
+                                   const RefinementOptions& options = {});
+
+/// The prepared inputs of the predicate-aware hybrid alignment: the
+/// blanked base partition, the refinable set (unaligned non-literals plus
+/// every blank), the predicate-only flags, and the mediation index.
+struct ContextualHybridInputs {
+  Partition blanked;
+  std::vector<NodeId> x;
+  std::vector<uint8_t> predicate_only;
+  MediationIndex mediation;
+};
+
+/// Builds the inputs PredicateAwareHybridPartition refines over. Exposed so
+/// the refinement bench can A/B the contextual engines on exactly the
+/// production shape.
+ContextualHybridInputs BuildContextualHybridInputs(const CombinedGraph& cg);
 
 /// The hybrid alignment with predicate-aware refinement: identical to
 /// HybridPartition except that unaligned predicate-only URIs are identified
 /// by what they *connect* instead of collapsing into one sink class.
 Partition PredicateAwareHybridPartition(const CombinedGraph& cg,
-                                        RefinementStats* stats = nullptr);
+                                        RefinementStats* stats = nullptr,
+                                        const RefinementOptions& options = {});
 
 }  // namespace rdfalign
 

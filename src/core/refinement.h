@@ -12,12 +12,16 @@
 //
 // Two fixpoint engines are available (RefinementOptions::incremental):
 //
-//  * The incremental worklist engine (default). After the first pass over
-//    X, only nodes with an out-neighbor whose color changed in the previous
-//    round are re-signed; every other node keeps its color with zero work.
-//    Signatures are consed through a 64-bit hash into a shared arena with
-//    collision verification, so steady-state rounds perform no per-node
-//    heap allocation. See docs/refinement.md for the invariants.
+//  * The incremental worklist engine (default; core/worklist_engine.h).
+//    After the first pass over X, only nodes with an out-neighbor whose
+//    color changed in the previous round are re-signed; every other node
+//    keeps its color with zero work. Signatures are consed through a 64-bit
+//    hash into a shared arena with collision verification, so steady-state
+//    rounds perform no per-node heap allocation. Large rounds — the first
+//    round especially, which signs all of X — can be signed by a worker
+//    pool (RefinementOptions::threads) with a deterministic merge that
+//    keeps the partition bit-identical across thread counts. See
+//    docs/refinement.md for the invariants.
 //  * The legacy full-rescan engine, which re-signs all of X every
 //    iteration. It is retained for A/B comparisons (bench/refinement_bench
 //    and the randomized equivalence tests); both engines produce identical
@@ -38,6 +42,16 @@ struct RefinementOptions {
   /// Use the incremental worklist engine (default); false selects the
   /// legacy full-rescan step, kept for A/B testing.
   bool incremental = true;
+  /// Signing workers for wide refinement rounds under the incremental
+  /// engine. 1 = sequential (default); 0 = one worker per hardware thread.
+  /// Any setting yields a bit-identical partition: workers sign into
+  /// thread-local arenas and a single deterministic merge conses the
+  /// signatures in worklist order.
+  size_t threads = 1;
+  /// Minimum worklist width before the worker pool engages; narrower
+  /// rounds are signed inline (thread spawn would dominate). Tests lower
+  /// this to force the parallel path on small graphs.
+  size_t parallel_min_round = 4096;
 };
 
 /// Telemetry of a refinement run.
@@ -53,6 +67,11 @@ struct RefinementStats {
   /// measure of signing work, not of cons-table memory). Reported by the
   /// incremental engine only (0 under the legacy engine).
   size_t signature_bytes = 0;
+  /// Wall-clock of the first refinement round, the one that signs all of X
+  /// (incremental engine only; the parallel-signing target).
+  double first_round_ms = 0.0;
+  /// Resolved signing-worker count (incremental engine only; >= 1).
+  size_t threads_used = 0;
 
   /// Sum of dirty_per_iteration: total node re-signings performed.
   size_t TotalDirty() const {

@@ -1,0 +1,79 @@
+// Internal: the incremental dirty-node worklist engine behind every
+// refinement fixpoint (plain, keyed, and mediation-aware contextual).
+//
+// The engine generalizes the PR-1 worklist algorithm along two axes:
+//
+//  * **Signature shape.** A node's signature is [own color, out-pairs...]
+//    as before, optionally restricted by a predicate mask (keyed
+//    refinement) and optionally extended — for predicate-only URIs — by a
+//    mediation section [separator, (λ(s), λ(o)) pairs...] over the triples
+//    the node mediates (contextual refinement, §5.1 of the paper).
+//    Dirtiness follows the signature shape: a changed node dirties its
+//    in-neighbors (TripleGraph::In) and, when mediation is configured, the
+//    predicate-only nodes mediating it (MediationIndex::
+//    MediatingPredicates).
+//
+//  * **Parallel signing.** Rounds at least `parallel_min_round` nodes wide
+//    are signed by `threads` workers into thread-local arenas; a
+//    deterministic sequential merge then conses the prebuilt signatures in
+//    worklist order — the exact order the sequential path uses — so the
+//    resulting partition is bit-identical for every thread count. Signing
+//    only reads shared state (colors, graph, indexes); all writes happen in
+//    the merge. See docs/refinement.md.
+//
+// This header is shared by core/refinement.cc and core/context.cc; it is
+// not part of the public API surface.
+
+#ifndef RDFALIGN_CORE_WORKLIST_ENGINE_H_
+#define RDFALIGN_CORE_WORKLIST_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/refinement.h"
+#include "rdf/graph.h"
+
+namespace rdfalign {
+
+class MediationIndex;  // core/context.h
+
+namespace internal {
+
+/// Separates the out-pair section of a signature from the mediation-pair
+/// section. Colors are dense and monotonically allocated, so they can never
+/// reach this value on any realistic graph; the legacy contextual step
+/// relies on the same property.
+inline constexpr uint32_t kMediationSeparator = 0xfffffffe;
+
+/// What the worklist engine signs and how.
+struct WorklistConfig {
+  /// Keyed refinement: only out-pairs whose predicate is marked enter the
+  /// signature. Null = all pairs.
+  const std::vector<uint8_t>* predicate_mask = nullptr;
+  /// Contextual refinement: both non-null or both null. Nodes flagged in
+  /// `predicate_only` carry a mediation signature drawn from `mediation`,
+  /// and dirtiness additionally follows MediatingPredicates().
+  const MediationIndex* mediation = nullptr;
+  const std::vector<uint8_t>* predicate_only = nullptr;
+  /// Resolved signing-worker count (>= 1); see ResolveThreads().
+  size_t threads = 1;
+  /// Minimum worklist width before the worker pool engages.
+  size_t parallel_min_round = 4096;
+};
+
+/// Maps RefinementOptions::threads to a concrete worker count: 0 becomes
+/// one worker per hardware thread, anything else is used as given (min 1).
+size_t ResolveThreads(size_t requested);
+
+/// Runs the worklist fixpoint to stabilization and returns the refined
+/// partition. `x` entries must be valid node ids of `g`.
+Partition RunWorklistFixpoint(const TripleGraph& g, const Partition& initial,
+                              const std::vector<NodeId>& x,
+                              const WorklistConfig& config,
+                              RefinementStats* stats);
+
+}  // namespace internal
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_CORE_WORKLIST_ENGINE_H_

@@ -1,9 +1,10 @@
 // Randomized equivalence harness: the incremental worklist engine and the
 // legacy full-rescan engine must compute the same fixpoint partition — in
 // fact bit-identical dense color vectors, since Partition::FromColors
-// renumbers canonically — across random graphs, refinable subsets, and
-// predicate keys. Small graphs are additionally cross-checked against the
-// brute-force maximal-bisimulation oracle.
+// renumbers canonically — across random graphs, refinable subsets,
+// predicate keys, and mediation (contextual) instances. Small graphs are
+// additionally cross-checked against the brute-force maximal-bisimulation
+// oracle.
 
 #include <gtest/gtest.h>
 
@@ -11,6 +12,7 @@
 #include <utility>
 
 #include "core/bisim.h"
+#include "core/context.h"
 #include "core/refinement.h"
 #include "test_util.h"
 
@@ -55,6 +57,37 @@ void ExpectEnginesAgree(const TripleGraph& g, const Partition& initial,
   }
   // Steady-state work must not exceed the legacy engine's rescan total.
   EXPECT_LE(inc_stats.TotalDirty(), leg_stats.TotalDirty());
+}
+
+// Contextual (mediation-aware) refinement: the worklist port must match
+// the legacy ContextualRefineFixpoint full-rescan driver bit for bit.
+// Returns the number of predicate-only URIs so callers can assert the
+// mediation path was actually exercised across a suite of instances.
+size_t ExpectContextualEnginesAgree(const TripleGraph& g,
+                                    const Partition& initial,
+                                    const std::vector<NodeId>& x) {
+  std::vector<uint8_t> predicate_only(g.NumNodes(), 0);
+  const std::vector<NodeId> pred_only_uris = PredicateOnlyUris(g);
+  for (NodeId n : pred_only_uris) predicate_only[n] = 1;
+  MediationIndex mediation(g);
+  RefinementStats inc_stats;
+  RefinementStats leg_stats;
+  Partition inc = ContextualRefineFixpoint(g, initial, x, mediation,
+                                           predicate_only, &inc_stats,
+                                           kIncremental);
+  Partition leg = ContextualRefineFixpoint(g, initial, x, mediation,
+                                           predicate_only, &leg_stats,
+                                           kLegacy);
+  EXPECT_TRUE(Partition::Equivalent(inc, leg));
+  EXPECT_EQ(inc.colors(), leg.colors());
+  EXPECT_EQ(inc_stats.final_classes, leg_stats.final_classes);
+  EXPECT_TRUE(Partition::IsFinerOrEqual(inc, initial));
+  if (!inc_stats.dirty_per_iteration.empty()) {
+    EXPECT_EQ(inc_stats.dirty_per_iteration.front(), x.size());
+  }
+  // The mediation-aware dirtiness must not exceed the full-rescan total.
+  EXPECT_LE(inc_stats.TotalDirty(), leg_stats.TotalDirty());
+  return pred_only_uris.size();
 }
 
 class EngineEquivalenceProperty : public ::testing::TestWithParam<uint64_t> {
@@ -158,6 +191,63 @@ TEST(EngineEquivalenceTest, EmptySubsetIsIdentityInBothEngines) {
   Partition leg = BisimRefineFixpoint(g, p0, {}, nullptr, kLegacy);
   EXPECT_TRUE(Partition::Equivalent(inc, leg));
 }
+
+// 40 random graphs x 2 inputs = 80 contextual instances; the accumulated
+// predicate-only count guards that the mediation path is genuinely
+// exercised (random predicates are predominantly predicate-only).
+TEST(ContextualEquivalenceTest, RandomMediationInstances) {
+  size_t total_predicate_only = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    testing::RandomGraphOptions options;
+    options.seed = seed * 977;
+    options.uris = 8 + seed % 11;
+    options.literals = 4 + seed % 7;
+    options.blanks = 3 + seed % 9;
+    options.edges = 24 + seed % 60;
+    options.predicates = 2 + seed % 6;
+    TripleGraph g = testing::RandomGraph(options);
+    const std::vector<NodeId> all = AllNodes(g);
+    total_predicate_only +=
+        ExpectContextualEnginesAgree(g, LabelPartition(g), all);
+    // The production shape: refine from a blanked partition over a subset
+    // (here the blanks plus every URI with an even lexical id).
+    std::vector<NodeId> subset = g.NodesOfKind(TermKind::kBlank);
+    for (NodeId n = 0; n < g.NumNodes(); ++n) {
+      if (g.IsUri(n) && g.LexicalId(n) % 2 == 0) subset.push_back(n);
+    }
+    std::sort(subset.begin(), subset.end());
+    ExpectContextualEnginesAgree(g, BlankColors(LabelPartition(g), subset),
+                                 subset);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "first failing seed: " << seed;
+      break;
+    }
+  }
+  EXPECT_GT(total_predicate_only, 0u)
+      << "no instance had predicate-only URIs; mediation never exercised";
+}
+
+class ContextualEvolvingPairEquivalence
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ContextualEvolvingPairEquivalence, PredicateAwareHybridAgrees) {
+  // End-to-end: the predicate-aware hybrid alignment over a combined
+  // two-version graph must not depend on the engine.
+  auto [g1, g2] = testing::RandomEvolvingPair(GetParam());
+  CombinedGraph cg = testing::Combine(g1, g2);
+  RefinementStats inc_stats;
+  RefinementStats leg_stats;
+  Partition inc =
+      PredicateAwareHybridPartition(cg, &inc_stats, kIncremental);
+  Partition leg = PredicateAwareHybridPartition(cg, &leg_stats, kLegacy);
+  ASSERT_TRUE(Partition::Equivalent(inc, leg));
+  EXPECT_EQ(inc.colors(), leg.colors());
+  EXPECT_EQ(inc_stats.final_classes, leg_stats.final_classes);
+  EXPECT_LE(inc_stats.TotalDirty(), leg_stats.TotalDirty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContextualEvolvingPairEquivalence,
+                         ::testing::Range<uint64_t>(1, 13));
 
 TEST(EngineEquivalenceTest, DirtyCountsShrinkOnChainGraph) {
   // A long chain ending in a distinguishing literal: each round can split
