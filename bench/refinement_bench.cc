@@ -256,14 +256,8 @@ int main(int argc, char** argv) {
   std::vector<ThreadsResult> sweep;
   std::vector<ContextualResult> contextual;
   {
-    gen::CategoryOptions options;
-    options.initial_categories =
-        static_cast<size_t>(2500 * scale < 8 ? 8 : 2500 * scale);
-    options.initial_articles =
-        static_cast<size_t>(12000 * scale < 16 ? 16 : 12000 * scale);
-    options.versions = 2;
-    options.seed = seed;
-    gen::CategoryChain chain = gen::CategoryChain::Generate(options);
+    gen::CategoryChain chain = gen::CategoryChain::Generate(
+        gen::CategoryOptions::FromScale(scale, /*versions=*/2, seed));
     auto cg = CombinedGraph::Build(chain.Version(0), chain.Version(1)).value();
     runs.push_back(RunWorkload("category", cg.graph()));
     for (ThreadsResult& r : RunThreadsSweep("category", cg.graph())) {

@@ -1,0 +1,215 @@
+// Load-vs-reparse A/B of the snapshot store (the ISSUE 3 acceptance bench).
+//
+// At each fig16-style scale point a category graph is generated and saved
+// twice — as N-Triples text and as a binary snapshot — then ingested back
+// three ways:
+//
+//   reparse : ParseNTriplesFile (streaming text parse, the pre-store path)
+//   load    : LoadSnapshot, buffered read + checksum verification
+//   mmap    : LoadSnapshot, mmap + zero-copy CSR adoption, checksums off
+//             (structural validation still runs and touches the whole
+//             file; mmap saves the copy, not the read — see
+//             store/snapshot.h)
+//
+// Each method is timed over several runs (best-of, files warm in the page
+// cache for every method alike) and the loaded graphs are checked equal to
+// the reparsed one. Emits BENCH_store.json; the checked-in copy at the
+// repo root is the reference run, and the store_bench_smoke ctest target
+// re-runs this at a tiny scale.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "gen/category_gen.h"
+#include "parser/ntriples_parser.h"
+#include "parser/ntriples_writer.h"
+#include "store/snapshot.h"
+#include "util/timer.h"
+
+using namespace rdfalign;
+
+namespace {
+
+struct PointResult {
+  double scale_point = 0;
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t terms = 0;
+  uint64_t nt_bytes = 0;
+  uint64_t snap_bytes = 0;
+  double reparse_ms = 0;
+  double load_ms = 0;
+  double mmap_ms = 0;
+  bool equal = false;
+};
+
+/// Best-of-`runs` wall time of `fn` (returns false on failure).
+template <typename Fn>
+bool BestOf(size_t runs, double* best_ms, Fn&& fn) {
+  *best_ms = 0;
+  for (size_t r = 0; r < runs; ++r) {
+    WallTimer t;
+    if (!fn()) return false;
+    double ms = t.ElapsedMillis();
+    if (r == 0 || ms < *best_ms) *best_ms = ms;
+  }
+  return true;
+}
+
+bool RunPoint(double scale_point, uint64_t seed, size_t runs,
+              const std::string& tmp_prefix, PointResult* out) {
+  gen::CategoryChain chain = gen::CategoryChain::Generate(
+      gen::CategoryOptions::FromScale(scale_point, /*versions=*/1, seed));
+  const TripleGraph& g = chain.Version(0);
+
+  const std::string nt_path = tmp_prefix + ".nt";
+  const std::string snap_path = tmp_prefix + ".snap";
+  if (!WriteNTriplesFile(g, nt_path).ok() ||
+      !store::WriteSnapshot(g, snap_path).ok()) {
+    std::fprintf(stderr, "cannot write bench inputs under %s\n",
+                 tmp_prefix.c_str());
+    return false;
+  }
+
+  PointResult r;
+  r.scale_point = scale_point;
+  r.nodes = g.NumNodes();
+  r.edges = g.NumEdges();
+  r.terms = g.dict().size();
+  r.nt_bytes = std::filesystem::file_size(nt_path);
+  r.snap_bytes = std::filesystem::file_size(snap_path);
+
+  // Warm the page cache so the first-timed method is not penalized.
+  { auto warm = ParseNTriplesFile(nt_path, nullptr); (void)warm; }
+
+  TripleGraph parsed, loaded, mapped;
+  bool ok =
+      BestOf(runs, &r.reparse_ms,
+             [&] {
+               auto res = ParseNTriplesFile(nt_path, nullptr);
+               if (!res.ok()) return false;
+               parsed = std::move(res).value();
+               return true;
+             }) &&
+      BestOf(runs, &r.load_ms,
+             [&] {
+               auto res = store::LoadSnapshot(snap_path, nullptr);
+               if (!res.ok()) return false;
+               loaded = std::move(res).value();
+               return true;
+             }) &&
+      BestOf(runs, &r.mmap_ms, [&] {
+        store::SnapshotLoadOptions mm;
+        mm.use_mmap = true;
+        mm.verify_checksums = false;
+        auto res = store::LoadSnapshot(snap_path, nullptr, mm);
+        if (!res.ok()) return false;
+        mapped = std::move(res).value();
+        return true;
+      });
+  if (ok) {
+    // The snapshot paths must reproduce the original graph exactly (ids
+    // included). The text parser renumbers nodes in first-occurrence
+    // order, so the reparse path is held to count equality only.
+    r.equal = LabeledGraphsEqual(g, loaded) && LabeledGraphsEqual(g, mapped) &&
+              parsed.NumNodes() == g.NumNodes() &&
+              parsed.NumEdges() == g.NumEdges();
+  }
+  std::filesystem::remove(nt_path);
+  std::filesystem::remove(snap_path);
+  if (!ok) return false;
+  *out = r;
+  return true;
+}
+
+bool WriteJson(const std::string& path, const std::vector<PointResult>& points,
+               double scale, uint64_t seed, size_t runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"store_load\",\n");
+  std::fprintf(f, "  \"scale\": %g,\n", scale);
+  std::fprintf(f, "  \"seed\": %llu,\n", (unsigned long long)seed);
+  std::fprintf(f, "  \"runs\": %zu,\n", runs);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const PointResult& r = points[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"scale_point\": %g,\n", r.scale_point);
+    std::fprintf(f, "      \"nodes\": %zu,\n", r.nodes);
+    std::fprintf(f, "      \"edges\": %zu,\n", r.edges);
+    std::fprintf(f, "      \"terms\": %zu,\n", r.terms);
+    std::fprintf(f, "      \"nt_bytes\": %llu,\n",
+                 (unsigned long long)r.nt_bytes);
+    std::fprintf(f, "      \"snap_bytes\": %llu,\n",
+                 (unsigned long long)r.snap_bytes);
+    std::fprintf(f, "      \"reparse_ms\": %.2f,\n", r.reparse_ms);
+    std::fprintf(f, "      \"load_ms\": %.2f,\n", r.load_ms);
+    std::fprintf(f, "      \"mmap_ms\": %.2f,\n", r.mmap_ms);
+    std::fprintf(f, "      \"speedup_load\": %.2f,\n",
+                 r.load_ms > 0 ? r.reparse_ms / r.load_ms : 0.0);
+    std::fprintf(f, "      \"speedup_mmap\": %.2f,\n",
+                 r.mmap_ms > 0 ? r.reparse_ms / r.mmap_ms : 0.0);
+    std::fprintf(f, "      \"equal\": %s\n", r.equal ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 1.0);
+  const uint64_t seed = flags.GetInt("seed", 5);
+  const size_t runs = static_cast<size_t>(flags.GetInt("runs", 3));
+  const std::string out = flags.GetString("out", "BENCH_store.json");
+
+  bench::Banner("Snapshot store load A/B",
+                "N-Triples reparse vs buffered snapshot load vs mmap "
+                "zero-copy load");
+
+  const std::string tmp_prefix =
+      (std::filesystem::temp_directory_path() /
+       ("rdfalign_store_bench_" + std::to_string(seed)))
+          .string();
+
+  // The fig16 ladder: quarter, full, and 4x scale (the 4x point matches
+  // BENCH_refinement.json's workload size).
+  std::vector<PointResult> points;
+  for (double point : {0.25 * scale, 1.0 * scale, 4.0 * scale}) {
+    PointResult r;
+    if (!RunPoint(point, seed, runs, tmp_prefix, &r)) return 1;
+    points.push_back(r);
+  }
+
+  bool all_equal = true;
+  bench::TablePrinter table({"nodes", "edges", "nt(KB)", "snap(KB)",
+                             "parse(ms)", "load(ms)", "mmap(ms)", "mmap-x",
+                             "equal"});
+  for (const PointResult& r : points) {
+    table.Row({bench::FmtInt(r.nodes), bench::FmtInt(r.edges),
+               bench::FmtInt(r.nt_bytes / 1024),
+               bench::FmtInt(r.snap_bytes / 1024),
+               bench::Fmt("%.1f", r.reparse_ms),
+               bench::Fmt("%.1f", r.load_ms), bench::Fmt("%.1f", r.mmap_ms),
+               bench::Fmt("%.1fx",
+                          r.mmap_ms > 0 ? r.reparse_ms / r.mmap_ms : 0.0),
+               r.equal ? "yes" : "NO"});
+    all_equal = all_equal && r.equal;
+  }
+  const bool wrote = WriteJson(out, points, scale, seed, runs);
+  if (wrote) std::printf("\nwrote %s\n", out.c_str());
+  return all_equal && wrote ? 0 : 1;
+}

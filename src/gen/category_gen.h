@@ -29,6 +29,22 @@ struct CategoryOptions {
   double label_edit_rate = 0.02; ///< labels touched per version
   double rename_rate = 0.01;     ///< categories renamed (URI change)
   uint64_t seed = 5;
+
+  /// The shared bench/CLI sizing convention: scale 1.0 is the base point
+  /// (2500 categories / 12000 articles), floored so tiny smoke scales
+  /// stay well-formed. Used by refinement_bench, store_bench, and
+  /// `rdfalign gen` so their workloads stay in lockstep.
+  static CategoryOptions FromScale(double scale, size_t versions,
+                                   uint64_t seed) {
+    CategoryOptions options;
+    options.initial_categories =
+        static_cast<size_t>(2500 * scale < 8 ? 8 : 2500 * scale);
+    options.initial_articles =
+        static_cast<size_t>(12000 * scale < 16 ? 16 : 12000 * scale);
+    options.versions = versions;
+    options.seed = seed;
+    return options;
+  }
 };
 
 /// A generated chain of category-graph versions sharing one dictionary.

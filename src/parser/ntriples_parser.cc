@@ -124,6 +124,72 @@ class LineCursor {
   size_t pos_ = 0;
 };
 
+/// Parses one line (already stripped of the trailing newline / CR) into the
+/// builder. Shared by the string and streaming entry points.
+Status ParseLine(std::string_view line, size_t line_no, GraphBuilder& builder,
+                 NTriplesParseStats& stats) {
+  ++stats.lines;
+
+  LineCursor cur(line, line_no);
+  cur.SkipWs();
+  if (cur.AtEnd()) return Status::OK();
+  if (cur.Peek() == '#') {
+    ++stats.comments;
+    return Status::OK();
+  }
+
+  // Subject: IRI or blank node.
+  NodeId s;
+  if (cur.Peek() == '<') {
+    RDFALIGN_ASSIGN_OR_RETURN(std::string iri, cur.ParseIriRef());
+    s = builder.AddUri(iri);
+  } else if (cur.Peek() == '_') {
+    RDFALIGN_ASSIGN_OR_RETURN(std::string label, cur.ParseBlankLabel());
+    s = builder.AddBlank(label);
+  } else {
+    return cur.Error("subject must be an IRI or blank node");
+  }
+
+  cur.SkipWs();
+  if (cur.AtEnd() || cur.Peek() != '<') {
+    return cur.Error("predicate must be an IRI");
+  }
+  RDFALIGN_ASSIGN_OR_RETURN(std::string pred, cur.ParseIriRef());
+  NodeId p = builder.AddUri(pred);
+
+  cur.SkipWs();
+  if (cur.AtEnd()) return cur.Error("missing object");
+  NodeId o;
+  if (cur.Peek() == '<') {
+    RDFALIGN_ASSIGN_OR_RETURN(std::string iri, cur.ParseIriRef());
+    o = builder.AddUri(iri);
+  } else if (cur.Peek() == '_') {
+    RDFALIGN_ASSIGN_OR_RETURN(std::string label, cur.ParseBlankLabel());
+    o = builder.AddBlank(label);
+  } else if (cur.Peek() == '"') {
+    RDFALIGN_ASSIGN_OR_RETURN(std::string lit, cur.ParseLiteral());
+    o = builder.AddLiteral(lit);
+  } else {
+    return cur.Error("object must be an IRI, blank node, or literal");
+  }
+
+  cur.SkipWs();
+  if (cur.AtEnd() || cur.Peek() != '.') {
+    return cur.Error("expected '.' terminating the triple");
+  }
+  cur.Advance();
+  cur.SkipWs();
+  if (!cur.AtEnd() && cur.Peek() == '#') {
+    ++stats.comments;
+  } else if (!cur.AtEnd()) {
+    return cur.Error("trailing content after '.'");
+  }
+
+  builder.AddTriple(s, p, o);
+  ++stats.triples;
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<TripleGraph> ParseNTriplesString(std::string_view text,
@@ -142,65 +208,30 @@ Result<TripleGraph> ParseNTriplesString(std::string_view text,
     start = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    ++local.lines;
+    RDFALIGN_RETURN_IF_ERROR(ParseLine(line, line_no, builder, local));
+  }
 
-    LineCursor cur(line, line_no);
-    cur.SkipWs();
-    if (cur.AtEnd()) continue;
-    if (cur.Peek() == '#') {
-      ++local.comments;
-      continue;
-    }
+  if (stats != nullptr) *stats = local;
+  return builder.Build(/*validate_rdf=*/true);
+}
 
-    // Subject: IRI or blank node.
-    NodeId s;
-    if (cur.Peek() == '<') {
-      RDFALIGN_ASSIGN_OR_RETURN(std::string iri, cur.ParseIriRef());
-      s = builder.AddUri(iri);
-    } else if (cur.Peek() == '_') {
-      RDFALIGN_ASSIGN_OR_RETURN(std::string label, cur.ParseBlankLabel());
-      s = builder.AddBlank(label);
-    } else {
-      return cur.Error("subject must be an IRI or blank node");
-    }
+Result<TripleGraph> ParseNTriplesStream(std::istream& in,
+                                        std::shared_ptr<Dictionary> dict,
+                                        NTriplesParseStats* stats) {
+  GraphBuilder builder(std::move(dict));
+  NTriplesParseStats local;
 
-    cur.SkipWs();
-    if (cur.AtEnd() || cur.Peek() != '<') {
-      return cur.Error("predicate must be an IRI");
-    }
-    RDFALIGN_ASSIGN_OR_RETURN(std::string pred, cur.ParseIriRef());
-    NodeId p = builder.AddUri(pred);
-
-    cur.SkipWs();
-    if (cur.AtEnd()) return cur.Error("missing object");
-    NodeId o;
-    if (cur.Peek() == '<') {
-      RDFALIGN_ASSIGN_OR_RETURN(std::string iri, cur.ParseIriRef());
-      o = builder.AddUri(iri);
-    } else if (cur.Peek() == '_') {
-      RDFALIGN_ASSIGN_OR_RETURN(std::string label, cur.ParseBlankLabel());
-      o = builder.AddBlank(label);
-    } else if (cur.Peek() == '"') {
-      RDFALIGN_ASSIGN_OR_RETURN(std::string lit, cur.ParseLiteral());
-      o = builder.AddLiteral(lit);
-    } else {
-      return cur.Error("object must be an IRI, blank node, or literal");
-    }
-
-    cur.SkipWs();
-    if (cur.AtEnd() || cur.Peek() != '.') {
-      return cur.Error("expected '.' terminating the triple");
-    }
-    cur.Advance();
-    cur.SkipWs();
-    if (!cur.AtEnd() && cur.Peek() == '#') {
-      ++local.comments;
-    } else if (!cur.AtEnd()) {
-      return cur.Error("trailing content after '.'");
-    }
-
-    builder.AddTriple(s, p, o);
-    ++local.triples;
+  std::string buffer;  // reused across lines — one allocation steady-state
+  size_t line_no = 0;
+  while (std::getline(in, buffer)) {
+    ++line_no;
+    std::string_view line = buffer;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    RDFALIGN_RETURN_IF_ERROR(ParseLine(line, line_no, builder, local));
+  }
+  if (in.bad()) {
+    return Status::IOError("stream error while reading N-Triples at line " +
+                           std::to_string(line_no + 1));
   }
 
   if (stats != nullptr) *stats = local;
@@ -214,12 +245,7 @@ Result<TripleGraph> ParseNTriplesFile(const std::string& path,
   if (!in) {
     return Status::IOError("cannot open file: " + path);
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  if (in.bad()) {
-    return Status::IOError("error reading file: " + path);
-  }
-  return ParseNTriplesString(buf.str(), std::move(dict), stats);
+  return ParseNTriplesStream(in, std::move(dict), stats);
 }
 
 }  // namespace rdfalign

@@ -14,6 +14,7 @@
 #ifndef RDFALIGN_PARSER_NTRIPLES_PARSER_H_
 #define RDFALIGN_PARSER_NTRIPLES_PARSER_H_
 
+#include <istream>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -37,7 +38,15 @@ Result<TripleGraph> ParseNTriplesString(std::string_view text,
                                         std::shared_ptr<Dictionary> dict,
                                         NTriplesParseStats* stats = nullptr);
 
-/// Reads and parses a file.
+/// Streaming entry point: parses N-Triples line by line from `in` without
+/// materializing the document — `rdfalign build` ingests multi-million-
+/// triple files through this with memory proportional to the graph, not to
+/// the text. Reads until EOF; a stream error mid-file is an IOError.
+Result<TripleGraph> ParseNTriplesStream(std::istream& in,
+                                        std::shared_ptr<Dictionary> dict,
+                                        NTriplesParseStats* stats = nullptr);
+
+/// Reads and parses a file (streaming; the text is never fully resident).
 Result<TripleGraph> ParseNTriplesFile(const std::string& path,
                                       std::shared_ptr<Dictionary> dict,
                                       NTriplesParseStats* stats = nullptr);

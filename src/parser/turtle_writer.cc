@@ -90,11 +90,15 @@ class PrefixTable {
 };
 
 void WriteTerm(const TripleGraph& g, NodeId n, const PrefixTable& prefixes,
-               std::ostream& out) {
+               std::ostream& out, bool as_predicate = false) {
   switch (g.KindOf(n)) {
     case TermKind::kUri: {
-      if (g.Lexical(n) ==
-          "http://www.w3.org/1999/02/22-rdf-syntax-ns#type") {
+      // The 'a' abbreviation is only grammatical in predicate position; a
+      // graph can also carry rdf:type as a subject or object (schema
+      // introspection), which must stay a full IRI to round-trip.
+      if (as_predicate &&
+          g.Lexical(n) ==
+              "http://www.w3.org/1999/02/22-rdf-syntax-ns#type") {
         out << "a";
         return;
       }
@@ -140,7 +144,7 @@ Status WriteTurtle(const TripleGraph& g, std::ostream& out,
         out << " ;\n    ";
       }
       first_predicate = false;
-      WriteTerm(g, predicate, prefixes, out);
+      WriteTerm(g, predicate, prefixes, out, /*as_predicate=*/true);
       out << " ";
       bool first_object = true;
       while (i < triples.size() && triples[i].s == subject &&

@@ -3,14 +3,22 @@
 // A Dictionary is shared between the two versions being aligned so that
 // label equality is an integer comparison — the trivial alignment (§3.1)
 // and the initial bisimulation coloring both reduce to comparing LexIds.
+//
+// Two storage modes coexist per entry: Intern() copies the string into the
+// dictionary, while InternPinned() records a view into an externally owned
+// buffer registered with PinArena() (the snapshot store's zero-copy load
+// path — term bytes stay in the load buffer / file mapping and are never
+// copied).
 
 #ifndef RDFALIGN_RDF_DICTIONARY_H_
 #define RDFALIGN_RDF_DICTIONARY_H_
 
 #include <deque>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "rdf/term.h"
 
@@ -21,21 +29,35 @@ class Dictionary {
  public:
   Dictionary() = default;
 
-  // Movable but not copyable: interned string_views point into strings_.
+  // Movable but not copyable: interned string_views point into strings_
+  // (deque nodes and pinned arenas survive a move).
   Dictionary(const Dictionary&) = delete;
   Dictionary& operator=(const Dictionary&) = delete;
   Dictionary(Dictionary&&) = default;
   Dictionary& operator=(Dictionary&&) = default;
 
   /// Interns `s`, returning its id; repeated calls with equal strings return
-  /// the same id.
+  /// the same id. The bytes are copied into the dictionary.
   LexId Intern(std::string_view s) {
     auto it = index_.find(s);
     if (it != index_.end()) return it->second;
     strings_.emplace_back(s);
-    LexId id = static_cast<LexId>(strings_.size() - 1);
-    index_.emplace(strings_.back(), id);
-    return id;
+    return Append(strings_.back());
+  }
+
+  /// Keeps `arena` alive for the lifetime of this dictionary so that views
+  /// into it may be interned without copying.
+  void PinArena(std::shared_ptr<const void> arena) {
+    arenas_.push_back(std::move(arena));
+  }
+
+  /// Interns `s` *by reference*: the dictionary stores the view itself, not
+  /// a copy. `s` must point into memory registered with PinArena() (or
+  /// otherwise outlive the dictionary). Used by the snapshot loader.
+  LexId InternPinned(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    return Append(s);
   }
 
   /// Returns the id of `s` or kInvalidLex when not interned.
@@ -45,14 +67,26 @@ class Dictionary {
   }
 
   /// The lexical form for an id. id must be valid.
-  std::string_view Get(LexId id) const { return strings_[id]; }
+  std::string_view Get(LexId id) const { return views_[id]; }
 
-  size_t size() const { return strings_.size(); }
+  size_t size() const { return views_.size(); }
 
  private:
-  // std::deque keeps element references stable under growth, so the
-  // string_view keys of index_ remain valid.
+  LexId Append(std::string_view view) {
+    views_.push_back(view);
+    LexId id = static_cast<LexId>(views_.size() - 1);
+    index_.emplace(view, id);
+    return id;
+  }
+
+  // std::deque keeps element references stable under growth, so views into
+  // strings_ remain valid.
   std::deque<std::string> strings_;
+  // id -> lexical form; points into strings_ or into a pinned arena.
+  std::vector<std::string_view> views_;
+  // External buffers (snapshot load buffers / file mappings) whose bytes
+  // back InternPinned() entries.
+  std::vector<std::shared_ptr<const void>> arenas_;
   std::unordered_map<std::string_view, LexId> index_;
 };
 

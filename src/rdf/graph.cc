@@ -17,59 +17,75 @@ Result<TripleGraph> TripleGraph::FromParts(std::shared_ptr<Dictionary> dict,
   TripleGraph g;
   g.dict_ = dict ? std::move(dict) : std::make_shared<Dictionary>();
   g.labels_ = std::move(labels);
-  g.triples_ = std::move(triples);
   const NodeId n = static_cast<NodeId>(g.labels_.size());
-  for (const Triple& t : g.triples_) {
+  for (const Triple& t : triples) {
     if (t.s >= n || t.p >= n || t.o >= n) {
       return Status::InvalidArgument("triple references node out of range");
     }
   }
-  std::sort(g.triples_.begin(), g.triples_.end());
-  g.triples_.erase(std::unique(g.triples_.begin(), g.triples_.end()),
-                   g.triples_.end());
-  g.BuildIndexes();
+  std::sort(triples.begin(), triples.end());
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+  g.BuildIndexes(std::move(triples));
+  g.BuildLabelMap();
   if (validate_rdf) {
     RDFALIGN_RETURN_IF_ERROR(g.ValidateRdf());
   }
   return g;
 }
 
-void TripleGraph::BuildIndexes() {
+TripleGraph TripleGraph::FromIndexedParts(
+    std::shared_ptr<Dictionary> dict, std::vector<NodeLabel> labels,
+    SharedArray<Triple> triples, SharedArray<uint64_t> out_offsets,
+    SharedArray<PredicateObject> out_pairs, SharedArray<uint64_t> in_offsets,
+    SharedArray<NodeId> in_subjects) {
+  TripleGraph g;
+  g.dict_ = dict ? std::move(dict) : std::make_shared<Dictionary>();
+  g.labels_ = std::move(labels);
+  g.triples_ = std::move(triples);
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_pairs_ = std::move(out_pairs);
+  g.in_offsets_ = std::move(in_offsets);
+  g.in_subjects_ = std::move(in_subjects);
+  g.BuildLabelMap();
+  return g;
+}
+
+void TripleGraph::BuildIndexes(std::vector<Triple> triples) {
   const size_t n = labels_.size();
-  out_offsets_.assign(n + 1, 0);
-  for (const Triple& t : triples_) {
-    ++out_offsets_[t.s + 1];
+  std::vector<uint64_t> out_offsets(n + 1, 0);
+  for (const Triple& t : triples) {
+    ++out_offsets[t.s + 1];
   }
   for (size_t i = 0; i < n; ++i) {
-    out_offsets_[i + 1] += out_offsets_[i];
+    out_offsets[i + 1] += out_offsets[i];
   }
-  out_pairs_.resize(triples_.size());
-  // triples_ is sorted by (s, p, o), so a single pass fills each node's
+  std::vector<PredicateObject> out_pairs(triples.size());
+  // `triples` is sorted by (s, p, o), so a single pass fills each node's
   // slice in (p, o) order.
   {
-    std::vector<uint64_t> cursor(out_offsets_.begin(), out_offsets_.end() - 1);
-    for (const Triple& t : triples_) {
-      out_pairs_[cursor[t.s]++] = PredicateObject{t.p, t.o};
+    std::vector<uint64_t> cursor(out_offsets.begin(), out_offsets.end() - 1);
+    for (const Triple& t : triples) {
+      out_pairs[cursor[t.s]++] = PredicateObject{t.p, t.o};
     }
   }
   // Reverse CSR: in(n) = subjects of the triples in which n occurs as the
   // predicate or the object. The buffer is sized exactly by one counting
   // pass (two slots per triple), filled, then deduplicated per node with an
   // in-place left compaction — no push_back growth, one allocation.
-  in_offsets_.assign(n + 1, 0);
-  for (const Triple& t : triples_) {
-    ++in_offsets_[t.p + 1];
-    ++in_offsets_[t.o + 1];
+  std::vector<uint64_t> in_offsets(n + 1, 0);
+  for (const Triple& t : triples) {
+    ++in_offsets[t.p + 1];
+    ++in_offsets[t.o + 1];
   }
   for (size_t i = 0; i < n; ++i) {
-    in_offsets_[i + 1] += in_offsets_[i];
+    in_offsets[i + 1] += in_offsets[i];
   }
-  in_subjects_.resize(in_offsets_[n]);
+  std::vector<NodeId> in_subjects(in_offsets[n]);
   {
-    std::vector<uint64_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
-    for (const Triple& t : triples_) {
-      in_subjects_[cursor[t.p]++] = t.s;
-      in_subjects_[cursor[t.o]++] = t.s;
+    std::vector<uint64_t> cursor(in_offsets.begin(), in_offsets.end() - 1);
+    for (const Triple& t : triples) {
+      in_subjects[cursor[t.p]++] = t.s;
+      in_subjects[cursor[t.o]++] = t.s;
     }
   }
   {
@@ -77,24 +93,33 @@ void TripleGraph::BuildIndexes() {
     // once: sort each slice, drop duplicates, and slide the survivors left.
     uint64_t write = 0;
     for (size_t i = 0; i < n; ++i) {
-      const uint64_t begin = in_offsets_[i];
-      const uint64_t end = in_offsets_[i + 1];
-      auto first = in_subjects_.begin() + static_cast<ptrdiff_t>(begin);
-      auto last = in_subjects_.begin() + static_cast<ptrdiff_t>(end);
+      const uint64_t begin = in_offsets[i];
+      const uint64_t end = in_offsets[i + 1];
+      auto first = in_subjects.begin() + static_cast<ptrdiff_t>(begin);
+      auto last = in_subjects.begin() + static_cast<ptrdiff_t>(end);
       std::sort(first, last);
       last = std::unique(first, last);
       const uint64_t len = static_cast<uint64_t>(last - first);
       if (write != begin) {
         std::move(first, last,
-                  in_subjects_.begin() + static_cast<ptrdiff_t>(write));
+                  in_subjects.begin() + static_cast<ptrdiff_t>(write));
       }
-      in_offsets_[i] = write;
+      in_offsets[i] = write;
       write += len;
     }
-    in_offsets_[n] = write;
-    in_subjects_.resize(write);
-    in_subjects_.shrink_to_fit();  // release the pre-dedup slack
+    in_offsets[n] = write;
+    in_subjects.resize(write);
+    in_subjects.shrink_to_fit();  // release the pre-dedup slack
   }
+  triples_ = SharedArray<Triple>(std::move(triples));
+  out_offsets_ = SharedArray<uint64_t>(std::move(out_offsets));
+  out_pairs_ = SharedArray<PredicateObject>(std::move(out_pairs));
+  in_offsets_ = SharedArray<uint64_t>(std::move(in_offsets));
+  in_subjects_ = SharedArray<NodeId>(std::move(in_subjects));
+}
+
+void TripleGraph::BuildLabelMap() {
+  const size_t n = labels_.size();
   node_by_label_.clear();
   node_by_label_.reserve(n);
   for (NodeId i = 0; i < n; ++i) {
@@ -159,6 +184,20 @@ std::vector<NodeId> TripleGraph::NodesOfKind(TermKind kind) const {
     if (labels_[i].kind == kind) out.push_back(i);
   }
   return out;
+}
+
+bool LabeledGraphsEqual(const TripleGraph& a, const TripleGraph& b) {
+  if (a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  for (NodeId i = 0; i < a.NumNodes(); ++i) {
+    if (a.KindOf(i) != b.KindOf(i) || a.Lexical(i) != b.Lexical(i)) {
+      return false;
+    }
+  }
+  std::span<const Triple> ta = a.triples();
+  std::span<const Triple> tb = b.triples();
+  return std::equal(ta.begin(), ta.end(), tb.begin(), tb.end());
 }
 
 GraphBuilder::GraphBuilder(std::shared_ptr<Dictionary> dict)

@@ -6,6 +6,10 @@
 // nodes share a URI or literal label, literals occur only in object
 // position, and predicates are never blank; GraphBuilder enforces the
 // uniqueness by construction and Build() validates the positional rules.
+//
+// Storage: the triple list and the CSR indexes are SharedArrays — normally
+// owned vectors, but the snapshot store (src/store) can hand them in as
+// zero-copy views into a pinned load buffer or file mapping.
 
 #ifndef RDFALIGN_RDF_GRAPH_H_
 #define RDFALIGN_RDF_GRAPH_H_
@@ -20,6 +24,7 @@
 #include "rdf/dictionary.h"
 #include "rdf/term.h"
 #include "util/result.h"
+#include "util/shared_array.h"
 #include "util/status.h"
 
 namespace rdfalign {
@@ -38,6 +43,21 @@ class TripleGraph {
                                        std::vector<NodeLabel> labels,
                                        std::vector<Triple> triples,
                                        bool validate_rdf);
+
+  /// Assembles a graph from *pre-indexed* parts: the triple list must be
+  /// sorted and deduplicated and the two CSR indexes must be exactly what
+  /// BuildIndexes() would produce for it. No sorting, index construction,
+  /// or validation happens — only the label lookup map is rebuilt. This is
+  /// the snapshot store's zero-parse load path; the loader is responsible
+  /// for having validated the arrays (see store/snapshot.cc). Passing
+  /// inconsistent arrays is undefined behavior.
+  static TripleGraph FromIndexedParts(std::shared_ptr<Dictionary> dict,
+                                      std::vector<NodeLabel> labels,
+                                      SharedArray<Triple> triples,
+                                      SharedArray<uint64_t> out_offsets,
+                                      SharedArray<PredicateObject> out_pairs,
+                                      SharedArray<uint64_t> in_offsets,
+                                      SharedArray<NodeId> in_subjects);
 
   size_t NumNodes() const { return labels_.size(); }
   size_t NumEdges() const { return triples_.size(); }
@@ -77,8 +97,17 @@ class TripleGraph {
     return in_offsets_[n + 1] - in_offsets_[n];
   }
 
-  const std::vector<Triple>& triples() const { return triples_; }
+  std::span<const Triple> triples() const { return triples_.span(); }
   const std::vector<NodeLabel>& labels() const { return labels_; }
+
+  // Bulk access to the raw CSR arrays (the snapshot writer serializes these
+  // verbatim; see docs/store.md for their on-disk layout).
+  std::span<const uint64_t> OutOffsets() const { return out_offsets_.span(); }
+  std::span<const PredicateObject> OutPairs() const {
+    return out_pairs_.span();
+  }
+  std::span<const uint64_t> InOffsets() const { return in_offsets_.span(); }
+  std::span<const NodeId> InSubjects() const { return in_subjects_.span(); }
 
   const Dictionary& dict() const { return *dict_; }
   const std::shared_ptr<Dictionary>& dict_ptr() const { return dict_; }
@@ -101,21 +130,29 @@ class TripleGraph {
 
   std::shared_ptr<Dictionary> dict_;
   std::vector<NodeLabel> labels_;
-  std::vector<Triple> triples_;  // sorted, deduplicated
+  SharedArray<Triple> triples_;  // sorted, deduplicated
   // CSR out-neighborhood index.
-  std::vector<uint64_t> out_offsets_;       // size NumNodes()+1
-  std::vector<PredicateObject> out_pairs_;  // size NumEdges()
+  SharedArray<uint64_t> out_offsets_;       // size NumNodes()+1
+  SharedArray<PredicateObject> out_pairs_;  // size NumEdges()
   // Reverse CSR in-neighborhood index (subjects per predicate/object node,
   // deduplicated).
-  std::vector<uint64_t> in_offsets_;  // size NumNodes()+1
-  std::vector<NodeId> in_subjects_;   // size <= 2 * NumEdges()
+  SharedArray<uint64_t> in_offsets_;  // size NumNodes()+1
+  SharedArray<NodeId> in_subjects_;   // size <= 2 * NumEdges()
   // Label -> node maps for lookup (kind-tagged).
   std::unordered_map<uint64_t, NodeId> node_by_label_;
 
-  void BuildIndexes();
+  void BuildIndexes(std::vector<Triple> triples);
+  void BuildLabelMap();
   Status ValidateRdf() const;
   static uint64_t LabelKey(TermKind kind, LexId lex);
 };
+
+/// Structural equality of two graphs by *lexical* labels: same node count,
+/// node i of `a` and node i of `b` carry the same kind and lexical form
+/// (for blanks, the same local name), and the same triple list. Works
+/// across distinct dictionaries — the snapshot round-trip tests and the
+/// CLI use it to compare a reloaded graph against the original.
+bool LabeledGraphsEqual(const TripleGraph& a, const TripleGraph& b);
 
 /// Incremental construction of an RDF graph with label deduplication:
 /// adding the same URI or literal twice returns the same node.

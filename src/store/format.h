@@ -1,0 +1,180 @@
+// On-disk layout of the rdfalign binary snapshot format (version 1).
+//
+// A snapshot serializes one TripleGraph — term dictionary, node labels,
+// triple list, and both CSR indexes — so that it reloads with zero parsing:
+// every array section is a verbatim little-endian memory image that the
+// loader can reference in place (buffered read or mmap). See docs/store.md
+// for the normative description.
+//
+// File layout:
+//
+//   [ SnapshotHeader            64 bytes                       ]
+//   [ SectionEntry * kNumSections                              ]
+//   [ section payloads, each 8-byte aligned, zero-padded gaps  ]
+//
+// All integers are little-endian. The format is only written/read on
+// little-endian hosts (the loader rejects the file otherwise via the
+// endian tag); the structs below are laid out so that their in-memory
+// representation *is* the on-disk representation (static_asserts enforce
+// size and triviality).
+
+#ifndef RDFALIGN_STORE_FORMAT_H_
+#define RDFALIGN_STORE_FORMAT_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "rdf/term.h"
+
+namespace rdfalign::store {
+
+/// "RDFSNAP1" — identifies an rdfalign snapshot file.
+inline constexpr std::array<char, 8> kMagic = {'R', 'D', 'F', 'S',
+                                               'N', 'A', 'P', '1'};
+
+/// Format version written by this build; the loader accepts only equal
+/// versions (the format is not yet self-describing enough for forward or
+/// backward compatibility).
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Fixed byte-order tag. Written in native order; a reader on a host of
+/// the other endianness sees the reversed pattern and rejects the file.
+inline constexpr uint32_t kEndianTag = 0x0a0b0c0d;
+
+/// The payload sections of a version-1 snapshot, in file order.
+enum class SectionId : uint32_t {
+  kTermOffsets = 1,  ///< (num_terms + 1) x u64: byte offsets into kTermBlob
+  kTermBlob = 2,     ///< concatenated UTF-8 lexical forms, unterminated
+  kNodeKinds = 3,    ///< num_nodes x u8: TermKind of each node
+  kNodeLex = 4,      ///< num_nodes x u32: term index of each node's label
+  kTriples = 5,      ///< num_triples x {s,p,o u32}, sorted, deduplicated
+  kOutOffsets = 6,   ///< (num_nodes + 1) x u64: CSR out-index offsets
+  kOutPairs = 7,     ///< num_triples x {p,o u32}: CSR out-index payload
+  kInOffsets = 8,    ///< (num_nodes + 1) x u64: reverse-CSR offsets
+  kInSubjects = 9,   ///< in_offsets[num_nodes] x u32: reverse-CSR payload
+};
+
+inline constexpr size_t kNumSections = 9;
+
+/// Every section payload starts at a multiple of this (so u64 arrays can be
+/// referenced in place from an mmap).
+inline constexpr size_t kSectionAlignment = 8;
+
+/// The fixed-size file header.
+struct SnapshotHeader {
+  std::array<char, 8> magic;  ///< kMagic
+  uint32_t version;           ///< kFormatVersion
+  uint32_t endian_tag;        ///< kEndianTag
+  uint64_t num_nodes;         ///< |N_G|
+  uint64_t num_triples;       ///< |E_G| (sorted, deduplicated)
+  uint64_t num_terms;         ///< dictionary entries referenced by the graph
+  uint64_t num_sections;      ///< kNumSections
+  uint64_t file_size;         ///< total snapshot size in bytes
+  uint64_t header_checksum;   ///< Checksum64 of header + section table,
+                              ///< computed with this field set to zero
+};
+static_assert(sizeof(SnapshotHeader) == 64);
+static_assert(std::is_trivially_copyable_v<SnapshotHeader>);
+
+/// One section-table entry.
+struct SectionEntry {
+  uint32_t id;        ///< SectionId
+  uint32_t reserved;  ///< zero
+  uint64_t offset;    ///< absolute byte offset of the payload
+  uint64_t size;      ///< payload size in bytes (before padding)
+  uint64_t checksum;  ///< Checksum64 of the payload bytes
+};
+static_assert(sizeof(SectionEntry) == 32);
+static_assert(std::is_trivially_copyable_v<SectionEntry>);
+
+/// Byte offset of the first section payload.
+inline constexpr size_t kPayloadStart =
+    sizeof(SnapshotHeader) + kNumSections * sizeof(SectionEntry);
+
+// The array sections are memory images of these in-memory types; pin their
+// layout so the zero-copy load path is sound.
+static_assert(sizeof(Triple) == 12 && std::is_trivially_copyable_v<Triple>);
+static_assert(sizeof(PredicateObject) == 8 &&
+              std::is_trivially_copyable_v<PredicateObject>);
+static_assert(sizeof(NodeId) == 4 && sizeof(LexId) == 4);
+
+/// Content checksum: multiply-xor mixing over 8-byte words, tail bytes
+/// zero-padded into a final word, total length folded in at the end. Not
+/// cryptographic — detects torn writes, truncation, and bit rot. Incremental
+/// (the writer streams the term blob through it); word assembly is
+/// little-endian by construction since only little-endian hosts read or
+/// write snapshots.
+class Checksummer {
+ public:
+  void Update(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    total_ += n;
+    if (carry_len_ > 0) {
+      // Complete the pending partial word first.
+      while (carry_len_ < 8 && n > 0) {
+        carry_[carry_len_++] = *p++;
+        --n;
+      }
+      if (carry_len_ < 8) return;
+      MixWord(LoadWord(carry_, 8));
+      carry_len_ = 0;
+    }
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      MixWord(LoadWord(p + i, 8));
+    }
+    for (; i < n; ++i) {
+      carry_[carry_len_++] = p[i];
+    }
+  }
+
+  uint64_t Finish() const {
+    uint64_t h = h_;
+    if (carry_len_ > 0) {
+      uint64_t w = LoadWord(carry_, carry_len_);
+      h = (h ^ (w + 0x9e3779b97f4a7c15ULL)) * 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 29;
+    }
+    // Fold the length so trailing-zero payloads of different sizes differ,
+    // then avalanche.
+    h ^= total_ * 0xff51afd7ed558ccdULL;
+    h ^= h >> 32;
+    h *= 0x94d049bb133111ebULL;
+    return h ^ (h >> 31);
+  }
+
+ private:
+  static uint64_t LoadWord(const unsigned char* p, size_t n) {
+    uint64_t w = 0;
+    std::memcpy(&w, p, n);  // zero-padded partial word
+    return w;
+  }
+  void MixWord(uint64_t w) {
+    h_ = (h_ ^ (w + 0x9e3779b97f4a7c15ULL)) * 0xbf58476d1ce4e5b9ULL;
+    h_ ^= h_ >> 29;
+  }
+
+  uint64_t h_ = 0x9e3779b97f4a7c15ULL;
+  unsigned char carry_[8] = {};
+  size_t carry_len_ = 0;
+  uint64_t total_ = 0;
+};
+
+/// One-shot convenience over Checksummer.
+inline uint64_t Checksum64(const void* data, size_t n) {
+  Checksummer c;
+  c.Update(data, n);
+  return c.Finish();
+}
+
+/// Rounds `offset` up to the next section boundary.
+inline uint64_t AlignUp(uint64_t offset) {
+  return (offset + kSectionAlignment - 1) & ~uint64_t{kSectionAlignment - 1};
+}
+
+}  // namespace rdfalign::store
+
+#endif  // RDFALIGN_STORE_FORMAT_H_

@@ -1,0 +1,60 @@
+#include "store/mapped_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(_WIN32)
+// The snapshot store's mmap path is POSIX-only; Open() reports NotSupported.
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace rdfalign::store {
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(
+    const std::string& path) {
+#if defined(_WIN32)
+  return Status::NotSupported("mmap snapshot loading is POSIX-only: " + path);
+#else
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open file: " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat file: " + path + ": " +
+                           std::strerror(err));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  const unsigned char* data = nullptr;
+  if (size > 0) {
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      int err = errno;
+      ::close(fd);
+      return Status::IOError("cannot mmap file: " + path + ": " +
+                             std::strerror(err));
+    }
+    data = static_cast<const unsigned char*>(map);
+  }
+  // The mapping persists after the descriptor closes.
+  ::close(fd);
+  return std::shared_ptr<MappedFile>(new MappedFile(data, size));
+#endif
+}
+
+MappedFile::~MappedFile() {
+#if !defined(_WIN32)
+  if (data_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace rdfalign::store

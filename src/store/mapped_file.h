@@ -1,0 +1,42 @@
+// Read-only memory-mapped files for the snapshot store's zero-copy path.
+
+#ifndef RDFALIGN_STORE_MAPPED_FILE_H_
+#define RDFALIGN_STORE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+
+namespace rdfalign::store {
+
+/// A whole file mapped read-only. The mapping lives until the object is
+/// destroyed; LoadSnapshot pins a shared_ptr<MappedFile> into the graph's
+/// SharedArrays and the dictionary, so the mapping outlives the file handle
+/// scope and is released when the last graph referencing it goes away.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails with IOError when the file cannot be
+  /// opened or mapped (empty files map successfully with size() == 0).
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const unsigned char* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(const unsigned char* data, size_t size)
+      : data_(data), size_(size) {}
+
+  const unsigned char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace rdfalign::store
+
+#endif  // RDFALIGN_STORE_MAPPED_FILE_H_

@@ -1,0 +1,509 @@
+#include "store/snapshot.h"
+
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "store/mapped_file.h"
+#include "util/shared_array.h"
+
+namespace rdfalign::store {
+
+namespace {
+
+// Section order within a version-1 file (also the id order).
+constexpr SectionId kSectionOrder[kNumSections] = {
+    SectionId::kTermOffsets, SectionId::kTermBlob,  SectionId::kNodeKinds,
+    SectionId::kNodeLex,     SectionId::kTriples,   SectionId::kOutOffsets,
+    SectionId::kOutPairs,    SectionId::kInOffsets, SectionId::kInSubjects,
+};
+
+Status WriteExact(std::ofstream& out, const void* data, size_t n,
+                  const std::string& path) {
+  if (n == 0) return Status::OK();
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!out) {
+    return Status::IOError("error writing snapshot: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view SectionName(SectionId id) {
+  switch (id) {
+    case SectionId::kTermOffsets:
+      return "term_offsets";
+    case SectionId::kTermBlob:
+      return "term_blob";
+    case SectionId::kNodeKinds:
+      return "node_kinds";
+    case SectionId::kNodeLex:
+      return "node_lex";
+    case SectionId::kTriples:
+      return "triples";
+    case SectionId::kOutOffsets:
+      return "out_offsets";
+    case SectionId::kOutPairs:
+      return "out_pairs";
+    case SectionId::kInOffsets:
+      return "in_offsets";
+    case SectionId::kInSubjects:
+      return "in_subjects";
+  }
+  return "unknown";
+}
+
+Status WriteSnapshot(const TripleGraph& g, const std::string& path) {
+  static_assert(std::endian::native == std::endian::little,
+                "snapshots are written on little-endian hosts only");
+  const size_t n = g.NumNodes();
+  const size_t e = g.NumEdges();
+  const Dictionary& dict = g.dict();
+
+  // Terms referenced by this graph, ascending by original id, renumbered
+  // densely. A shared dictionary may hold terms of other graphs; those are
+  // not written.
+  std::vector<uint8_t> used(dict.size(), 0);
+  for (const NodeLabel& l : g.labels()) {
+    used[l.lex] = 1;
+  }
+  std::vector<LexId> term_ids;
+  std::vector<LexId> remap(dict.size(), kInvalidLex);
+  for (LexId id = 0; id < used.size(); ++id) {
+    if (used[id]) {
+      remap[id] = static_cast<LexId>(term_ids.size());
+      term_ids.push_back(id);
+    }
+  }
+  const size_t num_terms = term_ids.size();
+
+  // Dense columns.
+  std::vector<uint64_t> term_offsets(num_terms + 1, 0);
+  for (size_t i = 0; i < num_terms; ++i) {
+    term_offsets[i + 1] = term_offsets[i] + dict.Get(term_ids[i]).size();
+  }
+  std::vector<uint8_t> kinds(n);
+  std::vector<uint32_t> lex(n);
+  for (size_t i = 0; i < n; ++i) {
+    kinds[i] = static_cast<uint8_t>(g.labels()[i].kind);
+    lex[i] = remap[g.labels()[i].lex];
+  }
+
+  // Section payloads: {data, size}. The term blob (section index 1) is the
+  // one section streamed term by term instead of from a contiguous buffer;
+  // it is selected by INDEX below — a null data pointer is NOT a sentinel,
+  // since any empty array section legitimately has data() == nullptr.
+  constexpr size_t kBlobIndex = 1;
+  struct Payload {
+    const void* data;
+    uint64_t size;
+  };
+  const Payload payloads[kNumSections] = {
+      {term_offsets.data(), (num_terms + 1) * sizeof(uint64_t)},
+      {nullptr, term_offsets[num_terms]},
+      {kinds.data(), n * sizeof(uint8_t)},
+      {lex.data(), n * sizeof(uint32_t)},
+      {g.triples().data(), e * sizeof(Triple)},
+      {g.OutOffsets().data(), (n + 1) * sizeof(uint64_t)},
+      {g.OutPairs().data(), e * sizeof(PredicateObject)},
+      {g.InOffsets().data(), (n + 1) * sizeof(uint64_t)},
+      {g.InSubjects().data(), g.InSubjects().size() * sizeof(NodeId)},
+  };
+
+  SectionEntry table[kNumSections];
+  uint64_t cursor = kPayloadStart;
+  for (size_t s = 0; s < kNumSections; ++s) {
+    table[s].id = static_cast<uint32_t>(kSectionOrder[s]);
+    table[s].reserved = 0;
+    table[s].offset = AlignUp(cursor);
+    table[s].size = payloads[s].size;
+    if (s == kBlobIndex) {
+      Checksummer c;
+      for (LexId id : term_ids) {
+        std::string_view term = dict.Get(id);
+        c.Update(term.data(), term.size());
+      }
+      table[s].checksum = c.Finish();
+    } else {
+      table[s].checksum = Checksum64(payloads[s].data, payloads[s].size);
+    }
+    cursor = table[s].offset + table[s].size;
+  }
+
+  SnapshotHeader header;
+  header.magic = kMagic;
+  header.version = kFormatVersion;
+  header.endian_tag = kEndianTag;
+  header.num_nodes = n;
+  header.num_triples = e;
+  header.num_terms = num_terms;
+  header.num_sections = kNumSections;
+  header.file_size = cursor;
+  header.header_checksum = 0;
+  {
+    Checksummer c;
+    c.Update(&header, sizeof(header));
+    c.Update(table, sizeof(table));
+    header.header_checksum = c.Finish();
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open file for writing: " + path);
+  }
+  RDFALIGN_RETURN_IF_ERROR(WriteExact(out, &header, sizeof(header), path));
+  RDFALIGN_RETURN_IF_ERROR(WriteExact(out, table, sizeof(table), path));
+  uint64_t written = kPayloadStart;
+  const char zeros[kSectionAlignment] = {};
+  for (size_t s = 0; s < kNumSections; ++s) {
+    if (table[s].offset > written) {
+      RDFALIGN_RETURN_IF_ERROR(
+          WriteExact(out, zeros, table[s].offset - written, path));
+    }
+    if (s == kBlobIndex) {
+      for (LexId id : term_ids) {
+        std::string_view term = dict.Get(id);
+        RDFALIGN_RETURN_IF_ERROR(
+            WriteExact(out, term.data(), term.size(), path));
+      }
+    } else {
+      RDFALIGN_RETURN_IF_ERROR(
+          WriteExact(out, payloads[s].data, payloads[s].size, path));
+    }
+    written = table[s].offset + table[s].size;
+  }
+  out.flush();
+  if (!out) {
+    return Status::IOError("error writing snapshot: " + path);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// The validated raw view of a snapshot: base pointer, header, and the
+/// section table. `pin` keeps the underlying buffer or mapping alive.
+struct RawSnapshot {
+  std::shared_ptr<const void> pin;
+  const unsigned char* base = nullptr;
+  uint64_t size = 0;
+  SnapshotHeader header;
+  SectionEntry table[kNumSections];
+};
+
+/// Header and section-table validation shared by the loader and
+/// ReadSnapshotInfo. `actual_size` is the real on-disk size; the first
+/// kPayloadStart bytes must be present at `base`.
+Status ValidateHeader(const unsigned char* base, uint64_t available,
+                      uint64_t actual_size, SnapshotHeader* header,
+                      SectionEntry* table, const std::string& path) {
+  if (available < sizeof(SnapshotHeader)) {
+    return Status::Corruption("truncated snapshot (no header): " + path);
+  }
+  std::memcpy(header, base, sizeof(SnapshotHeader));
+  if (header->magic != kMagic) {
+    return Status::InvalidArgument("not an rdfalign snapshot: " + path);
+  }
+  if (header->version != kFormatVersion) {
+    return Status::NotSupported(
+        "unsupported snapshot format version " +
+        std::to_string(header->version) + " (this build reads version " +
+        std::to_string(kFormatVersion) + "): " + path);
+  }
+  if (header->endian_tag != kEndianTag) {
+    return Status::NotSupported(
+        "snapshot written with a different byte order: " + path);
+  }
+  if (header->num_sections != kNumSections) {
+    return Status::Corruption("unexpected section count: " + path);
+  }
+  if (header->file_size != actual_size) {
+    return Status::Corruption(
+        "snapshot size mismatch (header says " +
+        std::to_string(header->file_size) + " bytes, file has " +
+        std::to_string(actual_size) + "): " + path);
+  }
+  if (available < kPayloadStart) {
+    return Status::Corruption("truncated snapshot (no section table): " +
+                              path);
+  }
+  std::memcpy(table, base + sizeof(SnapshotHeader),
+              kNumSections * sizeof(SectionEntry));
+  {
+    // The header checksum covers header + table with the field zeroed.
+    SnapshotHeader zeroed = *header;
+    zeroed.header_checksum = 0;
+    Checksummer c;
+    c.Update(&zeroed, sizeof(zeroed));
+    c.Update(table, kNumSections * sizeof(SectionEntry));
+    if (c.Finish() != header->header_checksum) {
+      return Status::Corruption("snapshot header checksum mismatch: " + path);
+    }
+  }
+  // Bound the counts before computing expected sizes (overflow safety).
+  if (header->num_nodes >= kInvalidNode || header->num_terms >= kInvalidLex ||
+      header->num_triples > (uint64_t{1} << 40)) {
+    return Status::Corruption("implausible snapshot counts: " + path);
+  }
+  const uint64_t n = header->num_nodes;
+  const uint64_t e = header->num_triples;
+  const uint64_t t = header->num_terms;
+  // Fixed expected sizes (blob and in_subjects are data-dependent; their
+  // sizes are cross-checked against the offset arrays during load).
+  const uint64_t expected[kNumSections] = {
+      (t + 1) * sizeof(uint64_t),  // term_offsets
+      table[1].size,               // term_blob: data-dependent
+      n * sizeof(uint8_t),         // node_kinds
+      n * sizeof(uint32_t),        // node_lex
+      e * sizeof(Triple),          // triples
+      (n + 1) * sizeof(uint64_t),  // out_offsets
+      e * sizeof(PredicateObject),  // out_pairs
+      (n + 1) * sizeof(uint64_t),  // in_offsets
+      table[8].size,               // in_subjects: data-dependent
+  };
+  uint64_t prev_end = kPayloadStart;
+  for (size_t s = 0; s < kNumSections; ++s) {
+    const SectionEntry& sec = table[s];
+    if (sec.id != static_cast<uint32_t>(kSectionOrder[s]) ||
+        sec.reserved != 0) {
+      return Status::Corruption("malformed section table: " + path);
+    }
+    if (sec.size != expected[s]) {
+      return Status::Corruption("section " +
+                                std::string(SectionName(kSectionOrder[s])) +
+                                " has unexpected size: " + path);
+    }
+    if (sec.offset % kSectionAlignment != 0 || sec.offset < prev_end ||
+        sec.offset > header->file_size ||
+        sec.size > header->file_size - sec.offset) {
+      return Status::Corruption("section " +
+                                std::string(SectionName(kSectionOrder[s])) +
+                                " out of bounds: " + path);
+    }
+    prev_end = sec.offset + sec.size;
+  }
+  return Status::OK();
+}
+
+Result<RawSnapshot> AcquireBytes(const std::string& path, bool use_mmap) {
+  RawSnapshot raw;
+  if (use_mmap) {
+    RDFALIGN_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> file,
+                              MappedFile::Open(path));
+    raw.base = file->data();
+    raw.size = file->size();
+    raw.pin = std::move(file);
+    return raw;
+  }
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IOError("cannot open file: " + path);
+  }
+  const auto size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0);
+  auto buffer = std::make_shared<std::vector<unsigned char>>(size);
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(buffer->data()),
+            static_cast<std::streamsize>(size));
+    if (!in) {
+      return Status::IOError("error reading file: " + path);
+    }
+  }
+  raw.base = buffer->data();
+  raw.size = size;
+  raw.pin = std::move(buffer);
+  return raw;
+}
+
+template <typename T>
+std::span<const T> SectionSpan(const RawSnapshot& raw, size_t index) {
+  // Sections are 8-byte aligned and both backings (page-aligned mapping,
+  // operator-new buffer) are at least that aligned, so the reinterpret_cast
+  // is sound for the fixed-width little-endian element types used here.
+  return {reinterpret_cast<const T*>(raw.base + raw.table[index].offset),
+          static_cast<size_t>(raw.table[index].size / sizeof(T))};
+}
+
+}  // namespace
+
+Result<TripleGraph> LoadSnapshot(const std::string& path,
+                                 std::shared_ptr<Dictionary> dict,
+                                 const SnapshotLoadOptions& options,
+                                 SnapshotLoadStats* stats) {
+  static_assert(std::endian::native == std::endian::little,
+                "snapshots are read on little-endian hosts only");
+  RDFALIGN_ASSIGN_OR_RETURN(RawSnapshot raw,
+                            AcquireBytes(path, options.use_mmap));
+  RDFALIGN_RETURN_IF_ERROR(ValidateHeader(raw.base, raw.size, raw.size,
+                                          &raw.header, raw.table, path));
+  const uint64_t n = raw.header.num_nodes;
+  const uint64_t e = raw.header.num_triples;
+  const uint64_t t = raw.header.num_terms;
+
+  if (options.verify_checksums) {
+    for (size_t s = 0; s < kNumSections; ++s) {
+      if (Checksum64(raw.base + raw.table[s].offset, raw.table[s].size) !=
+          raw.table[s].checksum) {
+        return Status::Corruption(
+            "section " + std::string(SectionName(kSectionOrder[s])) +
+            " checksum mismatch: " + path);
+      }
+    }
+  }
+
+  const auto term_offsets = SectionSpan<uint64_t>(raw, 0);
+  const auto blob = SectionSpan<char>(raw, 1);
+  const auto kinds = SectionSpan<uint8_t>(raw, 2);
+  const auto lex = SectionSpan<uint32_t>(raw, 3);
+  const auto triples = SectionSpan<Triple>(raw, 4);
+  const auto out_offsets = SectionSpan<uint64_t>(raw, 5);
+  const auto out_pairs = SectionSpan<PredicateObject>(raw, 6);
+  const auto in_offsets = SectionSpan<uint64_t>(raw, 7);
+  const auto in_subjects = SectionSpan<NodeId>(raw, 8);
+
+  // Structural validation: everything FromIndexedParts trusts. Runs on
+  // every load — these invariants are what make a malformed file safe to
+  // reject instead of undefined behavior.
+  const auto corrupt = [&path](std::string_view what) {
+    return Status::Corruption(std::string(what) + ": " + path);
+  };
+  if (raw.table[8].size % sizeof(NodeId) != 0) {
+    return corrupt("in-index subject section misaligned");
+  }
+  if (term_offsets[0] != 0 || term_offsets[t] != blob.size()) {
+    return corrupt("term offset table does not span the term blob");
+  }
+  for (uint64_t i = 0; i < t; ++i) {
+    if (term_offsets[i] > term_offsets[i + 1]) {
+      return corrupt("term offsets not monotonic");
+    }
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    if (kinds[i] > static_cast<uint8_t>(TermKind::kBlank)) {
+      return corrupt("node kind out of range");
+    }
+    if (lex[i] >= t) {
+      return corrupt("node label references term out of range");
+    }
+  }
+  for (uint64_t i = 0; i < e; ++i) {
+    const Triple& tr = triples[i];
+    if (tr.s >= n || tr.p >= n || tr.o >= n) {
+      return corrupt("triple references node out of range");
+    }
+    if (i > 0 && !(triples[i - 1] < tr)) {
+      return corrupt("triples not sorted and deduplicated");
+    }
+  }
+  if (out_offsets[0] != 0 || out_offsets[n] != e) {
+    return corrupt("out-index offsets do not span the triple list");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    if (out_offsets[i] > out_offsets[i + 1]) {
+      return corrupt("out-index offsets not monotonic");
+    }
+    for (uint64_t k = out_offsets[i]; k < out_offsets[i + 1]; ++k) {
+      if (triples[k].s != i || out_pairs[k].p != triples[k].p ||
+          out_pairs[k].o != triples[k].o) {
+        return corrupt("out-index inconsistent with triple list");
+      }
+    }
+  }
+  if (in_offsets[0] != 0 ||
+      in_offsets[n] != static_cast<uint64_t>(in_subjects.size())) {
+    return corrupt("in-index offsets do not span the subject list");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    if (in_offsets[i] > in_offsets[i + 1]) {
+      return corrupt("in-index offsets not monotonic");
+    }
+    for (uint64_t k = in_offsets[i]; k < in_offsets[i + 1]; ++k) {
+      if (in_subjects[k] >= n ||
+          (k > in_offsets[i] && in_subjects[k - 1] >= in_subjects[k])) {
+        return corrupt("in-index subjects malformed");
+      }
+    }
+  }
+
+  // Dictionary: intern each term as a view into the pinned payload. With a
+  // fresh dictionary this assigns ids 0..t-1 in file order (identity map);
+  // with a shared dictionary the ids are remapped transparently.
+  if (dict == nullptr) dict = std::make_shared<Dictionary>();
+  dict->PinArena(raw.pin);
+  const size_t dict_before = dict->size();
+  std::vector<LexId> remap(t);
+  bool identity = true;
+  for (uint64_t i = 0; i < t; ++i) {
+    std::string_view term(blob.data() + term_offsets[i],
+                          term_offsets[i + 1] - term_offsets[i]);
+    remap[i] = dict->InternPinned(term);
+    identity = identity && remap[i] == i;
+  }
+
+  std::vector<NodeLabel> labels(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    labels[i] = NodeLabel{static_cast<TermKind>(kinds[i]), remap[lex[i]]};
+  }
+
+  if (stats != nullptr) {
+    stats->file_bytes = raw.size;
+    stats->terms_interned = dict->size() - dict_before;
+    stats->identity_term_map = identity;
+    stats->used_mmap = options.use_mmap;
+  }
+
+  return TripleGraph::FromIndexedParts(
+      std::move(dict), std::move(labels),
+      SharedArray<Triple>(raw.pin, triples.data(), triples.size()),
+      SharedArray<uint64_t>(raw.pin, out_offsets.data(), out_offsets.size()),
+      SharedArray<PredicateObject>(raw.pin, out_pairs.data(),
+                                   out_pairs.size()),
+      SharedArray<uint64_t>(raw.pin, in_offsets.data(), in_offsets.size()),
+      SharedArray<NodeId>(raw.pin, in_subjects.data(), in_subjects.size()));
+}
+
+Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IOError("cannot open file: " + path);
+  }
+  const auto actual_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0);
+  unsigned char head[kPayloadStart] = {};
+  const uint64_t head_bytes =
+      actual_size < kPayloadStart ? actual_size : kPayloadStart;
+  in.read(reinterpret_cast<char*>(head),
+          static_cast<std::streamsize>(head_bytes));
+  if (!in && head_bytes > 0) {
+    return Status::IOError("error reading file: " + path);
+  }
+  SnapshotInfo info;
+  SnapshotHeader header;
+  SectionEntry table[kNumSections];
+  RDFALIGN_RETURN_IF_ERROR(ValidateHeader(head, head_bytes, actual_size,
+                                          &header, table, path));
+  info.version = header.version;
+  info.num_nodes = header.num_nodes;
+  info.num_triples = header.num_triples;
+  info.num_terms = header.num_terms;
+  info.file_size = header.file_size;
+  for (size_t s = 0; s < kNumSections; ++s) {
+    info.sections.push_back(SnapshotSectionInfo{
+        kSectionOrder[s], table[s].offset, table[s].size, table[s].checksum});
+  }
+  return info;
+}
+
+bool LooksLikeSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::array<char, 8> magic = {};
+  in.read(magic.data(), magic.size());
+  return in.gcount() == static_cast<std::streamsize>(magic.size()) &&
+         magic == kMagic;
+}
+
+}  // namespace rdfalign::store

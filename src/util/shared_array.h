@@ -1,0 +1,76 @@
+// SharedArray<T>: an immutable array that either owns its elements (a
+// std::vector) or views memory owned by a pinned buffer (a mapped snapshot
+// file or a load buffer). The snapshot store's zero-copy load path hands
+// TripleGraph its CSR arrays as views into the mapping; everything else
+// keeps owning vectors. Copying a view copies only the span and the pin.
+
+#ifndef RDFALIGN_UTIL_SHARED_ARRAY_H_
+#define RDFALIGN_UTIL_SHARED_ARRAY_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace rdfalign {
+
+/// Read-only array storage with shared ownership semantics.
+///
+/// Two states:
+///  * owning — holds a std::vector<T> (the default for built graphs);
+///  * pinned — holds a span over external memory plus a shared_ptr keeping
+///    that memory alive (the snapshot loader's zero-copy path).
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+
+  /// Owning: adopts the vector.
+  SharedArray(std::vector<T> owned)  // NOLINT(runtime/explicit)
+      : owned_(std::move(owned)), view_(owned_) {}
+
+  /// Pinned: views [data, data+size) kept alive by `pin`.
+  SharedArray(std::shared_ptr<const void> pin, const T* data, size_t size)
+      : pin_(std::move(pin)), view_(data, size) {}
+
+  SharedArray(const SharedArray& other) { *this = other; }
+  SharedArray& operator=(const SharedArray& other) {
+    if (this == &other) return *this;
+    owned_ = other.owned_;
+    pin_ = other.pin_;
+    view_ = other.pin_ ? other.view_ : std::span<const T>(owned_);
+    return *this;
+  }
+  SharedArray(SharedArray&& other) noexcept { *this = std::move(other); }
+  SharedArray& operator=(SharedArray&& other) noexcept {
+    if (this == &other) return *this;
+    owned_ = std::move(other.owned_);
+    pin_ = std::move(other.pin_);
+    // A moved-from vector's buffer moves with it, so the span stays valid
+    // for the pinned case and must be rebuilt for the owning case.
+    view_ = pin_ ? other.view_ : std::span<const T>(owned_);
+    other.view_ = {};
+    return *this;
+  }
+
+  std::span<const T> span() const { return view_; }
+  const T* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  const T& operator[](size_t i) const { return view_[i]; }
+  auto begin() const { return view_.begin(); }
+  auto end() const { return view_.end(); }
+
+  /// True when backed by external pinned memory rather than an owned vector.
+  bool pinned() const { return pin_ != nullptr; }
+
+ private:
+  std::vector<T> owned_;
+  std::shared_ptr<const void> pin_;
+  std::span<const T> view_;
+};
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_UTIL_SHARED_ARRAY_H_

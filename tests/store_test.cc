@@ -1,0 +1,351 @@
+// Snapshot store tests: round-trip fidelity (byte-identical re-save, graph
+// equality, partition bit-identity through the store), shared-dictionary
+// remapping, and rejection of corrupted / truncated / mismatched files.
+
+#include "store/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "core/refinement.h"
+#include "rdf/merge.h"
+#include "store/format.h"
+#include "test_util.h"
+
+namespace rdfalign {
+namespace {
+
+using store::LoadSnapshot;
+using store::ReadSnapshotInfo;
+using store::SnapshotLoadOptions;
+using store::SnapshotLoadStats;
+using store::WriteSnapshot;
+
+/// Unique path under the test's temp dir.
+std::string TempPath(const std::string& name) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "rdfalign_store_" + info->name() + "_" +
+         name;
+}
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in) << path;
+  std::vector<char> bytes(static_cast<size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out) << path;
+}
+
+/// A graph exercising every label shape: URIs, plain literals, literals
+/// with language tags and datatypes (folded labels), named and anonymous
+/// blanks, and a node that is both subject and object.
+TripleGraph MixedGraph(std::shared_ptr<Dictionary> dict = nullptr) {
+  GraphBuilder b(std::move(dict));
+  NodeId alice = b.AddUri("http://e/alice");
+  NodeId bob = b.AddUri("http://e/bob");
+  NodeId name = b.AddUri("http://e/name");
+  NodeId knows = b.AddUri("http://e/knows");
+  NodeId addr = b.AddBlank("addr");
+  NodeId anon = b.AddBlank();
+  b.AddTriple(alice, name, b.AddLiteral("Alice"));
+  b.AddTriple(alice, name, b.AddLiteral("Alice@en"));
+  b.AddTriple(alice, name,
+              b.AddLiteral("42^^<http://www.w3.org/2001/XMLSchema#int>"));
+  b.AddTriple(alice, knows, bob);
+  b.AddTriple(bob, knows, alice);
+  b.AddTriple(alice, b.AddUri("http://e/home"), addr);
+  b.AddTriple(addr, name, b.AddLiteral("12 Main St"));
+  b.AddTriple(bob, b.AddUri("http://e/home"), anon);
+  return std::move(b.Build(true)).value();
+}
+
+TEST(SnapshotStoreTest, RoundTripsMixedGraph) {
+  TripleGraph g = MixedGraph();
+  const std::string path = TempPath("mixed.snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+
+  SnapshotLoadStats stats;
+  auto loaded = LoadSnapshot(path, nullptr, {}, &stats);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(LabeledGraphsEqual(g, *loaded));
+  EXPECT_TRUE(stats.identity_term_map);
+  EXPECT_GT(stats.file_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+// Regression: a graph with nodes but zero triples has empty array sections
+// whose data() is nullptr; the writer must not confuse those with the
+// streamed term-blob section (which is selected by index, not by pointer).
+TEST(SnapshotStoreTest, RoundTripsNodesWithoutTriples) {
+  GraphBuilder b;
+  b.AddUri("http://e/orphan");
+  b.AddLiteral("lonely");
+  b.AddBlank("island");
+  TripleGraph g = std::move(b.Build(true)).value();
+  const std::string path = TempPath("no_triples.snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+  for (bool mmap : {false, true}) {
+    SnapshotLoadOptions load;
+    load.use_mmap = mmap;
+    auto loaded = LoadSnapshot(path, nullptr, load);
+    ASSERT_TRUE(loaded.ok()) << "mmap " << mmap << ": " << loaded.status();
+    EXPECT_EQ(loaded->NumNodes(), 3u);
+    EXPECT_EQ(loaded->NumEdges(), 0u);
+    EXPECT_TRUE(LabeledGraphsEqual(g, *loaded));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotStoreTest, RoundTripsEmptyGraph) {
+  GraphBuilder b;
+  TripleGraph g = std::move(b.Build(true)).value();
+  const std::string path = TempPath("empty.snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+  auto loaded = LoadSnapshot(path, nullptr);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->NumNodes(), 0u);
+  EXPECT_EQ(loaded->NumEdges(), 0u);
+  EXPECT_TRUE(LabeledGraphsEqual(g, *loaded));
+  std::remove(path.c_str());
+}
+
+// save(load(save(G))) is byte-identical to save(G): loading renumbers
+// nothing, and saving a loaded graph reproduces the file.
+TEST(SnapshotStoreTest, ResaveIsByteIdentical) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    testing::RandomGraphOptions options;
+    options.seed = seed;
+    TripleGraph g = testing::RandomGraph(options);
+    const std::string path1 = TempPath("first.snap");
+    const std::string path2 = TempPath("second.snap");
+    ASSERT_TRUE(WriteSnapshot(g, path1).ok());
+    auto loaded = LoadSnapshot(path1, nullptr);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    ASSERT_TRUE(WriteSnapshot(*loaded, path2).ok());
+    EXPECT_EQ(ReadFileBytes(path1), ReadFileBytes(path2)) << "seed " << seed;
+    std::remove(path1.c_str());
+    std::remove(path2.c_str());
+  }
+}
+
+TEST(SnapshotStoreTest, RandomGraphsRoundTripBothPaths) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    testing::RandomGraphOptions options;
+    options.seed = seed;
+    options.edges = 80;
+    TripleGraph g = testing::RandomGraph(options);
+    const std::string path = TempPath("rand.snap");
+    ASSERT_TRUE(WriteSnapshot(g, path).ok());
+    for (bool mmap : {false, true}) {
+      SnapshotLoadOptions load;
+      load.use_mmap = mmap;
+      SnapshotLoadStats stats;
+      auto loaded = LoadSnapshot(path, nullptr, load, &stats);
+      ASSERT_TRUE(loaded.ok()) << "seed " << seed << " mmap " << mmap << ": "
+                               << loaded.status();
+      EXPECT_TRUE(LabeledGraphsEqual(g, *loaded))
+          << "seed " << seed << " mmap " << mmap;
+      EXPECT_EQ(stats.used_mmap, mmap);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+// A snapshot saved from a graph with a *shared* dictionary (its lex ids are
+// sparse in that dictionary) still reloads equal, and loading two
+// snapshots into one dictionary remaps the second transparently.
+TEST(SnapshotStoreTest, SharedDictionaryRemapping) {
+  auto [g1, g2] = testing::RandomEvolvingPair(7);
+  const std::string path1 = TempPath("v1.snap");
+  const std::string path2 = TempPath("v2.snap");
+  ASSERT_TRUE(WriteSnapshot(g1, path1).ok());
+  ASSERT_TRUE(WriteSnapshot(g2, path2).ok());
+
+  auto dict = std::make_shared<Dictionary>();
+  auto l1 = LoadSnapshot(path1, dict);
+  ASSERT_TRUE(l1.ok()) << l1.status();
+  SnapshotLoadStats stats2;
+  auto l2 = LoadSnapshot(path2, dict, {}, &stats2);
+  ASSERT_TRUE(l2.ok()) << l2.status();
+  // The second load dedupes shared terms against the first.
+  EXPECT_FALSE(stats2.identity_term_map);
+  EXPECT_LT(stats2.terms_interned, l2->NumNodes() + 1);
+  EXPECT_TRUE(LabeledGraphsEqual(g1, *l1));
+  EXPECT_TRUE(LabeledGraphsEqual(g2, *l2));
+  // Shared dictionary => the pair is alignable (merge requires one dict).
+  EXPECT_TRUE(CombinedGraph::Build(*l1, *l2).ok());
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+// The acceptance property: a graph round-tripped through the store yields
+// a bit-identical bisimulation partition.
+TEST(SnapshotStoreTest, PartitionBitIdenticalThroughStore) {
+  auto [g1, g2] = testing::RandomEvolvingPair(11);
+  CombinedGraph cg = testing::Combine(g1, g2);
+  const std::string path = TempPath("combined.snap");
+  // The combined graph is a plain triple graph (duplicate labels across
+  // sides); snapshot it directly.
+  ASSERT_TRUE(WriteSnapshot(cg.graph(), path).ok());
+  for (bool mmap : {false, true}) {
+    SnapshotLoadOptions load;
+    load.use_mmap = mmap;
+    auto loaded = LoadSnapshot(path, nullptr, load);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+    std::vector<NodeId> all(cg.graph().NumNodes());
+    for (NodeId i = 0; i < all.size(); ++i) all[i] = i;
+    Partition original =
+        BisimRefineFixpoint(cg.graph(), LabelPartition(cg.graph()), all);
+    Partition reloaded =
+        BisimRefineFixpoint(*loaded, LabelPartition(*loaded), all);
+    EXPECT_EQ(original.colors(), reloaded.colors()) << "mmap " << mmap;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotStoreTest, InfoReportsCounts) {
+  TripleGraph g = MixedGraph();
+  const std::string path = TempPath("info.snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+  auto info = ReadSnapshotInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->version, store::kFormatVersion);
+  EXPECT_EQ(info->num_nodes, g.NumNodes());
+  EXPECT_EQ(info->num_triples, g.NumEdges());
+  EXPECT_EQ(info->sections.size(), store::kNumSections);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotStoreTest, RejectsNonSnapshot) {
+  const std::string path = TempPath("not_a.snap");
+  WriteFileBytes(path, {'h', 'e', 'l', 'l', 'o', ' ', 'r', 'd', 'f', '!'});
+  auto loaded = LoadSnapshot(path, nullptr);
+  ASSERT_FALSE(loaded.ok());
+  // Too short for a header: reported as truncation; a full-size non-
+  // snapshot file would be InvalidArgument (checked below with junk).
+  EXPECT_TRUE(loaded.status().IsCorruption());
+
+  std::vector<char> junk(512, 'x');
+  WriteFileBytes(path, junk);
+  loaded = LoadSnapshot(path, nullptr);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotStoreTest, RejectsVersionMismatch) {
+  TripleGraph g = MixedGraph();
+  const std::string path = TempPath("version.snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+  std::vector<char> bytes = ReadFileBytes(path);
+  // The version field sits right after the 8-byte magic.
+  bytes[8] = 99;
+  WriteFileBytes(path, bytes);
+  auto loaded = LoadSnapshot(path, nullptr);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotSupported()) << loaded.status();
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotStoreTest, RejectsTruncation) {
+  TripleGraph g = MixedGraph();
+  const std::string path = TempPath("trunc.snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+  std::vector<char> bytes = ReadFileBytes(path);
+  for (size_t keep : {size_t{4}, size_t{100}, bytes.size() - 1}) {
+    std::vector<char> cut(bytes.begin(),
+                          bytes.begin() + static_cast<ptrdiff_t>(keep));
+    WriteFileBytes(path, cut);
+    for (bool mmap : {false, true}) {
+      SnapshotLoadOptions load;
+      load.use_mmap = mmap;
+      auto loaded = LoadSnapshot(path, nullptr, load);
+      ASSERT_FALSE(loaded.ok()) << "keep " << keep << " mmap " << mmap;
+      EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// Flipping any single byte of the header, section table, or a section
+// payload is caught — by the header or a section checksum, or by
+// structural validation. (Bytes in the alignment padding between sections
+// are semantically dead and not covered; the sampler skips them.)
+TEST(SnapshotStoreTest, RejectsBitFlips) {
+  TripleGraph g = MixedGraph();
+  const std::string path = TempPath("flip.snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+  auto info = ReadSnapshotInfo(path);
+  ASSERT_TRUE(info.ok());
+  const auto meaningful = [&info](size_t pos) {
+    if (pos < store::kPayloadStart) return true;
+    for (const auto& s : info->sections) {
+      if (pos >= s.offset && pos < s.offset + s.size) return true;
+    }
+    return false;
+  };
+  const std::vector<char> bytes = ReadFileBytes(path);
+  // Every 7th byte keeps the test fast while hitting the header, the
+  // table, and every section.
+  size_t flips = 0;
+  for (size_t pos = 0; pos < bytes.size(); pos += 7) {
+    if (!meaningful(pos)) continue;
+    ++flips;
+    std::vector<char> flipped = bytes;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x40);
+    WriteFileBytes(path, flipped);
+    auto loaded = LoadSnapshot(path, nullptr);
+    EXPECT_FALSE(loaded.ok()) << "flip at byte " << pos;
+  }
+  EXPECT_GT(flips, 50u);
+  std::remove(path.c_str());
+}
+
+// With checksums off, structural validation alone still rejects files
+// whose arrays would be memory-unsafe to adopt.
+TEST(SnapshotStoreTest, StructuralValidationWithoutChecksums) {
+  TripleGraph g = MixedGraph();
+  const std::string path = TempPath("struct.snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+  auto info = ReadSnapshotInfo(path);
+  ASSERT_TRUE(info.ok());
+  // Corrupt a triple's subject id (section 5 = triples) to an out-of-range
+  // node, leaving everything else intact.
+  std::vector<char> bytes = ReadFileBytes(path);
+  const auto& triples_sec = info->sections[4];
+  ASSERT_EQ(static_cast<uint32_t>(triples_sec.id), 5u);
+  uint32_t bogus = 0x7fffffff;
+  std::memcpy(bytes.data() + triples_sec.offset, &bogus, sizeof(bogus));
+  WriteFileBytes(path, bytes);
+  SnapshotLoadOptions load;
+  load.verify_checksums = false;
+  auto loaded = LoadSnapshot(path, nullptr, load);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotStoreTest, MissingFileIsIOError) {
+  auto loaded = LoadSnapshot(TempPath("does_not_exist.snap"), nullptr);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace rdfalign

@@ -1,5 +1,9 @@
 #include "parser/turtle_writer.h"
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "parser/ntriples_writer.h"
@@ -91,6 +95,58 @@ TEST(TurtleWriterTest, EmptyGraph) {
   GraphBuilder b;
   TripleGraph g = std::move(b.Build(true)).value();
   EXPECT_EQ(TurtleToString(g), "");
+}
+
+// The 'a' abbreviation is only valid in predicate position; rdf:type used
+// as a subject or object (schema introspection) must stay a full IRI.
+TEST(TurtleWriterTest, RdfTypeAsSubjectAndObjectRoundTrips) {
+  constexpr char kType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+  GraphBuilder b;
+  NodeId type = b.AddUri(kType);
+  NodeId property = b.AddUri("http://www.w3.org/2000/01/rdf-schema#Property");
+  NodeId seen = b.AddUri("http://e/seen");
+  b.AddTriple(type, type, property);   // rdf:type as subject and predicate
+  b.AddTriple(seen, seen, type);       // rdf:type as object
+  TripleGraph g = std::move(b.Build(true)).value();
+  std::string ttl = TurtleToString(g);
+  auto parsed = ParseTurtleString(ttl, g.dict_ptr());
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << ttl;
+  EXPECT_EQ(parsed->NumEdges(), g.NumEdges());
+  EXPECT_NE(parsed->FindUri(kType), kInvalidNode);
+}
+
+// Canonical lexical form of every triple, order-insensitive — the writer
+// and parser may number nodes differently, so round-trip equality is on
+// labels, not ids.
+std::vector<std::string> CanonicalTriples(const TripleGraph& g) {
+  std::vector<std::string> lines;
+  for (const Triple& t : g.triples()) {
+    std::string line;
+    for (NodeId n : {t.s, t.p, t.o}) {
+      line += std::to_string(static_cast<int>(g.KindOf(n)));
+      line += '|';
+      line += g.Lexical(n);
+      line += '\x1f';
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(TurtleWriterTest, RandomGraphsRoundTripCanonically) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    testing::RandomGraphOptions options;
+    options.seed = seed;
+    options.edges = 60;
+    TripleGraph g = testing::RandomGraph(options);
+    std::string ttl = TurtleToString(g);
+    auto parsed = ParseTurtleString(ttl, g.dict_ptr());
+    ASSERT_TRUE(parsed.ok()) << "seed " << seed << ": " << parsed.status()
+                             << "\n" << ttl;
+    EXPECT_EQ(CanonicalTriples(*parsed), CanonicalTriples(g))
+        << "seed " << seed << "\n" << ttl;
+  }
 }
 
 }  // namespace
