@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <utility>
 
@@ -288,6 +289,46 @@ Status ValidateHeader(const unsigned char* base, uint64_t available,
   return Status::OK();
 }
 
+/// Opens `path` for buffered reading and validates the snapshot header and
+/// section table from the first kPayloadStart bytes, without allocating
+/// anything file-sized: a junk or crafted file is rejected from its prefix
+/// alone. Only regular files are accepted — a directory "opens" as an
+/// ifstream on Linux and tellg() then reports a nonsense size (observed:
+/// -1 or LLONG_MAX). On success `in` is open and the actual file size is
+/// returned.
+Result<uint64_t> OpenAndValidatePrefix(const std::string& path,
+                                       std::ifstream& in,
+                                       SnapshotHeader* header,
+                                       SectionEntry* table) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec) || ec) {
+    return Status::IOError("not a regular file: " + path);
+  }
+  in.open(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IOError("cannot open file: " + path);
+  }
+  const std::streamoff pos = in.tellg();
+  if (!in || pos < 0) {
+    return Status::IOError("cannot determine file size: " + path);
+  }
+  const auto size = static_cast<uint64_t>(pos);
+  in.seekg(0);
+  unsigned char head[kPayloadStart] = {};
+  const uint64_t head_bytes = size < kPayloadStart ? size : kPayloadStart;
+  in.read(reinterpret_cast<char*>(head),
+          static_cast<std::streamsize>(head_bytes));
+  if (!in && head_bytes > 0) {
+    return Status::IOError("error reading file: " + path);
+  }
+  RDFALIGN_RETURN_IF_ERROR(
+      ValidateHeader(head, head_bytes, size, header, table, path));
+  return size;
+}
+
+/// Produces a RawSnapshot whose header and section table are validated.
+/// The buffered path validates the prefix before allocating; the mmap
+/// path validates in place after mapping.
 Result<RawSnapshot> AcquireBytes(const std::string& path, bool use_mmap) {
   RawSnapshot raw;
   if (use_mmap) {
@@ -296,16 +337,25 @@ Result<RawSnapshot> AcquireBytes(const std::string& path, bool use_mmap) {
     raw.base = file->data();
     raw.size = file->size();
     raw.pin = std::move(file);
+    RDFALIGN_RETURN_IF_ERROR(ValidateHeader(raw.base, raw.size, raw.size,
+                                            &raw.header, raw.table, path));
     return raw;
   }
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    return Status::IOError("cannot open file: " + path);
+  std::ifstream in;
+  RDFALIGN_ASSIGN_OR_RETURN(
+      const uint64_t size,
+      OpenAndValidatePrefix(path, in, &raw.header, raw.table));
+  // The header vouched for the size; a genuinely huge snapshot can still
+  // exceed memory, which must come back as a Status, not a bad_alloc.
+  std::shared_ptr<std::vector<unsigned char>> buffer;
+  try {
+    buffer = std::make_shared<std::vector<unsigned char>>(size);
+  } catch (const std::bad_alloc&) {
+    return Status::IOError("snapshot too large to buffer (" +
+                           std::to_string(size) + " bytes): " + path);
   }
-  const auto size = static_cast<uint64_t>(in.tellg());
-  in.seekg(0);
-  auto buffer = std::make_shared<std::vector<unsigned char>>(size);
   if (size > 0) {
+    in.seekg(0);
     in.read(reinterpret_cast<char*>(buffer->data()),
             static_cast<std::streamsize>(size));
     if (!in) {
@@ -337,8 +387,6 @@ Result<TripleGraph> LoadSnapshot(const std::string& path,
                 "snapshots are read on little-endian hosts only");
   RDFALIGN_ASSIGN_OR_RETURN(RawSnapshot raw,
                             AcquireBytes(path, options.use_mmap));
-  RDFALIGN_RETURN_IF_ERROR(ValidateHeader(raw.base, raw.size, raw.size,
-                                          &raw.header, raw.table, path));
   const uint64_t n = raw.header.num_nodes;
   const uint64_t e = raw.header.num_triples;
   const uint64_t t = raw.header.num_terms;
@@ -398,6 +446,11 @@ Result<TripleGraph> LoadSnapshot(const std::string& path,
       return corrupt("triples not sorted and deduplicated");
     }
   }
+  // Each offsets array must be proven monotone END TO END before any entry
+  // is used as an index: monotonicity plus the endpoint equality bounds
+  // every entry by the payload length. Interleaving the monotone check with
+  // the per-node consistency loop would let out_offsets = [0, HUGE, ...]
+  // drive reads far past the section before the i=1 check fires.
   if (out_offsets[0] != 0 || out_offsets[n] != e) {
     return corrupt("out-index offsets do not span the triple list");
   }
@@ -405,6 +458,8 @@ Result<TripleGraph> LoadSnapshot(const std::string& path,
     if (out_offsets[i] > out_offsets[i + 1]) {
       return corrupt("out-index offsets not monotonic");
     }
+  }
+  for (uint64_t i = 0; i < n; ++i) {
     for (uint64_t k = out_offsets[i]; k < out_offsets[i + 1]; ++k) {
       if (triples[k].s != i || out_pairs[k].p != triples[k].p ||
           out_pairs[k].o != triples[k].o) {
@@ -420,6 +475,8 @@ Result<TripleGraph> LoadSnapshot(const std::string& path,
     if (in_offsets[i] > in_offsets[i + 1]) {
       return corrupt("in-index offsets not monotonic");
     }
+  }
+  for (uint64_t i = 0; i < n; ++i) {
     for (uint64_t k = in_offsets[i]; k < in_offsets[i + 1]; ++k) {
       if (in_subjects[k] >= n ||
           (k > in_offsets[i] && in_subjects[k - 1] >= in_subjects[k])) {
@@ -466,25 +523,12 @@ Result<TripleGraph> LoadSnapshot(const std::string& path,
 }
 
 Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    return Status::IOError("cannot open file: " + path);
-  }
-  const auto actual_size = static_cast<uint64_t>(in.tellg());
-  in.seekg(0);
-  unsigned char head[kPayloadStart] = {};
-  const uint64_t head_bytes =
-      actual_size < kPayloadStart ? actual_size : kPayloadStart;
-  in.read(reinterpret_cast<char*>(head),
-          static_cast<std::streamsize>(head_bytes));
-  if (!in && head_bytes > 0) {
-    return Status::IOError("error reading file: " + path);
-  }
-  SnapshotInfo info;
+  std::ifstream in;
   SnapshotHeader header;
   SectionEntry table[kNumSections];
-  RDFALIGN_RETURN_IF_ERROR(ValidateHeader(head, head_bytes, actual_size,
-                                          &header, table, path));
+  RDFALIGN_RETURN_IF_ERROR(
+      OpenAndValidatePrefix(path, in, &header, table).status());
+  SnapshotInfo info;
   info.version = header.version;
   info.num_nodes = header.num_nodes;
   info.num_triples = header.num_triples;

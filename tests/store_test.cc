@@ -4,8 +4,10 @@
 
 #include "store/snapshot.h"
 
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -315,6 +317,99 @@ TEST(SnapshotStoreTest, RejectsBitFlips) {
   }
   EXPECT_GT(flips, 50u);
   std::remove(path.c_str());
+}
+
+/// Overwrites u64 entry `entry_index` of section `sec_index`, then
+/// recomputes the section checksum and the header checksum so the file
+/// models a deliberately crafted snapshot (all checksums match) rather
+/// than bit rot — only structural validation can reject it.
+void PatchU64WithValidChecksums(std::vector<char>& bytes,
+                                const store::SnapshotInfo& info,
+                                size_t sec_index, uint64_t entry_index,
+                                uint64_t value) {
+  const auto& sec = info.sections[sec_index];
+  std::memcpy(bytes.data() + sec.offset + entry_index * sizeof(uint64_t),
+              &value, sizeof(value));
+  const uint64_t sec_checksum =
+      store::Checksum64(bytes.data() + sec.offset, sec.size);
+  const size_t entry_pos = sizeof(store::SnapshotHeader) +
+                           sec_index * sizeof(store::SectionEntry) +
+                           offsetof(store::SectionEntry, checksum);
+  std::memcpy(bytes.data() + entry_pos, &sec_checksum, sizeof(sec_checksum));
+  // Header checksum covers header + table with its own field zeroed.
+  const size_t hc_pos = offsetof(store::SnapshotHeader, header_checksum);
+  const uint64_t zero = 0;
+  std::memcpy(bytes.data() + hc_pos, &zero, sizeof(zero));
+  const uint64_t hc = store::Checksum64(bytes.data(), store::kPayloadStart);
+  std::memcpy(bytes.data() + hc_pos, &hc, sizeof(hc));
+}
+
+// Regression: an offsets entry pointing far past its payload while the
+// array endpoints stay plausible (out_offsets = [0, HUGE, ..., e]) must be
+// rejected before any entry is used to index triples/out_pairs/in_subjects
+// — previously the consistency loop read out of bounds at i=0 because the
+// monotone check only ran one step ahead.
+TEST(SnapshotStoreTest, RejectsOutOfBoundsOffsetEntries) {
+  TripleGraph g = MixedGraph();
+  const std::string path = TempPath("oob_offsets.snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+  auto info = ReadSnapshotInfo(path);
+  ASSERT_TRUE(info.ok());
+  ASSERT_GE(g.NumNodes(), 2u);
+  const std::vector<char> bytes = ReadFileBytes(path);
+  // Section index 5 = out_offsets, 7 = in_offsets.
+  for (size_t sec_index : {size_t{5}, size_t{7}}) {
+    std::vector<char> crafted = bytes;
+    PatchU64WithValidChecksums(crafted, *info, sec_index, 1,
+                               uint64_t{1} << 40);
+    WriteFileBytes(path, crafted);
+    for (bool mmap : {false, true}) {
+      for (bool verify : {false, true}) {
+        SnapshotLoadOptions load;
+        load.use_mmap = mmap;
+        load.verify_checksums = verify;
+        auto loaded = LoadSnapshot(path, nullptr, load);
+        ASSERT_FALSE(loaded.ok())
+            << "section " << sec_index << " mmap " << mmap;
+        EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+        EXPECT_NE(loaded.status().message().find("not monotonic"),
+                  std::string::npos)
+            << loaded.status();
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// The buffered loader validates the header prefix before allocating
+// anything file-sized: a junk file inflated to tens of gigabytes (sparse,
+// so cheap to create) must be rejected from its first bytes, not buffered.
+TEST(SnapshotStoreTest, RejectsHugeJunkFileWithoutBuffering) {
+  const std::string path = TempPath("sparse_junk.snap");
+  WriteFileBytes(path, std::vector<char>(512, 'x'));
+  std::error_code ec;
+  std::filesystem::resize_file(path, uint64_t{1} << 35, ec);  // 32 GiB
+  ASSERT_FALSE(ec) << ec.message();
+  auto loaded = LoadSnapshot(path, nullptr);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
+  std::remove(path.c_str());
+}
+
+// A directory "opens" as an ifstream on Linux; loading one must fail with
+// a Status instead of an unbounded allocation or a crash.
+TEST(SnapshotStoreTest, DirectoryPathIsError) {
+  const std::string dir = ::testing::TempDir();
+  for (bool mmap : {false, true}) {
+    SnapshotLoadOptions load;
+    load.use_mmap = mmap;
+    auto loaded = LoadSnapshot(dir, nullptr, load);
+    ASSERT_FALSE(loaded.ok()) << "mmap " << mmap;
+    EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status();
+  }
+  auto info = ReadSnapshotInfo(dir);
+  ASSERT_FALSE(info.ok());
+  EXPECT_TRUE(info.status().IsIOError()) << info.status();
 }
 
 // With checksums off, structural validation alone still rejects files

@@ -9,11 +9,13 @@
 // magic); snapshots load with zero parsing, which is the point — build
 // once, align many times. See docs/store.md and the README workflow.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <initializer_list>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -79,11 +81,23 @@ class Args {
     return it == flags_.end() ? fallback : it->second;
   }
 
-  uint64_t GetInt(const std::string& name, uint64_t fallback) const {
+  // Signed so that callers see "--versions=-1" as -1 and can reject it
+  // with a range error, instead of a wrapped ~2^64 surprise. Malformed
+  // values ("--threads=1o", "--seed=abc") are reported here and become
+  // nullopt rather than silently parsing as a prefix or zero.
+  std::optional<long long> GetInt(const std::string& name,
+                                  long long fallback) const {
     auto it = flags_.find(name);
-    return it == flags_.end()
-               ? fallback
-               : static_cast<uint64_t>(std::atoll(it->second.c_str()));
+    if (it == flags_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(it->second.c_str(), &end, 10);
+    if (it->second.empty() || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "rdfalign: --%s expects an integer, got '%s'\n",
+                   name.c_str(), it->second.c_str());
+      return std::nullopt;
+    }
+    return value;
   }
 
   double GetDouble(const std::string& name, double fallback) const {
@@ -252,15 +266,15 @@ int CmdAlign(const Args& args) {
   }
   AlignerOptions options;
   options.method = *method;
-  // atoll turns "-1" / garbage into values that would ask the signing pool
-  // for an absurd worker count; bound it explicitly (0 = all hardware
-  // threads is the engine's own convention).
-  const long long threads = std::atoll(args.GetString("threads", "1").c_str());
-  if (threads < 0 || threads > 4096) {
+  // Bound explicitly: an absurd count would be handed to the signing pool
+  // (0 = all hardware threads is the engine's own convention).
+  const std::optional<long long> threads = args.GetInt("threads", 1);
+  if (!threads) return 2;
+  if (*threads < 0 || *threads > 4096) {
     std::fprintf(stderr, "rdfalign align: --threads must be in [0, 4096]\n");
     return 2;
   }
-  options.refinement.threads = static_cast<size_t>(threads);
+  options.refinement.threads = static_cast<size_t>(*threads);
   options.overlap.propagate.refinement = options.refinement;
 
   // One shared dictionary puts both versions in a single label space.
@@ -354,10 +368,25 @@ int CmdGen(const Args& args) {
     return Usage();
   }
   const std::string& prefix = args.positional()[0];
+  const std::optional<long long> versions = args.GetInt("versions", 2);
+  if (!versions) return 2;
+  if (*versions < 1 || *versions > 1000) {
+    std::fprintf(stderr, "rdfalign gen: --versions must be in [1, 1000]\n");
+    return 2;
+  }
+  const double scale = args.GetDouble("scale", 1.0);
+  if (!(scale > 0.0) || scale > 1e6) {
+    std::fprintf(stderr, "rdfalign gen: --scale must be in (0, 1e6]\n");
+    return 2;
+  }
+  const std::optional<long long> seed = args.GetInt("seed", 5);
+  if (!seed) return 2;
+  if (*seed < 0) {
+    std::fprintf(stderr, "rdfalign gen: --seed must be >= 0\n");
+    return 2;
+  }
   gen::CategoryOptions options = gen::CategoryOptions::FromScale(
-      args.GetDouble("scale", 1.0),
-      static_cast<size_t>(args.GetInt("versions", 2)),
-      args.GetInt("seed", 5));
+      scale, static_cast<size_t>(*versions), static_cast<uint64_t>(*seed));
 
   gen::CategoryChain chain = gen::CategoryChain::Generate(options);
   for (size_t v = 0; v < chain.NumVersions(); ++v) {
