@@ -1,0 +1,403 @@
+// Phase-timed end-to-end A/B of the alignment pipeline (the ISSUE 4
+// acceptance bench).
+//
+// At each fig16-style scale point a two-version category chain is generated,
+// both versions are stored as binary snapshots and reloaded (the zero-parse
+// production path), and then every non-refinement phase of the pipeline is
+// run twice — once on the legacy hash-map implementations kept in
+// core/pipeline_legacy.h, once on the flat dense-ID rewrite:
+//
+//   merge     : CombinedGraph::BuildLegacy (FromParts re-sort + re-index)
+//               vs CombinedGraph::Build (CSR concatenation)
+//   partops   : label-keyed constructors, FromColors, Equivalent,
+//               IsFinerOrEqual, Classes — hash maps vs flat arrays
+//   overlap   : characterizing-set build + Algorithm 1 — unordered_map
+//               inverted index vs counting-sort CSR postings
+//   stats     : edge alignment + node alignment + delta — hash sets vs
+//               sort-based joins
+//
+// The refinement fixpoint itself (A/B'd by refinement_bench) is timed once
+// for context. Every phase's outputs are checked identical between the two
+// implementations; the bench exits nonzero on any mismatch, so the
+// pipeline_bench_smoke ctest target and the CI perf gate double as an
+// equivalence gate. Emits BENCH_pipeline.json; the checked-in copy at the
+// repo root is the reference run.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/alignment.h"
+#include "core/delta.h"
+#include "core/hybrid.h"
+#include "core/overlap_align.h"
+#include "core/pipeline_legacy.h"
+#include "gen/category_gen.h"
+#include "store/snapshot.h"
+#include "util/timer.h"
+
+using namespace rdfalign;
+
+namespace {
+
+struct PointResult {
+  double scale_point = 0;
+  size_t nodes = 0;
+  size_t edges = 0;
+  double load_ms = 0;     // snapshot load of both versions (context)
+  double refine_ms = 0;   // hybrid refinement fixpoint (context)
+  double merge_legacy_ms = 0;
+  double merge_flat_ms = 0;
+  double partops_legacy_ms = 0;
+  double partops_flat_ms = 0;
+  double overlap_legacy_ms = 0;
+  double overlap_flat_ms = 0;
+  double stats_legacy_ms = 0;
+  double stats_flat_ms = 0;
+  bool equal = true;
+
+  double LegacyTotal() const {
+    return merge_legacy_ms + partops_legacy_ms + overlap_legacy_ms +
+           stats_legacy_ms;
+  }
+  double FlatTotal() const {
+    return merge_flat_ms + partops_flat_ms + overlap_flat_ms + stats_flat_ms;
+  }
+  double Speedup() const {
+    return FlatTotal() > 0 ? LegacyTotal() / FlatTotal() : 0.0;
+  }
+};
+
+/// Best-of-`runs` wall time of `fn` (which must return true).
+template <typename Fn>
+bool BestOf(size_t runs, double* best_ms, Fn&& fn) {
+  *best_ms = 0;
+  for (size_t r = 0; r < runs; ++r) {
+    WallTimer t;
+    if (!fn()) return false;
+    double ms = t.ElapsedMillis();
+    if (r == 0 || ms < *best_ms) *best_ms = ms;
+  }
+  return true;
+}
+
+bool SpansEqual(std::span<const uint64_t> a, std::span<const uint64_t> b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+bool RunPoint(double scale_point, uint64_t seed, size_t runs,
+              const std::string& tmp_prefix, PointResult* out) {
+  PointResult r;
+  r.scale_point = scale_point;
+
+  // ---- parse/load: generate, snapshot, reload through the store ----------
+  gen::CategoryChain chain = gen::CategoryChain::Generate(
+      gen::CategoryOptions::FromScale(scale_point, /*versions=*/2, seed));
+  const std::string snap1 = tmp_prefix + "_1.snap";
+  const std::string snap2 = tmp_prefix + "_2.snap";
+  if (!store::WriteSnapshot(chain.Version(0), snap1).ok() ||
+      !store::WriteSnapshot(chain.Version(1), snap2).ok()) {
+    std::fprintf(stderr, "cannot write snapshots under %s\n",
+                 tmp_prefix.c_str());
+    return false;
+  }
+  TripleGraph g1, g2;
+  {
+    WallTimer t;
+    auto dict = std::make_shared<Dictionary>();
+    auto l1 = store::LoadSnapshot(snap1, dict);
+    auto l2 = store::LoadSnapshot(snap2, dict);
+    std::filesystem::remove(snap1);
+    std::filesystem::remove(snap2);
+    if (!l1.ok() || !l2.ok()) {
+      std::fprintf(stderr, "snapshot reload failed\n");
+      return false;
+    }
+    g1 = std::move(l1).value();
+    g2 = std::move(l2).value();
+    r.load_ms = t.ElapsedMillis();
+  }
+  r.nodes = g1.NumNodes() + g2.NumNodes();
+  r.edges = g1.NumEdges() + g2.NumEdges();
+
+  // ---- merge ---------------------------------------------------------------
+  CombinedGraph cg;       // flat result, used by the rest of the pipeline
+  CombinedGraph cg_legacy;
+  bool ok =
+      BestOf(runs, &r.merge_legacy_ms,
+             [&] {
+               auto res = CombinedGraph::BuildLegacy(g1, g2);
+               if (!res.ok()) return false;
+               cg_legacy = std::move(res).value();
+               return true;
+             }) &&
+      BestOf(runs, &r.merge_flat_ms, [&] {
+        auto res = CombinedGraph::Build(g1, g2);
+        if (!res.ok()) return false;
+        cg = std::move(res).value();
+        return true;
+      });
+  if (!ok) return false;
+  r.equal = r.equal && LabeledGraphsEqual(cg.graph(), cg_legacy.graph()) &&
+            SpansEqual(cg.graph().OutOffsets(), cg_legacy.graph().OutOffsets()) &&
+            SpansEqual(cg.graph().InOffsets(), cg_legacy.graph().InOffsets());
+
+  // ---- refine (context; not part of the A/B total) ------------------------
+  Partition hybrid;
+  {
+    WallTimer t;
+    hybrid = HybridPartition(cg);
+    r.refine_ms = t.ElapsedMillis();
+  }
+
+  // ---- partition ops -------------------------------------------------------
+  Partition label_flat, trivial_flat, from_colors_flat;
+  Partition label_legacy, trivial_legacy;
+  std::vector<ColorId> legacy_renumbered;
+  size_t legacy_count = 0;
+  PartitionClasses classes_flat;
+  std::vector<std::vector<NodeId>> classes_legacy;
+  bool equivalent_flat = false, finer_flat = false;
+  bool equivalent_legacy = false, finer_legacy = false;
+  ok = BestOf(runs, &r.partops_legacy_ms,
+              [&] {
+                label_legacy = legacy::LabelPartition(cg.graph());
+                trivial_legacy = legacy::TrivialPartition(cg.graph());
+                auto [cols, cnt] =
+                    legacy::RenumberFirstOccurrence(hybrid.colors());
+                legacy_renumbered = std::move(cols);
+                legacy_count = cnt;
+                classes_legacy = legacy::PartitionClassesVectors(hybrid);
+                equivalent_legacy =
+                    legacy::PartitionEquivalent(hybrid, hybrid);
+                finer_legacy =
+                    legacy::PartitionIsFinerOrEqual(hybrid, label_legacy);
+                return true;
+              }) &&
+       BestOf(runs, &r.partops_flat_ms, [&] {
+         label_flat = LabelPartition(cg.graph());
+         trivial_flat = TrivialPartition(cg.graph());
+         from_colors_flat = Partition::FromColors(hybrid.colors());
+         classes_flat = hybrid.Classes();
+         equivalent_flat = Partition::Equivalent(hybrid, hybrid);
+         finer_flat = Partition::IsFinerOrEqual(hybrid, label_flat);
+         return true;
+       });
+  if (!ok) return false;
+  r.equal = r.equal && label_flat.colors() == label_legacy.colors() &&
+            trivial_flat.colors() == trivial_legacy.colors() &&
+            from_colors_flat.colors() == legacy_renumbered &&
+            from_colors_flat.NumColors() == legacy_count &&
+            equivalent_flat == equivalent_legacy &&
+            finer_flat == finer_legacy &&
+            classes_flat.size() == classes_legacy.size() &&
+            classes_flat.members.size() == hybrid.NumNodes();
+  for (size_t c = 0; r.equal && c < classes_flat.size(); ++c) {
+    std::span<const NodeId> m = classes_flat[c];
+    r.equal = std::equal(m.begin(), m.end(), classes_legacy[c].begin(),
+                         classes_legacy[c].end());
+  }
+
+  // ---- overlap index + match ----------------------------------------------
+  const TripleGraph& g = cg.graph();
+  WeightedPartition xi = MakeZeroWeighted(hybrid);
+  std::vector<NodeId> a_nodes, b_nodes;
+  {
+    std::vector<ClassSides> sides = ComputeClassSides(cg, hybrid);
+    for (NodeId n = 0; n < g.NumNodes(); ++n) {
+      if (g.IsLiteral(n)) continue;
+      if (sides[hybrid.ColorOf(n)] == ClassSides::kBoth) continue;
+      (cg.InSource(n) ? a_nodes : b_nodes).push_back(n);
+    }
+  }
+  auto sigma = [&](size_t x, size_t y) {
+    return SigmaNonLiteral(g, xi, a_nodes[x], b_nodes[y]);
+  };
+  const double theta = 0.65;
+  BipartiteMatching h_legacy, h_flat;
+  OverlapMatchStats s_legacy, s_flat;
+  ok = BestOf(runs, &r.overlap_legacy_ms,
+              [&] {
+                // Legacy representation: per-node heap vectors, hash-map
+                // inverted index.
+                legacy::VectorCharSets a_char(a_nodes.size());
+                legacy::VectorCharSets b_char(b_nodes.size());
+                for (size_t i = 0; i < a_nodes.size(); ++i) {
+                  a_char[i] = OutColorSet(g, xi, a_nodes[i]);
+                }
+                for (size_t i = 0; i < b_nodes.size(); ++i) {
+                  b_char[i] = OutColorSet(g, xi, b_nodes[i]);
+                }
+                h_legacy = legacy::OverlapMatch(a_nodes, b_nodes, a_char,
+                                                b_char, theta, sigma, {},
+                                                &s_legacy);
+                return true;
+              }) &&
+       BestOf(runs, &r.overlap_flat_ms, [&] {
+         // The exact production streaming build (overlap_align.cc uses the
+         // same AppendOutColorSet), so the A/B cannot drift from it.
+         CharacterizingSets a_char;
+         CharacterizingSets b_char;
+         a_char.Reserve(a_nodes.size(), a_nodes.size());
+         b_char.Reserve(b_nodes.size(), b_nodes.size());
+         for (NodeId n : a_nodes) AppendOutColorSet(g, xi, n, a_char);
+         for (NodeId n : b_nodes) AppendOutColorSet(g, xi, n, b_char);
+         h_flat = OverlapMatch(a_nodes, b_nodes, a_char, b_char, theta,
+                               sigma, {}, &s_flat);
+         return true;
+       });
+  if (!ok) return false;
+  r.equal = r.equal && h_flat.edges.size() == h_legacy.edges.size() &&
+            s_flat.candidates_probed == s_legacy.candidates_probed &&
+            s_flat.overlap_checked == s_legacy.overlap_checked &&
+            s_flat.sigma_checked == s_legacy.sigma_checked &&
+            s_flat.matched == s_legacy.matched;
+  for (size_t i = 0; r.equal && i < h_flat.edges.size(); ++i) {
+    r.equal = h_flat.edges[i].a == h_legacy.edges[i].a &&
+              h_flat.edges[i].b == h_legacy.edges[i].b &&
+              h_flat.edges[i].distance == h_legacy.edges[i].distance;
+  }
+
+  // ---- stats ---------------------------------------------------------------
+  EdgeAlignmentStats es_legacy, es_flat;
+  NodeAlignmentStats ns_legacy, ns_flat;
+  RdfDelta d_legacy, d_flat;
+  ok = BestOf(runs, &r.stats_legacy_ms,
+              [&] {
+                es_legacy = legacy::ComputeEdgeAlignment(cg, hybrid);
+                ns_legacy = ComputeNodeAlignment(cg, hybrid);
+                d_legacy = legacy::ComputeDelta(cg, hybrid);
+                return true;
+              }) &&
+       BestOf(runs, &r.stats_flat_ms, [&] {
+         es_flat = ComputeEdgeAlignment(cg, hybrid);
+         ns_flat = ComputeNodeAlignment(cg, hybrid);
+         d_flat = ComputeDelta(cg, hybrid);
+         return true;
+       });
+  if (!ok) return false;
+  auto rename_set = [](const RdfDelta& d) {
+    std::set<std::pair<NodeId, NodeId>> out;
+    for (const UriRename& u : d.renamed_uris) out.emplace(u.source, u.target);
+    return out;
+  };
+  r.equal = r.equal && es_flat.total_edges == es_legacy.total_edges &&
+            es_flat.aligned_edges == es_legacy.aligned_edges &&
+            ns_flat.aligned_classes == ns_legacy.aligned_classes &&
+            ns_flat.aligned_source_nodes == ns_legacy.aligned_source_nodes &&
+            d_flat.unchanged == d_legacy.unchanged &&
+            d_flat.added == d_legacy.added &&
+            d_flat.deleted == d_legacy.deleted &&
+            d_flat.renamed_uris.size() == d_legacy.renamed_uris.size() &&
+            rename_set(d_flat) == rename_set(d_legacy);
+
+  *out = r;
+  return true;
+}
+
+bool WriteJson(const std::string& path, const std::vector<PointResult>& points,
+               double scale, uint64_t seed, size_t runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"pipeline_phases\",\n");
+  std::fprintf(f, "  \"scale\": %g,\n", scale);
+  std::fprintf(f, "  \"seed\": %llu,\n", (unsigned long long)seed);
+  std::fprintf(f, "  \"runs\": %zu,\n", runs);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"provenance\": \"single-process wall clock; "
+               "hardware_threads records the recording box — like "
+               "BENCH_refinement.json and BENCH_store.json, re-record on "
+               "multi-core hardware to see parallel refinement scaling\",\n");
+  std::fprintf(f, "  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const PointResult& r = points[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"scale_point\": %g,\n", r.scale_point);
+    std::fprintf(f, "      \"nodes\": %zu,\n", r.nodes);
+    std::fprintf(f, "      \"edges\": %zu,\n", r.edges);
+    std::fprintf(f, "      \"load_ms\": %.2f,\n", r.load_ms);
+    std::fprintf(f, "      \"refine_ms\": %.2f,\n", r.refine_ms);
+    std::fprintf(f, "      \"merge_legacy_ms\": %.2f,\n", r.merge_legacy_ms);
+    std::fprintf(f, "      \"merge_flat_ms\": %.2f,\n", r.merge_flat_ms);
+    std::fprintf(f, "      \"partops_legacy_ms\": %.2f,\n",
+                 r.partops_legacy_ms);
+    std::fprintf(f, "      \"partops_flat_ms\": %.2f,\n", r.partops_flat_ms);
+    std::fprintf(f, "      \"overlap_legacy_ms\": %.2f,\n",
+                 r.overlap_legacy_ms);
+    std::fprintf(f, "      \"overlap_flat_ms\": %.2f,\n", r.overlap_flat_ms);
+    std::fprintf(f, "      \"stats_legacy_ms\": %.2f,\n", r.stats_legacy_ms);
+    std::fprintf(f, "      \"stats_flat_ms\": %.2f,\n", r.stats_flat_ms);
+    std::fprintf(f, "      \"nonrefine_legacy_ms\": %.2f,\n",
+                 r.LegacyTotal());
+    std::fprintf(f, "      \"nonrefine_flat_ms\": %.2f,\n", r.FlatTotal());
+    std::fprintf(f, "      \"speedup\": %.2f,\n", r.Speedup());
+    std::fprintf(f, "      \"equal\": %s\n", r.equal ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 1.0);
+  const uint64_t seed = flags.GetInt("seed", 5);
+  const size_t runs = static_cast<size_t>(flags.GetInt("runs", 3));
+  const std::string out = flags.GetString("out", "BENCH_pipeline.json");
+
+  bench::Banner("Alignment pipeline phase A/B",
+                "legacy hash-map glue vs flat dense-ID rewrite, per phase "
+                "(merge / partition ops / overlap index / stats)");
+
+  const std::string tmp_prefix =
+      (std::filesystem::temp_directory_path() /
+       ("rdfalign_pipeline_bench_" + std::to_string(seed)))
+          .string();
+
+  // The fig16 ladder: quarter, full, and 4x scale (the 4x point matches the
+  // other two BENCH files' largest workload).
+  std::vector<PointResult> points;
+  for (double point : {0.25 * scale, 1.0 * scale, 4.0 * scale}) {
+    PointResult r;
+    if (!RunPoint(point, seed, runs, tmp_prefix, &r)) return 1;
+    points.push_back(r);
+  }
+
+  bool all_equal = true;
+  bench::TablePrinter table({"nodes", "edges", "legacy(ms)", "flat(ms)",
+                             "speedup", "refine(ms)", "equal"});
+  for (const PointResult& r : points) {
+    table.Row({bench::FmtInt(r.nodes), bench::FmtInt(r.edges),
+               bench::Fmt("%.1f", r.LegacyTotal()),
+               bench::Fmt("%.1f", r.FlatTotal()),
+               bench::Fmt("%.1fx", r.Speedup()),
+               bench::Fmt("%.1f", r.refine_ms), r.equal ? "yes" : "NO"});
+    all_equal = all_equal && r.equal;
+  }
+  std::printf("\nper-phase (largest point): merge %.1f->%.1f, partops "
+              "%.1f->%.1f, overlap %.1f->%.1f, stats %.1f->%.1f ms\n",
+              points.back().merge_legacy_ms, points.back().merge_flat_ms,
+              points.back().partops_legacy_ms, points.back().partops_flat_ms,
+              points.back().overlap_legacy_ms, points.back().overlap_flat_ms,
+              points.back().stats_legacy_ms, points.back().stats_flat_ms);
+  const bool wrote = WriteJson(out, points, scale, seed, runs);
+  if (wrote) std::printf("wrote %s\n", out.c_str());
+  if (!all_equal) {
+    std::fprintf(stderr,
+                 "FAIL: flat pipeline diverged from the legacy reference\n");
+  }
+  return all_equal && wrote ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "core/aligner.h"
 
+#include <algorithm>
+
 #include "core/context.h"
 #include "core/deblank.h"
 #include "core/hybrid.h"
@@ -25,8 +27,12 @@ std::string_view AlignMethodToString(AlignMethod method) {
 
 Result<AlignmentOutcome> Aligner::Align(const TripleGraph& g1,
                                         const TripleGraph& g2) const {
+  WallTimer merge_timer;
   RDFALIGN_ASSIGN_OR_RETURN(CombinedGraph cg, CombinedGraph::Build(g1, g2));
-  return AlignCombined(cg);
+  const double merge_ms = merge_timer.ElapsedMillis();
+  Result<AlignmentOutcome> outcome = AlignCombined(cg);
+  if (outcome.ok()) outcome->phases.merge_ms = merge_ms;
+  return outcome;
 }
 
 AlignmentOutcome Aligner::AlignCombined(const CombinedGraph& cg) const {
@@ -52,12 +58,24 @@ AlignmentOutcome Aligner::AlignCombined(const CombinedGraph& cg) const {
       OverlapAlignResult r = OverlapAlign(cg, options_.overlap);
       outcome.partition = std::move(r.xi.partition);
       outcome.weights = std::move(r.xi.weight);
+      outcome.phases.enrich_ms = r.enrich_ms;
+      outcome.phases.overlap_index_ms = r.index_ms;
+      outcome.phases.match_ms = r.match_ms;
       break;
     }
   }
   outcome.seconds = timer.ElapsedSeconds();
+  // refine_ms is the method core minus the overlap sub-phases (for the
+  // non-overlap methods that difference is the whole method); clamp the
+  // tiny negative values double rounding can produce.
+  outcome.phases.refine_ms =
+      std::max(0.0, 1000.0 * outcome.seconds - outcome.phases.enrich_ms -
+                        outcome.phases.overlap_index_ms -
+                        outcome.phases.match_ms);
+  WallTimer stats_timer;
   outcome.edge_stats = ComputeEdgeAlignment(cg, outcome.partition);
   outcome.node_stats = ComputeNodeAlignment(cg, outcome.partition);
+  outcome.phases.stats_ms = stats_timer.ElapsedMillis();
   return outcome;
 }
 

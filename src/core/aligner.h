@@ -48,6 +48,17 @@ struct AlignerOptions {
   OverlapAlignOptions overlap;
 };
 
+/// Wall-clock breakdown of one alignment run, milliseconds. Phases that a
+/// method does not execute stay 0 (enrich/index/match are kOverlap-only).
+struct AlignPhaseTimings {
+  double merge_ms = 0;          ///< CombinedGraph::Build (Align() only)
+  double refine_ms = 0;         ///< partition construction (method core)
+  double enrich_ms = 0;         ///< Enrich + Propagate rounds
+  double overlap_index_ms = 0;  ///< characterizing sets + inverted index
+  double match_ms = 0;          ///< candidate probing + σ verification
+  double stats_ms = 0;          ///< edge + node alignment statistics
+};
+
 /// The result of aligning two versions.
 struct AlignmentOutcome {
   /// Class structure (for kOverlap: the ξ_Overlap partition).
@@ -61,6 +72,9 @@ struct AlignmentOutcome {
   NodeAlignmentStats node_stats;
   /// Wall-clock seconds of the alignment proper (excl. graph merging).
   double seconds = 0.0;
+  /// Per-phase wall-clock breakdown (the CLI's --json `phases` object and
+  /// bench/pipeline_bench.cc read this).
+  AlignPhaseTimings phases;
 };
 
 /// Facade that runs a configured alignment method end to end.

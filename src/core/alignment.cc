@@ -1,11 +1,9 @@
 #include "core/alignment.h"
 
-#include <map>
-#include <set>
-#include <unordered_map>
-#include <unordered_set>
+#include <algorithm>
 
 #include "util/hash.h"
+#include "util/scratch.h"
 
 namespace rdfalign {
 
@@ -15,22 +13,43 @@ uint8_t SideBit(const CombinedGraph& cg, NodeId n) {
   return cg.InSource(n) ? 1 : 2;
 }
 
-/// 96-bit edge key packed into two 64-bit words for hashing.
+/// 96-bit edge key packed into two 64-bit words, ordered lexicographically
+/// so membership tests are binary searches over sorted flat arrays instead
+/// of hash-set probes.
 struct TripleKey {
   uint64_t hi;
   uint64_t lo;
   bool operator==(const TripleKey&) const = default;
-};
-
-struct TripleKeyHash {
-  size_t operator()(const TripleKey& k) const {
-    return static_cast<size_t>(HashCombine(Mix64(k.hi), k.lo));
-  }
+  auto operator<=>(const TripleKey&) const = default;
 };
 
 TripleKey MakeColorKey(const Partition& p, const Triple& t) {
   return TripleKey{PackPair(p.ColorOf(t.s), p.ColorOf(t.p)),
                    static_cast<uint64_t>(p.ColorOf(t.o))};
+}
+
+/// Counts the elements of sorted multiset `b` whose key occurs in sorted
+/// multiset `a` — one linear merge, no per-element searches.
+size_t CountMembersIn(const std::vector<TripleKey>& b,
+                      const std::vector<TripleKey>& a) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      const TripleKey key = b[j];
+      while (j < b.size() && b[j] == key) {
+        ++count;
+        ++j;
+      }
+      while (i < a.size() && a[i] == key) ++i;
+    }
+  }
+  return count;
 }
 
 }  // namespace
@@ -75,6 +94,12 @@ EdgeAlignmentStats ComputeEdgeAlignment(const CombinedGraph& cg,
                                         const Partition& p) {
   const TripleGraph& g = cg.graph();
 
+  // Scratch key buffers persist across calls: the figure benches and the
+  // archive workloads call this once per version pair, and the buffers
+  // reach a steady size after the first pair.
+  static thread_local std::vector<TripleKey> set_a;
+  static thread_local std::vector<TripleKey> set_b;
+
   // Pass 1: count label-identical non-blank edges present on both sides —
   // these are "edges using precisely the same identifiers" and are counted
   // once. Blank nodes are never persistent identifiers, so edges touching a
@@ -91,41 +116,34 @@ EdgeAlignmentStats ComputeEdgeAlignment(const CombinedGraph& cg,
     return g.IsBlank(t.s) || g.IsBlank(t.p) || g.IsBlank(t.o);
   };
 
-  std::unordered_set<TripleKey, TripleKeyHash> source_label_edges;
-  source_label_edges.reserve(cg.e1());
+  set_a.clear();
+  set_a.reserve(cg.e1());
+  set_b.clear();
+  set_b.reserve(cg.e2());
   for (const Triple& t : g.triples()) {
-    if (cg.InSource(t.s) && !has_blank(t)) {
-      source_label_edges.insert(label_key(t));
+    if (!has_blank(t)) {
+      (cg.InSource(t.s) ? set_a : set_b).push_back(label_key(t));
     }
   }
-  size_t merged = 0;
-  for (const Triple& t : g.triples()) {
-    if (cg.InTarget(t.s) && !has_blank(t) &&
-        source_label_edges.count(label_key(t)) > 0) {
-      ++merged;
-    }
-  }
+  std::sort(set_a.begin(), set_a.end());
+  std::sort(set_b.begin(), set_b.end());
+  const size_t merged = CountMembersIn(set_b, set_a);
 
   // Pass 2: an edge is aligned when the opposite side has an edge whose
-  // color triple matches.
-  std::unordered_set<TripleKey, TripleKeyHash> source_colors;
-  std::unordered_set<TripleKey, TripleKeyHash> target_colors;
-  source_colors.reserve(cg.e1());
-  target_colors.reserve(cg.e2());
+  // color triple matches — sort each side's key multiset, then count cross
+  // memberships with two linear merges.
+  set_a.clear();
+  set_b.clear();
   for (const Triple& t : g.triples()) {
-    if (cg.InSource(t.s)) {
-      source_colors.insert(MakeColorKey(p, t));
-    } else {
-      target_colors.insert(MakeColorKey(p, t));
-    }
+    (cg.InSource(t.s) ? set_a : set_b).push_back(MakeColorKey(p, t));
   }
-  size_t aligned = 0;
-  for (const Triple& t : g.triples()) {
-    const auto& opposite = cg.InSource(t.s) ? target_colors : source_colors;
-    if (opposite.count(MakeColorKey(p, t)) > 0) ++aligned;
-  }
+  std::sort(set_a.begin(), set_a.end());
+  std::sort(set_b.begin(), set_b.end());
+  size_t aligned = CountMembersIn(set_a, set_b) + CountMembersIn(set_b, set_a);
   // Merged edges are aligned on both sides by construction; count them once.
   aligned -= merged;
+  TrimScratch(set_a);
+  TrimScratch(set_b);
 
   EdgeAlignmentStats stats;
   stats.total_edges = cg.e1() + cg.e2() - merged;
@@ -153,20 +171,39 @@ NodeAlignmentStats ComputeNodeAlignment(const CombinedGraph& cg,
 
 std::vector<std::pair<NodeId, NodeId>> EnumerateAlignedPairs(
     const CombinedGraph& cg, const Partition& p, size_t limit) {
-  // Group nodes per class, split by side.
-  std::unordered_map<ColorId, std::pair<std::vector<NodeId>,
-                                        std::vector<NodeId>>>
-      classes;
+  // Group nodes per class and side with two counting-sort CSRs over the
+  // dense colors. Classes are emitted in ascending color order, so the
+  // output is deterministic (the hash-map version followed bucket order).
+  const size_t num_colors = p.NumColors();
+  std::vector<uint64_t> src_off(num_colors + 1, 0);
+  std::vector<uint64_t> tgt_off(num_colors + 1, 0);
   for (NodeId n = 0; n < p.NumNodes(); ++n) {
-    auto& entry = classes[p.ColorOf(n)];
-    (cg.InSource(n) ? entry.first : entry.second).push_back(n);
+    ++(cg.InSource(n) ? src_off : tgt_off)[p.ColorOf(n) + 1];
+  }
+  for (size_t c = 0; c < num_colors; ++c) {
+    src_off[c + 1] += src_off[c];
+    tgt_off[c + 1] += tgt_off[c];
+  }
+  std::vector<NodeId> src_members(src_off[num_colors]);
+  std::vector<NodeId> tgt_members(tgt_off[num_colors]);
+  {
+    std::vector<uint64_t> src_cur(src_off.begin(), src_off.end() - 1);
+    std::vector<uint64_t> tgt_cur(tgt_off.begin(), tgt_off.end() - 1);
+    for (NodeId n = 0; n < p.NumNodes(); ++n) {
+      const ColorId c = p.ColorOf(n);
+      if (cg.InSource(n)) {
+        src_members[src_cur[c]++] = n;
+      } else {
+        tgt_members[tgt_cur[c]++] = n;
+      }
+    }
   }
   std::vector<std::pair<NodeId, NodeId>> out;
-  for (auto& [color, nodes] : classes) {
-    for (NodeId a : nodes.first) {
-      for (NodeId b : nodes.second) {
+  for (size_t c = 0; c < num_colors; ++c) {
+    for (uint64_t i = src_off[c]; i < src_off[c + 1]; ++i) {
+      for (uint64_t j = tgt_off[c]; j < tgt_off[c + 1]; ++j) {
         if (out.size() >= limit) return out;
-        out.emplace_back(a, b);
+        out.emplace_back(src_members[i], tgt_members[j]);
       }
     }
   }
@@ -175,19 +212,36 @@ std::vector<std::pair<NodeId, NodeId>> EnumerateAlignedPairs(
 
 bool HasCrossoverProperty(
     const std::vector<std::pair<NodeId, NodeId>>& pairs) {
-  std::set<std::pair<NodeId, NodeId>> set(pairs.begin(), pairs.end());
-  std::multimap<NodeId, NodeId> by_source;
-  std::multimap<NodeId, NodeId> by_target;
+  // Sorted packed-u64 views replace the std::set + two std::multimaps: the
+  // forward array doubles as the membership set and the by-source index,
+  // and the reversed array is the by-target index.
+  std::vector<uint64_t> fwd;
+  std::vector<uint64_t> rev;
+  fwd.reserve(pairs.size());
+  rev.reserve(pairs.size());
   for (const auto& [n, m] : pairs) {
-    by_source.emplace(n, m);
-    by_target.emplace(m, n);
+    fwd.push_back(PackPair(n, m));
+    rev.push_back(PackPair(m, n));
   }
+  std::sort(fwd.begin(), fwd.end());
+  std::sort(rev.begin(), rev.end());
+  auto range_of = [](const std::vector<uint64_t>& sorted, NodeId hi) {
+    return std::pair{
+        std::lower_bound(sorted.begin(), sorted.end(), PackPair(hi, 0)),
+        std::upper_bound(sorted.begin(), sorted.end(),
+                         PackPair(hi, kInvalidNode))};
+  };
   for (const auto& [n, m] : pairs) {
-    auto ms = by_source.equal_range(n);   // all m' with (n, m')
-    auto ns = by_target.equal_range(m);   // all n' with (n', m)
-    for (auto it1 = ns.first; it1 != ns.second; ++it1) {
-      for (auto it2 = ms.first; it2 != ms.second; ++it2) {
-        if (set.count({it1->second, it2->second}) == 0) return false;
+    auto [ms_begin, ms_end] = range_of(fwd, n);   // all m' with (n, m')
+    auto [ns_begin, ns_end] = range_of(rev, m);   // all n' with (n', m)
+    for (auto it1 = ns_begin; it1 != ns_end; ++it1) {
+      const NodeId n_prime = UnpackLo(*it1);
+      for (auto it2 = ms_begin; it2 != ms_end; ++it2) {
+        const NodeId m_prime = UnpackLo(*it2);
+        if (!std::binary_search(fwd.begin(), fwd.end(),
+                                PackPair(n_prime, m_prime))) {
+          return false;
+        }
       }
     }
   }

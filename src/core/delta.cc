@@ -1,24 +1,21 @@
 #include "core/delta.h"
 
-#include <unordered_map>
+#include <algorithm>
 
-#include "core/alignment.h"
 #include "util/hash.h"
+#include "util/scratch.h"
 
 namespace rdfalign {
 
 namespace {
 
+/// 96-bit color-triple key, ordered so the multiset matching below runs on
+/// sorted flat arrays instead of hash maps.
 struct TripleKey {
   uint64_t hi;
   uint64_t lo;
   bool operator==(const TripleKey&) const = default;
-};
-
-struct TripleKeyHash {
-  size_t operator()(const TripleKey& k) const {
-    return static_cast<size_t>(HashCombine(Mix64(k.hi), k.lo));
-  }
+  auto operator<=>(const TripleKey&) const = default;
 };
 
 TripleKey ColorKey(const Partition& p, const Triple& t) {
@@ -30,51 +27,112 @@ TripleKey ColorKey(const Partition& p, const Triple& t) {
 
 RdfDelta ComputeDelta(const CombinedGraph& cg, const Partition& p) {
   const TripleGraph& g = cg.graph();
+  const std::span<const Triple> triples = g.triples();
   RdfDelta delta;
 
-  // Multiset of target-side edges by color triple.
-  std::unordered_map<TripleKey, size_t, TripleKeyHash> target_counts;
-  for (const Triple& t : g.triples()) {
-    if (cg.InTarget(t.s)) ++target_counts[ColorKey(p, t)];
+  // Each side's edges as (color key, triple index) pairs sorted by key then
+  // index; equal-key runs are matched by one linear merge. Within a run the
+  // indexes ascend, which is exactly the old hash-multiset's greedy
+  // first-come matching order, so which edges end up deleted/added is
+  // bit-identical.
+  struct KeyIdx {
+    TripleKey key;
+    uint64_t idx;  // triple index; CSR offsets are 64-bit, so follow suit
+    auto operator<=>(const KeyIdx&) const = default;
+  };
+  static thread_local std::vector<KeyIdx> src;
+  static thread_local std::vector<KeyIdx> tgt;
+  static thread_local std::vector<uint8_t> changed;  // per-triple verdict
+  src.clear();
+  src.reserve(cg.e1());
+  tgt.clear();
+  tgt.reserve(cg.e2());
+  for (size_t i = 0; i < triples.size(); ++i) {
+    const TripleKey key = ColorKey(p, triples[i]);
+    (cg.InSource(triples[i].s) ? src : tgt)
+        .push_back(KeyIdx{key, static_cast<uint64_t>(i)});
   }
-  // Source edges consume matching target counts; leftovers are deletions.
-  std::unordered_map<TripleKey, size_t, TripleKeyHash> consumed;
-  for (const Triple& t : g.triples()) {
-    if (!cg.InSource(t.s)) continue;
-    TripleKey key = ColorKey(p, t);
-    auto it = target_counts.find(key);
-    size_t& used = consumed[key];
-    if (it != target_counts.end() && used < it->second) {
-      ++used;
-      ++delta.unchanged;
+  std::sort(src.begin(), src.end());
+  std::sort(tgt.begin(), tgt.end());
+
+  // A source run of cs edges and a target run of ct edges with one key
+  // match min(cs, ct) pairs: the first min source edges are unchanged, the
+  // rest deleted; the first min target edges are unchanged, the rest added.
+  changed.assign(triples.size(), 0);
+  size_t i = 0;
+  size_t j = 0;
+  while (i < src.size() || j < tgt.size()) {
+    if (j >= tgt.size() || (i < src.size() && src[i].key < tgt[j].key)) {
+      changed[src[i].idx] = 1;  // deletion: no target run for this key
+      ++i;
+    } else if (i >= src.size() || tgt[j].key < src[i].key) {
+      changed[tgt[j].idx] = 1;  // addition: no source run for this key
+      ++j;
     } else {
-      delta.deleted.push_back(t);
+      const TripleKey key = src[i].key;
+      size_t i_end = i;
+      while (i_end < src.size() && src[i_end].key == key) ++i_end;
+      size_t j_end = j;
+      while (j_end < tgt.size() && tgt[j_end].key == key) ++j_end;
+      const size_t m = std::min(i_end - i, j_end - j);
+      delta.unchanged += m;
+      for (size_t x = i + m; x < i_end; ++x) changed[src[x].idx] = 1;
+      for (size_t x = j + m; x < j_end; ++x) changed[tgt[x].idx] = 1;
+      i = i_end;
+      j = j_end;
     }
   }
-  // Target edges beyond the matched multiplicity are additions.
-  std::unordered_map<TripleKey, size_t, TripleKeyHash> seen;
-  for (const Triple& t : g.triples()) {
-    if (!cg.InTarget(t.s)) continue;
-    TripleKey key = ColorKey(p, t);
-    size_t& cnt = seen[key];
-    ++cnt;
-    auto it = consumed.find(key);
-    size_t matched = it == consumed.end() ? 0 : it->second;
-    if (cnt > matched) delta.added.push_back(t);
+  // Emit in original triple order, like the old per-edge replay did.
+  for (size_t t = 0; t < triples.size(); ++t) {
+    if (!changed[t]) continue;
+    (cg.InSource(triples[t].s) ? delta.deleted : delta.added)
+        .push_back(triples[t]);
   }
+  TrimScratch(src);
+  TrimScratch(tgt);
+  TrimScratch(changed);
 
   // Renames: classes holding URI nodes of both sides with differing labels.
-  std::unordered_map<ColorId,
-                     std::pair<std::vector<NodeId>, std::vector<NodeId>>>
-      uri_classes;
+  // Counting-sort CSRs over the dense colors, one per side; classes are
+  // visited in ascending color order (deterministic, unlike the old
+  // unordered_map walk — rename order within a class is unchanged).
+  const size_t num_colors = p.NumColors();
+  static thread_local std::vector<uint32_t> src_off;
+  static thread_local std::vector<uint32_t> tgt_off;
+  src_off.assign(num_colors + 1, 0);
+  tgt_off.assign(num_colors + 1, 0);
   for (NodeId n = 0; n < g.NumNodes(); ++n) {
     if (!g.IsUri(n)) continue;
-    auto& entry = uri_classes[p.ColorOf(n)];
-    (cg.InSource(n) ? entry.first : entry.second).push_back(n);
+    ++(cg.InSource(n) ? src_off : tgt_off)[p.ColorOf(n) + 1];
   }
-  for (auto& [color, nodes] : uri_classes) {
-    for (NodeId a : nodes.first) {
-      for (NodeId b : nodes.second) {
+  for (size_t c = 0; c < num_colors; ++c) {
+    src_off[c + 1] += src_off[c];
+    tgt_off[c + 1] += tgt_off[c];
+  }
+  static thread_local std::vector<NodeId> src_uris;
+  static thread_local std::vector<NodeId> tgt_uris;
+  src_uris.resize(src_off[num_colors]);
+  tgt_uris.resize(tgt_off[num_colors]);
+  {
+    static thread_local std::vector<uint32_t> src_cur;
+    static thread_local std::vector<uint32_t> tgt_cur;
+    src_cur.assign(src_off.begin(), src_off.end() - 1);
+    tgt_cur.assign(tgt_off.begin(), tgt_off.end() - 1);
+    for (NodeId n = 0; n < g.NumNodes(); ++n) {
+      if (!g.IsUri(n)) continue;
+      const ColorId c = p.ColorOf(n);
+      if (cg.InSource(n)) {
+        src_uris[src_cur[c]++] = n;
+      } else {
+        tgt_uris[tgt_cur[c]++] = n;
+      }
+    }
+  }
+  for (size_t c = 0; c < num_colors; ++c) {
+    for (uint32_t i = src_off[c]; i < src_off[c + 1]; ++i) {
+      for (uint32_t j = tgt_off[c]; j < tgt_off[c + 1]; ++j) {
+        const NodeId a = src_uris[i];
+        const NodeId b = tgt_uris[j];
         if (g.LexicalId(a) != g.LexicalId(b)) {
           delta.renamed_uris.push_back(UriRename{
               a, b, std::string(g.Lexical(a)), std::string(g.Lexical(b))});
@@ -82,6 +140,8 @@ RdfDelta ComputeDelta(const CombinedGraph& cg, const Partition& p) {
       }
     }
   }
+  TrimScratch(src_uris);
+  TrimScratch(tgt_uris);
   return delta;
 }
 

@@ -45,29 +45,43 @@ WeightedPartition Enrich(const WeightedPartition& xi,
   WeightedPartition out = xi;
   if (h.Empty()) return out;
 
-  // Compress the nodes mentioned in H into dense local ids.
+  // Pass 1: compress the nodes mentioned in H into dense local ids (first
+  // occurrence order: a then b per edge) and union the components.
   std::unordered_map<NodeId, size_t> local;
+  local.reserve(2 * h.edges.size());
   std::vector<NodeId> nodes;
+  nodes.reserve(2 * h.edges.size());
   auto local_id = [&](NodeId n) -> size_t {
     auto [it, inserted] = local.emplace(n, nodes.size());
     if (inserted) nodes.push_back(n);
     return it->second;
   };
-
-  std::vector<std::vector<std::pair<size_t, double>>> adj;
   UnionFind uf(2 * h.edges.size());  // upper bound on distinct nodes
   for (const MatchEdge& e : h.edges) {
-    size_t a = local_id(e.a);
-    size_t b = local_id(e.b);
-    if (adj.size() < nodes.size()) adj.resize(nodes.size());
-    adj[a].emplace_back(b, e.distance);
-    adj[b].emplace_back(a, e.distance);
-    uf.Union(a, b);
+    uf.Union(local_id(e.a), local_id(e.b));
   }
-  adj.resize(nodes.size());
+  const size_t k = nodes.size();
+
+  // Pass 2: adjacency as a CSR (degree count, prefix sum, fill) — exact
+  // allocation, no per-node vectors growing one push_back at a time.
+  std::vector<uint32_t> adj_offsets(k + 1, 0);
+  for (const MatchEdge& e : h.edges) {
+    ++adj_offsets[local[e.a] + 1];
+    ++adj_offsets[local[e.b] + 1];
+  }
+  for (size_t i = 0; i < k; ++i) adj_offsets[i + 1] += adj_offsets[i];
+  std::vector<std::pair<uint32_t, double>> adj(2 * h.edges.size());
+  {
+    std::vector<uint32_t> cursor(adj_offsets.begin(), adj_offsets.end() - 1);
+    for (const MatchEdge& e : h.edges) {
+      const size_t a = local[e.a];
+      const size_t b = local[e.b];
+      adj[cursor[a]++] = {static_cast<uint32_t>(b), e.distance};
+      adj[cursor[b]++] = {static_cast<uint32_t>(a), e.distance};
+    }
+  }
 
   // Sides: a node can only appear as `a` (source) or `b` (target) in H.
-  const size_t k = nodes.size();
   std::vector<uint8_t> is_source(k, 0);
   for (const MatchEdge& e : h.edges) {
     is_source[local[e.a]] = 1;
@@ -76,21 +90,23 @@ WeightedPartition Enrich(const WeightedPartition& xi,
   // d*: single-source shortest paths under ⊕ from every node of H, then
   // w(src) = ½ max over *opposite-side* nodes of the same component. ⊕ is
   // monotone and H's components are tiny in practice (near one-to-one
-  // matchings), so Dijkstra per node is cheap.
+  // matchings), so Dijkstra per node is cheap. The dist buffer and the
+  // queue's backing store are hoisted out of the source loop.
   std::vector<double> half_max(k, 0.0);
   {
     std::vector<double> dist(k);
     using Item = std::pair<double, size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
     for (size_t src = 0; src < k; ++src) {
       std::fill(dist.begin(), dist.end(), 2.0);
-      std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
       dist[src] = 0.0;
       pq.emplace(0.0, src);
       while (!pq.empty()) {
         auto [d, u] = pq.top();
         pq.pop();
         if (d > dist[u]) continue;
-        for (const auto& [v, w] : adj[u]) {
+        for (uint32_t e = adj_offsets[u]; e < adj_offsets[u + 1]; ++e) {
+          const auto& [v, w] = adj[e];
           double nd = OPlus(d, w);
           if (nd < dist[v]) {
             dist[v] = nd;
@@ -112,6 +128,7 @@ WeightedPartition Enrich(const WeightedPartition& xi,
   std::vector<ColorId> colors(out.partition.colors());
   const ColorId base = static_cast<ColorId>(out.partition.NumColors());
   std::unordered_map<size_t, ColorId> component_color;
+  component_color.reserve(k);
   for (size_t v = 0; v < k; ++v) {
     size_t root = uf.Find(v);
     auto [it, inserted] = component_color.emplace(

@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
-#include "util/hash.h"
+#include "util/scratch.h"
+#include "util/timer.h"
 
 namespace rdfalign {
 
-double OverlapMeasure(const std::vector<uint64_t>& o1,
-                      const std::vector<uint64_t>& o2) {
+double OverlapMeasure(std::span<const uint64_t> o1,
+                      std::span<const uint64_t> o2) {
   if (o1.empty() && o2.empty()) return 1.0;
   size_t inter = 0;
   size_t i = 0;
@@ -29,8 +29,8 @@ double OverlapMeasure(const std::vector<uint64_t>& o1,
   return static_cast<double>(inter) / static_cast<double>(uni);
 }
 
-double DiffMeasure(const std::vector<uint64_t>& o1,
-                   const std::vector<uint64_t>& o2) {
+double DiffMeasure(std::span<const uint64_t> o1,
+                   std::span<const uint64_t> o2) {
   return 1.0 - OverlapMeasure(o1, o2);
 }
 
@@ -46,37 +46,71 @@ BipartiteMatching OverlapMatch(
     return h;
   }
 
-  // Lines 1-6: inverted index Inv over B's objects; freq[o] = |Inv[o]|.
-  std::unordered_map<uint64_t, std::vector<uint32_t>, U64Hash> inv;
+  // Lines 1-6: inverted index Inv over B's objects, as a counting-sort CSR:
+  // (object, bi) pairs sorted by object, then run boundaries. Postings of
+  // one object keep ascending bi — the same order the hash-map index's
+  // insertion produced — and freq[o] is the run length.
+  WallTimer index_timer;
+  static thread_local std::vector<std::pair<uint64_t, uint32_t>> postings;
+  static thread_local std::vector<uint64_t> inv_objects;  // distinct, sorted
+  static thread_local std::vector<uint64_t> inv_offsets;  // runs in postings
+  postings.clear();
+  postings.reserve(b_char.TotalItems());
   for (uint32_t bi = 0; bi < b_nodes.size(); ++bi) {
     for (uint64_t o : b_char[bi]) {
-      inv[o].push_back(bi);
+      postings.emplace_back(o, bi);
     }
   }
-  auto freq = [&](uint64_t o) -> size_t {
-    auto it = inv.find(o);
-    return it == inv.end() ? 0 : it->second.size();
+  std::sort(postings.begin(), postings.end());
+  inv_objects.clear();
+  inv_offsets.clear();
+  for (size_t i = 0; i < postings.size();) {
+    size_t j = i;
+    while (j < postings.size() && postings[j].first == postings[i].first) ++j;
+    inv_objects.push_back(postings[i].first);
+    inv_offsets.push_back(i);
+    i = j;
+  }
+  inv_offsets.push_back(postings.size());
+  // Index of o's posting run, or SIZE_MAX when o indexes nothing.
+  auto find_run = [&](uint64_t o) -> size_t {
+    auto it = std::lower_bound(inv_objects.begin(), inv_objects.end(), o);
+    if (it == inv_objects.end() || *it != o) return SIZE_MAX;
+    return static_cast<size_t>(it - inv_objects.begin());
   };
+  local.index_ms = index_timer.ElapsedMillis();
 
+  WallTimer probe_timer;
   // Per-B visited stamp to deduplicate the candidate set C cheaply.
-  std::vector<uint32_t> stamp(b_nodes.size(), 0);
+  static thread_local std::vector<uint32_t> stamp;
+  stamp.assign(b_nodes.size(), 0);
   uint32_t round = 0;
 
-  std::vector<uint64_t> objects;
+  // Probe order of char(n): ascending (frequency, object) — precomputed per
+  // node instead of hash lookups inside the sort comparator. The run index
+  // rides along so probing needs no second lookup.
+  struct ProbeObject {
+    uint64_t freq;
+    uint64_t object;
+    size_t run;
+    auto operator<=>(const ProbeObject&) const = default;
+  };
+  static thread_local std::vector<ProbeObject> objects;
   for (uint32_t ai = 0; ai < a_nodes.size(); ++ai) {
-    const std::vector<uint64_t>& chars = a_char[ai];
+    const std::span<const uint64_t> chars = a_char[ai];
     if (chars.empty()) continue;
     const size_t k = chars.size();
 
     // Line 11: objects of char(n) ordered by ascending frequency (the rare,
     // discriminating objects first).
-    objects.assign(chars.begin(), chars.end());
-    std::sort(objects.begin(), objects.end(),
-              [&](uint64_t x, uint64_t y) {
-                size_t fx = freq(x);
-                size_t fy = freq(y);
-                return fx != fy ? fx < fy : x < y;
-              });
+    objects.clear();
+    for (uint64_t o : chars) {
+      const size_t run = find_run(o);
+      const uint64_t freq =
+          run == SIZE_MAX ? 0 : inv_offsets[run + 1] - inv_offsets[run];
+      objects.push_back(ProbeObject{freq, o, run});
+    }
+    std::sort(objects.begin(), objects.end());
 
     // Line 12: the prefix that must contain a shared object of any node
     // with overlap >= θ (see header comment).
@@ -95,9 +129,11 @@ BipartiteMatching OverlapMatch(
     // overlap.
     ++round;
     for (size_t i = 0; i < prefix_len; ++i) {
-      auto it = inv.find(objects[i]);
-      if (it == inv.end()) continue;
-      for (uint32_t bi : it->second) {
+      if (objects[i].run == SIZE_MAX) continue;
+      const size_t run_begin = inv_offsets[objects[i].run];
+      const size_t run_end = inv_offsets[objects[i].run + 1];
+      for (size_t r = run_begin; r < run_end; ++r) {
+        const uint32_t bi = postings[r].second;
         ++local.candidates_probed;
         if (stamp[bi] == round) continue;
         stamp[bi] = round;
@@ -113,6 +149,11 @@ BipartiteMatching OverlapMatch(
       }
     }
   }
+  local.probe_ms = probe_timer.ElapsedMillis();
+  TrimScratch(postings);
+  TrimScratch(inv_objects);
+  TrimScratch(inv_offsets);
+  TrimScratch(stamp);
   if (stats != nullptr) *stats = local;
   return h;
 }

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <string>
-#include <unordered_map>
 
 #include "core/alignment.h"
 #include "core/edit_distance.h"
 #include "core/hybrid.h"
+#include "rdf/dictionary.h"
 #include "util/hash.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace rdfalign {
 
@@ -50,7 +51,30 @@ void CollectKeyedEdges(const TripleGraph& g, const WeightedPartition& xi,
   std::sort(out.begin(), out.end());
 }
 
+/// Streams the word set of a literal into `sets` (Algorithm 2's `split`,
+/// via the shared ForEachWord tokenizer): each word is interned to a dense
+/// id through `words`. Word-id assignment order matches SplitWords +
+/// first-occurrence interning; no per-literal vector<string> is
+/// materialized.
+void AppendWordSet(std::string_view text, Dictionary& words,
+                   std::string& word_buf, CharacterizingSets& sets) {
+  sets.BeginSet();
+  ForEachWord(text, word_buf,
+              [&](std::string_view word) { sets.Add(words.Intern(word)); });
+  sets.EndSetSortedUnique();
+}
+
 }  // namespace
+
+void AppendOutColorSet(const TripleGraph& g, const WeightedPartition& xi,
+                       NodeId n, CharacterizingSets& sets) {
+  sets.BeginSet();
+  for (const PredicateObject& po : g.Out(n)) {
+    sets.Add(PackPair(xi.partition.ColorOf(po.p),
+                      xi.partition.ColorOf(po.o)));
+  }
+  sets.EndSetSortedUnique();
+}
 
 double SigmaNonLiteral(const TripleGraph& g, const WeightedPartition& xi,
                        NodeId n, NodeId m) {
@@ -108,6 +132,7 @@ OverlapAlignResult OverlapAlign(const CombinedGraph& cg,
       MakeZeroWeighted(hybrid != nullptr ? *hybrid : HybridPartition(cg));
 
   // Lines 2-4: match unaligned literals by word sets + edit distance.
+  WallTimer literal_index_timer;
   std::vector<NodeId> a0;
   std::vector<NodeId> b0;
   {
@@ -118,24 +143,18 @@ OverlapAlignResult OverlapAlign(const CombinedGraph& cg,
       (cg.InSource(n) ? a0 : b0).push_back(n);
     }
   }
-  CharacterizingSets a0_char(a0.size());
-  CharacterizingSets b0_char(b0.size());
+  CharacterizingSets a0_char;
+  CharacterizingSets b0_char;
   {
-    // Word ids shared across both sides via one interning map.
-    std::unordered_map<std::string, uint64_t> words;
-    auto charset = [&](NodeId n) {
-      std::vector<uint64_t> ids;
-      for (std::string& w : SplitWords(g.Lexical(n))) {
-        auto [it, inserted] = words.emplace(std::move(w), words.size());
-        ids.push_back(it->second);
-      }
-      std::sort(ids.begin(), ids.end());
-      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-      return ids;
-    };
-    for (size_t i = 0; i < a0.size(); ++i) a0_char[i] = charset(a0[i]);
-    for (size_t i = 0; i < b0.size(); ++i) b0_char[i] = charset(b0[i]);
+    // Word ids shared across both sides via one interning dictionary.
+    Dictionary words;
+    std::string word_buf;
+    a0_char.Reserve(a0.size(), 4 * a0.size());
+    b0_char.Reserve(b0.size(), 4 * b0.size());
+    for (NodeId n : a0) AppendWordSet(g.Lexical(n), words, word_buf, a0_char);
+    for (NodeId n : b0) AppendWordSet(g.Lexical(n), words, word_buf, b0_char);
   }
+  result.index_ms += literal_index_timer.ElapsedMillis();
   OverlapMatchStats h0_stats;
   BipartiteMatching h = OverlapMatch(
       a0, b0, a0_char, b0_char, options.theta,
@@ -146,13 +165,18 @@ OverlapAlignResult OverlapAlign(const CombinedGraph& cg,
       },
       options.match, &h0_stats);
   result.literal_matches = h.NumEdges();
+  result.index_ms += h0_stats.index_ms;
+  result.match_ms += h0_stats.probe_ms;
   result.round_stats.push_back(h0_stats);
 
   // Lines 5-12: enrich, propagate, match non-literals; repeat until dry.
   for (size_t round = 1; round <= options.max_rounds; ++round) {
+    WallTimer enrich_timer;
     xi = Propagate(cg, Enrich(xi, h), options.propagate);
+    result.enrich_ms += enrich_timer.ElapsedMillis();
     result.rounds = round;
 
+    WallTimer round_index_timer;
     std::vector<NodeId> ai;
     std::vector<NodeId> bi;
     {
@@ -163,14 +187,13 @@ OverlapAlignResult OverlapAlign(const CombinedGraph& cg,
         (cg.InSource(n) ? ai : bi).push_back(n);
       }
     }
-    CharacterizingSets ai_char(ai.size());
-    CharacterizingSets bi_char(bi.size());
-    for (size_t i = 0; i < ai.size(); ++i) {
-      ai_char[i] = OutColorSet(g, xi, ai[i]);
-    }
-    for (size_t i = 0; i < bi.size(); ++i) {
-      bi_char[i] = OutColorSet(g, xi, bi[i]);
-    }
+    CharacterizingSets ai_char;
+    CharacterizingSets bi_char;
+    ai_char.Reserve(ai.size(), ai.size());
+    bi_char.Reserve(bi.size(), bi.size());
+    for (NodeId n : ai) AppendOutColorSet(g, xi, n, ai_char);
+    for (NodeId n : bi) AppendOutColorSet(g, xi, n, bi_char);
+    result.index_ms += round_index_timer.ElapsedMillis();
 
     OverlapMatchStats round_stats;
     h = OverlapMatch(
@@ -179,6 +202,8 @@ OverlapAlignResult OverlapAlign(const CombinedGraph& cg,
           return SigmaNonLiteral(g, xi, ai[x], bi[y]);
         },
         options.match, &round_stats);
+    result.index_ms += round_stats.index_ms;
+    result.match_ms += round_stats.probe_ms;
     result.round_stats.push_back(round_stats);
     result.nonliteral_matches += h.NumEdges();
     if (h.Empty()) break;

@@ -43,6 +43,13 @@ struct OverlapAlignResult {
   size_t literal_matches = 0;         ///< |H0|
   size_t nonliteral_matches = 0;      ///< Σ|Hi|, i >= 1
   std::vector<OverlapMatchStats> round_stats;
+
+  // Wall-clock phase breakdown of this run, milliseconds (summed across
+  // rounds; feeds AlignmentOutcome::phases — the base λ_Hybrid time is
+  // not broken out and lands in the derived refine_ms there).
+  double enrich_ms = 0;   ///< Enrich + Propagate
+  double index_ms = 0;    ///< characterizing sets + inverted-index builds
+  double match_ms = 0;    ///< candidate probing + σ verification
 };
 
 /// σNL_ξ(n,m): the §4.7 distance on non-literal nodes — out-edges grouped
@@ -55,6 +62,12 @@ double SigmaNonLiteral(const TripleGraph& g, const WeightedPartition& xi,
 /// tests.
 std::vector<uint64_t> OutColorSet(const TripleGraph& g,
                                   const WeightedPartition& xi, NodeId n);
+
+/// Streams out-color_ξ(n) into `sets` — the CSR equivalent of OutColorSet,
+/// used by the alignment rounds and the pipeline bench (which must exercise
+/// this exact production build, not a copy).
+void AppendOutColorSet(const TripleGraph& g, const WeightedPartition& xi,
+                       NodeId n, CharacterizingSets& sets);
 
 /// Runs Algorithm 2 on the combined graph. When `hybrid` is non-null it is
 /// used as the ξ0 base partition (callers that already computed λ_Hybrid

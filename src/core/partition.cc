@@ -1,41 +1,82 @@
 #include "core/partition.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "util/hash.h"
+#include "util/scratch.h"
 
 namespace rdfalign {
+
+namespace {
+
+// Flat remap tables are only worth allocating when the incoming color ids
+// are not adversarially sparse. Every internal producer (refinement rounds,
+// enrichment, blanking) emits ids below 2n, so the fallback is effectively
+// test-only.
+bool RemapFitsFlatTable(ColorId max_color, size_t n) {
+  return static_cast<uint64_t>(max_color) < 2 * static_cast<uint64_t>(n) + 1024;
+}
+
+}  // namespace
 
 Partition Partition::FromColors(std::vector<ColorId> colors) {
   Partition p;
   p.colors_ = std::move(colors);
-  std::unordered_map<ColorId, ColorId> renumber;
-  renumber.reserve(p.colors_.size() / 4 + 8);
-  for (ColorId& c : p.colors_) {
-    auto [it, inserted] =
-        renumber.emplace(c, static_cast<ColorId>(renumber.size()));
-    c = it->second;
+  const size_t n = p.colors_.size();
+  if (n == 0) {
+    p.num_colors_ = 0;
+    return p;
   }
-  p.num_colors_ = renumber.size();
+  ColorId max_color = 0;
+  for (ColorId c : p.colors_) max_color = std::max(max_color, c);
+  if (RemapFitsFlatTable(max_color, n)) {
+    // One flat pass; the scratch table persists across calls so the
+    // refinement loop's per-round renumbering allocates nothing in steady
+    // state.
+    static thread_local std::vector<ColorId> remap;
+    remap.assign(static_cast<size_t>(max_color) + 1, kInvalidColor);
+    ColorId next = 0;
+    for (ColorId& c : p.colors_) {
+      ColorId& slot = remap[c];
+      if (slot == kInvalidColor) slot = next++;
+      c = slot;
+    }
+    p.num_colors_ = next;
+    TrimScratch(remap);
+  } else {
+    // Sparse ids (e.g. hand-crafted adversarial partitions): hash remap.
+    std::unordered_map<ColorId, ColorId> renumber;
+    renumber.reserve(n / 4 + 8);
+    for (ColorId& c : p.colors_) {
+      auto [it, inserted] =
+          renumber.emplace(c, static_cast<ColorId>(renumber.size()));
+      c = it->second;
+    }
+    p.num_colors_ = renumber.size();
+  }
   return p;
 }
 
 bool Partition::Equivalent(const Partition& a, const Partition& b) {
   if (a.NumNodes() != b.NumNodes()) return false;
   if (a.NumColors() != b.NumColors()) return false;
-  // Check that the color-to-color correspondence is a bijection.
-  std::unordered_map<ColorId, ColorId> a_to_b;
-  std::unordered_map<ColorId, ColorId> b_to_a;
-  a_to_b.reserve(a.NumColors());
-  b_to_a.reserve(b.NumColors());
+  // Check that the color-to-color correspondence is a bijection. Both color
+  // vectors are dense, so the two direction maps are flat arrays.
+  static thread_local std::vector<ColorId> a_to_b;
+  static thread_local std::vector<ColorId> b_to_a;
+  a_to_b.assign(a.NumColors(), kInvalidColor);
+  b_to_a.assign(b.NumColors(), kInvalidColor);
   for (size_t i = 0; i < a.NumNodes(); ++i) {
-    ColorId ca = a.colors_[i];
-    ColorId cb = b.colors_[i];
-    auto [it1, ins1] = a_to_b.emplace(ca, cb);
-    if (!ins1 && it1->second != cb) return false;
-    auto [it2, ins2] = b_to_a.emplace(cb, ca);
-    if (!ins2 && it2->second != ca) return false;
+    const ColorId ca = a.colors_[i];
+    const ColorId cb = b.colors_[i];
+    if (a_to_b[ca] == kInvalidColor) a_to_b[ca] = cb;
+    else if (a_to_b[ca] != cb) return false;
+    if (b_to_a[cb] == kInvalidColor) b_to_a[cb] = ca;
+    else if (b_to_a[cb] != ca) return false;
   }
+  TrimScratch(a_to_b);
+  TrimScratch(b_to_a);
   return true;
 }
 
@@ -43,61 +84,125 @@ bool Partition::IsFinerOrEqual(const Partition& fine,
                                const Partition& coarse) {
   if (fine.NumNodes() != coarse.NumNodes()) return false;
   // Each fine class must map into exactly one coarse class.
-  std::unordered_map<ColorId, ColorId> fine_to_coarse;
-  fine_to_coarse.reserve(fine.NumColors());
+  static thread_local std::vector<ColorId> fine_to_coarse;
+  fine_to_coarse.assign(fine.NumColors(), kInvalidColor);
   for (size_t i = 0; i < fine.NumNodes(); ++i) {
-    auto [it, inserted] =
-        fine_to_coarse.emplace(fine.colors_[i], coarse.colors_[i]);
-    if (!inserted && it->second != coarse.colors_[i]) return false;
+    ColorId& slot = fine_to_coarse[fine.colors_[i]];
+    if (slot == kInvalidColor) slot = coarse.colors_[i];
+    else if (slot != coarse.colors_[i]) return false;
   }
   return true;
 }
 
-std::vector<std::vector<NodeId>> Partition::Classes() const {
-  std::vector<std::vector<NodeId>> out(num_colors_);
-  for (NodeId i = 0; i < colors_.size(); ++i) {
-    out[colors_[i]].push_back(i);
+PartitionClasses Partition::Classes() const {
+  PartitionClasses out;
+  out.offsets.assign(num_colors_ + 1, 0);
+  for (ColorId c : colors_) ++out.offsets[c + 1];
+  for (size_t c = 0; c < num_colors_; ++c) {
+    out.offsets[c + 1] += out.offsets[c];
   }
+  out.members.resize(colors_.size());
+  static thread_local std::vector<uint64_t> cursor;
+  cursor.assign(out.offsets.begin(), out.offsets.end() - 1);
+  for (NodeId i = 0; i < colors_.size(); ++i) {
+    out.members[cursor[colors_[i]]++] = i;
+  }
+  TrimScratch(cursor);
   return out;
 }
 
-Partition LabelPartition(const TripleGraph& g) {
+namespace {
+
+// The flat (kind, lex) -> color tables below are sized by the dictionary,
+// which in shared-dictionary archive workloads holds the terms of *every*
+// version — much larger than one pair's node set. Only pay the O(terms)
+// table clear when the dictionary is commensurate with the graph.
+bool LabelTableFitsFlat(const TripleGraph& g) {
+  return g.dict().size() <= 4 * g.NumNodes() + 1024;
+}
+
+/// Hash-keyed coloring for the dictionary >> graph case; same
+/// first-occurrence color assignment as the flat path.
+template <typename KeyFn>
+Partition HashLabelColors(const TripleGraph& g, bool blanks_singleton,
+                          KeyFn key_of) {
   std::vector<ColorId> colors(g.NumNodes());
   std::unordered_map<uint64_t, ColorId> by_label;
   by_label.reserve(g.NumNodes());
-  // All blanks share a reserved key; URIs/literals key on (kind, lex).
-  constexpr uint64_t kBlankKey = ~0ULL;
+  ColorId next = 0;
+  ColorId blank_color = kInvalidColor;
   for (NodeId i = 0; i < g.NumNodes(); ++i) {
-    uint64_t key;
     if (g.IsBlank(i)) {
-      key = kBlankKey;
-    } else {
-      key = (static_cast<uint64_t>(g.KindOf(i)) << 33) | g.LexicalId(i);
+      if (blanks_singleton) {
+        colors[i] = next++;
+      } else {
+        if (blank_color == kInvalidColor) blank_color = next++;
+        colors[i] = blank_color;
+      }
+      continue;
     }
-    auto [it, inserted] =
-        by_label.emplace(key, static_cast<ColorId>(by_label.size()));
+    auto [it, inserted] = by_label.emplace(key_of(i), next);
+    if (inserted) ++next;
     colors[i] = it->second;
   }
   return Partition::FromColors(std::move(colors));
 }
 
-Partition TrivialPartition(const TripleGraph& g) {
+}  // namespace
+
+Partition LabelPartition(const TripleGraph& g) {
+  auto key_of = [&](NodeId i) {
+    return (static_cast<uint64_t>(g.KindOf(i)) << 33) | g.LexicalId(i);
+  };
+  if (!LabelTableFitsFlat(g)) {
+    return HashLabelColors(g, /*blanks_singleton=*/false, key_of);
+  }
   std::vector<ColorId> colors(g.NumNodes());
-  std::unordered_map<uint64_t, ColorId> by_label;
-  by_label.reserve(g.NumNodes());
+  // Lexical ids are dense, so the (kind, lex) -> color map is a flat table
+  // with one stripe per non-blank term kind. All blanks share one color.
+  const size_t terms = g.dict().size();
+  static thread_local std::vector<ColorId> by_label;
+  by_label.assign(2 * terms, kInvalidColor);
+  ColorId next = 0;
+  ColorId blank_color = kInvalidColor;
+  for (NodeId i = 0; i < g.NumNodes(); ++i) {
+    if (g.IsBlank(i)) {
+      if (blank_color == kInvalidColor) blank_color = next++;
+      colors[i] = blank_color;
+      continue;
+    }
+    ColorId& slot =
+        by_label[static_cast<size_t>(g.KindOf(i)) * terms + g.LexicalId(i)];
+    if (slot == kInvalidColor) slot = next++;
+    colors[i] = slot;
+  }
+  TrimScratch(by_label);
+  return Partition::FromColors(std::move(colors));
+}
+
+Partition TrivialPartition(const TripleGraph& g) {
+  auto key_of = [&](NodeId i) {
+    return (static_cast<uint64_t>(g.KindOf(i)) << 33) | g.LexicalId(i);
+  };
+  if (!LabelTableFitsFlat(g)) {
+    return HashLabelColors(g, /*blanks_singleton=*/true, key_of);
+  }
+  std::vector<ColorId> colors(g.NumNodes());
+  const size_t terms = g.dict().size();
+  static thread_local std::vector<ColorId> by_label;
+  by_label.assign(2 * terms, kInvalidColor);  // URIs and literals only
   ColorId next = 0;
   for (NodeId i = 0; i < g.NumNodes(); ++i) {
     if (g.IsBlank(i)) {
       colors[i] = next++;  // singleton class per blank node
       continue;
     }
-    uint64_t key = (static_cast<uint64_t>(g.KindOf(i)) << 33) | g.LexicalId(i);
-    auto it = by_label.find(key);
-    if (it == by_label.end()) {
-      it = by_label.emplace(key, next++).first;
-    }
-    colors[i] = it->second;
+    ColorId& slot =
+        by_label[static_cast<size_t>(g.KindOf(i)) * terms + g.LexicalId(i)];
+    if (slot == kInvalidColor) slot = next++;
+    colors[i] = slot;
   }
+  TrimScratch(by_label);
   return Partition::FromColors(std::move(colors));
 }
 

@@ -5,11 +5,18 @@
 // Partition instance — the paper's structured colors (derivation trees) are
 // realized by hash-consing signatures in the refinement engine, exactly the
 // "compact DAG + hashing" representation §3.2 describes.
+//
+// Every operation on this class is an O(n) array pass over the dense
+// ColorIds: because colors_ is always densely renumbered (an invariant
+// FromColors establishes), color-keyed lookups use flat arrays indexed by
+// ColorId instead of hash maps. The reference hash-map implementations live
+// in core/pipeline_legacy.h for the A/B benches and equivalence tests.
 
 #ifndef RDFALIGN_CORE_PARTITION_H_
 #define RDFALIGN_CORE_PARTITION_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "rdf/graph.h"
@@ -19,6 +26,24 @@ namespace rdfalign {
 
 /// Dense color identifier within one Partition.
 using ColorId = uint32_t;
+
+/// Sentinel for "no color assigned yet" in flat remap tables. A partition
+/// can never legitimately hold 2^32 - 1 classes (that would need 2^32
+/// nodes, beyond the NodeId space).
+inline constexpr ColorId kInvalidColor = 0xffffffffu;
+
+/// CSR view of a partition's classes: the members of class c are
+/// `members[offsets[c] .. offsets[c+1])`, ascending node ids. Built with
+/// one counting pass — two flat arrays, no per-class vectors.
+struct PartitionClasses {
+  std::vector<uint64_t> offsets;  ///< NumColors() + 1 entries
+  std::vector<NodeId> members;    ///< NumNodes() entries
+
+  size_t size() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  std::span<const NodeId> operator[](size_t c) const {
+    return {members.data() + offsets[c], offsets[c + 1] - offsets[c]};
+  }
+};
 
 /// A partition λ : N_G -> C with dense integer colors.
 class Partition {
@@ -30,7 +55,8 @@ class Partition {
       : colors_(num_nodes, 0), num_colors_(num_nodes == 0 ? 0 : 1) {}
 
   /// Adopts a color vector; renumbers colors densely (first-occurrence
-  /// order) and records the class count.
+  /// order) and records the class count. Input colors need not be dense or
+  /// contiguous.
   static Partition FromColors(std::vector<ColorId> colors);
 
   size_t NumNodes() const { return colors_.size(); }
@@ -47,8 +73,8 @@ class Partition {
   /// in a class of `coarse` (R_fine ⊆ R_coarse).
   static bool IsFinerOrEqual(const Partition& fine, const Partition& coarse);
 
-  /// Groups node ids by color; result[c] lists the members of class c.
-  std::vector<std::vector<NodeId>> Classes() const;
+  /// Groups node ids by color as a CSR (members ascending within a class).
+  PartitionClasses Classes() const;
 
  private:
   std::vector<ColorId> colors_;

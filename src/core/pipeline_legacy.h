@@ -1,0 +1,80 @@
+// Reference (pre-flat-rewrite) implementations of the alignment pipeline's
+// glue: hash-map/tree-based Partition ops, edge/delta statistics, pair
+// enumeration, and the unordered-map inverted index of Algorithm 1.
+//
+// These are the exact algorithms the dense-ID rewrite replaced. They are
+// kept — like RefinementOptions{.incremental=false} keeps the full-rescan
+// refinement engine — for two purposes:
+//   * bench/pipeline_bench.cc A/Bs each phase against them and refuses to
+//     emit BENCH_pipeline.json unless the outputs are identical;
+//   * tests/pipeline_equivalence_test.cc uses them as oracles on random,
+//     non-contiguous, and adversarial inputs.
+// They are NOT on any production path; do not "optimize" them — their value
+// is being a faithful copy of the old semantics.
+
+#ifndef RDFALIGN_CORE_PIPELINE_LEGACY_H_
+#define RDFALIGN_CORE_PIPELINE_LEGACY_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/alignment.h"
+#include "core/delta.h"
+#include "core/enrich.h"
+#include "core/overlap.h"
+#include "core/partition.h"
+#include "rdf/merge.h"
+
+namespace rdfalign::legacy {
+
+/// Per-node characterizing sets as the pre-rewrite per-node heap vectors.
+using VectorCharSets = std::vector<std::vector<uint64_t>>;
+
+/// First-occurrence dense renumbering via std::unordered_map (the old
+/// Partition::FromColors). Returns the renumbered vector and class count.
+std::pair<std::vector<ColorId>, size_t> RenumberFirstOccurrence(
+    std::vector<ColorId> colors);
+
+/// Hash-map bijection check (the old Partition::Equivalent).
+bool PartitionEquivalent(const Partition& a, const Partition& b);
+
+/// Hash-map refinement check (the old Partition::IsFinerOrEqual).
+bool PartitionIsFinerOrEqual(const Partition& fine, const Partition& coarse);
+
+/// Per-class member vectors (the old Partition::Classes shape).
+std::vector<std::vector<NodeId>> PartitionClassesVectors(const Partition& p);
+
+/// The old hash-keyed label partitions.
+Partition LabelPartition(const TripleGraph& g);
+Partition TrivialPartition(const TripleGraph& g);
+
+/// The old hash-set edge-alignment statistics.
+EdgeAlignmentStats ComputeEdgeAlignment(const CombinedGraph& cg,
+                                        const Partition& p);
+
+/// The old hash-multiset delta.
+RdfDelta ComputeDelta(const CombinedGraph& cg, const Partition& p);
+
+/// The old unordered-map pair enumeration (class iteration order follows
+/// the hash map, so pair order is unspecified; contents are what matter).
+std::vector<std::pair<NodeId, NodeId>> EnumerateAlignedPairs(
+    const CombinedGraph& cg, const Partition& p, size_t limit = SIZE_MAX);
+
+/// The old std::set/std::multimap crossover check.
+bool HasCrossoverProperty(const std::vector<std::pair<NodeId, NodeId>>& pairs);
+
+/// Algorithm 1 with the old unordered_map<uint64_t, vector<uint32_t>>
+/// inverted index over per-node heap vectors. Deterministic: produces the
+/// same edge list and counter values as the CSR rewrite.
+BipartiteMatching OverlapMatch(
+    const std::vector<NodeId>& a_nodes, const std::vector<NodeId>& b_nodes,
+    const VectorCharSets& a_char, const VectorCharSets& b_char, double theta,
+    const std::function<double(size_t, size_t)>& sigma,
+    const OverlapMatchOptions& options = {},
+    OverlapMatchStats* stats = nullptr);
+
+}  // namespace rdfalign::legacy
+
+#endif  // RDFALIGN_CORE_PIPELINE_LEGACY_H_

@@ -23,8 +23,20 @@ class CombinedGraph {
   /// them from one GraphBuilder dictionary, or parse with a shared
   /// dictionary); otherwise the label spaces are not comparable and an
   /// InvalidArgument status is returned.
+  ///
+  /// Because both inputs are already sorted and CSR-indexed and the shifted
+  /// target ids all exceed the source ids, the union's triple list and both
+  /// CSR indexes are plain concatenations (with the id offset applied) —
+  /// no re-sort, re-dedup, or re-index. Bit-identical to re-indexing from
+  /// scratch; BuildLegacy keeps that path for the A/B bench and tests.
   static Result<CombinedGraph> Build(const TripleGraph& g1,
                                      const TripleGraph& g2);
+
+  /// The pre-rewrite implementation: concatenate parts and rebuild every
+  /// index through TripleGraph::FromParts. Reference baseline for
+  /// bench/pipeline_bench.cc and the equivalence tests only.
+  static Result<CombinedGraph> BuildLegacy(const TripleGraph& g1,
+                                           const TripleGraph& g2);
 
   const TripleGraph& graph() const { return graph_; }
 

@@ -1,0 +1,29 @@
+// Reused thread-local scratch buffers: the dense-ID pipeline keeps its key
+// and table buffers in function-static thread_local vectors so that
+// steady-state calls allocate nothing. The flip side is high-water-mark
+// retention: one huge alignment would otherwise pin its capacity for the
+// rest of the thread's life. TrimScratch bounds that — call it on a scratch
+// vector after its last use in a pass, while it still holds this call's
+// working set.
+
+#ifndef RDFALIGN_UTIL_SCRATCH_H_
+#define RDFALIGN_UTIL_SCRATCH_H_
+
+#include <vector>
+
+namespace rdfalign {
+
+/// Releases a scratch vector's memory when its capacity vastly exceeds the
+/// size this call actually used (8x, with slack so tiny buffers are left
+/// alone). Same-magnitude workloads keep their buffers; a small call after
+/// a huge one returns the huge allocation.
+template <typename T>
+void TrimScratch(std::vector<T>& v) {
+  if (v.capacity() > 8 * (v.size() + 64)) {
+    v.shrink_to_fit();
+  }
+}
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_UTIL_SCRATCH_H_

@@ -22,17 +22,9 @@ std::vector<std::string_view> Split(std::string_view s, char sep) {
 
 std::vector<std::string> SplitWords(std::string_view s) {
   std::vector<std::string> out;
-  std::string cur;
-  for (char c : s) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      cur.push_back(
-          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-    } else if (!cur.empty()) {
-      out.push_back(std::move(cur));
-      cur.clear();
-    }
-  }
-  if (!cur.empty()) out.push_back(std::move(cur));
+  std::string scratch;
+  ForEachWord(s, scratch,
+              [&](std::string_view word) { out.emplace_back(word); });
   return out;
 }
 

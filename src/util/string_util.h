@@ -4,6 +4,7 @@
 #ifndef RDFALIGN_UTIL_STRING_UTIL_H_
 #define RDFALIGN_UTIL_STRING_UTIL_H_
 
+#include <cctype>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +13,29 @@ namespace rdfalign {
 
 /// Splits on a single character; empty fields are kept.
 std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// The single definition of the Algorithm 2 `split` tokenization: invokes
+/// `fn(word)` for each maximal run of alphanumeric characters of `s`,
+/// lower-cased into `scratch` (reused between words, cleared on return).
+/// SplitWords and the overlap aligner's streaming word interner are both
+/// built on this so their word boundaries can never diverge.
+template <typename Fn>
+void ForEachWord(std::string_view s, std::string& scratch, Fn&& fn) {
+  scratch.clear();
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      scratch.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!scratch.empty()) {
+      fn(std::string_view(scratch));
+      scratch.clear();
+    }
+  }
+  if (!scratch.empty()) {
+    fn(std::string_view(scratch));
+    scratch.clear();
+  }
+}
 
 /// Splits into maximal runs of alphanumeric characters, lower-cased.
 /// This is the `split` node-characterizing function of Algorithm 2: a

@@ -50,11 +50,19 @@ TEST(PartitionTest, FinerOrEqual) {
 
 TEST(PartitionTest, ClassesGroupsMembers) {
   Partition p = Partition::FromColors({0, 1, 0, 1, 2});
-  auto classes = p.Classes();
+  PartitionClasses classes = p.Classes();
   ASSERT_EQ(classes.size(), 3u);
-  EXPECT_EQ(classes[p.ColorOf(0)], (std::vector<NodeId>{0, 2}));
-  EXPECT_EQ(classes[p.ColorOf(1)], (std::vector<NodeId>{1, 3}));
-  EXPECT_EQ(classes[p.ColorOf(4)], (std::vector<NodeId>{4}));
+  auto members = [&](ColorId c) {
+    std::span<const NodeId> s = classes[c];
+    return std::vector<NodeId>(s.begin(), s.end());
+  };
+  EXPECT_EQ(members(p.ColorOf(0)), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(members(p.ColorOf(1)), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(members(p.ColorOf(4)), (std::vector<NodeId>{4}));
+  // CSR shape: offsets cover every node exactly once.
+  EXPECT_EQ(classes.offsets.front(), 0u);
+  EXPECT_EQ(classes.offsets.back(), p.NumNodes());
+  EXPECT_EQ(classes.members.size(), p.NumNodes());
 }
 
 TEST(LabelPartitionTest, GroupsBlanksTogetherAndLabelsApart) {

@@ -1,0 +1,423 @@
+// Equivalence of the flat dense-ID pipeline against the legacy hash-map
+// implementations (core/pipeline_legacy.h) — the ISSUE 4 contract: the
+// rewrite must be a pure representation change, with bit-identical outputs.
+//
+// Covers random partitions (dense, non-contiguous, adversarially sparse
+// color ids), the label-keyed partition constructors, the merge fast path,
+// edge/delta statistics, pair enumeration, the crossover checker, and the
+// byte-identity of OverlapMatch (edges *and* counters) on seeded instances.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "core/alignment.h"
+#include "core/delta.h"
+#include "core/edit_distance.h"
+#include "core/hybrid.h"
+#include "core/overlap_align.h"
+#include "core/pipeline_legacy.h"
+#include "gen/category_gen.h"
+#include "gen/textgen.h"
+#include "rdf/merge.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace rdfalign {
+namespace {
+
+// ---------------------------------------------------------------- helpers ---
+
+/// Random color vector. `style` 0: dense-ish ids in [0, n); 1: sparse
+/// non-contiguous ids (multiples of 7 plus an offset); 2: adversarial ids
+/// spread over the whole 32-bit range (forces the hash fallback).
+std::vector<ColorId> RandomColors(Rng& rng, size_t n, int style) {
+  std::vector<ColorId> colors(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (style) {
+      case 0:
+        colors[i] = static_cast<ColorId>(rng.Uniform(std::max<size_t>(n, 1)));
+        break;
+      case 1:
+        colors[i] = static_cast<ColorId>(
+            7 * rng.Uniform(std::max<size_t>(n / 2, 1)) + 13);
+        break;
+      default:
+        colors[i] = static_cast<ColorId>(rng.Uniform(0xffffffffULL)) |
+                    (i % 3 == 0 ? 0x80000000u : 0u);
+        break;
+    }
+  }
+  return colors;
+}
+
+std::pair<TripleGraph, TripleGraph> RandomVersionPair(uint64_t seed) {
+  gen::CategoryChain chain = gen::CategoryChain::Generate(
+      gen::CategoryOptions::FromScale(0.05, /*versions=*/2, seed));
+  return {chain.Version(0), chain.Version(1)};
+}
+
+// ------------------------------------------------------------- partitions ---
+
+TEST(FlatPartitionEquivalence, FromColorsMatchesLegacyOnRandomInputs) {
+  Rng rng(7);
+  for (int style = 0; style < 3; ++style) {
+    for (size_t trial = 0; trial < 40; ++trial) {
+      const size_t n = rng.Uniform(300);
+      std::vector<ColorId> colors = RandomColors(rng, n, style);
+      Partition flat = Partition::FromColors(colors);
+      auto [legacy_colors, legacy_count] =
+          legacy::RenumberFirstOccurrence(colors);
+      EXPECT_EQ(flat.colors(), legacy_colors)
+          << "style=" << style << " trial=" << trial;
+      EXPECT_EQ(flat.NumColors(), legacy_count);
+    }
+  }
+}
+
+TEST(FlatPartitionEquivalence, FromColorsHandlesAdversarialSentinelValues) {
+  // Ids at the very top of the 32-bit range (including the sentinel value
+  // used by the flat remap tables) must renumber like any other id.
+  std::vector<ColorId> colors = {0xffffffffu, 0, 0xffffffffu, 0xfffffffeu, 0};
+  Partition p = Partition::FromColors(colors);
+  auto [legacy_colors, legacy_count] =
+      legacy::RenumberFirstOccurrence(colors);
+  EXPECT_EQ(p.colors(), legacy_colors);
+  EXPECT_EQ(p.NumColors(), legacy_count);
+  EXPECT_EQ(p.NumColors(), 3u);
+}
+
+TEST(FlatPartitionEquivalence, EquivalentAndFinerMatchLegacy) {
+  Rng rng(11);
+  for (size_t trial = 0; trial < 60; ++trial) {
+    const size_t n = 1 + rng.Uniform(200);
+    Partition a = Partition::FromColors(RandomColors(rng, n, trial % 3));
+    // b is either a color-permuted copy of a, a coarsening, or independent.
+    Partition b;
+    switch (trial % 3) {
+      case 0: {  // permuted copy: equivalent to a
+        std::vector<ColorId> permuted(a.colors());
+        for (ColorId& c : permuted) c = static_cast<ColorId>(c * 2654435761u);
+        b = Partition::FromColors(std::move(permuted));
+        break;
+      }
+      case 1: {  // coarsening: a is finer or equal
+        std::vector<ColorId> coarse(a.colors());
+        for (ColorId& c : coarse) c /= 2;
+        b = Partition::FromColors(std::move(coarse));
+        break;
+      }
+      default:
+        b = Partition::FromColors(RandomColors(rng, n, 0));
+        break;
+    }
+    EXPECT_EQ(Partition::Equivalent(a, b), legacy::PartitionEquivalent(a, b))
+        << trial;
+    EXPECT_EQ(Partition::IsFinerOrEqual(a, b),
+              legacy::PartitionIsFinerOrEqual(a, b))
+        << trial;
+    EXPECT_EQ(Partition::IsFinerOrEqual(b, a),
+              legacy::PartitionIsFinerOrEqual(b, a))
+        << trial;
+    EXPECT_TRUE(Partition::Equivalent(a, a));
+    EXPECT_TRUE(Partition::IsFinerOrEqual(a, a));
+  }
+}
+
+TEST(FlatPartitionEquivalence, ClassesCsrMatchesLegacyVectors) {
+  Rng rng(13);
+  for (size_t trial = 0; trial < 30; ++trial) {
+    const size_t n = rng.Uniform(250);
+    Partition p = Partition::FromColors(RandomColors(rng, n, trial % 3));
+    PartitionClasses csr = p.Classes();
+    std::vector<std::vector<NodeId>> legacy_classes =
+        legacy::PartitionClassesVectors(p);
+    ASSERT_EQ(csr.size(), legacy_classes.size());
+    for (size_t c = 0; c < csr.size(); ++c) {
+      std::span<const NodeId> members = csr[c];
+      EXPECT_TRUE(std::equal(members.begin(), members.end(),
+                             legacy_classes[c].begin(),
+                             legacy_classes[c].end()))
+          << "class " << c;
+    }
+  }
+}
+
+TEST(FlatPartitionEquivalence, LabelKeyedConstructorsMatchLegacy) {
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    auto [g1, g2] = RandomVersionPair(seed);
+    auto cg = CombinedGraph::Build(g1, g2).value();
+    const TripleGraph& g = cg.graph();
+    EXPECT_EQ(LabelPartition(g).colors(), legacy::LabelPartition(g).colors());
+    EXPECT_EQ(TrivialPartition(g).colors(),
+              legacy::TrivialPartition(g).colors());
+  }
+}
+
+TEST(FlatPartitionEquivalence, LabelKeyedConstructorsWithOversizedDictionary) {
+  // Archive workloads share one Dictionary across many versions, so the
+  // dictionary can dwarf one graph's node set; the constructors then take
+  // the hash path instead of clearing an O(terms) flat table. Same colors
+  // either way.
+  auto dict = std::make_shared<Dictionary>();
+  for (int i = 0; i < 20000; ++i) {
+    dict->Intern("ex:unrelated-term-" + std::to_string(i));
+  }
+  GraphBuilder b(dict);
+  NodeId s = b.AddUri("ex:s");
+  NodeId p = b.AddUri("ex:p");
+  NodeId lit = b.AddLiteral("hello");
+  NodeId blank1 = b.AddBlank("b1");
+  NodeId blank2 = b.AddBlank("b2");
+  b.AddTriple(s, p, lit);
+  b.AddTriple(blank1, p, lit);
+  b.AddTriple(blank2, p, lit);
+  TripleGraph g = std::move(b.Build(true)).value();
+  ASSERT_GT(g.dict().size(), 4 * g.NumNodes() + 1024);
+  EXPECT_EQ(LabelPartition(g).colors(), legacy::LabelPartition(g).colors());
+  EXPECT_EQ(TrivialPartition(g).colors(),
+            legacy::TrivialPartition(g).colors());
+  // Blanks: one shared class under ℓ_G, singletons under λ_Trivial.
+  Partition lp = LabelPartition(g);
+  EXPECT_EQ(lp.ColorOf(blank1), lp.ColorOf(blank2));
+  Partition tp = TrivialPartition(g);
+  EXPECT_NE(tp.ColorOf(blank1), tp.ColorOf(blank2));
+}
+
+// ------------------------------------------------------------------ merge ---
+
+TEST(MergeEquivalence, FastBuildIsBitIdenticalToLegacyReindex) {
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    auto [g1, g2] = RandomVersionPair(seed);
+    auto fast = CombinedGraph::Build(g1, g2).value();
+    auto slow = CombinedGraph::BuildLegacy(g1, g2).value();
+    ASSERT_TRUE(LabeledGraphsEqual(fast.graph(), slow.graph())) << seed;
+    // The CSR indexes must match element for element, not just semantically.
+    auto spans_equal = [](auto a, auto b) {
+      return std::equal(a.begin(), a.end(), b.begin(), b.end());
+    };
+    EXPECT_TRUE(spans_equal(fast.graph().OutOffsets(),
+                            slow.graph().OutOffsets()));
+    EXPECT_TRUE(spans_equal(fast.graph().OutPairs(),
+                            slow.graph().OutPairs()));
+    EXPECT_TRUE(spans_equal(fast.graph().InOffsets(),
+                            slow.graph().InOffsets()));
+    EXPECT_TRUE(spans_equal(fast.graph().InSubjects(),
+                            slow.graph().InSubjects()));
+    EXPECT_EQ(fast.n1(), slow.n1());
+    EXPECT_EQ(fast.e2(), slow.e2());
+    // Node lookup by label behaves the same (first match wins per side).
+    EXPECT_EQ(fast.graph().FindUri("not-there"), kInvalidNode);
+  }
+}
+
+TEST(MergeEquivalence, EmptySidesMerge) {
+  auto dict = std::make_shared<Dictionary>();
+  GraphBuilder b1(dict);
+  b1.AddUriTriple("ex:s", "ex:p", "ex:o");
+  GraphBuilder b2(dict);
+  auto g1 = std::move(b1.Build(true)).value();
+  auto g2 = std::move(b2.Build(true)).value();
+  auto fast = CombinedGraph::Build(g1, g2).value();
+  auto slow = CombinedGraph::BuildLegacy(g1, g2).value();
+  EXPECT_TRUE(LabeledGraphsEqual(fast.graph(), slow.graph()));
+  auto fast2 = CombinedGraph::Build(g2, g1).value();
+  auto slow2 = CombinedGraph::BuildLegacy(g2, g1).value();
+  EXPECT_TRUE(LabeledGraphsEqual(fast2.graph(), slow2.graph()));
+  EXPECT_EQ(fast2.n1(), 0u);
+}
+
+// -------------------------------------------------------------- statistics ---
+
+TEST(StatsEquivalence, EdgeAlignmentAndDeltaMatchLegacy) {
+  for (uint64_t seed : {3ull, 4ull, 5ull, 6ull}) {
+    auto [g1, g2] = RandomVersionPair(seed);
+    auto cg = CombinedGraph::Build(g1, g2).value();
+    for (int method = 0; method < 2; ++method) {
+      Partition p = method == 0 ? TrivialPartition(cg.graph())
+                                : HybridPartition(cg);
+      EdgeAlignmentStats flat_stats = ComputeEdgeAlignment(cg, p);
+      EdgeAlignmentStats legacy_stats = legacy::ComputeEdgeAlignment(cg, p);
+      EXPECT_EQ(flat_stats.total_edges, legacy_stats.total_edges);
+      EXPECT_EQ(flat_stats.aligned_edges, legacy_stats.aligned_edges);
+
+      RdfDelta flat_delta = ComputeDelta(cg, p);
+      RdfDelta legacy_delta = legacy::ComputeDelta(cg, p);
+      EXPECT_EQ(flat_delta.unchanged, legacy_delta.unchanged);
+      // added/deleted preserve triple order exactly.
+      EXPECT_EQ(flat_delta.added, legacy_delta.added);
+      EXPECT_EQ(flat_delta.deleted, legacy_delta.deleted);
+      // The legacy rename order followed unordered_map iteration; compare
+      // as sets of (source, target) node pairs.
+      auto rename_set = [](const RdfDelta& d) {
+        std::set<std::pair<NodeId, NodeId>> out;
+        for (const UriRename& r : d.renamed_uris) {
+          out.emplace(r.source, r.target);
+        }
+        return out;
+      };
+      EXPECT_EQ(rename_set(flat_delta), rename_set(legacy_delta));
+      EXPECT_EQ(flat_delta.renamed_uris.size(),
+                legacy_delta.renamed_uris.size());
+    }
+  }
+}
+
+TEST(StatsEquivalence, PairEnumerationAndCrossoverMatchLegacy) {
+  for (uint64_t seed : {2ull, 3ull}) {
+    auto [g1, g2] = RandomVersionPair(seed);
+    auto cg = CombinedGraph::Build(g1, g2).value();
+    Partition p = HybridPartition(cg);
+    auto flat_pairs = EnumerateAlignedPairs(cg, p);
+    auto legacy_pairs = legacy::EnumerateAlignedPairs(cg, p);
+    std::set<std::pair<NodeId, NodeId>> flat_set(flat_pairs.begin(),
+                                                 flat_pairs.end());
+    std::set<std::pair<NodeId, NodeId>> legacy_set(legacy_pairs.begin(),
+                                                   legacy_pairs.end());
+    EXPECT_EQ(flat_set, legacy_set);
+    EXPECT_EQ(flat_pairs.size(), legacy_pairs.size());
+    EXPECT_EQ(HasCrossoverProperty(flat_pairs),
+              legacy::HasCrossoverProperty(flat_pairs));
+    EXPECT_TRUE(HasCrossoverProperty(flat_pairs));
+    // Limit still respected, deterministically.
+    auto limited = EnumerateAlignedPairs(cg, p, 5);
+    EXPECT_LE(limited.size(), 5u);
+    EXPECT_EQ(limited, EnumerateAlignedPairs(cg, p, 5));
+  }
+}
+
+TEST(StatsEquivalence, CrossoverCheckerAgreesOnViolations) {
+  std::vector<std::pair<NodeId, NodeId>> bad = {{1, 10}, {1, 11}, {2, 10}};
+  EXPECT_FALSE(HasCrossoverProperty(bad));
+  EXPECT_FALSE(legacy::HasCrossoverProperty(bad));
+  bad.emplace_back(2, 11);
+  EXPECT_TRUE(HasCrossoverProperty(bad));
+  EXPECT_TRUE(legacy::HasCrossoverProperty(bad));
+  // Duplicated pairs must not change the verdict.
+  bad.push_back(bad.front());
+  EXPECT_EQ(HasCrossoverProperty(bad), legacy::HasCrossoverProperty(bad));
+}
+
+// ------------------------------------------------------------ OverlapMatch ---
+
+/// Word-set fixture in both representations (CSR and per-node vectors).
+struct DualFixture {
+  std::vector<NodeId> a_nodes;
+  std::vector<NodeId> b_nodes;
+  CharacterizingSets a_csr;
+  CharacterizingSets b_csr;
+  legacy::VectorCharSets a_vec;
+  legacy::VectorCharSets b_vec;
+  std::vector<std::string> a_text;
+  std::vector<std::string> b_text;
+};
+
+DualFixture MakeDualFixture(uint64_t seed, size_t n, double typo_prob) {
+  Rng rng(seed);
+  DualFixture f;
+  std::unordered_map<std::string, uint64_t> words;
+  auto charset = [&](const std::string& text) {
+    std::vector<uint64_t> ids;
+    for (const std::string& w : SplitWords(text)) {
+      auto [it, ins] = words.emplace(w, words.size());
+      ids.push_back(it->second);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    std::string base = gen::RandomSentence(rng, 3, 7);
+    std::string evolved =
+        rng.Bernoulli(typo_prob) ? gen::ApplyTypo(base, rng) : base;
+    f.a_nodes.push_back(static_cast<NodeId>(i));
+    f.b_nodes.push_back(static_cast<NodeId>(10000 + i));
+    f.a_text.push_back(base);
+    f.b_text.push_back(evolved);
+    std::vector<uint64_t> ca = charset(base);
+    std::vector<uint64_t> cb = charset(evolved);
+    f.a_csr.push_back(ca);
+    f.b_csr.push_back(cb);
+    f.a_vec.push_back(std::move(ca));
+    f.b_vec.push_back(std::move(cb));
+  }
+  return f;
+}
+
+class OverlapMatchByteIdentity
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double, bool>> {};
+
+TEST_P(OverlapMatchByteIdentity, EdgesAndCountersAreIdenticalToLegacy) {
+  auto [seed, theta, paper_prefix] = GetParam();
+  DualFixture f = MakeDualFixture(seed, 50, 0.5);
+  auto sigma = [&](size_t ai, size_t bi) {
+    // Deterministic, representation-independent distance.
+    return NormalizedEditDistance(f.a_text[ai], f.b_text[bi]);
+  };
+  OverlapMatchOptions options;
+  options.paper_prefix = paper_prefix;
+  OverlapMatchStats flat_stats;
+  OverlapMatchStats legacy_stats;
+  BipartiteMatching flat = OverlapMatch(f.a_nodes, f.b_nodes, f.a_csr,
+                                        f.b_csr, theta, sigma, options,
+                                        &flat_stats);
+  BipartiteMatching legacy_h =
+      legacy::OverlapMatch(f.a_nodes, f.b_nodes, f.a_vec, f.b_vec, theta,
+                           sigma, options, &legacy_stats);
+  // Byte identity: same edges, same order, same distances, same counters.
+  ASSERT_EQ(flat.edges.size(), legacy_h.edges.size());
+  for (size_t i = 0; i < flat.edges.size(); ++i) {
+    EXPECT_EQ(flat.edges[i].a, legacy_h.edges[i].a) << i;
+    EXPECT_EQ(flat.edges[i].b, legacy_h.edges[i].b) << i;
+    EXPECT_EQ(flat.edges[i].distance, legacy_h.edges[i].distance) << i;
+  }
+  EXPECT_EQ(flat_stats.candidates_probed, legacy_stats.candidates_probed);
+  EXPECT_EQ(flat_stats.overlap_checked, legacy_stats.overlap_checked);
+  EXPECT_EQ(flat_stats.sigma_checked, legacy_stats.sigma_checked);
+  EXPECT_EQ(flat_stats.matched, legacy_stats.matched);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OverlapMatchByteIdentity,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(0.35, 0.65, 0.9),
+                       ::testing::Bool()));
+
+TEST(OverlapMatchByteIdentityTest, EmptyAndDegenerateInputs) {
+  DualFixture f = MakeDualFixture(9, 5, 0.0);
+  auto zero = [](size_t, size_t) { return 0.0; };
+  OverlapMatchStats s1, s2;
+  auto e1 = OverlapMatch({}, f.b_nodes, {}, f.b_csr, 0.5, zero, {}, &s1);
+  auto e2 = legacy::OverlapMatch({}, f.b_nodes, {}, f.b_vec, 0.5, zero, {},
+                                 &s2);
+  EXPECT_TRUE(e1.Empty());
+  EXPECT_TRUE(e2.Empty());
+  EXPECT_EQ(s1.candidates_probed, s2.candidates_probed);
+}
+
+// The full overlap alignment (word interning through Dictionary, streamed
+// CSR char sets) still produces the same partition as before the rewrite on
+// seeded version pairs — pinned against the aligner-level contract rather
+// than a copied implementation.
+TEST(OverlapAlignRegression, AlignedStatsStableAcrossRepresentations) {
+  for (uint64_t seed : {5ull, 6ull}) {
+    auto [g1, g2] = RandomVersionPair(seed);
+    auto cg = CombinedGraph::Build(g1, g2).value();
+    OverlapAlignResult r1 = OverlapAlign(cg);
+    OverlapAlignResult r2 = OverlapAlign(cg);
+    // Deterministic run-to-run.
+    EXPECT_EQ(r1.xi.partition.colors(), r2.xi.partition.colors());
+    EXPECT_EQ(r1.literal_matches, r2.literal_matches);
+    EXPECT_EQ(r1.nonliteral_matches, r2.nonliteral_matches);
+    // Anything the overlap method aligns must still satisfy crossover.
+    auto pairs = EnumerateAlignedPairs(cg, r1.xi.partition, 2000);
+    EXPECT_TRUE(HasCrossoverProperty(pairs));
+  }
+}
+
+}  // namespace
+}  // namespace rdfalign

@@ -320,6 +320,12 @@ int CmdAlign(const Args& args) {
                 path_b.c_str(), kind_b.c_str(), b->NumNodes(), b->NumEdges(),
                 load_b_ms);
     std::printf("  \"align_seconds\": %.4f,\n", o.seconds);
+    std::printf("  \"phases\": {\"merge_ms\": %.2f, \"refine_ms\": %.2f, "
+                "\"enrich_ms\": %.2f, \"overlap_index_ms\": %.2f, "
+                "\"match_ms\": %.2f, \"stats_ms\": %.2f},\n",
+                o.phases.merge_ms, o.phases.refine_ms, o.phases.enrich_ms,
+                o.phases.overlap_index_ms, o.phases.match_ms,
+                o.phases.stats_ms);
     std::printf("  \"aligned_edge_ratio\": %.6f,\n", o.edge_stats.Ratio());
     std::printf("  \"aligned_edges\": %zu,\n", o.edge_stats.aligned_edges);
     std::printf("  \"total_edges\": %zu,\n", o.edge_stats.total_edges);
@@ -344,6 +350,11 @@ int CmdAlign(const Args& args) {
                 load_b_ms);
     std::printf("  threads            : %zu\n", options.refinement.threads);
     std::printf("  align time         : %.3f s\n", o.seconds);
+    std::printf("  phases (ms)        : merge %.1f, refine %.1f, enrich %.1f,"
+                " index %.1f, match %.1f, stats %.1f\n",
+                o.phases.merge_ms, o.phases.refine_ms, o.phases.enrich_ms,
+                o.phases.overlap_index_ms, o.phases.match_ms,
+                o.phases.stats_ms);
     std::printf("  aligned edge ratio : %.4f (%zu / %zu)\n",
                 o.edge_stats.Ratio(), o.edge_stats.aligned_edges,
                 o.edge_stats.total_edges);
