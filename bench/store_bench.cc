@@ -1,8 +1,9 @@
-// Load-vs-reparse A/B of the snapshot store (the ISSUE 3 acceptance bench).
+// Load-vs-reparse A/B of the snapshot store (the ISSUE 3 acceptance
+// bench), plus the delta-chain A/B of the incremental store (ISSUE 5).
 //
-// At each fig16-style scale point a category graph is generated and saved
-// twice — as N-Triples text and as a binary snapshot — then ingested back
-// three ways:
+// Snapshot part (--mode=snapshot or all): at each fig16-style scale point
+// a category graph is generated and saved twice — as N-Triples text and
+// as a binary snapshot — then ingested back three ways:
 //
 //   reparse : ParseNTriplesFile (streaming text parse, the pre-store path)
 //   load    : LoadSnapshot, buffered read + checksum verification
@@ -11,22 +12,34 @@
 //             file; mmap saves the copy, not the read — see
 //             store/snapshot.h)
 //
+// Delta part (--mode=delta or all): a --versions-long category chain is
+// materialized three ways — reparsing every version, loading one full
+// snapshot per version, and loading the base snapshot then patch-replaying
+// the delta chain (store/delta.h) — and the replayed graphs must be
+// bit-identical (labels, triples, both CSR indexes) to the snapshot
+// loads, or the bench exits nonzero. This re-checks the ISSUE 5
+// acceptance invariant on every delta_bench_smoke / CI run.
+//
 // Each method is timed over several runs (best-of, files warm in the page
 // cache for every method alike) and the loaded graphs are checked equal to
 // the reparsed one. Emits BENCH_store.json; the checked-in copy at the
-// repo root is the reference run, and the store_bench_smoke ctest target
-// re-runs this at a tiny scale.
+// repo root is the reference run, and the store_bench_smoke /
+// delta_bench_smoke ctest targets re-run this at a tiny scale.
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/harness.h"
+#include "core/aligner.h"
+#include "core/delta.h"
 #include "gen/category_gen.h"
 #include "parser/ntriples_parser.h"
 #include "parser/ntriples_writer.h"
+#include "store/delta.h"
 #include "store/snapshot.h"
 #include "util/timer.h"
 
@@ -126,7 +139,136 @@ bool RunPoint(double scale_point, uint64_t seed, size_t runs,
   return true;
 }
 
+struct DeltaPointResult {
+  double scale_point = 0;
+  size_t versions = 0;
+  size_t nodes = 0;  ///< of the last version
+  size_t edges = 0;
+  uint64_t snap_total_bytes = 0;   ///< one full snapshot per version
+  uint64_t delta_total_bytes = 0;  ///< base snapshot + delta chain
+  double reparse_ms = 0;           ///< parse every version from N-Triples
+  double snap_load_ms = 0;         ///< load every version's snapshot
+  double replay_ms = 0;            ///< load base + patch-replay the chain
+  bool equal = false;
+};
+
+/// Bit-level graph equality (labels, triples, both CSR indexes) — the
+/// delta acceptance invariant, shared with the test suite via
+/// GraphsBitDiffer (rdf/graph.h).
+bool GraphsBitIdentical(const TripleGraph& a, const TripleGraph& b) {
+  return GraphsBitDiffer(a, b) == nullptr;
+}
+
+bool RunDeltaPoint(double scale_point, uint64_t seed, size_t runs,
+                   size_t versions, const std::string& tmp_prefix,
+                   DeltaPointResult* out) {
+  gen::CategoryChain chain = gen::CategoryChain::Generate(
+      gen::CategoryOptions::FromScale(scale_point, versions, seed));
+  const size_t v_count = chain.NumVersions();
+
+  DeltaPointResult r;
+  r.scale_point = scale_point;
+  r.versions = v_count;
+  r.nodes = chain.Version(v_count - 1).NumNodes();
+  r.edges = chain.Version(v_count - 1).NumEdges();
+
+  // The body runs inside a lambda so every exit — including mid-point
+  // failures — reaches the temp-file cleanup below.
+  std::vector<std::string> nt_paths, snap_paths, delta_paths;
+  const bool point_ok = [&]() -> bool {
+  // Inputs: per-version N-Triples + snapshots, and base + delta chain.
+  for (size_t v = 0; v < v_count; ++v) {
+    nt_paths.push_back(tmp_prefix + "_d" + std::to_string(v) + ".nt");
+    snap_paths.push_back(tmp_prefix + "_d" + std::to_string(v) + ".snap");
+    if (!WriteNTriplesFile(chain.Version(v), nt_paths[v]).ok() ||
+        !store::WriteSnapshot(chain.Version(v), snap_paths[v]).ok()) {
+      std::fprintf(stderr, "cannot write delta bench inputs under %s\n",
+                   tmp_prefix.c_str());
+      return false;
+    }
+    r.snap_total_bytes += std::filesystem::file_size(snap_paths[v]);
+  }
+  r.delta_total_bytes = std::filesystem::file_size(snap_paths[0]);
+  Aligner aligner;  // hybrid, the `rdfalign diff` default
+  for (size_t v = 1; v < v_count; ++v) {
+    delta_paths.push_back(tmp_prefix + "_d" + std::to_string(v) + ".delta");
+    auto cg = CombinedGraph::Build(chain.Version(v - 1), chain.Version(v));
+    if (!cg.ok()) {
+      std::fprintf(stderr, "delta bench: merging versions %zu/%zu: %s\n",
+                   v - 1, v, cg.status().ToString().c_str());
+      return false;
+    }
+    const VersionNodeMap map =
+        NodeMapFromPartition(*cg, aligner.AlignCombined(*cg).partition);
+    Status st = store::WriteDelta(chain.Version(v - 1), chain.Version(v),
+                                  map, delta_paths[v - 1]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "delta bench: writing delta %zu: %s\n", v,
+                   st.ToString().c_str());
+      return false;
+    }
+    r.delta_total_bytes += std::filesystem::file_size(delta_paths[v - 1]);
+  }
+
+  // Warm the page cache.
+  { auto warm = ParseNTriplesFile(nt_paths[0], nullptr); (void)warm; }
+
+  std::vector<TripleGraph> snap_loaded, replayed;
+  bool ok =
+      BestOf(runs, &r.reparse_ms,
+             [&] {
+               for (const std::string& p : nt_paths) {
+                 auto res = ParseNTriplesFile(p, nullptr);
+                 if (!res.ok()) return false;
+               }
+               return true;
+             }) &&
+      BestOf(runs, &r.snap_load_ms,
+             [&] {
+               snap_loaded.clear();
+               for (const std::string& p : snap_paths) {
+                 auto res = store::LoadSnapshot(p, nullptr);
+                 if (!res.ok()) return false;
+                 snap_loaded.push_back(std::move(res).value());
+               }
+               return true;
+             }) &&
+      BestOf(runs, &r.replay_ms, [&] {
+        replayed.clear();
+        auto dict = std::make_shared<Dictionary>();
+        auto base = store::LoadSnapshot(snap_paths[0], dict);
+        if (!base.ok()) return false;
+        replayed.push_back(std::move(base).value());
+        for (const std::string& p : delta_paths) {
+          auto next = store::ApplyDelta(replayed.back(), p, dict);
+          if (!next.ok()) return false;
+          replayed.push_back(std::move(next).value());
+        }
+        return true;
+      });
+  if (!ok) {
+    std::fprintf(stderr, "delta bench: a load/replay phase failed\n");
+    return false;
+  }
+  // The acceptance gate: every patch-replayed version bit-identical to
+  // the direct snapshot load of that version.
+  r.equal = snap_loaded.size() == v_count && replayed.size() == v_count;
+  for (size_t v = 0; r.equal && v < v_count; ++v) {
+    r.equal = GraphsBitIdentical(snap_loaded[v], replayed[v]) &&
+              GraphsBitIdentical(chain.Version(v), replayed[v]);
+  }
+  return true;
+  }();
+  for (const std::string& p : nt_paths) std::filesystem::remove(p);
+  for (const std::string& p : snap_paths) std::filesystem::remove(p);
+  for (const std::string& p : delta_paths) std::filesystem::remove(p);
+  if (!point_ok) return false;
+  *out = r;
+  return true;
+}
+
 bool WriteJson(const std::string& path, const std::vector<PointResult>& points,
+               const std::vector<DeltaPointResult>& delta_points,
                double scale, uint64_t seed, size_t runs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -162,6 +304,32 @@ bool WriteJson(const std::string& path, const std::vector<PointResult>& points,
     std::fprintf(f, "      \"equal\": %s\n", r.equal ? "true" : "false");
     std::fprintf(f, "    }%s\n", i + 1 < points.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"delta_points\": [\n");
+  for (size_t i = 0; i < delta_points.size(); ++i) {
+    const DeltaPointResult& r = delta_points[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"scale_point\": %g,\n", r.scale_point);
+    std::fprintf(f, "      \"versions\": %zu,\n", r.versions);
+    std::fprintf(f, "      \"nodes\": %zu,\n", r.nodes);
+    std::fprintf(f, "      \"edges\": %zu,\n", r.edges);
+    std::fprintf(f, "      \"snap_total_bytes\": %llu,\n",
+                 (unsigned long long)r.snap_total_bytes);
+    std::fprintf(f, "      \"delta_total_bytes\": %llu,\n",
+                 (unsigned long long)r.delta_total_bytes);
+    std::fprintf(f, "      \"bytes_ratio\": %.2f,\n",
+                 r.delta_total_bytes > 0
+                     ? static_cast<double>(r.snap_total_bytes) /
+                           static_cast<double>(r.delta_total_bytes)
+                     : 0.0);
+    std::fprintf(f, "      \"reparse_ms\": %.2f,\n", r.reparse_ms);
+    std::fprintf(f, "      \"snap_load_ms\": %.2f,\n", r.snap_load_ms);
+    std::fprintf(f, "      \"replay_ms\": %.2f,\n", r.replay_ms);
+    std::fprintf(f, "      \"speedup_replay_vs_reparse\": %.2f,\n",
+                 r.replay_ms > 0 ? r.reparse_ms / r.replay_ms : 0.0);
+    std::fprintf(f, "      \"equal\": %s\n", r.equal ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < delta_points.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   return true;
@@ -174,11 +342,24 @@ int main(int argc, char** argv) {
   const double scale = flags.GetDouble("scale", 1.0);
   const uint64_t seed = flags.GetInt("seed", 5);
   const size_t runs = static_cast<size_t>(flags.GetInt("runs", 3));
+  const size_t versions = static_cast<size_t>(flags.GetInt("versions", 4));
+  const std::string mode = flags.GetString("mode", "all");
   const std::string out = flags.GetString("out", "BENCH_store.json");
+  if (mode != "all" && mode != "snapshot" && mode != "delta") {
+    std::fprintf(stderr, "--mode must be all, snapshot, or delta\n");
+    return 1;
+  }
+  // Range-checked like every rdfalign numeric flag; a negative value
+  // wraps through the unsigned parse and lands above the cap.
+  if (versions < 1 || versions > 1000) {
+    std::fprintf(stderr, "--versions must be in [1, 1000]\n");
+    return 1;
+  }
 
   bench::Banner("Snapshot store load A/B",
                 "N-Triples reparse vs buffered snapshot load vs mmap "
-                "zero-copy load");
+                "zero-copy load; delta-chain replay vs per-version "
+                "snapshots vs reparse");
 
   const std::string tmp_prefix =
       (std::filesystem::temp_directory_path() /
@@ -187,29 +368,60 @@ int main(int argc, char** argv) {
 
   // The fig16 ladder: quarter, full, and 4x scale (the 4x point matches
   // BENCH_refinement.json's workload size).
-  std::vector<PointResult> points;
-  for (double point : {0.25 * scale, 1.0 * scale, 4.0 * scale}) {
-    PointResult r;
-    if (!RunPoint(point, seed, runs, tmp_prefix, &r)) return 1;
-    points.push_back(r);
-  }
-
   bool all_equal = true;
-  bench::TablePrinter table({"nodes", "edges", "nt(KB)", "snap(KB)",
-                             "parse(ms)", "load(ms)", "mmap(ms)", "mmap-x",
-                             "equal"});
-  for (const PointResult& r : points) {
-    table.Row({bench::FmtInt(r.nodes), bench::FmtInt(r.edges),
-               bench::FmtInt(r.nt_bytes / 1024),
-               bench::FmtInt(r.snap_bytes / 1024),
-               bench::Fmt("%.1f", r.reparse_ms),
-               bench::Fmt("%.1f", r.load_ms), bench::Fmt("%.1f", r.mmap_ms),
-               bench::Fmt("%.1fx",
-                          r.mmap_ms > 0 ? r.reparse_ms / r.mmap_ms : 0.0),
-               r.equal ? "yes" : "NO"});
-    all_equal = all_equal && r.equal;
+  std::vector<PointResult> points;
+  std::vector<DeltaPointResult> delta_points;
+  if (mode != "delta") {
+    for (double point : {0.25 * scale, 1.0 * scale, 4.0 * scale}) {
+      PointResult r;
+      if (!RunPoint(point, seed, runs, tmp_prefix, &r)) return 1;
+      points.push_back(r);
+    }
+    bench::TablePrinter table({"nodes", "edges", "nt(KB)", "snap(KB)",
+                               "parse(ms)", "load(ms)", "mmap(ms)", "mmap-x",
+                               "equal"});
+    for (const PointResult& r : points) {
+      table.Row({bench::FmtInt(r.nodes), bench::FmtInt(r.edges),
+                 bench::FmtInt(r.nt_bytes / 1024),
+                 bench::FmtInt(r.snap_bytes / 1024),
+                 bench::Fmt("%.1f", r.reparse_ms),
+                 bench::Fmt("%.1f", r.load_ms), bench::Fmt("%.1f", r.mmap_ms),
+                 bench::Fmt("%.1fx",
+                            r.mmap_ms > 0 ? r.reparse_ms / r.mmap_ms : 0.0),
+                 r.equal ? "yes" : "NO"});
+      all_equal = all_equal && r.equal;
+    }
   }
-  const bool wrote = WriteJson(out, points, scale, seed, runs);
+  if (mode != "snapshot") {
+    for (double point : {0.25 * scale, 1.0 * scale, 4.0 * scale}) {
+      DeltaPointResult r;
+      if (!RunDeltaPoint(point, seed, runs, versions, tmp_prefix, &r)) {
+        return 1;
+      }
+      delta_points.push_back(r);
+    }
+    std::printf("\ndelta chains (%zu versions each):\n", versions);
+    bench::TablePrinter table({"nodes", "edges", "snaps(KB)", "deltas(KB)",
+                               "parse(ms)", "snaps(ms)", "replay(ms)",
+                               "bytes-x", "equal"});
+    for (const DeltaPointResult& r : delta_points) {
+      table.Row(
+          {bench::FmtInt(r.nodes), bench::FmtInt(r.edges),
+           bench::FmtInt(r.snap_total_bytes / 1024),
+           bench::FmtInt(r.delta_total_bytes / 1024),
+           bench::Fmt("%.1f", r.reparse_ms),
+           bench::Fmt("%.1f", r.snap_load_ms),
+           bench::Fmt("%.1f", r.replay_ms),
+           bench::Fmt("%.1fx",
+                      r.delta_total_bytes > 0
+                          ? static_cast<double>(r.snap_total_bytes) /
+                                static_cast<double>(r.delta_total_bytes)
+                          : 0.0),
+           r.equal ? "yes" : "NO"});
+      all_equal = all_equal && r.equal;
+    }
+  }
+  const bool wrote = WriteJson(out, points, delta_points, scale, seed, runs);
   if (wrote) std::printf("\nwrote %s\n", out.c_str());
   return all_equal && wrote ? 0 : 1;
 }

@@ -55,6 +55,39 @@ Result<uint32_t> VersionArchive::Append(const TripleGraph& version) {
   return v;
 }
 
+Result<VersionArchive> VersionArchive::Restore(
+    AlignerOptions options, std::vector<TripleGraph> versions,
+    std::vector<std::vector<EntityId>> entity_of) {
+  if (versions.size() != entity_of.size()) {
+    return Status::InvalidArgument(
+        "restore requires one entity column per version");
+  }
+  for (size_t v = 0; v < versions.size(); ++v) {
+    if (entity_of[v].size() != versions[v].NumNodes()) {
+      return Status::InvalidArgument(
+          "restore entity column size does not match version " +
+          std::to_string(v));
+    }
+    if (v > 0 &&
+        versions[v].dict_ptr().get() != versions[0].dict_ptr().get()) {
+      return Status::InvalidArgument(
+          "restored versions must share one Dictionary");
+    }
+  }
+  VersionArchive archive(options);
+  archive.versions_ = std::move(versions);
+  archive.entity_of_ = std::move(entity_of);
+  for (const std::vector<EntityId>& ids : archive.entity_of_) {
+    for (EntityId e : ids) {
+      if (e >= archive.next_entity_) archive.next_entity_ = e + 1;
+    }
+  }
+  for (uint32_t v = 0; v < archive.versions_.size(); ++v) {
+    archive.RecordTriples(v);
+  }
+  return archive;
+}
+
 void VersionArchive::RecordTriples(uint32_t version) {
   const TripleGraph& g = versions_[version];
   const std::vector<EntityId>& ids = entity_of_[version];

@@ -73,7 +73,29 @@ class VersionArchive {
   /// first call adopts the graph's dictionary).
   Result<uint32_t> Append(const TripleGraph& version);
 
+  /// Reconstitutes an archive from persisted state (the store's
+  /// LoadArchive): the materialized versions (sharing one dictionary) and
+  /// the per-version entity columns. The interval records and statistics
+  /// are rebuilt by replaying the same recording pass Append runs, so a
+  /// restored archive is indistinguishable from the one saved — no
+  /// re-alignment happens. `options` configures future Appends.
+  static Result<VersionArchive> Restore(
+      AlignerOptions options, std::vector<TripleGraph> versions,
+      std::vector<std::vector<EntityId>> entity_of);
+
   size_t NumVersions() const { return versions_.size(); }
+
+  /// The materialized graph of version `v`.
+  const TripleGraph& Version(uint32_t version) const {
+    return versions_[version];
+  }
+
+  /// The entity id of every node of version `v`.
+  const std::vector<EntityId>& Entities(uint32_t version) const {
+    return entity_of_[version];
+  }
+
+  const AlignerOptions& options() const { return options_; }
 
   /// The entity id a node of version `v` was assigned.
   EntityId EntityOf(uint32_t version, NodeId node) const;

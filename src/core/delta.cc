@@ -1,6 +1,7 @@
 #include "core/delta.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/hash.h"
 #include "util/scratch.h"
@@ -143,6 +144,58 @@ RdfDelta ComputeDelta(const CombinedGraph& cg, const Partition& p) {
   TrimScratch(src_uris);
   TrimScratch(tgt_uris);
   return delta;
+}
+
+size_t VersionNodeMap::MappedCount() const {
+  size_t mapped = 0;
+  for (NodeId b : next_to_base) {
+    if (b != kInvalidNode) ++mapped;
+  }
+  return mapped;
+}
+
+VersionNodeMap NodeMapFromPartition(const CombinedGraph& cg,
+                                    const Partition& p) {
+  // Per class: the smallest source node and the smallest target node.
+  // Scanning combined ids ascending visits all source nodes before any
+  // target node, so first-write-wins gives the minimum of each side.
+  const size_t num_colors = p.NumColors();
+  std::vector<NodeId> first_source(num_colors, kInvalidNode);
+  std::vector<NodeId> first_target(num_colors, kInvalidNode);
+  const NodeId total = cg.n1() + cg.n2();
+  for (NodeId n = 0; n < total; ++n) {
+    NodeId& slot =
+        cg.InSource(n) ? first_source[p.ColorOf(n)] : first_target[p.ColorOf(n)];
+    if (slot == kInvalidNode) slot = n;
+  }
+  VersionNodeMap map;
+  map.next_to_base.assign(cg.n2(), kInvalidNode);
+  for (size_t c = 0; c < num_colors; ++c) {
+    if (first_source[c] != kInvalidNode && first_target[c] != kInvalidNode) {
+      map.next_to_base[cg.ToLocal(first_target[c])] =
+          first_source[c];  // source ids are already graph-local
+    }
+  }
+  return map;
+}
+
+VersionNodeMap NodeMapFromEntities(const std::vector<uint64_t>& base_entities,
+                                   const std::vector<uint64_t>& next_entities) {
+  std::unordered_map<uint64_t, NodeId> smallest_base;
+  smallest_base.reserve(base_entities.size());
+  for (NodeId b = 0; b < base_entities.size(); ++b) {
+    smallest_base.emplace(base_entities[b], b);  // first wins = smallest
+  }
+  VersionNodeMap map;
+  map.next_to_base.assign(next_entities.size(), kInvalidNode);
+  for (NodeId n = 0; n < next_entities.size(); ++n) {
+    auto it = smallest_base.find(next_entities[n]);
+    if (it != smallest_base.end()) {
+      map.next_to_base[n] = it->second;
+      smallest_base.erase(it);  // keep the map injective
+    }
+  }
+  return map;
 }
 
 std::string DeltaSummary(const RdfDelta& delta) {

@@ -10,6 +10,7 @@
 #ifndef RDFALIGN_CORE_DELTA_H_
 #define RDFALIGN_CORE_DELTA_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,6 +43,31 @@ struct RdfDelta {
 /// Computes the delta induced by a partition-based alignment. Edges are
 /// matched by color triple with multiplicity (min of the per-side counts).
 RdfDelta ComputeDelta(const CombinedGraph& cg, const Partition& p);
+
+/// An injective node correspondence between two versions: for every node of
+/// the *next* (target) version, the base (source) node it continues, or
+/// kInvalidNode when it has none. No base node is the image of two next
+/// nodes. This is the entity-level remap the binary delta store
+/// (src/store/delta.h) serializes; an all-invalid map is always valid (the
+/// delta then degenerates to a full remove + add).
+struct VersionNodeMap {
+  std::vector<NodeId> next_to_base;  ///< size = next version's node count
+
+  size_t MappedCount() const;
+};
+
+/// Derives a VersionNodeMap from a partition-based alignment of a combined
+/// graph: each class containing nodes of both sides pairs its smallest
+/// source node with its smallest target node (deterministic; remaining
+/// same-class members stay unmapped so the map is injective).
+VersionNodeMap NodeMapFromPartition(const CombinedGraph& cg,
+                                    const Partition& p);
+
+/// Derives a VersionNodeMap from two per-node entity-id columns (the
+/// VersionArchive chaining): the smallest base node of each entity pairs
+/// with the smallest next node carrying the same entity id.
+VersionNodeMap NodeMapFromEntities(const std::vector<uint64_t>& base_entities,
+                                   const std::vector<uint64_t>& next_entities);
 
 /// Renders a human-readable summary ("+N -M ~K, R renames").
 std::string DeltaSummary(const RdfDelta& delta);

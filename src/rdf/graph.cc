@@ -1,6 +1,7 @@
 #include "rdf/graph.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/hash.h"
 
@@ -50,16 +51,23 @@ TripleGraph TripleGraph::FromIndexedParts(
   return g;
 }
 
-void TripleGraph::BuildIndexes(std::vector<Triple> triples) {
-  const size_t n = labels_.size();
-  std::vector<uint64_t> out_offsets(n + 1, 0);
+void TripleGraph::BuildCsrArrays(std::span<const Triple> triples,
+                                 size_t num_nodes,
+                                 std::vector<uint64_t>* out_offsets_p,
+                                 std::vector<PredicateObject>* out_pairs_p,
+                                 std::vector<uint64_t>* in_offsets_p,
+                                 std::vector<NodeId>* in_subjects_p) {
+  const size_t n = num_nodes;
+  std::vector<uint64_t>& out_offsets = *out_offsets_p;
+  out_offsets.assign(n + 1, 0);
   for (const Triple& t : triples) {
     ++out_offsets[t.s + 1];
   }
   for (size_t i = 0; i < n; ++i) {
     out_offsets[i + 1] += out_offsets[i];
   }
-  std::vector<PredicateObject> out_pairs(triples.size());
+  std::vector<PredicateObject>& out_pairs = *out_pairs_p;
+  out_pairs.resize(triples.size());
   // `triples` is sorted by (s, p, o), so a single pass fills each node's
   // slice in (p, o) order.
   {
@@ -72,7 +80,8 @@ void TripleGraph::BuildIndexes(std::vector<Triple> triples) {
   // predicate or the object. The buffer is sized exactly by one counting
   // pass (two slots per triple), filled, then deduplicated per node with an
   // in-place left compaction — no push_back growth, one allocation.
-  std::vector<uint64_t> in_offsets(n + 1, 0);
+  std::vector<uint64_t>& in_offsets = *in_offsets_p;
+  in_offsets.assign(n + 1, 0);
   for (const Triple& t : triples) {
     ++in_offsets[t.p + 1];
     ++in_offsets[t.o + 1];
@@ -80,7 +89,8 @@ void TripleGraph::BuildIndexes(std::vector<Triple> triples) {
   for (size_t i = 0; i < n; ++i) {
     in_offsets[i + 1] += in_offsets[i];
   }
-  std::vector<NodeId> in_subjects(in_offsets[n]);
+  std::vector<NodeId>& in_subjects = *in_subjects_p;
+  in_subjects.assign(in_offsets[n], 0);
   {
     std::vector<uint64_t> cursor(in_offsets.begin(), in_offsets.end() - 1);
     for (const Triple& t : triples) {
@@ -111,6 +121,15 @@ void TripleGraph::BuildIndexes(std::vector<Triple> triples) {
     in_subjects.resize(write);
     in_subjects.shrink_to_fit();  // release the pre-dedup slack
   }
+}
+
+void TripleGraph::BuildIndexes(std::vector<Triple> triples) {
+  std::vector<uint64_t> out_offsets;
+  std::vector<PredicateObject> out_pairs;
+  std::vector<uint64_t> in_offsets;
+  std::vector<NodeId> in_subjects;
+  BuildCsrArrays(triples, labels_.size(), &out_offsets, &out_pairs,
+                 &in_offsets, &in_subjects);
   triples_ = SharedArray<Triple>(std::move(triples));
   out_offsets_ = SharedArray<uint64_t>(std::move(out_offsets));
   out_pairs_ = SharedArray<PredicateObject>(std::move(out_pairs));
@@ -184,6 +203,32 @@ std::vector<NodeId> TripleGraph::NodesOfKind(TermKind kind) const {
     if (labels_[i].kind == kind) out.push_back(i);
   }
   return out;
+}
+
+namespace {
+
+template <typename T>
+bool SpansEqual(std::span<const T> x, std::span<const T> y) {
+  return x.size() == y.size() &&
+         (x.empty() ||
+          std::memcmp(x.data(), y.data(), x.size() * sizeof(T)) == 0);
+}
+
+}  // namespace
+
+const char* GraphsBitDiffer(const TripleGraph& a, const TripleGraph& b) {
+  if (a.NumNodes() != b.NumNodes()) return "node counts";
+  for (NodeId i = 0; i < a.NumNodes(); ++i) {
+    if (a.KindOf(i) != b.KindOf(i) || a.Lexical(i) != b.Lexical(i)) {
+      return "labels";
+    }
+  }
+  if (!SpansEqual(a.triples(), b.triples())) return "triples";
+  if (!SpansEqual(a.OutOffsets(), b.OutOffsets())) return "out_offsets";
+  if (!SpansEqual(a.OutPairs(), b.OutPairs())) return "out_pairs";
+  if (!SpansEqual(a.InOffsets(), b.InOffsets())) return "in_offsets";
+  if (!SpansEqual(a.InSubjects(), b.InSubjects())) return "in_subjects";
+  return nullptr;
 }
 
 bool LabeledGraphsEqual(const TripleGraph& a, const TripleGraph& b) {

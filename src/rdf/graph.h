@@ -59,6 +59,20 @@ class TripleGraph {
                                       SharedArray<uint64_t> in_offsets,
                                       SharedArray<NodeId> in_subjects);
 
+  /// Builds both CSR indexes for an already sorted and deduplicated triple
+  /// list over `num_nodes` nodes, into the output vectors — exactly the
+  /// arrays BuildIndexes() would produce, without sorting the triples.
+  /// This is the single CSR constructor shared by graph building and the
+  /// delta store's patch replay (src/store/delta.cc), so a graph spliced
+  /// from pre-sorted runs is bit-identical to one built from scratch.
+  /// Triple node ids must be < num_nodes.
+  static void BuildCsrArrays(std::span<const Triple> sorted_triples,
+                             size_t num_nodes,
+                             std::vector<uint64_t>* out_offsets,
+                             std::vector<PredicateObject>* out_pairs,
+                             std::vector<uint64_t>* in_offsets,
+                             std::vector<NodeId>* in_subjects);
+
   size_t NumNodes() const { return labels_.size(); }
   size_t NumEdges() const { return triples_.size(); }
 
@@ -153,6 +167,14 @@ class TripleGraph {
 /// across distinct dictionaries — the snapshot round-trip tests and the
 /// CLI use it to compare a reloaded graph against the original.
 bool LabeledGraphsEqual(const TripleGraph& a, const TripleGraph& b);
+
+/// Bit-level storage equality: labels as in LabeledGraphsEqual, plus the
+/// triple list and all four CSR index arrays compared byte for byte — the
+/// delta store's patch-replay acceptance invariant, shared by the tests
+/// and the delta_bench gate so it cannot drift. Returns nullptr when
+/// identical, else the name of the first differing component ("labels",
+/// "triples", "out_offsets", ...).
+const char* GraphsBitDiffer(const TripleGraph& a, const TripleGraph& b);
 
 /// Incremental construction of an RDF graph with label deduplication:
 /// adding the same URI or literal twice returns the same node.

@@ -1,0 +1,864 @@
+#include "store/delta.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "store/io_util.h"
+#include "util/shared_array.h"
+
+namespace rdfalign::store {
+
+namespace {
+
+// Section order within a version-1 delta file (also the id order).
+constexpr DeltaSectionId kDeltaSectionOrder[kNumDeltaSections] = {
+    DeltaSectionId::kTermSources, DeltaSectionId::kNewTermOffsets,
+    DeltaSectionId::kNewTermBlob, DeltaSectionId::kNodeKinds,
+    DeltaSectionId::kNodeLex,     DeltaSectionId::kNodeRemap,
+    DeltaSectionId::kRemovedRuns, DeltaSectionId::kKeptRuns,
+    DeltaSectionId::kAddedTriples,
+};
+
+constexpr uint32_t kInvalidDense = 0xffffffffu;
+
+/// Dense numbering of the dictionary terms a graph's labels reference, in
+/// lexicographic order of the term bytes. Unlike the snapshot writer's
+/// ascending-dictionary-id convention, this order is **canonical in the
+/// graph's content**: the delta writer and the patch replayer resolve
+/// term references identically no matter how either side's dictionary was
+/// populated, so a delta applies to any base holding the right content —
+/// including one materialized by an earlier patch (chained `rdfalign
+/// diff`/`patch` over independently built snapshots).
+struct TermBinding {
+  std::vector<LexId> term_ids;     ///< dense index -> dictionary id
+  std::vector<uint32_t> dense_of;  ///< dictionary id -> dense index
+};
+
+TermBinding BindTerms(const TripleGraph& g) {
+  const Dictionary& dict = g.dict();
+  std::vector<uint8_t> used(dict.size(), 0);
+  for (const NodeLabel& l : g.labels()) {
+    used[l.lex] = 1;
+  }
+  TermBinding b;
+  for (LexId id = 0; id < used.size(); ++id) {
+    if (used[id]) b.term_ids.push_back(id);
+  }
+  // Distinct ids hold distinct strings (the dictionary interns uniquely),
+  // so the order is total and deterministic.
+  std::sort(b.term_ids.begin(), b.term_ids.end(),
+            [&dict](LexId a, LexId c) { return dict.Get(a) < dict.Get(c); });
+  b.dense_of.assign(dict.size(), kInvalidDense);
+  for (size_t j = 0; j < b.term_ids.size(); ++j) {
+    b.dense_of[b.term_ids[j]] = static_cast<uint32_t>(j);
+  }
+  return b;
+}
+
+uint64_t FingerprintWithBinding(const TripleGraph& g, const TermBinding& b) {
+  Checksummer c;
+  const uint64_t n = g.NumNodes();
+  const uint64_t e = g.NumEdges();
+  const uint64_t t = b.term_ids.size();
+  c.Update(&n, sizeof(n));
+  c.Update(&e, sizeof(e));
+  c.Update(&t, sizeof(t));
+  for (const NodeLabel& l : g.labels()) {
+    const uint8_t kind = static_cast<uint8_t>(l.kind);
+    const uint32_t dense = b.dense_of[l.lex];
+    c.Update(&kind, sizeof(kind));
+    c.Update(&dense, sizeof(dense));
+  }
+  for (LexId id : b.term_ids) {
+    std::string_view term = g.dict().Get(id);
+    const uint64_t len = term.size();
+    c.Update(&len, sizeof(len));
+    c.Update(term.data(), term.size());
+  }
+  c.Update(g.triples().data(), g.triples().size() * sizeof(Triple));
+  return c.Finish();
+}
+
+Status WriteExact(std::ostream& out, const void* data, size_t n,
+                  const std::string& name) {
+  return store::WriteExact(out, data, n, "delta", name);  // io_util.h
+}
+
+}  // namespace
+
+std::string_view DeltaSectionName(DeltaSectionId id) {
+  switch (id) {
+    case DeltaSectionId::kTermSources:
+      return "term_sources";
+    case DeltaSectionId::kNewTermOffsets:
+      return "new_term_offsets";
+    case DeltaSectionId::kNewTermBlob:
+      return "new_term_blob";
+    case DeltaSectionId::kNodeKinds:
+      return "node_kinds";
+    case DeltaSectionId::kNodeLex:
+      return "node_lex";
+    case DeltaSectionId::kNodeRemap:
+      return "node_remap";
+    case DeltaSectionId::kRemovedRuns:
+      return "removed_runs";
+    case DeltaSectionId::kKeptRuns:
+      return "kept_runs";
+    case DeltaSectionId::kAddedTriples:
+      return "added_triples";
+  }
+  return "unknown";
+}
+
+uint64_t GraphFingerprint(const TripleGraph& g) {
+  return FingerprintWithBinding(g, BindTerms(g));
+}
+
+Status WriteDeltaToStream(const TripleGraph& base, const TripleGraph& next,
+                          const VersionNodeMap& alignment, std::ostream& out,
+                          const std::string& name, DeltaWriteStats* stats) {
+  static_assert(std::endian::native == std::endian::little,
+                "deltas are written on little-endian hosts only");
+  if (base.dict_ptr().get() != next.dict_ptr().get()) {
+    return Status::InvalidArgument(
+        "delta endpoints must share one Dictionary: " + name);
+  }
+  const size_t bn = base.NumNodes();
+  const size_t be = base.NumEdges();
+  const size_t nn = next.NumNodes();
+  const size_t ne = next.NumEdges();
+  if (alignment.next_to_base.size() != nn) {
+    return Status::InvalidArgument(
+        "alignment map must have one entry per next-version node: " + name);
+  }
+  // Invert the (injective) next -> base map.
+  std::vector<NodeId> base_to_next(bn, kInvalidNode);
+  for (NodeId i = 0; i < nn; ++i) {
+    const NodeId b = alignment.next_to_base[i];
+    if (b == kInvalidNode) continue;
+    if (b >= bn) {
+      return Status::InvalidArgument(
+          "alignment maps a next node onto a base node out of range: " +
+          name);
+    }
+    if (base_to_next[b] != kInvalidNode) {
+      return Status::InvalidArgument("alignment map is not injective: " +
+                                     name);
+    }
+    base_to_next[b] = i;
+  }
+
+  const TermBinding base_terms = BindTerms(base);
+  const TermBinding next_terms = BindTerms(next);
+  const size_t tb = base_terms.term_ids.size();
+  const size_t tn = next_terms.term_ids.size();
+  if (tb > kMaxDeltaTerms || tn > kMaxDeltaTerms) {
+    return Status::InvalidArgument("too many dictionary terms for a delta: " +
+                                   name);
+  }
+
+  // Term sources: every next-dense term either references the base term
+  // table or the delta's new-term table (new terms numbered in next-dense
+  // order, so the reader can validate denseness).
+  std::vector<uint32_t> term_sources(tn);
+  std::vector<LexId> new_terms;
+  for (size_t j = 0; j < tn; ++j) {
+    const LexId id = next_terms.term_ids[j];
+    const uint32_t dense_b = base_terms.dense_of[id];
+    if (dense_b != kInvalidDense) {
+      term_sources[j] = dense_b;
+    } else {
+      term_sources[j] = kNewTermFlag | static_cast<uint32_t>(new_terms.size());
+      new_terms.push_back(id);
+    }
+  }
+  std::vector<uint64_t> new_term_offsets(new_terms.size() + 1, 0);
+  for (size_t k = 0; k < new_terms.size(); ++k) {
+    new_term_offsets[k + 1] =
+        new_term_offsets[k] + next.dict().Get(new_terms[k]).size();
+  }
+
+  // The next version's node columns, in next-dense (canonical) term
+  // numbering.
+  std::vector<uint8_t> kinds(nn);
+  std::vector<uint32_t> lex(nn);
+  for (size_t i = 0; i < nn; ++i) {
+    kinds[i] = static_cast<uint8_t>(next.labels()[i].kind);
+    lex[i] = next_terms.dense_of[next.labels()[i].lex];
+  }
+
+  // Triple classification. A base triple is *kept* when all three nodes
+  // have next-version images and the mapped triple exists in next;
+  // otherwise it is removed. Next triples not claimed by a kept base
+  // triple are added. The node map is injective, so distinct base triples
+  // map to distinct next triples and each next triple is claimed at most
+  // once.
+  const std::span<const Triple> base_tris = base.triples();
+  const std::span<const Triple> next_tris = next.triples();
+  std::vector<uint8_t> claimed(ne, 0);
+  std::vector<std::pair<uint64_t, uint64_t>> kept;  // (next pos, base idx)
+  std::vector<RunEntry> removed_runs;
+  uint64_t removed_count = 0;
+  const auto add_removed = [&removed_runs, &removed_count](uint64_t i) {
+    if (!removed_runs.empty() &&
+        removed_runs.back().start + removed_runs.back().count == i) {
+      ++removed_runs.back().count;
+    } else {
+      removed_runs.push_back(RunEntry{i, 1});
+    }
+    ++removed_count;
+  };
+  for (uint64_t i = 0; i < be; ++i) {
+    const Triple& t = base_tris[i];
+    const NodeId s = base_to_next[t.s];
+    const NodeId p = base_to_next[t.p];
+    const NodeId o = base_to_next[t.o];
+    if (s == kInvalidNode || p == kInvalidNode || o == kInvalidNode) {
+      add_removed(i);
+      continue;
+    }
+    const Triple mapped{s, p, o};
+    const auto it =
+        std::lower_bound(next_tris.begin(), next_tris.end(), mapped);
+    if (it == next_tris.end() || !(*it == mapped)) {
+      add_removed(i);
+      continue;
+    }
+    const uint64_t j = static_cast<uint64_t>(it - next_tris.begin());
+    claimed[j] = 1;
+    kept.emplace_back(j, i);
+  }
+  // Kept runs expand in next-space order; a run continues while the base
+  // indexes stay consecutive.
+  std::sort(kept.begin(), kept.end());
+  std::vector<RunEntry> kept_runs;
+  for (const auto& [j, i] : kept) {
+    (void)j;
+    if (!kept_runs.empty() &&
+        kept_runs.back().start + kept_runs.back().count == i) {
+      ++kept_runs.back().count;
+    } else {
+      kept_runs.push_back(RunEntry{i, 1});
+    }
+  }
+  std::vector<Triple> added;
+  added.reserve(ne - kept.size());
+  for (uint64_t j = 0; j < ne; ++j) {
+    if (!claimed[j]) added.push_back(next_tris[j]);
+  }
+
+  // Assemble the section table. The new-term blob (index 2) is streamed
+  // term by term; everything else is a contiguous buffer.
+  constexpr size_t kBlobIndex = 2;
+  struct Payload {
+    const void* data;
+    uint64_t size;
+  };
+  const Payload payloads[kNumDeltaSections] = {
+      {term_sources.data(), tn * sizeof(uint32_t)},
+      {new_term_offsets.data(), new_term_offsets.size() * sizeof(uint64_t)},
+      {nullptr, new_term_offsets.back()},
+      {kinds.data(), nn * sizeof(uint8_t)},
+      {lex.data(), nn * sizeof(uint32_t)},
+      {alignment.next_to_base.data(), nn * sizeof(NodeId)},
+      {removed_runs.data(), removed_runs.size() * sizeof(RunEntry)},
+      {kept_runs.data(), kept_runs.size() * sizeof(RunEntry)},
+      {added.data(), added.size() * sizeof(Triple)},
+  };
+  SectionEntry table[kNumDeltaSections];
+  uint64_t cursor = kDeltaPayloadStart;
+  for (size_t s = 0; s < kNumDeltaSections; ++s) {
+    table[s].id = static_cast<uint32_t>(kDeltaSectionOrder[s]);
+    table[s].reserved = 0;
+    table[s].offset = AlignUp(cursor);
+    table[s].size = payloads[s].size;
+    if (s == kBlobIndex) {
+      Checksummer c;
+      for (LexId id : new_terms) {
+        std::string_view term = next.dict().Get(id);
+        c.Update(term.data(), term.size());
+      }
+      table[s].checksum = c.Finish();
+    } else {
+      table[s].checksum = Checksum64(payloads[s].data, payloads[s].size);
+    }
+    cursor = table[s].offset + table[s].size;
+  }
+
+  DeltaHeader header;
+  header.magic = kDeltaMagic;
+  header.version = kDeltaFormatVersion;
+  header.endian_tag = kEndianTag;
+  header.base_nodes = bn;
+  header.base_triples = be;
+  header.base_terms = tb;
+  header.base_fingerprint = FingerprintWithBinding(base, base_terms);
+  header.next_nodes = nn;
+  header.next_triples = ne;
+  header.next_terms = tn;
+  header.num_new_terms = new_terms.size();
+  header.num_sections = kNumDeltaSections;
+  header.file_size = cursor;
+  header.header_checksum = 0;
+  {
+    Checksummer c;
+    c.Update(&header, sizeof(header));
+    c.Update(table, sizeof(table));
+    header.header_checksum = c.Finish();
+  }
+
+  RDFALIGN_RETURN_IF_ERROR(WriteExact(out, &header, sizeof(header), name));
+  RDFALIGN_RETURN_IF_ERROR(WriteExact(out, table, sizeof(table), name));
+  uint64_t written = kDeltaPayloadStart;
+  const char zeros[kSectionAlignment] = {};
+  for (size_t s = 0; s < kNumDeltaSections; ++s) {
+    if (table[s].offset > written) {
+      RDFALIGN_RETURN_IF_ERROR(
+          WriteExact(out, zeros, table[s].offset - written, name));
+    }
+    if (s == kBlobIndex) {
+      for (LexId id : new_terms) {
+        std::string_view term = next.dict().Get(id);
+        RDFALIGN_RETURN_IF_ERROR(
+            WriteExact(out, term.data(), term.size(), name));
+      }
+    } else {
+      RDFALIGN_RETURN_IF_ERROR(
+          WriteExact(out, payloads[s].data, payloads[s].size, name));
+    }
+    written = table[s].offset + table[s].size;
+  }
+  out.flush();
+  if (!out) {
+    return Status::IOError("error writing delta: " + name);
+  }
+  if (stats != nullptr) {
+    stats->kept_triples = kept.size();
+    stats->removed_triples = removed_count;
+    stats->added_triples = added.size();
+    stats->new_terms = new_terms.size();
+    stats->mapped_nodes = alignment.MappedCount();
+    stats->kept_runs = kept_runs.size();
+    stats->file_bytes = cursor;
+  }
+  return Status::OK();
+}
+
+Status WriteDelta(const TripleGraph& base, const TripleGraph& next,
+                  const VersionNodeMap& alignment, const std::string& path,
+                  DeltaWriteStats* stats) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open file for writing: " + path);
+  }
+  return WriteDeltaToStream(base, next, alignment, out, path, stats);
+}
+
+namespace {
+
+/// The validated raw view of a delta image.
+struct RawDelta {
+  std::shared_ptr<const void> pin;  ///< keeps `base` alive (buffered reads)
+  const unsigned char* base = nullptr;
+  uint64_t size = 0;
+  DeltaHeader header;
+  SectionEntry table[kNumDeltaSections];
+};
+
+/// Header and section-table validation shared by ApplyDelta and
+/// ReadDeltaInfo; mirrors the snapshot loader's ValidateHeader.
+Status ValidateDeltaHeader(const unsigned char* base, uint64_t available,
+                           uint64_t actual_size, DeltaHeader* header,
+                           SectionEntry* table, const std::string& name) {
+  if (available < sizeof(DeltaHeader)) {
+    return Status::Corruption("truncated delta (no header): " + name);
+  }
+  std::memcpy(header, base, sizeof(DeltaHeader));
+  if (header->magic != kDeltaMagic) {
+    return Status::InvalidArgument("not an rdfalign delta: " + name);
+  }
+  if (header->version != kDeltaFormatVersion) {
+    return Status::NotSupported(
+        "unsupported delta format version " +
+        std::to_string(header->version) + " (this build reads version " +
+        std::to_string(kDeltaFormatVersion) + "): " + name);
+  }
+  if (header->endian_tag != kEndianTag) {
+    return Status::NotSupported(
+        "delta written with a different byte order: " + name);
+  }
+  if (header->num_sections != kNumDeltaSections) {
+    return Status::Corruption("unexpected delta section count: " + name);
+  }
+  if (header->file_size != actual_size) {
+    return Status::Corruption(
+        "delta size mismatch (header says " +
+        std::to_string(header->file_size) + " bytes, file has " +
+        std::to_string(actual_size) + "): " + name);
+  }
+  if (available < kDeltaPayloadStart) {
+    return Status::Corruption("truncated delta (no section table): " + name);
+  }
+  std::memcpy(table, base + sizeof(DeltaHeader),
+              kNumDeltaSections * sizeof(SectionEntry));
+  {
+    DeltaHeader zeroed = *header;
+    zeroed.header_checksum = 0;
+    Checksummer c;
+    c.Update(&zeroed, sizeof(zeroed));
+    c.Update(table, kNumDeltaSections * sizeof(SectionEntry));
+    if (c.Finish() != header->header_checksum) {
+      return Status::Corruption("delta header checksum mismatch: " + name);
+    }
+  }
+  // Bound the counts before computing expected sizes (overflow safety).
+  if (header->base_nodes >= kInvalidNode ||
+      header->next_nodes >= kInvalidNode ||
+      header->base_terms > kMaxDeltaTerms ||
+      header->next_terms > kMaxDeltaTerms ||
+      header->num_new_terms > header->next_terms ||
+      header->base_triples > (uint64_t{1} << 40) ||
+      header->next_triples > (uint64_t{1} << 40)) {
+    return Status::Corruption("implausible delta counts: " + name);
+  }
+  const uint64_t nn = header->next_nodes;
+  const uint64_t tn = header->next_terms;
+  const uint64_t nw = header->num_new_terms;
+  // Fixed expected sizes; the run and triple sections are data-dependent
+  // but must hold whole elements.
+  const uint64_t expected[kNumDeltaSections] = {
+      tn * sizeof(uint32_t),         // term_sources
+      (nw + 1) * sizeof(uint64_t),   // new_term_offsets
+      table[2].size,                 // new_term_blob: data-dependent
+      nn * sizeof(uint8_t),          // node_kinds
+      nn * sizeof(uint32_t),         // node_lex
+      nn * sizeof(NodeId),           // node_remap
+      table[6].size,                 // removed_runs
+      table[7].size,                 // kept_runs
+      table[8].size,                 // added_triples
+  };
+  if (table[6].size % sizeof(RunEntry) != 0 ||
+      table[7].size % sizeof(RunEntry) != 0 ||
+      table[8].size % sizeof(Triple) != 0) {
+    return Status::Corruption("delta section holds partial elements: " +
+                              name);
+  }
+  uint64_t prev_end = kDeltaPayloadStart;
+  for (size_t s = 0; s < kNumDeltaSections; ++s) {
+    const SectionEntry& sec = table[s];
+    if (sec.id != static_cast<uint32_t>(kDeltaSectionOrder[s]) ||
+        sec.reserved != 0) {
+      return Status::Corruption("malformed delta section table: " + name);
+    }
+    if (sec.size != expected[s]) {
+      return Status::Corruption(
+          "delta section " +
+          std::string(DeltaSectionName(kDeltaSectionOrder[s])) +
+          " has unexpected size: " + name);
+    }
+    if (sec.offset % kSectionAlignment != 0 || sec.offset < prev_end ||
+        sec.offset > header->file_size ||
+        sec.size > header->file_size - sec.offset) {
+      return Status::Corruption(
+          "delta section " +
+          std::string(DeltaSectionName(kDeltaSectionOrder[s])) +
+          " out of bounds: " + name);
+    }
+    prev_end = sec.offset + sec.size;
+  }
+  return Status::OK();
+}
+
+/// Opens `path` and validates the delta header from its prefix without
+/// allocating anything file-sized; returns the actual size.
+Result<uint64_t> OpenAndValidateDeltaPrefix(const std::string& path,
+                                            std::ifstream& in,
+                                            DeltaHeader* header,
+                                            SectionEntry* table) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec) || ec) {
+    return Status::IOError("not a regular file: " + path);
+  }
+  in.open(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IOError("cannot open file: " + path);
+  }
+  const std::streamoff pos = in.tellg();
+  if (!in || pos < 0) {
+    return Status::IOError("cannot determine file size: " + path);
+  }
+  const auto size = static_cast<uint64_t>(pos);
+  in.seekg(0);
+  unsigned char head[kDeltaPayloadStart] = {};
+  const uint64_t head_bytes =
+      size < kDeltaPayloadStart ? size : kDeltaPayloadStart;
+  in.read(reinterpret_cast<char*>(head),
+          static_cast<std::streamsize>(head_bytes));
+  if (!in && head_bytes > 0) {
+    return Status::IOError("error reading file: " + path);
+  }
+  RDFALIGN_RETURN_IF_ERROR(
+      ValidateDeltaHeader(head, head_bytes, size, header, table, path));
+  return size;
+}
+
+Result<RawDelta> AcquireDeltaBytes(const std::string& path) {
+  RawDelta raw;
+  std::ifstream in;
+  RDFALIGN_ASSIGN_OR_RETURN(
+      const uint64_t size,
+      OpenAndValidateDeltaPrefix(path, in, &raw.header, raw.table));
+  std::shared_ptr<std::vector<unsigned char>> buffer;
+  try {
+    buffer = std::make_shared<std::vector<unsigned char>>(size);
+  } catch (const std::bad_alloc&) {
+    return Status::IOError("delta too large to buffer (" +
+                           std::to_string(size) + " bytes): " + path);
+  }
+  if (size > 0) {
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(buffer->data()),
+            static_cast<std::streamsize>(size));
+    if (!in) {
+      return Status::IOError("error reading file: " + path);
+    }
+  }
+  raw.base = buffer->data();
+  raw.size = size;
+  raw.pin = std::move(buffer);
+  return raw;
+}
+
+template <typename T>
+std::span<const T> DeltaSectionSpan(const RawDelta& raw, size_t index) {
+  return {reinterpret_cast<const T*>(raw.base + raw.table[index].offset),
+          static_cast<size_t>(raw.table[index].size / sizeof(T))};
+}
+
+/// The shared body of the file and memory appliers. `raw` holds a
+/// validated header and section table.
+Result<TripleGraph> ApplyFromRaw(const TripleGraph& base, const RawDelta& raw,
+                                 std::shared_ptr<Dictionary> dict,
+                                 const DeltaApplyOptions& options,
+                                 DeltaApplyStats* stats,
+                                 const std::string& name) {
+  static_assert(std::endian::native == std::endian::little,
+                "deltas are read on little-endian hosts only");
+  const auto corrupt = [&name](std::string_view what) {
+    return Status::Corruption(std::string(what) + ": " + name);
+  };
+
+  if (options.verify_checksums) {
+    for (size_t s = 0; s < kNumDeltaSections; ++s) {
+      if (Checksum64(raw.base + raw.table[s].offset, raw.table[s].size) !=
+          raw.table[s].checksum) {
+        return Status::Corruption(
+            "delta section " +
+            std::string(DeltaSectionName(kDeltaSectionOrder[s])) +
+            " checksum mismatch: " + name);
+      }
+    }
+  }
+
+  // Base binding: the delta applies to exactly one graph. Count or
+  // fingerprint disagreement is a caller error (wrong base), not file
+  // corruption.
+  const TermBinding base_terms = BindTerms(base);
+  if (raw.header.base_nodes != base.NumNodes() ||
+      raw.header.base_triples != base.NumEdges() ||
+      raw.header.base_terms != base_terms.term_ids.size() ||
+      raw.header.base_fingerprint !=
+          FingerprintWithBinding(base, base_terms)) {
+    return Status::InvalidArgument(
+        "delta does not apply to this base graph: " + name);
+  }
+
+  const uint64_t bn = raw.header.base_nodes;
+  const uint64_t be = raw.header.base_triples;
+  const uint64_t nn = raw.header.next_nodes;
+  const uint64_t ne = raw.header.next_triples;
+  const uint64_t tb = raw.header.base_terms;
+  const uint64_t tn = raw.header.next_terms;
+  const uint64_t nw = raw.header.num_new_terms;
+
+  const auto term_sources = DeltaSectionSpan<uint32_t>(raw, 0);
+  const auto new_term_offsets = DeltaSectionSpan<uint64_t>(raw, 1);
+  const auto blob = DeltaSectionSpan<char>(raw, 2);
+  const auto kinds = DeltaSectionSpan<uint8_t>(raw, 3);
+  const auto lex = DeltaSectionSpan<uint32_t>(raw, 4);
+  const auto remap = DeltaSectionSpan<NodeId>(raw, 5);
+  const auto removed_runs = DeltaSectionSpan<RunEntry>(raw, 6);
+  const auto kept_runs = DeltaSectionSpan<RunEntry>(raw, 7);
+  const auto added = DeltaSectionSpan<Triple>(raw, 8);
+
+  // Structural validation: every array reference checked before use, so a
+  // crafted delta (checksums recomputed) is a Corruption status, never UB.
+  {
+    uint64_t new_seen = 0;
+    for (uint64_t j = 0; j < tn; ++j) {
+      const uint32_t src = term_sources[j];
+      if (src & kNewTermFlag) {
+        if ((src & ~kNewTermFlag) != new_seen) {
+          return corrupt("delta new-term references not dense and ordered");
+        }
+        ++new_seen;
+      } else if (src >= tb) {
+        return corrupt("delta term source references base term out of range");
+      }
+    }
+    if (new_seen != nw) {
+      return corrupt("delta new-term count inconsistent with term sources");
+    }
+  }
+  if (new_term_offsets[0] != 0 || new_term_offsets[nw] != blob.size()) {
+    return corrupt("delta term offset table does not span the term blob");
+  }
+  for (uint64_t k = 0; k < nw; ++k) {
+    if (new_term_offsets[k] > new_term_offsets[k + 1]) {
+      return corrupt("delta term offsets not monotonic");
+    }
+  }
+  for (uint64_t i = 0; i < nn; ++i) {
+    if (kinds[i] > static_cast<uint8_t>(TermKind::kBlank)) {
+      return corrupt("delta node kind out of range");
+    }
+    if (lex[i] >= tn) {
+      return corrupt("delta node label references term out of range");
+    }
+  }
+  // Invert the node remap; it must be injective into the base node set.
+  std::vector<NodeId> base_to_next(bn, kInvalidNode);
+  for (uint64_t i = 0; i < nn; ++i) {
+    const NodeId b = remap[i];
+    if (b == kInvalidNode) continue;
+    if (b >= bn) {
+      return corrupt("delta node remap references base node out of range");
+    }
+    if (base_to_next[b] != kInvalidNode) {
+      return corrupt("delta node remap is not injective");
+    }
+    base_to_next[b] = static_cast<NodeId>(i);
+  }
+  // Removed runs: ascending, non-overlapping, in bounds. Marked in a
+  // per-base-triple role map so kept runs cannot reuse them.
+  std::vector<uint8_t> role(be, 0);  // 0 unused, 1 removed, 2 kept
+  uint64_t removed_total = 0;
+  {
+    uint64_t prev_end = 0;
+    bool first = true;
+    for (const RunEntry& r : removed_runs) {
+      if (r.count == 0) return corrupt("delta removed run is empty");
+      if (!first && r.start < prev_end) {
+        return corrupt("delta removed runs not ascending");
+      }
+      if (r.start > be || r.count > be - r.start) {
+        return corrupt("delta removed run out of bounds");
+      }
+      for (uint64_t k = r.start; k < r.start + r.count; ++k) role[k] = 1;
+      prev_end = r.start + r.count;
+      removed_total += r.count;
+      first = false;
+    }
+  }
+  uint64_t kept_total = 0;
+  for (const RunEntry& r : kept_runs) {
+    if (r.count == 0) return corrupt("delta kept run is empty");
+    if (r.start > be || r.count > be - r.start) {
+      return corrupt("delta kept run out of bounds");
+    }
+    for (uint64_t k = r.start; k < r.start + r.count; ++k) {
+      if (role[k] != 0) {
+        return corrupt("delta runs reference a base triple twice");
+      }
+      role[k] = 2;
+    }
+    kept_total += r.count;
+  }
+  if (kept_total + removed_total != be) {
+    return corrupt("delta runs do not partition the base triple list");
+  }
+  if (kept_total + added.size() != ne) {
+    return corrupt("delta triple counts inconsistent");
+  }
+  for (const Triple& t : added) {
+    if (t.s >= nn || t.p >= nn || t.o >= nn) {
+      return corrupt("delta added triple references node out of range");
+    }
+  }
+
+  // Splice: expand the kept runs (mapped into next ids) and linearly merge
+  // with the added triples. Both streams are pre-sorted in next space; the
+  // global strictly-ascending check proves it and is exactly the
+  // sorted+deduplicated invariant FromIndexedParts trusts.
+  const std::span<const Triple> base_tris = base.triples();
+  std::vector<Triple> triples;
+  triples.reserve(ne);
+  size_t run_index = 0;
+  uint64_t run_pos = 0;
+  bool have_kept = false;
+  Triple kept_cur{};
+  const auto advance_kept = [&]() -> Status {
+    while (run_index < kept_runs.size()) {
+      const RunEntry& r = kept_runs[run_index];
+      if (run_pos == r.count) {
+        ++run_index;
+        run_pos = 0;
+        continue;
+      }
+      const Triple& bt = base_tris[r.start + run_pos];
+      ++run_pos;
+      const NodeId s = base_to_next[bt.s];
+      const NodeId p = base_to_next[bt.p];
+      const NodeId o = base_to_next[bt.o];
+      if (s == kInvalidNode || p == kInvalidNode || o == kInvalidNode) {
+        return Status::Corruption(
+            "delta kept triple references a base node without a "
+            "next-version image: " +
+            name);
+      }
+      kept_cur = Triple{s, p, o};
+      have_kept = true;
+      return Status::OK();
+    }
+    have_kept = false;
+    return Status::OK();
+  };
+  RDFALIGN_RETURN_IF_ERROR(advance_kept());
+  size_t add_index = 0;
+  while (have_kept || add_index < added.size()) {
+    const bool take_kept =
+        have_kept &&
+        (add_index >= added.size() || kept_cur < added[add_index]);
+    const Triple chosen = take_kept ? kept_cur : added[add_index];
+    if (!triples.empty() && !(triples.back() < chosen)) {
+      return corrupt("delta spliced triples not sorted and deduplicated");
+    }
+    triples.push_back(chosen);
+    if (take_kept) {
+      RDFALIGN_RETURN_IF_ERROR(advance_kept());
+    } else {
+      ++add_index;
+    }
+  }
+
+  // Dictionary: resolve each next-dense (canonical-order) term against
+  // the base dictionary or the delta blob, interning by copy — the delta
+  // buffer is transient — into the target dictionary.
+  if (dict == nullptr) dict = std::make_shared<Dictionary>();
+  const size_t dict_before = dict->size();
+  std::vector<LexId> lex_map(tn);
+  {
+    uint64_t new_seen = 0;
+    for (uint64_t j = 0; j < tn; ++j) {
+      const uint32_t src = term_sources[j];
+      std::string_view term;
+      if (src & kNewTermFlag) {
+        term = std::string_view(blob.data() + new_term_offsets[new_seen],
+                                new_term_offsets[new_seen + 1] -
+                                    new_term_offsets[new_seen]);
+        ++new_seen;
+      } else {
+        term = base.dict().Get(base_terms.term_ids[src]);
+      }
+      lex_map[j] = dict->Intern(term);
+    }
+  }
+  std::vector<NodeLabel> labels(nn);
+  for (uint64_t i = 0; i < nn; ++i) {
+    labels[i] = NodeLabel{static_cast<TermKind>(kinds[i]), lex_map[lex[i]]};
+  }
+
+  // Fresh CSR arrays from the merged sorted triple list — the same
+  // counting passes as TripleGraph::BuildIndexes, so the result is
+  // bit-identical to a from-scratch build (and to a full snapshot load).
+  std::vector<uint64_t> out_offsets;
+  std::vector<PredicateObject> out_pairs;
+  std::vector<uint64_t> in_offsets;
+  std::vector<NodeId> in_subjects;
+  TripleGraph::BuildCsrArrays(triples, nn, &out_offsets, &out_pairs,
+                              &in_offsets, &in_subjects);
+
+  if (stats != nullptr) {
+    stats->file_bytes = raw.size;
+    stats->kept_triples = kept_total;
+    stats->removed_triples = removed_total;
+    stats->added_triples = added.size();
+    stats->new_terms = nw;
+    stats->terms_interned = dict->size() - dict_before;
+  }
+
+  return TripleGraph::FromIndexedParts(
+      std::move(dict), std::move(labels),
+      SharedArray<Triple>(std::move(triples)),
+      SharedArray<uint64_t>(std::move(out_offsets)),
+      SharedArray<PredicateObject>(std::move(out_pairs)),
+      SharedArray<uint64_t>(std::move(in_offsets)),
+      SharedArray<NodeId>(std::move(in_subjects)));
+}
+
+}  // namespace
+
+Result<TripleGraph> ApplyDelta(const TripleGraph& base,
+                               const std::string& path,
+                               std::shared_ptr<Dictionary> dict,
+                               const DeltaApplyOptions& options,
+                               DeltaApplyStats* stats) {
+  RDFALIGN_ASSIGN_OR_RETURN(RawDelta raw, AcquireDeltaBytes(path));
+  return ApplyFromRaw(base, raw, std::move(dict), options, stats, path);
+}
+
+Result<TripleGraph> ApplyDeltaFromMemory(const TripleGraph& base,
+                                         const unsigned char* data,
+                                         uint64_t size,
+                                         std::shared_ptr<Dictionary> dict,
+                                         const DeltaApplyOptions& options,
+                                         DeltaApplyStats* stats,
+                                         const std::string& name) {
+  RawDelta raw;
+  raw.base = data;
+  raw.size = size;
+  RDFALIGN_RETURN_IF_ERROR(
+      ValidateDeltaHeader(data, size, size, &raw.header, raw.table, name));
+  return ApplyFromRaw(base, raw, std::move(dict), options, stats, name);
+}
+
+Result<DeltaInfo> ReadDeltaInfo(const std::string& path) {
+  std::ifstream in;
+  DeltaHeader header;
+  SectionEntry table[kNumDeltaSections];
+  RDFALIGN_RETURN_IF_ERROR(
+      OpenAndValidateDeltaPrefix(path, in, &header, table).status());
+  DeltaInfo info;
+  info.version = header.version;
+  info.base_nodes = header.base_nodes;
+  info.base_triples = header.base_triples;
+  info.base_terms = header.base_terms;
+  info.base_fingerprint = header.base_fingerprint;
+  info.next_nodes = header.next_nodes;
+  info.next_triples = header.next_triples;
+  info.next_terms = header.next_terms;
+  info.num_new_terms = header.num_new_terms;
+  info.file_size = header.file_size;
+  for (size_t s = 0; s < kNumDeltaSections; ++s) {
+    info.sections.push_back(
+        DeltaSectionInfo{kDeltaSectionOrder[s], table[s].offset,
+                         table[s].size, table[s].checksum});
+  }
+  return info;
+}
+
+bool LooksLikeDelta(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::array<char, 8> magic = {};
+  in.read(magic.data(), magic.size());
+  return in.gcount() == static_cast<std::streamsize>(magic.size()) &&
+         magic == kDeltaMagic;
+}
+
+}  // namespace rdfalign::store

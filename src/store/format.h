@@ -101,6 +101,120 @@ static_assert(sizeof(PredicateObject) == 8 &&
               std::is_trivially_copyable_v<PredicateObject>);
 static_assert(sizeof(NodeId) == 4 && sizeof(LexId) == 4);
 
+// ------------------------------------------------------------------------
+// Delta files (version 1): the incremental change between two snapshots.
+//
+// A delta serializes everything needed to reconstruct the *next* version
+// from a materialized *base* graph with no parsing and no sorting:
+// dictionary additions, the next version's node columns, the
+// alignment-derived node remap, and the triple change expressed as runs
+// over the base triple list plus a sorted added-triple list. The file
+// shares the snapshot conventions — fixed header, section table, 8-byte
+// aligned checksummed payloads. See docs/store.md ("Delta format").
+
+/// "RDFDELT1" — identifies an rdfalign delta file.
+inline constexpr std::array<char, 8> kDeltaMagic = {'R', 'D', 'F', 'D',
+                                                    'E', 'L', 'T', '1'};
+
+/// Delta format version written by this build; readers accept only equal
+/// versions (same policy as snapshots).
+inline constexpr uint32_t kDeltaFormatVersion = 1;
+
+/// The payload sections of a version-1 delta, in file order.
+enum class DeltaSectionId : uint32_t {
+  kTermSources = 1,     ///< next_terms x u32: base term index, or
+                        ///< kNewTermFlag | new-term index
+  kNewTermOffsets = 2,  ///< (num_new_terms + 1) x u64 into kNewTermBlob
+  kNewTermBlob = 3,     ///< concatenated UTF-8 lexical forms of new terms
+  kNodeKinds = 4,       ///< next_nodes x u8: TermKind per next node
+  kNodeLex = 5,         ///< next_nodes x u32: next-dense term index
+  kNodeRemap = 6,       ///< next_nodes x u32: aligned base node or
+                        ///< kInvalidNode (injective on mapped entries)
+  kRemovedRuns = 7,     ///< RunEntry[]: base triple indexes absent in next,
+                        ///< ascending, non-overlapping
+  kKeptRuns = 8,        ///< RunEntry[]: surviving base triple index runs,
+                        ///< ordered by the mapped triples' next-space sort
+                        ///< position
+  kAddedTriples = 9,    ///< Triple[]: next-space triples new in next, sorted
+};
+
+inline constexpr size_t kNumDeltaSections = 9;
+
+/// Marks a kTermSources entry as referencing the delta's new-term table
+/// (low 31 bits index it) instead of the base term table.
+inline constexpr uint32_t kNewTermFlag = 0x80000000u;
+
+/// Term counts in delta files are bounded so kNewTermFlag can never collide
+/// with a base term index.
+inline constexpr uint64_t kMaxDeltaTerms = 0x7fffffffull;
+
+/// A run of `count` consecutive base triple indexes starting at `start`.
+struct RunEntry {
+  uint64_t start;
+  uint64_t count;
+};
+static_assert(sizeof(RunEntry) == 16);
+static_assert(std::is_trivially_copyable_v<RunEntry>);
+
+/// The fixed-size delta file header.
+struct DeltaHeader {
+  std::array<char, 8> magic;  ///< kDeltaMagic
+  uint32_t version;           ///< kDeltaFormatVersion
+  uint32_t endian_tag;        ///< kEndianTag
+  uint64_t base_nodes;        ///< |N| of the base version
+  uint64_t base_triples;      ///< |E| of the base version
+  uint64_t base_terms;        ///< referenced dictionary terms of the base
+  uint64_t base_fingerprint;  ///< GraphFingerprint(base) — binds the delta
+                              ///< to exactly one base graph
+  uint64_t next_nodes;        ///< |N| of the reconstructed version
+  uint64_t next_triples;      ///< |E| of the reconstructed version
+  uint64_t next_terms;        ///< referenced terms of the next version
+  uint64_t num_new_terms;     ///< terms of next absent from the base
+  uint64_t num_sections;      ///< kNumDeltaSections
+  uint64_t file_size;         ///< total delta size in bytes
+  uint64_t header_checksum;   ///< Checksum64 of header + section table,
+                              ///< computed with this field set to zero
+};
+static_assert(sizeof(DeltaHeader) == 104);
+static_assert(std::is_trivially_copyable_v<DeltaHeader>);
+
+/// Byte offset of the first delta section payload.
+inline constexpr size_t kDeltaPayloadStart =
+    sizeof(DeltaHeader) + kNumDeltaSections * sizeof(SectionEntry);
+
+// ------------------------------------------------------------------------
+// Archive files (version 1): a base snapshot plus a delta chain plus the
+// per-version entity-id columns of a VersionArchive (§6). Sections are a
+// verbatim embedded snapshot image, one embedded delta image per later
+// version, then one u64 entity array per version.
+
+/// "RDFARCH1" — identifies an rdfalign version-archive file.
+inline constexpr std::array<char, 8> kArchiveMagic = {'R', 'D', 'F', 'A',
+                                                      'R', 'C', 'H', '1'};
+
+inline constexpr uint32_t kArchiveFormatVersion = 1;
+
+/// Archive section kinds (ids repeat; order is base, deltas, entities).
+enum class ArchiveSectionId : uint32_t {
+  kBaseSnapshot = 1,  ///< embedded snapshot image of version 0
+  kDelta = 2,         ///< embedded delta image v-1 -> v, ascending v
+  kEntities = 3,      ///< num_nodes(v) x u64 entity ids, ascending v
+};
+
+/// The fixed-size archive file header.
+struct ArchiveHeader {
+  std::array<char, 8> magic;  ///< kArchiveMagic
+  uint32_t version;           ///< kArchiveFormatVersion
+  uint32_t endian_tag;        ///< kEndianTag
+  uint64_t num_versions;      ///< V; sections = 2V (V >= 1), 0 when V == 0
+  uint64_t num_sections;
+  uint64_t file_size;
+  uint64_t header_checksum;  ///< Checksum64 of header + section table,
+                             ///< computed with this field set to zero
+};
+static_assert(sizeof(ArchiveHeader) == 48);
+static_assert(std::is_trivially_copyable_v<ArchiveHeader>);
+
 /// Content checksum: multiply-xor mixing over 8-byte words, tail bytes
 /// zero-padded into a final word, total length folded in at the end. Not
 /// cryptographic — detects torn writes, truncation, and bit rot. Incremental

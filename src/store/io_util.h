@@ -1,0 +1,30 @@
+// Internal I/O helpers shared by the store writers (snapshot, delta,
+// archive). Not part of the public store API.
+
+#ifndef RDFALIGN_STORE_IO_UTIL_H_
+#define RDFALIGN_STORE_IO_UTIL_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+#include "util/status.h"
+
+namespace rdfalign::store {
+
+/// Writes exactly `n` bytes or returns an IOError naming the file kind
+/// ("snapshot", "delta", "archive") and path.
+inline Status WriteExact(std::ostream& out, const void* data, size_t n,
+                         const char* kind, const std::string& path) {
+  if (n == 0) return Status::OK();
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!out) {
+    return Status::IOError("error writing " + std::string(kind) + ": " +
+                           path);
+  }
+  return Status::OK();
+}
+
+}  // namespace rdfalign::store
+
+#endif  // RDFALIGN_STORE_IO_UTIL_H_

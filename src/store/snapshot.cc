@@ -7,6 +7,7 @@
 #include <fstream>
 #include <utility>
 
+#include "store/io_util.h"
 #include "store/mapped_file.h"
 #include "util/shared_array.h"
 
@@ -21,14 +22,9 @@ constexpr SectionId kSectionOrder[kNumSections] = {
     SectionId::kOutPairs,    SectionId::kInOffsets, SectionId::kInSubjects,
 };
 
-Status WriteExact(std::ofstream& out, const void* data, size_t n,
+Status WriteExact(std::ostream& out, const void* data, size_t n,
                   const std::string& path) {
-  if (n == 0) return Status::OK();
-  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
-  if (!out) {
-    return Status::IOError("error writing snapshot: " + path);
-  }
-  return Status::OK();
+  return store::WriteExact(out, data, n, "snapshot", path);  // io_util.h
 }
 
 }  // namespace
@@ -57,7 +53,8 @@ std::string_view SectionName(SectionId id) {
   return "unknown";
 }
 
-Status WriteSnapshot(const TripleGraph& g, const std::string& path) {
+Status WriteSnapshotToStream(const TripleGraph& g, std::ostream& out,
+                             const std::string& path) {
   static_assert(std::endian::native == std::endian::little,
                 "snapshots are written on little-endian hosts only");
   const size_t n = g.NumNodes();
@@ -151,10 +148,6 @@ Status WriteSnapshot(const TripleGraph& g, const std::string& path) {
     header.header_checksum = c.Finish();
   }
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IOError("cannot open file for writing: " + path);
-  }
   RDFALIGN_RETURN_IF_ERROR(WriteExact(out, &header, sizeof(header), path));
   RDFALIGN_RETURN_IF_ERROR(WriteExact(out, table, sizeof(table), path));
   uint64_t written = kPayloadStart;
@@ -181,6 +174,14 @@ Status WriteSnapshot(const TripleGraph& g, const std::string& path) {
     return Status::IOError("error writing snapshot: " + path);
   }
   return Status::OK();
+}
+
+Status WriteSnapshot(const TripleGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open file for writing: " + path);
+  }
+  return WriteSnapshotToStream(g, out, path);
 }
 
 namespace {
@@ -377,16 +378,16 @@ std::span<const T> SectionSpan(const RawSnapshot& raw, size_t index) {
           static_cast<size_t>(raw.table[index].size / sizeof(T))};
 }
 
-}  // namespace
-
-Result<TripleGraph> LoadSnapshot(const std::string& path,
-                                 std::shared_ptr<Dictionary> dict,
-                                 const SnapshotLoadOptions& options,
-                                 SnapshotLoadStats* stats) {
+/// The shared body of the file and memory loaders: checksums, structural
+/// validation, dictionary interning, zero-copy array adoption. `raw` must
+/// hold a validated header and section table.
+Result<TripleGraph> LoadFromRaw(const RawSnapshot& raw,
+                                std::shared_ptr<Dictionary> dict,
+                                const SnapshotLoadOptions& options,
+                                SnapshotLoadStats* stats,
+                                const std::string& path) {
   static_assert(std::endian::native == std::endian::little,
                 "snapshots are read on little-endian hosts only");
-  RDFALIGN_ASSIGN_OR_RETURN(RawSnapshot raw,
-                            AcquireBytes(path, options.use_mmap));
   const uint64_t n = raw.header.num_nodes;
   const uint64_t e = raw.header.num_triples;
   const uint64_t t = raw.header.num_terms;
@@ -520,6 +521,35 @@ Result<TripleGraph> LoadSnapshot(const std::string& path,
                                    out_pairs.size()),
       SharedArray<uint64_t>(raw.pin, in_offsets.data(), in_offsets.size()),
       SharedArray<NodeId>(raw.pin, in_subjects.data(), in_subjects.size()));
+}
+
+}  // namespace
+
+Result<TripleGraph> LoadSnapshot(const std::string& path,
+                                 std::shared_ptr<Dictionary> dict,
+                                 const SnapshotLoadOptions& options,
+                                 SnapshotLoadStats* stats) {
+  RDFALIGN_ASSIGN_OR_RETURN(RawSnapshot raw,
+                            AcquireBytes(path, options.use_mmap));
+  return LoadFromRaw(raw, std::move(dict), options, stats, path);
+}
+
+Result<TripleGraph> LoadSnapshotFromMemory(std::shared_ptr<const void> pin,
+                                           const unsigned char* data,
+                                           uint64_t size,
+                                           std::shared_ptr<Dictionary> dict,
+                                           const SnapshotLoadOptions& options,
+                                           SnapshotLoadStats* stats,
+                                           const std::string& name) {
+  RawSnapshot raw;
+  raw.pin = std::move(pin);
+  raw.base = data;
+  raw.size = size;
+  RDFALIGN_RETURN_IF_ERROR(
+      ValidateHeader(data, size, size, &raw.header, raw.table, name));
+  SnapshotLoadOptions in_place = options;
+  in_place.use_mmap = false;  // no file involved; report a buffered load
+  return LoadFromRaw(raw, std::move(dict), in_place, stats, name);
 }
 
 Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {

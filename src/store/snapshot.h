@@ -18,6 +18,7 @@
 #define RDFALIGN_STORE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -42,6 +43,11 @@ namespace rdfalign::store {
 /// snapshot subjects. Callers needing RDF-graph guarantees should obtain
 /// the graph through a validating front end (parser / GraphBuilder).
 Status WriteSnapshot(const TripleGraph& g, const std::string& path);
+
+/// Serializes `g` into an already-open binary stream (the archive store
+/// embeds snapshot images this way). `name` labels error messages.
+Status WriteSnapshotToStream(const TripleGraph& g, std::ostream& out,
+                             const std::string& name);
 
 struct SnapshotLoadOptions {
   /// Map the file instead of reading it into a buffer. The CSR arrays are
@@ -76,6 +82,15 @@ Result<TripleGraph> LoadSnapshot(const std::string& path,
                                  std::shared_ptr<Dictionary> dict,
                                  const SnapshotLoadOptions& options = {},
                                  SnapshotLoadStats* stats = nullptr);
+
+/// Loads a snapshot image already resident in memory (an archive section,
+/// a network buffer). `pin` keeps [data, data+size) alive and is captured
+/// by the returned graph for zero-copy adoption; `name` labels error
+/// messages. All validation of the file-based loader runs.
+Result<TripleGraph> LoadSnapshotFromMemory(
+    std::shared_ptr<const void> pin, const unsigned char* data, uint64_t size,
+    std::shared_ptr<Dictionary> dict, const SnapshotLoadOptions& options = {},
+    SnapshotLoadStats* stats = nullptr, const std::string& name = "<memory>");
 
 /// Section metadata as reported by `rdfalign info`.
 struct SnapshotSectionInfo {

@@ -189,14 +189,15 @@ TripleGraph RandomGraph(const RandomGraphOptions& options,
   return std::move(b.Build(true)).value();
 }
 
-std::pair<TripleGraph, TripleGraph> RandomEvolvingPair(
-    uint64_t seed, const RandomGraphOptions& base_options) {
-  RandomGraphOptions options = base_options;
-  options.seed = seed;
-  auto dict = std::make_shared<Dictionary>();
-  TripleGraph g1 = RandomGraph(options, dict);
+namespace {
 
-  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+/// One evolution step shared by RandomEvolvingPair and
+/// RandomEvolvingChain: random triple deletions, URI renames, literal
+/// typos, fresh blank names, and a few insertions tagged with
+/// `insert_tag` so labels stay unique across chain steps.
+TripleGraph EvolveVersion(const TripleGraph& g1,
+                          const std::shared_ptr<Dictionary>& dict, Rng& rng,
+                          uint64_t insert_tag, size_t edges_hint) {
   // Label maps: some URIs renamed, some literals edited; blanks always get
   // fresh local names.
   std::unordered_map<LexId, std::string> label_map;
@@ -238,15 +239,45 @@ std::pair<TripleGraph, TripleGraph> RandomEvolvingPair(
     b.AddTriple(s, p, o);
   }
   // A few insertions.
-  const size_t inserts = 1 + options.edges / 20;
+  const size_t inserts = 1 + edges_hint / 20;
   for (size_t i = 0; i < inserts; ++i) {
-    NodeId s = b.AddUri("urn:new" + std::to_string(seed) + "-" +
+    NodeId s = b.AddUri("urn:new" + std::to_string(insert_tag) + "-" +
                         std::to_string(i));
     NodeId p = b.AddUri("urn:np" + std::to_string(i % 3));
     NodeId o = b.AddLiteral(gen::RandomSentence(rng, 1, 3));
     b.AddTriple(s, p, o);
   }
-  return {std::move(g1), std::move(b.Build(true)).value()};
+  return std::move(b.Build(true)).value();
+}
+
+}  // namespace
+
+std::pair<TripleGraph, TripleGraph> RandomEvolvingPair(
+    uint64_t seed, const RandomGraphOptions& base_options) {
+  RandomGraphOptions options = base_options;
+  options.seed = seed;
+  auto dict = std::make_shared<Dictionary>();
+  TripleGraph g1 = RandomGraph(options, dict);
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  TripleGraph g2 = EvolveVersion(g1, dict, rng, seed, options.edges);
+  return {std::move(g1), std::move(g2)};
+}
+
+std::vector<TripleGraph> RandomEvolvingChain(
+    uint64_t seed, size_t versions, const RandomGraphOptions& base_options) {
+  RandomGraphOptions options = base_options;
+  options.seed = seed;
+  auto dict = std::make_shared<Dictionary>();
+  std::vector<TripleGraph> chain;
+  chain.reserve(versions);
+  if (versions == 0) return chain;
+  chain.push_back(RandomGraph(options, dict));
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 2);
+  for (size_t v = 1; v < versions; ++v) {
+    chain.push_back(EvolveVersion(chain.back(), dict, rng,
+                                  seed * 1000 + v, options.edges));
+  }
+  return chain;
 }
 
 CombinedGraph Combine(const TripleGraph& g1, const TripleGraph& g2) {

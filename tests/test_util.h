@@ -50,6 +50,15 @@ TripleGraph RandomGraph(const RandomGraphOptions& options,
 std::pair<TripleGraph, TripleGraph> RandomEvolvingPair(
     uint64_t seed, const RandomGraphOptions& base_options = {});
 
+/// A random evolving chain of `versions` graphs sharing one dictionary:
+/// version 0 is RandomGraph(base_options), each later version evolves its
+/// predecessor by the same edit process as RandomEvolvingPair (literal
+/// typos, URI renames, triple deletions, insertions). The delta-store
+/// round-trip property tests replay these chains.
+std::vector<TripleGraph> RandomEvolvingChain(
+    uint64_t seed, size_t versions,
+    const RandomGraphOptions& base_options = {});
+
 /// CombinedGraph convenience (CHECK-fails on error).
 CombinedGraph Combine(const TripleGraph& g1, const TripleGraph& g2);
 

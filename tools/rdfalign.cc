@@ -1,13 +1,18 @@
 // rdfalign — the command-line front end of the snapshot store + aligner.
 //
 //   rdfalign build <input> <output.snap>    text RDF -> binary snapshot
-//   rdfalign info <snapshot>                header / section / stats dump
+//   rdfalign info <file>                    snapshot / delta / archive dump
 //   rdfalign align <a> <b>                  align two graphs, print report
+//   rdfalign diff <base> <next> <out>       align and write a binary delta
+//   rdfalign patch <base> <delta> <out>     replay a delta onto a base
+//   rdfalign archive <out> <v1> <v2> ...    build + save a version archive
 //   rdfalign gen <out-prefix>               synthetic version chain (CI/demo)
 //
-// `align` accepts snapshots or RDF text files interchangeably (sniffed by
-// magic); snapshots load with zero parsing, which is the point — build
-// once, align many times. See docs/store.md and the README workflow.
+// `align`, `diff`, `patch`, and `archive` accept snapshots or RDF text
+// files interchangeably (sniffed by magic); snapshots load with zero
+// parsing, which is the point — build once, align many times. `patch`
+// exits 2 when the delta does not apply to the given base. See
+// docs/store.md and the README workflow.
 
 #include <cerrno>
 #include <cstdio>
@@ -20,11 +25,15 @@
 #include <vector>
 
 #include "core/aligner.h"
+#include "core/archive.h"
+#include "core/delta.h"
 #include "gen/category_gen.h"
 #include "parser/ntriples_parser.h"
 #include "parser/ntriples_writer.h"
 #include "parser/turtle_parser.h"
 #include "rdf/statistics.h"
+#include "store/archive_io.h"
+#include "store/delta.h"
 #include "store/snapshot.h"
 #include "util/timer.h"
 
@@ -40,12 +49,23 @@ int Usage() {
       "commands:\n"
       "  build <input> <output.snap> [--format=auto|ntriples|turtle]\n"
       "      parse an RDF text file and write a binary snapshot\n"
-      "  info <snapshot> [--json]\n"
-      "      print snapshot header, sections, and statistics\n"
+      "  info <file> [--json]\n"
+      "      print header, sections, and statistics of a snapshot,\n"
+      "      delta, or archive file (sniffed by magic)\n"
       "  align <a> <b> [--method=M] [--threads=N] [--mmap] [--json]\n"
       "      align two graphs (snapshot or RDF text each) and report\n"
       "      methods: trivial deblank hybrid hybrid-contextual overlap\n"
       "      (default hybrid; --threads=0 uses all hardware threads)\n"
+      "  diff <base> <next> <out.delta> [--method=M] [--threads=N]\n"
+      "       [--mmap] [--json]\n"
+      "      align two versions and write the incremental binary delta\n"
+      "  patch <base> <delta> <out.snap> [--mmap] [--json]\n"
+      "      reconstruct the next version from base + delta and write it\n"
+      "      as a snapshot (exit 2 when the delta does not fit the base)\n"
+      "  archive <out.archive> <v1> <v2> ... [--method=M] [--threads=N]\n"
+      "       [--mmap] [--json]\n"
+      "      append versions into an interval archive and persist it as\n"
+      "      a base snapshot plus a delta chain\n"
       "  gen <out-prefix> [--scale=S] [--versions=K] [--seed=N]\n"
       "      generate a synthetic category-graph version chain as\n"
       "      <out-prefix>1.nt, <out-prefix>2.nt, ...\n");
@@ -184,18 +204,14 @@ int CmdBuild(const Args& args) {
   return 0;
 }
 
-int CmdInfo(const Args& args) {
-  if (args.positional().size() != 1 || !args.OnlyKnown({"json"})) {
-    return Usage();
-  }
-  const std::string& path = args.positional()[0];
+int InfoSnapshot(const std::string& path, bool json) {
   auto info = store::ReadSnapshotInfo(path);
   if (!info.ok()) {
     std::fprintf(stderr, "rdfalign info: %s\n",
                  info.status().ToString().c_str());
     return 1;
   }
-  if (args.Has("json")) {
+  if (json) {
     std::printf("{\n");
     std::printf("  \"path\": \"%s\",\n", path.c_str());
     std::printf("  \"version\": %u,\n", info->version);
@@ -240,6 +256,128 @@ int CmdInfo(const Args& args) {
   return 0;
 }
 
+int InfoDelta(const std::string& path, bool json) {
+  auto info = store::ReadDeltaInfo(path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "rdfalign info: %s\n",
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"path\": \"%s\",\n", path.c_str());
+    std::printf("  \"kind\": \"delta\",\n");
+    std::printf("  \"version\": %u,\n", info->version);
+    std::printf("  \"base\": {\"nodes\": %llu, \"triples\": %llu, "
+                "\"terms\": %llu, \"fingerprint\": \"%016llx\"},\n",
+                (unsigned long long)info->base_nodes,
+                (unsigned long long)info->base_triples,
+                (unsigned long long)info->base_terms,
+                (unsigned long long)info->base_fingerprint);
+    std::printf("  \"next\": {\"nodes\": %llu, \"triples\": %llu, "
+                "\"terms\": %llu, \"new_terms\": %llu},\n",
+                (unsigned long long)info->next_nodes,
+                (unsigned long long)info->next_triples,
+                (unsigned long long)info->next_terms,
+                (unsigned long long)info->num_new_terms);
+    std::printf("  \"file_bytes\": %llu,\n",
+                (unsigned long long)info->file_size);
+    std::printf("  \"sections\": [\n");
+    for (size_t i = 0; i < info->sections.size(); ++i) {
+      const auto& s = info->sections[i];
+      std::printf("    {\"name\": \"%s\", \"offset\": %llu, \"bytes\": %llu, "
+                  "\"checksum\": \"%016llx\"}%s\n",
+                  std::string(store::DeltaSectionName(s.id)).c_str(),
+                  (unsigned long long)s.offset, (unsigned long long)s.size,
+                  (unsigned long long)s.checksum,
+                  i + 1 < info->sections.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+  } else {
+    std::printf("rdfalign delta %s\n", path.c_str());
+    std::printf("  format version : %u\n", info->version);
+    std::printf("  base           : %llu nodes, %llu triples, %llu terms\n",
+                (unsigned long long)info->base_nodes,
+                (unsigned long long)info->base_triples,
+                (unsigned long long)info->base_terms);
+    std::printf("  base fingerprint: %016llx\n",
+                (unsigned long long)info->base_fingerprint);
+    std::printf("  next           : %llu nodes, %llu triples, %llu terms "
+                "(%llu new)\n",
+                (unsigned long long)info->next_nodes,
+                (unsigned long long)info->next_triples,
+                (unsigned long long)info->next_terms,
+                (unsigned long long)info->num_new_terms);
+    std::printf("  file size      : %llu bytes\n",
+                (unsigned long long)info->file_size);
+    std::printf("  sections:\n");
+    for (const auto& s : info->sections) {
+      std::printf("    %-16s offset=%-10llu bytes=%-10llu checksum=%016llx\n",
+                  std::string(store::DeltaSectionName(s.id)).c_str(),
+                  (unsigned long long)s.offset, (unsigned long long)s.size,
+                  (unsigned long long)s.checksum);
+    }
+  }
+  return 0;
+}
+
+int InfoArchive(const std::string& path, bool json) {
+  auto info = store::ReadArchiveInfo(path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "rdfalign info: %s\n",
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"path\": \"%s\",\n", path.c_str());
+    std::printf("  \"kind\": \"archive\",\n");
+    std::printf("  \"version\": %u,\n", info->version);
+    std::printf("  \"versions\": %llu,\n",
+                (unsigned long long)info->num_versions);
+    std::printf("  \"file_bytes\": %llu,\n",
+                (unsigned long long)info->file_size);
+    std::printf("  \"sections\": [\n");
+    for (size_t i = 0; i < info->sections.size(); ++i) {
+      const auto& s = info->sections[i];
+      std::printf("    {\"name\": \"%s\", \"offset\": %llu, \"bytes\": %llu, "
+                  "\"checksum\": \"%016llx\"}%s\n",
+                  std::string(store::ArchiveSectionName(s.id)).c_str(),
+                  (unsigned long long)s.offset, (unsigned long long)s.size,
+                  (unsigned long long)s.checksum,
+                  i + 1 < info->sections.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+  } else {
+    std::printf("rdfalign archive %s\n", path.c_str());
+    std::printf("  format version : %u\n", info->version);
+    std::printf("  versions       : %llu\n",
+                (unsigned long long)info->num_versions);
+    std::printf("  file size      : %llu bytes\n",
+                (unsigned long long)info->file_size);
+    std::printf("  sections:\n");
+    for (const auto& s : info->sections) {
+      std::printf("    %-13s offset=%-10llu bytes=%-10llu checksum=%016llx\n",
+                  std::string(store::ArchiveSectionName(s.id)).c_str(),
+                  (unsigned long long)s.offset, (unsigned long long)s.size,
+                  (unsigned long long)s.checksum);
+    }
+  }
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  if (args.positional().size() != 1 || !args.OnlyKnown({"json"})) {
+    return Usage();
+  }
+  const std::string& path = args.positional()[0];
+  const bool json = args.Has("json");
+  if (store::LooksLikeDelta(path)) return InfoDelta(path, json);
+  if (store::LooksLikeArchive(path)) return InfoArchive(path, json);
+  // Snapshot, or the error path for files that are no store format at all.
+  return InfoSnapshot(path, json);
+}
+
 Result<AlignMethod> ParseMethod(const std::string& name) {
   if (name == "trivial") return AlignMethod::kTrivial;
   if (name == "deblank") return AlignMethod::kDeblank;
@@ -247,6 +385,31 @@ Result<AlignMethod> ParseMethod(const std::string& name) {
   if (name == "hybrid-contextual") return AlignMethod::kHybridContextual;
   if (name == "overlap") return AlignMethod::kOverlap;
   return Status::InvalidArgument("unknown alignment method: " + name);
+}
+
+/// Parses --method / --threads into `options`, printing errors itself;
+/// the caller exits 2 on false. Threads are bounded explicitly: an absurd
+/// count would be handed to the signing pool (0 = all hardware threads is
+/// the engine's own convention).
+bool ParseAlignerFlags(const Args& args, const char* cmd,
+                       AlignerOptions* options) {
+  auto method = ParseMethod(args.GetString("method", "hybrid"));
+  if (!method.ok()) {
+    std::fprintf(stderr, "rdfalign %s: %s\n", cmd,
+                 method.status().ToString().c_str());
+    return false;
+  }
+  options->method = *method;
+  const std::optional<long long> threads = args.GetInt("threads", 1);
+  if (!threads) return false;
+  if (*threads < 0 || *threads > 4096) {
+    std::fprintf(stderr, "rdfalign %s: --threads must be in [0, 4096]\n",
+                 cmd);
+    return false;
+  }
+  options->refinement.threads = static_cast<size_t>(*threads);
+  options->overlap.propagate.refinement = options->refinement;
+  return true;
 }
 
 int CmdAlign(const Args& args) {
@@ -258,24 +421,9 @@ int CmdAlign(const Args& args) {
   const std::string& path_b = args.positional()[1];
   const bool use_mmap = args.Has("mmap");
 
-  auto method = ParseMethod(args.GetString("method", "hybrid"));
-  if (!method.ok()) {
-    std::fprintf(stderr, "rdfalign align: %s\n",
-                 method.status().ToString().c_str());
-    return 2;
-  }
   AlignerOptions options;
-  options.method = *method;
-  // Bound explicitly: an absurd count would be handed to the signing pool
-  // (0 = all hardware threads is the engine's own convention).
-  const std::optional<long long> threads = args.GetInt("threads", 1);
-  if (!threads) return 2;
-  if (*threads < 0 || *threads > 4096) {
-    std::fprintf(stderr, "rdfalign align: --threads must be in [0, 4096]\n");
-    return 2;
-  }
-  options.refinement.threads = static_cast<size_t>(*threads);
-  options.overlap.propagate.refinement = options.refinement;
+  if (!ParseAlignerFlags(args, "align", &options)) return 2;
+  const auto method = options.method;
 
   // One shared dictionary puts both versions in a single label space.
   auto dict = std::make_shared<Dictionary>();
@@ -309,7 +457,7 @@ int CmdAlign(const Args& args) {
   if (args.Has("json")) {
     std::printf("{\n");
     std::printf("  \"method\": \"%s\",\n",
-                std::string(AlignMethodToString(*method)).c_str());
+                std::string(AlignMethodToString(method)).c_str());
     std::printf("  \"threads\": %zu,\n", options.refinement.threads);
     std::printf("  \"a\": {\"path\": \"%s\", \"kind\": \"%s\", "
                 "\"nodes\": %zu, \"triples\": %zu, \"load_ms\": %.2f},\n",
@@ -341,7 +489,7 @@ int CmdAlign(const Args& args) {
     std::printf("}\n");
   } else {
     std::printf("alignment report (%s)\n",
-                std::string(AlignMethodToString(*method)).c_str());
+                std::string(AlignMethodToString(method)).c_str());
     std::printf("  a: %s [%s] %zu nodes, %zu triples, loaded in %.1f ms\n",
                 path_a.c_str(), kind_a.c_str(), a->NumNodes(), a->NumEdges(),
                 load_a_ms);
@@ -369,6 +517,263 @@ int CmdAlign(const Args& args) {
       std::printf("  refinement         : %zu iterations, %zu classes\n",
                   o.refinement.iterations, o.refinement.final_classes);
     }
+  }
+  return 0;
+}
+
+int CmdDiff(const Args& args) {
+  if (args.positional().size() != 3 ||
+      !args.OnlyKnown({"method", "threads", "mmap", "json"})) {
+    return Usage();
+  }
+  const std::string& path_base = args.positional()[0];
+  const std::string& path_next = args.positional()[1];
+  const std::string& path_out = args.positional()[2];
+  const bool use_mmap = args.Has("mmap");
+  AlignerOptions options;
+  if (!ParseAlignerFlags(args, "diff", &options)) return 2;
+
+  auto dict = std::make_shared<Dictionary>();
+  std::string kind_base, kind_next;
+  auto base = LoadAnyGraph(path_base, dict, use_mmap, &kind_base);
+  if (!base.ok()) {
+    std::fprintf(stderr, "rdfalign diff: %s\n",
+                 base.status().ToString().c_str());
+    return 1;
+  }
+  auto next = LoadAnyGraph(path_next, dict, use_mmap, &kind_next);
+  if (!next.ok()) {
+    std::fprintf(stderr, "rdfalign diff: %s\n",
+                 next.status().ToString().c_str());
+    return 1;
+  }
+
+  WallTimer align_timer;
+  auto cg = CombinedGraph::Build(*base, *next);
+  if (!cg.ok()) {
+    std::fprintf(stderr, "rdfalign diff: %s\n",
+                 cg.status().ToString().c_str());
+    return 1;
+  }
+  Aligner aligner(options);
+  AlignmentOutcome outcome = aligner.AlignCombined(*cg);
+  const VersionNodeMap map = NodeMapFromPartition(*cg, outcome.partition);
+  const double align_ms = align_timer.ElapsedMillis();
+
+  WallTimer write_timer;
+  store::DeltaWriteStats stats;
+  Status st = store::WriteDelta(*base, *next, map, path_out, &stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "rdfalign diff: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double write_ms = write_timer.ElapsedMillis();
+
+  if (args.Has("json")) {
+    std::printf("{\n");
+    std::printf("  \"method\": \"%s\",\n",
+                std::string(AlignMethodToString(options.method)).c_str());
+    std::printf("  \"base\": {\"path\": \"%s\", \"kind\": \"%s\", "
+                "\"nodes\": %zu, \"triples\": %zu},\n",
+                path_base.c_str(), kind_base.c_str(), base->NumNodes(),
+                base->NumEdges());
+    std::printf("  \"next\": {\"path\": \"%s\", \"kind\": \"%s\", "
+                "\"nodes\": %zu, \"triples\": %zu},\n",
+                path_next.c_str(), kind_next.c_str(), next->NumNodes(),
+                next->NumEdges());
+    std::printf("  \"delta\": \"%s\",\n", path_out.c_str());
+    std::printf("  \"kept_triples\": %llu,\n",
+                (unsigned long long)stats.kept_triples);
+    std::printf("  \"removed_triples\": %llu,\n",
+                (unsigned long long)stats.removed_triples);
+    std::printf("  \"added_triples\": %llu,\n",
+                (unsigned long long)stats.added_triples);
+    std::printf("  \"new_terms\": %llu,\n",
+                (unsigned long long)stats.new_terms);
+    std::printf("  \"mapped_nodes\": %llu,\n",
+                (unsigned long long)stats.mapped_nodes);
+    std::printf("  \"kept_runs\": %llu,\n",
+                (unsigned long long)stats.kept_runs);
+    std::printf("  \"delta_bytes\": %llu,\n",
+                (unsigned long long)stats.file_bytes);
+    std::printf("  \"align_ms\": %.2f,\n", align_ms);
+    std::printf("  \"write_ms\": %.2f\n", write_ms);
+    std::printf("}\n");
+  } else {
+    std::printf("wrote delta %s (%llu bytes)\n", path_out.c_str(),
+                (unsigned long long)stats.file_bytes);
+    std::printf("  base            : %s [%s] %zu nodes, %zu triples\n",
+                path_base.c_str(), kind_base.c_str(), base->NumNodes(),
+                base->NumEdges());
+    std::printf("  next            : %s [%s] %zu nodes, %zu triples\n",
+                path_next.c_str(), kind_next.c_str(), next->NumNodes(),
+                next->NumEdges());
+    std::printf("  change          : ~%llu kept (+%llu -%llu), "
+                "%llu new terms\n",
+                (unsigned long long)stats.kept_triples,
+                (unsigned long long)stats.added_triples,
+                (unsigned long long)stats.removed_triples,
+                (unsigned long long)stats.new_terms);
+    std::printf("  mapped nodes    : %llu / %zu (%llu kept runs)\n",
+                (unsigned long long)stats.mapped_nodes, next->NumNodes(),
+                (unsigned long long)stats.kept_runs);
+    std::printf("  align %.1f ms, write %.1f ms\n", align_ms, write_ms);
+  }
+  return 0;
+}
+
+int CmdPatch(const Args& args) {
+  if (args.positional().size() != 3 ||
+      !args.OnlyKnown({"mmap", "json"})) {
+    return Usage();
+  }
+  const std::string& path_base = args.positional()[0];
+  const std::string& path_delta = args.positional()[1];
+  const std::string& path_out = args.positional()[2];
+  const bool use_mmap = args.Has("mmap");
+
+  auto dict = std::make_shared<Dictionary>();
+  std::string kind_base;
+  WallTimer load_timer;
+  auto base = LoadAnyGraph(path_base, dict, use_mmap, &kind_base);
+  if (!base.ok()) {
+    std::fprintf(stderr, "rdfalign patch: %s\n",
+                 base.status().ToString().c_str());
+    return 1;
+  }
+  const double load_ms = load_timer.ElapsedMillis();
+
+  WallTimer apply_timer;
+  store::DeltaApplyStats stats;
+  auto next = store::ApplyDelta(*base, path_delta, dict, {}, &stats);
+  if (!next.ok()) {
+    std::fprintf(stderr, "rdfalign patch: %s\n",
+                 next.status().ToString().c_str());
+    // A delta that does not belong to this base (or is no delta at all)
+    // is a usage error, distinct from I/O failures and corrupt files.
+    return next.status().IsInvalidArgument() ? 2 : 1;
+  }
+  const double apply_ms = apply_timer.ElapsedMillis();
+
+  WallTimer write_timer;
+  Status st = store::WriteSnapshot(*next, path_out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "rdfalign patch: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double write_ms = write_timer.ElapsedMillis();
+
+  if (args.Has("json")) {
+    std::printf("{\n");
+    std::printf("  \"base\": {\"path\": \"%s\", \"kind\": \"%s\", "
+                "\"nodes\": %zu, \"triples\": %zu},\n",
+                path_base.c_str(), kind_base.c_str(), base->NumNodes(),
+                base->NumEdges());
+    std::printf("  \"delta\": \"%s\",\n", path_delta.c_str());
+    std::printf("  \"out\": \"%s\",\n", path_out.c_str());
+    std::printf("  \"nodes\": %zu,\n", next->NumNodes());
+    std::printf("  \"triples\": %zu,\n", next->NumEdges());
+    std::printf("  \"kept_triples\": %llu,\n",
+                (unsigned long long)stats.kept_triples);
+    std::printf("  \"removed_triples\": %llu,\n",
+                (unsigned long long)stats.removed_triples);
+    std::printf("  \"added_triples\": %llu,\n",
+                (unsigned long long)stats.added_triples);
+    std::printf("  \"load_ms\": %.2f,\n", load_ms);
+    std::printf("  \"apply_ms\": %.2f,\n", apply_ms);
+    std::printf("  \"write_ms\": %.2f\n", write_ms);
+    std::printf("}\n");
+  } else {
+    std::printf("patched %s + %s -> %s: %zu nodes, %zu triples "
+                "(~%llu kept +%llu -%llu)\n",
+                path_base.c_str(), path_delta.c_str(), path_out.c_str(),
+                next->NumNodes(), next->NumEdges(),
+                (unsigned long long)stats.kept_triples,
+                (unsigned long long)stats.added_triples,
+                (unsigned long long)stats.removed_triples);
+    std::printf("  load %.1f ms, apply %.1f ms, write %.1f ms\n", load_ms,
+                apply_ms, write_ms);
+  }
+  return 0;
+}
+
+int CmdArchive(const Args& args) {
+  if (args.positional().size() < 2 ||
+      !args.OnlyKnown({"method", "threads", "mmap", "json"})) {
+    return Usage();
+  }
+  const std::string& path_out = args.positional()[0];
+  const bool use_mmap = args.Has("mmap");
+  AlignerOptions options;
+  if (!ParseAlignerFlags(args, "archive", &options)) return 2;
+
+  // One shared dictionary across the whole chain (the Append invariant).
+  auto dict = std::make_shared<Dictionary>();
+  VersionArchive archive(options);
+  WallTimer append_timer;
+  for (size_t v = 1; v < args.positional().size(); ++v) {
+    const std::string& path = args.positional()[v];
+    std::string kind;
+    auto g = LoadAnyGraph(path, dict, use_mmap, &kind);
+    if (!g.ok()) {
+      std::fprintf(stderr, "rdfalign archive: %s\n",
+                   g.status().ToString().c_str());
+      return 1;
+    }
+    auto appended = archive.Append(*g);
+    if (!appended.ok()) {
+      std::fprintf(stderr, "rdfalign archive: %s\n",
+                   appended.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const double append_ms = append_timer.ElapsedMillis();
+
+  WallTimer save_timer;
+  store::ArchiveSaveStats save_stats;
+  Status st = store::SaveArchive(archive, path_out, &save_stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "rdfalign archive: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double save_ms = save_timer.ElapsedMillis();
+  const ArchiveStats stats = archive.Stats();
+
+  if (args.Has("json")) {
+    std::printf("{\n");
+    std::printf("  \"archive\": \"%s\",\n", path_out.c_str());
+    std::printf("  \"method\": \"%s\",\n",
+                std::string(AlignMethodToString(options.method)).c_str());
+    std::printf("  \"versions\": %zu,\n", stats.versions);
+    std::printf("  \"entities\": %zu,\n", stats.entities);
+    std::printf("  \"distinct_triples\": %zu,\n", stats.distinct_triples);
+    std::printf("  \"interval_records\": %zu,\n", stats.interval_records);
+    std::printf("  \"triple_version_pairs\": %zu,\n",
+                stats.triple_version_pairs);
+    std::printf("  \"compression_ratio\": %.4f,\n",
+                stats.CompressionRatio());
+    std::printf("  \"file_bytes\": %llu,\n",
+                (unsigned long long)save_stats.file_bytes);
+    std::printf("  \"base_bytes\": %llu,\n",
+                (unsigned long long)save_stats.base_bytes);
+    std::printf("  \"delta_bytes\": %llu,\n",
+                (unsigned long long)save_stats.delta_bytes);
+    std::printf("  \"append_ms\": %.2f,\n", append_ms);
+    std::printf("  \"save_ms\": %.2f\n", save_ms);
+    std::printf("}\n");
+  } else {
+    std::printf("archived %zu versions -> %s (%llu bytes)\n",
+                stats.versions, path_out.c_str(),
+                (unsigned long long)save_stats.file_bytes);
+    std::printf("  entities            : %zu\n", stats.entities);
+    std::printf("  interval records    : %zu (distinct triples %zu)\n",
+                stats.interval_records, stats.distinct_triples);
+    std::printf("  compression ratio   : %.2fx (%zu triple-version pairs)\n",
+                stats.CompressionRatio(), stats.triple_version_pairs);
+    std::printf("  base %llu bytes + deltas %llu bytes\n",
+                (unsigned long long)save_stats.base_bytes,
+                (unsigned long long)save_stats.delta_bytes);
+    std::printf("  append %.1f ms, save %.1f ms\n", append_ms, save_ms);
   }
   return 0;
 }
@@ -422,6 +827,9 @@ int main(int argc, char** argv) {
   if (command == "build") return CmdBuild(args);
   if (command == "info") return CmdInfo(args);
   if (command == "align") return CmdAlign(args);
+  if (command == "diff") return CmdDiff(args);
+  if (command == "patch") return CmdPatch(args);
+  if (command == "archive") return CmdArchive(args);
   if (command == "gen") return CmdGen(args);
   std::fprintf(stderr, "rdfalign: unknown command '%s'\n", command.c_str());
   return Usage();
