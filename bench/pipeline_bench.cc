@@ -18,10 +18,12 @@
 //
 // The refinement fixpoint itself (A/B'd by refinement_bench) is timed once
 // for context. Every phase's outputs are checked identical between the two
-// implementations; the bench exits nonzero on any mismatch, so the
-// pipeline_bench_smoke ctest target and the CI perf gate double as an
-// equivalence gate. Emits BENCH_pipeline.json; the checked-in copy at the
-// repo root is the reference run.
+// implementations, and a threads sweep ({1,2,3,4,8}) re-runs the
+// shared-pool kernels at every point, requiring each count to reproduce the
+// 1-thread outputs bit for bit. The bench exits nonzero — without writing
+// JSON — on any mismatch, so the pipeline_bench_smoke ctest target and the
+// CI perf gate double as an equivalence gate. Emits BENCH_pipeline.json;
+// the checked-in copy at the repo root is the reference run.
 
 #include <algorithm>
 #include <cstdio>
@@ -60,6 +62,10 @@ struct PointResult {
   double stats_legacy_ms = 0;
   double stats_flat_ms = 0;
   bool equal = true;
+  // One entry per swept thread count: best wall time of the parallel kernel
+  // bundle (merge + class sides + overlap match + stats joins + delta).
+  std::vector<std::pair<size_t, double>> sweep;
+  bool sweep_equal = true;
 
   double LegacyTotal() const {
     return merge_legacy_ms + partops_legacy_ms + overlap_legacy_ms +
@@ -296,6 +302,100 @@ bool RunPoint(double scale_point, uint64_t seed, size_t runs,
             d_flat.renamed_uris.size() == d_legacy.renamed_uris.size() &&
             rename_set(d_flat) == rename_set(d_legacy);
 
+  // ---- thread sweep over the shared-pool kernels ---------------------------
+  // Each thread count re-runs the parallelized bundle (merge, class sides,
+  // overlap match, stats joins, delta). threads=1 takes the legacy serial
+  // paths and is the baseline; every other count must reproduce its outputs
+  // bit for bit, or sweep_equal clears and main() refuses to emit JSON.
+  {
+    CombinedGraph cg_base;
+    std::vector<ClassSides> sides_base;
+    BipartiteMatching h_base;
+    OverlapMatchStats s_base;
+    EdgeAlignmentStats es_base;
+    NodeAlignmentStats ns_base;
+    RdfDelta d_base;
+    for (size_t t : {1u, 2u, 3u, 4u, 8u}) {
+      CombinedGraph cg_t;
+      std::vector<ClassSides> sides_t;
+      BipartiteMatching h_t;
+      OverlapMatchStats s_t;
+      EdgeAlignmentStats es_t;
+      NodeAlignmentStats ns_t;
+      RdfDelta d_t;
+      double ms = 0;
+      ok = BestOf(runs, &ms, [&] {
+        auto res = CombinedGraph::Build(g1, g2, t);
+        if (!res.ok()) return false;
+        cg_t = std::move(res).value();
+        sides_t = ComputeClassSides(cg, hybrid, t);
+        CharacterizingSets a_char;
+        CharacterizingSets b_char;
+        a_char.Reserve(a_nodes.size(), a_nodes.size());
+        b_char.Reserve(b_nodes.size(), b_nodes.size());
+        for (NodeId n : a_nodes) AppendOutColorSet(g, xi, n, a_char);
+        for (NodeId n : b_nodes) AppendOutColorSet(g, xi, n, b_char);
+        h_t = OverlapMatch(a_nodes, b_nodes, a_char, b_char, theta, sigma,
+                           {}, &s_t, t);
+        es_t = ComputeEdgeAlignment(cg, hybrid, t);
+        ns_t = ComputeNodeAlignment(cg, hybrid, t);
+        d_t = ComputeDelta(cg, hybrid, t);
+        return true;
+      });
+      if (!ok) return false;
+      r.sweep.emplace_back(t, ms);
+      if (t == 1) {
+        cg_base = std::move(cg_t);
+        sides_base = std::move(sides_t);
+        h_base = std::move(h_t);
+        s_base = s_t;
+        es_base = es_t;
+        ns_base = ns_t;
+        d_base = std::move(d_t);
+        continue;
+      }
+      bool same = LabeledGraphsEqual(cg_t.graph(), cg_base.graph()) &&
+                  SpansEqual(cg_t.graph().OutOffsets(),
+                             cg_base.graph().OutOffsets()) &&
+                  SpansEqual(cg_t.graph().InOffsets(),
+                             cg_base.graph().InOffsets()) &&
+                  sides_t == sides_base &&
+                  h_t.edges.size() == h_base.edges.size() &&
+                  s_t.candidates_probed == s_base.candidates_probed &&
+                  s_t.overlap_checked == s_base.overlap_checked &&
+                  s_t.sigma_checked == s_base.sigma_checked &&
+                  s_t.matched == s_base.matched &&
+                  es_t.total_edges == es_base.total_edges &&
+                  es_t.aligned_edges == es_base.aligned_edges &&
+                  ns_t.aligned_classes == ns_base.aligned_classes &&
+                  ns_t.aligned_source_nodes == ns_base.aligned_source_nodes &&
+                  ns_t.aligned_target_nodes == ns_base.aligned_target_nodes &&
+                  ns_t.unaligned_source_nodes ==
+                      ns_base.unaligned_source_nodes &&
+                  ns_t.unaligned_target_nodes ==
+                      ns_base.unaligned_target_nodes &&
+                  d_t.unchanged == d_base.unchanged &&
+                  d_t.added == d_base.added && d_t.deleted == d_base.deleted &&
+                  d_t.renamed_uris.size() == d_base.renamed_uris.size();
+      for (size_t i = 0; same && i < h_t.edges.size(); ++i) {
+        same = h_t.edges[i].a == h_base.edges[i].a &&
+               h_t.edges[i].b == h_base.edges[i].b &&
+               h_t.edges[i].distance == h_base.edges[i].distance;
+      }
+      for (size_t i = 0; same && i < d_t.renamed_uris.size(); ++i) {
+        same = d_t.renamed_uris[i].source == d_base.renamed_uris[i].source &&
+               d_t.renamed_uris[i].target == d_base.renamed_uris[i].target;
+      }
+      if (!same) {
+        std::fprintf(stderr,
+                     "FAIL: threads=%zu diverged from the 1-thread kernels "
+                     "at scale %g\n",
+                     t, scale_point);
+        r.sweep_equal = false;
+      }
+    }
+  }
+
   *out = r;
   return true;
 }
@@ -317,7 +417,8 @@ bool WriteJson(const std::string& path, const std::vector<PointResult>& points,
   std::fprintf(f, "  \"provenance\": \"single-process wall clock; "
                "hardware_threads records the recording box — like "
                "BENCH_refinement.json and BENCH_store.json, re-record on "
-               "multi-core hardware to see parallel refinement scaling\",\n");
+               "multi-core hardware to see parallel scaling; on a 1-core "
+               "box the threads_sweep is expected to stay flat\",\n");
   std::fprintf(f, "  \"points\": [\n");
   for (size_t i = 0; i < points.size(); ++i) {
     const PointResult& r = points[i];
@@ -341,6 +442,14 @@ bool WriteJson(const std::string& path, const std::vector<PointResult>& points,
                  r.LegacyTotal());
     std::fprintf(f, "      \"nonrefine_flat_ms\": %.2f,\n", r.FlatTotal());
     std::fprintf(f, "      \"speedup\": %.2f,\n", r.Speedup());
+    std::fprintf(f, "      \"threads_sweep\": [");
+    for (size_t s = 0; s < r.sweep.size(); ++s) {
+      std::fprintf(f, "%s{\"threads\": %zu, \"ms\": %.2f}",
+                   s > 0 ? ", " : "", r.sweep[s].first, r.sweep[s].second);
+    }
+    std::fprintf(f, "],\n");
+    std::fprintf(f, "      \"sweep_equal\": %s,\n",
+                 r.sweep_equal ? "true" : "false");
     std::fprintf(f, "      \"equal\": %s\n", r.equal ? "true" : "false");
     std::fprintf(f, "    }%s\n", i + 1 < points.size() ? "," : "");
   }
@@ -378,14 +487,18 @@ int main(int argc, char** argv) {
 
   bool all_equal = true;
   bench::TablePrinter table({"nodes", "edges", "legacy(ms)", "flat(ms)",
-                             "speedup", "refine(ms)", "equal"});
+                             "speedup", "refine(ms)", "t1(ms)", "t8(ms)",
+                             "equal"});
   for (const PointResult& r : points) {
     table.Row({bench::FmtInt(r.nodes), bench::FmtInt(r.edges),
                bench::Fmt("%.1f", r.LegacyTotal()),
                bench::Fmt("%.1f", r.FlatTotal()),
                bench::Fmt("%.1fx", r.Speedup()),
-               bench::Fmt("%.1f", r.refine_ms), r.equal ? "yes" : "NO"});
-    all_equal = all_equal && r.equal;
+               bench::Fmt("%.1f", r.refine_ms),
+               bench::Fmt("%.1f", r.sweep.front().second),
+               bench::Fmt("%.1f", r.sweep.back().second),
+               r.equal && r.sweep_equal ? "yes" : "NO"});
+    all_equal = all_equal && r.equal && r.sweep_equal;
   }
   std::printf("\nper-phase (largest point): merge %.1f->%.1f, partops "
               "%.1f->%.1f, overlap %.1f->%.1f, stats %.1f->%.1f ms\n",
@@ -393,11 +506,16 @@ int main(int argc, char** argv) {
               points.back().partops_legacy_ms, points.back().partops_flat_ms,
               points.back().overlap_legacy_ms, points.back().overlap_flat_ms,
               points.back().stats_legacy_ms, points.back().stats_flat_ms);
+  if (!all_equal) {
+    // The JSON is the perf record of a correct run; a diverging sweep or
+    // phase A/B must not leave one behind.
+    std::fprintf(stderr,
+                 "FAIL: parallel/flat pipeline diverged from the reference; "
+                 "not writing %s\n",
+                 out.c_str());
+    return 1;
+  }
   const bool wrote = WriteJson(out, points, scale, seed, runs);
   if (wrote) std::printf("wrote %s\n", out.c_str());
-  if (!all_equal) {
-    std::fprintf(stderr,
-                 "FAIL: flat pipeline diverged from the legacy reference\n");
-  }
-  return all_equal && wrote ? 0 : 1;
+  return wrote ? 0 : 1;
 }

@@ -179,6 +179,9 @@ bool WriteJson(const std::string& path, const std::vector<RunResult>& runs,
   std::fprintf(f, "  \"seed\": %llu,\n", (unsigned long long)seed);
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"provenance\": \"single-process wall clock; "
+               "hardware_threads records the recording box — on a 1-core "
+               "box the threads_sweep is expected to stay flat\",\n");
   std::fprintf(f, "  \"workloads\": [\n");
   for (size_t i = 0; i < runs.size(); ++i) {
     const RunResult& r = runs[i];

@@ -150,6 +150,10 @@ struct DeltaPointResult {
   double snap_load_ms = 0;         ///< load every version's snapshot
   double replay_ms = 0;            ///< load base + patch-replay the chain
   bool equal = false;
+  /// Replay timed per worker count; every count's chain must be
+  /// bit-identical to the 1-thread replay.
+  std::vector<std::pair<size_t, double>> replay_sweep;
+  bool sweep_equal = true;
 };
 
 /// Bit-level graph equality (labels, triples, both CSR indexes) — the
@@ -257,6 +261,43 @@ bool RunDeltaPoint(double scale_point, uint64_t seed, size_t runs,
     r.equal = GraphsBitIdentical(snap_loaded[v], replayed[v]) &&
               GraphsBitIdentical(chain.Version(v), replayed[v]);
   }
+
+  // Replay thread sweep: the checksum verify and CSR rebuild run on the
+  // shared pool, and the replayed chain must not depend on the worker
+  // count. (On a 1-core recording box the sweep is expected to stay flat.)
+  for (size_t t : {1u, 2u, 4u, 8u}) {
+    std::vector<TripleGraph> sweep_replayed;
+    double ms = 0;
+    ok = BestOf(runs, &ms, [&] {
+      sweep_replayed.clear();
+      auto dict = std::make_shared<Dictionary>();
+      auto base = store::LoadSnapshot(snap_paths[0], dict);
+      if (!base.ok()) return false;
+      sweep_replayed.push_back(std::move(base).value());
+      store::DeltaApplyOptions opts;
+      opts.threads = t;
+      for (const std::string& p : delta_paths) {
+        auto next = store::ApplyDelta(sweep_replayed.back(), p, dict, opts);
+        if (!next.ok()) return false;
+        sweep_replayed.push_back(std::move(next).value());
+      }
+      return true;
+    });
+    if (!ok) {
+      std::fprintf(stderr, "delta bench: replay sweep failed at threads=%zu\n",
+                   t);
+      return false;
+    }
+    r.replay_sweep.emplace_back(t, ms);
+    for (size_t v = 0; v < sweep_replayed.size(); ++v) {
+      if (!GraphsBitIdentical(sweep_replayed[v], replayed[v])) {
+        std::fprintf(stderr,
+                     "FAIL: threads=%zu replay diverged at version %zu\n", t,
+                     v);
+        r.sweep_equal = false;
+      }
+    }
+  }
   return true;
   }();
   for (const std::string& p : nt_paths) std::filesystem::remove(p);
@@ -282,6 +323,9 @@ bool WriteJson(const std::string& path, const std::vector<PointResult>& points,
   std::fprintf(f, "  \"runs\": %zu,\n", runs);
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"provenance\": \"single-process wall clock; "
+               "hardware_threads records the recording box — on a 1-core "
+               "box the replay_threads_sweep is expected to stay flat\",\n");
   std::fprintf(f, "  \"points\": [\n");
   for (size_t i = 0; i < points.size(); ++i) {
     const PointResult& r = points[i];
@@ -327,6 +371,15 @@ bool WriteJson(const std::string& path, const std::vector<PointResult>& points,
     std::fprintf(f, "      \"replay_ms\": %.2f,\n", r.replay_ms);
     std::fprintf(f, "      \"speedup_replay_vs_reparse\": %.2f,\n",
                  r.replay_ms > 0 ? r.reparse_ms / r.replay_ms : 0.0);
+    std::fprintf(f, "      \"replay_threads_sweep\": [");
+    for (size_t s = 0; s < r.replay_sweep.size(); ++s) {
+      std::fprintf(f, "%s{\"threads\": %zu, \"ms\": %.2f}",
+                   s > 0 ? ", " : "", r.replay_sweep[s].first,
+                   r.replay_sweep[s].second);
+    }
+    std::fprintf(f, "],\n");
+    std::fprintf(f, "      \"sweep_equal\": %s,\n",
+                 r.sweep_equal ? "true" : "false");
     std::fprintf(f, "      \"equal\": %s\n", r.equal ? "true" : "false");
     std::fprintf(f, "    }%s\n", i + 1 < delta_points.size() ? "," : "");
   }
@@ -417,8 +470,8 @@ int main(int argc, char** argv) {
                           ? static_cast<double>(r.snap_total_bytes) /
                                 static_cast<double>(r.delta_total_bytes)
                           : 0.0),
-           r.equal ? "yes" : "NO"});
-      all_equal = all_equal && r.equal;
+           r.equal && r.sweep_equal ? "yes" : "NO"});
+      all_equal = all_equal && r.equal && r.sweep_equal;
     }
   }
   const bool wrote = WriteJson(out, points, delta_points, scale, seed, runs);

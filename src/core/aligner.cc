@@ -5,6 +5,7 @@
 #include "core/context.h"
 #include "core/deblank.h"
 #include "core/hybrid.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace rdfalign {
@@ -28,7 +29,9 @@ std::string_view AlignMethodToString(AlignMethod method) {
 Result<AlignmentOutcome> Aligner::Align(const TripleGraph& g1,
                                         const TripleGraph& g2) const {
   WallTimer merge_timer;
-  RDFALIGN_ASSIGN_OR_RETURN(CombinedGraph cg, CombinedGraph::Build(g1, g2));
+  RDFALIGN_ASSIGN_OR_RETURN(
+      CombinedGraph cg,
+      CombinedGraph::Build(g1, g2, ResolveThreads(options_.refinement.threads)));
   const double merge_ms = merge_timer.ElapsedMillis();
   Result<AlignmentOutcome> outcome = AlignCombined(cg);
   if (outcome.ok()) outcome->phases.merge_ms = merge_ms;
@@ -55,7 +58,9 @@ AlignmentOutcome Aligner::AlignCombined(const CombinedGraph& cg) const {
           cg, &outcome.refinement, options_.refinement);
       break;
     case AlignMethod::kOverlap: {
-      OverlapAlignResult r = OverlapAlign(cg, options_.overlap);
+      OverlapAlignOptions oopt = options_.overlap;
+      oopt.threads = ResolveThreads(options_.refinement.threads);
+      OverlapAlignResult r = OverlapAlign(cg, oopt);
       outcome.partition = std::move(r.xi.partition);
       outcome.weights = std::move(r.xi.weight);
       outcome.phases.enrich_ms = r.enrich_ms;
@@ -73,8 +78,9 @@ AlignmentOutcome Aligner::AlignCombined(const CombinedGraph& cg) const {
                         outcome.phases.overlap_index_ms -
                         outcome.phases.match_ms);
   WallTimer stats_timer;
-  outcome.edge_stats = ComputeEdgeAlignment(cg, outcome.partition);
-  outcome.node_stats = ComputeNodeAlignment(cg, outcome.partition);
+  const size_t threads = ResolveThreads(options_.refinement.threads);
+  outcome.edge_stats = ComputeEdgeAlignment(cg, outcome.partition, threads);
+  outcome.node_stats = ComputeNodeAlignment(cg, outcome.partition, threads);
   outcome.phases.stats_ms = stats_timer.ElapsedMillis();
   return outcome;
 }

@@ -26,8 +26,11 @@ enum class ClassSides : uint8_t {
 };
 
 /// For each color, whether the class contains source and/or target nodes.
+/// `threads` > 1 accumulates the side bits with order-insensitive atomic
+/// ORs on the shared pool; the result is bit-identical to serial.
 std::vector<ClassSides> ComputeClassSides(const CombinedGraph& cg,
-                                          const Partition& p);
+                                          const Partition& p,
+                                          size_t threads = 1);
 
 /// Unaligned(λ): nodes whose class contains no node of the opposite side
 /// (§3.1). Sorted ascending.
@@ -52,8 +55,12 @@ struct EdgeAlignmentStats {
   }
 };
 
+/// `threads` > 1 builds the packed-key multisets in deterministic chunk
+/// order and sorts them with ParallelSort; all counters are bit-identical
+/// to the serial (threads=1) pass. See docs/parallelism.md.
 EdgeAlignmentStats ComputeEdgeAlignment(const CombinedGraph& cg,
-                                        const Partition& p);
+                                        const Partition& p,
+                                        size_t threads = 1);
 
 /// Aligned-node statistics for Fig. 13. `aligned_classes` counts classes
 /// containing nodes of both sides — the deduplicated "number of aligned
@@ -67,7 +74,8 @@ struct NodeAlignmentStats {
 };
 
 NodeAlignmentStats ComputeNodeAlignment(const CombinedGraph& cg,
-                                        const Partition& p);
+                                        const Partition& p,
+                                        size_t threads = 1);
 
 /// Materializes Align(λ) as (source-combined-id, target-combined-id) pairs.
 /// Intended for tests and small graphs; stops after `limit` pairs.

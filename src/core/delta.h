@@ -42,7 +42,11 @@ struct RdfDelta {
 
 /// Computes the delta induced by a partition-based alignment. Edges are
 /// matched by color triple with multiplicity (min of the per-side counts).
-RdfDelta ComputeDelta(const CombinedGraph& cg, const Partition& p);
+/// `threads` > 1 builds and sorts the per-side key arrays on the shared
+/// pool; the emitted delta is bit-identical to the serial pass (the greedy
+/// first-come matching runs on the same sorted arrays either way).
+RdfDelta ComputeDelta(const CombinedGraph& cg, const Partition& p,
+                      size_t threads = 1);
 
 /// An injective node correspondence between two versions: for every node of
 /// the *next* (target) version, the base (source) node it continues, or

@@ -124,13 +124,20 @@ struct OverlapMatchStats {
 /// characterizing sets in `a_char`/`b_char` (parallel structures); `sigma`
 /// is the verifying distance on (a-index, b-index) positions. Returns the
 /// weighted bipartite graph H of pairs with σ < θ.
+///
+/// `threads` > 1 sorts the postings and probes A-side chunks on the shared
+/// pool (per-chunk stamp arrays, counters, and edge buffers folded in
+/// ascending chunk order); the matching edges, their order, and every
+/// counter in `stats` are bit-identical for any thread count. `sigma` must
+/// then be safe to call concurrently on distinct pairs (the built-in σ
+/// functions only read shared state and use thread_local scratch).
 BipartiteMatching OverlapMatch(
     const std::vector<NodeId>& a_nodes, const std::vector<NodeId>& b_nodes,
     const CharacterizingSets& a_char, const CharacterizingSets& b_char,
     double theta,
     const std::function<double(size_t, size_t)>& sigma,
     const OverlapMatchOptions& options = {},
-    OverlapMatchStats* stats = nullptr);
+    OverlapMatchStats* stats = nullptr, size_t threads = 1);
 
 /// Reference oracle for tests: brute-force all pairs with the same
 /// screening (overlap >= θ, then σ < θ). O(|A|·|B|).

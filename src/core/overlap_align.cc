@@ -136,7 +136,8 @@ OverlapAlignResult OverlapAlign(const CombinedGraph& cg,
   std::vector<NodeId> a0;
   std::vector<NodeId> b0;
   {
-    std::vector<ClassSides> sides = ComputeClassSides(cg, xi.partition);
+    std::vector<ClassSides> sides =
+        ComputeClassSides(cg, xi.partition, options.threads);
     for (NodeId n = 0; n < g.NumNodes(); ++n) {
       if (!g.IsLiteral(n)) continue;
       if (sides[xi.partition.ColorOf(n)] == ClassSides::kBoth) continue;
@@ -163,7 +164,7 @@ OverlapAlignResult OverlapAlign(const CombinedGraph& cg,
                                              g.Lexical(b0[bi]),
                                              options.theta);
       },
-      options.match, &h0_stats);
+      options.match, &h0_stats, options.threads);
   result.literal_matches = h.NumEdges();
   result.index_ms += h0_stats.index_ms;
   result.match_ms += h0_stats.probe_ms;
@@ -180,7 +181,8 @@ OverlapAlignResult OverlapAlign(const CombinedGraph& cg,
     std::vector<NodeId> ai;
     std::vector<NodeId> bi;
     {
-      std::vector<ClassSides> sides = ComputeClassSides(cg, xi.partition);
+      std::vector<ClassSides> sides =
+        ComputeClassSides(cg, xi.partition, options.threads);
       for (NodeId n = 0; n < g.NumNodes(); ++n) {
         if (g.IsLiteral(n)) continue;
         if (sides[xi.partition.ColorOf(n)] == ClassSides::kBoth) continue;
@@ -201,7 +203,7 @@ OverlapAlignResult OverlapAlign(const CombinedGraph& cg,
         [&](size_t x, size_t y) {
           return SigmaNonLiteral(g, xi, ai[x], bi[y]);
         },
-        options.match, &round_stats);
+        options.match, &round_stats, options.threads);
     result.index_ms += round_stats.index_ms;
     result.match_ms += round_stats.probe_ms;
     result.round_stats.push_back(round_stats);

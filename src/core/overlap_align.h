@@ -34,6 +34,10 @@ struct OverlapAlignOptions {
   size_t max_rounds = 100;
   /// Candidate-generation variant (see overlap.h).
   OverlapMatchOptions match;
+  /// Worker threads for the postings sorts, candidate probing, and class
+  /// side scans (Aligner wires RefinementOptions::threads in here). Output
+  /// is bit-identical for any value; 1 keeps every phase on this thread.
+  size_t threads = 1;
 };
 
 /// Outcome of Algorithm 2.

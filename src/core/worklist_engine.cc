@@ -2,19 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
-#include <thread>
 
 #include "core/context.h"
 #include "util/hash.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace rdfalign {
 namespace internal {
 
 size_t ResolveThreads(size_t requested) {
-  if (requested != 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return rdfalign::ResolveThreads(requested);
 }
 
 namespace {
@@ -239,29 +237,27 @@ class WorklistEngine {
         std::min(cfg_.threads, dirty_.size());  // never an empty chunk
     slabs_.resize(workers);
     const size_t per = (dirty_.size() + workers - 1) / workers;
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([this, w, per] {
-        WorkerSlab& slab = slabs_[w];
-        slab.words.clear();
-        slab.lens.clear();
-        slab.hashes.clear();
-        slab.signature_bytes = 0;
-        const size_t begin = std::min(dirty_.size(), w * per);
-        const size_t end = std::min(dirty_.size(), begin + per);
-        for (size_t i = begin; i < end; ++i) {
-          BuildSignatureInto(dirty_[i], slab.pair_scratch, slab.sig_scratch);
-          slab.signature_bytes += slab.sig_scratch.size() * sizeof(uint32_t);
-          slab.hashes.push_back(
-              HashU32Span(slab.sig_scratch.data(), slab.sig_scratch.size()));
-          slab.lens.push_back(static_cast<uint32_t>(slab.sig_scratch.size()));
-          slab.words.insert(slab.words.end(), slab.sig_scratch.begin(),
-                            slab.sig_scratch.end());
-        }
-      });
-    }
-    for (std::thread& t : pool) t.join();
+    // One slab per chunk, same contiguous chunking as the old per-call
+    // std::thread spawn — only the execution moved to the shared pool, so
+    // short incremental rounds stop paying a thread create/join each.
+    ThreadPool::Instance().Run(workers, workers, [this, per](size_t w) {
+      WorkerSlab& slab = slabs_[w];
+      slab.words.clear();
+      slab.lens.clear();
+      slab.hashes.clear();
+      slab.signature_bytes = 0;
+      const size_t begin = std::min(dirty_.size(), w * per);
+      const size_t end = std::min(dirty_.size(), begin + per);
+      for (size_t i = begin; i < end; ++i) {
+        BuildSignatureInto(dirty_[i], slab.pair_scratch, slab.sig_scratch);
+        slab.signature_bytes += slab.sig_scratch.size() * sizeof(uint32_t);
+        slab.hashes.push_back(
+            HashU32Span(slab.sig_scratch.data(), slab.sig_scratch.size()));
+        slab.lens.push_back(static_cast<uint32_t>(slab.sig_scratch.size()));
+        slab.words.insert(slab.words.end(), slab.sig_scratch.begin(),
+                          slab.sig_scratch.end());
+      }
+    });
     size_t i = 0;
     for (size_t w = 0; w < workers; ++w) {
       const WorkerSlab& slab = slabs_[w];

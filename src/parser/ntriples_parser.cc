@@ -194,7 +194,8 @@ Status ParseLine(std::string_view line, size_t line_no, GraphBuilder& builder,
 
 Result<TripleGraph> ParseNTriplesString(std::string_view text,
                                         std::shared_ptr<Dictionary> dict,
-                                        NTriplesParseStats* stats) {
+                                        NTriplesParseStats* stats,
+                                        size_t threads) {
   GraphBuilder builder(std::move(dict));
   NTriplesParseStats local;
 
@@ -212,12 +213,13 @@ Result<TripleGraph> ParseNTriplesString(std::string_view text,
   }
 
   if (stats != nullptr) *stats = local;
-  return builder.Build(/*validate_rdf=*/true);
+  return builder.Build(/*validate_rdf=*/true, threads);
 }
 
 Result<TripleGraph> ParseNTriplesStream(std::istream& in,
                                         std::shared_ptr<Dictionary> dict,
-                                        NTriplesParseStats* stats) {
+                                        NTriplesParseStats* stats,
+                                        size_t threads) {
   GraphBuilder builder(std::move(dict));
   NTriplesParseStats local;
 
@@ -235,17 +237,18 @@ Result<TripleGraph> ParseNTriplesStream(std::istream& in,
   }
 
   if (stats != nullptr) *stats = local;
-  return builder.Build(/*validate_rdf=*/true);
+  return builder.Build(/*validate_rdf=*/true, threads);
 }
 
 Result<TripleGraph> ParseNTriplesFile(const std::string& path,
                                       std::shared_ptr<Dictionary> dict,
-                                      NTriplesParseStats* stats) {
+                                      NTriplesParseStats* stats,
+                                      size_t threads) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IOError("cannot open file: " + path);
   }
-  return ParseNTriplesStream(in, std::move(dict), stats);
+  return ParseNTriplesStream(in, std::move(dict), stats, threads);
 }
 
 }  // namespace rdfalign

@@ -34,9 +34,12 @@ struct NTriplesParseStats {
 /// Parses N-Triples text into an RDF graph. A shared `dict` lets two files
 /// destined for alignment live in one label space; pass nullptr for a fresh
 /// dictionary. On error, the Status message includes the 1-based line.
+/// `threads` > 1 parallelizes the final edge sort and CSR index build
+/// (bit-identical to the serial result); parsing itself stays serial.
 Result<TripleGraph> ParseNTriplesString(std::string_view text,
                                         std::shared_ptr<Dictionary> dict,
-                                        NTriplesParseStats* stats = nullptr);
+                                        NTriplesParseStats* stats = nullptr,
+                                        size_t threads = 1);
 
 /// Streaming entry point: parses N-Triples line by line from `in` without
 /// materializing the document — `rdfalign build` ingests multi-million-
@@ -44,12 +47,14 @@ Result<TripleGraph> ParseNTriplesString(std::string_view text,
 /// the text. Reads until EOF; a stream error mid-file is an IOError.
 Result<TripleGraph> ParseNTriplesStream(std::istream& in,
                                         std::shared_ptr<Dictionary> dict,
-                                        NTriplesParseStats* stats = nullptr);
+                                        NTriplesParseStats* stats = nullptr,
+                                        size_t threads = 1);
 
 /// Reads and parses a file (streaming; the text is never fully resident).
 Result<TripleGraph> ParseNTriplesFile(const std::string& path,
                                       std::shared_ptr<Dictionary> dict,
-                                      NTriplesParseStats* stats = nullptr);
+                                      NTriplesParseStats* stats = nullptr,
+                                      size_t threads = 1);
 
 }  // namespace rdfalign
 

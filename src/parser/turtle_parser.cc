@@ -15,8 +15,9 @@ namespace {
 /// line-oriented).
 class TurtleParser {
  public:
-  TurtleParser(std::string_view text, std::shared_ptr<Dictionary> dict)
-      : text_(text), builder_(std::move(dict)) {}
+  TurtleParser(std::string_view text, std::shared_ptr<Dictionary> dict,
+               size_t threads)
+      : text_(text), builder_(std::move(dict)), threads_(threads) {}
 
   Result<TripleGraph> Parse() {
     while (true) {
@@ -24,7 +25,7 @@ class TurtleParser {
       if (AtEnd()) break;
       RDFALIGN_RETURN_IF_ERROR(ParseStatement());
     }
-    return builder_.Build(/*validate_rdf=*/true);
+    return builder_.Build(/*validate_rdf=*/true, threads_);
   }
 
  private:
@@ -428,18 +429,21 @@ class TurtleParser {
   size_t col_ = 1;
   std::string base_;
   std::unordered_map<std::string, std::string> prefixes_;
+  size_t threads_ = 1;
 };
 
 }  // namespace
 
 Result<TripleGraph> ParseTurtleString(std::string_view text,
-                                      std::shared_ptr<Dictionary> dict) {
-  TurtleParser parser(text, std::move(dict));
+                                      std::shared_ptr<Dictionary> dict,
+                                      size_t threads) {
+  TurtleParser parser(text, std::move(dict), threads);
   return parser.Parse();
 }
 
 Result<TripleGraph> ParseTurtleFile(const std::string& path,
-                                    std::shared_ptr<Dictionary> dict) {
+                                    std::shared_ptr<Dictionary> dict,
+                                    size_t threads) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IOError("cannot open file: " + path);
@@ -449,7 +453,7 @@ Result<TripleGraph> ParseTurtleFile(const std::string& path,
   if (in.bad()) {
     return Status::IOError("error reading file: " + path);
   }
-  return ParseTurtleString(buf.str(), std::move(dict));
+  return ParseTurtleString(buf.str(), std::move(dict), threads);
 }
 
 }  // namespace rdfalign

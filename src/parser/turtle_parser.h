@@ -25,13 +25,16 @@ namespace rdfalign {
 
 /// Parses Turtle text into an RDF graph; see header comment for the
 /// supported subset. Shares `dict` across versions like the N-Triples
-/// parser.
+/// parser. `threads` parallelizes the final edge sort and CSR index
+/// build, bit-identical to the serial result.
 Result<TripleGraph> ParseTurtleString(std::string_view text,
-                                      std::shared_ptr<Dictionary> dict);
+                                      std::shared_ptr<Dictionary> dict,
+                                      size_t threads = 1);
 
 /// Reads and parses a file.
 Result<TripleGraph> ParseTurtleFile(const std::string& path,
-                                    std::shared_ptr<Dictionary> dict);
+                                    std::shared_ptr<Dictionary> dict,
+                                    size_t threads = 1);
 
 }  // namespace rdfalign
 

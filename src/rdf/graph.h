@@ -38,11 +38,13 @@ class TripleGraph {
   /// the disjoint-union constructor rely on that). Sorts and deduplicates
   /// edges and builds the out-index. When `validate_rdf` is set, checks the
   /// RDF positional constraints (literals only as objects, predicates never
-  /// blank or literal).
+  /// blank or literal). `threads` > 1 sorts the edges and builds the CSR
+  /// indexes on the shared pool; the result is bit-identical to threads=1
+  /// (see docs/parallelism.md).
   static Result<TripleGraph> FromParts(std::shared_ptr<Dictionary> dict,
                                        std::vector<NodeLabel> labels,
                                        std::vector<Triple> triples,
-                                       bool validate_rdf);
+                                       bool validate_rdf, size_t threads = 1);
 
   /// Assembles a graph from *pre-indexed* parts: the triple list must be
   /// sorted and deduplicated and the two CSR indexes must be exactly what
@@ -65,13 +67,17 @@ class TripleGraph {
   /// This is the single CSR constructor shared by graph building and the
   /// delta store's patch replay (src/store/delta.cc), so a graph spliced
   /// from pre-sorted runs is bit-identical to one built from scratch.
-  /// Triple node ids must be < num_nodes.
+  /// Triple node ids must be < num_nodes. `threads` > 1 runs the counting,
+  /// scatter, and per-slice dedup passes as chunked kernels on the shared
+  /// pool; every array comes out bit-identical to the threads=1 (legacy
+  /// serial) path for any thread count.
   static void BuildCsrArrays(std::span<const Triple> sorted_triples,
                              size_t num_nodes,
                              std::vector<uint64_t>* out_offsets,
                              std::vector<PredicateObject>* out_pairs,
                              std::vector<uint64_t>* in_offsets,
-                             std::vector<NodeId>* in_subjects);
+                             std::vector<NodeId>* in_subjects,
+                             size_t threads = 1);
 
   size_t NumNodes() const { return labels_.size(); }
   size_t NumEdges() const { return triples_.size(); }
@@ -155,7 +161,7 @@ class TripleGraph {
   // Label -> node maps for lookup (kind-tagged).
   std::unordered_map<uint64_t, NodeId> node_by_label_;
 
-  void BuildIndexes(std::vector<Triple> triples);
+  void BuildIndexes(std::vector<Triple> triples, size_t threads = 1);
   void BuildLabelMap();
   Status ValidateRdf() const;
   static uint64_t LabelKey(TermKind kind, LexId lex);
@@ -210,7 +216,9 @@ class GraphBuilder {
 
   /// Finalizes into an immutable TripleGraph. `validate_rdf` rejects graphs
   /// violating RDF positional constraints. The builder is consumed.
-  Result<TripleGraph> Build(bool validate_rdf = true);
+  /// `threads` parallelizes the edge sort and index build (bit-identical
+  /// to the serial result).
+  Result<TripleGraph> Build(bool validate_rdf = true, size_t threads = 1);
 
  private:
   std::shared_ptr<Dictionary> dict_;

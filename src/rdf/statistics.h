@@ -25,8 +25,11 @@ struct GraphStatistics {
   double avg_out_degree = 0.0;
 };
 
-/// Computes statistics in one pass over the graph.
-GraphStatistics ComputeStatistics(const TripleGraph& g);
+/// Computes statistics in one pass over the graph. `threads` > 1 runs the
+/// flag and accumulation passes as chunked kernels whose thread-local
+/// partial counters are merged in chunk order — every counter comes out
+/// bit-identical to the serial (threads=1) pass.
+GraphStatistics ComputeStatistics(const TripleGraph& g, size_t threads = 1);
 
 }  // namespace rdfalign
 

@@ -10,6 +10,7 @@
 
 #include "store/io_util.h"
 #include "util/shared_array.h"
+#include "util/thread_pool.h"
 
 namespace rdfalign::store {
 
@@ -553,10 +554,21 @@ Result<TripleGraph> ApplyFromRaw(const TripleGraph& base, const RawDelta& raw,
     return Status::Corruption(std::string(what) + ": " + name);
   };
 
+  const size_t threads = ResolveThreads(options.threads);
   if (options.verify_checksums) {
+    // Sections hash independently; the first mismatch in section order is
+    // reported no matter which worker found it.
+    uint8_t bad[kNumDeltaSections] = {};
+    ParallelChunks(kNumDeltaSections, threads, /*grain=*/1,
+                   [&](size_t, size_t begin, size_t end) {
+                     for (size_t s = begin; s < end; ++s) {
+                       bad[s] = Checksum64(raw.base + raw.table[s].offset,
+                                           raw.table[s].size) !=
+                                raw.table[s].checksum;
+                     }
+                   });
     for (size_t s = 0; s < kNumDeltaSections; ++s) {
-      if (Checksum64(raw.base + raw.table[s].offset, raw.table[s].size) !=
-          raw.table[s].checksum) {
+      if (bad[s]) {
         return Status::Corruption(
             "delta section " +
             std::string(DeltaSectionName(kDeltaSectionOrder[s])) +
@@ -781,7 +793,7 @@ Result<TripleGraph> ApplyFromRaw(const TripleGraph& base, const RawDelta& raw,
   std::vector<uint64_t> in_offsets;
   std::vector<NodeId> in_subjects;
   TripleGraph::BuildCsrArrays(triples, nn, &out_offsets, &out_pairs,
-                              &in_offsets, &in_subjects);
+                              &in_offsets, &in_subjects, threads);
 
   if (stats != nullptr) {
     stats->file_bytes = raw.size;

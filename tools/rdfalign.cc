@@ -35,6 +35,7 @@
 #include "store/archive_io.h"
 #include "store/delta.h"
 #include "store/snapshot.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace rdfalign;
@@ -48,6 +49,7 @@ int Usage() {
       "\n"
       "commands:\n"
       "  build <input> <output.snap> [--format=auto|ntriples|turtle]\n"
+      "       [--threads=N]\n"
       "      parse an RDF text file and write a binary snapshot\n"
       "  info <file> [--json]\n"
       "      print header, sections, and statistics of a snapshot,\n"
@@ -59,7 +61,7 @@ int Usage() {
       "  diff <base> <next> <out.delta> [--method=M] [--threads=N]\n"
       "       [--mmap] [--json]\n"
       "      align two versions and write the incremental binary delta\n"
-      "  patch <base> <delta> <out.snap> [--mmap] [--json]\n"
+      "  patch <base> <delta> <out.snap> [--threads=N] [--mmap] [--json]\n"
       "      reconstruct the next version from base + delta and write it\n"
       "      as a snapshot (exit 2 when the delta does not fit the base)\n"
       "  archive <out.archive> <v1> <v2> ... [--method=M] [--threads=N]\n"
@@ -148,10 +150,27 @@ bool HasSuffix(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
+/// Parses --threads with the shared bound policy (0 = all hardware
+/// threads, the pool's own convention); an absurd count is a usage error.
+bool ParseThreadsFlag(const Args& args, const char* cmd, size_t* out) {
+  const std::optional<long long> threads = args.GetInt("threads", 1);
+  if (!threads) return false;
+  if (*threads < 0 || *threads > 4096) {
+    std::fprintf(stderr, "rdfalign %s: --threads must be in [0, 4096]\n",
+                 cmd);
+    return false;
+  }
+  *out = static_cast<size_t>(*threads);
+  return true;
+}
+
 /// Loads a graph from a snapshot or an RDF text file, sniffing the kind.
+/// `threads` feeds the post-parse sort/index build of the text paths
+/// (snapshot loads are already zero-parse).
 Result<TripleGraph> LoadAnyGraph(const std::string& path,
                                  std::shared_ptr<Dictionary> dict,
-                                 bool use_mmap, std::string* kind) {
+                                 bool use_mmap, size_t threads,
+                                 std::string* kind) {
   if (store::LooksLikeSnapshot(path)) {
     *kind = use_mmap ? "snapshot(mmap)" : "snapshot";
     store::SnapshotLoadOptions options;
@@ -160,27 +179,30 @@ Result<TripleGraph> LoadAnyGraph(const std::string& path,
   }
   if (HasSuffix(path, ".ttl")) {
     *kind = "turtle";
-    return ParseTurtleFile(path, std::move(dict));
+    return ParseTurtleFile(path, std::move(dict), threads);
   }
   *kind = "ntriples";
-  return ParseNTriplesFile(path, std::move(dict));
+  return ParseNTriplesFile(path, std::move(dict), nullptr, threads);
 }
 
 int CmdBuild(const Args& args) {
   if (args.positional().size() != 2 ||
-      !args.OnlyKnown({"format"})) {
+      !args.OnlyKnown({"format", "threads"})) {
     return Usage();
   }
   const std::string& input = args.positional()[0];
   const std::string& output = args.positional()[1];
   const std::string format = args.GetString("format", "auto");
+  size_t threads = 1;
+  if (!ParseThreadsFlag(args, "build", &threads)) return 2;
+  const size_t workers = ResolveThreads(threads);
 
   WallTimer parse_timer;
   Result<TripleGraph> graph = Status::Internal("unreachable");
   if (format == "turtle" || (format == "auto" && HasSuffix(input, ".ttl"))) {
-    graph = ParseTurtleFile(input, nullptr);
+    graph = ParseTurtleFile(input, nullptr, workers);
   } else if (format == "ntriples" || format == "auto") {
-    graph = ParseNTriplesFile(input, nullptr);
+    graph = ParseNTriplesFile(input, nullptr, nullptr, workers);
   } else {
     std::fprintf(stderr, "rdfalign: unknown --format=%s\n", format.c_str());
     return 2;
@@ -198,9 +220,10 @@ int CmdBuild(const Args& args) {
     std::fprintf(stderr, "rdfalign build: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("built %s: %zu nodes, %zu triples (parse %.1f ms, write %.1f ms)\n",
+  std::printf("built %s: %zu nodes, %zu triples (parse %.1f ms, "
+              "write %.1f ms, %zu threads)\n",
               output.c_str(), graph->NumNodes(), graph->NumEdges(),
-              parse_ms, write_timer.ElapsedMillis());
+              parse_ms, write_timer.ElapsedMillis(), workers);
   return 0;
 }
 
@@ -400,14 +423,9 @@ bool ParseAlignerFlags(const Args& args, const char* cmd,
     return false;
   }
   options->method = *method;
-  const std::optional<long long> threads = args.GetInt("threads", 1);
-  if (!threads) return false;
-  if (*threads < 0 || *threads > 4096) {
-    std::fprintf(stderr, "rdfalign %s: --threads must be in [0, 4096]\n",
-                 cmd);
-    return false;
-  }
-  options->refinement.threads = static_cast<size_t>(*threads);
+  size_t threads = 1;
+  if (!ParseThreadsFlag(args, cmd, &threads)) return false;
+  options->refinement.threads = threads;
   options->overlap.propagate.refinement = options->refinement;
   return true;
 }
@@ -424,12 +442,13 @@ int CmdAlign(const Args& args) {
   AlignerOptions options;
   if (!ParseAlignerFlags(args, "align", &options)) return 2;
   const auto method = options.method;
+  const size_t workers = ResolveThreads(options.refinement.threads);
 
   // One shared dictionary puts both versions in a single label space.
   auto dict = std::make_shared<Dictionary>();
   std::string kind_a, kind_b;
   WallTimer load_a_timer;
-  auto a = LoadAnyGraph(path_a, dict, use_mmap, &kind_a);
+  auto a = LoadAnyGraph(path_a, dict, use_mmap, workers, &kind_a);
   if (!a.ok()) {
     std::fprintf(stderr, "rdfalign align: %s\n",
                  a.status().ToString().c_str());
@@ -437,7 +456,7 @@ int CmdAlign(const Args& args) {
   }
   const double load_a_ms = load_a_timer.ElapsedMillis();
   WallTimer load_b_timer;
-  auto b = LoadAnyGraph(path_b, dict, use_mmap, &kind_b);
+  auto b = LoadAnyGraph(path_b, dict, use_mmap, workers, &kind_b);
   if (!b.ok()) {
     std::fprintf(stderr, "rdfalign align: %s\n",
                  b.status().ToString().c_str());
@@ -458,7 +477,7 @@ int CmdAlign(const Args& args) {
     std::printf("{\n");
     std::printf("  \"method\": \"%s\",\n",
                 std::string(AlignMethodToString(method)).c_str());
-    std::printf("  \"threads\": %zu,\n", options.refinement.threads);
+    std::printf("  \"threads\": %zu,\n", workers);
     std::printf("  \"a\": {\"path\": \"%s\", \"kind\": \"%s\", "
                 "\"nodes\": %zu, \"triples\": %zu, \"load_ms\": %.2f},\n",
                 path_a.c_str(), kind_a.c_str(), a->NumNodes(), a->NumEdges(),
@@ -496,7 +515,7 @@ int CmdAlign(const Args& args) {
     std::printf("  b: %s [%s] %zu nodes, %zu triples, loaded in %.1f ms\n",
                 path_b.c_str(), kind_b.c_str(), b->NumNodes(), b->NumEdges(),
                 load_b_ms);
-    std::printf("  threads            : %zu\n", options.refinement.threads);
+    std::printf("  threads            : %zu\n", workers);
     std::printf("  align time         : %.3f s\n", o.seconds);
     std::printf("  phases (ms)        : merge %.1f, refine %.1f, enrich %.1f,"
                 " index %.1f, match %.1f, stats %.1f\n",
@@ -532,16 +551,19 @@ int CmdDiff(const Args& args) {
   const bool use_mmap = args.Has("mmap");
   AlignerOptions options;
   if (!ParseAlignerFlags(args, "diff", &options)) return 2;
+  const size_t workers = ResolveThreads(options.refinement.threads);
 
   auto dict = std::make_shared<Dictionary>();
   std::string kind_base, kind_next;
-  auto base = LoadAnyGraph(path_base, dict, use_mmap, &kind_base);
+  auto base =
+      LoadAnyGraph(path_base, dict, use_mmap, workers, &kind_base);
   if (!base.ok()) {
     std::fprintf(stderr, "rdfalign diff: %s\n",
                  base.status().ToString().c_str());
     return 1;
   }
-  auto next = LoadAnyGraph(path_next, dict, use_mmap, &kind_next);
+  auto next =
+      LoadAnyGraph(path_next, dict, use_mmap, workers, &kind_next);
   if (!next.ok()) {
     std::fprintf(stderr, "rdfalign diff: %s\n",
                  next.status().ToString().c_str());
@@ -549,7 +571,7 @@ int CmdDiff(const Args& args) {
   }
 
   WallTimer align_timer;
-  auto cg = CombinedGraph::Build(*base, *next);
+  auto cg = CombinedGraph::Build(*base, *next, workers);
   if (!cg.ok()) {
     std::fprintf(stderr, "rdfalign diff: %s\n",
                  cg.status().ToString().c_str());
@@ -573,6 +595,7 @@ int CmdDiff(const Args& args) {
     std::printf("{\n");
     std::printf("  \"method\": \"%s\",\n",
                 std::string(AlignMethodToString(options.method)).c_str());
+    std::printf("  \"threads\": %zu,\n", workers);
     std::printf("  \"base\": {\"path\": \"%s\", \"kind\": \"%s\", "
                 "\"nodes\": %zu, \"triples\": %zu},\n",
                 path_base.c_str(), kind_base.c_str(), base->NumNodes(),
@@ -624,18 +647,22 @@ int CmdDiff(const Args& args) {
 
 int CmdPatch(const Args& args) {
   if (args.positional().size() != 3 ||
-      !args.OnlyKnown({"mmap", "json"})) {
+      !args.OnlyKnown({"threads", "mmap", "json"})) {
     return Usage();
   }
   const std::string& path_base = args.positional()[0];
   const std::string& path_delta = args.positional()[1];
   const std::string& path_out = args.positional()[2];
   const bool use_mmap = args.Has("mmap");
+  size_t threads = 1;
+  if (!ParseThreadsFlag(args, "patch", &threads)) return 2;
+  const size_t workers = ResolveThreads(threads);
 
   auto dict = std::make_shared<Dictionary>();
   std::string kind_base;
   WallTimer load_timer;
-  auto base = LoadAnyGraph(path_base, dict, use_mmap, &kind_base);
+  auto base =
+      LoadAnyGraph(path_base, dict, use_mmap, workers, &kind_base);
   if (!base.ok()) {
     std::fprintf(stderr, "rdfalign patch: %s\n",
                  base.status().ToString().c_str());
@@ -645,7 +672,9 @@ int CmdPatch(const Args& args) {
 
   WallTimer apply_timer;
   store::DeltaApplyStats stats;
-  auto next = store::ApplyDelta(*base, path_delta, dict, {}, &stats);
+  store::DeltaApplyOptions apply_options;
+  apply_options.threads = workers;
+  auto next = store::ApplyDelta(*base, path_delta, dict, apply_options, &stats);
   if (!next.ok()) {
     std::fprintf(stderr, "rdfalign patch: %s\n",
                  next.status().ToString().c_str());
@@ -665,6 +694,7 @@ int CmdPatch(const Args& args) {
 
   if (args.Has("json")) {
     std::printf("{\n");
+    std::printf("  \"threads\": %zu,\n", workers);
     std::printf("  \"base\": {\"path\": \"%s\", \"kind\": \"%s\", "
                 "\"nodes\": %zu, \"triples\": %zu},\n",
                 path_base.c_str(), kind_base.c_str(), base->NumNodes(),
@@ -706,6 +736,7 @@ int CmdArchive(const Args& args) {
   const bool use_mmap = args.Has("mmap");
   AlignerOptions options;
   if (!ParseAlignerFlags(args, "archive", &options)) return 2;
+  const size_t workers = ResolveThreads(options.refinement.threads);
 
   // One shared dictionary across the whole chain (the Append invariant).
   auto dict = std::make_shared<Dictionary>();
@@ -714,7 +745,7 @@ int CmdArchive(const Args& args) {
   for (size_t v = 1; v < args.positional().size(); ++v) {
     const std::string& path = args.positional()[v];
     std::string kind;
-    auto g = LoadAnyGraph(path, dict, use_mmap, &kind);
+    auto g = LoadAnyGraph(path, dict, use_mmap, workers, &kind);
     if (!g.ok()) {
       std::fprintf(stderr, "rdfalign archive: %s\n",
                    g.status().ToString().c_str());
@@ -744,6 +775,7 @@ int CmdArchive(const Args& args) {
     std::printf("  \"archive\": \"%s\",\n", path_out.c_str());
     std::printf("  \"method\": \"%s\",\n",
                 std::string(AlignMethodToString(options.method)).c_str());
+    std::printf("  \"threads\": %zu,\n", workers);
     std::printf("  \"versions\": %zu,\n", stats.versions);
     std::printf("  \"entities\": %zu,\n", stats.entities);
     std::printf("  \"distinct_triples\": %zu,\n", stats.distinct_triples);
