@@ -1,0 +1,156 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "service/json.h"
+#include "service/protocol.h"
+#include "service/verbs.h"
+
+namespace rdfalign::service {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Client> Client::Connect(const std::string& host, int port) {
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string message = "cannot connect to " + resolved + ":" +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno);
+    ::close(fd);
+    return Status::IOError(message);
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+Result<ClientResponse> Client::Call(const std::vector<std::string>& tokens) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  RDFALIGN_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(tokens)));
+
+  std::string envelope;
+  RDFALIGN_ASSIGN_OR_RETURN(bool have_envelope, ReadFrame(fd_, &envelope));
+  if (!have_envelope) {
+    return Status::IOError("server closed the connection");
+  }
+  ClientResponse resp;
+  resp.exit_code =
+      static_cast<int>(JsonFindInt(envelope, "exit_code", 1));
+  resp.ok = JsonFindBool(envelope, "ok", resp.exit_code == 0);
+  resp.usage_error = JsonFindBool(envelope, "usage_error", false);
+  resp.verb = JsonFindString(envelope, "verb", "");
+  resp.error = JsonFindString(envelope, "error", "");
+  resp.cache_hits =
+      static_cast<uint64_t>(JsonFindInt(envelope, "cache_hits", 0));
+  resp.cache_misses =
+      static_cast<uint64_t>(JsonFindInt(envelope, "cache_misses", 0));
+
+  RDFALIGN_ASSIGN_OR_RETURN(bool have_body, ReadFrame(fd_, &resp.body));
+  if (!have_body) {
+    return Status::IOError("server closed the connection mid-response");
+  }
+  return resp;
+}
+
+Status ParseEndpoint(const std::string& spec, std::string* host, int* port) {
+  std::string port_text = spec;
+  *host = "127.0.0.1";
+  const size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    *host = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(port_text.c_str(), &end, 10);
+  if (port_text.empty() || *end != '\0' || errno == ERANGE || value < 1 ||
+      value > 65535) {
+    return Status::InvalidArgument("bad endpoint '" + spec +
+                                   "' (expected host:port or port)");
+  }
+  *port = static_cast<int>(value);
+  return Status::OK();
+}
+
+int RunClientCommand(const std::vector<std::string>& tokens) {
+  // tokens[0] == "client"; tokens[1] == endpoint; the rest is the verb
+  // invocation, forwarded verbatim.
+  if (tokens.size() < 3) {
+    std::fprintf(stderr,
+                 "rdfalign client: usage: rdfalign client "
+                 "<host:port|port> <command> [args]\n");
+    return 2;
+  }
+  std::string host;
+  int port = 0;
+  Status st = ParseEndpoint(tokens[1], &host, &port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "rdfalign client: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  Result<Client> client = Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "rdfalign client: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<std::string> verb_tokens(tokens.begin() + 2,
+                                             tokens.end());
+  Result<ClientResponse> resp = client->Call(verb_tokens);
+  if (!resp.ok()) {
+    std::fprintf(stderr, "rdfalign client: %s\n",
+                 resp.status().ToString().c_str());
+    return 1;
+  }
+  if (!resp->body.empty()) std::fputs(resp->body.c_str(), stdout);
+  if (!resp->error.empty()) {
+    std::fprintf(stderr, "%s\n", resp->error.c_str());
+  }
+  if (resp->usage_error) std::fputs(UsageText(), stderr);
+  return resp->exit_code;
+}
+
+}  // namespace rdfalign::service

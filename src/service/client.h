@@ -1,0 +1,65 @@
+// Client side of the rdfalignd protocol, plus the `rdfalign client`
+// subcommand built on it: forward a verb invocation to a running daemon
+// and reproduce exactly what the in-process CLI would have printed and
+// returned.
+
+#ifndef RDFALIGN_SERVICE_CLIENT_H_
+#define RDFALIGN_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace rdfalign::service {
+
+/// One decoded daemon response (envelope + body).
+struct ClientResponse {
+  bool ok = false;
+  int exit_code = 0;
+  bool usage_error = false;
+  std::string verb;
+  std::string error;  ///< failure message (empty on success)
+  std::string body;   ///< the CLI-identical rendered output
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+/// A persistent connection to one rdfalignd.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad or "localhost").
+  static Result<Client> Connect(const std::string& host, int port);
+
+  /// Sends one verb invocation (verb first, args as the CLI would see
+  /// them) and reads the response pair.
+  Result<ClientResponse> Call(const std::vector<std::string>& tokens);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Splits "host:port" or bare "port" (host defaults to 127.0.0.1).
+/// InvalidArgument when the port is not a number in [1, 65535].
+Status ParseEndpoint(const std::string& spec, std::string* host, int* port);
+
+/// The `rdfalign client <endpoint> <verb> [args]` subcommand: one call,
+/// body to stdout, error to stderr, the daemon's exit code returned.
+/// `tokens` is the full CLI token list starting at "client".
+int RunClientCommand(const std::vector<std::string>& tokens);
+
+}  // namespace rdfalign::service
+
+#endif  // RDFALIGN_SERVICE_CLIENT_H_

@@ -1,0 +1,121 @@
+#include "service/json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rdfalign::service {
+
+void JsonBuf::Appendf(const char* format, ...) {
+  va_list ap;
+  va_start(ap, format);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, format, ap);
+  va_end(ap);
+  if (n > 0) {
+    const size_t old = out_.size();
+    out_.resize(old + static_cast<size_t>(n) + 1);
+    std::vsnprintf(out_.data() + old, static_cast<size_t>(n) + 1, format, ap2);
+    out_.resize(old + static_cast<size_t>(n));
+  }
+  va_end(ap2);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Finds the character position just after `"key": ` or npos.
+size_t FindValuePos(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  return at + needle.size();
+}
+
+}  // namespace
+
+long long JsonFindInt(const std::string& json, const std::string& key,
+                      long long fallback) {
+  const size_t pos = FindValuePos(json, key);
+  if (pos == std::string::npos || pos >= json.size()) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(json.c_str() + pos, &end, 10);
+  if (end == json.c_str() + pos) return fallback;
+  return value;
+}
+
+std::string JsonFindString(const std::string& json, const std::string& key,
+                           const std::string& fallback) {
+  size_t pos = FindValuePos(json, key);
+  if (pos == std::string::npos || pos >= json.size() || json[pos] != '"') {
+    return fallback;
+  }
+  ++pos;
+  std::string out;
+  while (pos < json.size() && json[pos] != '"') {
+    char c = json[pos];
+    if (c == '\\' && pos + 1 < json.size()) {
+      ++pos;
+      switch (json[pos]) {
+        case 'n':
+          c = '\n';
+          break;
+        case 'r':
+          c = '\r';
+          break;
+        case 't':
+          c = '\t';
+          break;
+        default:
+          c = json[pos];
+      }
+    }
+    out += c;
+    ++pos;
+  }
+  return out;
+}
+
+bool JsonFindBool(const std::string& json, const std::string& key,
+                  bool fallback) {
+  const size_t pos = FindValuePos(json, key);
+  if (pos == std::string::npos) return fallback;
+  if (json.compare(pos, 4, "true") == 0) return true;
+  if (json.compare(pos, 5, "false") == 0) return false;
+  return fallback;
+}
+
+}  // namespace rdfalign::service

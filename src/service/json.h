@@ -1,0 +1,59 @@
+// The one JSON serializer of the verb layer. Every --json report the CLI
+// prints and every response body the daemon frames is built through
+// JsonBuf, so the two wire formats are a single code path (the api
+// redesign invariant: tools/rdfalign.cc holds no serialization logic).
+//
+// JsonBuf is a formatting buffer, not a DOM: responses are small and their
+// field order is part of the pinned output (cli-smoke greps
+// `^  "triples":`-style anchors), so the serializer appends fields in
+// declaration order with the exact printf formats the CLI historically
+// used.
+
+#ifndef RDFALIGN_SERVICE_JSON_H_
+#define RDFALIGN_SERVICE_JSON_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace rdfalign::service {
+
+/// printf-style JSON accumulation.
+class JsonBuf {
+ public:
+  /// Appends printf-formatted text.
+  void Appendf(const char* format, ...) __attribute__((format(printf, 2, 3)));
+
+  /// Appends raw text verbatim.
+  void Append(const std::string& text) { out_ += text; }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Escapes a string for embedding inside a JSON string literal
+/// (backslash, quote, and control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Scans `json` for `"key": <integer>` and returns the integer, or
+/// `fallback` when absent. This is the only "parsing" the service client
+/// does — the envelope is produced by BuildEnvelope in this process
+/// family, so a field scan is exact, not heuristic.
+long long JsonFindInt(const std::string& json, const std::string& key,
+                      long long fallback);
+
+/// Scans `json` for `"key": "<value>"` and returns the (unescaped) value,
+/// or `fallback` when absent.
+std::string JsonFindString(const std::string& json, const std::string& key,
+                           const std::string& fallback);
+
+/// Scans `json` for `"key": true|false`; `fallback` when absent.
+bool JsonFindBool(const std::string& json, const std::string& key,
+                  bool fallback);
+
+}  // namespace rdfalign::service
+
+#endif  // RDFALIGN_SERVICE_JSON_H_

@@ -1,0 +1,114 @@
+#include "service/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rdfalign::service {
+
+namespace {
+
+Status WriteAll(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("socket write: ") +
+                             std::strerror(errno));
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `size` bytes. Returns 0 on success, 1 on EOF before the
+/// first byte, and an IOError Status via `*error` otherwise.
+int ReadAll(int fd, void* data, size_t size, Status* error) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = Status::IOError(std::string("socket read: ") +
+                               std::strerror(errno));
+      return 2;
+    }
+    if (n == 0) {
+      if (got == 0) return 1;  // clean EOF at a frame boundary
+      *error = Status::IOError("socket closed mid-frame");
+      return 2;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return 0;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame too large");
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  unsigned char header[4] = {
+      static_cast<unsigned char>(len & 0xff),
+      static_cast<unsigned char>((len >> 8) & 0xff),
+      static_cast<unsigned char>((len >> 16) & 0xff),
+      static_cast<unsigned char>((len >> 24) & 0xff),
+  };
+  RDFALIGN_RETURN_IF_ERROR(WriteAll(fd, header, sizeof(header)));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<bool> ReadFrame(int fd, std::string* payload) {
+  unsigned char header[4];
+  Status error = Status::OK();
+  const int rc = ReadAll(fd, header, sizeof(header), &error);
+  if (rc == 1) return false;
+  if (rc != 0) return error;
+  const uint32_t len = static_cast<uint32_t>(header[0]) |
+                       (static_cast<uint32_t>(header[1]) << 8) |
+                       (static_cast<uint32_t>(header[2]) << 16) |
+                       (static_cast<uint32_t>(header[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument("oversized frame (" + std::to_string(len) +
+                                   " bytes)");
+  }
+  payload->resize(len);
+  if (len > 0) {
+    const int body_rc = ReadAll(fd, payload->data(), len, &error);
+    if (body_rc == 1) return Status::IOError("socket closed mid-frame");
+    if (body_rc != 0) return error;
+  }
+  return true;
+}
+
+std::string EncodeRequest(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += '\n';
+    out += tokens[i];
+  }
+  return out;
+}
+
+std::vector<std::string> DecodeRequest(const std::string& payload) {
+  std::vector<std::string> tokens;
+  if (payload.empty()) return tokens;
+  size_t start = 0;
+  while (true) {
+    const size_t nl = payload.find('\n', start);
+    if (nl == std::string::npos) {
+      tokens.push_back(payload.substr(start));
+      return tokens;
+    }
+    tokens.push_back(payload.substr(start, nl - start));
+    start = nl + 1;
+  }
+}
+
+}  // namespace rdfalign::service

@@ -1,0 +1,51 @@
+// The rdfalignd wire protocol: length-prefixed frames over a TCP stream.
+//
+// Every frame is a little-endian uint32 byte count followed by that many
+// payload bytes. A request is ONE frame holding the verb invocation as
+// newline-separated argv tokens (verb first, flags and positionals
+// exactly as the CLI would receive them — tokens must not contain
+// newlines). A response is TWO frames:
+//
+//   1. the envelope — a small JSON object
+//        {"ok": bool, "verb": "...", "exit_code": N,
+//         "usage_error": bool, "cache_hits": N, "cache_misses": N,
+//         "error": "..."}            (error present only on failure)
+//   2. the body — the rendered verb output, byte-identical to what the
+//      CLI would have printed to stdout for the same tokens (empty on
+//      failure). Keeping the body outside the envelope is what makes
+//      `rdfalign client ...` output exactly equal to in-process output.
+//
+// Connections are persistent: a client may send any number of requests
+// and closes by shutting down its write side (the server sees EOF).
+
+#ifndef RDFALIGN_SERVICE_PROTOCOL_H_
+#define RDFALIGN_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace rdfalign::service {
+
+/// Frames above this are rejected as malformed (a defense against
+/// garbage length prefixes, not a practical limit — requests are argv
+/// lists and responses are reports).
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Writes one frame; loops over partial writes. IOError on failure.
+Status WriteFrame(int fd, const std::string& payload);
+
+/// Reads one frame into `payload`. Returns false on clean EOF before the
+/// first length byte; IOError on mid-frame EOF or read failure;
+/// InvalidArgument on an oversized length prefix.
+Result<bool> ReadFrame(int fd, std::string* payload);
+
+/// argv tokens <-> newline-separated request payload.
+std::string EncodeRequest(const std::vector<std::string>& tokens);
+std::vector<std::string> DecodeRequest(const std::string& payload);
+
+}  // namespace rdfalign::service
+
+#endif  // RDFALIGN_SERVICE_PROTOCOL_H_

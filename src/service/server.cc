@@ -1,0 +1,181 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "service/json.h"
+#include "service/protocol.h"
+#include "service/verbs.h"
+
+namespace rdfalign::service {
+
+namespace {
+
+/// Frame 1 of every response (see protocol.h). The body travels as its
+/// own frame so it stays byte-identical to the CLI rendering.
+std::string BuildEnvelope(const VerbResult& r) {
+  JsonBuf b;
+  b.Appendf("{\n");
+  b.Appendf("  \"ok\": %s,\n", r.exit_code == 0 ? "true" : "false");
+  b.Appendf("  \"verb\": \"%s\",\n", JsonEscape(r.verb).c_str());
+  b.Appendf("  \"exit_code\": %d,\n", r.exit_code);
+  b.Appendf("  \"usage_error\": %s,\n", r.usage_error ? "true" : "false");
+  b.Appendf("  \"cache_hits\": %llu,\n", (unsigned long long)r.cache_hits);
+  b.Appendf("  \"cache_misses\": %llu", (unsigned long long)r.cache_misses);
+  if (!r.error.empty()) {
+    b.Appendf(",\n  \"error\": \"%s\"", JsonEscape(r.error).c_str());
+  }
+  b.Appendf("\n}\n");
+  return b.Take();
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      cache_(SnapshotCacheOptions{options.cache_bytes}) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string message = std::string("bind ") + options_.host + ":" +
+                                std::to_string(options_.port) + ": " +
+                                std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(message);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string message =
+        std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(message);
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+
+  running_ = true;
+  stopping_ = false;
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  const size_t workers =
+      options_.worker_threads > 0 ? options_.worker_threads : 1;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back(&Server::WorkerLoop, this);
+  }
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (Stop) or fatal error
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    pending_.push_back(fd);
+    connections_.insert(fd);
+    queue_cv_.notify_one();
+  }
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping, queue drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      connections_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  std::string payload;
+  while (true) {
+    Result<bool> more = ReadFrame(fd, &payload);
+    if (!more.ok() || !*more) return;  // EOF or broken connection
+    const std::vector<std::string> tokens = DecodeRequest(payload);
+    VerbResult result = ExecuteVerb(tokens, &cache_, false);
+    if (!WriteFrame(fd, BuildEnvelope(result)).ok()) return;
+    if (!WriteFrame(fd, result.output).ok()) return;
+  }
+}
+
+void Server::Stop() {
+  if (!running_) return;
+  running_ = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Wake idle connections at their next frame boundary; a worker busy
+    // executing a request finishes it and delivers the response first.
+    for (int fd : connections_) ::shutdown(fd, SHUT_RD);
+  }
+  // shutdown() unblocks the accept() the listener thread is parked in;
+  // the fd itself is closed only after the join, so the thread never
+  // reads listen_fd_ concurrently with the teardown writes below.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  // Connections handed to no worker (queued during shutdown) are closed
+  // by the drained queue: workers exit only when pending_ is empty, so
+  // at this point any fd left in pending_ was never served.
+  for (int fd : pending_) ::close(fd);
+  pending_.clear();
+  connections_.clear();
+}
+
+}  // namespace rdfalign::service

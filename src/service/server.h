@@ -1,0 +1,84 @@
+// The rdfalignd server: a TCP accept loop plus a fixed worker pool, every
+// connection served with the full verb layer against one shared
+// SnapshotCache.
+//
+// Each worker owns one connection at a time and processes its requests
+// sequentially; concurrency comes from concurrent connections (bounded by
+// `worker_threads`). All workers share the cache, so a snapshot loaded
+// for one client is a resident hit for every later request — the reason
+// the daemon exists. Requests execute through the same ExecuteVerb as the
+// one-shot CLI; the daemon adds only transport and the cache.
+//
+// Stop() is graceful: the listener closes first (no new connections),
+// idle connections are shut down at their next frame boundary, in-flight
+// requests run to completion and their responses are delivered, then the
+// workers join. This is what SIGTERM triggers in tools/rdfalignd.cc.
+
+#ifndef RDFALIGN_SERVICE_SERVER_H_
+#define RDFALIGN_SERVICE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/snapshot_cache.h"
+#include "util/result.h"
+
+namespace rdfalign::service {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 picks an ephemeral port (see Server::port())
+  size_t worker_threads = 4;
+  uint64_t cache_bytes = uint64_t{1} << 30;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept + worker threads.
+  Status Start();
+
+  /// The bound port (resolves port 0 after Start()).
+  int port() const { return port_; }
+
+  /// Graceful shutdown; idempotent, also run by the destructor.
+  void Stop();
+
+  SnapshotCache* cache() { return &cache_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  const ServerOptions options_;
+  SnapshotCache cache_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  bool running_ = false;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;     ///< accepted fds awaiting a worker
+  std::set<int> connections_;   ///< every open connection fd
+  bool stopping_ = false;
+};
+
+}  // namespace rdfalign::service
+
+#endif  // RDFALIGN_SERVICE_SERVER_H_

@@ -1,0 +1,298 @@
+// The verb layer: every rdfalign operation as a pure request/response
+// function, shared verbatim by the `rdfalign` CLI and the `rdfalignd`
+// daemon (the api redesign invariant: tools/*.cc hold no verb logic).
+//
+// Each verb is three pieces:
+//
+//   * ParseXRequest(Args, XRequest*, ParseError*)  — flag/positional
+//     decoding with the exact legacy error messages (exit-2 contract),
+//   * Status RunX(const XRequest&, XResponse*)     — the operation; file
+//     graphs are obtained through the request's GraphSource (direct loads
+//     in the CLI, the resident SnapshotCache in the daemon),
+//   * XToJson / XToText(const XResponse&)          — the two renderings.
+//     The JSON renderer is byte-identical to the historical CLI --json
+//     output and doubles as the daemon's wire format.
+//
+// ExecuteVerb ties the three together for one tokenized command line —
+// both front ends call it, so dispatch, error prefixes, and exit-code
+// policy (usage/flag errors -> 2, patch base mismatch -> 2, other
+// failures -> 1) cannot drift between them.
+
+#ifndef RDFALIGN_SERVICE_VERBS_H_
+#define RDFALIGN_SERVICE_VERBS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/aligner.h"
+#include "core/archive.h"
+#include "service/flags.h"
+#include "service/graph_source.h"
+#include "service/snapshot_cache.h"
+#include "store/archive_io.h"
+#include "store/delta.h"
+#include "store/snapshot.h"
+#include "util/result.h"
+
+namespace rdfalign::service {
+
+/// A failed request decode. `usage` selects the legacy presentation:
+/// usage errors print the command synopsis (after `message`, when one is
+/// set); plain errors print `message` alone. Both exit 2.
+struct ParseError {
+  bool usage = false;
+  std::string message;
+};
+
+// ---------------------------------------------------------------- build
+
+struct BuildRequest {
+  std::string input;
+  std::string output;
+  std::string format = "auto";  ///< auto | ntriples | turtle
+  CommonOptions common;
+};
+
+struct BuildResponse {
+  std::string output;
+  size_t nodes = 0;
+  size_t triples = 0;
+  double parse_ms = 0;
+  double write_ms = 0;
+  size_t threads = 0;  ///< resolved worker count
+};
+
+bool ParseBuildRequest(const Args& args, BuildRequest* req, ParseError* error);
+Status RunBuild(const BuildRequest& req, BuildResponse* resp);
+std::string BuildToJson(const BuildResponse& resp);
+std::string BuildToText(const BuildResponse& resp);
+
+// ----------------------------------------------------------------- info
+
+struct InfoRequest {
+  std::string path;
+  /// Also report the content fingerprint (snapshot: GraphFingerprint of
+  /// the loaded graph, via `source`; archive: fingerprint of the embedded
+  /// base snapshot). Set for --json; the plain listing stays header-only.
+  bool with_fingerprint = false;
+  CommonOptions common;
+  GraphSource* source = nullptr;
+};
+
+struct InfoResponse {
+  std::string path;
+  std::string kind;  ///< "snapshot" | "delta" | "archive"
+  store::SnapshotInfo snapshot;  ///< valid when kind == "snapshot"
+  store::DeltaInfo delta;        ///< valid when kind == "delta"
+  store::ArchiveInfo archive;    ///< valid when kind == "archive"
+  bool has_fingerprint = false;
+  uint64_t fingerprint = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+bool ParseInfoRequest(const Args& args, InfoRequest* req, ParseError* error);
+Status RunInfo(const InfoRequest& req, InfoResponse* resp);
+std::string InfoToJson(const InfoResponse& resp);
+std::string InfoToText(const InfoResponse& resp);
+
+// ---------------------------------------------------------------- align
+
+struct AlignRequest {
+  std::string path_a;
+  std::string path_b;
+  AlignMethod method = AlignMethod::kHybrid;
+  CommonOptions common;
+  GraphSource* source = nullptr;
+};
+
+struct AlignResponse {
+  AlignMethod method = AlignMethod::kHybrid;
+  size_t threads = 0;
+  std::string path_a, kind_a;
+  std::string path_b, kind_b;
+  size_t nodes_a = 0, triples_a = 0;
+  size_t nodes_b = 0, triples_b = 0;
+  double load_a_ms = 0, load_b_ms = 0;
+  double seconds = 0;
+  AlignPhaseTimings phases;
+  EdgeAlignmentStats edge_stats;
+  NodeAlignmentStats node_stats;
+  RefinementStats refinement;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+bool ParseAlignRequest(const Args& args, AlignRequest* req, ParseError* error);
+Status RunAlign(const AlignRequest& req, AlignResponse* resp);
+std::string AlignToJson(const AlignResponse& resp);
+std::string AlignToText(const AlignResponse& resp);
+
+// ----------------------------------------------------------------- diff
+
+struct DiffRequest {
+  std::string path_base;
+  std::string path_next;
+  std::string path_out;
+  AlignMethod method = AlignMethod::kHybrid;
+  CommonOptions common;
+  GraphSource* source = nullptr;
+};
+
+struct DiffResponse {
+  AlignMethod method = AlignMethod::kHybrid;
+  size_t threads = 0;
+  std::string path_base, kind_base;
+  std::string path_next, kind_next;
+  std::string path_out;
+  size_t nodes_base = 0, triples_base = 0;
+  size_t nodes_next = 0, triples_next = 0;
+  store::DeltaWriteStats stats;
+  double align_ms = 0;
+  double write_ms = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+bool ParseDiffRequest(const Args& args, DiffRequest* req, ParseError* error);
+Status RunDiff(const DiffRequest& req, DiffResponse* resp);
+std::string DiffToJson(const DiffResponse& resp);
+std::string DiffToText(const DiffResponse& resp);
+
+// ---------------------------------------------------------------- patch
+
+struct PatchRequest {
+  std::string path_base;
+  std::string path_delta;
+  std::string path_out;
+  CommonOptions common;
+  GraphSource* source = nullptr;
+};
+
+struct PatchResponse {
+  size_t threads = 0;
+  std::string path_base, kind_base;
+  std::string path_delta;
+  std::string path_out;
+  size_t nodes_base = 0, triples_base = 0;
+  size_t nodes = 0, triples = 0;  ///< the reconstructed next version
+  store::DeltaApplyStats stats;
+  double load_ms = 0;
+  double apply_ms = 0;
+  double write_ms = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+bool ParsePatchRequest(const Args& args, PatchRequest* req, ParseError* error);
+Status RunPatch(const PatchRequest& req, PatchResponse* resp);
+std::string PatchToJson(const PatchResponse& resp);
+std::string PatchToText(const PatchResponse& resp);
+
+// -------------------------------------------------------------- archive
+
+struct ArchiveRequest {
+  std::string path_out;
+  std::vector<std::string> versions;
+  AlignMethod method = AlignMethod::kHybrid;
+  CommonOptions common;
+  GraphSource* source = nullptr;
+};
+
+struct ArchiveResponse {
+  AlignMethod method = AlignMethod::kHybrid;
+  size_t threads = 0;
+  std::string path_out;
+  ArchiveStats stats;
+  store::ArchiveSaveStats save_stats;
+  double append_ms = 0;
+  double save_ms = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+bool ParseArchiveRequest(const Args& args, ArchiveRequest* req,
+                         ParseError* error);
+Status RunArchive(const ArchiveRequest& req, ArchiveResponse* resp);
+std::string ArchiveToJson(const ArchiveResponse& resp);
+std::string ArchiveToText(const ArchiveResponse& resp);
+
+// ------------------------------------------------------------------ gen
+
+struct GenRequest {
+  std::string prefix;
+  long long versions = 2;
+  double scale = 1.0;
+  long long seed = 5;
+  CommonOptions common;
+};
+
+struct GenFileInfo {
+  std::string path;
+  size_t nodes = 0;
+  size_t triples = 0;
+};
+
+struct GenResponse {
+  std::string prefix;
+  /// Files written so far — on failure the response still lists the
+  /// versions that were written before the error (the CLI prints them,
+  /// matching the historical streaming output).
+  std::vector<GenFileInfo> files;
+};
+
+bool ParseGenRequest(const Args& args, GenRequest* req, ParseError* error);
+Status RunGen(const GenRequest& req, GenResponse* resp);
+std::string GenToJson(const GenResponse& resp);
+std::string GenToText(const GenResponse& resp);
+
+// ---------------------------------------------------------------- cache
+
+struct CacheRequest {
+  std::string action;  ///< "stats" | "clear"
+  CommonOptions common;
+  GraphSource* source = nullptr;
+};
+
+struct CacheResponse {
+  std::string action;
+  SnapshotCacheStats stats;  ///< after the action
+  std::vector<SnapshotCacheEntryInfo> entries;  ///< "stats" only, MRU first
+  uint64_t dropped_entries = 0;                 ///< "clear" only
+};
+
+bool ParseCacheRequest(const Args& args, CacheRequest* req, ParseError* error);
+Status RunCache(const CacheRequest& req, CacheResponse* resp);
+std::string CacheToJson(const CacheResponse& resp);
+std::string CacheToText(const CacheResponse& resp);
+
+// ------------------------------------------------------------- dispatch
+
+/// The outcome of one verb execution, transport-agnostic: the CLI prints
+/// `output` to stdout, `error` (plus the usage synopsis when
+/// `usage_error`) to stderr, and exits with `exit_code`; the daemon wraps
+/// the same fields into its JSON response envelope.
+struct VerbResult {
+  int exit_code = 0;
+  bool usage_error = false;
+  std::string verb;
+  std::string output;  ///< rendered response body
+  std::string error;   ///< failure message (no trailing newline)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+/// Decodes `tokens` (verb first), runs it against `source`, renders the
+/// response. `force_json` renders JSON regardless of --json; both front
+/// ends pass false, so the daemon's body follows the forwarded --json
+/// flag and stays byte-identical to the one-shot CLI.
+VerbResult ExecuteVerb(const std::vector<std::string>& tokens,
+                       GraphSource* source, bool force_json);
+
+/// The command synopsis (the historical Usage() text).
+const char* UsageText();
+
+}  // namespace rdfalign::service
+
+#endif  // RDFALIGN_SERVICE_VERBS_H_

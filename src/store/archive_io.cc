@@ -418,6 +418,35 @@ Result<ArchiveInfo> ReadArchiveInfo(const std::string& path) {
   return info;
 }
 
+Result<uint64_t> ArchiveBaseFingerprint(const std::string& path) {
+  std::ifstream in;
+  ArchiveHeader header;
+  std::vector<SectionEntry> table;
+  RDFALIGN_RETURN_IF_ERROR(
+      OpenAndValidateArchivePrefix(path, in, &header, &table).status());
+  if (header.num_versions == 0) {
+    return Status::InvalidArgument("empty archive has no base snapshot: " +
+                                   path);
+  }
+  const SectionEntry& sec = table[0];
+  auto buffer = std::make_shared<std::vector<unsigned char>>(sec.size);
+  in.seekg(static_cast<std::streamoff>(sec.offset));
+  in.read(reinterpret_cast<char*>(buffer->data()),
+          static_cast<std::streamsize>(sec.size));
+  if (!in) {
+    return Status::IOError("error reading file: " + path);
+  }
+  if (Checksum64(buffer->data(), sec.size) != sec.checksum) {
+    return Status::Corruption(
+        "archive section 0 (base_snapshot) checksum mismatch: " + path);
+  }
+  RDFALIGN_ASSIGN_OR_RETURN(
+      TripleGraph base,
+      LoadSnapshotFromMemory(buffer, buffer->data(), sec.size, nullptr, {},
+                             nullptr, path + " (section base_snapshot 0)"));
+  return GraphFingerprint(base);
+}
+
 bool LooksLikeArchive(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;

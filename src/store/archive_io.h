@@ -71,6 +71,12 @@ struct ArchiveInfo {
 /// Reads and validates the archive header and section table only.
 Result<ArchiveInfo> ReadArchiveInfo(const std::string& path);
 
+/// Content fingerprint (GraphFingerprint) of the archive's base snapshot
+/// (version 0), computed from the embedded base image alone — no delta is
+/// replayed and no other section is read. InvalidArgument for an empty
+/// archive.
+Result<uint64_t> ArchiveBaseFingerprint(const std::string& path);
+
 /// Human-readable archive section name ("base_snapshot", "delta", ...).
 std::string_view ArchiveSectionName(ArchiveSectionId id);
 

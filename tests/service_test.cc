@@ -1,0 +1,296 @@
+// End-to-end service coverage: a real Server on an ephemeral port driven
+// through the Client — protocol round-trips, CLI-parity of bodies and
+// exit codes, persistent connections, concurrent clients sharing the
+// cache, endpoint parsing, and graceful Stop() with requests in flight.
+
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "service/graph_source.h"
+#include "service/protocol.h"
+#include "service/verbs.h"
+
+namespace rdfalign::service {
+namespace {
+
+std::string ScratchPrefix() {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "rdfalign_service_" + info->name();
+}
+
+std::string ScrubTimings(const std::string& body) {
+  static const std::regex volatile_line(
+      "[^\n]*(_ms\"|seconds\"|loaded in |phases \\(ms\\)|parse )[^\n]*\n");
+  return std::regex_replace(body, volatile_line, "");
+}
+
+/// gen + build two snapshots in-process (no server involved).
+std::pair<std::string, std::string> MakeVersionPair(
+    const std::string& prefix) {
+  DirectGraphSource direct;
+  EXPECT_EQ(ExecuteVerb({"gen", prefix, "--scale=0.02", "--versions=2"},
+                        &direct, false)
+                .exit_code,
+            0);
+  const std::string v1 = prefix + "1.snap";
+  const std::string v2 = prefix + "2.snap";
+  EXPECT_EQ(
+      ExecuteVerb({"build", prefix + "1.nt", v1}, &direct, false).exit_code,
+      0);
+  EXPECT_EQ(
+      ExecuteVerb({"build", prefix + "2.nt", v2}, &direct, false).exit_code,
+      0);
+  return {v1, v2};
+}
+
+void RemoveChain(const std::string& prefix) {
+  for (const char* suffix : {"1.nt", "2.nt", "1.snap", "2.snap"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void StartServer(size_t workers = 4) {
+    ServerOptions options;
+    options.port = 0;
+    options.worker_threads = workers;
+    server_ = std::make_unique<Server>(options);
+    Status st = server_->Start();
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  Client Connect() {
+    Result<Client> client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServiceTest, RoundTripsEveryVerbWithCliParity) {
+  const std::string prefix = ScratchPrefix();
+  const auto [v1, v2] = MakeVersionPair(prefix);
+  StartServer();
+  Client client = Connect();
+  DirectGraphSource direct;
+
+  for (const std::vector<std::string>& tokens :
+       {std::vector<std::string>{"info", v1, "--json"},
+        {"info", v1},
+        {"align", v1, v2, "--method=hybrid", "--json"},
+        {"align", v1, v2, "--method=deblank"},
+        {"diff", v1, v2, prefix + ".delta", "--json"},
+        {"patch", v1, prefix + ".delta", prefix + "_r.snap", "--json"},
+        {"info", prefix + ".delta"}}) {
+    Result<ClientResponse> resp = client.Call(tokens);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_TRUE(resp->ok);
+    EXPECT_EQ(resp->exit_code, 0) << resp->error;
+    EXPECT_EQ(resp->verb, tokens[0]);
+
+    // The daemon's body is what the CLI would have printed (modulo
+    // timings) — the two front ends share one renderer.
+    const VerbResult local = ExecuteVerb(tokens, &direct, false);
+    EXPECT_EQ(ScrubTimings(resp->body), ScrubTimings(local.output))
+        << tokens[0];
+  }
+
+  // The daemon reports its cache working: a second info on the same
+  // snapshot is a pure hit.
+  Result<ClientResponse> warm = client.Call({"info", v1, "--json"});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->cache_hits, 1u);
+  EXPECT_EQ(warm->cache_misses, 0u);
+
+  RemoveChain(prefix);
+  std::remove((prefix + ".delta").c_str());
+  std::remove((prefix + "_r.snap").c_str());
+}
+
+TEST_F(ServiceTest, ErrorsKeepCliExitCodes) {
+  const std::string prefix = ScratchPrefix();
+  const auto [v1, v2] = MakeVersionPair(prefix);
+  const std::string delta = prefix + ".delta";
+  StartServer();
+  Client client = Connect();
+  ASSERT_TRUE(client.Call({"diff", v1, v2, delta}).ok());
+
+  struct Case {
+    std::vector<std::string> tokens;
+    int want_exit;
+    bool want_usage;
+  };
+  const Case cases[] = {
+      {{"frobnicate"}, 2, true},
+      {{"align", v1}, 2, true},
+      {{"align", v1, v2, "--threads=zomg"}, 2, false},
+      {{"align", v1, "/nonexistent"}, 1, false},
+      {{"patch", v2, delta, prefix + "_bad.snap"}, 2, false},
+      {{"cache", "frob"}, 2, false},
+  };
+  for (const Case& c : cases) {
+    Result<ClientResponse> resp = client.Call(c.tokens);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_FALSE(resp->ok);
+    EXPECT_EQ(resp->exit_code, c.want_exit) << c.tokens[0];
+    EXPECT_EQ(resp->usage_error, c.want_usage) << c.tokens[0];
+    // Non-usage failures always carry a message (bare usage errors show
+    // only the synopsis).
+    if (!c.want_usage) EXPECT_FALSE(resp->error.empty()) << c.tokens[0];
+  }
+  // One connection survives any number of failed requests.
+  Result<ClientResponse> ok_again = client.Call({"info", v1});
+  ASSERT_TRUE(ok_again.ok());
+  EXPECT_EQ(ok_again->exit_code, 0);
+
+  RemoveChain(prefix);
+  std::remove(delta.c_str());
+}
+
+TEST_F(ServiceTest, CacheVerbObservesAndClearsResidency) {
+  const std::string prefix = ScratchPrefix();
+  const auto [v1, v2] = MakeVersionPair(prefix);
+  StartServer();
+  Client client = Connect();
+
+  ASSERT_TRUE(client.Call({"info", v1, "--json"}).ok());
+  ASSERT_TRUE(client.Call({"info", v2, "--json"}).ok());
+
+  Result<ClientResponse> stats = client.Call({"cache", "stats", "--json"});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->body.find("\"entries\": 2"), std::string::npos)
+      << stats->body;
+
+  Result<ClientResponse> clear = client.Call({"cache", "clear"});
+  ASSERT_TRUE(clear.ok());
+  EXPECT_EQ(clear->exit_code, 0);
+
+  Result<ClientResponse> after = client.Call({"cache", "stats", "--json"});
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->body.find("\"entries\": 0"), std::string::npos);
+
+  RemoveChain(prefix);
+}
+
+TEST_F(ServiceTest, ConcurrentClientsShareTheCache) {
+  const std::string prefix = ScratchPrefix();
+  const auto [v1, v2] = MakeVersionPair(prefix);
+  StartServer(4);
+
+  constexpr size_t kClients = 4;
+  constexpr int kRequests = 8;
+  std::atomic<int> failures{0};
+  std::string first_body;
+  {
+    // Warm the cache and capture the canonical body once.
+    Client warm = Connect();
+    Result<ClientResponse> resp =
+        warm.Call({"align", v1, v2, "--method=hybrid", "--json"});
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    first_body = ScrubTimings(resp->body);
+  }
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      Result<Client> client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        failures.fetch_add(kRequests);
+        return;
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        Result<ClientResponse> resp =
+            client->Call({"align", v1, v2, "--method=hybrid", "--json"});
+        if (!resp.ok() || resp->exit_code != 0 ||
+            ScrubTimings(resp->body) != first_body) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Everything after the warm-up ran from residency: two snapshots, two
+  // misses, all other acquires hits.
+  const SnapshotCacheStats stats = server_->cache()->stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 2u * (kClients * kRequests));
+
+  RemoveChain(prefix);
+}
+
+TEST_F(ServiceTest, StopDeliversInFlightResponses) {
+  const std::string prefix = ScratchPrefix();
+  const auto [v1, v2] = MakeVersionPair(prefix);
+  StartServer(2);
+
+  // Fire a burst of requests, then Stop() while some are still being
+  // served: every request that was written must still get its response.
+  constexpr size_t kClients = 3;
+  std::atomic<int> completed{0}, broken{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      Result<Client> client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) return;  // stop may already have closed the door
+      Result<ClientResponse> resp =
+          client->Call({"align", v1, v2, "--method=hybrid"});
+      if (resp.ok() && resp->exit_code == 0) {
+        completed.fetch_add(1);
+      } else {
+        broken.fetch_add(1);
+      }
+    });
+  }
+  // Let the requests reach the server, then shut down under load.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server_->Stop();
+  for (std::thread& th : threads) th.join();
+
+  // No half-written responses: a request either completed normally or
+  // never got through (connection refused after the listener closed).
+  EXPECT_EQ(broken.load(), 0);
+  EXPECT_GT(completed.load(), 0);
+
+  // Stop is idempotent and the port is released for a fresh server.
+  server_->Stop();
+  RemoveChain(prefix);
+}
+
+TEST(ServiceProtocolTest, ParseEndpointForms) {
+  std::string host;
+  int port = 0;
+  EXPECT_TRUE(ParseEndpoint("7464", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 7464);
+  EXPECT_TRUE(ParseEndpoint("10.1.2.3:99", &host, &port).ok());
+  EXPECT_EQ(host, "10.1.2.3");
+  EXPECT_EQ(port, 99);
+  for (const char* bad : {"", "host:", ":", "0", "65536", "x", "1:2:x"}) {
+    EXPECT_FALSE(ParseEndpoint(bad, &host, &port).ok()) << bad;
+  }
+}
+
+TEST(ServiceProtocolTest, RequestTokensRoundTrip) {
+  const std::vector<std::string> tokens{"align", "a.snap", "b.snap",
+                                        "--json"};
+  EXPECT_EQ(DecodeRequest(EncodeRequest(tokens)), tokens);
+  EXPECT_TRUE(DecodeRequest(EncodeRequest({})).empty());
+}
+
+}  // namespace
+}  // namespace rdfalign::service

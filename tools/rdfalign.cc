@@ -7,862 +7,40 @@
 //   rdfalign patch <base> <delta> <out>     replay a delta onto a base
 //   rdfalign archive <out> <v1> <v2> ...    build + save a version archive
 //   rdfalign gen <out-prefix>               synthetic version chain (CI/demo)
+//   rdfalign client <endpoint> <command>    run a command on rdfalignd
 //
-// `align`, `diff`, `patch`, and `archive` accept snapshots or RDF text
-// files interchangeably (sniffed by magic); snapshots load with zero
-// parsing, which is the point — build once, align many times. `patch`
-// exits 2 when the delta does not apply to the given base. See
-// docs/store.md and the README workflow.
+// This file is a transport adapter only: every verb is implemented in
+// src/service/verbs.{h,cc} as request/response functions shared with the
+// rdfalignd daemon, and `rdfalign client` forwards the identical argv to
+// a running daemon (same output, same exit code — but loads hit the
+// daemon's resident snapshot cache). See docs/service.md.
 
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <initializer_list>
-#include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "core/aligner.h"
-#include "core/archive.h"
-#include "core/delta.h"
-#include "gen/category_gen.h"
-#include "parser/ntriples_parser.h"
-#include "parser/ntriples_writer.h"
-#include "parser/turtle_parser.h"
-#include "rdf/statistics.h"
-#include "store/archive_io.h"
-#include "store/delta.h"
-#include "store/snapshot.h"
-#include "util/thread_pool.h"
-#include "util/timer.h"
-
-using namespace rdfalign;
-
-namespace {
-
-int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: rdfalign <command> [args]\n"
-      "\n"
-      "commands:\n"
-      "  build <input> <output.snap> [--format=auto|ntriples|turtle]\n"
-      "       [--threads=N]\n"
-      "      parse an RDF text file and write a binary snapshot\n"
-      "  info <file> [--json]\n"
-      "      print header, sections, and statistics of a snapshot,\n"
-      "      delta, or archive file (sniffed by magic)\n"
-      "  align <a> <b> [--method=M] [--threads=N] [--mmap] [--json]\n"
-      "      align two graphs (snapshot or RDF text each) and report\n"
-      "      methods: trivial deblank hybrid hybrid-contextual overlap\n"
-      "      (default hybrid; --threads=0 uses all hardware threads)\n"
-      "  diff <base> <next> <out.delta> [--method=M] [--threads=N]\n"
-      "       [--mmap] [--json]\n"
-      "      align two versions and write the incremental binary delta\n"
-      "  patch <base> <delta> <out.snap> [--threads=N] [--mmap] [--json]\n"
-      "      reconstruct the next version from base + delta and write it\n"
-      "      as a snapshot (exit 2 when the delta does not fit the base)\n"
-      "  archive <out.archive> <v1> <v2> ... [--method=M] [--threads=N]\n"
-      "       [--mmap] [--json]\n"
-      "      append versions into an interval archive and persist it as\n"
-      "      a base snapshot plus a delta chain\n"
-      "  gen <out-prefix> [--scale=S] [--versions=K] [--seed=N]\n"
-      "      generate a synthetic category-graph version chain as\n"
-      "      <out-prefix>1.nt, <out-prefix>2.nt, ...\n");
-  return 2;
-}
-
-/// `--name=value` / `--name` flags after the positional arguments.
-class Args {
- public:
-  Args(int argc, char** argv, int start) {
-    for (int i = start; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) == 0) {
-        size_t eq = arg.find('=');
-        if (eq == std::string::npos) {
-          flags_[arg.substr(2)] = "";
-        } else {
-          flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-        }
-      } else {
-        positional_.push_back(std::move(arg));
-      }
-    }
-  }
-
-  const std::vector<std::string>& positional() const { return positional_; }
-
-  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
-
-  std::string GetString(const std::string& name,
-                        const std::string& fallback) const {
-    auto it = flags_.find(name);
-    return it == flags_.end() ? fallback : it->second;
-  }
-
-  // Signed so that callers see "--versions=-1" as -1 and can reject it
-  // with a range error, instead of a wrapped ~2^64 surprise. Malformed
-  // values ("--threads=1o", "--seed=abc") are reported here and become
-  // nullopt rather than silently parsing as a prefix or zero.
-  std::optional<long long> GetInt(const std::string& name,
-                                  long long fallback) const {
-    auto it = flags_.find(name);
-    if (it == flags_.end()) return fallback;
-    errno = 0;
-    char* end = nullptr;
-    const long long value = std::strtoll(it->second.c_str(), &end, 10);
-    if (it->second.empty() || *end != '\0' || errno == ERANGE) {
-      std::fprintf(stderr, "rdfalign: --%s expects an integer, got '%s'\n",
-                   name.c_str(), it->second.c_str());
-      return std::nullopt;
-    }
-    return value;
-  }
-
-  double GetDouble(const std::string& name, double fallback) const {
-    auto it = flags_.find(name);
-    return it == flags_.end() ? fallback : std::atof(it->second.c_str());
-  }
-
-  /// Flags this command does not understand -> usage error.
-  bool OnlyKnown(std::initializer_list<const char*> known) const {
-    for (const auto& [name, value] : flags_) {
-      bool ok = false;
-      for (const char* k : known) ok = ok || name == k;
-      if (!ok) {
-        std::fprintf(stderr, "rdfalign: unknown flag --%s\n", name.c_str());
-        return false;
-      }
-    }
-    return true;
-  }
-
- private:
-  std::vector<std::string> positional_;
-  std::map<std::string, std::string> flags_;
-};
-
-bool HasSuffix(const std::string& s, const char* suffix) {
-  size_t n = std::strlen(suffix);
-  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
-}
-
-/// Parses --threads with the shared bound policy (0 = all hardware
-/// threads, the pool's own convention); an absurd count is a usage error.
-bool ParseThreadsFlag(const Args& args, const char* cmd, size_t* out) {
-  const std::optional<long long> threads = args.GetInt("threads", 1);
-  if (!threads) return false;
-  if (*threads < 0 || *threads > 4096) {
-    std::fprintf(stderr, "rdfalign %s: --threads must be in [0, 4096]\n",
-                 cmd);
-    return false;
-  }
-  *out = static_cast<size_t>(*threads);
-  return true;
-}
-
-/// Loads a graph from a snapshot or an RDF text file, sniffing the kind.
-/// `threads` feeds the post-parse sort/index build of the text paths
-/// (snapshot loads are already zero-parse).
-Result<TripleGraph> LoadAnyGraph(const std::string& path,
-                                 std::shared_ptr<Dictionary> dict,
-                                 bool use_mmap, size_t threads,
-                                 std::string* kind) {
-  if (store::LooksLikeSnapshot(path)) {
-    *kind = use_mmap ? "snapshot(mmap)" : "snapshot";
-    store::SnapshotLoadOptions options;
-    options.use_mmap = use_mmap;
-    return store::LoadSnapshot(path, std::move(dict), options);
-  }
-  if (HasSuffix(path, ".ttl")) {
-    *kind = "turtle";
-    return ParseTurtleFile(path, std::move(dict), threads);
-  }
-  *kind = "ntriples";
-  return ParseNTriplesFile(path, std::move(dict), nullptr, threads);
-}
-
-int CmdBuild(const Args& args) {
-  if (args.positional().size() != 2 ||
-      !args.OnlyKnown({"format", "threads"})) {
-    return Usage();
-  }
-  const std::string& input = args.positional()[0];
-  const std::string& output = args.positional()[1];
-  const std::string format = args.GetString("format", "auto");
-  size_t threads = 1;
-  if (!ParseThreadsFlag(args, "build", &threads)) return 2;
-  const size_t workers = ResolveThreads(threads);
-
-  WallTimer parse_timer;
-  Result<TripleGraph> graph = Status::Internal("unreachable");
-  if (format == "turtle" || (format == "auto" && HasSuffix(input, ".ttl"))) {
-    graph = ParseTurtleFile(input, nullptr, workers);
-  } else if (format == "ntriples" || format == "auto") {
-    graph = ParseNTriplesFile(input, nullptr, nullptr, workers);
-  } else {
-    std::fprintf(stderr, "rdfalign: unknown --format=%s\n", format.c_str());
-    return 2;
-  }
-  if (!graph.ok()) {
-    std::fprintf(stderr, "rdfalign build: %s\n",
-                 graph.status().ToString().c_str());
-    return 1;
-  }
-  const double parse_ms = parse_timer.ElapsedMillis();
-
-  WallTimer write_timer;
-  Status st = store::WriteSnapshot(*graph, output);
-  if (!st.ok()) {
-    std::fprintf(stderr, "rdfalign build: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  std::printf("built %s: %zu nodes, %zu triples (parse %.1f ms, "
-              "write %.1f ms, %zu threads)\n",
-              output.c_str(), graph->NumNodes(), graph->NumEdges(),
-              parse_ms, write_timer.ElapsedMillis(), workers);
-  return 0;
-}
-
-int InfoSnapshot(const std::string& path, bool json) {
-  auto info = store::ReadSnapshotInfo(path);
-  if (!info.ok()) {
-    std::fprintf(stderr, "rdfalign info: %s\n",
-                 info.status().ToString().c_str());
-    return 1;
-  }
-  if (json) {
-    std::printf("{\n");
-    std::printf("  \"path\": \"%s\",\n", path.c_str());
-    std::printf("  \"version\": %u,\n", info->version);
-    std::printf("  \"nodes\": %llu,\n",
-                (unsigned long long)info->num_nodes);
-    std::printf("  \"triples\": %llu,\n",
-                (unsigned long long)info->num_triples);
-    std::printf("  \"terms\": %llu,\n",
-                (unsigned long long)info->num_terms);
-    std::printf("  \"file_bytes\": %llu,\n",
-                (unsigned long long)info->file_size);
-    std::printf("  \"sections\": [\n");
-    for (size_t i = 0; i < info->sections.size(); ++i) {
-      const auto& s = info->sections[i];
-      std::printf("    {\"name\": \"%s\", \"offset\": %llu, \"bytes\": %llu, "
-                  "\"checksum\": \"%016llx\"}%s\n",
-                  std::string(store::SectionName(s.id)).c_str(),
-                  (unsigned long long)s.offset, (unsigned long long)s.size,
-                  (unsigned long long)s.checksum,
-                  i + 1 < info->sections.size() ? "," : "");
-    }
-    std::printf("  ]\n}\n");
-  } else {
-    std::printf("rdfalign snapshot %s\n", path.c_str());
-    std::printf("  format version : %u\n", info->version);
-    std::printf("  nodes          : %llu\n",
-                (unsigned long long)info->num_nodes);
-    std::printf("  triples        : %llu\n",
-                (unsigned long long)info->num_triples);
-    std::printf("  dictionary     : %llu terms\n",
-                (unsigned long long)info->num_terms);
-    std::printf("  file size      : %llu bytes\n",
-                (unsigned long long)info->file_size);
-    std::printf("  sections:\n");
-    for (const auto& s : info->sections) {
-      std::printf("    %-12s offset=%-10llu bytes=%-10llu checksum=%016llx\n",
-                  std::string(store::SectionName(s.id)).c_str(),
-                  (unsigned long long)s.offset, (unsigned long long)s.size,
-                  (unsigned long long)s.checksum);
-    }
-  }
-  return 0;
-}
-
-int InfoDelta(const std::string& path, bool json) {
-  auto info = store::ReadDeltaInfo(path);
-  if (!info.ok()) {
-    std::fprintf(stderr, "rdfalign info: %s\n",
-                 info.status().ToString().c_str());
-    return 1;
-  }
-  if (json) {
-    std::printf("{\n");
-    std::printf("  \"path\": \"%s\",\n", path.c_str());
-    std::printf("  \"kind\": \"delta\",\n");
-    std::printf("  \"version\": %u,\n", info->version);
-    std::printf("  \"base\": {\"nodes\": %llu, \"triples\": %llu, "
-                "\"terms\": %llu, \"fingerprint\": \"%016llx\"},\n",
-                (unsigned long long)info->base_nodes,
-                (unsigned long long)info->base_triples,
-                (unsigned long long)info->base_terms,
-                (unsigned long long)info->base_fingerprint);
-    std::printf("  \"next\": {\"nodes\": %llu, \"triples\": %llu, "
-                "\"terms\": %llu, \"new_terms\": %llu},\n",
-                (unsigned long long)info->next_nodes,
-                (unsigned long long)info->next_triples,
-                (unsigned long long)info->next_terms,
-                (unsigned long long)info->num_new_terms);
-    std::printf("  \"file_bytes\": %llu,\n",
-                (unsigned long long)info->file_size);
-    std::printf("  \"sections\": [\n");
-    for (size_t i = 0; i < info->sections.size(); ++i) {
-      const auto& s = info->sections[i];
-      std::printf("    {\"name\": \"%s\", \"offset\": %llu, \"bytes\": %llu, "
-                  "\"checksum\": \"%016llx\"}%s\n",
-                  std::string(store::DeltaSectionName(s.id)).c_str(),
-                  (unsigned long long)s.offset, (unsigned long long)s.size,
-                  (unsigned long long)s.checksum,
-                  i + 1 < info->sections.size() ? "," : "");
-    }
-    std::printf("  ]\n}\n");
-  } else {
-    std::printf("rdfalign delta %s\n", path.c_str());
-    std::printf("  format version : %u\n", info->version);
-    std::printf("  base           : %llu nodes, %llu triples, %llu terms\n",
-                (unsigned long long)info->base_nodes,
-                (unsigned long long)info->base_triples,
-                (unsigned long long)info->base_terms);
-    std::printf("  base fingerprint: %016llx\n",
-                (unsigned long long)info->base_fingerprint);
-    std::printf("  next           : %llu nodes, %llu triples, %llu terms "
-                "(%llu new)\n",
-                (unsigned long long)info->next_nodes,
-                (unsigned long long)info->next_triples,
-                (unsigned long long)info->next_terms,
-                (unsigned long long)info->num_new_terms);
-    std::printf("  file size      : %llu bytes\n",
-                (unsigned long long)info->file_size);
-    std::printf("  sections:\n");
-    for (const auto& s : info->sections) {
-      std::printf("    %-16s offset=%-10llu bytes=%-10llu checksum=%016llx\n",
-                  std::string(store::DeltaSectionName(s.id)).c_str(),
-                  (unsigned long long)s.offset, (unsigned long long)s.size,
-                  (unsigned long long)s.checksum);
-    }
-  }
-  return 0;
-}
-
-int InfoArchive(const std::string& path, bool json) {
-  auto info = store::ReadArchiveInfo(path);
-  if (!info.ok()) {
-    std::fprintf(stderr, "rdfalign info: %s\n",
-                 info.status().ToString().c_str());
-    return 1;
-  }
-  if (json) {
-    std::printf("{\n");
-    std::printf("  \"path\": \"%s\",\n", path.c_str());
-    std::printf("  \"kind\": \"archive\",\n");
-    std::printf("  \"version\": %u,\n", info->version);
-    std::printf("  \"versions\": %llu,\n",
-                (unsigned long long)info->num_versions);
-    std::printf("  \"file_bytes\": %llu,\n",
-                (unsigned long long)info->file_size);
-    std::printf("  \"sections\": [\n");
-    for (size_t i = 0; i < info->sections.size(); ++i) {
-      const auto& s = info->sections[i];
-      std::printf("    {\"name\": \"%s\", \"offset\": %llu, \"bytes\": %llu, "
-                  "\"checksum\": \"%016llx\"}%s\n",
-                  std::string(store::ArchiveSectionName(s.id)).c_str(),
-                  (unsigned long long)s.offset, (unsigned long long)s.size,
-                  (unsigned long long)s.checksum,
-                  i + 1 < info->sections.size() ? "," : "");
-    }
-    std::printf("  ]\n}\n");
-  } else {
-    std::printf("rdfalign archive %s\n", path.c_str());
-    std::printf("  format version : %u\n", info->version);
-    std::printf("  versions       : %llu\n",
-                (unsigned long long)info->num_versions);
-    std::printf("  file size      : %llu bytes\n",
-                (unsigned long long)info->file_size);
-    std::printf("  sections:\n");
-    for (const auto& s : info->sections) {
-      std::printf("    %-13s offset=%-10llu bytes=%-10llu checksum=%016llx\n",
-                  std::string(store::ArchiveSectionName(s.id)).c_str(),
-                  (unsigned long long)s.offset, (unsigned long long)s.size,
-                  (unsigned long long)s.checksum);
-    }
-  }
-  return 0;
-}
-
-int CmdInfo(const Args& args) {
-  if (args.positional().size() != 1 || !args.OnlyKnown({"json"})) {
-    return Usage();
-  }
-  const std::string& path = args.positional()[0];
-  const bool json = args.Has("json");
-  if (store::LooksLikeDelta(path)) return InfoDelta(path, json);
-  if (store::LooksLikeArchive(path)) return InfoArchive(path, json);
-  // Snapshot, or the error path for files that are no store format at all.
-  return InfoSnapshot(path, json);
-}
-
-Result<AlignMethod> ParseMethod(const std::string& name) {
-  if (name == "trivial") return AlignMethod::kTrivial;
-  if (name == "deblank") return AlignMethod::kDeblank;
-  if (name == "hybrid") return AlignMethod::kHybrid;
-  if (name == "hybrid-contextual") return AlignMethod::kHybridContextual;
-  if (name == "overlap") return AlignMethod::kOverlap;
-  return Status::InvalidArgument("unknown alignment method: " + name);
-}
-
-/// Parses --method / --threads into `options`, printing errors itself;
-/// the caller exits 2 on false. Threads are bounded explicitly: an absurd
-/// count would be handed to the signing pool (0 = all hardware threads is
-/// the engine's own convention).
-bool ParseAlignerFlags(const Args& args, const char* cmd,
-                       AlignerOptions* options) {
-  auto method = ParseMethod(args.GetString("method", "hybrid"));
-  if (!method.ok()) {
-    std::fprintf(stderr, "rdfalign %s: %s\n", cmd,
-                 method.status().ToString().c_str());
-    return false;
-  }
-  options->method = *method;
-  size_t threads = 1;
-  if (!ParseThreadsFlag(args, cmd, &threads)) return false;
-  options->refinement.threads = threads;
-  options->overlap.propagate.refinement = options->refinement;
-  return true;
-}
-
-int CmdAlign(const Args& args) {
-  if (args.positional().size() != 2 ||
-      !args.OnlyKnown({"method", "threads", "mmap", "json"})) {
-    return Usage();
-  }
-  const std::string& path_a = args.positional()[0];
-  const std::string& path_b = args.positional()[1];
-  const bool use_mmap = args.Has("mmap");
-
-  AlignerOptions options;
-  if (!ParseAlignerFlags(args, "align", &options)) return 2;
-  const auto method = options.method;
-  const size_t workers = ResolveThreads(options.refinement.threads);
-
-  // One shared dictionary puts both versions in a single label space.
-  auto dict = std::make_shared<Dictionary>();
-  std::string kind_a, kind_b;
-  WallTimer load_a_timer;
-  auto a = LoadAnyGraph(path_a, dict, use_mmap, workers, &kind_a);
-  if (!a.ok()) {
-    std::fprintf(stderr, "rdfalign align: %s\n",
-                 a.status().ToString().c_str());
-    return 1;
-  }
-  const double load_a_ms = load_a_timer.ElapsedMillis();
-  WallTimer load_b_timer;
-  auto b = LoadAnyGraph(path_b, dict, use_mmap, workers, &kind_b);
-  if (!b.ok()) {
-    std::fprintf(stderr, "rdfalign align: %s\n",
-                 b.status().ToString().c_str());
-    return 1;
-  }
-  const double load_b_ms = load_b_timer.ElapsedMillis();
-
-  Aligner aligner(options);
-  auto outcome = aligner.Align(*a, *b);
-  if (!outcome.ok()) {
-    std::fprintf(stderr, "rdfalign align: %s\n",
-                 outcome.status().ToString().c_str());
-    return 1;
-  }
-
-  const auto& o = *outcome;
-  if (args.Has("json")) {
-    std::printf("{\n");
-    std::printf("  \"method\": \"%s\",\n",
-                std::string(AlignMethodToString(method)).c_str());
-    std::printf("  \"threads\": %zu,\n", workers);
-    std::printf("  \"a\": {\"path\": \"%s\", \"kind\": \"%s\", "
-                "\"nodes\": %zu, \"triples\": %zu, \"load_ms\": %.2f},\n",
-                path_a.c_str(), kind_a.c_str(), a->NumNodes(), a->NumEdges(),
-                load_a_ms);
-    std::printf("  \"b\": {\"path\": \"%s\", \"kind\": \"%s\", "
-                "\"nodes\": %zu, \"triples\": %zu, \"load_ms\": %.2f},\n",
-                path_b.c_str(), kind_b.c_str(), b->NumNodes(), b->NumEdges(),
-                load_b_ms);
-    std::printf("  \"align_seconds\": %.4f,\n", o.seconds);
-    std::printf("  \"phases\": {\"merge_ms\": %.2f, \"refine_ms\": %.2f, "
-                "\"enrich_ms\": %.2f, \"overlap_index_ms\": %.2f, "
-                "\"match_ms\": %.2f, \"stats_ms\": %.2f},\n",
-                o.phases.merge_ms, o.phases.refine_ms, o.phases.enrich_ms,
-                o.phases.overlap_index_ms, o.phases.match_ms,
-                o.phases.stats_ms);
-    std::printf("  \"aligned_edge_ratio\": %.6f,\n", o.edge_stats.Ratio());
-    std::printf("  \"aligned_edges\": %zu,\n", o.edge_stats.aligned_edges);
-    std::printf("  \"total_edges\": %zu,\n", o.edge_stats.total_edges);
-    std::printf("  \"aligned_classes\": %zu,\n",
-                o.node_stats.aligned_classes);
-    std::printf("  \"unaligned_source_nodes\": %zu,\n",
-                o.node_stats.unaligned_source_nodes);
-    std::printf("  \"unaligned_target_nodes\": %zu,\n",
-                o.node_stats.unaligned_target_nodes);
-    std::printf("  \"refinement_iterations\": %zu,\n",
-                o.refinement.iterations);
-    std::printf("  \"final_classes\": %zu\n", o.refinement.final_classes);
-    std::printf("}\n");
-  } else {
-    std::printf("alignment report (%s)\n",
-                std::string(AlignMethodToString(method)).c_str());
-    std::printf("  a: %s [%s] %zu nodes, %zu triples, loaded in %.1f ms\n",
-                path_a.c_str(), kind_a.c_str(), a->NumNodes(), a->NumEdges(),
-                load_a_ms);
-    std::printf("  b: %s [%s] %zu nodes, %zu triples, loaded in %.1f ms\n",
-                path_b.c_str(), kind_b.c_str(), b->NumNodes(), b->NumEdges(),
-                load_b_ms);
-    std::printf("  threads            : %zu\n", workers);
-    std::printf("  align time         : %.3f s\n", o.seconds);
-    std::printf("  phases (ms)        : merge %.1f, refine %.1f, enrich %.1f,"
-                " index %.1f, match %.1f, stats %.1f\n",
-                o.phases.merge_ms, o.phases.refine_ms, o.phases.enrich_ms,
-                o.phases.overlap_index_ms, o.phases.match_ms,
-                o.phases.stats_ms);
-    std::printf("  aligned edge ratio : %.4f (%zu / %zu)\n",
-                o.edge_stats.Ratio(), o.edge_stats.aligned_edges,
-                o.edge_stats.total_edges);
-    std::printf("  aligned classes    : %zu\n", o.node_stats.aligned_classes);
-    std::printf("  aligned nodes      : %zu source, %zu target\n",
-                o.node_stats.aligned_source_nodes,
-                o.node_stats.aligned_target_nodes);
-    std::printf("  unaligned nodes    : %zu source, %zu target\n",
-                o.node_stats.unaligned_source_nodes,
-                o.node_stats.unaligned_target_nodes);
-    if (o.refinement.iterations > 0) {
-      std::printf("  refinement         : %zu iterations, %zu classes\n",
-                  o.refinement.iterations, o.refinement.final_classes);
-    }
-  }
-  return 0;
-}
-
-int CmdDiff(const Args& args) {
-  if (args.positional().size() != 3 ||
-      !args.OnlyKnown({"method", "threads", "mmap", "json"})) {
-    return Usage();
-  }
-  const std::string& path_base = args.positional()[0];
-  const std::string& path_next = args.positional()[1];
-  const std::string& path_out = args.positional()[2];
-  const bool use_mmap = args.Has("mmap");
-  AlignerOptions options;
-  if (!ParseAlignerFlags(args, "diff", &options)) return 2;
-  const size_t workers = ResolveThreads(options.refinement.threads);
-
-  auto dict = std::make_shared<Dictionary>();
-  std::string kind_base, kind_next;
-  auto base =
-      LoadAnyGraph(path_base, dict, use_mmap, workers, &kind_base);
-  if (!base.ok()) {
-    std::fprintf(stderr, "rdfalign diff: %s\n",
-                 base.status().ToString().c_str());
-    return 1;
-  }
-  auto next =
-      LoadAnyGraph(path_next, dict, use_mmap, workers, &kind_next);
-  if (!next.ok()) {
-    std::fprintf(stderr, "rdfalign diff: %s\n",
-                 next.status().ToString().c_str());
-    return 1;
-  }
-
-  WallTimer align_timer;
-  auto cg = CombinedGraph::Build(*base, *next, workers);
-  if (!cg.ok()) {
-    std::fprintf(stderr, "rdfalign diff: %s\n",
-                 cg.status().ToString().c_str());
-    return 1;
-  }
-  Aligner aligner(options);
-  AlignmentOutcome outcome = aligner.AlignCombined(*cg);
-  const VersionNodeMap map = NodeMapFromPartition(*cg, outcome.partition);
-  const double align_ms = align_timer.ElapsedMillis();
-
-  WallTimer write_timer;
-  store::DeltaWriteStats stats;
-  Status st = store::WriteDelta(*base, *next, map, path_out, &stats);
-  if (!st.ok()) {
-    std::fprintf(stderr, "rdfalign diff: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  const double write_ms = write_timer.ElapsedMillis();
-
-  if (args.Has("json")) {
-    std::printf("{\n");
-    std::printf("  \"method\": \"%s\",\n",
-                std::string(AlignMethodToString(options.method)).c_str());
-    std::printf("  \"threads\": %zu,\n", workers);
-    std::printf("  \"base\": {\"path\": \"%s\", \"kind\": \"%s\", "
-                "\"nodes\": %zu, \"triples\": %zu},\n",
-                path_base.c_str(), kind_base.c_str(), base->NumNodes(),
-                base->NumEdges());
-    std::printf("  \"next\": {\"path\": \"%s\", \"kind\": \"%s\", "
-                "\"nodes\": %zu, \"triples\": %zu},\n",
-                path_next.c_str(), kind_next.c_str(), next->NumNodes(),
-                next->NumEdges());
-    std::printf("  \"delta\": \"%s\",\n", path_out.c_str());
-    std::printf("  \"kept_triples\": %llu,\n",
-                (unsigned long long)stats.kept_triples);
-    std::printf("  \"removed_triples\": %llu,\n",
-                (unsigned long long)stats.removed_triples);
-    std::printf("  \"added_triples\": %llu,\n",
-                (unsigned long long)stats.added_triples);
-    std::printf("  \"new_terms\": %llu,\n",
-                (unsigned long long)stats.new_terms);
-    std::printf("  \"mapped_nodes\": %llu,\n",
-                (unsigned long long)stats.mapped_nodes);
-    std::printf("  \"kept_runs\": %llu,\n",
-                (unsigned long long)stats.kept_runs);
-    std::printf("  \"delta_bytes\": %llu,\n",
-                (unsigned long long)stats.file_bytes);
-    std::printf("  \"align_ms\": %.2f,\n", align_ms);
-    std::printf("  \"write_ms\": %.2f\n", write_ms);
-    std::printf("}\n");
-  } else {
-    std::printf("wrote delta %s (%llu bytes)\n", path_out.c_str(),
-                (unsigned long long)stats.file_bytes);
-    std::printf("  base            : %s [%s] %zu nodes, %zu triples\n",
-                path_base.c_str(), kind_base.c_str(), base->NumNodes(),
-                base->NumEdges());
-    std::printf("  next            : %s [%s] %zu nodes, %zu triples\n",
-                path_next.c_str(), kind_next.c_str(), next->NumNodes(),
-                next->NumEdges());
-    std::printf("  change          : ~%llu kept (+%llu -%llu), "
-                "%llu new terms\n",
-                (unsigned long long)stats.kept_triples,
-                (unsigned long long)stats.added_triples,
-                (unsigned long long)stats.removed_triples,
-                (unsigned long long)stats.new_terms);
-    std::printf("  mapped nodes    : %llu / %zu (%llu kept runs)\n",
-                (unsigned long long)stats.mapped_nodes, next->NumNodes(),
-                (unsigned long long)stats.kept_runs);
-    std::printf("  align %.1f ms, write %.1f ms\n", align_ms, write_ms);
-  }
-  return 0;
-}
-
-int CmdPatch(const Args& args) {
-  if (args.positional().size() != 3 ||
-      !args.OnlyKnown({"threads", "mmap", "json"})) {
-    return Usage();
-  }
-  const std::string& path_base = args.positional()[0];
-  const std::string& path_delta = args.positional()[1];
-  const std::string& path_out = args.positional()[2];
-  const bool use_mmap = args.Has("mmap");
-  size_t threads = 1;
-  if (!ParseThreadsFlag(args, "patch", &threads)) return 2;
-  const size_t workers = ResolveThreads(threads);
-
-  auto dict = std::make_shared<Dictionary>();
-  std::string kind_base;
-  WallTimer load_timer;
-  auto base =
-      LoadAnyGraph(path_base, dict, use_mmap, workers, &kind_base);
-  if (!base.ok()) {
-    std::fprintf(stderr, "rdfalign patch: %s\n",
-                 base.status().ToString().c_str());
-    return 1;
-  }
-  const double load_ms = load_timer.ElapsedMillis();
-
-  WallTimer apply_timer;
-  store::DeltaApplyStats stats;
-  store::DeltaApplyOptions apply_options;
-  apply_options.threads = workers;
-  auto next = store::ApplyDelta(*base, path_delta, dict, apply_options, &stats);
-  if (!next.ok()) {
-    std::fprintf(stderr, "rdfalign patch: %s\n",
-                 next.status().ToString().c_str());
-    // A delta that does not belong to this base (or is no delta at all)
-    // is a usage error, distinct from I/O failures and corrupt files.
-    return next.status().IsInvalidArgument() ? 2 : 1;
-  }
-  const double apply_ms = apply_timer.ElapsedMillis();
-
-  WallTimer write_timer;
-  Status st = store::WriteSnapshot(*next, path_out);
-  if (!st.ok()) {
-    std::fprintf(stderr, "rdfalign patch: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  const double write_ms = write_timer.ElapsedMillis();
-
-  if (args.Has("json")) {
-    std::printf("{\n");
-    std::printf("  \"threads\": %zu,\n", workers);
-    std::printf("  \"base\": {\"path\": \"%s\", \"kind\": \"%s\", "
-                "\"nodes\": %zu, \"triples\": %zu},\n",
-                path_base.c_str(), kind_base.c_str(), base->NumNodes(),
-                base->NumEdges());
-    std::printf("  \"delta\": \"%s\",\n", path_delta.c_str());
-    std::printf("  \"out\": \"%s\",\n", path_out.c_str());
-    std::printf("  \"nodes\": %zu,\n", next->NumNodes());
-    std::printf("  \"triples\": %zu,\n", next->NumEdges());
-    std::printf("  \"kept_triples\": %llu,\n",
-                (unsigned long long)stats.kept_triples);
-    std::printf("  \"removed_triples\": %llu,\n",
-                (unsigned long long)stats.removed_triples);
-    std::printf("  \"added_triples\": %llu,\n",
-                (unsigned long long)stats.added_triples);
-    std::printf("  \"load_ms\": %.2f,\n", load_ms);
-    std::printf("  \"apply_ms\": %.2f,\n", apply_ms);
-    std::printf("  \"write_ms\": %.2f\n", write_ms);
-    std::printf("}\n");
-  } else {
-    std::printf("patched %s + %s -> %s: %zu nodes, %zu triples "
-                "(~%llu kept +%llu -%llu)\n",
-                path_base.c_str(), path_delta.c_str(), path_out.c_str(),
-                next->NumNodes(), next->NumEdges(),
-                (unsigned long long)stats.kept_triples,
-                (unsigned long long)stats.added_triples,
-                (unsigned long long)stats.removed_triples);
-    std::printf("  load %.1f ms, apply %.1f ms, write %.1f ms\n", load_ms,
-                apply_ms, write_ms);
-  }
-  return 0;
-}
-
-int CmdArchive(const Args& args) {
-  if (args.positional().size() < 2 ||
-      !args.OnlyKnown({"method", "threads", "mmap", "json"})) {
-    return Usage();
-  }
-  const std::string& path_out = args.positional()[0];
-  const bool use_mmap = args.Has("mmap");
-  AlignerOptions options;
-  if (!ParseAlignerFlags(args, "archive", &options)) return 2;
-  const size_t workers = ResolveThreads(options.refinement.threads);
-
-  // One shared dictionary across the whole chain (the Append invariant).
-  auto dict = std::make_shared<Dictionary>();
-  VersionArchive archive(options);
-  WallTimer append_timer;
-  for (size_t v = 1; v < args.positional().size(); ++v) {
-    const std::string& path = args.positional()[v];
-    std::string kind;
-    auto g = LoadAnyGraph(path, dict, use_mmap, workers, &kind);
-    if (!g.ok()) {
-      std::fprintf(stderr, "rdfalign archive: %s\n",
-                   g.status().ToString().c_str());
-      return 1;
-    }
-    auto appended = archive.Append(*g);
-    if (!appended.ok()) {
-      std::fprintf(stderr, "rdfalign archive: %s\n",
-                   appended.status().ToString().c_str());
-      return 1;
-    }
-  }
-  const double append_ms = append_timer.ElapsedMillis();
-
-  WallTimer save_timer;
-  store::ArchiveSaveStats save_stats;
-  Status st = store::SaveArchive(archive, path_out, &save_stats);
-  if (!st.ok()) {
-    std::fprintf(stderr, "rdfalign archive: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  const double save_ms = save_timer.ElapsedMillis();
-  const ArchiveStats stats = archive.Stats();
-
-  if (args.Has("json")) {
-    std::printf("{\n");
-    std::printf("  \"archive\": \"%s\",\n", path_out.c_str());
-    std::printf("  \"method\": \"%s\",\n",
-                std::string(AlignMethodToString(options.method)).c_str());
-    std::printf("  \"threads\": %zu,\n", workers);
-    std::printf("  \"versions\": %zu,\n", stats.versions);
-    std::printf("  \"entities\": %zu,\n", stats.entities);
-    std::printf("  \"distinct_triples\": %zu,\n", stats.distinct_triples);
-    std::printf("  \"interval_records\": %zu,\n", stats.interval_records);
-    std::printf("  \"triple_version_pairs\": %zu,\n",
-                stats.triple_version_pairs);
-    std::printf("  \"compression_ratio\": %.4f,\n",
-                stats.CompressionRatio());
-    std::printf("  \"file_bytes\": %llu,\n",
-                (unsigned long long)save_stats.file_bytes);
-    std::printf("  \"base_bytes\": %llu,\n",
-                (unsigned long long)save_stats.base_bytes);
-    std::printf("  \"delta_bytes\": %llu,\n",
-                (unsigned long long)save_stats.delta_bytes);
-    std::printf("  \"append_ms\": %.2f,\n", append_ms);
-    std::printf("  \"save_ms\": %.2f\n", save_ms);
-    std::printf("}\n");
-  } else {
-    std::printf("archived %zu versions -> %s (%llu bytes)\n",
-                stats.versions, path_out.c_str(),
-                (unsigned long long)save_stats.file_bytes);
-    std::printf("  entities            : %zu\n", stats.entities);
-    std::printf("  interval records    : %zu (distinct triples %zu)\n",
-                stats.interval_records, stats.distinct_triples);
-    std::printf("  compression ratio   : %.2fx (%zu triple-version pairs)\n",
-                stats.CompressionRatio(), stats.triple_version_pairs);
-    std::printf("  base %llu bytes + deltas %llu bytes\n",
-                (unsigned long long)save_stats.base_bytes,
-                (unsigned long long)save_stats.delta_bytes);
-    std::printf("  append %.1f ms, save %.1f ms\n", append_ms, save_ms);
-  }
-  return 0;
-}
-
-int CmdGen(const Args& args) {
-  if (args.positional().size() != 1 ||
-      !args.OnlyKnown({"scale", "versions", "seed"})) {
-    return Usage();
-  }
-  const std::string& prefix = args.positional()[0];
-  const std::optional<long long> versions = args.GetInt("versions", 2);
-  if (!versions) return 2;
-  if (*versions < 1 || *versions > 1000) {
-    std::fprintf(stderr, "rdfalign gen: --versions must be in [1, 1000]\n");
-    return 2;
-  }
-  const double scale = args.GetDouble("scale", 1.0);
-  if (!(scale > 0.0) || scale > 1e6) {
-    std::fprintf(stderr, "rdfalign gen: --scale must be in (0, 1e6]\n");
-    return 2;
-  }
-  const std::optional<long long> seed = args.GetInt("seed", 5);
-  if (!seed) return 2;
-  if (*seed < 0) {
-    std::fprintf(stderr, "rdfalign gen: --seed must be >= 0\n");
-    return 2;
-  }
-  gen::CategoryOptions options = gen::CategoryOptions::FromScale(
-      scale, static_cast<size_t>(*versions), static_cast<uint64_t>(*seed));
-
-  gen::CategoryChain chain = gen::CategoryChain::Generate(options);
-  for (size_t v = 0; v < chain.NumVersions(); ++v) {
-    const std::string path = prefix + std::to_string(v + 1) + ".nt";
-    Status st = WriteNTriplesFile(chain.Version(v), path);
-    if (!st.ok()) {
-      std::fprintf(stderr, "rdfalign gen: %s\n", st.ToString().c_str());
-      return 1;
-    }
-    std::printf("wrote %s: %zu nodes, %zu triples\n", path.c_str(),
-                chain.Version(v).NumNodes(), chain.Version(v).NumEdges());
-  }
-  return 0;
-}
-
-}  // namespace
+#include "service/client.h"
+#include "service/graph_source.h"
+#include "service/verbs.h"
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  Args args(argc, argv, 2);
-  if (command == "build") return CmdBuild(args);
-  if (command == "info") return CmdInfo(args);
-  if (command == "align") return CmdAlign(args);
-  if (command == "diff") return CmdDiff(args);
-  if (command == "patch") return CmdPatch(args);
-  if (command == "archive") return CmdArchive(args);
-  if (command == "gen") return CmdGen(args);
-  std::fprintf(stderr, "rdfalign: unknown command '%s'\n", command.c_str());
-  return Usage();
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<size_t>(argc > 1 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+
+  if (!tokens.empty() && tokens[0] == "client") {
+    return rdfalign::service::RunClientCommand(tokens);
+  }
+
+  rdfalign::service::DirectGraphSource source;
+  rdfalign::service::VerbResult result =
+      rdfalign::service::ExecuteVerb(tokens, &source, false);
+  if (!result.output.empty()) std::fputs(result.output.c_str(), stdout);
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "%s\n", result.error.c_str());
+  }
+  if (result.usage_error) {
+    std::fputs(rdfalign::service::UsageText(), stderr);
+  }
+  return result.exit_code;
 }

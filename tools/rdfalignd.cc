@@ -1,0 +1,97 @@
+// rdfalignd — the resident alignment service.
+//
+//   rdfalignd [--port=N] [--host=A] [--workers=N] [--cache-mb=N]
+//
+// Serves every rdfalign verb over the length-prefixed TCP protocol of
+// src/service/protocol.h, with all graph loads going through one shared
+// LRU snapshot cache: the first request for a snapshot pays the load, all
+// later requests (from any connection) hit the resident copy. Drive it
+// with `rdfalign client <host:port|port> <command> [args]` — output and
+// exit codes match the one-shot CLI exactly. SIGTERM/SIGINT shut down
+// gracefully: in-flight requests complete and their responses are
+// delivered. See docs/service.md.
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "service/flags.h"
+#include "service/server.h"
+
+using namespace rdfalign;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rdfalignd [--port=N] [--host=A] [--workers=N] [--cache-mb=N]\n"
+      "\n"
+      "  --port=N      TCP port to listen on (default 7464; 0 = ephemeral)\n"
+      "  --host=A      listen address (default 127.0.0.1)\n"
+      "  --workers=N   concurrent connection handlers (default 4)\n"
+      "  --cache-mb=N  snapshot cache capacity in MiB (default 1024)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const service::Args args(argc, argv, 1);
+  std::string error;
+  if (!args.positional().empty() ||
+      !args.OnlyKnown({"port", "host", "workers", "cache-mb"}, &error)) {
+    if (!error.empty()) std::fprintf(stderr, "%s\n", error.c_str());
+    return Usage();
+  }
+
+  service::ServerOptions options;
+  const std::optional<long long> port = args.GetInt("port", 7464, &error);
+  if (!port || *port < 0 || *port > 65535) {
+    std::fprintf(stderr, "rdfalignd: --port must be in [0, 65535]\n");
+    return 2;
+  }
+  options.port = static_cast<int>(*port);
+  options.host = args.GetString("host", "127.0.0.1");
+  const std::optional<long long> workers = args.GetInt("workers", 4, &error);
+  if (!workers || *workers < 1 || *workers > 1024) {
+    std::fprintf(stderr, "rdfalignd: --workers must be in [1, 1024]\n");
+    return 2;
+  }
+  options.worker_threads = static_cast<size_t>(*workers);
+  const std::optional<long long> cache_mb =
+      args.GetInt("cache-mb", 1024, &error);
+  if (!cache_mb || *cache_mb < 1 || *cache_mb > (1 << 20)) {
+    std::fprintf(stderr, "rdfalignd: --cache-mb must be in [1, 1048576]\n");
+    return 2;
+  }
+  options.cache_bytes = static_cast<uint64_t>(*cache_mb) << 20;
+
+  // Shutdown signals are consumed synchronously below; block them in
+  // every thread the server spawns by blocking before Start().
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  service::Server server(options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "rdfalignd: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("rdfalignd: listening on %s:%d (workers %zu, cache %llu MiB)\n",
+              options.host.c_str(), server.port(), options.worker_threads,
+              (unsigned long long)(options.cache_bytes >> 20));
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::printf("rdfalignd: received %s, shutting down\n",
+              sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fflush(stdout);
+  server.Stop();
+  return 0;
+}
