@@ -40,6 +40,7 @@
 #include "service/graph_source.h"
 #include "service/server.h"
 #include "service/verbs.h"
+#include "util/stats.h"
 #include "util/timer.h"
 
 using namespace rdfalign;
@@ -61,14 +62,6 @@ struct PointResult {
   uint64_t cache_hits = 0, cache_misses = 0;
   bool sweep_equal = false;
 };
-
-double Percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0;
-  std::sort(samples.begin(), samples.end());
-  const size_t idx = std::min(
-      samples.size() - 1, static_cast<size_t>(p * (samples.size() - 1)));
-  return samples[idx];
-}
 
 /// Drops the volatile (timing) lines from a response body so runs with
 /// different worker counts compare byte-equal.
@@ -153,6 +146,9 @@ bool RunSweepTrace(size_t workers, const std::string& v1,
     *scrubbed += body;
   }
   std::filesystem::remove(delta);
+  // Hang up before Stop(): the graceful drain waits for connected
+  // clients, so an open connection here would stall the sweep.
+  client->Close();
   server.Stop();
   return true;
 }
@@ -262,6 +258,7 @@ bool RunPoint(double scale_point, size_t clients, size_t requests,
   const service::SnapshotCacheStats stats = server.cache()->stats();
   r.cache_hits = stats.hits;
   r.cache_misses = stats.misses;
+  client->Close();
   server.Stop();
 
   // Worker-count sweep: the daemon's answers must not depend on its

@@ -1,0 +1,256 @@
+// Sustained streaming-update throughput of the StreamAligner (ISSUE 8
+// acceptance bench).
+//
+// At each scale point a category-chain of versions sharing one dictionary
+// is generated, a stream session is opened on version 1 (source == target,
+// the daemon's usual starting state), and every inter-version update batch
+// is applied live:
+//
+//   open     : the initial fixpoint the session pays once;
+//   apply    : BuildUpdateBatch(v, v+1) fed through StreamAligner::Apply —
+//              incremental maintenance plus alignment-delta emission, the
+//              number the updates/sec figure is computed from;
+//   realign  : one from-scratch batch alignment of (v1, v_final) for
+//              context — what every step would cost without the
+//              incremental path.
+//
+// Gate (exit nonzero, REFUSING to write the JSON, on violation): after the
+// full chain the live partition must pass CheckBatchEquivalence against a
+// batch alignment of the final versions at every scale point — the stream
+// path may be faster, never different.
+//
+// Emits BENCH_stream.json; the checked-in copy at the repo root is the
+// reference run (largest point around a million triples), re-run at tiny
+// scale by the stream_bench_smoke ctest target.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/aligner.h"
+#include "gen/category_gen.h"
+#include "store/update_fragment.h"
+#include "stream/stream_aligner.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+using namespace rdfalign;
+
+namespace {
+
+struct PointResult {
+  double scale_point = 0;
+  size_t nodes = 0;    // final target version
+  size_t triples = 0;  // final target version
+  size_t batches = 0;
+  double open_ms = 0;
+  size_t updates = 0;  // applied triple adds + removes across the chain
+  size_t fragment_bytes = 0;
+  double apply_seconds = 0;
+  double updates_per_sec = 0;
+  double step_p50_ms = 0, step_p95_ms = 0, step_max_ms = 0;
+  size_t added_pairs = 0, removed_pairs = 0;
+  size_t dirty_total = 0;
+  double realign_ms = 0;       // batch align of (v1, v_final)
+  double realign_speedup = 0;  // realign_ms / mean step ms
+  bool equivalent = false;
+  size_t live_nodes = 0, classes = 0;
+};
+
+bool RunPoint(double scale_point, size_t versions, uint64_t seed,
+              size_t threads, PointResult* out) {
+  PointResult r;
+  r.scale_point = scale_point;
+
+  const gen::CategoryChain chain = gen::CategoryChain::Generate(
+      gen::CategoryOptions::FromScale(scale_point, versions, seed));
+  const TripleGraph& first = chain.Version(0);
+  const TripleGraph& last = chain.Version(chain.NumVersions() - 1);
+  r.nodes = last.NumNodes();
+  r.triples = last.NumEdges();
+  r.batches = chain.NumVersions() - 1;
+
+  stream::StreamOptions options;
+  options.method = AlignMethod::kDeblank;
+  options.threads = threads;
+  WallTimer open_timer;
+  Result<std::unique_ptr<stream::StreamAligner>> session =
+      stream::StreamAligner::Open(first, first, options);
+  r.open_ms = open_timer.ElapsedMillis();
+  if (!session.ok()) {
+    std::fprintf(stderr, "stream_bench: open failed: %s\n",
+                 session.status().ToString().c_str());
+    return false;
+  }
+  stream::StreamAligner& aligner = **session;
+
+  std::vector<double> step_ms;
+  for (size_t v = 1; v < chain.NumVersions(); ++v) {
+    Result<store::UpdateBatch> batch = store::BuildUpdateBatch(
+        chain.Version(v - 1), chain.Version(v), /*sequence=*/v);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "stream_bench: batch %zu build failed: %s\n", v,
+                   batch.status().ToString().c_str());
+      return false;
+    }
+    // The wire image is what a daemon would receive; size it for the
+    // bytes-per-step figure (the stream path never writes snapshots).
+    Result<std::string> image = store::EncodeUpdateBatch(*batch);
+    if (!image.ok()) return false;
+    r.fragment_bytes += image->size();
+
+    WallTimer step_timer;
+    Result<stream::StreamBatchResult> step = aligner.Apply(*batch);
+    const double ms = step_timer.ElapsedMillis();
+    if (!step.ok()) {
+      std::fprintf(stderr, "stream_bench: apply %zu failed: %s\n", v,
+                   step.status().ToString().c_str());
+      return false;
+    }
+    step_ms.push_back(ms);
+    r.updates += step->applied_adds + step->applied_removes;
+    r.added_pairs += step->added_pairs.size();
+    r.removed_pairs += step->removed_pairs.size();
+    r.dirty_total += step->dirty_total;
+  }
+  for (double ms : step_ms) r.apply_seconds += ms / 1000.0;
+  r.updates_per_sec =
+      r.apply_seconds > 0 ? r.updates / r.apply_seconds : 0;
+  r.step_p50_ms = Percentile(step_ms, 0.50);
+  r.step_p95_ms = Percentile(step_ms, 0.95);
+  for (double ms : step_ms) r.step_max_ms = std::max(r.step_max_ms, ms);
+
+  // Context: what one step would cost as a full re-alignment.
+  AlignerOptions batch_options;
+  batch_options.method = AlignMethod::kDeblank;
+  WallTimer realign_timer;
+  Result<AlignmentOutcome> outcome =
+      Aligner(batch_options).Align(first, last);
+  r.realign_ms = realign_timer.ElapsedMillis();
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "stream_bench: batch realign failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return false;
+  }
+  const double mean_step_ms =
+      r.batches > 0 ? r.apply_seconds * 1000.0 / r.batches : 0;
+  r.realign_speedup = mean_step_ms > 0 ? r.realign_ms / mean_step_ms : 0;
+
+  // The acceptance gate: the live partition must match the batch path.
+  Result<stream::StreamCheckResult> check =
+      aligner.CheckBatchEquivalence(first, last);
+  if (!check.ok()) {
+    std::fprintf(stderr,
+                 "stream_bench: FAIL equivalence at scale %g: %s\n",
+                 scale_point, check.status().ToString().c_str());
+    return false;
+  }
+  r.equivalent = true;
+  r.live_nodes = check->live_nodes;
+  r.classes = check->classes;
+  *out = r;
+  return true;
+}
+
+bool WriteJson(const std::string& path, const std::vector<PointResult>& points,
+               double scale, size_t versions, uint64_t seed, size_t threads) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"stream\",\n");
+  std::fprintf(f, "  \"scale\": %g,\n", scale);
+  std::fprintf(f, "  \"versions\": %zu,\n", versions);
+  std::fprintf(f, "  \"seed\": %llu,\n", (unsigned long long)seed);
+  std::fprintf(f, "  \"threads\": %zu,\n", threads);
+  std::fprintf(f,
+               "  \"provenance\": \"single-process wall clock; updates/sec "
+               "counts applied triple adds+removes over "
+               "StreamAligner::Apply time (incremental maintenance + delta "
+               "emission, no snapshot IO); every point passed "
+               "CheckBatchEquivalence against the batch aligner or this "
+               "file would not have been written\",\n");
+  std::fprintf(f, "  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const PointResult& r = points[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"scale_point\": %g,\n", r.scale_point);
+    std::fprintf(f, "      \"nodes\": %zu,\n", r.nodes);
+    std::fprintf(f, "      \"triples\": %zu,\n", r.triples);
+    std::fprintf(f, "      \"batches\": %zu,\n", r.batches);
+    std::fprintf(f, "      \"open_ms\": %.2f,\n", r.open_ms);
+    std::fprintf(f, "      \"updates\": %zu,\n", r.updates);
+    std::fprintf(f, "      \"fragment_bytes\": %zu,\n", r.fragment_bytes);
+    std::fprintf(f, "      \"apply_seconds\": %.4f,\n", r.apply_seconds);
+    std::fprintf(f, "      \"updates_per_sec\": %.0f,\n", r.updates_per_sec);
+    std::fprintf(f, "      \"step_p50_ms\": %.3f,\n", r.step_p50_ms);
+    std::fprintf(f, "      \"step_p95_ms\": %.3f,\n", r.step_p95_ms);
+    std::fprintf(f, "      \"step_max_ms\": %.3f,\n", r.step_max_ms);
+    std::fprintf(f, "      \"added_pairs\": %zu,\n", r.added_pairs);
+    std::fprintf(f, "      \"removed_pairs\": %zu,\n", r.removed_pairs);
+    std::fprintf(f, "      \"dirty_resignings\": %zu,\n", r.dirty_total);
+    std::fprintf(f, "      \"realign_ms\": %.2f,\n", r.realign_ms);
+    std::fprintf(f, "      \"realign_speedup\": %.1f,\n", r.realign_speedup);
+    std::fprintf(f, "      \"live_nodes\": %zu,\n", r.live_nodes);
+    std::fprintf(f, "      \"classes\": %zu,\n", r.classes);
+    std::fprintf(f, "      \"equivalent\": %s\n",
+                 r.equivalent ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 6.0);
+  const size_t versions = flags.GetInt("versions", 5);
+  const uint64_t seed = flags.GetInt("seed", 5);
+  const size_t threads = flags.GetInt("threads", 1);
+  const std::string out = flags.GetString("out", "BENCH_stream.json");
+
+  bench::Banner("stream_bench",
+                "streaming continuous alignment: live update batches "
+                "through StreamAligner::Apply, gated on batch-path "
+                "equivalence at every point");
+
+  // Three points up to 4x --scale; the default largest point lands around
+  // a million triples in the final version.
+  std::vector<double> scale_points;
+  for (double factor : {0.25, 1.0, 4.0}) {
+    const double point = scale * factor;
+    if (scale_points.empty() || point > scale_points.back()) {
+      scale_points.push_back(point);
+    }
+  }
+
+  bench::TablePrinter table({"scale", "triples", "batches", "upd/s",
+                             "step_p50", "realign", "equal"});
+  std::vector<PointResult> points;
+  for (double point : scale_points) {
+    PointResult r;
+    if (!RunPoint(point, versions, seed, threads, &r)) {
+      std::fprintf(stderr,
+                   "stream_bench: FAIL at scale %g — not writing %s\n",
+                   point, out.c_str());
+      return 1;
+    }
+    table.Row({bench::Fmt("%.3g", r.scale_point), bench::FmtInt(r.triples),
+               bench::FmtInt(r.batches), bench::Fmt("%.0f", r.updates_per_sec),
+               bench::Fmt("%.3f", r.step_p50_ms),
+               bench::Fmt("%.1fx", r.realign_speedup),
+               r.equivalent ? "yes" : "NO"});
+    points.push_back(r);
+  }
+
+  if (!WriteJson(out, points, scale, versions, seed, threads)) return 1;
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

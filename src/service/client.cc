@@ -12,9 +12,11 @@
 #include <cstring>
 #include <utility>
 
+#include "service/flags.h"
 #include "service/json.h"
 #include "service/protocol.h"
 #include "service/verbs.h"
+#include "store/update_fragment.h"
 
 namespace rdfalign::service {
 
@@ -70,7 +72,18 @@ Result<Client> Client::Connect(const std::string& host, int port) {
 Result<ClientResponse> Client::Call(const std::vector<std::string>& tokens) {
   if (fd_ < 0) return Status::InvalidArgument("client not connected");
   RDFALIGN_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(tokens)));
+  return ReadResponse();
+}
 
+Result<ClientResponse> Client::CallWithPayload(
+    const std::vector<std::string>& tokens, const std::string& payload) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  RDFALIGN_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(tokens)));
+  RDFALIGN_RETURN_IF_ERROR(WriteFrame(fd_, payload));
+  return ReadResponse();
+}
+
+Result<ClientResponse> Client::ReadResponse() {
   std::string envelope;
   RDFALIGN_ASSIGN_OR_RETURN(bool have_envelope, ReadFrame(fd_, &envelope));
   if (!have_envelope) {
@@ -151,6 +164,117 @@ int RunClientCommand(const std::vector<std::string>& tokens) {
   }
   if (resp->usage_error) std::fputs(UsageText(), stderr);
   return resp->exit_code;
+}
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Prints one daemon response like RunClientCommand does and reports
+/// whether the session should continue.
+int PrintStreamResponse(const Result<ClientResponse>& resp) {
+  if (!resp.ok()) {
+    std::fprintf(stderr, "rdfalign stream: %s\n",
+                 resp.status().ToString().c_str());
+    return 1;
+  }
+  if (!resp->body.empty()) std::fputs(resp->body.c_str(), stdout);
+  if (!resp->error.empty()) {
+    std::fprintf(stderr, "%s\n", resp->error.c_str());
+  }
+  return resp->exit_code;
+}
+
+int StreamUsage() {
+  std::fprintf(stderr,
+               "rdfalign stream: usage: rdfalign stream <host:port|port> "
+               "<source> <target> --updates=u1[,u2,...] "
+               "[--method=trivial|deblank] [--threads=N] [--check=final] "
+               "[--json]\n");
+  return 2;
+}
+
+}  // namespace
+
+int RunStreamCommand(const std::vector<std::string>& tokens) {
+  // tokens[0] == "stream"; the rest is endpoint, source, target + flags.
+  const Args args(std::vector<std::string>(tokens.begin() + 1, tokens.end()));
+  std::string message;
+  if (args.positional().size() != 3 ||
+      !args.OnlyKnown({"updates", "method", "threads", "check", "json"},
+                      &message)) {
+    if (!message.empty()) std::fprintf(stderr, "%s\n", message.c_str());
+    return StreamUsage();
+  }
+  const std::vector<std::string> updates =
+      SplitCommas(args.GetString("updates", ""));
+  if (updates.empty()) {
+    std::fprintf(stderr,
+                 "rdfalign stream: --updates expects at least one update "
+                 "fragment file\n");
+    return 2;
+  }
+
+  std::string host;
+  int port = 0;
+  Status st = ParseEndpoint(args.positional()[0], &host, &port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "rdfalign stream: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  Result<Client> client = Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "rdfalign stream: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> open_tokens = {"stream", "open",
+                                          args.positional()[1],
+                                          args.positional()[2]};
+  open_tokens.push_back("--method=" + args.GetString("method", "deblank"));
+  if (args.Has("threads")) {
+    open_tokens.push_back("--threads=" + args.GetString("threads", "1"));
+  }
+  if (args.Has("json")) open_tokens.push_back("--json");
+  int code = PrintStreamResponse(client->Call(open_tokens));
+  if (code != 0) return code;
+
+  std::vector<std::string> push_tokens = {"stream", "push"};
+  if (args.Has("json")) push_tokens.push_back("--json");
+  for (const std::string& path : updates) {
+    Result<std::string> bytes = store::ReadFileBytes(path);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "rdfalign stream: %s\n",
+                   bytes.status().ToString().c_str());
+      return 1;
+    }
+    code = PrintStreamResponse(client->CallWithPayload(push_tokens, *bytes));
+    if (code != 0) return code;
+  }
+
+  if (args.Has("check")) {
+    std::vector<std::string> check_tokens = {"stream", "check",
+                                             args.GetString("check", "")};
+    if (args.Has("json")) check_tokens.push_back("--json");
+    code = PrintStreamResponse(client->Call(check_tokens));
+    if (code != 0) return code;
+  }
+
+  std::vector<std::string> close_tokens = {"stream", "close"};
+  if (args.Has("json")) close_tokens.push_back("--json");
+  return PrintStreamResponse(client->Call(close_tokens));
 }
 
 }  // namespace rdfalign::service

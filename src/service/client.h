@@ -44,10 +44,18 @@ class Client {
   /// them) and reads the response pair.
   Result<ClientResponse> Call(const std::vector<std::string>& tokens);
 
+  /// Like Call, but follows the request frame with one binary payload
+  /// frame — the `stream push` shape (the payload is an RDFUPDT1 update
+  /// fragment; see docs/stream.md).
+  Result<ClientResponse> CallWithPayload(
+      const std::vector<std::string>& tokens, const std::string& payload);
+
   void Close();
   bool connected() const { return fd_ >= 0; }
 
  private:
+  Result<ClientResponse> ReadResponse();
+
   int fd_ = -1;
 };
 
@@ -59,6 +67,15 @@ Status ParseEndpoint(const std::string& spec, std::string* host, int* port);
 /// body to stdout, error to stderr, the daemon's exit code returned.
 /// `tokens` is the full CLI token list starting at "client".
 int RunClientCommand(const std::vector<std::string>& tokens);
+
+/// The `rdfalign stream <endpoint> <source> <target>
+/// --updates=u1[,u2,...] [--method=M] [--check=final] [--json]`
+/// subcommand: one connection, one streaming session — open, push every
+/// update fragment (printing each emitted alignment delta), optionally
+/// verify batch equivalence against a final snapshot, close. Returns the
+/// first failing exit code, 0 when the whole session succeeds. `tokens`
+/// is the full CLI token list starting at "stream".
+int RunStreamCommand(const std::vector<std::string>& tokens);
 
 }  // namespace rdfalign::service
 

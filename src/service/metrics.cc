@@ -1,0 +1,103 @@
+#include "service/metrics.h"
+
+#include "service/json.h"
+#include "util/stats.h"
+
+namespace rdfalign::service {
+
+void ServerMetrics::Record(const std::string& verb, bool error,
+                           double latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VerbStats& s = verbs_[verb.empty() ? "(empty)" : verb];
+  ++s.requests;
+  if (error) ++s.errors;
+  if (latency_ms > s.max_ms) s.max_ms = latency_ms;
+  if (s.ring.size() < kMaxSamples) {
+    s.ring.push_back(latency_ms);
+  } else {
+    s.ring[s.next] = latency_ms;
+    s.next = (s.next + 1) % kMaxSamples;
+  }
+}
+
+ServerMetrics::Snapshot ServerMetrics::Take() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot out;
+  for (const auto& [verb, s] : verbs_) {
+    VerbSnapshot v;
+    v.verb = verb;
+    v.requests = s.requests;
+    v.errors = s.errors;
+    v.samples = s.ring.size();
+    v.p50_ms = Percentile(s.ring, 0.50);
+    v.p95_ms = Percentile(s.ring, 0.95);
+    v.p99_ms = Percentile(s.ring, 0.99);
+    v.max_ms = s.max_ms;
+    out.total_requests += s.requests;
+    out.total_errors += s.errors;
+    out.verbs.push_back(std::move(v));
+  }
+  return out;
+}
+
+namespace {
+
+std::string StatsToJson(const ServerMetrics::Snapshot& s) {
+  JsonBuf b;
+  b.Appendf("{\n");
+  b.Appendf("  \"total_requests\": %llu,\n",
+            (unsigned long long)s.total_requests);
+  b.Appendf("  \"total_errors\": %llu,\n",
+            (unsigned long long)s.total_errors);
+  b.Appendf("  \"verbs\": [\n");
+  for (size_t i = 0; i < s.verbs.size(); ++i) {
+    const auto& v = s.verbs[i];
+    b.Appendf(
+        "    {\"verb\": \"%s\", \"requests\": %llu, \"errors\": %llu, "
+        "\"samples\": %zu, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"max_ms\": %.3f}%s\n",
+        JsonEscape(v.verb).c_str(), (unsigned long long)v.requests,
+        (unsigned long long)v.errors, v.samples, v.p50_ms, v.p95_ms,
+        v.p99_ms, v.max_ms, i + 1 < s.verbs.size() ? "," : "");
+  }
+  b.Appendf("  ]\n}\n");
+  return b.Take();
+}
+
+std::string StatsToText(const ServerMetrics::Snapshot& s) {
+  JsonBuf b;
+  b.Appendf("rdfalignd stats: %llu requests, %llu errors\n",
+            (unsigned long long)s.total_requests,
+            (unsigned long long)s.total_errors);
+  for (const auto& v : s.verbs) {
+    b.Appendf(
+        "  %-8s requests=%-6llu errors=%-4llu p50=%.3fms p95=%.3fms "
+        "p99=%.3fms max=%.3fms\n",
+        v.verb.c_str(), (unsigned long long)v.requests,
+        (unsigned long long)v.errors, v.p50_ms, v.p95_ms, v.p99_ms,
+        v.max_ms);
+  }
+  return b.Take();
+}
+
+}  // namespace
+
+VerbResult HandleStatsVerb(const std::vector<std::string>& tokens,
+                           const ServerMetrics& metrics) {
+  VerbResult result;
+  result.verb = "stats";
+  const Args args(std::vector<std::string>(tokens.begin() + 1, tokens.end()));
+  std::string message;
+  if (!args.positional().empty() || !args.OnlyKnown({"json"}, &message)) {
+    result.exit_code = 2;
+    result.usage_error = true;
+    result.error = message;
+    return result;
+  }
+  const ServerMetrics::Snapshot snapshot = metrics.Take();
+  result.output =
+      args.Has("json") ? StatsToJson(snapshot) : StatsToText(snapshot);
+  return result;
+}
+
+}  // namespace rdfalign::service

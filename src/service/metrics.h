@@ -1,0 +1,74 @@
+// Daemon observability: per-verb request/error counters and latency
+// samples, aggregated by the server across all worker threads and served
+// by the `stats` admin verb (daemon-only — the one-shot CLI has nothing
+// to observe).
+//
+// Latencies are kept as a bounded ring of raw samples per verb (newest
+// overwrite oldest beyond kMaxSamples), and percentiles are computed at
+// snapshot time with util/stats.h Percentile — the same definition the
+// benches print, so `stats` and BENCH_service.json numbers are
+// comparable.
+
+#ifndef RDFALIGN_SERVICE_METRICS_H_
+#define RDFALIGN_SERVICE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/verbs.h"
+
+namespace rdfalign::service {
+
+class ServerMetrics {
+ public:
+  /// Per-verb sample ring capacity; beyond it the oldest samples are
+  /// overwritten (the counters keep counting).
+  static constexpr size_t kMaxSamples = 16384;
+
+  /// Records one finished request. Thread-safe.
+  void Record(const std::string& verb, bool error, double latency_ms);
+
+  struct VerbSnapshot {
+    std::string verb;
+    uint64_t requests = 0;
+    uint64_t errors = 0;
+    size_t samples = 0;  ///< latencies currently resident in the ring
+    double p50_ms = 0;
+    double p95_ms = 0;
+    double p99_ms = 0;
+    double max_ms = 0;  ///< all-time, not ring-bounded
+  };
+
+  struct Snapshot {
+    uint64_t total_requests = 0;
+    uint64_t total_errors = 0;
+    std::vector<VerbSnapshot> verbs;  ///< sorted by verb name
+  };
+
+  Snapshot Take() const;
+
+ private:
+  struct VerbStats {
+    uint64_t requests = 0;
+    uint64_t errors = 0;
+    std::vector<double> ring;
+    size_t next = 0;  ///< overwrite cursor once the ring is full
+    double max_ms = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, VerbStats> verbs_;
+};
+
+/// The `stats` admin verb: `stats [--json]`. Handled by the server before
+/// verb dispatch (it needs the daemon's metrics, which no GraphSource
+/// carries); the one-shot CLI reports it as daemon-only.
+VerbResult HandleStatsVerb(const std::vector<std::string>& tokens,
+                           const ServerMetrics& metrics);
+
+}  // namespace rdfalign::service
+
+#endif  // RDFALIGN_SERVICE_METRICS_H_

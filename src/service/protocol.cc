@@ -1,5 +1,6 @@
 #include "service/protocol.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -12,7 +13,9 @@ namespace {
 Status WriteAll(int fd, const void* data, size_t size) {
   const char* p = static_cast<const char*>(data);
   while (size > 0) {
-    const ssize_t n = ::write(fd, p, size);
+    // MSG_NOSIGNAL: a peer that hung up mid-write must surface as EPIPE,
+    // not kill the process — callers (daemon and client) handle the error.
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(std::string("socket write: ") +

@@ -7,11 +7,14 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "service/json.h"
 #include "service/protocol.h"
+#include "service/stream_verbs.h"
 #include "service/verbs.h"
+#include "util/timer.h"
 
 namespace rdfalign::service {
 
@@ -86,7 +89,7 @@ Status Server::Start() {
   }
 
   running_ = true;
-  stopping_ = false;
+  draining_ = false;
   accept_thread_ = std::thread(&Server::AcceptLoop, this);
   const size_t workers =
       options_.worker_threads > 0 ? options_.worker_threads : 1;
@@ -107,7 +110,7 @@ void Server::AcceptLoop() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
+    if (draining_) {
       ::close(fd);
       return;
     }
@@ -122,8 +125,8 @@ void Server::WorkerLoop() {
     int fd = -1;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
-      if (pending_.empty()) return;  // stopping, queue drained
+      queue_cv_.wait(lock, [this] { return draining_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // draining, queue drained
       fd = pending_.front();
       pending_.pop_front();
     }
@@ -131,6 +134,7 @@ void Server::WorkerLoop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       connections_.erase(fd);
+      drain_cv_.notify_all();
     }
     ::close(fd);
   }
@@ -138,11 +142,31 @@ void Server::WorkerLoop() {
 
 void Server::ServeConnection(int fd) {
   std::string payload;
+  // The connection's streaming-alignment session, if any (stream_verbs.h).
+  // Owned here so a dropped connection always releases its aligner.
+  std::unique_ptr<StreamSession> stream_session;
   while (true) {
     Result<bool> more = ReadFrame(fd, &payload);
     if (!more.ok() || !*more) return;  // EOF or broken connection
     const std::vector<std::string> tokens = DecodeRequest(payload);
-    VerbResult result = ExecuteVerb(tokens, &cache_, false);
+    WallTimer timer;
+    VerbResult result;
+    if (!tokens.empty() && tokens[0] == "stream") {
+      // `stream push` is the one request that carries a payload: ONE
+      // extra frame holding the binary update fragment.
+      std::string fragment;
+      if (tokens.size() >= 2 && tokens[1] == "push") {
+        Result<bool> have = ReadFrame(fd, &fragment);
+        if (!have.ok() || !*have) return;
+      }
+      result = HandleStreamVerb(tokens, fragment, &stream_session, &cache_);
+    } else if (!tokens.empty() && tokens[0] == "stats") {
+      result = HandleStatsVerb(tokens, metrics_);
+    } else {
+      result = ExecuteVerb(tokens, &cache_, false);
+    }
+    metrics_.Record(tokens.empty() ? "(empty)" : tokens[0],
+                    result.exit_code != 0, timer.ElapsedMillis());
     if (!WriteFrame(fd, BuildEnvelope(result)).ok()) return;
     if (!WriteFrame(fd, result.output).ok()) return;
   }
@@ -153,10 +177,7 @@ void Server::Stop() {
   running_ = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-    // Wake idle connections at their next frame boundary; a worker busy
-    // executing a request finishes it and delivers the response first.
-    for (int fd : connections_) ::shutdown(fd, SHUT_RD);
+    draining_ = true;
   }
   // shutdown() unblocks the accept() the listener thread is parked in;
   // the fd itself is closed only after the join, so the thread never
@@ -166,13 +187,28 @@ void Server::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
+  // Drain phase: connected clients — including idle connections and open
+  // stream sessions — keep being served until they hang up. Workers pull
+  // any still-queued fds first (the wait predicate holds while pending_
+  // is non-empty), so a connection accepted just before the listener
+  // closed is served, not dropped.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(options_.drain_ms),
+                       [this] { return connections_.empty(); });
+    // Deadline expired (or everyone already left): force the remaining
+    // connections shut at their next frame boundary. A worker busy
+    // executing a request still finishes it and delivers the response.
+    for (int fd : connections_) ::shutdown(fd, SHUT_RD);
+  }
+  queue_cv_.notify_all();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
   workers_.clear();
-  // Connections handed to no worker (queued during shutdown) are closed
-  // by the drained queue: workers exit only when pending_ is empty, so
-  // at this point any fd left in pending_ was never served.
+  // Workers exit only when pending_ is empty, so any fd left here was
+  // accepted but never served (cannot happen after a full drain; kept as
+  // a belt against future reorderings).
   for (int fd : pending_) ::close(fd);
   pending_.clear();
   connections_.clear();

@@ -9,10 +9,15 @@
 // the daemon exists. Requests execute through the same ExecuteVerb as the
 // one-shot CLI; the daemon adds only transport and the cache.
 //
-// Stop() is graceful: the listener closes first (no new connections),
-// idle connections are shut down at their next frame boundary, in-flight
-// requests run to completion and their responses are delivered, then the
-// workers join. This is what SIGTERM triggers in tools/rdfalignd.cc.
+// Stop() is graceful in two phases. First the listener closes (no new
+// connections) and the server DRAINS: every accepted connection —
+// including idle ones and open stream sessions — keeps being served
+// until its client closes, up to `drain_ms`. Only connections still open
+// when the deadline expires are then forced shut at their next frame
+// boundary (in-flight requests still complete and deliver their
+// responses). This is what SIGTERM triggers in tools/rdfalignd.cc; the
+// earlier behavior of shutting idle connections down immediately raced
+// clients that had a request half-written.
 
 #ifndef RDFALIGN_SERVICE_SERVER_H_
 #define RDFALIGN_SERVICE_SERVER_H_
@@ -26,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/metrics.h"
 #include "service/snapshot_cache.h"
 #include "util/result.h"
 
@@ -36,6 +42,9 @@ struct ServerOptions {
   int port = 0;  ///< 0 picks an ephemeral port (see Server::port())
   size_t worker_threads = 4;
   uint64_t cache_bytes = uint64_t{1} << 30;
+  /// How long Stop() waits for connected clients to finish and hang up
+  /// before forcing the remaining connections shut.
+  uint64_t drain_ms = 30000;
 };
 
 class Server {
@@ -56,6 +65,7 @@ class Server {
   void Stop();
 
   SnapshotCache* cache() { return &cache_; }
+  const ServerMetrics& metrics() const { return metrics_; }
 
  private:
   void AcceptLoop();
@@ -64,6 +74,7 @@ class Server {
 
   const ServerOptions options_;
   SnapshotCache cache_;
+  ServerMetrics metrics_;
 
   int listen_fd_ = -1;
   int port_ = 0;
@@ -74,9 +85,10 @@ class Server {
 
   std::mutex mu_;
   std::condition_variable queue_cv_;
+  std::condition_variable drain_cv_;  ///< signaled as connections close
   std::deque<int> pending_;     ///< accepted fds awaiting a worker
   std::set<int> connections_;   ///< every open connection fd
-  bool stopping_ = false;
+  bool draining_ = false;       ///< Stop() phase 1: no new connections
 };
 
 }  // namespace rdfalign::service

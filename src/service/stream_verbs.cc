@@ -1,0 +1,396 @@
+#include "service/stream_verbs.h"
+
+#include <utility>
+
+#include "rdf/term.h"
+#include "service/graph_source.h"
+#include "service/json.h"
+#include "store/update_fragment.h"
+
+namespace rdfalign::service {
+
+namespace {
+
+Result<AlignMethod> ParseStreamMethod(const std::string& name) {
+  if (name == "trivial") return AlignMethod::kTrivial;
+  if (name == "deblank") return AlignMethod::kDeblank;
+  return Status::InvalidArgument(
+      "unknown streaming method: " + name +
+      " (streaming supports trivial and deblank; see docs/stream.md)");
+}
+
+VerbResult PlainFailure(int exit_code, std::string message) {
+  VerbResult result;
+  result.verb = "stream";
+  result.exit_code = exit_code;
+  result.error = std::move(message);
+  return result;
+}
+
+VerbResult UsageFailure(std::string message) {
+  VerbResult result;
+  result.verb = "stream";
+  result.exit_code = 2;
+  result.usage_error = true;
+  result.error = std::move(message);
+  return result;
+}
+
+void AppendPairsJson(JsonBuf* b, const char* key,
+                     const std::vector<stream::LabeledPair>& pairs,
+                     bool trailing_comma) {
+  b->Appendf("  \"%s\": [\n", key);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const stream::LabeledPair& p = pairs[i];
+    b->Appendf(
+        "    {\"src\": \"%s\", \"src_kind\": \"%s\", \"tgt\": \"%s\", "
+        "\"tgt_kind\": \"%s\"}%s\n",
+        JsonEscape(p.src_lex).c_str(),
+        std::string(TermKindToString(p.src_kind)).c_str(),
+        JsonEscape(p.tgt_lex).c_str(),
+        std::string(TermKindToString(p.tgt_kind)).c_str(),
+        i + 1 < pairs.size() ? "," : "");
+  }
+  b->Appendf("  ]%s\n", trailing_comma ? "," : "");
+}
+
+void AppendPairsText(JsonBuf* b, char sign,
+                     const std::vector<stream::LabeledPair>& pairs) {
+  for (const stream::LabeledPair& p : pairs) {
+    b->Appendf("  %c %s ~ %s\n", sign, p.src_lex.c_str(), p.tgt_lex.c_str());
+  }
+}
+
+std::string OpenToJson(const StreamSession& s) {
+  const stream::StreamAligner& a = *s.aligner;
+  JsonBuf b;
+  b.Appendf("{\n");
+  b.Appendf("  \"stream\": \"open\",\n");
+  b.Appendf("  \"source\": \"%s\",\n", JsonEscape(s.source_path).c_str());
+  b.Appendf("  \"target\": \"%s\",\n", JsonEscape(s.target_path).c_str());
+  b.Appendf("  \"method\": \"%s\",\n",
+            std::string(AlignMethodToString(s.method)).c_str());
+  b.Appendf("  \"threads\": %zu,\n", a.options().threads);
+  b.Appendf("  \"source_nodes\": %u,\n", a.graph().n1());
+  b.Appendf("  \"live_nodes\": %zu,\n", a.graph().NumLiveNodes());
+  b.Appendf("  \"target_triples\": %zu,\n", a.graph().NumTargetTriples());
+  b.Appendf("  \"iterations\": %zu,\n", a.open_stats().iterations);
+  b.Appendf("  \"classes\": %zu,\n", a.open_stats().final_classes);
+  b.Appendf("  \"pairs\": %zu\n", a.CurrentPairs().size());
+  b.Appendf("}\n");
+  return b.Take();
+}
+
+std::string OpenToText(const StreamSession& s) {
+  const stream::StreamAligner& a = *s.aligner;
+  JsonBuf b;
+  b.Appendf(
+      "stream open %s ~ %s (%s): %u source nodes, %zu live nodes, "
+      "%zu target triples\n",
+      s.source_path.c_str(), s.target_path.c_str(),
+      std::string(AlignMethodToString(s.method)).c_str(), a.graph().n1(),
+      a.graph().NumLiveNodes(), a.graph().NumTargetTriples());
+  b.Appendf("  initial fixpoint: %zu iterations, %zu classes, %zu pairs\n",
+            a.open_stats().iterations, a.open_stats().final_classes,
+            a.CurrentPairs().size());
+  return b.Take();
+}
+
+std::string PushToJson(const stream::StreamBatchResult& r) {
+  JsonBuf b;
+  b.Appendf("{\n");
+  b.Appendf("  \"stream\": \"push\",\n");
+  b.Appendf("  \"sequence\": %llu,\n", (unsigned long long)r.sequence);
+  b.Appendf("  \"applied_adds\": %zu,\n", r.applied_adds);
+  b.Appendf("  \"ignored_adds\": %zu,\n", r.ignored_adds);
+  b.Appendf("  \"applied_removes\": %zu,\n", r.applied_removes);
+  b.Appendf("  \"ignored_removes\": %zu,\n", r.ignored_removes);
+  b.Appendf("  \"new_nodes\": %zu,\n", r.new_nodes);
+  b.Appendf("  \"removed_nodes\": %zu,\n", r.removed_nodes);
+  b.Appendf("  \"refined\": %s,\n", r.refined ? "true" : "false");
+  b.Appendf("  \"iterations\": %zu,\n", r.iterations);
+  b.Appendf("  \"dirty_total\": %zu,\n", r.dirty_total);
+  AppendPairsJson(&b, "removed_pairs", r.removed_pairs, true);
+  AppendPairsJson(&b, "added_pairs", r.added_pairs, true);
+  b.Appendf("  \"apply_ms\": %.3f,\n", r.apply_ms);
+  b.Appendf("  \"refine_ms\": %.3f,\n", r.refine_ms);
+  b.Appendf("  \"delta_ms\": %.3f\n", r.delta_ms);
+  b.Appendf("}\n");
+  return b.Take();
+}
+
+std::string PushToText(const stream::StreamBatchResult& r) {
+  JsonBuf b;
+  b.Appendf(
+      "applied update #%llu: +%zu -%zu triples (%zu ignored), "
+      "+%zu -%zu nodes\n",
+      (unsigned long long)r.sequence, r.applied_adds, r.applied_removes,
+      r.ignored_adds + r.ignored_removes, r.new_nodes, r.removed_nodes);
+  if (r.refined) {
+    b.Appendf("  refined: %zu iterations, %zu re-signings\n", r.iterations,
+              r.dirty_total);
+  } else {
+    b.Appendf("  refined: no (no blank class affected)\n");
+  }
+  b.Appendf("  alignment delta: -%zu +%zu pairs\n", r.removed_pairs.size(),
+            r.added_pairs.size());
+  AppendPairsText(&b, '-', r.removed_pairs);
+  AppendPairsText(&b, '+', r.added_pairs);
+  return b.Take();
+}
+
+std::string CheckToJson(const stream::StreamCheckResult& r) {
+  JsonBuf b;
+  b.Appendf("{\n");
+  b.Appendf("  \"stream\": \"check\",\n");
+  b.Appendf("  \"equivalent\": true,\n");
+  b.Appendf("  \"live_nodes\": %zu,\n", r.live_nodes);
+  b.Appendf("  \"classes\": %zu\n", r.classes);
+  b.Appendf("}\n");
+  return b.Take();
+}
+
+std::string StatsToJson(const StreamSession& s) {
+  const stream::StreamAligner& a = *s.aligner;
+  JsonBuf b;
+  b.Appendf("{\n");
+  b.Appendf("  \"stream\": \"stats\",\n");
+  b.Appendf("  \"source\": \"%s\",\n", JsonEscape(s.source_path).c_str());
+  b.Appendf("  \"target\": \"%s\",\n", JsonEscape(s.target_path).c_str());
+  b.Appendf("  \"method\": \"%s\",\n",
+            std::string(AlignMethodToString(s.method)).c_str());
+  b.Appendf("  \"fragments\": %llu,\n", (unsigned long long)s.fragments);
+  b.Appendf("  \"live_nodes\": %zu,\n", a.graph().NumLiveNodes());
+  b.Appendf("  \"target_triples\": %zu,\n", a.graph().NumTargetTriples());
+  b.Appendf("  \"colors_allocated\": %zu,\n", a.NumColorsAllocated());
+  b.Appendf("  \"pairs_added_total\": %llu,\n",
+            (unsigned long long)s.pairs_added_total);
+  b.Appendf("  \"pairs_removed_total\": %llu\n",
+            (unsigned long long)s.pairs_removed_total);
+  b.Appendf("}\n");
+  return b.Take();
+}
+
+std::string StatsToText(const StreamSession& s) {
+  const stream::StreamAligner& a = *s.aligner;
+  JsonBuf b;
+  b.Appendf(
+      "stream session %s ~ %s (%s): %llu fragments, %zu live nodes, "
+      "%zu target triples\n",
+      s.source_path.c_str(), s.target_path.c_str(),
+      std::string(AlignMethodToString(s.method)).c_str(),
+      (unsigned long long)s.fragments, a.graph().NumLiveNodes(),
+      a.graph().NumTargetTriples());
+  b.Appendf("  pair deltas emitted: +%llu -%llu\n",
+            (unsigned long long)s.pairs_added_total,
+            (unsigned long long)s.pairs_removed_total);
+  return b.Take();
+}
+
+}  // namespace
+
+VerbResult HandleStreamVerb(const std::vector<std::string>& tokens,
+                            const std::string& fragment,
+                            std::unique_ptr<StreamSession>* session,
+                            GraphSource* source) {
+  if (tokens.size() < 2) {
+    return UsageFailure(
+        "rdfalign stream: expected a subcommand "
+        "(open|push|check|stats|close)");
+  }
+  const std::string& sub = tokens[1];
+  const Args args(std::vector<std::string>(tokens.begin() + 2, tokens.end()));
+  VerbResult result;
+  result.verb = "stream";
+  std::string message;
+
+  if (sub == "open") {
+    if (*session != nullptr) {
+      return PlainFailure(
+          1, "rdfalign stream: a session is already open on this connection");
+    }
+    if (args.positional().size() != 2) {
+      return UsageFailure(
+          "rdfalign stream: open expects <source> <target>");
+    }
+    if (!args.OnlyKnown(
+            {"method", "threads", "mmap", "json", "no-verify-checksums"},
+            &message)) {
+      return UsageFailure(message);
+    }
+    auto sess = std::make_unique<StreamSession>();
+    sess->source_path = args.positional()[0];
+    sess->target_path = args.positional()[1];
+    auto method = ParseStreamMethod(args.GetString("method", "deblank"));
+    if (!method.ok()) {
+      return PlainFailure(
+          2, "rdfalign stream: " + method.status().ToString());
+    }
+    sess->method = *method;
+    if (!ParseCommonFlags(args, "stream", &sess->common, &message)) {
+      return PlainFailure(2, message);
+    }
+
+    // Both versions into one label space, exactly like RunAlign: acquire
+    // (possibly cache-resident) and rebind into a fresh shared dictionary.
+    auto dict = std::make_shared<Dictionary>();
+    auto acquire = [&](const std::string& path,
+                       TripleGraph* out) -> Status {
+      Result<AcquiredGraph> g = source->Acquire(path, sess->common, false);
+      RDFALIGN_RETURN_IF_ERROR(g.status());
+      if (g->cache_hit) {
+        ++result.cache_hits;
+      } else {
+        ++result.cache_misses;
+      }
+      *out = RebindGraph(g->loaded, dict);
+      return Status::OK();
+    };
+    TripleGraph src, tgt;
+    Status st = acquire(sess->source_path, &src);
+    if (st.ok()) st = acquire(sess->target_path, &tgt);
+    if (!st.ok()) {
+      return PlainFailure(1, "rdfalign stream: " + st.ToString());
+    }
+
+    stream::StreamOptions options;
+    options.method = sess->method;
+    options.threads = sess->common.threads;
+    Result<std::unique_ptr<stream::StreamAligner>> aligner =
+        stream::StreamAligner::Open(src, tgt, options);
+    if (!aligner.ok()) {
+      return PlainFailure(
+          1, "rdfalign stream: " + aligner.status().ToString());
+    }
+    sess->aligner = std::move(*aligner);
+    result.output =
+        sess->common.json ? OpenToJson(*sess) : OpenToText(*sess);
+    *session = std::move(sess);
+    return result;
+  }
+
+  if (*session == nullptr) {
+    return PlainFailure(1,
+                        "rdfalign stream: no open session on this "
+                        "connection (run `stream open` first)");
+  }
+  StreamSession& sess = **session;
+
+  if (sub == "push") {
+    if (!args.positional().empty() || !args.OnlyKnown({"json"}, &message)) {
+      return UsageFailure(message);
+    }
+    Result<store::UpdateBatch> batch =
+        store::DecodeUpdateBatch(fragment, "stream push");
+    if (!batch.ok()) {
+      return PlainFailure(1,
+                          "rdfalign stream: " + batch.status().ToString());
+    }
+    Result<stream::StreamBatchResult> r = sess.aligner->Apply(*batch);
+    if (!r.ok()) {
+      // An apply error leaves the aligner partially updated; the session
+      // is unusable and is closed so the client cannot keep pushing.
+      const std::string detail = r.status().ToString();
+      session->reset();
+      return PlainFailure(
+          1, "rdfalign stream: " + detail + " (session closed)");
+    }
+    ++sess.fragments;
+    sess.pairs_added_total += r->added_pairs.size();
+    sess.pairs_removed_total += r->removed_pairs.size();
+    result.output = args.Has("json") ? PushToJson(*r) : PushToText(*r);
+    return result;
+  }
+
+  if (sub == "check") {
+    if (args.positional().size() != 1 ||
+        !args.OnlyKnown({"json", "threads", "mmap", "no-verify-checksums"},
+                        &message)) {
+      return UsageFailure(message.empty()
+                              ? "rdfalign stream: check expects "
+                                "<final-target>"
+                              : message);
+    }
+    CommonOptions common = sess.common;
+    if (!ParseCommonFlags(args, "stream", &common, &message)) {
+      return PlainFailure(2, message);
+    }
+    auto dict = std::make_shared<Dictionary>();
+    auto acquire = [&](const std::string& path,
+                       TripleGraph* out) -> Status {
+      Result<AcquiredGraph> g = source->Acquire(path, common, false);
+      RDFALIGN_RETURN_IF_ERROR(g.status());
+      if (g->cache_hit) {
+        ++result.cache_hits;
+      } else {
+        ++result.cache_misses;
+      }
+      *out = RebindGraph(g->loaded, dict);
+      return Status::OK();
+    };
+    TripleGraph src, fin;
+    Status st = acquire(sess.source_path, &src);
+    if (st.ok()) st = acquire(args.positional()[0], &fin);
+    if (!st.ok()) {
+      return PlainFailure(1, "rdfalign stream: " + st.ToString());
+    }
+    Result<stream::StreamCheckResult> check =
+        sess.aligner->CheckBatchEquivalence(src, fin);
+    if (!check.ok()) {
+      return PlainFailure(1,
+                          "rdfalign stream: " + check.status().ToString());
+    }
+    if (common.json) {
+      result.output = CheckToJson(*check);
+    } else {
+      JsonBuf b;
+      b.Appendf(
+          "stream check: equivalent to the batch alignment "
+          "(%zu live nodes, %zu classes)\n",
+          check->live_nodes, check->classes);
+      result.output = b.Take();
+    }
+    return result;
+  }
+
+  if (sub == "stats") {
+    if (!args.positional().empty() || !args.OnlyKnown({"json"}, &message)) {
+      return UsageFailure(message);
+    }
+    result.output = args.Has("json") ? StatsToJson(sess) : StatsToText(sess);
+    return result;
+  }
+
+  if (sub == "close") {
+    if (!args.positional().empty() || !args.OnlyKnown({"json"}, &message)) {
+      return UsageFailure(message);
+    }
+    if (args.Has("json")) {
+      JsonBuf b;
+      b.Appendf("{\n");
+      b.Appendf("  \"stream\": \"close\",\n");
+      b.Appendf("  \"fragments\": %llu,\n",
+                (unsigned long long)sess.fragments);
+      b.Appendf("  \"pairs_added_total\": %llu,\n",
+                (unsigned long long)sess.pairs_added_total);
+      b.Appendf("  \"pairs_removed_total\": %llu\n",
+                (unsigned long long)sess.pairs_removed_total);
+      b.Appendf("}\n");
+      result.output = b.Take();
+    } else {
+      JsonBuf b;
+      b.Appendf("stream closed after %llu fragments (+%llu -%llu pairs)\n",
+                (unsigned long long)sess.fragments,
+                (unsigned long long)sess.pairs_added_total,
+                (unsigned long long)sess.pairs_removed_total);
+      result.output = b.Take();
+    }
+    session->reset();
+    return result;
+  }
+
+  return UsageFailure("rdfalign stream: unknown subcommand '" + sub +
+                      "' (expected open|push|check|stats|close)");
+}
+
+}  // namespace rdfalign::service

@@ -1,0 +1,58 @@
+// The daemon's `stream` verb: a per-connection streaming-alignment
+// session over the length-prefixed protocol (docs/stream.md).
+//
+//   stream open <source> <target> [--method=trivial|deblank]
+//          [--threads=N] [--mmap] [--json]
+//   stream push [--json]          (+ ONE extra binary frame: the RDFUPDT1
+//                                  update fragment, store/update_fragment.h)
+//   stream check <final-target> [--json]
+//   stream stats [--json]
+//   stream close [--json]
+//
+// The session lives exactly as long as its connection: ServeConnection
+// owns the StreamSession and drops it on disconnect, so an interrupted
+// client can never leak a resident aligner. `stream push` is the one
+// request in the protocol that carries a payload frame after the request
+// frame — the server reads it before dispatch, the client sends it with
+// Client::CallWithPayload.
+//
+// Apply errors are fatal to the session (the aligner may be partially
+// updated); the session is closed and the error reported, and a new
+// `stream open` starts fresh.
+
+#ifndef RDFALIGN_SERVICE_STREAM_VERBS_H_
+#define RDFALIGN_SERVICE_STREAM_VERBS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/verbs.h"
+#include "stream/stream_aligner.h"
+
+namespace rdfalign::service {
+
+/// One connection's live streaming session.
+struct StreamSession {
+  std::string source_path;
+  std::string target_path;
+  AlignMethod method = AlignMethod::kDeblank;
+  CommonOptions common;
+  std::unique_ptr<stream::StreamAligner> aligner;
+  uint64_t fragments = 0;
+  uint64_t pairs_added_total = 0;
+  uint64_t pairs_removed_total = 0;
+};
+
+/// Dispatches one `stream ...` request. `fragment` is the payload frame
+/// (non-empty only for `stream push`); `session` is the connection's slot,
+/// created by open and cleared by close or a fatal apply error.
+VerbResult HandleStreamVerb(const std::vector<std::string>& tokens,
+                            const std::string& fragment,
+                            std::unique_ptr<StreamSession>* session,
+                            GraphSource* source);
+
+}  // namespace rdfalign::service
+
+#endif  // RDFALIGN_SERVICE_STREAM_VERBS_H_

@@ -1,5 +1,6 @@
 #include "service/verbs.h"
 
+#include <filesystem>
 #include <utility>
 
 #include "core/delta.h"
@@ -9,6 +10,7 @@
 #include "parser/turtle_parser.h"
 #include "rdf/merge.h"
 #include "service/json.h"
+#include "store/update_fragment.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -176,6 +178,21 @@ Status RunInfo(const InfoRequest& req, InfoResponse* resp) {
     }
     return Status::OK();
   }
+  if (store::LooksLikeUpdateFile(req.path)) {
+    resp->kind = "update";
+    RDFALIGN_ASSIGN_OR_RETURN(const store::UpdateBatch batch,
+                              store::ReadUpdateFile(req.path));
+    resp->update.sequence = batch.sequence;
+    resp->update.refs = batch.nodes.size();
+    resp->update.new_nodes = batch.num_new;
+    resp->update.removed_nodes = batch.removed_nodes.size();
+    resp->update.removed_triples = batch.removed.size();
+    resp->update.added_triples = batch.added.size();
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(req.path, ec);
+    resp->update.file_bytes = ec ? 0 : static_cast<uint64_t>(size);
+    return Status::OK();
+  }
   // Snapshot, or the error path for files that are no store format at all.
   resp->kind = "snapshot";
   RDFALIGN_ASSIGN_OR_RETURN(resp->snapshot,
@@ -259,6 +276,22 @@ std::string InfoToJson(const InfoResponse& r) {
     b.Appendf("  ]\n}\n");
     return b.Take();
   }
+  if (r.kind == "update") {
+    const auto& info = r.update;
+    b.Appendf("{\n");
+    b.Appendf("  \"path\": \"%s\",\n", r.path.c_str());
+    b.Appendf("  \"kind\": \"update\",\n");
+    b.Appendf("  \"sequence\": %llu,\n", (unsigned long long)info.sequence);
+    b.Appendf("  \"refs\": %zu,\n", info.refs);
+    b.Appendf("  \"new_nodes\": %zu,\n", info.new_nodes);
+    b.Appendf("  \"removed_nodes\": %zu,\n", info.removed_nodes);
+    b.Appendf("  \"removed_triples\": %zu,\n", info.removed_triples);
+    b.Appendf("  \"added_triples\": %zu,\n", info.added_triples);
+    b.Appendf("  \"file_bytes\": %llu\n",
+              (unsigned long long)info.file_bytes);
+    b.Appendf("}\n");
+    return b.Take();
+  }
   const auto& info = r.snapshot;
   b.Appendf("{\n");
   b.Appendf("  \"path\": \"%s\",\n", r.path.c_str());
@@ -333,6 +366,20 @@ std::string InfoToText(const InfoResponse& r) {
           (unsigned long long)s.offset, (unsigned long long)s.size,
           (unsigned long long)s.checksum);
     }
+    return b.Take();
+  }
+  if (r.kind == "update") {
+    const auto& info = r.update;
+    b.Appendf("rdfalign update fragment %s\n", r.path.c_str());
+    b.Appendf("  sequence       : %llu\n",
+              (unsigned long long)info.sequence);
+    b.Appendf("  node refs      : %zu (%zu new)\n", info.refs,
+              info.new_nodes);
+    b.Appendf("  removed        : %zu triples, %zu nodes\n",
+              info.removed_triples, info.removed_nodes);
+    b.Appendf("  added          : %zu triples\n", info.added_triples);
+    b.Appendf("  file size      : %llu bytes\n",
+              (unsigned long long)info.file_bytes);
     return b.Take();
   }
   const auto& info = r.snapshot;
@@ -988,6 +1035,131 @@ std::string CacheToText(const CacheResponse& r) {
   return b.Take();
 }
 
+// -------------------------------------------------------------- updates
+
+bool ParseUpdatesRequest(const Args& args, UpdatesRequest* req,
+                         ParseError* error) {
+  if (args.positional().size() != 3) return UsageError(error);
+  std::string message;
+  if (!args.OnlyKnown(
+          {"seq", "threads", "mmap", "json", "no-verify-checksums"},
+          &message)) {
+    return UsageError(error, message);
+  }
+  req->path_base = args.positional()[0];
+  req->path_next = args.positional()[1];
+  req->path_out = args.positional()[2];
+  const std::optional<long long> seq = args.GetInt("seq", 1, &message);
+  if (!seq) return PlainError(error, message);
+  if (*seq < 0) {
+    return PlainError(error, "rdfalign updates: --seq must be >= 0");
+  }
+  req->sequence = *seq;
+  if (!ParseCommonFlags(args, "updates", &req->common, &message)) {
+    return PlainError(error, message);
+  }
+  return true;
+}
+
+Status RunUpdates(const UpdatesRequest& req, UpdatesResponse* resp) {
+  resp->path_base = req.path_base;
+  resp->path_next = req.path_next;
+  resp->path_out = req.path_out;
+
+  // No shared-dictionary rebind here: BuildUpdateBatch matches nodes by
+  // (kind, lexical form) strings, so each graph's private dictionary is
+  // exactly what it needs.
+  RDFALIGN_ASSIGN_OR_RETURN(
+      AcquiredGraph base,
+      req.source->Acquire(req.path_base, req.common, false));
+  CountAcquire(base, &resp->cache_hits, &resp->cache_misses);
+  resp->kind_base = base.loaded->kind;
+  resp->nodes_base = base.loaded->graph.NumNodes();
+  resp->triples_base = base.loaded->graph.NumEdges();
+
+  RDFALIGN_ASSIGN_OR_RETURN(
+      AcquiredGraph next,
+      req.source->Acquire(req.path_next, req.common, false));
+  CountAcquire(next, &resp->cache_hits, &resp->cache_misses);
+  resp->kind_next = next.loaded->kind;
+  resp->nodes_next = next.loaded->graph.NumNodes();
+  resp->triples_next = next.loaded->graph.NumEdges();
+
+  WallTimer build_timer;
+  RDFALIGN_ASSIGN_OR_RETURN(
+      store::UpdateBatch batch,
+      store::BuildUpdateBatch(base.loaded->graph, next.loaded->graph,
+                              static_cast<uint64_t>(req.sequence)));
+  resp->build_ms = build_timer.ElapsedMillis();
+  resp->refs = batch.nodes.size();
+  resp->new_nodes = batch.num_new;
+  resp->removed_nodes = batch.removed_nodes.size();
+  resp->removed_triples = batch.removed.size();
+  resp->added_triples = batch.added.size();
+  resp->sequence = batch.sequence;
+
+  WallTimer write_timer;
+  RDFALIGN_ASSIGN_OR_RETURN(std::string bytes,
+                            store::EncodeUpdateBatch(batch));
+  resp->file_bytes = bytes.size();
+  RDFALIGN_RETURN_IF_ERROR(store::WriteUpdateFile(batch, req.path_out));
+  resp->write_ms = write_timer.ElapsedMillis();
+  return Status::OK();
+}
+
+std::string UpdatesToJson(const UpdatesResponse& r) {
+  JsonBuf b;
+  b.Appendf("{\n");
+  b.Appendf(
+      "  \"base\": {\"path\": \"%s\", \"kind\": \"%s\", "
+      "\"nodes\": %zu, \"triples\": %zu},\n",
+      r.path_base.c_str(), r.kind_base.c_str(), r.nodes_base,
+      r.triples_base);
+  b.Appendf(
+      "  \"next\": {\"path\": \"%s\", \"kind\": \"%s\", "
+      "\"nodes\": %zu, \"triples\": %zu},\n",
+      r.path_next.c_str(), r.kind_next.c_str(), r.nodes_next,
+      r.triples_next);
+  b.Appendf("  \"fragment\": \"%s\",\n", r.path_out.c_str());
+  b.Appendf("  \"sequence\": %llu,\n", (unsigned long long)r.sequence);
+  b.Appendf("  \"refs\": %llu,\n", (unsigned long long)r.refs);
+  b.Appendf("  \"new_nodes\": %llu,\n", (unsigned long long)r.new_nodes);
+  b.Appendf("  \"removed_nodes\": %llu,\n",
+            (unsigned long long)r.removed_nodes);
+  b.Appendf("  \"removed_triples\": %llu,\n",
+            (unsigned long long)r.removed_triples);
+  b.Appendf("  \"added_triples\": %llu,\n",
+            (unsigned long long)r.added_triples);
+  b.Appendf("  \"fragment_bytes\": %llu,\n",
+            (unsigned long long)r.file_bytes);
+  b.Appendf("  \"build_ms\": %.2f,\n", r.build_ms);
+  b.Appendf("  \"write_ms\": %.2f\n", r.write_ms);
+  b.Appendf("}\n");
+  return b.Take();
+}
+
+std::string UpdatesToText(const UpdatesResponse& r) {
+  JsonBuf b;
+  b.Appendf("wrote update fragment %s (%llu bytes, seq %llu)\n",
+            r.path_out.c_str(), (unsigned long long)r.file_bytes,
+            (unsigned long long)r.sequence);
+  b.Appendf("  base            : %s [%s] %zu nodes, %zu triples\n",
+            r.path_base.c_str(), r.kind_base.c_str(), r.nodes_base,
+            r.triples_base);
+  b.Appendf("  next            : %s [%s] %zu nodes, %zu triples\n",
+            r.path_next.c_str(), r.kind_next.c_str(), r.nodes_next,
+            r.triples_next);
+  b.Appendf("  change          : +%llu -%llu triples, +%llu -%llu nodes"
+            " (%llu refs)\n",
+            (unsigned long long)r.added_triples,
+            (unsigned long long)r.removed_triples,
+            (unsigned long long)r.new_nodes,
+            (unsigned long long)r.removed_nodes,
+            (unsigned long long)r.refs);
+  b.Appendf("  build %.1f ms, write %.1f ms\n", r.build_ms, r.write_ms);
+  return b.Take();
+}
+
 // ------------------------------------------------------------- dispatch
 
 const char* UsageText() {
@@ -1000,8 +1172,8 @@ const char* UsageText() {
       "      parse an RDF text file and write a binary snapshot\n"
       "  info <file> [--json]\n"
       "      print header, sections, and statistics of a snapshot,\n"
-      "      delta, or archive file (sniffed by magic); --json also\n"
-      "      reports the content fingerprint\n"
+      "      delta, archive, or update-fragment file (sniffed by\n"
+      "      magic); --json also reports the content fingerprint\n"
       "  align <a> <b> [--method=M] [--threads=N] [--mmap] [--json]\n"
       "      align two graphs (snapshot or RDF text each) and report\n"
       "      methods: trivial deblank hybrid hybrid-contextual overlap\n"
@@ -1021,9 +1193,22 @@ const char* UsageText() {
       "      <out-prefix>1.nt, <out-prefix>2.nt, ...\n"
       "  cache <stats|clear> [--json]\n"
       "      inspect or drop the resident snapshot cache (rdfalignd)\n"
+      "  updates <base> <next> <out.upd> [--seq=N] [--threads=N]\n"
+      "       [--mmap] [--json]\n"
+      "      write the label-addressed update fragment turning base into\n"
+      "      next, for replay against a streaming session (docs/stream.md)\n"
       "  client <host:port|port> <command> [args]\n"
       "      run any command above on a running rdfalignd instead of\n"
       "      in-process (same arguments, same output, same exit code)\n"
+      "  stream <host:port|port> <source> <target> --updates=u1[,u2,...]\n"
+      "       [--method=trivial|deblank] [--threads=N] [--check=final]\n"
+      "       [--json]\n"
+      "      open a streaming alignment session on a running rdfalignd,\n"
+      "      push each update fragment (printing the alignment delta),\n"
+      "      optionally check batch equivalence against a final snapshot\n"
+      "  stats [--json]  (via `rdfalign client <endpoint> stats`)\n"
+      "      per-verb request/error counters and latency percentiles of a\n"
+      "      running rdfalignd\n"
       "\n"
       "every command also accepts --no-verify-checksums (skip section\n"
       "checksum verification on loads; structural validation still runs)\n";
@@ -1175,6 +1360,31 @@ VerbResult ExecuteVerb(const std::vector<std::string>& tokens,
     Status st = RunCache(req, &resp);
     if (!st.ok()) return run_failed("cache", st, 1);
     Finish(&result, resp, req.common.json, CacheToJson, CacheToText);
+    return result;
+  }
+  if (verb == "updates") {
+    UpdatesRequest req;
+    if (!ParseUpdatesRequest(args, &req, &parse_error)) return parse_failed();
+    if (force_json) req.common.json = true;
+    req.source = source;
+    UpdatesResponse resp;
+    Status st = RunUpdates(req, &resp);
+    result.cache_hits = resp.cache_hits;
+    result.cache_misses = resp.cache_misses;
+    if (!st.ok()) return run_failed("updates", st, 1);
+    Finish(&result, resp, req.common.json, UpdatesToJson, UpdatesToText);
+    return result;
+  }
+  if (verb == "stats" || verb == "stream") {
+    // Both exist only where there is a live daemon holding the state —
+    // request metrics for `stats`, a per-connection streaming session for
+    // `stream` — so the in-process dispatcher can only point elsewhere.
+    result.exit_code = 1;
+    result.error = "rdfalign " + verb + ": only available on a running " +
+                   "rdfalignd (use rdfalign " +
+                   (verb == "stats" ? "client <endpoint> stats"
+                                    : "stream <endpoint> ...") +
+                   ")";
     return result;
   }
   result.exit_code = 2;

@@ -80,12 +80,25 @@ struct InfoRequest {
   GraphSource* source = nullptr;
 };
 
+/// Header-level summary of a streaming update fragment
+/// (store/update_fragment.h), reported by `info` on .rdfu files.
+struct UpdateFragmentSummary {
+  uint64_t sequence = 0;
+  size_t refs = 0;
+  size_t new_nodes = 0;
+  size_t removed_nodes = 0;
+  size_t removed_triples = 0;
+  size_t added_triples = 0;
+  uint64_t file_bytes = 0;
+};
+
 struct InfoResponse {
   std::string path;
-  std::string kind;  ///< "snapshot" | "delta" | "archive"
+  std::string kind;  ///< "snapshot" | "delta" | "archive" | "update"
   store::SnapshotInfo snapshot;  ///< valid when kind == "snapshot"
   store::DeltaInfo delta;        ///< valid when kind == "delta"
   store::ArchiveInfo archive;    ///< valid when kind == "archive"
+  UpdateFragmentSummary update;  ///< valid when kind == "update"
   bool has_fingerprint = false;
   uint64_t fingerprint = 0;
   uint64_t cache_hits = 0;
@@ -266,6 +279,45 @@ bool ParseCacheRequest(const Args& args, CacheRequest* req, ParseError* error);
 Status RunCache(const CacheRequest& req, CacheResponse* resp);
 std::string CacheToJson(const CacheResponse& resp);
 std::string CacheToText(const CacheResponse& resp);
+
+// -------------------------------------------------------------- updates
+
+/// `rdfalign updates <base> <next> <out.upd>`: the stateless producer for
+/// the streaming pipeline — compute the label-addressed update fragment
+/// (store/update_fragment.h, docs/stream.md) turning `base` into `next`.
+struct UpdatesRequest {
+  std::string path_base;
+  std::string path_next;
+  std::string path_out;
+  long long sequence = 1;  ///< producer batch number (--seq)
+  CommonOptions common;
+  GraphSource* source = nullptr;
+};
+
+struct UpdatesResponse {
+  std::string path_base, kind_base;
+  std::string path_next, kind_next;
+  std::string path_out;
+  size_t nodes_base = 0, triples_base = 0;
+  size_t nodes_next = 0, triples_next = 0;
+  uint64_t refs = 0;             ///< node references declared
+  uint64_t new_nodes = 0;        ///< nodes created by the batch
+  uint64_t removed_nodes = 0;    ///< nodes retired by the batch
+  uint64_t removed_triples = 0;
+  uint64_t added_triples = 0;
+  uint64_t sequence = 0;
+  uint64_t file_bytes = 0;
+  double build_ms = 0;
+  double write_ms = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+bool ParseUpdatesRequest(const Args& args, UpdatesRequest* req,
+                         ParseError* error);
+Status RunUpdates(const UpdatesRequest& req, UpdatesResponse* resp);
+std::string UpdatesToJson(const UpdatesResponse& resp);
+std::string UpdatesToText(const UpdatesResponse& resp);
 
 // ------------------------------------------------------------- dispatch
 

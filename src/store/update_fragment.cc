@@ -1,0 +1,519 @@
+#include "store/update_fragment.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <unordered_map>
+
+namespace rdfalign::store {
+
+namespace {
+
+const char* UpdateSectionName(UpdateSectionId id) {
+  switch (id) {
+    case UpdateSectionId::kTermOffsets:
+      return "term_offsets";
+    case UpdateSectionId::kTermBlob:
+      return "term_blob";
+    case UpdateSectionId::kNodeKinds:
+      return "node_kinds";
+    case UpdateSectionId::kNodeLex:
+      return "node_lex";
+    case UpdateSectionId::kRemovedNodes:
+      return "removed_nodes";
+    case UpdateSectionId::kRemovedTriples:
+      return "removed_triples";
+    case UpdateSectionId::kAddedTriples:
+      return "added_triples";
+  }
+  return "unknown";
+}
+
+constexpr UpdateSectionId kUpdateSectionOrder[kNumUpdateSections] = {
+    UpdateSectionId::kTermOffsets,    UpdateSectionId::kTermBlob,
+    UpdateSectionId::kNodeKinds,      UpdateSectionId::kNodeLex,
+    UpdateSectionId::kRemovedNodes,   UpdateSectionId::kRemovedTriples,
+    UpdateSectionId::kAddedTriples,
+};
+
+bool TripleLess(const Triple& a, const Triple& b) {
+  if (a.s != b.s) return a.s < b.s;
+  if (a.p != b.p) return a.p < b.p;
+  return a.o < b.o;
+}
+
+bool TripleEq(const Triple& a, const Triple& b) {
+  return a.s == b.s && a.p == b.p && a.o == b.o;
+}
+
+/// Internal invariants every encoded (and every accepted decoded) batch
+/// satisfies; shared so a hand-built batch fails the same way a corrupt
+/// fragment does.
+Status ValidateBatch(const UpdateBatch& batch, const std::string& name) {
+  const size_t refs = batch.nodes.size();
+  if (batch.num_new > refs) {
+    return Status::InvalidArgument(
+        "update batch declares more new nodes than references: " + name);
+  }
+  for (size_t i = 0; i < refs; ++i) {
+    const auto kind = static_cast<uint32_t>(batch.nodes[i].kind);
+    if (kind > static_cast<uint32_t>(TermKind::kBlank)) {
+      return Status::Corruption("update batch node kind out of range: " +
+                                name);
+    }
+  }
+  auto check_triples = [&](const std::vector<Triple>& ts,
+                           const char* what) -> Status {
+    for (size_t i = 0; i < ts.size(); ++i) {
+      if (ts[i].s >= refs || ts[i].p >= refs || ts[i].o >= refs) {
+        return Status::Corruption(std::string("update batch ") + what +
+                                  " references an undeclared node: " + name);
+      }
+      if (i > 0 && !TripleLess(ts[i - 1], ts[i])) {
+        return Status::Corruption(std::string("update batch ") + what +
+                                  " not sorted/deduplicated: " + name);
+      }
+    }
+    return Status::OK();
+  };
+  RDFALIGN_RETURN_IF_ERROR(check_triples(batch.removed, "removed triples"));
+  RDFALIGN_RETURN_IF_ERROR(check_triples(batch.added, "added triples"));
+  for (size_t i = 0; i < batch.removed_nodes.size(); ++i) {
+    const uint32_t r = batch.removed_nodes[i];
+    if (r < batch.num_new || r >= refs) {
+      return Status::Corruption(
+          "update batch retires a node outside the existing-reference "
+          "range: " +
+          name);
+    }
+    if (i > 0 && batch.removed_nodes[i - 1] >= r) {
+      return Status::Corruption(
+          "update batch removed-node list not ascending: " + name);
+    }
+  }
+  return Status::OK();
+}
+
+void AppendBytes(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+void PadTo(std::string* out, size_t offset) {
+  if (out->size() < offset) out->resize(offset, '\0');
+}
+
+}  // namespace
+
+bool LooksLikeUpdateFragment(std::string_view bytes) {
+  return bytes.size() >= kUpdateMagic.size() &&
+         std::memcmp(bytes.data(), kUpdateMagic.data(),
+                     kUpdateMagic.size()) == 0;
+}
+
+bool LooksLikeUpdateFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::array<char, 8> magic = {};
+  in.read(magic.data(), magic.size());
+  return in.gcount() == static_cast<std::streamsize>(magic.size()) &&
+         magic == kUpdateMagic;
+}
+
+Result<std::string> EncodeUpdateBatch(const UpdateBatch& batch) {
+  static_assert(std::endian::native == std::endian::little,
+                "update fragments are written on little-endian hosts only");
+  RDFALIGN_RETURN_IF_ERROR(ValidateBatch(batch, "encode"));
+
+  // Term table: distinct lexical forms in first-use (reference) order.
+  std::unordered_map<std::string_view, uint32_t> term_of;
+  std::vector<std::string_view> terms;
+  std::vector<uint32_t> lex(batch.nodes.size());
+  std::vector<uint8_t> kinds(batch.nodes.size());
+  for (size_t i = 0; i < batch.nodes.size(); ++i) {
+    kinds[i] = static_cast<uint8_t>(batch.nodes[i].kind);
+    const std::string_view form = batch.nodes[i].lex;
+    auto [it, inserted] =
+        term_of.emplace(form, static_cast<uint32_t>(terms.size()));
+    if (inserted) terms.push_back(form);
+    lex[i] = it->second;
+  }
+  std::vector<uint64_t> term_offsets(terms.size() + 1, 0);
+  for (size_t t = 0; t < terms.size(); ++t) {
+    term_offsets[t + 1] = term_offsets[t] + terms[t].size();
+  }
+
+  struct Payload {
+    const void* data;
+    size_t size;
+  };
+  std::string blob;
+  blob.reserve(term_offsets.back());
+  for (std::string_view t : terms) blob.append(t);
+  const Payload payloads[kNumUpdateSections] = {
+      {term_offsets.data(), term_offsets.size() * sizeof(uint64_t)},
+      {blob.data(), blob.size()},
+      {kinds.data(), kinds.size()},
+      {lex.data(), lex.size() * sizeof(uint32_t)},
+      {batch.removed_nodes.data(),
+       batch.removed_nodes.size() * sizeof(uint32_t)},
+      {batch.removed.data(), batch.removed.size() * sizeof(Triple)},
+      {batch.added.data(), batch.added.size() * sizeof(Triple)},
+  };
+
+  SectionEntry table[kNumUpdateSections];
+  uint64_t cursor = kUpdatePayloadStart;
+  for (size_t s = 0; s < kNumUpdateSections; ++s) {
+    cursor = AlignUp(cursor);
+    table[s].id = static_cast<uint32_t>(kUpdateSectionOrder[s]);
+    table[s].reserved = 0;
+    table[s].offset = cursor;
+    table[s].size = payloads[s].size;
+    table[s].checksum = Checksum64(payloads[s].data, payloads[s].size);
+    cursor += payloads[s].size;
+  }
+
+  UpdateHeader header;
+  std::memset(&header, 0, sizeof(header));
+  header.magic = kUpdateMagic;
+  header.version = kUpdateFormatVersion;
+  header.endian_tag = kEndianTag;
+  header.sequence = batch.sequence;
+  header.num_refs = batch.nodes.size();
+  header.num_new_nodes = batch.num_new;
+  header.num_removed_nodes = batch.removed_nodes.size();
+  header.num_removed_triples = batch.removed.size();
+  header.num_added_triples = batch.added.size();
+  header.num_terms = terms.size();
+  header.num_sections = kNumUpdateSections;
+  header.file_size = cursor;
+  header.header_checksum = 0;
+  {
+    Checksummer c;
+    c.Update(&header, sizeof(header));
+    c.Update(table, sizeof(table));
+    header.header_checksum = c.Finish();
+  }
+
+  std::string out;
+  out.reserve(cursor);
+  AppendBytes(&out, &header, sizeof(header));
+  AppendBytes(&out, table, sizeof(table));
+  for (size_t s = 0; s < kNumUpdateSections; ++s) {
+    PadTo(&out, table[s].offset);
+    AppendBytes(&out, payloads[s].data, payloads[s].size);
+  }
+  return out;
+}
+
+Result<UpdateBatch> DecodeUpdateBatch(std::string_view bytes,
+                                      const std::string& name) {
+  const auto* base = reinterpret_cast<const unsigned char*>(bytes.data());
+  if (bytes.size() < sizeof(UpdateHeader)) {
+    return Status::Corruption("truncated update fragment (no header): " +
+                              name);
+  }
+  UpdateHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  if (header.magic != kUpdateMagic) {
+    return Status::InvalidArgument("not an rdfalign update fragment: " +
+                                   name);
+  }
+  if (header.version != kUpdateFormatVersion) {
+    return Status::NotSupported(
+        "unsupported update fragment version " +
+        std::to_string(header.version) + " (this build reads version " +
+        std::to_string(kUpdateFormatVersion) + "): " + name);
+  }
+  if (header.endian_tag != kEndianTag) {
+    return Status::NotSupported(
+        "update fragment written with a different byte order: " + name);
+  }
+  if (header.num_sections != kNumUpdateSections) {
+    return Status::Corruption("unexpected update section count: " + name);
+  }
+  if (header.file_size != bytes.size()) {
+    return Status::Corruption("update fragment size mismatch: " + name);
+  }
+  if (bytes.size() < kUpdatePayloadStart) {
+    return Status::Corruption("truncated update fragment (no sections): " +
+                              name);
+  }
+  SectionEntry table[kNumUpdateSections];
+  std::memcpy(table, base + sizeof(UpdateHeader), sizeof(table));
+  {
+    UpdateHeader copy = header;
+    copy.header_checksum = 0;
+    Checksummer c;
+    c.Update(&copy, sizeof(copy));
+    c.Update(table, sizeof(table));
+    if (c.Finish() != header.header_checksum) {
+      return Status::Corruption("update fragment header checksum mismatch: " +
+                                name);
+    }
+  }
+  uint64_t cursor = kUpdatePayloadStart;
+  for (size_t s = 0; s < kNumUpdateSections; ++s) {
+    if (table[s].id != static_cast<uint32_t>(kUpdateSectionOrder[s]) ||
+        table[s].reserved != 0) {
+      return Status::Corruption("unexpected update section table: " + name);
+    }
+    cursor = AlignUp(cursor);
+    if (table[s].offset != cursor || table[s].size > bytes.size() ||
+        table[s].offset > bytes.size() - table[s].size) {
+      return Status::Corruption(
+          std::string("update section out of bounds: ") +
+          UpdateSectionName(kUpdateSectionOrder[s]) + ": " + name);
+    }
+    if (Checksum64(base + table[s].offset, table[s].size) !=
+        table[s].checksum) {
+      return Status::Corruption(
+          std::string("update section checksum mismatch: ") +
+          UpdateSectionName(kUpdateSectionOrder[s]) + ": " + name);
+    }
+    cursor = table[s].offset + table[s].size;
+  }
+
+  auto expect_size = [&](size_t s, uint64_t want) -> Status {
+    if (table[s].size != want) {
+      return Status::Corruption(
+          std::string("update section size mismatch: ") +
+          UpdateSectionName(kUpdateSectionOrder[s]) + ": " + name);
+    }
+    return Status::OK();
+  };
+  const uint64_t refs = header.num_refs;
+  const uint64_t terms = header.num_terms;
+  if (refs > 0xffffffffull || terms > 0xffffffffull) {
+    return Status::Corruption("update fragment counts out of range: " + name);
+  }
+  RDFALIGN_RETURN_IF_ERROR(expect_size(0, (terms + 1) * sizeof(uint64_t)));
+  RDFALIGN_RETURN_IF_ERROR(expect_size(2, refs));
+  RDFALIGN_RETURN_IF_ERROR(expect_size(3, refs * sizeof(uint32_t)));
+  RDFALIGN_RETURN_IF_ERROR(
+      expect_size(4, header.num_removed_nodes * sizeof(uint32_t)));
+  RDFALIGN_RETURN_IF_ERROR(
+      expect_size(5, header.num_removed_triples * sizeof(Triple)));
+  RDFALIGN_RETURN_IF_ERROR(
+      expect_size(6, header.num_added_triples * sizeof(Triple)));
+
+  const auto* term_offsets =
+      reinterpret_cast<const uint64_t*>(base + table[0].offset);
+  const uint64_t blob_size = table[1].size;
+  if (term_offsets[0] != 0 || term_offsets[terms] != blob_size) {
+    return Status::Corruption("update term offsets malformed: " + name);
+  }
+  for (uint64_t t = 0; t < terms; ++t) {
+    if (term_offsets[t] > term_offsets[t + 1]) {
+      return Status::Corruption("update term offsets not monotonic: " + name);
+    }
+  }
+  const char* blob = reinterpret_cast<const char*>(base + table[1].offset);
+
+  UpdateBatch batch;
+  batch.sequence = header.sequence;
+  batch.num_new = static_cast<uint32_t>(header.num_new_nodes);
+  batch.nodes.resize(refs);
+  const auto* kinds = base + table[2].offset;
+  const auto* lex = reinterpret_cast<const uint32_t*>(base + table[3].offset);
+  for (uint64_t i = 0; i < refs; ++i) {
+    if (kinds[i] > static_cast<uint8_t>(TermKind::kBlank)) {
+      return Status::Corruption("update node kind out of range: " + name);
+    }
+    if (lex[i] >= terms) {
+      return Status::Corruption("update node references a missing term: " +
+                                name);
+    }
+    batch.nodes[i].kind = static_cast<TermKind>(kinds[i]);
+    batch.nodes[i].lex.assign(
+        blob + term_offsets[lex[i]],
+        static_cast<size_t>(term_offsets[lex[i] + 1] - term_offsets[lex[i]]));
+  }
+  const auto* removed_nodes =
+      reinterpret_cast<const uint32_t*>(base + table[4].offset);
+  batch.removed_nodes.assign(removed_nodes,
+                             removed_nodes + header.num_removed_nodes);
+  const auto* removed =
+      reinterpret_cast<const Triple*>(base + table[5].offset);
+  batch.removed.assign(removed, removed + header.num_removed_triples);
+  const auto* added = reinterpret_cast<const Triple*>(base + table[6].offset);
+  batch.added.assign(added, added + header.num_added_triples);
+
+  RDFALIGN_RETURN_IF_ERROR(ValidateBatch(batch, name));
+  return batch;
+}
+
+Result<UpdateBatch> BuildUpdateBatch(const TripleGraph& base,
+                                     const TripleGraph& next,
+                                     uint64_t sequence) {
+  // Node matching by (kind, lexical form). GraphBuilder guarantees unique
+  // labels per graph (blanks by local name), so the match is one-to-one.
+  auto key_of = [](TermKind kind, std::string_view lex) {
+    std::string key;
+    key.reserve(lex.size() + 2);
+    key.push_back(static_cast<char>(kind));
+    key.push_back(':');
+    key.append(lex);
+    return key;
+  };
+  std::unordered_map<std::string, NodeId> in_next;
+  in_next.reserve(next.NumNodes());
+  for (NodeId n = 0; n < next.NumNodes(); ++n) {
+    if (!in_next.emplace(key_of(next.KindOf(n), next.Lexical(n)), n).second) {
+      return Status::InvalidArgument(
+          "next graph has duplicate node labels; cannot build an update "
+          "batch");
+    }
+  }
+  std::vector<NodeId> base_to_next(base.NumNodes(), kInvalidNode);
+  std::vector<NodeId> next_to_base(next.NumNodes(), kInvalidNode);
+  {
+    std::unordered_map<std::string, NodeId> seen;
+    seen.reserve(base.NumNodes());
+    for (NodeId b = 0; b < base.NumNodes(); ++b) {
+      const std::string key = key_of(base.KindOf(b), base.Lexical(b));
+      if (!seen.emplace(key, b).second) {
+        return Status::InvalidArgument(
+            "base graph has duplicate node labels; cannot build an update "
+            "batch");
+      }
+      auto it = in_next.find(key);
+      if (it != in_next.end()) {
+        base_to_next[b] = it->second;
+        next_to_base[it->second] = b;
+      }
+    }
+  }
+
+  UpdateBatch batch;
+  batch.sequence = sequence;
+  // References: new nodes first (ascending next id), then existing nodes in
+  // first-use order over a deterministic walk.
+  std::vector<uint32_t> ref_of_next(next.NumNodes(), kInvalidNode);
+  std::vector<uint32_t> ref_of_base(base.NumNodes(), kInvalidNode);
+  for (NodeId n = 0; n < next.NumNodes(); ++n) {
+    if (next_to_base[n] != kInvalidNode) continue;
+    ref_of_next[n] = static_cast<uint32_t>(batch.nodes.size());
+    batch.nodes.push_back(
+        {next.KindOf(n), std::string(next.Lexical(n))});
+  }
+  batch.num_new = static_cast<uint32_t>(batch.nodes.size());
+  auto ref_existing_next = [&](NodeId n) -> uint32_t {
+    if (ref_of_next[n] == kInvalidNode) {
+      ref_of_next[n] = static_cast<uint32_t>(batch.nodes.size());
+      const NodeId b = next_to_base[n];
+      if (b != kInvalidNode) ref_of_base[b] = ref_of_next[n];
+      batch.nodes.push_back({next.KindOf(n), std::string(next.Lexical(n))});
+    }
+    return ref_of_next[n];
+  };
+  auto ref_base = [&](NodeId b) -> uint32_t {
+    const NodeId n = base_to_next[b];
+    if (n != kInvalidNode) return ref_existing_next(n);
+    if (ref_of_base[b] == kInvalidNode) {
+      ref_of_base[b] = static_cast<uint32_t>(batch.nodes.size());
+      batch.nodes.push_back({base.KindOf(b), std::string(base.Lexical(b))});
+    }
+    return ref_of_base[b];
+  };
+
+  // Removed triples: base triples whose label-image is absent from next.
+  const auto next_triples = next.triples();
+  for (const Triple& t : base.triples()) {
+    const NodeId s = base_to_next[t.s];
+    const NodeId p = base_to_next[t.p];
+    const NodeId o = base_to_next[t.o];
+    bool kept = false;
+    if (s != kInvalidNode && p != kInvalidNode && o != kInvalidNode) {
+      const Triple mapped{s, p, o};
+      kept = std::binary_search(next_triples.begin(), next_triples.end(),
+                                mapped, TripleLess);
+    }
+    if (!kept) {
+      batch.removed.push_back(
+          {ref_base(t.s), ref_base(t.p), ref_base(t.o)});
+    }
+  }
+  // Added triples: next triples whose label-preimage is absent from base.
+  const auto base_triples = base.triples();
+  for (const Triple& t : next_triples) {
+    const NodeId s = next_to_base[t.s];
+    const NodeId p = next_to_base[t.p];
+    const NodeId o = next_to_base[t.o];
+    bool existed = false;
+    if (s != kInvalidNode && p != kInvalidNode && o != kInvalidNode) {
+      const Triple mapped{s, p, o};
+      existed = std::binary_search(base_triples.begin(), base_triples.end(),
+                                   mapped, TripleLess);
+    }
+    if (!existed) {
+      batch.added.push_back({ref_existing_next(t.s), ref_existing_next(t.p),
+                             ref_existing_next(t.o)});
+    }
+  }
+  // Retired nodes: base nodes with no next image.
+  for (NodeId b = 0; b < base.NumNodes(); ++b) {
+    if (base_to_next[b] == kInvalidNode) {
+      batch.removed_nodes.push_back(ref_base(b));
+    }
+  }
+
+  std::sort(batch.removed.begin(), batch.removed.end(), TripleLess);
+  batch.removed.erase(std::unique(batch.removed.begin(), batch.removed.end(),
+                                  TripleEq),
+                      batch.removed.end());
+  std::sort(batch.added.begin(), batch.added.end(), TripleLess);
+  batch.added.erase(
+      std::unique(batch.added.begin(), batch.added.end(), TripleEq),
+      batch.added.end());
+  std::sort(batch.removed_nodes.begin(), batch.removed_nodes.end());
+
+  RDFALIGN_RETURN_IF_ERROR(ValidateBatch(batch, "build"));
+  return batch;
+}
+
+Status WriteUpdateFile(const UpdateBatch& batch, const std::string& path) {
+  RDFALIGN_ASSIGN_OR_RETURN(std::string bytes, EncodeUpdateBatch(batch));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open file for writing: " + path);
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::IOError("error writing update fragment: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec) || ec) {
+    return Status::NotFound("no such file: " + path);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open file: " + path);
+  }
+  std::string bytes;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    return Status::IOError("cannot stat file: " + path);
+  }
+  bytes.resize(static_cast<size_t>(size));
+  in.seekg(0);
+  in.read(bytes.data(), size);
+  if (!in) {
+    return Status::IOError("error reading file: " + path);
+  }
+  return bytes;
+}
+
+Result<UpdateBatch> ReadUpdateFile(const std::string& path) {
+  RDFALIGN_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  return DecodeUpdateBatch(bytes, path);
+}
+
+}  // namespace rdfalign::store

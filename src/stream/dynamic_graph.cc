@@ -1,0 +1,147 @@
+#include "stream/dynamic_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rdfalign::stream {
+
+namespace {
+
+bool PairLess(const PredicateObject& a, const PredicateObject& b) {
+  if (a.p != b.p) return a.p < b.p;
+  return a.o < b.o;
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(CombinedGraph base)
+    : base_(std::move(base)), base_nodes_(base_.graph().NumNodes()) {
+  const TripleGraph& g = base_.graph();
+  kinds_.reserve(base_nodes_);
+  lex_.reserve(base_nodes_);
+  for (NodeId n = 0; n < base_nodes_; ++n) {
+    kinds_.push_back(g.KindOf(n));
+    lex_.push_back(g.LexicalId(n));
+  }
+  dead_.assign(base_nodes_, 0);
+  out_overlay_idx_.assign(base_nodes_, -1);
+  in_extra_idx_.assign(base_nodes_, -1);
+  target_by_label_.reserve(base_.n2());
+  for (NodeId t = 0; t < base_.n2(); ++t) {
+    const NodeId n = base_.FromTarget(t);
+    target_by_label_.emplace(LabelKey(kinds_[n], lex_[n]), n);
+  }
+  target_triples_ = base_.e2();
+}
+
+Result<DynamicGraph> DynamicGraph::Build(const TripleGraph& source,
+                                         const TripleGraph& target,
+                                         size_t threads) {
+  RDFALIGN_ASSIGN_OR_RETURN(CombinedGraph cg,
+                            CombinedGraph::Build(source, target, threads));
+  return DynamicGraph(std::move(cg));
+}
+
+NodeId DynamicGraph::FindTarget(TermKind kind, std::string_view lex) const {
+  const LexId id = base_.graph().dict().Find(lex);
+  if (id == kInvalidLex) return kInvalidNode;
+  auto it = target_by_label_.find(LabelKey(kind, id));
+  return it == target_by_label_.end() ? kInvalidNode : it->second;
+}
+
+NodeId DynamicGraph::AddNode(TermKind kind, std::string_view lex) {
+  // Intern through the shared dictionary (Dictionary is append-only, so
+  // existing LexIds — and the label keys derived from them — stay valid).
+  Dictionary& dict = *base_.graph().dict_ptr();
+  const LexId id = dict.Intern(lex);
+  const NodeId n = static_cast<NodeId>(kinds_.size());
+  kinds_.push_back(kind);
+  lex_.push_back(id);
+  dead_.push_back(0);
+  out_overlay_idx_.push_back(static_cast<int32_t>(out_overlay_.size()));
+  out_overlay_.emplace_back();
+  in_extra_idx_.push_back(-1);
+  const bool inserted = target_by_label_.emplace(LabelKey(kind, id), n).second;
+  assert(inserted);
+  (void)inserted;
+  return n;
+}
+
+std::vector<PredicateObject>& DynamicGraph::MutableOut(NodeId n) {
+  int32_t ov = out_overlay_idx_[n];
+  if (ov < 0) {
+    ov = static_cast<int32_t>(out_overlay_.size());
+    const auto base = base_.graph().Out(n);
+    out_overlay_.emplace_back(base.begin(), base.end());
+    out_overlay_idx_[n] = ov;
+  }
+  return out_overlay_[ov];
+}
+
+void DynamicGraph::AddInExtra(NodeId target, NodeId subject) {
+  if (target < base_nodes_) {
+    const auto base = base_.graph().In(target);
+    if (std::binary_search(base.begin(), base.end(), subject)) return;
+  }
+  int32_t ix = in_extra_idx_[target];
+  if (ix < 0) {
+    ix = static_cast<int32_t>(in_extras_.size());
+    in_extras_.emplace_back();
+    in_extra_idx_[target] = ix;
+  }
+  std::vector<NodeId>& extras = in_extras_[ix];
+  const auto pos = std::lower_bound(extras.begin(), extras.end(), subject);
+  if (pos != extras.end() && *pos == subject) return;
+  extras.insert(pos, subject);
+}
+
+bool DynamicGraph::AddTriple(NodeId s, NodeId p, NodeId o) {
+  std::vector<PredicateObject>& out = MutableOut(s);
+  const PredicateObject po{p, o};
+  const auto pos = std::lower_bound(out.begin(), out.end(), po, PairLess);
+  if (pos != out.end() && pos->p == p && pos->o == o) return false;
+  out.insert(pos, po);
+  AddInExtra(p, s);
+  if (o != p) AddInExtra(o, s);
+  ++target_triples_;
+  return true;
+}
+
+bool DynamicGraph::RemoveTriple(NodeId s, NodeId p, NodeId o) {
+  // A removal on an untouched base node must materialize the overlay; a
+  // no-op removal of an absent triple checks first to avoid the copy.
+  const PredicateObject po{p, o};
+  if (out_overlay_idx_[s] < 0) {
+    const auto base = base_.graph().Out(s);
+    if (!std::binary_search(base.begin(), base.end(), po, PairLess)) {
+      return false;
+    }
+  }
+  std::vector<PredicateObject>& out = MutableOut(s);
+  const auto pos = std::lower_bound(out.begin(), out.end(), po, PairLess);
+  if (pos == out.end() || pos->p != p || pos->o != o) return false;
+  out.erase(pos);
+  --target_triples_;
+  return true;
+}
+
+void DynamicGraph::MarkDead(NodeId n) {
+  assert(!InSource(n) && dead_[n] == 0);
+  dead_[n] = 1;
+  ++num_dead_;
+  target_by_label_.erase(LabelKey(kinds_[n], lex_[n]));
+}
+
+bool DynamicGraph::ReferencedAsPredicateOrObject(NodeId n) const {
+  // In(n) is a superset of the true in-neighborhood; confirm each candidate
+  // subject against its exact Out.
+  for (NodeId s : In(n)) {
+    if (dead_[s]) continue;
+    for (const PredicateObject& po : Out(s)) {
+      if (po.p == n || po.o == n) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rdfalign::stream

@@ -1,0 +1,190 @@
+// DynamicGraph: a mutable copy-on-write overlay over a combined
+// source ⊎ target graph, the graph model of the streaming aligner
+// (docs/stream.md).
+//
+// The source side ([0, n1)) is immutable — it is the frozen version the
+// live target is continuously aligned against. The target side accepts
+// set-semantics triple adds/removes, node creation, and node retirement:
+//
+//  * Out(n) is exact at all times: the first mutation of a base node's
+//    out-neighborhood copies the CSR slice into an owned sorted vector
+//    (copy-on-write); appended nodes always own one. The refinement
+//    signature reads Out, so it must never be stale.
+//  * In(n) is a *superset* index: triple additions insert the subject into
+//    a sorted per-node extras vector chained after the base CSR slice, but
+//    removals never shrink it. Exact removal would cost O(E) for hub
+//    nodes; the worklist engine tolerates supersets by design (a
+//    spuriously dirtied node re-signs, matches its class anchor, and keeps
+//    its color), so the stream trades a little wasted signing for O(log n)
+//    maintenance. Dead or stale subjects in In are filtered by the
+//    consumers.
+//  * Removed nodes are tombstoned (never compacted): ids stay stable for
+//    the engine's parallel arrays, the label becomes free for reuse by a
+//    later creation, and every consumer (pair enumeration, equivalence
+//    checks, the engine's X set) skips dead nodes.
+//
+// Node identity is by (kind, lexical form) on the live target side, which
+// is how update fragments address nodes (store/update_fragment.h).
+
+#ifndef RDFALIGN_STREAM_DYNAMIC_GRAPH_H_
+#define RDFALIGN_STREAM_DYNAMIC_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/merge.h"
+#include "rdf/term.h"
+#include "util/result.h"
+
+namespace rdfalign::stream {
+
+/// In(n) as the base CSR slice chained with the extras overlay. May contain
+/// stale subjects (whose edge into n was since removed) and, across the two
+/// parts, no duplicates by construction.
+class ChainedIn {
+ public:
+  ChainedIn(std::span<const NodeId> base, std::span<const NodeId> extra)
+      : base_(base), extra_(extra) {}
+
+  class iterator {
+   public:
+    iterator(const NodeId* a, const NodeId* a_end, const NodeId* b)
+        : a_(a), a_end_(a_end), b_(b) {}
+    NodeId operator*() const { return a_ != a_end_ ? *a_ : *b_; }
+    iterator& operator++() {
+      if (a_ != a_end_) {
+        ++a_;
+      } else {
+        ++b_;
+      }
+      return *this;
+    }
+    bool operator!=(const iterator& o) const {
+      return a_ != o.a_ || b_ != o.b_;
+    }
+
+   private:
+    const NodeId* a_;
+    const NodeId* a_end_;
+    const NodeId* b_;
+  };
+
+  iterator begin() const {
+    return {base_.data(), base_.data() + base_.size(), extra_.data()};
+  }
+  iterator end() const {
+    return {base_.data() + base_.size(), base_.data() + base_.size(),
+            extra_.data() + extra_.size()};
+  }
+  size_t size() const { return base_.size() + extra_.size(); }
+
+ private:
+  std::span<const NodeId> base_;
+  std::span<const NodeId> extra_;
+};
+
+/// The mutable combined graph. Satisfies the worklist engine's Graph
+/// concept (NumNodes / Out / In).
+class DynamicGraph {
+ public:
+  /// Builds the overlay over source ⊎ target (the graphs must share one
+  /// Dictionary; see CombinedGraph::Build).
+  static Result<DynamicGraph> Build(const TripleGraph& source,
+                                    const TripleGraph& target,
+                                    size_t threads = 1);
+
+  // --- Graph concept (read side) ---
+  size_t NumNodes() const { return kinds_.size(); }
+  std::span<const PredicateObject> Out(NodeId n) const {
+    const int32_t ov = out_overlay_idx_[n];
+    if (ov >= 0) {
+      const std::vector<PredicateObject>& v = out_overlay_[ov];
+      return {v.data(), v.size()};
+    }
+    return base_.graph().Out(n);
+  }
+  ChainedIn In(NodeId n) const {
+    std::span<const NodeId> base;
+    if (n < base_nodes_) base = base_.graph().In(n);
+    std::span<const NodeId> extra;
+    const int32_t ix = in_extra_idx_[n];
+    if (ix >= 0) {
+      extra = {in_extras_[ix].data(), in_extras_[ix].size()};
+    }
+    return {base, extra};
+  }
+
+  // --- provenance / labels ---
+  const CombinedGraph& combined() const { return base_; }
+  NodeId n1() const { return base_.n1(); }
+  bool InSource(NodeId n) const { return n < base_.n1(); }
+  size_t base_nodes() const { return base_nodes_; }
+  TermKind KindOf(NodeId n) const { return kinds_[n]; }
+  std::string_view Lexical(NodeId n) const {
+    return base_.graph().dict().Get(lex_[n]);
+  }
+  LexId LexicalId(NodeId n) const { return lex_[n]; }
+  bool IsDead(NodeId n) const { return dead_[n] != 0; }
+  bool IsLive(NodeId n) const { return dead_[n] == 0; }
+  size_t NumLiveNodes() const { return NumNodes() - num_dead_; }
+  /// Live target-side triples (source-side triples are immutable).
+  size_t NumTargetTriples() const { return target_triples_; }
+
+  /// Live target-side node with this label, or kInvalidNode. The source
+  /// side is intentionally not consulted: fragments address the mutable
+  /// target graph only.
+  NodeId FindTarget(TermKind kind, std::string_view lex) const;
+
+  // --- mutation (target side only) ---
+
+  /// Appends a live target-side node with this label. The label must not
+  /// name a live target node (check with FindTarget first).
+  NodeId AddNode(TermKind kind, std::string_view lex);
+
+  /// Adds (s,p,o) to the target side; false when already present. `s` must
+  /// be a live target-side node.
+  bool AddTriple(NodeId s, NodeId p, NodeId o);
+
+  /// Removes (s,p,o); false when absent (no-op).
+  bool RemoveTriple(NodeId s, NodeId p, NodeId o);
+
+  /// Tombstones a live target-side node and frees its label.
+  void MarkDead(NodeId n);
+
+  /// True when any *live* triple still uses n as predicate or object. The
+  /// subject position is Out(n), which callers check separately.
+  bool ReferencedAsPredicateOrObject(NodeId n) const;
+
+ private:
+  DynamicGraph(CombinedGraph base);
+
+  std::vector<PredicateObject>& MutableOut(NodeId n);
+  void AddInExtra(NodeId target, NodeId subject);
+  static uint64_t LabelKey(TermKind kind, LexId lex) {
+    return (static_cast<uint64_t>(kind) << 32) | lex;
+  }
+
+  CombinedGraph base_;
+  size_t base_nodes_;
+
+  // Node columns covering base + appended nodes.
+  std::vector<TermKind> kinds_;
+  std::vector<LexId> lex_;
+  std::vector<uint8_t> dead_;
+  std::vector<int32_t> out_overlay_idx_;  ///< -1 = base CSR slice
+  std::vector<int32_t> in_extra_idx_;     ///< -1 = no extras
+  std::vector<std::vector<PredicateObject>> out_overlay_;
+  std::vector<std::vector<NodeId>> in_extras_;
+
+  std::unordered_map<uint64_t, NodeId> target_by_label_;
+  size_t num_dead_ = 0;
+  size_t target_triples_ = 0;
+};
+
+}  // namespace rdfalign::stream
+
+#endif  // RDFALIGN_STREAM_DYNAMIC_GRAPH_H_

@@ -1,0 +1,29 @@
+// Small shared statistics helpers. Percentile started life in
+// bench/service_bench.cc; it moved here when the daemon's per-verb
+// latency metrics (service/metrics.h) needed the same definition — one
+// implementation, so the bench tables and the `stats` verb cannot
+// disagree about what a p50 is.
+
+#ifndef RDFALIGN_UTIL_STATS_H_
+#define RDFALIGN_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace rdfalign {
+
+/// Nearest-rank percentile of `samples` (p in [0, 1]); 0 when empty.
+/// Takes the vector by value — the sort must not disturb the caller's
+/// recording order.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const size_t idx = std::min(
+      samples.size() - 1, static_cast<size_t>(p * (samples.size() - 1)));
+  return samples[idx];
+}
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_UTIL_STATS_H_

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <regex>
 #include <string>
@@ -18,6 +19,7 @@
 #include "service/graph_source.h"
 #include "service/protocol.h"
 #include "service/verbs.h"
+#include "store/update_fragment.h"
 
 namespace rdfalign::service {
 namespace {
@@ -61,10 +63,11 @@ void RemoveChain(const std::string& prefix) {
 
 class ServiceTest : public ::testing::Test {
  protected:
-  void StartServer(size_t workers = 4) {
+  void StartServer(size_t workers = 4, uint64_t drain_ms = 30000) {
     ServerOptions options;
     options.port = 0;
     options.worker_threads = workers;
+    options.drain_ms = drain_ms;
     server_ = std::make_unique<Server>(options);
     Status st = server_->Start();
     ASSERT_TRUE(st.ok()) << st.ToString();
@@ -268,6 +271,235 @@ TEST_F(ServiceTest, StopDeliversInFlightResponses) {
 
   // Stop is idempotent and the port is released for a fresh server.
   server_->Stop();
+  RemoveChain(prefix);
+}
+
+TEST_F(ServiceTest, StatsVerbReportsPerVerbCounters) {
+  const std::string prefix = ScratchPrefix();
+  const auto [v1, v2] = MakeVersionPair(prefix);
+  StartServer();
+  Client client = Connect();
+
+  ASSERT_TRUE(client.Call({"info", v1, "--json"}).ok());
+  ASSERT_TRUE(client.Call({"info", v1, "--json"}).ok());
+  Result<ClientResponse> bad = client.Call({"align", v1, "/nonexistent"});
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->exit_code, 1);
+
+  Result<ClientResponse> stats = client.Call({"stats", "--json"});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->exit_code, 0);
+  EXPECT_NE(stats->body.find("\"total_requests\": 3"), std::string::npos)
+      << stats->body;
+  EXPECT_NE(stats->body.find("\"total_errors\": 1"), std::string::npos);
+  EXPECT_NE(stats->body.find(
+                "\"verb\": \"align\", \"requests\": 1, \"errors\": 1"),
+            std::string::npos)
+      << stats->body;
+  EXPECT_NE(stats->body.find(
+                "\"verb\": \"info\", \"requests\": 2, \"errors\": 0"),
+            std::string::npos)
+      << stats->body;
+  EXPECT_NE(stats->body.find("\"p50_ms\""), std::string::npos);
+
+  Result<ClientResponse> text = client.Call({"stats"});
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->body.find("rdfalignd stats:"), std::string::npos);
+
+  Result<ClientResponse> usage = client.Call({"stats", "--frob"});
+  ASSERT_TRUE(usage.ok());
+  EXPECT_EQ(usage->exit_code, 2);
+
+  // Off-daemon, the verb can only point at the daemon.
+  DirectGraphSource direct;
+  EXPECT_EQ(ExecuteVerb({"stats"}, &direct, false).exit_code, 1);
+
+  RemoveChain(prefix);
+}
+
+/// gen + build a three-version chain plus the two update fragments
+/// between consecutive versions.
+struct StreamChainFiles {
+  std::string v1, v2, v3;
+  std::string u1, u2;
+};
+
+StreamChainFiles MakeStreamChain(const std::string& prefix) {
+  DirectGraphSource direct;
+  EXPECT_EQ(ExecuteVerb({"gen", prefix, "--scale=0.02", "--versions=3"},
+                        &direct, false)
+                .exit_code,
+            0);
+  StreamChainFiles f;
+  f.v1 = prefix + "1.snap";
+  f.v2 = prefix + "2.snap";
+  f.v3 = prefix + "3.snap";
+  for (int i = 1; i <= 3; ++i) {
+    const std::string n = std::to_string(i);
+    EXPECT_EQ(ExecuteVerb({"build", prefix + n + ".nt", prefix + n + ".snap"},
+                          &direct, false)
+                  .exit_code,
+              0);
+  }
+  f.u1 = prefix + "_1.upd";
+  f.u2 = prefix + "_2.upd";
+  EXPECT_EQ(
+      ExecuteVerb({"updates", f.v1, f.v2, f.u1, "--seq=1"}, &direct, false)
+          .exit_code,
+      0);
+  EXPECT_EQ(
+      ExecuteVerb({"updates", f.v2, f.v3, f.u2, "--seq=2"}, &direct, false)
+          .exit_code,
+      0);
+  return f;
+}
+
+void RemoveStreamChain(const std::string& prefix,
+                       const StreamChainFiles& f) {
+  for (int i = 1; i <= 3; ++i) {
+    const std::string n = std::to_string(i);
+    std::remove((prefix + n + ".nt").c_str());
+    std::remove((prefix + n + ".snap").c_str());
+  }
+  std::remove(f.u1.c_str());
+  std::remove(f.u2.c_str());
+}
+
+TEST_F(ServiceTest, StreamSessionMaintainsAlignmentOverDaemon) {
+  const std::string prefix = ScratchPrefix();
+  const StreamChainFiles f = MakeStreamChain(prefix);
+  StartServer();
+  Client client = Connect();
+
+  // Pushing without a session is an error, not a crash.
+  Result<std::string> frag1 = store::ReadFileBytes(f.u1);
+  ASSERT_TRUE(frag1.ok());
+  Result<ClientResponse> stray =
+      client.CallWithPayload({"stream", "push"}, *frag1);
+  ASSERT_TRUE(stray.ok());
+  EXPECT_EQ(stray->exit_code, 1);
+
+  Result<ClientResponse> open =
+      client.Call({"stream", "open", f.v1, f.v1, "--method=deblank"});
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  ASSERT_EQ(open->exit_code, 0) << open->error;
+  EXPECT_NE(open->body.find("stream open"), std::string::npos);
+
+  // Double-open on one connection is rejected; the session survives.
+  Result<ClientResponse> reopen =
+      client.Call({"stream", "open", f.v1, f.v1});
+  ASSERT_TRUE(reopen.ok());
+  EXPECT_EQ(reopen->exit_code, 1);
+
+  for (const std::string& path : {f.u1, f.u2}) {
+    Result<std::string> bytes = store::ReadFileBytes(path);
+    ASSERT_TRUE(bytes.ok());
+    Result<ClientResponse> push =
+        client.CallWithPayload({"stream", "push", "--json"}, *bytes);
+    ASSERT_TRUE(push.ok()) << push.status().ToString();
+    ASSERT_EQ(push->exit_code, 0) << push->error;
+    EXPECT_NE(push->body.find("\"applied_adds\""), std::string::npos);
+    EXPECT_NE(push->body.find("\"added_pairs\""), std::string::npos);
+  }
+
+  Result<ClientResponse> check =
+      client.Call({"stream", "check", f.v3, "--json"});
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  ASSERT_EQ(check->exit_code, 0) << check->error;
+  EXPECT_NE(check->body.find("\"equivalent\": true"), std::string::npos)
+      << check->body;
+
+  Result<ClientResponse> stats = client.Call({"stream", "stats"});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->exit_code, 0);
+  EXPECT_NE(stats->body.find("2 fragments"), std::string::npos)
+      << stats->body;
+
+  Result<ClientResponse> close = client.Call({"stream", "close"});
+  ASSERT_TRUE(close.ok());
+  EXPECT_EQ(close->exit_code, 0);
+
+  // After close the connection is back to a clean slate: a fresh open
+  // works.
+  ASSERT_TRUE(client.Call({"stream", "open", f.v1, f.v1}).ok());
+
+  // A corrupt fragment is rejected at decode time — nothing was applied,
+  // so the session stays usable.
+  std::string corrupt = *frag1;
+  corrupt[corrupt.size() / 2] ^= 0x7f;
+  Result<ClientResponse> broken =
+      client.CallWithPayload({"stream", "push"}, corrupt);
+  ASSERT_TRUE(broken.ok());
+  EXPECT_EQ(broken->exit_code, 1);
+  Result<ClientResponse> alive = client.Call({"stream", "stats"});
+  ASSERT_TRUE(alive.ok());
+  EXPECT_EQ(alive->exit_code, 0);
+
+  // A valid fragment applied out of order (u2 against v1 state) fails
+  // mid-apply; that is fatal and closes the session.
+  Result<std::string> frag2 = store::ReadFileBytes(f.u2);
+  ASSERT_TRUE(frag2.ok());
+  Result<ClientResponse> fatal =
+      client.CallWithPayload({"stream", "push"}, *frag2);
+  ASSERT_TRUE(fatal.ok());
+  EXPECT_EQ(fatal->exit_code, 1);
+  EXPECT_NE(fatal->error.find("session closed"), std::string::npos)
+      << fatal->error;
+  Result<ClientResponse> after = client.Call({"stream", "stats"});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->exit_code, 1);  // the session is gone
+
+  RemoveStreamChain(prefix, f);
+}
+
+TEST_F(ServiceTest, StopDrainsOpenStreamSessions) {
+  const std::string prefix = ScratchPrefix();
+  const StreamChainFiles f = MakeStreamChain(prefix);
+  StartServer(2);
+  Client client = Connect();
+  ASSERT_TRUE(client.Call({"stream", "open", f.v1, f.v1}).ok());
+
+  // SIGTERM-style shutdown with the stream session still open: Stop()
+  // must wait for the client, who keeps getting served meanwhile.
+  std::atomic<bool> stopped{false};
+  std::thread stopper([&] {
+    server_->Stop();
+    stopped.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(stopped.load());  // draining, not dead
+
+  Result<std::string> bytes = store::ReadFileBytes(f.u1);
+  ASSERT_TRUE(bytes.ok());
+  Result<ClientResponse> push =
+      client.CallWithPayload({"stream", "push"}, *bytes);
+  ASSERT_TRUE(push.ok()) << push.status().ToString();
+  EXPECT_EQ(push->exit_code, 0) << push->error;
+  Result<ClientResponse> close = client.Call({"stream", "close"});
+  ASSERT_TRUE(close.ok());
+  EXPECT_EQ(close->exit_code, 0);
+
+  client.Close();  // the drain completes only when the client hangs up
+  stopper.join();
+  EXPECT_TRUE(stopped.load());
+  RemoveStreamChain(prefix, f);
+}
+
+TEST_F(ServiceTest, StopDeadlineForcesIdleConnections) {
+  const std::string prefix = ScratchPrefix();
+  const auto [v1, v2] = MakeVersionPair(prefix);
+  StartServer(2, /*drain_ms=*/100);
+  Client client = Connect();
+  ASSERT_TRUE(client.Call({"info", v1}).ok());
+
+  // The client never hangs up; the drain deadline must cut it loose.
+  const auto start = std::chrono::steady_clock::now();
+  server_->Stop();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 90);
+  EXPECT_LT(elapsed.count(), 5000);
+  EXPECT_FALSE(client.Call({"info", v1}).ok());
   RemoveChain(prefix);
 }
 

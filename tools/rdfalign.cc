@@ -1,13 +1,15 @@
 // rdfalign — the command-line front end of the snapshot store + aligner.
 //
 //   rdfalign build <input> <output.snap>    text RDF -> binary snapshot
-//   rdfalign info <file>                    snapshot / delta / archive dump
+//   rdfalign info <file>                    snapshot/delta/archive/update dump
 //   rdfalign align <a> <b>                  align two graphs, print report
 //   rdfalign diff <base> <next> <out>       align and write a binary delta
 //   rdfalign patch <base> <delta> <out>     replay a delta onto a base
 //   rdfalign archive <out> <v1> <v2> ...    build + save a version archive
 //   rdfalign gen <out-prefix>               synthetic version chain (CI/demo)
+//   rdfalign updates <base> <next> <out>    write a streaming update fragment
 //   rdfalign client <endpoint> <command>    run a command on rdfalignd
+//   rdfalign stream <endpoint> ...          streaming session on rdfalignd
 //
 // This file is a transport adapter only: every verb is implemented in
 // src/service/verbs.{h,cc} as request/response functions shared with the
@@ -30,6 +32,9 @@ int main(int argc, char** argv) {
 
   if (!tokens.empty() && tokens[0] == "client") {
     return rdfalign::service::RunClientCommand(tokens);
+  }
+  if (!tokens.empty() && tokens[0] == "stream") {
+    return rdfalign::service::RunStreamCommand(tokens);
   }
 
   rdfalign::service::DirectGraphSource source;

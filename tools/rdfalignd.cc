@@ -1,6 +1,7 @@
 // rdfalignd — the resident alignment service.
 //
 //   rdfalignd [--port=N] [--host=A] [--workers=N] [--cache-mb=N]
+//             [--drain-ms=N]
 //
 // Serves every rdfalign verb over the length-prefixed TCP protocol of
 // src/service/protocol.h, with all graph loads going through one shared
@@ -8,8 +9,9 @@
 // later requests (from any connection) hit the resident copy. Drive it
 // with `rdfalign client <host:port|port> <command> [args]` — output and
 // exit codes match the one-shot CLI exactly. SIGTERM/SIGINT shut down
-// gracefully: in-flight requests complete and their responses are
-// delivered. See docs/service.md.
+// gracefully: the listener closes, then connected clients — including
+// idle connections and open `stream` sessions — keep being served until
+// they hang up or --drain-ms expires. See docs/service.md.
 
 #include <csignal>
 #include <cstdio>
@@ -27,11 +29,14 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: rdfalignd [--port=N] [--host=A] [--workers=N] [--cache-mb=N]\n"
+      "                 [--drain-ms=N]\n"
       "\n"
       "  --port=N      TCP port to listen on (default 7464; 0 = ephemeral)\n"
       "  --host=A      listen address (default 127.0.0.1)\n"
       "  --workers=N   concurrent connection handlers (default 4)\n"
-      "  --cache-mb=N  snapshot cache capacity in MiB (default 1024)\n");
+      "  --cache-mb=N  snapshot cache capacity in MiB (default 1024)\n"
+      "  --drain-ms=N  shutdown grace for connected clients (default "
+      "30000)\n");
   return 2;
 }
 
@@ -41,7 +46,8 @@ int main(int argc, char** argv) {
   const service::Args args(argc, argv, 1);
   std::string error;
   if (!args.positional().empty() ||
-      !args.OnlyKnown({"port", "host", "workers", "cache-mb"}, &error)) {
+      !args.OnlyKnown({"port", "host", "workers", "cache-mb", "drain-ms"},
+                      &error)) {
     if (!error.empty()) std::fprintf(stderr, "%s\n", error.c_str());
     return Usage();
   }
@@ -67,6 +73,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.cache_bytes = static_cast<uint64_t>(*cache_mb) << 20;
+  const std::optional<long long> drain_ms =
+      args.GetInt("drain-ms", 30000, &error);
+  if (!drain_ms || *drain_ms < 0 || *drain_ms > 600000) {
+    std::fprintf(stderr, "rdfalignd: --drain-ms must be in [0, 600000]\n");
+    return 2;
+  }
+  options.drain_ms = static_cast<uint64_t>(*drain_ms);
 
   // Shutdown signals are consumed synchronously below; block them in
   // every thread the server spawns by blocking before Start().
