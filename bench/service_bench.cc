@@ -54,6 +54,8 @@ struct PointResult {
   double miss_p50_ms = 0, miss_p95_ms = 0;
   double hit_p50_ms = 0, hit_p95_ms = 0;
   double hit_speedup_p50 = 0;
+  double guarded_hit_p50_ms = 0, guarded_hit_p95_ms = 0;
+  double guard_overhead_p50 = 0;
   size_t mixed_requests = 0;
   size_t mixed_clients = 0;
   double mixed_seconds = 0;
@@ -67,7 +69,8 @@ struct PointResult {
 /// different worker counts compare byte-equal.
 std::string ScrubTimings(const std::string& body) {
   static const std::regex volatile_line(
-      "[^\n]*(_ms\"|seconds\"|loaded in |phases \\(ms\\)|parse )[^\n]*\n");
+      "[^\n]*(_ms\"|seconds\"|loaded in |phases \\(ms\\)|parse |"
+      "align time )[^\n]*\n");
   return std::regex_replace(body, volatile_line, "");
 }
 
@@ -212,6 +215,48 @@ bool RunPoint(double scale_point, size_t clients, size_t requests,
   r.hit_p95_ms = Percentile(hit_ms, 0.95);
   r.hit_speedup_p50 = r.hit_p50_ms > 0 ? r.miss_p50_ms / r.hit_p50_ms : 0;
 
+  // Deadline/retry overhead on the happy path: the same warm-hit request
+  // against a server with every robustness guard armed (per-frame
+  // deadlines, connection cap, session linger) and a client carrying a
+  // timeout plus a retry budget, sent through the idempotent-retry
+  // wrapper. Nothing ever fires, so the ratio against hit_p50 is the
+  // pure bookkeeping cost of the fault-tolerance layer (docs/robustness.md).
+  {
+    service::ServerOptions guarded_opts;
+    guarded_opts.port = 0;
+    guarded_opts.worker_threads = std::max<size_t>(clients, 2);
+    guarded_opts.io_timeout_ms = 5000;
+    guarded_opts.max_conns = 256;
+    guarded_opts.session_linger_ms = 1000;
+    service::Server guarded(guarded_opts);
+    if (!guarded.Start().ok()) return false;
+    service::ClientOptions copts;
+    copts.timeout_ms = 5000;
+    copts.retries = 2;
+    Result<service::Client> gclient =
+        service::Client::Connect("127.0.0.1", guarded.port(), copts);
+    if (!gclient.ok()) return false;
+    std::vector<double> guarded_ms;
+    if (!TimedCall(*gclient, {"info", v1, "--json"}, nullptr)) return false;
+    for (size_t i = 0; i < samples; ++i) {
+      WallTimer timer;
+      Result<service::ClientResponse> resp =
+          gclient->CallIdempotent({"info", v1, "--json"});
+      const double ms = timer.ElapsedMillis();
+      if (!resp.ok() || resp->exit_code != 0) {
+        std::fprintf(stderr, "service_bench: guarded info failed\n");
+        return false;
+      }
+      guarded_ms.push_back(ms);
+    }
+    r.guarded_hit_p50_ms = Percentile(guarded_ms, 0.50);
+    r.guarded_hit_p95_ms = Percentile(guarded_ms, 0.95);
+    r.guard_overhead_p50 =
+        r.hit_p50_ms > 0 ? r.guarded_hit_p50_ms / r.hit_p50_ms : 0;
+    gclient->Close();
+    guarded.Stop();
+  }
+
   // Mixed concurrent traffic: every client connection interleaves cheap
   // info hits with full aligns, all against the shared cache.
   std::atomic<int> failures{0};
@@ -320,6 +365,12 @@ bool WriteJson(const std::string& path, const std::vector<PointResult>& points,
     std::fprintf(f, "      \"hit_p50_ms\": %.3f,\n", r.hit_p50_ms);
     std::fprintf(f, "      \"hit_p95_ms\": %.3f,\n", r.hit_p95_ms);
     std::fprintf(f, "      \"hit_speedup_p50\": %.2f,\n", r.hit_speedup_p50);
+    std::fprintf(f, "      \"guarded_hit_p50_ms\": %.3f,\n",
+                 r.guarded_hit_p50_ms);
+    std::fprintf(f, "      \"guarded_hit_p95_ms\": %.3f,\n",
+                 r.guarded_hit_p95_ms);
+    std::fprintf(f, "      \"guard_overhead_p50\": %.2f,\n",
+                 r.guard_overhead_p50);
     std::fprintf(f, "      \"mixed_clients\": %zu,\n", r.mixed_clients);
     std::fprintf(f, "      \"mixed_requests\": %zu,\n", r.mixed_requests);
     std::fprintf(f, "      \"mixed_seconds\": %.3f,\n", r.mixed_seconds);
@@ -368,7 +419,7 @@ int main(int argc, char** argv) {
   }
 
   bench::TablePrinter table({"scale", "triples", "miss_p50", "hit_p50",
-                             "speedup", "rps", "sweep"});
+                             "speedup", "guard", "rps", "sweep"});
   std::vector<PointResult> points;
   for (double point : scale_points) {
     PointResult r;
@@ -380,6 +431,7 @@ int main(int argc, char** argv) {
                bench::Fmt("%.3f", r.miss_p50_ms),
                bench::Fmt("%.3f", r.hit_p50_ms),
                bench::Fmt("%.1fx", r.hit_speedup_p50),
+               bench::Fmt("%.2fx", r.guard_overhead_p50),
                bench::Fmt("%.0f", r.mixed_rps),
                r.sweep_equal ? "yes" : "NO"});
     points.push_back(r);

@@ -28,11 +28,15 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "bench/harness.h"
 #include "core/aligner.h"
 #include "gen/category_gen.h"
+#include "store/atomic_writer.h"
 #include "store/update_fragment.h"
 #include "stream/stream_aligner.h"
+#include "util/fault_injector.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -55,6 +59,9 @@ struct PointResult {
   size_t dirty_total = 0;
   double realign_ms = 0;       // batch align of (v1, v_final)
   double realign_speedup = 0;  // realign_ms / mean step ms
+  double fragment_write_p50_ms = 0;        // durable atomic fragment write
+  double fragment_write_armed_p50_ms = 0;  // same, failpoints armed (idle)
+  double failpoint_overhead_p50 = 0;       // armed / unarmed
   bool equivalent = false;
   size_t live_nodes = 0, classes = 0;
 };
@@ -87,6 +94,7 @@ bool RunPoint(double scale_point, size_t versions, uint64_t seed,
   stream::StreamAligner& aligner = **session;
 
   std::vector<double> step_ms;
+  std::string last_image;
   for (size_t v = 1; v < chain.NumVersions(); ++v) {
     Result<store::UpdateBatch> batch = store::BuildUpdateBatch(
         chain.Version(v - 1), chain.Version(v), /*sequence=*/v);
@@ -100,6 +108,7 @@ bool RunPoint(double scale_point, size_t versions, uint64_t seed,
     Result<std::string> image = store::EncodeUpdateBatch(*batch);
     if (!image.ok()) return false;
     r.fragment_bytes += image->size();
+    last_image = std::move(*image);
 
     WallTimer step_timer;
     Result<stream::StreamBatchResult> step = aligner.Apply(*batch);
@@ -137,6 +146,49 @@ bool RunPoint(double scale_point, size_t versions, uint64_t seed,
   const double mean_step_ms =
       r.batches > 0 ? r.apply_seconds * 1000.0 / r.batches : 0;
   r.realign_speedup = mean_step_ms > 0 ? r.realign_ms / mean_step_ms : 0;
+
+  // Failpoint overhead on the happy path: the durable atomic fragment
+  // write (temp + fsync + rename, docs/robustness.md) timed with the
+  // fault injector disarmed and then armed at an ordinal it never
+  // reaches. The ratio is what a production daemon pays for keeping the
+  // failpoints compiled in and armed.
+  {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "rdfalign_stream_bench.upd")
+            .string();
+    constexpr size_t kWriteSamples = 15;
+    std::vector<double> plain_ms, armed_ms;
+    for (size_t i = 0; i < kWriteSamples; ++i) {
+      WallTimer t;
+      if (!store::AtomicWriteFile(path, last_image.data(), last_image.size(),
+                                  "update fragment")
+               .ok()) {
+        return false;
+      }
+      plain_ms.push_back(t.ElapsedMillis());
+    }
+    if (!FaultInjector::ArmFromSpec("store.write@1000000000=error").ok()) {
+      return false;
+    }
+    for (size_t i = 0; i < kWriteSamples; ++i) {
+      WallTimer t;
+      if (!store::AtomicWriteFile(path, last_image.data(), last_image.size(),
+                                  "update fragment")
+               .ok()) {
+        FaultInjector::Reset();
+        return false;
+      }
+      armed_ms.push_back(t.ElapsedMillis());
+    }
+    FaultInjector::Reset();
+    std::filesystem::remove(path);
+    r.fragment_write_p50_ms = Percentile(plain_ms, 0.50);
+    r.fragment_write_armed_p50_ms = Percentile(armed_ms, 0.50);
+    r.failpoint_overhead_p50 =
+        r.fragment_write_p50_ms > 0
+            ? r.fragment_write_armed_p50_ms / r.fragment_write_p50_ms
+            : 0;
+  }
 
   // The acceptance gate: the live partition must match the batch path.
   Result<stream::StreamCheckResult> check =
@@ -195,6 +247,12 @@ bool WriteJson(const std::string& path, const std::vector<PointResult>& points,
     std::fprintf(f, "      \"dirty_resignings\": %zu,\n", r.dirty_total);
     std::fprintf(f, "      \"realign_ms\": %.2f,\n", r.realign_ms);
     std::fprintf(f, "      \"realign_speedup\": %.1f,\n", r.realign_speedup);
+    std::fprintf(f, "      \"fragment_write_p50_ms\": %.3f,\n",
+                 r.fragment_write_p50_ms);
+    std::fprintf(f, "      \"fragment_write_armed_p50_ms\": %.3f,\n",
+                 r.fragment_write_armed_p50_ms);
+    std::fprintf(f, "      \"failpoint_overhead_p50\": %.2f,\n",
+                 r.failpoint_overhead_p50);
     std::fprintf(f, "      \"live_nodes\": %zu,\n", r.live_nodes);
     std::fprintf(f, "      \"classes\": %zu,\n", r.classes);
     std::fprintf(f, "      \"equivalent\": %s\n",

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "store/atomic_writer.h"
 #include "util/string_util.h"
 
 namespace rdfalign {
@@ -47,11 +48,14 @@ std::string NTriplesToString(const TripleGraph& g) {
 }
 
 Status WriteNTriplesFile(const TripleGraph& g, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::IOError("cannot open file for writing: " + path);
+  store::AtomicFileWriter writer(path, "N-Triples");
+  RDFALIGN_RETURN_IF_ERROR(writer.Open());
+  Status st = WriteNTriples(g, writer.stream());
+  if (!st.ok()) {
+    Status io = writer.status();
+    return io.ok() ? st : io;
   }
-  return WriteNTriples(g, out);
+  return writer.Commit();
 }
 
 }  // namespace rdfalign

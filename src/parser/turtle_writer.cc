@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "store/atomic_writer.h"
 #include "util/string_util.h"
 
 namespace rdfalign {
@@ -172,11 +173,14 @@ std::string TurtleToString(const TripleGraph& g,
 
 Status WriteTurtleFile(const TripleGraph& g, const std::string& path,
                        const TurtleWriteOptions& options) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::IOError("cannot open file for writing: " + path);
+  store::AtomicFileWriter writer(path, "Turtle");
+  RDFALIGN_RETURN_IF_ERROR(writer.Open());
+  Status st = WriteTurtle(g, writer.stream(), options);
+  if (!st.ok()) {
+    Status io = writer.status();
+    return io.ok() ? st : io;
   }
-  return WriteTurtle(g, out, options);
+  return writer.Commit();
 }
 
 }  // namespace rdfalign

@@ -14,6 +14,18 @@
 
 namespace rdfalign::service {
 
+/// Resilience knobs for a client connection. Defaults reproduce the
+/// original behavior: block forever, never retry.
+struct ClientOptions {
+  /// Connect + per-frame I/O deadline in ms; 0 blocks forever.
+  int timeout_ms = 0;
+  /// Extra attempts after a failure (connect always; requests only via
+  /// CallIdempotent — write verbs are never retried automatically).
+  int retries = 0;
+  /// Base of the jittered exponential backoff between attempts.
+  int retry_backoff_ms = 100;
+};
+
 /// One decoded daemon response (envelope + body).
 struct ClientResponse {
   bool ok = false;
@@ -37,8 +49,12 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects to host:port (IPv4 dotted quad or "localhost").
-  static Result<Client> Connect(const std::string& host, int port);
+  /// Connects to host:port (IPv4 dotted quad or "localhost"). With
+  /// options.retries > 0 a failed connect is retried with jittered
+  /// exponential backoff; options.timeout_ms bounds each attempt and all
+  /// later frame I/O on the connection.
+  static Result<Client> Connect(const std::string& host, int port,
+                                const ClientOptions& options = {});
 
   /// Sends one verb invocation (verb first, args as the CLI would see
   /// them) and reads the response pair.
@@ -50,14 +66,38 @@ class Client {
   Result<ClientResponse> CallWithPayload(
       const std::vector<std::string>& tokens, const std::string& payload);
 
+  /// Call for idempotent verbs only (info, align, cache, stats): a
+  /// transport failure reconnects to the same endpoint and re-sends the
+  /// request, up to options.retries times with jittered backoff. Never
+  /// use for verbs with side effects — a retry could apply them twice.
+  Result<ClientResponse> CallIdempotent(
+      const std::vector<std::string>& tokens);
+
+  /// Drops the current connection (if any) and dials the endpoint that
+  /// Connect recorded. One attempt; the caller owns the retry policy.
+  Status Reconnect();
+
   void Close();
   bool connected() const { return fd_ >= 0; }
+  const ClientOptions& options() const { return options_; }
 
  private:
   Result<ClientResponse> ReadResponse();
 
   int fd_ = -1;
+  std::string host_;
+  int port_ = 0;
+  ClientOptions options_;
 };
+
+/// True when `verb` (the first forwarded token) is read-only and safe to
+/// auto-retry through CallIdempotent.
+bool IsIdempotentVerb(const std::string& verb);
+
+/// Jittered exponential backoff: a uniformly random delay in
+/// [1, base * 2^attempt], capped at 5s. Exposed for the retry loops in
+/// client.cc and the fault-injection tests.
+int RetryBackoffMs(int base_ms, int attempt);
 
 /// Splits "host:port" or bare "port" (host defaults to 127.0.0.1).
 /// InvalidArgument when the port is not a number in [1, 65535].

@@ -20,9 +20,15 @@ void ServerMetrics::Record(const std::string& verb, bool error,
   }
 }
 
+void ServerMetrics::Bump(uint64_t TransportCounters::*field) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++(transport_.*field);
+}
+
 ServerMetrics::Snapshot ServerMetrics::Take() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot out;
+  out.transport = transport_;
   for (const auto& [verb, s] : verbs_) {
     VerbSnapshot v;
     v.verb = verb;
@@ -49,6 +55,18 @@ std::string StatsToJson(const ServerMetrics::Snapshot& s) {
             (unsigned long long)s.total_requests);
   b.Appendf("  \"total_errors\": %llu,\n",
             (unsigned long long)s.total_errors);
+  const TransportCounters& t = s.transport;
+  b.Appendf(
+      "  \"transport\": {\"accept_retries\": %llu, \"load_shed\": %llu, "
+      "\"io_timeouts\": %llu, \"protocol_errors\": %llu, "
+      "\"sessions_parked\": %llu, \"sessions_resumed\": %llu, "
+      "\"sessions_expired\": %llu},\n",
+      (unsigned long long)t.accept_retries, (unsigned long long)t.load_shed,
+      (unsigned long long)t.io_timeouts,
+      (unsigned long long)t.protocol_errors,
+      (unsigned long long)t.sessions_parked,
+      (unsigned long long)t.sessions_resumed,
+      (unsigned long long)t.sessions_expired);
   b.Appendf("  \"verbs\": [\n");
   for (size_t i = 0; i < s.verbs.size(); ++i) {
     const auto& v = s.verbs[i];
@@ -69,6 +87,16 @@ std::string StatsToText(const ServerMetrics::Snapshot& s) {
   b.Appendf("rdfalignd stats: %llu requests, %llu errors\n",
             (unsigned long long)s.total_requests,
             (unsigned long long)s.total_errors);
+  const TransportCounters& t = s.transport;
+  b.Appendf(
+      "  transport accept_retries=%llu load_shed=%llu io_timeouts=%llu "
+      "protocol_errors=%llu parked=%llu resumed=%llu expired=%llu\n",
+      (unsigned long long)t.accept_retries, (unsigned long long)t.load_shed,
+      (unsigned long long)t.io_timeouts,
+      (unsigned long long)t.protocol_errors,
+      (unsigned long long)t.sessions_parked,
+      (unsigned long long)t.sessions_resumed,
+      (unsigned long long)t.sessions_expired);
   for (const auto& v : s.verbs) {
     b.Appendf(
         "  %-8s requests=%-6llu errors=%-4llu p50=%.3fms p95=%.3fms "

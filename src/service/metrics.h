@@ -22,6 +22,18 @@
 
 namespace rdfalign::service {
 
+/// Transport-level health counters — events that happen before (or
+/// instead of) verb dispatch, so the per-verb table cannot see them.
+struct TransportCounters {
+  uint64_t accept_retries = 0;   ///< transient accept() failures survived
+  uint64_t load_shed = 0;        ///< connections rejected over --max-conns
+  uint64_t io_timeouts = 0;      ///< frame I/O that hit --io-timeout-ms
+  uint64_t protocol_errors = 0;  ///< malformed frames / mid-frame hangups
+  uint64_t sessions_parked = 0;  ///< stream sessions kept after hangup
+  uint64_t sessions_resumed = 0; ///< parked sessions reclaimed by resume
+  uint64_t sessions_expired = 0; ///< parked sessions reaped at linger end
+};
+
 class ServerMetrics {
  public:
   /// Per-verb sample ring capacity; beyond it the oldest samples are
@@ -30,6 +42,10 @@ class ServerMetrics {
 
   /// Records one finished request. Thread-safe.
   void Record(const std::string& verb, bool error, double latency_ms);
+
+  /// Bumps one transport counter, e.g.
+  /// `metrics.Bump(&TransportCounters::load_shed)`. Thread-safe.
+  void Bump(uint64_t TransportCounters::*field);
 
   struct VerbSnapshot {
     std::string verb;
@@ -45,6 +61,7 @@ class ServerMetrics {
   struct Snapshot {
     uint64_t total_requests = 0;
     uint64_t total_errors = 0;
+    TransportCounters transport;
     std::vector<VerbSnapshot> verbs;  ///< sorted by verb name
   };
 
@@ -61,6 +78,7 @@ class ServerMetrics {
 
   mutable std::mutex mu_;
   std::map<std::string, VerbStats> verbs_;
+  TransportCounters transport_;
 };
 
 /// The `stats` admin verb: `stats [--json]`. Handled by the server before

@@ -1,23 +1,95 @@
 #include "service/protocol.h"
 
+#include <poll.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 
+#include "util/fault_injector.h"
+
 namespace rdfalign::service {
 
 namespace {
 
-Status WriteAll(int fd, const void* data, size_t size) {
+constexpr char kTimeoutPrefix[] = "socket timeout";
+
+int64_t NowMs() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+/// A whole-frame deadline: 0 means "no deadline" and every wait blocks.
+struct Deadline {
+  int64_t at_ms = 0;
+
+  static Deadline After(int timeout_ms) {
+    Deadline d;
+    if (timeout_ms > 0) d.at_ms = NowMs() + timeout_ms;
+    return d;
+  }
+
+  /// Blocks until `fd` is ready for `events` or the deadline passes.
+  /// Returns OK when ready, the timeout status on expiry.
+  Status Wait(int fd, short events) const {
+    if (at_ms == 0) return Status::OK();
+    while (true) {
+      const int64_t left = at_ms - NowMs();
+      if (left <= 0) {
+        return Status::IOError(std::string(kTimeoutPrefix) +
+                               (events == POLLIN ? " (read)" : " (write)"));
+      }
+      pollfd pfd{fd, events, 0};
+      const int rc = ::poll(&pfd, 1, static_cast<int>(left));
+      if (rc > 0) return Status::OK();
+      if (rc < 0 && errno != EINTR) {
+        return Status::IOError(std::string("socket poll: ") +
+                               std::strerror(errno));
+      }
+      // rc == 0 (poll timeout) loops back to re-check the deadline.
+    }
+  }
+};
+
+/// Applies an armed `socket.read` / `socket.write` fault to a pending
+/// transfer of `size` bytes. Returns -1 with errno set for error/EINTR
+/// faults; otherwise clamps `size` (short mode) and returns 0.
+int ApplySocketFault(const char* point, size_t* size) {
+  const FaultAction a = FaultInjector::Hit(point);
+  switch (a.kind) {
+    case FaultAction::kNone:
+      break;
+    case FaultAction::kError:
+      errno = a.error_errno;
+      return -1;
+    case FaultAction::kEintr:
+      errno = EINTR;
+      return -1;
+    case FaultAction::kShort:
+      if (*size > 1) *size = 1;
+      break;
+  }
+  return 0;
+}
+
+Status WriteAll(int fd, const void* data, size_t size,
+                const Deadline& deadline) {
   const char* p = static_cast<const char*>(data);
   while (size > 0) {
-    // MSG_NOSIGNAL: a peer that hung up mid-write must surface as EPIPE,
-    // not kill the process — callers (daemon and client) handle the error.
-    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    RDFALIGN_RETURN_IF_ERROR(deadline.Wait(fd, POLLOUT));
+    size_t chunk = size;
+    ssize_t n = ApplySocketFault("socket.write", &chunk);
+    if (n == 0) {
+      // MSG_NOSIGNAL: a peer that hung up mid-write must surface as
+      // EPIPE, not kill the process — callers handle the error.
+      n = ::send(fd, p, chunk, MSG_NOSIGNAL);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Status::IOError(std::string("socket write: ") +
                              std::strerror(errno));
     }
@@ -29,13 +101,24 @@ Status WriteAll(int fd, const void* data, size_t size) {
 
 /// Reads exactly `size` bytes. Returns 0 on success, 1 on EOF before the
 /// first byte, and an IOError Status via `*error` otherwise.
-int ReadAll(int fd, void* data, size_t size, Status* error) {
+int ReadAll(int fd, void* data, size_t size, const Deadline& deadline,
+            Status* error) {
   char* p = static_cast<char*>(data);
   size_t got = 0;
   while (got < size) {
-    const ssize_t n = ::read(fd, p + got, size - got);
+    Status wait = deadline.Wait(fd, POLLIN);
+    if (!wait.ok()) {
+      *error = std::move(wait);
+      return 2;
+    }
+    size_t chunk = size - got;
+    ssize_t n = ApplySocketFault("socket.read", &chunk);
+    if (n == 0) {
+      n = ::read(fd, p + got, chunk);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       *error = Status::IOError(std::string("socket read: ") +
                                std::strerror(errno));
       return 2;
@@ -52,10 +135,16 @@ int ReadAll(int fd, void* data, size_t size, Status* error) {
 
 }  // namespace
 
-Status WriteFrame(int fd, const std::string& payload) {
+bool IsTimeout(const Status& status) {
+  return status.IsIOError() &&
+         status.message().rfind(kTimeoutPrefix, 0) == 0;
+}
+
+Status WriteFrame(int fd, const std::string& payload, int timeout_ms) {
   if (payload.size() > kMaxFrameBytes) {
     return Status::InvalidArgument("frame too large");
   }
+  const Deadline deadline = Deadline::After(timeout_ms);
   const uint32_t len = static_cast<uint32_t>(payload.size());
   unsigned char header[4] = {
       static_cast<unsigned char>(len & 0xff),
@@ -63,14 +152,15 @@ Status WriteFrame(int fd, const std::string& payload) {
       static_cast<unsigned char>((len >> 16) & 0xff),
       static_cast<unsigned char>((len >> 24) & 0xff),
   };
-  RDFALIGN_RETURN_IF_ERROR(WriteAll(fd, header, sizeof(header)));
-  return WriteAll(fd, payload.data(), payload.size());
+  RDFALIGN_RETURN_IF_ERROR(WriteAll(fd, header, sizeof(header), deadline));
+  return WriteAll(fd, payload.data(), payload.size(), deadline);
 }
 
-Result<bool> ReadFrame(int fd, std::string* payload) {
+Result<bool> ReadFrame(int fd, std::string* payload, int timeout_ms) {
+  const Deadline deadline = Deadline::After(timeout_ms);
   unsigned char header[4];
   Status error = Status::OK();
-  const int rc = ReadAll(fd, header, sizeof(header), &error);
+  const int rc = ReadAll(fd, header, sizeof(header), deadline, &error);
   if (rc == 1) return false;
   if (rc != 0) return error;
   const uint32_t len = static_cast<uint32_t>(header[0]) |
@@ -83,7 +173,7 @@ Result<bool> ReadFrame(int fd, std::string* payload) {
   }
   payload->resize(len);
   if (len > 0) {
-    const int body_rc = ReadAll(fd, payload->data(), len, &error);
+    const int body_rc = ReadAll(fd, payload->data(), len, deadline, &error);
     if (body_rc == 1) return Status::IOError("socket closed mid-frame");
     if (body_rc != 0) return error;
   }

@@ -17,6 +17,18 @@
 //
 // Connections are persistent: a client may send any number of requests
 // and closes by shutting down its write side (the server sees EOF).
+//
+// Deadlines: both frame helpers take an optional `timeout_ms`. Zero (the
+// default) blocks forever — existing callers are unchanged. A positive
+// value starts a deadline when the helper is entered and covers the WHOLE
+// frame (header + payload), so a peer that trickles one byte per minute
+// cannot hold a worker hostage; expiry surfaces as an IOError whose
+// message starts with "socket timeout" (test with IsTimeout).
+//
+// Fault injection: the underlying read/send syscalls sit behind the
+// `socket.read` / `socket.write` failpoints (util/fault_injector.h) so
+// tests can force errors, short transfers, and EINTR storms at any frame
+// position without a cooperating peer.
 
 #ifndef RDFALIGN_SERVICE_PROTOCOL_H_
 #define RDFALIGN_SERVICE_PROTOCOL_H_
@@ -35,12 +47,18 @@ namespace rdfalign::service {
 constexpr uint32_t kMaxFrameBytes = 64u << 20;
 
 /// Writes one frame; loops over partial writes. IOError on failure.
-Status WriteFrame(int fd, const std::string& payload);
+/// `timeout_ms` > 0 bounds the whole frame write.
+Status WriteFrame(int fd, const std::string& payload, int timeout_ms = 0);
 
 /// Reads one frame into `payload`. Returns false on clean EOF before the
 /// first length byte; IOError on mid-frame EOF or read failure;
-/// InvalidArgument on an oversized length prefix.
-Result<bool> ReadFrame(int fd, std::string* payload);
+/// InvalidArgument on an oversized length prefix. `timeout_ms` > 0 bounds
+/// the whole frame read (header + payload together).
+Result<bool> ReadFrame(int fd, std::string* payload, int timeout_ms = 0);
+
+/// True when `status` is the deadline expiry produced by WriteFrame /
+/// ReadFrame with a positive timeout.
+bool IsTimeout(const Status& status);
 
 /// argv tokens <-> newline-separated request payload.
 std::string EncodeRequest(const std::vector<std::string>& tokens);

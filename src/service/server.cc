@@ -100,15 +100,57 @@ Status Server::Start() {
   return Status::OK();
 }
 
+void Server::ReapExpiredSessions() {
+  size_t reaped = sessions_.ReapExpired(SteadyNowMs());
+  while (reaped-- > 0) metrics_.Bump(&TransportCounters::sessions_expired);
+}
+
+/// Over the connection cap: answers with a clean load-shed error so the
+/// client fails fast with a message instead of a hang or a reset, then
+/// closes. Runs on the accept thread, so the write gets a short deadline
+/// of its own — a malicious peer must not stall accepting.
+bool Server::ShouldShed(int fd) {
+  if (options_.max_conns == 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (connections_.size() < options_.max_conns) return false;
+  }
+  metrics_.Bump(&TransportCounters::load_shed);
+  VerbResult shed;
+  shed.verb = "(overload)";
+  shed.exit_code = 1;
+  shed.error = "server is at its connection limit (--max-conns " +
+               std::to_string(options_.max_conns) + "); retry later";
+  (void)WriteFrame(fd, BuildEnvelope(shed), 1000);
+  (void)WriteFrame(fd, "", 1000);
+  ::close(fd);
+  return true;
+}
+
 void Server::AcceptLoop() {
   while (true) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      // The peer aborted between SYN and accept: nothing to serve,
+      // nothing wrong with the listener.
+      if (errno == ECONNABORTED) continue;
+      // Resource exhaustion (fd table or kernel memory) is transient:
+      // back off briefly so in-flight connections can close and free
+      // resources, then keep accepting. Exiting here would turn a burst
+      // of load into a permanently deaf daemon.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        metrics_.Bump(&TransportCounters::accept_retries);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
       return;  // listener closed (Stop) or fatal error
     }
+    ReapExpiredSessions();
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (ShouldShed(fd)) continue;
     std::lock_guard<std::mutex> lock(mu_);
     if (draining_) {
       ::close(fd);
@@ -141,14 +183,27 @@ void Server::WorkerLoop() {
 }
 
 void Server::ServeConnection(int fd) {
+  const int timeout = static_cast<int>(options_.io_timeout_ms);
   std::string payload;
   // The connection's streaming-alignment session, if any (stream_verbs.h).
-  // Owned here so a dropped connection always releases its aligner.
+  // Owned here so a dropped connection always releases its aligner — or,
+  // with --session-linger-ms, parks it for `stream resume` (below).
   std::unique_ptr<StreamSession> stream_session;
+  // A failed frame I/O never crashes the worker: it ends this connection
+  // and shows up in the transport counters.
+  auto transport_error = [&](const Status& st) {
+    metrics_.Bump(IsTimeout(st) ? &TransportCounters::io_timeouts
+                                : &TransportCounters::protocol_errors);
+  };
   while (true) {
-    Result<bool> more = ReadFrame(fd, &payload);
-    if (!more.ok() || !*more) return;  // EOF or broken connection
+    Result<bool> more = ReadFrame(fd, &payload, timeout);
+    if (!more.ok()) {
+      transport_error(more.status());
+      break;
+    }
+    if (!*more) break;  // clean EOF at a frame boundary
     const std::vector<std::string> tokens = DecodeRequest(payload);
+    ReapExpiredSessions();
     WallTimer timer;
     VerbResult result;
     if (!tokens.empty() && tokens[0] == "stream") {
@@ -156,10 +211,23 @@ void Server::ServeConnection(int fd) {
       // extra frame holding the binary update fragment.
       std::string fragment;
       if (tokens.size() >= 2 && tokens[1] == "push") {
-        Result<bool> have = ReadFrame(fd, &fragment);
-        if (!have.ok() || !*have) return;
+        Result<bool> have = ReadFrame(fd, &fragment, timeout);
+        if (!have.ok()) {
+          transport_error(have.status());
+          break;
+        }
+        if (!*have) {
+          // EOF where the protocol promised a payload frame.
+          metrics_.Bump(&TransportCounters::protocol_errors);
+          break;
+        }
       }
-      result = HandleStreamVerb(tokens, fragment, &stream_session, &cache_);
+      result = HandleStreamVerb(tokens, fragment, &stream_session, &cache_,
+                                &sessions_);
+      if (tokens.size() >= 2 && tokens[1] == "resume" &&
+          result.exit_code == 0) {
+        metrics_.Bump(&TransportCounters::sessions_resumed);
+      }
     } else if (!tokens.empty() && tokens[0] == "stats") {
       result = HandleStatsVerb(tokens, metrics_);
     } else {
@@ -167,8 +235,27 @@ void Server::ServeConnection(int fd) {
     }
     metrics_.Record(tokens.empty() ? "(empty)" : tokens[0],
                     result.exit_code != 0, timer.ElapsedMillis());
-    if (!WriteFrame(fd, BuildEnvelope(result)).ok()) return;
-    if (!WriteFrame(fd, result.output).ok()) return;
+    Status sent = WriteFrame(fd, BuildEnvelope(result), timeout);
+    if (sent.ok()) sent = WriteFrame(fd, result.output, timeout);
+    if (!sent.ok()) {
+      transport_error(sent);
+      break;
+    }
+  }
+  // Park a live stream session for later resume — unless linger is off or
+  // the server is draining (a parked session would never be claimable).
+  if (stream_session != nullptr && options_.session_linger_ms > 0) {
+    bool draining;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      draining = draining_;
+    }
+    if (!draining &&
+        sessions_.Park(std::move(stream_session),
+                       SteadyNowMs() +
+                           static_cast<int64_t>(options_.session_linger_ms))) {
+      metrics_.Bump(&TransportCounters::sessions_parked);
+    }
   }
 }
 

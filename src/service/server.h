@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "service/metrics.h"
+#include "service/session_registry.h"
 #include "service/snapshot_cache.h"
 #include "util/result.h"
 
@@ -45,6 +46,19 @@ struct ServerOptions {
   /// How long Stop() waits for connected clients to finish and hang up
   /// before forcing the remaining connections shut.
   uint64_t drain_ms = 30000;
+  /// Per-frame read/write deadline on every connection. A peer that
+  /// cannot complete a frame (trickling bytes, hung, or idle between
+  /// requests) within this window is evicted and counted in
+  /// transport.io_timeouts. 0 disables deadlines (the default).
+  uint64_t io_timeout_ms = 0;
+  /// Maximum concurrently open connections. Beyond it, new connections
+  /// receive a clean load-shed error response and are closed immediately
+  /// (transport.load_shed). 0 means unlimited (the default).
+  size_t max_conns = 0;
+  /// How long a disconnected stream session stays resumable via
+  /// `stream resume <token>` before it is reaped. 0 (the default) keeps
+  /// the original behavior: sessions die with their connection.
+  uint64_t session_linger_ms = 0;
 };
 
 class Server {
@@ -66,15 +80,19 @@ class Server {
 
   SnapshotCache* cache() { return &cache_; }
   const ServerMetrics& metrics() const { return metrics_; }
+  StreamSessionRegistry* sessions() { return &sessions_; }
 
  private:
   void AcceptLoop();
   void WorkerLoop();
   void ServeConnection(int fd);
+  void ReapExpiredSessions();
+  bool ShouldShed(int fd);
 
   const ServerOptions options_;
   SnapshotCache cache_;
   ServerMetrics metrics_;
+  StreamSessionRegistry sessions_;  ///< parked resumable stream sessions
 
   int listen_fd_ = -1;
   int port_ = 0;

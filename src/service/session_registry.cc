@@ -1,0 +1,73 @@
+#include "service/session_registry.h"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <random>
+#include <utility>
+
+namespace rdfalign::service {
+
+int64_t SteadyNowMs() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+std::string GenerateSessionToken() {
+  // random_device entropy mixed with pid and a counter: tokens must be
+  // unguessable (they gate session takeover) and unique within a daemon
+  // even if random_device is weak on this platform.
+  static std::atomic<uint64_t> counter{0};
+  std::random_device rd;
+  uint64_t mix = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  mix ^= static_cast<uint64_t>(::getpid()) << 48;
+  mix ^= counter.fetch_add(1, std::memory_order_relaxed) * 0x9e3779b97f4a7c15ULL;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "st-%016llx", (unsigned long long)mix);
+  return std::string(buf);
+}
+
+bool StreamSessionRegistry::Park(std::unique_ptr<StreamSession> session,
+                                 int64_t expires_at_ms) {
+  if (session == nullptr || session->token.empty()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = parked_.try_emplace(session->token);
+  if (!inserted) return false;
+  it->second.session = std::move(session);
+  it->second.expires_at_ms = expires_at_ms;
+  return true;
+}
+
+std::unique_ptr<StreamSession> StreamSessionRegistry::Claim(
+    const std::string& token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = parked_.find(token);
+  if (it == parked_.end()) return nullptr;
+  std::unique_ptr<StreamSession> out = std::move(it->second.session);
+  parked_.erase(it);
+  return out;
+}
+
+size_t StreamSessionRegistry::ReapExpired(int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t reaped = 0;
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    if (it->second.expires_at_ms <= now_ms) {
+      it = parked_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+size_t StreamSessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parked_.size();
+}
+
+}  // namespace rdfalign::service

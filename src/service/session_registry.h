@@ -1,0 +1,65 @@
+// StreamSessionRegistry: parked streaming sessions that survive their
+// connection.
+//
+// When the daemon runs with --session-linger-ms > 0 and a connection with
+// an open stream session drops (client crash, network cut, io-timeout
+// eviction), the server parks the session here instead of destroying it.
+// The session stays claimable by `stream resume <token>` until the linger
+// deadline, after which it is reaped. Tokens are unguessable random
+// identifiers handed out by `stream open`; claiming is destructive (a
+// token resumes at most one connection at a time — the session moves back
+// to connection ownership).
+//
+// Reaping is lazy: the server sweeps expired sessions on every accept and
+// request, so an idle daemon holds an expired aligner only until the next
+// connection arrives. All methods are thread-safe.
+
+#ifndef RDFALIGN_SERVICE_SESSION_REGISTRY_H_
+#define RDFALIGN_SERVICE_SESSION_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "service/stream_verbs.h"
+
+namespace rdfalign::service {
+
+/// Monotonic milliseconds for linger deadlines (CLOCK_MONOTONIC — immune
+/// to wall-clock steps).
+int64_t SteadyNowMs();
+
+/// A fresh unguessable session token ("st-" + 16 hex digits).
+std::string GenerateSessionToken();
+
+class StreamSessionRegistry {
+ public:
+  /// Parks `session` under its token until `expires_at_ms`. Returns false
+  /// (and destroys the session) on a token collision — callers treat that
+  /// as "not parked".
+  bool Park(std::unique_ptr<StreamSession> session, int64_t expires_at_ms);
+
+  /// Removes and returns the parked session for `token`, or nullptr if
+  /// unknown (never parked, already claimed, or reaped).
+  std::unique_ptr<StreamSession> Claim(const std::string& token);
+
+  /// Destroys every session whose deadline passed. Returns how many.
+  size_t ReapExpired(int64_t now_ms);
+
+  size_t size() const;
+
+ private:
+  struct Parked {
+    std::unique_ptr<StreamSession> session;
+    int64_t expires_at_ms = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Parked> parked_;
+};
+
+}  // namespace rdfalign::service
+
+#endif  // RDFALIGN_SERVICE_SESSION_REGISTRY_H_

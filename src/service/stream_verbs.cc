@@ -5,6 +5,7 @@
 #include "rdf/term.h"
 #include "service/graph_source.h"
 #include "service/json.h"
+#include "service/session_registry.h"
 #include "store/update_fragment.h"
 
 namespace rdfalign::service {
@@ -66,6 +67,7 @@ std::string OpenToJson(const StreamSession& s) {
   JsonBuf b;
   b.Appendf("{\n");
   b.Appendf("  \"stream\": \"open\",\n");
+  b.Appendf("  \"session\": \"%s\",\n", JsonEscape(s.token).c_str());
   b.Appendf("  \"source\": \"%s\",\n", JsonEscape(s.source_path).c_str());
   b.Appendf("  \"target\": \"%s\",\n", JsonEscape(s.target_path).c_str());
   b.Appendf("  \"method\": \"%s\",\n",
@@ -93,6 +95,29 @@ std::string OpenToText(const StreamSession& s) {
   b.Appendf("  initial fixpoint: %zu iterations, %zu classes, %zu pairs\n",
             a.open_stats().iterations, a.open_stats().final_classes,
             a.CurrentPairs().size());
+  b.Appendf("  session: %s\n", s.token.c_str());
+  return b.Take();
+}
+
+std::string ResumeToJson(const StreamSession& s) {
+  JsonBuf b;
+  b.Appendf("{\n");
+  b.Appendf("  \"stream\": \"resume\",\n");
+  b.Appendf("  \"session\": \"%s\",\n", JsonEscape(s.token).c_str());
+  b.Appendf("  \"source\": \"%s\",\n", JsonEscape(s.source_path).c_str());
+  b.Appendf("  \"target\": \"%s\",\n", JsonEscape(s.target_path).c_str());
+  b.Appendf("  \"fragments\": %llu,\n", (unsigned long long)s.fragments);
+  b.Appendf("  \"last_sequence\": %llu\n", (unsigned long long)s.last_seq);
+  b.Appendf("}\n");
+  return b.Take();
+}
+
+std::string ResumeToText(const StreamSession& s) {
+  JsonBuf b;
+  b.Appendf(
+      "stream resumed %s ~ %s: %llu fragments applied, last sequence %llu\n",
+      s.source_path.c_str(), s.target_path.c_str(),
+      (unsigned long long)s.fragments, (unsigned long long)s.last_seq);
   return b.Take();
 }
 
@@ -192,11 +217,12 @@ std::string StatsToText(const StreamSession& s) {
 VerbResult HandleStreamVerb(const std::vector<std::string>& tokens,
                             const std::string& fragment,
                             std::unique_ptr<StreamSession>* session,
-                            GraphSource* source) {
+                            GraphSource* source,
+                            StreamSessionRegistry* registry) {
   if (tokens.size() < 2) {
     return UsageFailure(
         "rdfalign stream: expected a subcommand "
-        "(open|push|check|stats|close)");
+        "(open|push|resume|check|stats|close)");
   }
   const std::string& sub = tokens[1];
   const Args args(std::vector<std::string>(tokens.begin() + 2, tokens.end()));
@@ -263,9 +289,35 @@ VerbResult HandleStreamVerb(const std::vector<std::string>& tokens,
           1, "rdfalign stream: " + aligner.status().ToString());
     }
     sess->aligner = std::move(*aligner);
+    sess->token = GenerateSessionToken();
     result.output =
         sess->common.json ? OpenToJson(*sess) : OpenToText(*sess);
     *session = std::move(sess);
+    return result;
+  }
+
+  if (sub == "resume") {
+    if (*session != nullptr) {
+      return PlainFailure(
+          1, "rdfalign stream: a session is already open on this connection");
+    }
+    if (args.positional().size() != 1 ||
+        !args.OnlyKnown({"json"}, &message)) {
+      return UsageFailure(message.empty()
+                              ? "rdfalign stream: resume expects <token>"
+                              : message);
+    }
+    const std::string& token = args.positional()[0];
+    std::unique_ptr<StreamSession> claimed =
+        registry != nullptr ? registry->Claim(token) : nullptr;
+    if (claimed == nullptr) {
+      return PlainFailure(
+          1, "rdfalign stream: no resumable session for token " + token +
+                 " (expired, already resumed, or never parked)");
+    }
+    result.output =
+        args.Has("json") ? ResumeToJson(*claimed) : ResumeToText(*claimed);
+    *session = std::move(claimed);
     return result;
   }
 
@@ -286,6 +338,23 @@ VerbResult HandleStreamVerb(const std::vector<std::string>& tokens,
       return PlainFailure(1,
                           "rdfalign stream: " + batch.status().ToString());
     }
+    // Reconnect replay: a numbered fragment the session already applied
+    // (client re-pushing after a lost response) is NOT applied twice; the
+    // original rendered response is replayed bit-identically.
+    const uint64_t seq = batch->sequence;
+    if (seq != 0 && sess.last_seq != 0 && seq <= sess.last_seq) {
+      auto cached = sess.replay.find(seq);
+      if (cached == sess.replay.end()) {
+        return PlainFailure(
+            1, "rdfalign stream: sequence " + std::to_string(seq) +
+                   " was already applied and its response is no longer "
+                   "cached (replay window is " +
+                   std::to_string(StreamSession::kReplayWindow) +
+                   " fragments)");
+      }
+      result.output = cached->second;
+      return result;
+    }
     Result<stream::StreamBatchResult> r = sess.aligner->Apply(*batch);
     if (!r.ok()) {
       // An apply error leaves the aligner partially updated; the session
@@ -299,6 +368,13 @@ VerbResult HandleStreamVerb(const std::vector<std::string>& tokens,
     sess.pairs_added_total += r->added_pairs.size();
     sess.pairs_removed_total += r->removed_pairs.size();
     result.output = args.Has("json") ? PushToJson(*r) : PushToText(*r);
+    if (seq != 0) {
+      if (seq > sess.last_seq) sess.last_seq = seq;
+      sess.replay[seq] = result.output;
+      while (sess.replay.size() > StreamSession::kReplayWindow) {
+        sess.replay.erase(sess.replay.begin());
+      }
+    }
     return result;
   }
 
@@ -390,7 +466,7 @@ VerbResult HandleStreamVerb(const std::vector<std::string>& tokens,
   }
 
   return UsageFailure("rdfalign stream: unknown subcommand '" + sub +
-                      "' (expected open|push|check|stats|close)");
+                      "' (expected open|push|resume|check|stats|close)");
 }
 
 }  // namespace rdfalign::service

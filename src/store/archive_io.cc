@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/delta.h"
+#include "store/atomic_writer.h"
 #include "store/delta.h"
 #include "store/io_util.h"
 #include "store/snapshot.h"
@@ -270,37 +271,40 @@ Status SaveArchive(const VersionArchive& archive, const std::string& path,
     header.header_checksum = c.Finish();
   }
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IOError("cannot open file for writing: " + path);
-  }
-  RDFALIGN_RETURN_IF_ERROR(WriteExact(out, &header, sizeof(header), path));
-  RDFALIGN_RETURN_IF_ERROR(WriteExact(out, table.data(),
-                                      table.size() * sizeof(SectionEntry),
-                                      path));
-  uint64_t written = payload_start;
-  const char zeros[kSectionAlignment] = {};
-  for (uint64_t s = 0; s < num_sections; ++s) {
-    if (table[s].offset > written) {
-      RDFALIGN_RETURN_IF_ERROR(
-          WriteExact(out, zeros, table[s].offset - written, path));
+  AtomicFileWriter writer(path, "archive");
+  RDFALIGN_RETURN_IF_ERROR(writer.Open());
+  Status body = [&]() -> Status {
+    std::ostream& out = writer.stream();
+    RDFALIGN_RETURN_IF_ERROR(WriteExact(out, &header, sizeof(header), path));
+    RDFALIGN_RETURN_IF_ERROR(WriteExact(out, table.data(),
+                                        table.size() * sizeof(SectionEntry),
+                                        path));
+    uint64_t written = payload_start;
+    const char zeros[kSectionAlignment] = {};
+    for (uint64_t s = 0; s < num_sections; ++s) {
+      if (table[s].offset > written) {
+        RDFALIGN_RETURN_IF_ERROR(
+            WriteExact(out, zeros, table[s].offset - written, path));
+      }
+      const ArchiveSectionId id = ExpectedSectionId(num_versions, s);
+      if (id == ArchiveSectionId::kEntities) {
+        const auto& entities =
+            archive.Entities(static_cast<uint32_t>(s - num_versions));
+        RDFALIGN_RETURN_IF_ERROR(WriteExact(
+            out, entities.data(), entities.size() * sizeof(EntityId), path));
+      } else {
+        RDFALIGN_RETURN_IF_ERROR(
+            WriteExact(out, images[s].data(), images[s].size(), path));
+      }
+      written = table[s].offset + table[s].size;
     }
-    const ArchiveSectionId id = ExpectedSectionId(num_versions, s);
-    if (id == ArchiveSectionId::kEntities) {
-      const auto& entities =
-          archive.Entities(static_cast<uint32_t>(s - num_versions));
-      RDFALIGN_RETURN_IF_ERROR(WriteExact(
-          out, entities.data(), entities.size() * sizeof(EntityId), path));
-    } else {
-      RDFALIGN_RETURN_IF_ERROR(
-          WriteExact(out, images[s].data(), images[s].size(), path));
-    }
-    written = table[s].offset + table[s].size;
+    return Status::OK();
+  }();
+  if (!body.ok()) {
+    Status io = writer.status();
+    return io.ok() ? body : io;
   }
-  out.flush();
-  if (!out) {
-    return Status::IOError("error writing archive: " + path);
-  }
+  RDFALIGN_RETURN_IF_ERROR(writer.Commit());
   if (stats != nullptr) {
     local_stats.file_bytes = cursor;
     *stats = local_stats;

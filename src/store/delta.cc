@@ -8,6 +8,7 @@
 #include <fstream>
 #include <utility>
 
+#include "store/atomic_writer.h"
 #include "store/io_util.h"
 #include "util/shared_array.h"
 #include "util/thread_pool.h"
@@ -353,11 +354,17 @@ Status WriteDeltaToStream(const TripleGraph& base, const TripleGraph& next,
 Status WriteDelta(const TripleGraph& base, const TripleGraph& next,
                   const VersionNodeMap& alignment, const std::string& path,
                   DeltaWriteStats* stats) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IOError("cannot open file for writing: " + path);
+  // Durable atomic replace (store/atomic_writer.h): a crash mid-save
+  // leaves the previous delta intact, never a torn file.
+  AtomicFileWriter writer(path, "delta");
+  RDFALIGN_RETURN_IF_ERROR(writer.Open());
+  Status st =
+      WriteDeltaToStream(base, next, alignment, writer.stream(), path, stats);
+  if (!st.ok()) {
+    Status io = writer.status();
+    return io.ok() ? st : io;
   }
-  return WriteDeltaToStream(base, next, alignment, out, path, stats);
+  return writer.Commit();
 }
 
 namespace {

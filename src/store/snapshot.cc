@@ -7,6 +7,7 @@
 #include <fstream>
 #include <utility>
 
+#include "store/atomic_writer.h"
 #include "store/io_util.h"
 #include "store/mapped_file.h"
 #include "util/shared_array.h"
@@ -177,11 +178,19 @@ Status WriteSnapshotToStream(const TripleGraph& g, std::ostream& out,
 }
 
 Status WriteSnapshot(const TripleGraph& g, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IOError("cannot open file for writing: " + path);
+  // Durable atomic replace: stream into path.tmp.<pid>, fsync, rename
+  // (see store/atomic_writer.h) — a crash mid-save leaves the previous
+  // snapshot intact and never a torn file.
+  AtomicFileWriter writer(path, "snapshot");
+  RDFALIGN_RETURN_IF_ERROR(writer.Open());
+  Status st = WriteSnapshotToStream(g, writer.stream(), path);
+  if (!st.ok()) {
+    // Prefer the writer's errno-carrying status over the stream-level
+    // message when the failure was an I/O error.
+    Status io = writer.status();
+    return io.ok() ? st : io;
   }
-  return WriteSnapshotToStream(g, out, path);
+  return writer.Commit();
 }
 
 namespace {

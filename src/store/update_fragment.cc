@@ -7,6 +7,8 @@
 #include <fstream>
 #include <unordered_map>
 
+#include "store/atomic_writer.h"
+
 namespace rdfalign::store {
 
 namespace {
@@ -475,16 +477,7 @@ Result<UpdateBatch> BuildUpdateBatch(const TripleGraph& base,
 
 Status WriteUpdateFile(const UpdateBatch& batch, const std::string& path) {
   RDFALIGN_ASSIGN_OR_RETURN(std::string bytes, EncodeUpdateBatch(batch));
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IOError("cannot open file for writing: " + path);
-  }
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) {
-    return Status::IOError("error writing update fragment: " + path);
-  }
-  return Status::OK();
+  return AtomicWriteFile(path, bytes.data(), bytes.size(), "update fragment");
 }
 
 Result<std::string> ReadFileBytes(const std::string& path) {

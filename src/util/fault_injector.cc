@@ -1,0 +1,216 @@
+#include "util/fault_injector.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace rdfalign {
+
+std::atomic<bool> FaultInjector::enabled_{false};
+
+namespace {
+
+enum class ArmMode : uint8_t { kError, kShort, kEintr, kKill };
+
+struct ArmedFault {
+  uint64_t nth = 1;     ///< fires when the hit counter reaches this
+  ArmMode mode = ArmMode::kError;
+  int error_errno = EIO;
+  uint64_t repeat = 1;  ///< eintr storm depth
+  uint64_t fired = 0;   ///< how many times this arm has fired
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::vector<ArmedFault>> arms;
+  std::map<std::string, uint64_t> hits;
+  bool env_loaded = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during teardown
+  return *r;
+}
+
+bool ParseErrno(const std::string& name, int* out) {
+  static const std::pair<const char*, int> kNames[] = {
+      {"EIO", EIO},           {"ENOSPC", ENOSPC},
+      {"EDQUOT", EDQUOT},     {"EPIPE", EPIPE},
+      {"ECONNRESET", ECONNRESET}, {"ETIMEDOUT", ETIMEDOUT},
+      {"EACCES", EACCES},     {"EMFILE", EMFILE},
+  };
+  for (const auto& [n, v] : kNames) {
+    if (name == n) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ParseOneArm(const std::string& clause, std::string* point,
+                   ArmedFault* arm) {
+  const size_t at = clause.find('@');
+  const size_t eq = clause.find('=');
+  if (at == std::string::npos || eq == std::string::npos || eq < at ||
+      at == 0) {
+    return Status::InvalidArgument("bad failpoint clause '" + clause +
+                                   "' (expected point@N=mode)");
+  }
+  *point = clause.substr(0, at);
+  const std::string nth_text = clause.substr(at + 1, eq - at - 1);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long nth = std::strtoull(nth_text.c_str(), &end, 10);
+  if (nth_text.empty() || *end != '\0' || errno == ERANGE || nth == 0) {
+    return Status::InvalidArgument("bad failpoint ordinal in '" + clause +
+                                   "' (expected a positive integer)");
+  }
+  arm->nth = nth;
+  std::string mode = clause.substr(eq + 1);
+  if (mode == "kill") {
+    arm->mode = ArmMode::kKill;
+    return Status::OK();
+  }
+  if (mode == "short") {
+    arm->mode = ArmMode::kShort;
+    return Status::OK();
+  }
+  if (mode.rfind("eintr", 0) == 0) {
+    arm->mode = ArmMode::kEintr;
+    arm->error_errno = EINTR;
+    const std::string depth = mode.substr(5);
+    if (!depth.empty()) {
+      errno = 0;
+      const unsigned long long k = std::strtoull(depth.c_str(), &end, 10);
+      if (*end != '\0' || errno == ERANGE || k == 0) {
+        return Status::InvalidArgument("bad eintr depth in '" + clause + "'");
+      }
+      arm->repeat = k;
+    }
+    return Status::OK();
+  }
+  if (mode.rfind("error", 0) == 0) {
+    arm->mode = ArmMode::kError;
+    arm->error_errno = EIO;
+    if (mode.size() > 5) {
+      if (mode[5] != ':' ||
+          !ParseErrno(mode.substr(6), &arm->error_errno)) {
+        return Status::InvalidArgument("bad errno name in '" + clause + "'");
+      }
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown failpoint mode in '" + clause +
+                                 "' (error|short|eintr|kill)");
+}
+
+void LoadEnvLocked(Registry& r);
+
+Status ArmFromSpecLocked(Registry& r, const std::string& spec) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t semi = spec.find(';', start);
+    if (semi == std::string::npos) semi = spec.size();
+    if (semi > start) {
+      const std::string clause = spec.substr(start, semi - start);
+      std::string point;
+      ArmedFault arm;
+      RDFALIGN_RETURN_IF_ERROR(ParseOneArm(clause, &point, &arm));
+      r.arms[point].push_back(arm);
+    }
+    if (semi == spec.size()) break;
+    start = semi + 1;
+  }
+  return Status::OK();
+}
+
+/// True when the process was launched with RDFALIGN_FAULTS set — the only
+/// case where a Hit must take the slow path before ArmFromSpec ran.
+bool EnvRequested() {
+  static const bool requested = [] {
+    const char* s = std::getenv("RDFALIGN_FAULTS");
+    return s != nullptr && s[0] != '\0';
+  }();
+  return requested;
+}
+
+void LoadEnvLocked(Registry& r) {
+  if (r.env_loaded) return;
+  r.env_loaded = true;
+  const char* spec = std::getenv("RDFALIGN_FAULTS");
+  if (spec != nullptr && spec[0] != '\0') {
+    // An unparsable env spec aborts loudly: silently running a fault test
+    // with nothing armed would pass vacuously.
+    Status st = ArmFromSpecLocked(r, spec);
+    if (!st.ok()) {
+      std::fprintf(stderr, "RDFALIGN_FAULTS: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+}  // namespace
+
+FaultAction FaultInjector::Hit(const char* point) {
+  if (!Enabled() && !EnvRequested()) return FaultAction{};
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  LoadEnvLocked(r);
+  const uint64_t count = ++r.hits[point];
+  auto it = r.arms.find(point);
+  if (it == r.arms.end()) return FaultAction{};
+  for (ArmedFault& arm : it->second) {
+    const bool in_window =
+        count >= arm.nth && count < arm.nth + arm.repeat;
+    if (!in_window || arm.fired >= arm.repeat) continue;
+    ++arm.fired;
+    switch (arm.mode) {
+      case ArmMode::kKill:
+        // Simulate a power cut / kill -9 at exactly this syscall: no
+        // flushing, no atexit, no unwinding.
+        ::kill(::getpid(), SIGKILL);
+        ::_exit(137);  // unreachable; belt for blocked SIGKILL races
+      case ArmMode::kShort:
+        return FaultAction{FaultAction::kShort, 0};
+      case ArmMode::kEintr:
+        return FaultAction{FaultAction::kEintr, EINTR};
+      case ArmMode::kError:
+        return FaultAction{FaultAction::kError, arm.error_errno};
+    }
+  }
+  return FaultAction{};
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  RDFALIGN_RETURN_IF_ERROR(ArmFromSpecLocked(r, spec));
+  enabled_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FaultInjector::Reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.arms.clear();
+  r.hits.clear();
+  r.env_loaded = true;  // an explicit Reset also discards the env spec
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::Hits(const std::string& point) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.hits.find(point);
+  return it == r.hits.end() ? 0 : it->second;
+}
+
+}  // namespace rdfalign

@@ -1,0 +1,91 @@
+// FaultInjector: process-wide named failpoints for fault-tolerance tests.
+//
+// Production code marks the syscall sites that can fail — store writes,
+// fsync, rename, socket reads/writes, connect — with a named failpoint:
+//
+//   FaultAction a = FaultInjector::Hit("store.write");
+//   switch (a.kind) { ... }
+//
+// When nothing is armed, Hit is one relaxed atomic load (the process-wide
+// enable flag) — the hooks stay compiled into release builds at
+// effectively zero cost, so the fault tests exercise the exact binaries
+// that ship.
+//
+// Failpoints are armed either through the test API (Arm / Reset) or the
+// RDFALIGN_FAULTS environment variable, read once at first use:
+//
+//   RDFALIGN_FAULTS="store.fsync@1=kill"            die at the 1st fsync
+//   RDFALIGN_FAULTS="store.write@3=error:ENOSPC"    3rd write fails ENOSPC
+//   RDFALIGN_FAULTS="socket.write@2=short"          2nd send is truncated
+//   RDFALIGN_FAULTS="socket.read@1=eintr4"          4-deep EINTR storm
+//   RDFALIGN_FAULTS="client.connect@1=error;store.rename@1=error"
+//
+// Grammar: `point@N=mode[;point@N=mode...]` — the failpoint fires at the
+// Nth hit (1-based) of that point. Modes:
+//
+//   error[:ERRNAME]   the operation fails with errno (default EIO;
+//                     ERRNAME one of EIO, ENOSPC, EDQUOT, EPIPE,
+//                     ECONNRESET, ETIMEDOUT, EACCES, EMFILE)
+//   short             a write transfers only one byte (callers must loop)
+//   eintr[K]          the next K hits (default 1) fail with EINTR
+//   kill              SIGKILL the process at the hit — the crash-
+//                     consistency driver's "power cut at this syscall"
+//
+// The spec is the cross-process arming channel: the crash-consistency
+// tests fork a child with a kill-mode spec and assert the survivor state,
+// and CI arms client-side socket faults on a live `rdfalign stream`
+// without touching the daemon's environment.
+
+#ifndef RDFALIGN_UTIL_FAULT_INJECTOR_H_
+#define RDFALIGN_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace rdfalign {
+
+/// What the code at a failpoint must simulate for this hit.
+struct FaultAction {
+  enum Kind : uint8_t {
+    kNone = 0,   ///< proceed normally
+    kError,      ///< fail the operation with `error_errno`
+    kShort,      ///< transfer at most one byte (writes/reads)
+    kEintr,      ///< fail with EINTR (callers are expected to retry)
+  } kind = kNone;
+  int error_errno = 0;
+};
+
+class FaultInjector {
+ public:
+  /// Consumes one hit of `point`. Returns the action armed for this hit
+  /// (kNone when disarmed). A kill-mode failpoint never returns: the
+  /// process raises SIGKILL in place.
+  static FaultAction Hit(const char* point);
+
+  /// Arms failpoints from a spec string (see the grammar above), adding
+  /// to whatever is already armed. InvalidArgument on a malformed spec.
+  static Status ArmFromSpec(const std::string& spec);
+
+  /// Disarms everything and zeroes all hit counters.
+  static void Reset();
+
+  /// Total hits recorded for `point` (counted armed or not once any
+  /// failpoint has ever been armed; 0 while fully disarmed).
+  static uint64_t Hits(const std::string& point);
+
+  /// True when any failpoint is (or was) armed in this process — the
+  /// fast-path gate.
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+}  // namespace rdfalign
+
+#endif  // RDFALIGN_UTIL_FAULT_INJECTOR_H_

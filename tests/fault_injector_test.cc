@@ -1,0 +1,89 @@
+// FaultInjector unit coverage: spec parsing, Nth-hit arming, EINTR storm
+// depth, hit counting, and reset semantics. The injector is process-wide
+// state, so every test resets it on the way out.
+
+#include "util/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+namespace rdfalign {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisabledInjectorNeverFires) {
+  EXPECT_FALSE(FaultInjector::Enabled());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(FaultInjector::Hit("store.write").kind, FaultAction::kNone);
+  }
+  // A disabled Hit is not even counted — the fast path skips the registry.
+  EXPECT_EQ(FaultInjector::Hits("store.write"), 0u);
+}
+
+TEST_F(FaultInjectorTest, FiresOnTheNthHitOnly) {
+  ASSERT_TRUE(FaultInjector::ArmFromSpec("store.write@3=error").ok());
+  EXPECT_TRUE(FaultInjector::Enabled());
+  EXPECT_EQ(FaultInjector::Hit("store.write").kind, FaultAction::kNone);
+  EXPECT_EQ(FaultInjector::Hit("store.write").kind, FaultAction::kNone);
+  const FaultAction third = FaultInjector::Hit("store.write");
+  EXPECT_EQ(third.kind, FaultAction::kError);
+  EXPECT_EQ(third.error_errno, EIO);  // default errno
+  // One-shot: the arm does not re-fire.
+  EXPECT_EQ(FaultInjector::Hit("store.write").kind, FaultAction::kNone);
+  EXPECT_EQ(FaultInjector::Hits("store.write"), 4u);
+}
+
+TEST_F(FaultInjectorTest, NamedErrnoAndOtherPointsUntouched) {
+  ASSERT_TRUE(FaultInjector::ArmFromSpec("store.fsync@1=error:ENOSPC").ok());
+  EXPECT_EQ(FaultInjector::Hit("store.write").kind, FaultAction::kNone);
+  const FaultAction a = FaultInjector::Hit("store.fsync");
+  EXPECT_EQ(a.kind, FaultAction::kError);
+  EXPECT_EQ(a.error_errno, ENOSPC);
+}
+
+TEST_F(FaultInjectorTest, EintrStormRepeats) {
+  ASSERT_TRUE(FaultInjector::ArmFromSpec("socket.read@2=eintr3").ok());
+  EXPECT_EQ(FaultInjector::Hit("socket.read").kind, FaultAction::kNone);
+  for (int i = 0; i < 3; ++i) {
+    const FaultAction a = FaultInjector::Hit("socket.read");
+    EXPECT_EQ(a.kind, FaultAction::kEintr) << "storm hit " << i;
+    EXPECT_EQ(a.error_errno, EINTR);
+  }
+  EXPECT_EQ(FaultInjector::Hit("socket.read").kind, FaultAction::kNone);
+}
+
+TEST_F(FaultInjectorTest, ShortModeAndMultipleClauses) {
+  ASSERT_TRUE(
+      FaultInjector::ArmFromSpec("socket.write@1=short;socket.write@3=error")
+          .ok());
+  EXPECT_EQ(FaultInjector::Hit("socket.write").kind, FaultAction::kShort);
+  EXPECT_EQ(FaultInjector::Hit("socket.write").kind, FaultAction::kNone);
+  EXPECT_EQ(FaultInjector::Hit("socket.write").kind, FaultAction::kError);
+}
+
+TEST_F(FaultInjectorTest, ResetDisablesAndClearsCounts) {
+  ASSERT_TRUE(FaultInjector::ArmFromSpec("store.rename@1=error").ok());
+  EXPECT_EQ(FaultInjector::Hit("store.rename").kind, FaultAction::kError);
+  FaultInjector::Reset();
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_EQ(FaultInjector::Hits("store.rename"), 0u);
+  EXPECT_EQ(FaultInjector::Hit("store.rename").kind, FaultAction::kNone);
+}
+
+TEST_F(FaultInjectorTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultInjector::ArmFromSpec("store.write").ok());
+  EXPECT_FALSE(FaultInjector::ArmFromSpec("store.write@0=error").ok());
+  EXPECT_FALSE(FaultInjector::ArmFromSpec("store.write@x=error").ok());
+  EXPECT_FALSE(FaultInjector::ArmFromSpec("store.write@1=explode").ok());
+  EXPECT_FALSE(FaultInjector::ArmFromSpec("store.write@1=error:EBOGUS").ok());
+  EXPECT_FALSE(FaultInjector::ArmFromSpec("@1=error").ok());
+  FaultInjector::Reset();
+}
+
+}  // namespace
+}  // namespace rdfalign

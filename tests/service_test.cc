@@ -32,7 +32,8 @@ std::string ScratchPrefix() {
 
 std::string ScrubTimings(const std::string& body) {
   static const std::regex volatile_line(
-      "[^\n]*(_ms\"|seconds\"|loaded in |phases \\(ms\\)|parse )[^\n]*\n");
+      "[^\n]*(_ms\"|seconds\"|loaded in |phases \\(ms\\)|parse |"
+      "align time )[^\n]*\n");
   return std::regex_replace(body, volatile_line, "");
 }
 

@@ -1,7 +1,8 @@
 // rdfalignd — the resident alignment service.
 //
 //   rdfalignd [--port=N] [--host=A] [--workers=N] [--cache-mb=N]
-//             [--drain-ms=N]
+//             [--drain-ms=N] [--io-timeout-ms=N] [--max-conns=N]
+//             [--session-linger-ms=N]
 //
 // Serves every rdfalign verb over the length-prefixed TCP protocol of
 // src/service/protocol.h, with all graph loads going through one shared
@@ -29,14 +30,23 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: rdfalignd [--port=N] [--host=A] [--workers=N] [--cache-mb=N]\n"
-      "                 [--drain-ms=N]\n"
+      "                 [--drain-ms=N] [--io-timeout-ms=N] [--max-conns=N]\n"
+      "                 [--session-linger-ms=N]\n"
       "\n"
       "  --port=N      TCP port to listen on (default 7464; 0 = ephemeral)\n"
       "  --host=A      listen address (default 127.0.0.1)\n"
       "  --workers=N   concurrent connection handlers (default 4)\n"
       "  --cache-mb=N  snapshot cache capacity in MiB (default 1024)\n"
       "  --drain-ms=N  shutdown grace for connected clients (default "
-      "30000)\n");
+      "30000)\n"
+      "  --io-timeout-ms=N      per-frame read/write deadline; slow or\n"
+      "                         stalled peers are evicted (default 0 = off)\n"
+      "  --max-conns=N          connection cap; excess connections get a\n"
+      "                         clean load-shed error (default 0 = "
+      "unlimited)\n"
+      "  --session-linger-ms=N  keep disconnected stream sessions\n"
+      "                         resumable via `stream resume <token>` for\n"
+      "                         this long (default 0 = off)\n");
   return 2;
 }
 
@@ -46,7 +56,8 @@ int main(int argc, char** argv) {
   const service::Args args(argc, argv, 1);
   std::string error;
   if (!args.positional().empty() ||
-      !args.OnlyKnown({"port", "host", "workers", "cache-mb", "drain-ms"},
+      !args.OnlyKnown({"port", "host", "workers", "cache-mb", "drain-ms",
+                       "io-timeout-ms", "max-conns", "session-linger-ms"},
                       &error)) {
     if (!error.empty()) std::fprintf(stderr, "%s\n", error.c_str());
     return Usage();
@@ -80,6 +91,30 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.drain_ms = static_cast<uint64_t>(*drain_ms);
+  const std::optional<long long> io_timeout_ms =
+      args.GetInt("io-timeout-ms", 0, &error);
+  if (!io_timeout_ms || *io_timeout_ms < 0 || *io_timeout_ms > 600000) {
+    std::fprintf(stderr,
+                 "rdfalignd: --io-timeout-ms must be in [0, 600000]\n");
+    return 2;
+  }
+  options.io_timeout_ms = static_cast<uint64_t>(*io_timeout_ms);
+  const std::optional<long long> max_conns =
+      args.GetInt("max-conns", 0, &error);
+  if (!max_conns || *max_conns < 0 || *max_conns > 65536) {
+    std::fprintf(stderr, "rdfalignd: --max-conns must be in [0, 65536]\n");
+    return 2;
+  }
+  options.max_conns = static_cast<size_t>(*max_conns);
+  const std::optional<long long> session_linger_ms =
+      args.GetInt("session-linger-ms", 0, &error);
+  if (!session_linger_ms || *session_linger_ms < 0 ||
+      *session_linger_ms > 3600000) {
+    std::fprintf(stderr,
+                 "rdfalignd: --session-linger-ms must be in [0, 3600000]\n");
+    return 2;
+  }
+  options.session_linger_ms = static_cast<uint64_t>(*session_linger_ms);
 
   // Shutdown signals are consumed synchronously below; block them in
   // every thread the server spawns by blocking before Start().
