@@ -12,6 +12,13 @@
 //             file; mmap saves the copy, not the read — see
 //             store/snapshot.h)
 //
+// Dict part (--mode=dict or all): the same graph saved with the raw
+// version-1 dictionary layout (--no-dict-compress) and the front-coded
+// version-2 default, comparing dictionary-section bytes, whole-file
+// bytes, load time, and intern throughput — gated on both loads being
+// bit-identical to the source graph and on each mode's save -> load ->
+// resave reproducing its file byte for byte.
+//
 // Delta part (--mode=delta or all): a --versions-long category chain is
 // materialized three ways — reparsing every version, loading one full
 // snapshot per version, and loading the base snapshot then patch-replaying
@@ -135,6 +142,151 @@ bool RunPoint(double scale_point, uint64_t seed, size_t runs,
   std::filesystem::remove(nt_path);
   std::filesystem::remove(snap_path);
   if (!ok) return false;
+  *out = r;
+  return true;
+}
+
+// ------------------------------------------------------------- dict A/B
+
+struct DictPointResult {
+  double scale_point = 0;
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t terms = 0;
+  uint64_t raw_file_bytes = 0;  ///< --no-dict-compress (version-1) snapshot
+  uint64_t fc_file_bytes = 0;   ///< front-coded (version-2) snapshot
+  uint64_t raw_dict_bytes = 0;  ///< term_offsets + term_blob sections
+  uint64_t fc_dict_bytes = 0;   ///< + term_prefix_lens section
+  double raw_load_ms = 0;
+  double fc_load_ms = 0;
+  double raw_intern_mtps = 0;  ///< interned terms / s, millions
+  double fc_intern_mtps = 0;
+  bool equal = false;      ///< both loads bit-identical to the source graph
+  bool roundtrip = false;  ///< save -> load -> resave byte-identical, per mode
+};
+
+uint64_t DictSectionBytes(const store::SnapshotInfo& info) {
+  uint64_t bytes = 0;
+  for (const auto& s : info.sections) {
+    if (s.id == store::SectionId::kTermOffsets ||
+        s.id == store::SectionId::kTermBlob ||
+        s.id == store::SectionId::kTermPrefixLens) {
+      bytes += s.size;
+    }
+  }
+  return bytes;
+}
+
+bool FilesIdentical(const std::string& a, const std::string& b) {
+  std::error_code ec;
+  if (std::filesystem::file_size(a, ec) != std::filesystem::file_size(b, ec)) {
+    return false;
+  }
+  std::FILE* fa = std::fopen(a.c_str(), "rb");
+  std::FILE* fb = std::fopen(b.c_str(), "rb");
+  bool same = fa != nullptr && fb != nullptr;
+  while (same) {
+    char ba[4096], bb[4096];
+    const size_t na = std::fread(ba, 1, sizeof(ba), fa);
+    const size_t nb = std::fread(bb, 1, sizeof(bb), fb);
+    same = na == nb && std::memcmp(ba, bb, na) == 0;
+    if (na < sizeof(ba)) break;
+  }
+  if (fa != nullptr) std::fclose(fa);
+  if (fb != nullptr) std::fclose(fb);
+  return same;
+}
+
+/// One front-coded vs raw dictionary point: bytes on disk (whole file and
+/// dictionary sections alone), load time, and intern throughput, gated on
+/// both loads being bit-identical to the source graph and on each mode's
+/// save -> load -> resave reproducing its bytes exactly.
+bool RunDictPoint(double scale_point, uint64_t seed, size_t runs,
+                  const std::string& tmp_prefix, DictPointResult* out) {
+  gen::CategoryChain chain = gen::CategoryChain::Generate(
+      gen::CategoryOptions::FromScale(scale_point, /*versions=*/1, seed));
+  const TripleGraph& g = chain.Version(0);
+
+  const std::string raw_path = tmp_prefix + "_raw.snap";
+  const std::string fc_path = tmp_prefix + "_fc.snap";
+  const std::string resave_path = tmp_prefix + "_resave.snap";
+  DictPointResult r;
+  const bool point_ok = [&]() -> bool {
+    store::StoreWriteOptions raw_opts;
+    raw_opts.compress_dict = false;
+    if (!store::WriteSnapshot(g, raw_path, raw_opts).ok() ||
+        !store::WriteSnapshot(g, fc_path).ok()) {
+      std::fprintf(stderr, "cannot write dict bench inputs under %s\n",
+                   tmp_prefix.c_str());
+      return false;
+    }
+
+    r.scale_point = scale_point;
+    r.nodes = g.NumNodes();
+    r.edges = g.NumEdges();
+    r.terms = g.dict().size();
+    r.raw_file_bytes = std::filesystem::file_size(raw_path);
+    r.fc_file_bytes = std::filesystem::file_size(fc_path);
+    auto raw_info = store::ReadSnapshotInfo(raw_path);
+    auto fc_info = store::ReadSnapshotInfo(fc_path);
+    if (!raw_info.ok() || !fc_info.ok()) return false;
+    r.raw_dict_bytes = DictSectionBytes(*raw_info);
+    r.fc_dict_bytes = DictSectionBytes(*fc_info);
+
+    // Warm the page cache.
+    { auto warm = store::LoadSnapshot(raw_path, nullptr); (void)warm; }
+
+    TripleGraph raw_loaded, fc_loaded;
+    uint64_t raw_interned = 0, fc_interned = 0;
+    bool ok = BestOf(runs, &r.raw_load_ms,
+                     [&] {
+                       store::SnapshotLoadStats stats;
+                       auto res =
+                           store::LoadSnapshot(raw_path, nullptr, {}, &stats);
+                       if (!res.ok()) return false;
+                       raw_loaded = std::move(res).value();
+                       raw_interned = stats.terms_interned;
+                       return true;
+                     }) &&
+              BestOf(runs, &r.fc_load_ms, [&] {
+                store::SnapshotLoadStats stats;
+                auto res = store::LoadSnapshot(fc_path, nullptr, {}, &stats);
+                if (!res.ok()) return false;
+                fc_loaded = std::move(res).value();
+                fc_interned = stats.terms_interned;
+                return true;
+              });
+    if (!ok) {
+      std::fprintf(stderr, "dict bench: a load failed\n");
+      return false;
+    }
+    r.raw_intern_mtps =
+        r.raw_load_ms > 0
+            ? static_cast<double>(raw_interned) / (r.raw_load_ms * 1e3)
+            : 0.0;
+    r.fc_intern_mtps =
+        r.fc_load_ms > 0
+            ? static_cast<double>(fc_interned) / (r.fc_load_ms * 1e3)
+            : 0.0;
+    r.equal = GraphsBitDiffer(g, raw_loaded) == nullptr &&
+              GraphsBitDiffer(g, fc_loaded) == nullptr;
+
+    // Round-trip gates: resaving a freshly loaded snapshot under the same
+    // options must reproduce the file byte for byte.
+    r.roundtrip = store::WriteSnapshot(raw_loaded, resave_path, raw_opts).ok() &&
+                  FilesIdentical(raw_path, resave_path) &&
+                  store::WriteSnapshot(fc_loaded, resave_path).ok() &&
+                  FilesIdentical(fc_path, resave_path);
+    if (!r.equal || !r.roundtrip) {
+      std::fprintf(stderr, "FAIL: dict point %g: equal=%d roundtrip=%d\n",
+                   scale_point, r.equal, r.roundtrip);
+    }
+    return true;
+  }();
+  std::filesystem::remove(raw_path);
+  std::filesystem::remove(fc_path);
+  std::filesystem::remove(resave_path);
+  if (!point_ok) return false;
   *out = r;
   return true;
 }
@@ -309,6 +461,7 @@ bool RunDeltaPoint(double scale_point, uint64_t seed, size_t runs,
 }
 
 bool WriteJson(const std::string& path, const std::vector<PointResult>& points,
+               const std::vector<DictPointResult>& dict_points,
                const std::vector<DeltaPointResult>& delta_points,
                double scale, uint64_t seed, size_t runs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -347,6 +500,37 @@ bool WriteJson(const std::string& path, const std::vector<PointResult>& points,
                  r.mmap_ms > 0 ? r.reparse_ms / r.mmap_ms : 0.0);
     std::fprintf(f, "      \"equal\": %s\n", r.equal ? "true" : "false");
     std::fprintf(f, "    }%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"dict_points\": [\n");
+  for (size_t i = 0; i < dict_points.size(); ++i) {
+    const DictPointResult& r = dict_points[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"scale_point\": %g,\n", r.scale_point);
+    std::fprintf(f, "      \"nodes\": %zu,\n", r.nodes);
+    std::fprintf(f, "      \"edges\": %zu,\n", r.edges);
+    std::fprintf(f, "      \"terms\": %zu,\n", r.terms);
+    std::fprintf(f, "      \"raw_file_bytes\": %llu,\n",
+                 (unsigned long long)r.raw_file_bytes);
+    std::fprintf(f, "      \"fc_file_bytes\": %llu,\n",
+                 (unsigned long long)r.fc_file_bytes);
+    std::fprintf(f, "      \"raw_dict_bytes\": %llu,\n",
+                 (unsigned long long)r.raw_dict_bytes);
+    std::fprintf(f, "      \"fc_dict_bytes\": %llu,\n",
+                 (unsigned long long)r.fc_dict_bytes);
+    std::fprintf(f, "      \"dict_ratio\": %.2f,\n",
+                 r.fc_dict_bytes > 0
+                     ? static_cast<double>(r.raw_dict_bytes) /
+                           static_cast<double>(r.fc_dict_bytes)
+                     : 0.0);
+    std::fprintf(f, "      \"raw_load_ms\": %.2f,\n", r.raw_load_ms);
+    std::fprintf(f, "      \"fc_load_ms\": %.2f,\n", r.fc_load_ms);
+    std::fprintf(f, "      \"raw_intern_mtps\": %.2f,\n", r.raw_intern_mtps);
+    std::fprintf(f, "      \"fc_intern_mtps\": %.2f,\n", r.fc_intern_mtps);
+    std::fprintf(f, "      \"roundtrip\": %s,\n",
+                 r.roundtrip ? "true" : "false");
+    std::fprintf(f, "      \"equal\": %s\n", r.equal ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < dict_points.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"delta_points\": [\n");
@@ -398,8 +582,9 @@ int main(int argc, char** argv) {
   const size_t versions = static_cast<size_t>(flags.GetInt("versions", 4));
   const std::string mode = flags.GetString("mode", "all");
   const std::string out = flags.GetString("out", "BENCH_store.json");
-  if (mode != "all" && mode != "snapshot" && mode != "delta") {
-    std::fprintf(stderr, "--mode must be all, snapshot, or delta\n");
+  if (mode != "all" && mode != "snapshot" && mode != "delta" &&
+      mode != "dict") {
+    std::fprintf(stderr, "--mode must be all, snapshot, delta, or dict\n");
     return 1;
   }
   // Range-checked like every rdfalign numeric flag; a negative value
@@ -423,8 +608,9 @@ int main(int argc, char** argv) {
   // BENCH_refinement.json's workload size).
   bool all_equal = true;
   std::vector<PointResult> points;
+  std::vector<DictPointResult> dict_points;
   std::vector<DeltaPointResult> delta_points;
-  if (mode != "delta") {
+  if (mode == "all" || mode == "snapshot") {
     for (double point : {0.25 * scale, 1.0 * scale, 4.0 * scale}) {
       PointResult r;
       if (!RunPoint(point, seed, runs, tmp_prefix, &r)) return 1;
@@ -445,7 +631,33 @@ int main(int argc, char** argv) {
       all_equal = all_equal && r.equal;
     }
   }
-  if (mode != "snapshot") {
+  if (mode == "all" || mode == "dict") {
+    for (double point : {0.25 * scale, 1.0 * scale, 4.0 * scale}) {
+      DictPointResult r;
+      if (!RunDictPoint(point, seed, runs, tmp_prefix, &r)) return 1;
+      dict_points.push_back(r);
+    }
+    std::printf("\nfront-coded vs raw dictionary:\n");
+    bench::TablePrinter table({"terms", "rawdict(KB)", "fcdict(KB)", "dict-x",
+                               "rawload(ms)", "fcload(ms)", "fc-Mt/s",
+                               "roundtrip", "equal"});
+    for (const DictPointResult& r : dict_points) {
+      table.Row({bench::FmtInt(r.terms),
+                 bench::FmtInt(r.raw_dict_bytes / 1024),
+                 bench::FmtInt(r.fc_dict_bytes / 1024),
+                 bench::Fmt("%.1fx",
+                            r.fc_dict_bytes > 0
+                                ? static_cast<double>(r.raw_dict_bytes) /
+                                      static_cast<double>(r.fc_dict_bytes)
+                                : 0.0),
+                 bench::Fmt("%.1f", r.raw_load_ms),
+                 bench::Fmt("%.1f", r.fc_load_ms),
+                 bench::Fmt("%.2f", r.fc_intern_mtps),
+                 r.roundtrip ? "yes" : "NO", r.equal ? "yes" : "NO"});
+      all_equal = all_equal && r.equal && r.roundtrip;
+    }
+  }
+  if (mode == "all" || mode == "delta") {
     for (double point : {0.25 * scale, 1.0 * scale, 4.0 * scale}) {
       DeltaPointResult r;
       if (!RunDeltaPoint(point, seed, runs, versions, tmp_prefix, &r)) {
@@ -474,7 +686,8 @@ int main(int argc, char** argv) {
       all_equal = all_equal && r.equal && r.sweep_equal;
     }
   }
-  const bool wrote = WriteJson(out, points, delta_points, scale, seed, runs);
+  const bool wrote =
+      WriteJson(out, points, dict_points, delta_points, scale, seed, runs);
   if (wrote) std::printf("\nwrote %s\n", out.c_str());
   return all_equal && wrote ? 0 : 1;
 }

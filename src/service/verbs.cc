@@ -78,7 +78,8 @@ bool ParseBuildRequest(const Args& args, BuildRequest* req,
                        ParseError* error) {
   if (args.positional().size() != 2) return UsageError(error);
   std::string message;
-  if (!args.OnlyKnown({"format", "threads", "json"}, &message)) {
+  if (!args.OnlyKnown({"format", "threads", "json", "no-dict-compress"},
+                      &message)) {
     return UsageError(error, message);
   }
   req->input = args.positional()[0];
@@ -113,7 +114,8 @@ Status RunBuild(const BuildRequest& req, BuildResponse* resp) {
   resp->triples = graph->NumEdges();
 
   WallTimer write_timer;
-  RDFALIGN_RETURN_IF_ERROR(store::WriteSnapshot(*graph, req.output));
+  RDFALIGN_RETURN_IF_ERROR(store::WriteSnapshot(
+      *graph, req.output, {.compress_dict = req.common.compress_dict}));
   resp->write_ms = write_timer.ElapsedMillis();
   return Status::OK();
 }
@@ -546,9 +548,9 @@ std::string AlignToText(const AlignResponse& r) {
 bool ParseDiffRequest(const Args& args, DiffRequest* req, ParseError* error) {
   if (args.positional().size() != 3) return UsageError(error);
   std::string message;
-  if (!args.OnlyKnown(
-          {"method", "threads", "mmap", "json", "no-verify-checksums"},
-          &message)) {
+  if (!args.OnlyKnown({"method", "threads", "mmap", "json",
+                       "no-verify-checksums", "no-dict-compress"},
+                      &message)) {
     return UsageError(error, message);
   }
   req->path_base = args.positional()[0];
@@ -603,7 +605,8 @@ Status RunDiff(const DiffRequest& req, DiffResponse* resp) {
 
   WallTimer write_timer;
   RDFALIGN_RETURN_IF_ERROR(
-      store::WriteDelta(gbase, gnext, map, req.path_out, &resp->stats));
+      store::WriteDelta(gbase, gnext, map, req.path_out, &resp->stats,
+                        {.compress_dict = req.common.compress_dict}));
   resp->write_ms = write_timer.ElapsedMillis();
   return Status::OK();
 }
@@ -675,7 +678,8 @@ bool ParsePatchRequest(const Args& args, PatchRequest* req,
                        ParseError* error) {
   if (args.positional().size() != 3) return UsageError(error);
   std::string message;
-  if (!args.OnlyKnown({"threads", "mmap", "json", "no-verify-checksums"},
+  if (!args.OnlyKnown({"threads", "mmap", "json", "no-verify-checksums",
+                       "no-dict-compress"},
                       &message)) {
     return UsageError(error, message);
   }
@@ -719,7 +723,8 @@ Status RunPatch(const PatchRequest& req, PatchResponse* resp) {
   resp->triples = next.NumEdges();
 
   WallTimer write_timer;
-  RDFALIGN_RETURN_IF_ERROR(store::WriteSnapshot(next, req.path_out));
+  RDFALIGN_RETURN_IF_ERROR(store::WriteSnapshot(
+      next, req.path_out, {.compress_dict = req.common.compress_dict}));
   resp->write_ms = write_timer.ElapsedMillis();
   return Status::OK();
 }
@@ -770,9 +775,9 @@ bool ParseArchiveRequest(const Args& args, ArchiveRequest* req,
                          ParseError* error) {
   if (args.positional().size() < 2) return UsageError(error);
   std::string message;
-  if (!args.OnlyKnown(
-          {"method", "threads", "mmap", "json", "no-verify-checksums"},
-          &message)) {
+  if (!args.OnlyKnown({"method", "threads", "mmap", "json",
+                       "no-verify-checksums", "no-dict-compress"},
+                      &message)) {
     return UsageError(error, message);
   }
   req->path_out = args.positional()[0];
@@ -812,7 +817,8 @@ Status RunArchive(const ArchiveRequest& req, ArchiveResponse* resp) {
 
   WallTimer save_timer;
   RDFALIGN_RETURN_IF_ERROR(
-      store::SaveArchive(archive, req.path_out, &resp->save_stats));
+      store::SaveArchive(archive, req.path_out, &resp->save_stats,
+                         {.compress_dict = req.common.compress_dict}));
   resp->save_ms = save_timer.ElapsedMillis();
   resp->stats = archive.Stats();
   return Status::OK();
@@ -1041,9 +1047,9 @@ bool ParseUpdatesRequest(const Args& args, UpdatesRequest* req,
                          ParseError* error) {
   if (args.positional().size() != 3) return UsageError(error);
   std::string message;
-  if (!args.OnlyKnown(
-          {"seq", "threads", "mmap", "json", "no-verify-checksums"},
-          &message)) {
+  if (!args.OnlyKnown({"seq", "threads", "mmap", "json",
+                       "no-verify-checksums", "no-dict-compress"},
+                      &message)) {
     return UsageError(error, message);
   }
   req->path_base = args.positional()[0];
@@ -1099,10 +1105,13 @@ Status RunUpdates(const UpdatesRequest& req, UpdatesResponse* resp) {
   resp->sequence = batch.sequence;
 
   WallTimer write_timer;
+  const store::StoreWriteOptions write_options{
+      .compress_dict = req.common.compress_dict};
   RDFALIGN_ASSIGN_OR_RETURN(std::string bytes,
-                            store::EncodeUpdateBatch(batch));
+                            store::EncodeUpdateBatch(batch, write_options));
   resp->file_bytes = bytes.size();
-  RDFALIGN_RETURN_IF_ERROR(store::WriteUpdateFile(batch, req.path_out));
+  RDFALIGN_RETURN_IF_ERROR(
+      store::WriteUpdateFile(batch, req.path_out, write_options));
   resp->write_ms = write_timer.ElapsedMillis();
   return Status::OK();
 }
@@ -1211,7 +1220,10 @@ const char* UsageText() {
       "      running rdfalignd\n"
       "\n"
       "every command also accepts --no-verify-checksums (skip section\n"
-      "checksum verification on loads; structural validation still runs)\n";
+      "checksum verification on loads; structural validation still runs);\n"
+      "writing commands (build, diff, patch, archive, updates) also accept\n"
+      "--no-dict-compress (write the raw version-1 dictionary layout\n"
+      "instead of the front-coded version-2 default)\n";
 }
 
 namespace {

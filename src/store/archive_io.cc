@@ -193,7 +193,7 @@ std::string_view ArchiveSectionName(ArchiveSectionId id) {
 }
 
 Status SaveArchive(const VersionArchive& archive, const std::string& path,
-                   ArchiveSaveStats* stats) {
+                   ArchiveSaveStats* stats, const StoreWriteOptions& options) {
   static_assert(std::endian::native == std::endian::little,
                 "archives are written on little-endian hosts only");
   const uint64_t num_versions = archive.NumVersions();
@@ -211,13 +211,14 @@ Status SaveArchive(const VersionArchive& archive, const std::string& path,
     std::ostringstream image(std::ios::binary);
     if (v == 0) {
       RDFALIGN_RETURN_IF_ERROR(WriteSnapshotToStream(
-          archive.Version(0), image, path + " (base snapshot)"));
+          archive.Version(0), image, path + " (base snapshot)", options));
     } else {
       const VersionNodeMap map =
           NodeMapFromEntities(archive.Entities(v - 1), archive.Entities(v));
       RDFALIGN_RETURN_IF_ERROR(WriteDeltaToStream(
           archive.Version(v - 1), archive.Version(v), map, image,
-          path + " (delta " + std::to_string(v) + ")"));
+          path + " (delta " + std::to_string(v) + ")", /*stats=*/nullptr,
+          options));
     }
     images.push_back(std::move(image).str());
   }

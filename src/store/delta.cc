@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "store/atomic_writer.h"
+#include "store/front_coding.h"
 #include "store/io_util.h"
 #include "util/shared_array.h"
 #include "util/thread_pool.h"
@@ -17,14 +18,28 @@ namespace rdfalign::store {
 
 namespace {
 
-// Section order within a version-1 delta file (also the id order).
-constexpr DeltaSectionId kDeltaSectionOrder[kNumDeltaSections] = {
+// Section order within a delta file (also the id order). Version-1 files
+// carry the first kNumDeltaSections entries; version-2 files all
+// kNumDeltaSectionsV2.
+constexpr DeltaSectionId kDeltaSectionOrder[kNumDeltaSectionsV2] = {
     DeltaSectionId::kTermSources, DeltaSectionId::kNewTermOffsets,
     DeltaSectionId::kNewTermBlob, DeltaSectionId::kNodeKinds,
     DeltaSectionId::kNodeLex,     DeltaSectionId::kNodeRemap,
     DeltaSectionId::kRemovedRuns, DeltaSectionId::kKeptRuns,
-    DeltaSectionId::kAddedTriples,
+    DeltaSectionId::kAddedTriples, DeltaSectionId::kNewTermPrefixLens,
 };
+
+/// Section count of a delta format version.
+size_t DeltaSectionCount(uint32_t version) {
+  return version == kDeltaFormatVersion ? kNumDeltaSections
+                                        : kNumDeltaSectionsV2;
+}
+
+/// Byte offset of the first payload of a delta format version.
+size_t DeltaPayloadStart(uint32_t version) {
+  return sizeof(DeltaHeader) +
+         DeltaSectionCount(version) * sizeof(SectionEntry);
+}
 
 constexpr uint32_t kInvalidDense = 0xffffffffu;
 
@@ -113,6 +128,8 @@ std::string_view DeltaSectionName(DeltaSectionId id) {
       return "kept_runs";
     case DeltaSectionId::kAddedTriples:
       return "added_triples";
+    case DeltaSectionId::kNewTermPrefixLens:
+      return "new_term_prefix_lens";
   }
   return "unknown";
 }
@@ -123,9 +140,15 @@ uint64_t GraphFingerprint(const TripleGraph& g) {
 
 Status WriteDeltaToStream(const TripleGraph& base, const TripleGraph& next,
                           const VersionNodeMap& alignment, std::ostream& out,
-                          const std::string& name, DeltaWriteStats* stats) {
+                          const std::string& name, DeltaWriteStats* stats,
+                          const StoreWriteOptions& options) {
   static_assert(std::endian::native == std::endian::little,
                 "deltas are written on little-endian hosts only");
+  const bool fc = options.compress_dict;
+  const uint32_t version =
+      fc ? kDeltaFormatVersionFrontCoded : kDeltaFormatVersion;
+  const size_t num_sections = DeltaSectionCount(version);
+  const uint64_t payload_start = DeltaPayloadStart(version);
   if (base.dict_ptr().get() != next.dict_ptr().get()) {
     return Status::InvalidArgument(
         "delta endpoints must share one Dictionary: " + name);
@@ -179,11 +202,30 @@ Status WriteDeltaToStream(const TripleGraph& base, const TripleGraph& next,
       new_terms.push_back(id);
     }
   }
-  std::vector<uint64_t> new_term_offsets(new_terms.size() + 1, 0);
-  for (size_t k = 0; k < new_terms.size(); ++k) {
-    new_term_offsets[k + 1] =
-        new_term_offsets[k] + next.dict().Get(new_terms[k]).size();
+  // New terms were pushed in next-dense order, which BindTerms defines as
+  // lexicographic — exactly the order front coding wants, so the v2 blob
+  // needs no separate sort or id remap.
+  const auto new_term_bytes = [&next, &new_terms](size_t k) {
+    return next.dict().Get(new_terms[k]);
+  };
+  FrontCodedLayout layout;
+  std::vector<uint64_t> new_term_offsets;
+  if (fc) {
+    layout = FrontCodeTerms(new_terms.size(), new_term_bytes);
+    new_term_offsets = std::move(layout.suffix_offsets);
+  } else {
+    new_term_offsets.assign(new_terms.size() + 1, 0);
+    for (size_t k = 0; k < new_terms.size(); ++k) {
+      new_term_offsets[k + 1] =
+          new_term_offsets[k] + next.dict().Get(new_terms[k]).size();
+    }
   }
+  // Bytes of new term k as stored in the blob (suffix tail under front
+  // coding, the whole term raw).
+  const auto stored_bytes = [&](size_t k) {
+    std::string_view term = new_term_bytes(k);
+    return fc ? term.substr(layout.prefix_lens[k]) : term;
+  };
 
   // The next version's node columns, in next-dense (canonical) term
   // numbering.
@@ -261,7 +303,7 @@ Status WriteDeltaToStream(const TripleGraph& base, const TripleGraph& next,
     const void* data;
     uint64_t size;
   };
-  const Payload payloads[kNumDeltaSections] = {
+  const Payload payloads[kNumDeltaSectionsV2] = {
       {term_sources.data(), tn * sizeof(uint32_t)},
       {new_term_offsets.data(), new_term_offsets.size() * sizeof(uint64_t)},
       {nullptr, new_term_offsets.back()},
@@ -271,19 +313,20 @@ Status WriteDeltaToStream(const TripleGraph& base, const TripleGraph& next,
       {removed_runs.data(), removed_runs.size() * sizeof(RunEntry)},
       {kept_runs.data(), kept_runs.size() * sizeof(RunEntry)},
       {added.data(), added.size() * sizeof(Triple)},
+      {layout.prefix_lens.data(), layout.prefix_lens.size() * sizeof(uint32_t)},
   };
-  SectionEntry table[kNumDeltaSections];
-  uint64_t cursor = kDeltaPayloadStart;
-  for (size_t s = 0; s < kNumDeltaSections; ++s) {
+  SectionEntry table[kNumDeltaSectionsV2];
+  uint64_t cursor = payload_start;
+  for (size_t s = 0; s < num_sections; ++s) {
     table[s].id = static_cast<uint32_t>(kDeltaSectionOrder[s]);
     table[s].reserved = 0;
     table[s].offset = AlignUp(cursor);
     table[s].size = payloads[s].size;
     if (s == kBlobIndex) {
       Checksummer c;
-      for (LexId id : new_terms) {
-        std::string_view term = next.dict().Get(id);
-        c.Update(term.data(), term.size());
+      for (size_t k = 0; k < new_terms.size(); ++k) {
+        std::string_view bytes = stored_bytes(k);
+        c.Update(bytes.data(), bytes.size());
       }
       table[s].checksum = c.Finish();
     } else {
@@ -294,7 +337,7 @@ Status WriteDeltaToStream(const TripleGraph& base, const TripleGraph& next,
 
   DeltaHeader header;
   header.magic = kDeltaMagic;
-  header.version = kDeltaFormatVersion;
+  header.version = version;
   header.endian_tag = kEndianTag;
   header.base_nodes = bn;
   header.base_triples = be;
@@ -304,30 +347,31 @@ Status WriteDeltaToStream(const TripleGraph& base, const TripleGraph& next,
   header.next_triples = ne;
   header.next_terms = tn;
   header.num_new_terms = new_terms.size();
-  header.num_sections = kNumDeltaSections;
+  header.num_sections = static_cast<uint32_t>(num_sections);
   header.file_size = cursor;
   header.header_checksum = 0;
   {
     Checksummer c;
     c.Update(&header, sizeof(header));
-    c.Update(table, sizeof(table));
+    c.Update(table, num_sections * sizeof(SectionEntry));
     header.header_checksum = c.Finish();
   }
 
   RDFALIGN_RETURN_IF_ERROR(WriteExact(out, &header, sizeof(header), name));
-  RDFALIGN_RETURN_IF_ERROR(WriteExact(out, table, sizeof(table), name));
-  uint64_t written = kDeltaPayloadStart;
+  RDFALIGN_RETURN_IF_ERROR(
+      WriteExact(out, table, num_sections * sizeof(SectionEntry), name));
+  uint64_t written = payload_start;
   const char zeros[kSectionAlignment] = {};
-  for (size_t s = 0; s < kNumDeltaSections; ++s) {
+  for (size_t s = 0; s < num_sections; ++s) {
     if (table[s].offset > written) {
       RDFALIGN_RETURN_IF_ERROR(
           WriteExact(out, zeros, table[s].offset - written, name));
     }
     if (s == kBlobIndex) {
-      for (LexId id : new_terms) {
-        std::string_view term = next.dict().Get(id);
+      for (size_t k = 0; k < new_terms.size(); ++k) {
+        std::string_view bytes = stored_bytes(k);
         RDFALIGN_RETURN_IF_ERROR(
-            WriteExact(out, term.data(), term.size(), name));
+            WriteExact(out, bytes.data(), bytes.size(), name));
       }
     } else {
       RDFALIGN_RETURN_IF_ERROR(
@@ -353,13 +397,13 @@ Status WriteDeltaToStream(const TripleGraph& base, const TripleGraph& next,
 
 Status WriteDelta(const TripleGraph& base, const TripleGraph& next,
                   const VersionNodeMap& alignment, const std::string& path,
-                  DeltaWriteStats* stats) {
+                  DeltaWriteStats* stats, const StoreWriteOptions& options) {
   // Durable atomic replace (store/atomic_writer.h): a crash mid-save
   // leaves the previous delta intact, never a torn file.
   AtomicFileWriter writer(path, "delta");
   RDFALIGN_RETURN_IF_ERROR(writer.Open());
-  Status st =
-      WriteDeltaToStream(base, next, alignment, writer.stream(), path, stats);
+  Status st = WriteDeltaToStream(base, next, alignment, writer.stream(), path,
+                                 stats, options);
   if (!st.ok()) {
     Status io = writer.status();
     return io.ok() ? st : io;
@@ -375,7 +419,7 @@ struct RawDelta {
   const unsigned char* base = nullptr;
   uint64_t size = 0;
   DeltaHeader header;
-  SectionEntry table[kNumDeltaSections];
+  SectionEntry table[kNumDeltaSectionsV2];
 };
 
 /// Header and section-table validation shared by ApplyDelta and
@@ -390,17 +434,21 @@ Status ValidateDeltaHeader(const unsigned char* base, uint64_t available,
   if (header->magic != kDeltaMagic) {
     return Status::InvalidArgument("not an rdfalign delta: " + name);
   }
-  if (header->version != kDeltaFormatVersion) {
+  if (header->version != kDeltaFormatVersion &&
+      header->version != kDeltaFormatVersionFrontCoded) {
     return Status::NotSupported(
         "unsupported delta format version " +
-        std::to_string(header->version) + " (this build reads version " +
-        std::to_string(kDeltaFormatVersion) + "): " + name);
+        std::to_string(header->version) + " (this build reads versions " +
+        std::to_string(kDeltaFormatVersion) + "-" +
+        std::to_string(kDeltaFormatVersionFrontCoded) + "): " + name);
   }
   if (header->endian_tag != kEndianTag) {
     return Status::NotSupported(
         "delta written with a different byte order: " + name);
   }
-  if (header->num_sections != kNumDeltaSections) {
+  const size_t num_sections = DeltaSectionCount(header->version);
+  const uint64_t payload_start = DeltaPayloadStart(header->version);
+  if (header->num_sections != num_sections) {
     return Status::Corruption("unexpected delta section count: " + name);
   }
   if (header->file_size != actual_size) {
@@ -409,17 +457,17 @@ Status ValidateDeltaHeader(const unsigned char* base, uint64_t available,
         std::to_string(header->file_size) + " bytes, file has " +
         std::to_string(actual_size) + "): " + name);
   }
-  if (available < kDeltaPayloadStart) {
+  if (available < payload_start) {
     return Status::Corruption("truncated delta (no section table): " + name);
   }
   std::memcpy(table, base + sizeof(DeltaHeader),
-              kNumDeltaSections * sizeof(SectionEntry));
+              num_sections * sizeof(SectionEntry));
   {
     DeltaHeader zeroed = *header;
     zeroed.header_checksum = 0;
     Checksummer c;
     c.Update(&zeroed, sizeof(zeroed));
-    c.Update(table, kNumDeltaSections * sizeof(SectionEntry));
+    c.Update(table, num_sections * sizeof(SectionEntry));
     if (c.Finish() != header->header_checksum) {
       return Status::Corruption("delta header checksum mismatch: " + name);
     }
@@ -439,7 +487,7 @@ Status ValidateDeltaHeader(const unsigned char* base, uint64_t available,
   const uint64_t nw = header->num_new_terms;
   // Fixed expected sizes; the run and triple sections are data-dependent
   // but must hold whole elements.
-  const uint64_t expected[kNumDeltaSections] = {
+  const uint64_t expected[kNumDeltaSectionsV2] = {
       tn * sizeof(uint32_t),         // term_sources
       (nw + 1) * sizeof(uint64_t),   // new_term_offsets
       table[2].size,                 // new_term_blob: data-dependent
@@ -449,6 +497,7 @@ Status ValidateDeltaHeader(const unsigned char* base, uint64_t available,
       table[6].size,                 // removed_runs
       table[7].size,                 // kept_runs
       table[8].size,                 // added_triples
+      nw * sizeof(uint32_t),         // new_term_prefix_lens (v2)
   };
   if (table[6].size % sizeof(RunEntry) != 0 ||
       table[7].size % sizeof(RunEntry) != 0 ||
@@ -456,8 +505,8 @@ Status ValidateDeltaHeader(const unsigned char* base, uint64_t available,
     return Status::Corruption("delta section holds partial elements: " +
                               name);
   }
-  uint64_t prev_end = kDeltaPayloadStart;
-  for (size_t s = 0; s < kNumDeltaSections; ++s) {
+  uint64_t prev_end = payload_start;
+  for (size_t s = 0; s < num_sections; ++s) {
     const SectionEntry& sec = table[s];
     if (sec.id != static_cast<uint32_t>(kDeltaSectionOrder[s]) ||
         sec.reserved != 0) {
@@ -502,9 +551,11 @@ Result<uint64_t> OpenAndValidateDeltaPrefix(const std::string& path,
   }
   const auto size = static_cast<uint64_t>(pos);
   in.seekg(0);
-  unsigned char head[kDeltaPayloadStart] = {};
+  // Large enough for either format version; v1 validation only reads the
+  // first kNumDeltaSections table entries.
+  unsigned char head[kDeltaPayloadStartV2] = {};
   const uint64_t head_bytes =
-      size < kDeltaPayloadStart ? size : kDeltaPayloadStart;
+      size < kDeltaPayloadStartV2 ? size : kDeltaPayloadStartV2;
   in.read(reinterpret_cast<char*>(head),
           static_cast<std::streamsize>(head_bytes));
   if (!in && head_bytes > 0) {
@@ -561,12 +612,14 @@ Result<TripleGraph> ApplyFromRaw(const TripleGraph& base, const RawDelta& raw,
     return Status::Corruption(std::string(what) + ": " + name);
   };
 
+  const bool fc = raw.header.version == kDeltaFormatVersionFrontCoded;
+  const size_t num_sections = DeltaSectionCount(raw.header.version);
   const size_t threads = ResolveThreads(options.threads);
   if (options.verify_checksums) {
     // Sections hash independently; the first mismatch in section order is
     // reported no matter which worker found it.
-    uint8_t bad[kNumDeltaSections] = {};
-    ParallelChunks(kNumDeltaSections, threads, /*grain=*/1,
+    uint8_t bad[kNumDeltaSectionsV2] = {};
+    ParallelChunks(num_sections, threads, /*grain=*/1,
                    [&](size_t, size_t begin, size_t end) {
                      for (size_t s = begin; s < end; ++s) {
                        bad[s] = Checksum64(raw.base + raw.table[s].offset,
@@ -574,7 +627,7 @@ Result<TripleGraph> ApplyFromRaw(const TripleGraph& base, const RawDelta& raw,
                                 raw.table[s].checksum;
                      }
                    });
-    for (size_t s = 0; s < kNumDeltaSections; ++s) {
+    for (size_t s = 0; s < num_sections; ++s) {
       if (bad[s]) {
         return Status::Corruption(
             "delta section " +
@@ -614,6 +667,8 @@ Result<TripleGraph> ApplyFromRaw(const TripleGraph& base, const RawDelta& raw,
   const auto removed_runs = DeltaSectionSpan<RunEntry>(raw, 6);
   const auto kept_runs = DeltaSectionSpan<RunEntry>(raw, 7);
   const auto added = DeltaSectionSpan<Triple>(raw, 8);
+  const auto new_prefix_lens =
+      fc ? DeltaSectionSpan<uint32_t>(raw, 9) : std::span<const uint32_t>{};
 
   // Structural validation: every array reference checked before use, so a
   // crafted delta (checksums recomputed) is a Corruption status, never UB.
@@ -634,12 +689,19 @@ Result<TripleGraph> ApplyFromRaw(const TripleGraph& base, const RawDelta& raw,
       return corrupt("delta new-term count inconsistent with term sources");
     }
   }
-  if (new_term_offsets[0] != 0 || new_term_offsets[nw] != blob.size()) {
-    return corrupt("delta term offset table does not span the term blob");
-  }
-  for (uint64_t k = 0; k < nw; ++k) {
-    if (new_term_offsets[k] > new_term_offsets[k + 1]) {
-      return corrupt("delta term offsets not monotonic");
+  if (fc) {
+    if (const char* defect = CheckFrontCodedGeometry(
+            new_prefix_lens, new_term_offsets, blob.size(), nullptr)) {
+      return corrupt(defect);
+    }
+  } else {
+    if (new_term_offsets[0] != 0 || new_term_offsets[nw] != blob.size()) {
+      return corrupt("delta term offset table does not span the term blob");
+    }
+    for (uint64_t k = 0; k < nw; ++k) {
+      if (new_term_offsets[k] > new_term_offsets[k + 1]) {
+        return corrupt("delta term offsets not monotonic");
+      }
     }
   }
   for (uint64_t i = 0; i < nn; ++i) {
@@ -773,13 +835,31 @@ Result<TripleGraph> ApplyFromRaw(const TripleGraph& base, const RawDelta& raw,
   std::vector<LexId> lex_map(tn);
   {
     uint64_t new_seen = 0;
+    // Front-coded decode state: the previous decoded new term, kept whole
+    // so the next term's prefix head can be copied from it (swap, never
+    // resize in place — the head is read before it is overwritten).
+    std::string prev_new;
+    std::string cur_new;
     for (uint64_t j = 0; j < tn; ++j) {
       const uint32_t src = term_sources[j];
       std::string_view term;
       if (src & kNewTermFlag) {
-        term = std::string_view(blob.data() + new_term_offsets[new_seen],
-                                new_term_offsets[new_seen + 1] -
-                                    new_term_offsets[new_seen]);
+        const uint64_t suffix_len =
+            new_term_offsets[new_seen + 1] - new_term_offsets[new_seen];
+        if (fc) {
+          const uint32_t plen = new_prefix_lens[new_seen];
+          cur_new.assign(prev_new.data(), plen);
+          cur_new.append(blob.data() + new_term_offsets[new_seen],
+                         suffix_len);
+          if (new_seen > 0 && !(prev_new < cur_new)) {
+            return corrupt("delta front-coded terms not strictly ascending");
+          }
+          std::swap(prev_new, cur_new);
+          term = prev_new;
+        } else {
+          term = std::string_view(blob.data() + new_term_offsets[new_seen],
+                                  suffix_len);
+        }
         ++new_seen;
       } else {
         term = base.dict().Get(base_terms.term_ids[src]);
@@ -849,7 +929,7 @@ Result<TripleGraph> ApplyDeltaFromMemory(const TripleGraph& base,
 Result<DeltaInfo> ReadDeltaInfo(const std::string& path) {
   std::ifstream in;
   DeltaHeader header;
-  SectionEntry table[kNumDeltaSections];
+  SectionEntry table[kNumDeltaSectionsV2];
   RDFALIGN_RETURN_IF_ERROR(
       OpenAndValidateDeltaPrefix(path, in, &header, table).status());
   DeltaInfo info;
@@ -863,7 +943,7 @@ Result<DeltaInfo> ReadDeltaInfo(const std::string& path) {
   info.next_terms = header.next_terms;
   info.num_new_terms = header.num_new_terms;
   info.file_size = header.file_size;
-  for (size_t s = 0; s < kNumDeltaSections; ++s) {
+  for (size_t s = 0; s < DeltaSectionCount(header.version); ++s) {
     info.sections.push_back(
         DeltaSectionInfo{kDeltaSectionOrder[s], table[s].offset,
                          table[s].size, table[s].checksum});

@@ -35,19 +35,28 @@ namespace rdfalign::store {
 inline constexpr std::array<char, 8> kMagic = {'R', 'D', 'F', 'S',
                                                'N', 'A', 'P', '1'};
 
-/// Format version written by this build; the loader accepts only equal
-/// versions (the format is not yet self-describing enough for forward or
-/// backward compatibility).
+/// Version 1: raw dictionary (whole terms, ascending original-id order).
+/// Still written by `--no-dict-compress` and read bit-identically.
 inline constexpr uint32_t kFormatVersion = 1;
+
+/// Version 2: front-coded dictionary (terms sorted lexicographically,
+/// shared prefixes elided — see store/front_coding.h). The default for
+/// new files; readers accept versions 1 and 2.
+inline constexpr uint32_t kFormatVersionFrontCoded = 2;
 
 /// Fixed byte-order tag. Written in native order; a reader on a host of
 /// the other endianness sees the reversed pattern and rejects the file.
 inline constexpr uint32_t kEndianTag = 0x0a0b0c0d;
 
-/// The payload sections of a version-1 snapshot, in file order.
+/// The payload sections of a snapshot, in file order. Version 1 files
+/// carry sections 1-9; version 2 appends kTermPrefixLens and reinterprets
+/// kTermOffsets/kTermBlob as suffix offsets / suffix tails of the
+/// front-coded dictionary (sorted lexicographically).
 enum class SectionId : uint32_t {
   kTermOffsets = 1,  ///< (num_terms + 1) x u64: byte offsets into kTermBlob
+                     ///< (v2: offsets of the suffix tails)
   kTermBlob = 2,     ///< concatenated UTF-8 lexical forms, unterminated
+                     ///< (v2: concatenated suffix tails)
   kNodeKinds = 3,    ///< num_nodes x u8: TermKind of each node
   kNodeLex = 4,      ///< num_nodes x u32: term index of each node's label
   kTriples = 5,      ///< num_triples x {s,p,o u32}, sorted, deduplicated
@@ -55,9 +64,11 @@ enum class SectionId : uint32_t {
   kOutPairs = 7,     ///< num_triples x {p,o u32}: CSR out-index payload
   kInOffsets = 8,    ///< (num_nodes + 1) x u64: reverse-CSR offsets
   kInSubjects = 9,   ///< in_offsets[num_nodes] x u32: reverse-CSR payload
+  kTermPrefixLens = 10,  ///< v2 only: num_terms x u32 shared-prefix lengths
 };
 
-inline constexpr size_t kNumSections = 9;
+inline constexpr size_t kNumSections = 9;       ///< version 1
+inline constexpr size_t kNumSectionsV2 = 10;    ///< version 2
 
 /// Every section payload starts at a multiple of this (so u64 arrays can be
 /// referenced in place from an mmap).
@@ -90,9 +101,20 @@ struct SectionEntry {
 static_assert(sizeof(SectionEntry) == 32);
 static_assert(std::is_trivially_copyable_v<SectionEntry>);
 
-/// Byte offset of the first section payload.
+/// Byte offset of the first section payload, per format version.
 inline constexpr size_t kPayloadStart =
     sizeof(SnapshotHeader) + kNumSections * sizeof(SectionEntry);
+inline constexpr size_t kPayloadStartV2 =
+    sizeof(SnapshotHeader) + kNumSectionsV2 * sizeof(SectionEntry);
+
+/// Options honored by every dictionary-bearing writer (snapshot, delta,
+/// update fragment, archive — the archive inherits them into its embedded
+/// images). `compress_dict` selects the front-coded version-2 dictionary
+/// encoding; clearing it (`--no-dict-compress`) writes the version-1
+/// layout byte-identically to pre-front-coding builds.
+struct StoreWriteOptions {
+  bool compress_dict = true;
+};
 
 // The array sections are memory images of these in-memory types; pin their
 // layout so the zero-copy load path is sound.
@@ -116,16 +138,25 @@ static_assert(sizeof(NodeId) == 4 && sizeof(LexId) == 4);
 inline constexpr std::array<char, 8> kDeltaMagic = {'R', 'D', 'F', 'D',
                                                     'E', 'L', 'T', '1'};
 
-/// Delta format version written by this build; readers accept only equal
-/// versions (same policy as snapshots).
+/// Delta version 1: raw new-term blob. Still written by
+/// `--no-dict-compress` and read bit-identically.
 inline constexpr uint32_t kDeltaFormatVersion = 1;
 
-/// The payload sections of a version-1 delta, in file order.
+/// Delta version 2: front-coded new-term blob (the new-term list is
+/// already lexicographically sorted by construction). The default for
+/// new files; readers accept versions 1 and 2.
+inline constexpr uint32_t kDeltaFormatVersionFrontCoded = 2;
+
+/// The payload sections of a delta, in file order. Version 1 files carry
+/// sections 1-9; version 2 appends kNewTermPrefixLens and reinterprets
+/// kNewTermOffsets/kNewTermBlob as suffix offsets / suffix tails.
 enum class DeltaSectionId : uint32_t {
   kTermSources = 1,     ///< next_terms x u32: base term index, or
                         ///< kNewTermFlag | new-term index
   kNewTermOffsets = 2,  ///< (num_new_terms + 1) x u64 into kNewTermBlob
+                        ///< (v2: offsets of the suffix tails)
   kNewTermBlob = 3,     ///< concatenated UTF-8 lexical forms of new terms
+                        ///< (v2: concatenated suffix tails)
   kNodeKinds = 4,       ///< next_nodes x u8: TermKind per next node
   kNodeLex = 5,         ///< next_nodes x u32: next-dense term index
   kNodeRemap = 6,       ///< next_nodes x u32: aligned base node or
@@ -136,9 +167,11 @@ enum class DeltaSectionId : uint32_t {
                         ///< ordered by the mapped triples' next-space sort
                         ///< position
   kAddedTriples = 9,    ///< Triple[]: next-space triples new in next, sorted
+  kNewTermPrefixLens = 10,  ///< v2 only: num_new_terms x u32 prefix lengths
 };
 
-inline constexpr size_t kNumDeltaSections = 9;
+inline constexpr size_t kNumDeltaSections = 9;       ///< version 1
+inline constexpr size_t kNumDeltaSectionsV2 = 10;    ///< version 2
 
 /// Marks a kTermSources entry as referencing the delta's new-term table
 /// (low 31 bits index it) instead of the base term table.
@@ -178,9 +211,11 @@ struct DeltaHeader {
 static_assert(sizeof(DeltaHeader) == 104);
 static_assert(std::is_trivially_copyable_v<DeltaHeader>);
 
-/// Byte offset of the first delta section payload.
+/// Byte offset of the first delta section payload, per format version.
 inline constexpr size_t kDeltaPayloadStart =
     sizeof(DeltaHeader) + kNumDeltaSections * sizeof(SectionEntry);
+inline constexpr size_t kDeltaPayloadStartV2 =
+    sizeof(DeltaHeader) + kNumDeltaSectionsV2 * sizeof(SectionEntry);
 
 // ------------------------------------------------------------------------
 // Archive files (version 1): a base snapshot plus a delta chain plus the

@@ -1,0 +1,119 @@
+// Front-coded dictionary sections (format version 2 of the snapshot,
+// delta, and update-fragment files).
+//
+// The terms of a dictionary section are sorted lexicographically by their
+// raw bytes; consecutive terms then share long prefixes (IRIs share
+// namespaces by construction), and each term is stored as
+//
+//   prefix_lens[i]  — bytes shared with term i-1 (u32)
+//   suffix          — the remaining tail, concatenated into the blob
+//
+// with a *restart point* every kRestartInterval terms: at a restart the
+// prefix length is forced to zero, so the term is stored whole and any
+// single term decodes by scanning at most one block — O(block), not O(i).
+// The suffix offset table keeps the familiar (t + 1) x u64 shape of the
+// raw encoding, but its entries now index the *suffix* blob.
+//
+// The decode contract (see docs/store.md "Front-coded dictionary"):
+// restart terms are complete in the blob and stay zero-copy; non-restart
+// terms are materialized (previous term's head + own suffix) into a side
+// arena pinned to the dictionary, so Dictionary::InternPinned remains
+// valid for every term and the mmap fast path survives.
+//
+// This header holds the pieces shared by all three writers and readers:
+// the restart interval, the prefix/suffix computation, and the geometry
+// validation a loader must run before touching the blob.
+
+#ifndef RDFALIGN_STORE_FRONT_CODING_H_
+#define RDFALIGN_STORE_FRONT_CODING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace rdfalign::store {
+
+/// Terms between forced whole-term restart points. Small enough that the
+/// worst-case single-term decode touches a handful of entries, large
+/// enough that the per-block whole term amortizes away.
+inline constexpr size_t kRestartInterval = 16;
+
+/// The computed layout of one front-coded term list: per-term shared
+/// prefix lengths and offsets of the suffix tails. Suffix bytes are not
+/// materialized — writers stream them from the term accessor.
+struct FrontCodedLayout {
+  std::vector<uint32_t> prefix_lens;     ///< count entries
+  std::vector<uint64_t> suffix_offsets;  ///< count + 1 entries
+};
+
+/// Computes the front-coded layout of `count` terms. `get(i)` must return
+/// the i-th term; the terms must be sorted ascending (strictly — distinct
+/// interned ids hold distinct strings).
+template <typename GetTerm>
+FrontCodedLayout FrontCodeTerms(size_t count, GetTerm&& get) {
+  FrontCodedLayout layout;
+  layout.prefix_lens.resize(count);
+  layout.suffix_offsets.assign(count + 1, 0);
+  std::string_view prev;
+  for (size_t i = 0; i < count; ++i) {
+    const std::string_view term = get(i);
+    size_t plen = 0;
+    if (i % kRestartInterval != 0) {
+      const size_t limit = prev.size() < term.size() ? prev.size()
+                                                     : term.size();
+      while (plen < limit && prev[plen] == term[plen]) ++plen;
+      // The on-disk field is u32; a >4 GiB shared prefix is truncated to
+      // a shorter (still correct) one rather than wrapped.
+      if (plen > 0xffffffffull) plen = 0xffffffffull;
+    }
+    layout.prefix_lens[i] = static_cast<uint32_t>(plen);
+    layout.suffix_offsets[i + 1] =
+        layout.suffix_offsets[i] + (term.size() - plen);
+    prev = term;
+  }
+  return layout;
+}
+
+/// Validates the geometry of a front-coded section before any blob byte
+/// is interpreted: the suffix offsets span the blob monotonically, every
+/// restart has prefix length zero, and every prefix length is bounded by
+/// the previous term's decoded length — so the decode loop below never
+/// reads outside [prev term]. Returns nullptr on success or a static
+/// description of the defect; on success *materialized_bytes is the total
+/// decoded size of the non-restart terms (the side-arena budget).
+inline const char* CheckFrontCodedGeometry(
+    std::span<const uint32_t> prefix_lens,
+    std::span<const uint64_t> suffix_offsets, uint64_t blob_size,
+    uint64_t* materialized_bytes) {
+  const size_t count = prefix_lens.size();
+  if (suffix_offsets.size() != count + 1) {
+    return "front-coded prefix table does not match the offset table";
+  }
+  if (suffix_offsets[0] != 0 || suffix_offsets[count] != blob_size) {
+    return "term offset table does not span the term blob";
+  }
+  uint64_t arena = 0;
+  uint64_t prev_len = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (suffix_offsets[i] > suffix_offsets[i + 1]) {
+      return "term offsets not monotonic";
+    }
+    const uint64_t suffix_len = suffix_offsets[i + 1] - suffix_offsets[i];
+    const uint64_t plen = prefix_lens[i];
+    if (i % kRestartInterval == 0) {
+      if (plen != 0) return "front-coded restart term has a nonzero prefix";
+    } else if (plen > prev_len) {
+      return "front-coded prefix longer than the previous term";
+    }
+    prev_len = plen + suffix_len;
+    if (plen != 0) arena += prev_len;
+  }
+  if (materialized_bytes != nullptr) *materialized_bytes = arena;
+  return nullptr;
+}
+
+}  // namespace rdfalign::store
+
+#endif  // RDFALIGN_STORE_FRONT_CODING_H_

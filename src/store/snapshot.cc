@@ -1,5 +1,6 @@
 #include "store/snapshot.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstddef>
 #include <cstring>
@@ -8,6 +9,7 @@
 #include <utility>
 
 #include "store/atomic_writer.h"
+#include "store/front_coding.h"
 #include "store/io_util.h"
 #include "store/mapped_file.h"
 #include "util/shared_array.h"
@@ -16,12 +18,25 @@ namespace rdfalign::store {
 
 namespace {
 
-// Section order within a version-1 file (also the id order).
-constexpr SectionId kSectionOrder[kNumSections] = {
+// Section order within a file (also the id order). Version-1 files carry
+// the first kNumSections entries; version-2 files all kNumSectionsV2.
+constexpr SectionId kSectionOrder[kNumSectionsV2] = {
     SectionId::kTermOffsets, SectionId::kTermBlob,  SectionId::kNodeKinds,
     SectionId::kNodeLex,     SectionId::kTriples,   SectionId::kOutOffsets,
     SectionId::kOutPairs,    SectionId::kInOffsets, SectionId::kInSubjects,
+    SectionId::kTermPrefixLens,
 };
+
+/// Section count of a snapshot format version.
+size_t SectionCount(uint32_t version) {
+  return version == kFormatVersion ? kNumSections : kNumSectionsV2;
+}
+
+/// Byte offset of the first payload of a snapshot format version.
+size_t PayloadStart(uint32_t version) {
+  return sizeof(SnapshotHeader) +
+         SectionCount(version) * sizeof(SectionEntry);
+}
 
 Status WriteExact(std::ostream& out, const void* data, size_t n,
                   const std::string& path) {
@@ -50,46 +65,79 @@ std::string_view SectionName(SectionId id) {
       return "in_offsets";
     case SectionId::kInSubjects:
       return "in_subjects";
+    case SectionId::kTermPrefixLens:
+      return "term_prefix_lens";
   }
   return "unknown";
 }
 
 Status WriteSnapshotToStream(const TripleGraph& g, std::ostream& out,
-                             const std::string& path) {
+                             const std::string& path,
+                             const StoreWriteOptions& options) {
   static_assert(std::endian::native == std::endian::little,
                 "snapshots are written on little-endian hosts only");
   const size_t n = g.NumNodes();
   const size_t e = g.NumEdges();
   const Dictionary& dict = g.dict();
+  const bool fc = options.compress_dict;
+  const uint32_t version = fc ? kFormatVersionFrontCoded : kFormatVersion;
+  const size_t num_sections = SectionCount(version);
+  const uint64_t payload_start = PayloadStart(version);
 
-  // Terms referenced by this graph, ascending by original id, renumbered
-  // densely. A shared dictionary may hold terms of other graphs; those are
-  // not written.
+  // Terms referenced by this graph, renumbered densely. A shared
+  // dictionary may hold terms of other graphs; those are not written.
+  // Version 1 keeps ascending original-id order; version 2 sorts the terms
+  // lexicographically (the front-coding precondition). Either way, loading
+  // a snapshot into a fresh dictionary interns the terms in file order, so
+  // re-saving a loaded snapshot reproduces it byte for byte.
   std::vector<uint8_t> used(dict.size(), 0);
   for (const NodeLabel& l : g.labels()) {
     used[l.lex] = 1;
   }
   std::vector<LexId> term_ids;
-  std::vector<LexId> remap(dict.size(), kInvalidLex);
   for (LexId id = 0; id < used.size(); ++id) {
-    if (used[id]) {
-      remap[id] = static_cast<LexId>(term_ids.size());
-      term_ids.push_back(id);
-    }
+    if (used[id]) term_ids.push_back(id);
+  }
+  if (fc) {
+    // Distinct ids hold distinct strings, so the order is total.
+    std::sort(term_ids.begin(), term_ids.end(), [&dict](LexId a, LexId b) {
+      return dict.Get(a) < dict.Get(b);
+    });
   }
   const size_t num_terms = term_ids.size();
-
-  // Dense columns.
-  std::vector<uint64_t> term_offsets(num_terms + 1, 0);
-  for (size_t i = 0; i < num_terms; ++i) {
-    term_offsets[i + 1] = term_offsets[i] + dict.Get(term_ids[i]).size();
+  std::vector<LexId> remap(dict.size(), kInvalidLex);
+  for (size_t j = 0; j < num_terms; ++j) {
+    remap[term_ids[j]] = static_cast<LexId>(j);
   }
+
+  // Dense columns. In version 2 the offset table indexes the suffix blob
+  // and a prefix-length column is appended as the tenth section.
+  FrontCodedLayout layout;
+  std::vector<uint64_t> raw_offsets;
+  if (fc) {
+    layout = FrontCodeTerms(
+        num_terms, [&](size_t i) { return dict.Get(term_ids[i]); });
+  } else {
+    raw_offsets.assign(num_terms + 1, 0);
+    for (size_t i = 0; i < num_terms; ++i) {
+      raw_offsets[i + 1] = raw_offsets[i] + dict.Get(term_ids[i]).size();
+    }
+  }
+  const std::vector<uint64_t>& term_offsets =
+      fc ? layout.suffix_offsets : raw_offsets;
   std::vector<uint8_t> kinds(n);
   std::vector<uint32_t> lex(n);
   for (size_t i = 0; i < n; ++i) {
     kinds[i] = static_cast<uint8_t>(g.labels()[i].kind);
     lex[i] = remap[g.labels()[i].lex];
   }
+
+  // The i-th term's bytes as stored in the blob: the whole term (v1) or
+  // its suffix tail past the shared prefix (v2).
+  const auto stored_bytes = [&](size_t i) {
+    std::string_view term = dict.Get(term_ids[i]);
+    return fc ? term.substr(layout.prefix_lens[i]) : term;
+  };
 
   // Section payloads: {data, size}. The term blob (section index 1) is the
   // one section streamed term by term instead of from a contiguous buffer;
@@ -100,7 +148,7 @@ Status WriteSnapshotToStream(const TripleGraph& g, std::ostream& out,
     const void* data;
     uint64_t size;
   };
-  const Payload payloads[kNumSections] = {
+  const Payload payloads[kNumSectionsV2] = {
       {term_offsets.data(), (num_terms + 1) * sizeof(uint64_t)},
       {nullptr, term_offsets[num_terms]},
       {kinds.data(), n * sizeof(uint8_t)},
@@ -110,20 +158,21 @@ Status WriteSnapshotToStream(const TripleGraph& g, std::ostream& out,
       {g.OutPairs().data(), e * sizeof(PredicateObject)},
       {g.InOffsets().data(), (n + 1) * sizeof(uint64_t)},
       {g.InSubjects().data(), g.InSubjects().size() * sizeof(NodeId)},
+      {layout.prefix_lens.data(), num_terms * sizeof(uint32_t)},
   };
 
-  SectionEntry table[kNumSections];
-  uint64_t cursor = kPayloadStart;
-  for (size_t s = 0; s < kNumSections; ++s) {
+  SectionEntry table[kNumSectionsV2];
+  uint64_t cursor = payload_start;
+  for (size_t s = 0; s < num_sections; ++s) {
     table[s].id = static_cast<uint32_t>(kSectionOrder[s]);
     table[s].reserved = 0;
     table[s].offset = AlignUp(cursor);
     table[s].size = payloads[s].size;
     if (s == kBlobIndex) {
       Checksummer c;
-      for (LexId id : term_ids) {
-        std::string_view term = dict.Get(id);
-        c.Update(term.data(), term.size());
+      for (size_t i = 0; i < num_terms; ++i) {
+        std::string_view bytes = stored_bytes(i);
+        c.Update(bytes.data(), bytes.size());
       }
       table[s].checksum = c.Finish();
     } else {
@@ -134,35 +183,36 @@ Status WriteSnapshotToStream(const TripleGraph& g, std::ostream& out,
 
   SnapshotHeader header;
   header.magic = kMagic;
-  header.version = kFormatVersion;
+  header.version = version;
   header.endian_tag = kEndianTag;
   header.num_nodes = n;
   header.num_triples = e;
   header.num_terms = num_terms;
-  header.num_sections = kNumSections;
+  header.num_sections = num_sections;
   header.file_size = cursor;
   header.header_checksum = 0;
   {
     Checksummer c;
     c.Update(&header, sizeof(header));
-    c.Update(table, sizeof(table));
+    c.Update(table, num_sections * sizeof(SectionEntry));
     header.header_checksum = c.Finish();
   }
 
   RDFALIGN_RETURN_IF_ERROR(WriteExact(out, &header, sizeof(header), path));
-  RDFALIGN_RETURN_IF_ERROR(WriteExact(out, table, sizeof(table), path));
-  uint64_t written = kPayloadStart;
+  RDFALIGN_RETURN_IF_ERROR(
+      WriteExact(out, table, num_sections * sizeof(SectionEntry), path));
+  uint64_t written = payload_start;
   const char zeros[kSectionAlignment] = {};
-  for (size_t s = 0; s < kNumSections; ++s) {
+  for (size_t s = 0; s < num_sections; ++s) {
     if (table[s].offset > written) {
       RDFALIGN_RETURN_IF_ERROR(
           WriteExact(out, zeros, table[s].offset - written, path));
     }
     if (s == kBlobIndex) {
-      for (LexId id : term_ids) {
-        std::string_view term = dict.Get(id);
+      for (size_t i = 0; i < num_terms; ++i) {
+        std::string_view bytes = stored_bytes(i);
         RDFALIGN_RETURN_IF_ERROR(
-            WriteExact(out, term.data(), term.size(), path));
+            WriteExact(out, bytes.data(), bytes.size(), path));
       }
     } else {
       RDFALIGN_RETURN_IF_ERROR(
@@ -177,13 +227,14 @@ Status WriteSnapshotToStream(const TripleGraph& g, std::ostream& out,
   return Status::OK();
 }
 
-Status WriteSnapshot(const TripleGraph& g, const std::string& path) {
+Status WriteSnapshot(const TripleGraph& g, const std::string& path,
+                     const StoreWriteOptions& options) {
   // Durable atomic replace: stream into path.tmp.<pid>, fsync, rename
   // (see store/atomic_writer.h) — a crash mid-save leaves the previous
   // snapshot intact and never a torn file.
   AtomicFileWriter writer(path, "snapshot");
   RDFALIGN_RETURN_IF_ERROR(writer.Open());
-  Status st = WriteSnapshotToStream(g, writer.stream(), path);
+  Status st = WriteSnapshotToStream(g, writer.stream(), path, options);
   if (!st.ok()) {
     // Prefer the writer's errno-carrying status over the stream-level
     // message when the failure was an I/O error.
@@ -197,17 +248,18 @@ namespace {
 
 /// The validated raw view of a snapshot: base pointer, header, and the
 /// section table. `pin` keeps the underlying buffer or mapping alive.
+/// Version-1 files fill only the first kNumSections table entries.
 struct RawSnapshot {
   std::shared_ptr<const void> pin;
   const unsigned char* base = nullptr;
   uint64_t size = 0;
   SnapshotHeader header;
-  SectionEntry table[kNumSections];
+  SectionEntry table[kNumSectionsV2];
 };
 
 /// Header and section-table validation shared by the loader and
 /// ReadSnapshotInfo. `actual_size` is the real on-disk size; the first
-/// kPayloadStart bytes must be present at `base`.
+/// PayloadStart(version) bytes must be present at `base`.
 Status ValidateHeader(const unsigned char* base, uint64_t available,
                       uint64_t actual_size, SnapshotHeader* header,
                       SectionEntry* table, const std::string& path) {
@@ -218,17 +270,21 @@ Status ValidateHeader(const unsigned char* base, uint64_t available,
   if (header->magic != kMagic) {
     return Status::InvalidArgument("not an rdfalign snapshot: " + path);
   }
-  if (header->version != kFormatVersion) {
+  if (header->version != kFormatVersion &&
+      header->version != kFormatVersionFrontCoded) {
     return Status::NotSupported(
         "unsupported snapshot format version " +
-        std::to_string(header->version) + " (this build reads version " +
-        std::to_string(kFormatVersion) + "): " + path);
+        std::to_string(header->version) + " (this build reads versions " +
+        std::to_string(kFormatVersion) + "-" +
+        std::to_string(kFormatVersionFrontCoded) + "): " + path);
   }
   if (header->endian_tag != kEndianTag) {
     return Status::NotSupported(
         "snapshot written with a different byte order: " + path);
   }
-  if (header->num_sections != kNumSections) {
+  const size_t num_sections = SectionCount(header->version);
+  const uint64_t payload_start = PayloadStart(header->version);
+  if (header->num_sections != num_sections) {
     return Status::Corruption("unexpected section count: " + path);
   }
   if (header->file_size != actual_size) {
@@ -237,19 +293,19 @@ Status ValidateHeader(const unsigned char* base, uint64_t available,
         std::to_string(header->file_size) + " bytes, file has " +
         std::to_string(actual_size) + "): " + path);
   }
-  if (available < kPayloadStart) {
+  if (available < payload_start) {
     return Status::Corruption("truncated snapshot (no section table): " +
                               path);
   }
   std::memcpy(table, base + sizeof(SnapshotHeader),
-              kNumSections * sizeof(SectionEntry));
+              num_sections * sizeof(SectionEntry));
   {
     // The header checksum covers header + table with the field zeroed.
     SnapshotHeader zeroed = *header;
     zeroed.header_checksum = 0;
     Checksummer c;
     c.Update(&zeroed, sizeof(zeroed));
-    c.Update(table, kNumSections * sizeof(SectionEntry));
+    c.Update(table, num_sections * sizeof(SectionEntry));
     if (c.Finish() != header->header_checksum) {
       return Status::Corruption("snapshot header checksum mismatch: " + path);
     }
@@ -264,7 +320,7 @@ Status ValidateHeader(const unsigned char* base, uint64_t available,
   const uint64_t t = header->num_terms;
   // Fixed expected sizes (blob and in_subjects are data-dependent; their
   // sizes are cross-checked against the offset arrays during load).
-  const uint64_t expected[kNumSections] = {
+  const uint64_t expected[kNumSectionsV2] = {
       (t + 1) * sizeof(uint64_t),  // term_offsets
       table[1].size,               // term_blob: data-dependent
       n * sizeof(uint8_t),         // node_kinds
@@ -274,9 +330,10 @@ Status ValidateHeader(const unsigned char* base, uint64_t available,
       e * sizeof(PredicateObject),  // out_pairs
       (n + 1) * sizeof(uint64_t),  // in_offsets
       table[8].size,               // in_subjects: data-dependent
+      t * sizeof(uint32_t),        // term_prefix_lens (v2 only)
   };
-  uint64_t prev_end = kPayloadStart;
-  for (size_t s = 0; s < kNumSections; ++s) {
+  uint64_t prev_end = payload_start;
+  for (size_t s = 0; s < num_sections; ++s) {
     const SectionEntry& sec = table[s];
     if (sec.id != static_cast<uint32_t>(kSectionOrder[s]) ||
         sec.reserved != 0) {
@@ -324,8 +381,11 @@ Result<uint64_t> OpenAndValidatePrefix(const std::string& path,
   }
   const auto size = static_cast<uint64_t>(pos);
   in.seekg(0);
-  unsigned char head[kPayloadStart] = {};
-  const uint64_t head_bytes = size < kPayloadStart ? size : kPayloadStart;
+  // Large enough for either format version's header + section table; the
+  // validator reads only the entries its version declares.
+  unsigned char head[kPayloadStartV2] = {};
+  const uint64_t head_bytes =
+      size < kPayloadStartV2 ? size : kPayloadStartV2;
   in.read(reinterpret_cast<char*>(head),
           static_cast<std::streamsize>(head_bytes));
   if (!in && head_bytes > 0) {
@@ -401,8 +461,10 @@ Result<TripleGraph> LoadFromRaw(const RawSnapshot& raw,
   const uint64_t e = raw.header.num_triples;
   const uint64_t t = raw.header.num_terms;
 
+  const bool fc = raw.header.version == kFormatVersionFrontCoded;
+  const size_t num_sections = SectionCount(raw.header.version);
   if (options.verify_checksums) {
-    for (size_t s = 0; s < kNumSections; ++s) {
+    for (size_t s = 0; s < num_sections; ++s) {
       if (Checksum64(raw.base + raw.table[s].offset, raw.table[s].size) !=
           raw.table[s].checksum) {
         return Status::Corruption(
@@ -421,6 +483,8 @@ Result<TripleGraph> LoadFromRaw(const RawSnapshot& raw,
   const auto out_pairs = SectionSpan<PredicateObject>(raw, 6);
   const auto in_offsets = SectionSpan<uint64_t>(raw, 7);
   const auto in_subjects = SectionSpan<NodeId>(raw, 8);
+  const auto prefix_lens =
+      fc ? SectionSpan<uint32_t>(raw, 9) : std::span<const uint32_t>{};
 
   // Structural validation: everything FromIndexedParts trusts. Runs on
   // every load — these invariants are what make a malformed file safe to
@@ -431,12 +495,23 @@ Result<TripleGraph> LoadFromRaw(const RawSnapshot& raw,
   if (raw.table[8].size % sizeof(NodeId) != 0) {
     return corrupt("in-index subject section misaligned");
   }
-  if (term_offsets[0] != 0 || term_offsets[t] != blob.size()) {
-    return corrupt("term offset table does not span the term blob");
-  }
-  for (uint64_t i = 0; i < t; ++i) {
-    if (term_offsets[i] > term_offsets[i + 1]) {
-      return corrupt("term offsets not monotonic");
+  uint64_t arena_bytes = 0;
+  if (fc) {
+    // Front-coded geometry: offsets span the suffix blob, restarts are
+    // whole terms, prefixes bounded by the previous decoded length — the
+    // decode loop below then never reads outside its inputs.
+    if (const char* defect = CheckFrontCodedGeometry(
+            prefix_lens, term_offsets, blob.size(), &arena_bytes)) {
+      return corrupt(defect);
+    }
+  } else {
+    if (term_offsets[0] != 0 || term_offsets[t] != blob.size()) {
+      return corrupt("term offset table does not span the term blob");
+    }
+    for (uint64_t i = 0; i < t; ++i) {
+      if (term_offsets[i] > term_offsets[i + 1]) {
+        return corrupt("term offsets not monotonic");
+      }
     }
   }
   for (uint64_t i = 0; i < n; ++i) {
@@ -503,11 +578,44 @@ Result<TripleGraph> LoadFromRaw(const RawSnapshot& raw,
   const size_t dict_before = dict->size();
   std::vector<LexId> remap(t);
   bool identity = true;
-  for (uint64_t i = 0; i < t; ++i) {
-    std::string_view term(blob.data() + term_offsets[i],
-                          term_offsets[i + 1] - term_offsets[i]);
-    remap[i] = dict->InternPinned(term);
-    identity = identity && remap[i] == i;
+  if (fc) {
+    // Front-coded decode. Restart terms are complete in the blob and stay
+    // zero-copy views; non-restart terms are materialized (previous term's
+    // head + own suffix) into a side arena pinned to the dictionary. The
+    // arena is reserved to its exact final size and MUST NOT reallocate —
+    // views already interned point into it. The previous term is always
+    // contiguous (a blob view or an arena entry), so its head is one copy.
+    auto arena = std::make_shared<std::vector<char>>();
+    arena->reserve(arena_bytes);
+    std::string_view prev;
+    for (uint64_t i = 0; i < t; ++i) {
+      const uint64_t slen = term_offsets[i + 1] - term_offsets[i];
+      const uint32_t plen = prefix_lens[i];
+      std::string_view term;
+      if (plen == 0) {
+        term = std::string_view(blob.data() + term_offsets[i], slen);
+      } else {
+        const size_t pos = arena->size();
+        arena->insert(arena->end(), prev.data(), prev.data() + plen);
+        arena->insert(arena->end(), blob.data() + term_offsets[i],
+                      blob.data() + term_offsets[i] + slen);
+        term = std::string_view(arena->data() + pos, plen + slen);
+      }
+      if (i > 0 && !(prev < term)) {
+        return corrupt("front-coded terms not strictly ascending");
+      }
+      remap[i] = dict->InternPinned(term);
+      identity = identity && remap[i] == i;
+      prev = term;
+    }
+    if (!arena->empty()) dict->PinArena(std::move(arena));
+  } else {
+    for (uint64_t i = 0; i < t; ++i) {
+      std::string_view term(blob.data() + term_offsets[i],
+                            term_offsets[i + 1] - term_offsets[i]);
+      remap[i] = dict->InternPinned(term);
+      identity = identity && remap[i] == i;
+    }
   }
 
   std::vector<NodeLabel> labels(n);
@@ -564,7 +672,7 @@ Result<TripleGraph> LoadSnapshotFromMemory(std::shared_ptr<const void> pin,
 Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
   std::ifstream in;
   SnapshotHeader header;
-  SectionEntry table[kNumSections];
+  SectionEntry table[kNumSectionsV2];
   RDFALIGN_RETURN_IF_ERROR(
       OpenAndValidatePrefix(path, in, &header, table).status());
   SnapshotInfo info;
@@ -573,7 +681,7 @@ Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
   info.num_triples = header.num_triples;
   info.num_terms = header.num_terms;
   info.file_size = header.file_size;
-  for (size_t s = 0; s < kNumSections; ++s) {
+  for (size_t s = 0; s < SectionCount(header.version); ++s) {
     info.sections.push_back(SnapshotSectionInfo{
         kSectionOrder[s], table[s].offset, table[s].size, table[s].checksum});
   }

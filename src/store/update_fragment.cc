@@ -5,9 +5,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <numeric>
+#include <span>
 #include <unordered_map>
 
 #include "store/atomic_writer.h"
+#include "store/front_coding.h"
 
 namespace rdfalign::store {
 
@@ -29,16 +32,30 @@ const char* UpdateSectionName(UpdateSectionId id) {
       return "removed_triples";
     case UpdateSectionId::kAddedTriples:
       return "added_triples";
+    case UpdateSectionId::kTermPrefixLens:
+      return "term_prefix_lens";
   }
   return "unknown";
 }
 
-constexpr UpdateSectionId kUpdateSectionOrder[kNumUpdateSections] = {
+constexpr UpdateSectionId kUpdateSectionOrder[kNumUpdateSectionsV2] = {
     UpdateSectionId::kTermOffsets,    UpdateSectionId::kTermBlob,
     UpdateSectionId::kNodeKinds,      UpdateSectionId::kNodeLex,
     UpdateSectionId::kRemovedNodes,   UpdateSectionId::kRemovedTriples,
-    UpdateSectionId::kAddedTriples,
+    UpdateSectionId::kAddedTriples,   UpdateSectionId::kTermPrefixLens,
 };
+
+/// Section count of an update-fragment format version.
+size_t UpdateSectionCount(uint32_t version) {
+  return version == kUpdateFormatVersion ? kNumUpdateSections
+                                         : kNumUpdateSectionsV2;
+}
+
+/// Byte offset of the first payload of an update-fragment format version.
+size_t UpdatePayloadStart(uint32_t version) {
+  return sizeof(UpdateHeader) +
+         UpdateSectionCount(version) * sizeof(SectionEntry);
+}
 
 bool TripleLess(const Triple& a, const Triple& b) {
   if (a.s != b.s) return a.s < b.s;
@@ -123,12 +140,19 @@ bool LooksLikeUpdateFile(const std::string& path) {
          magic == kUpdateMagic;
 }
 
-Result<std::string> EncodeUpdateBatch(const UpdateBatch& batch) {
+Result<std::string> EncodeUpdateBatch(const UpdateBatch& batch,
+                                      const StoreWriteOptions& options) {
   static_assert(std::endian::native == std::endian::little,
                 "update fragments are written on little-endian hosts only");
   RDFALIGN_RETURN_IF_ERROR(ValidateBatch(batch, "encode"));
+  const bool fc = options.compress_dict;
+  const uint32_t version =
+      fc ? kUpdateFormatVersionFrontCoded : kUpdateFormatVersion;
+  const size_t num_sections = UpdateSectionCount(version);
 
-  // Term table: distinct lexical forms in first-use (reference) order.
+  // Term table: distinct lexical forms in first-use (reference) order —
+  // the version-1 file order. Version 2 re-sorts them lexicographically
+  // below so consecutive terms share prefixes.
   std::unordered_map<std::string_view, uint32_t> term_of;
   std::vector<std::string_view> terms;
   std::vector<uint32_t> lex(batch.nodes.size());
@@ -141,9 +165,34 @@ Result<std::string> EncodeUpdateBatch(const UpdateBatch& batch) {
     if (inserted) terms.push_back(form);
     lex[i] = it->second;
   }
-  std::vector<uint64_t> term_offsets(terms.size() + 1, 0);
-  for (size_t t = 0; t < terms.size(); ++t) {
-    term_offsets[t + 1] = term_offsets[t] + terms[t].size();
+  FrontCodedLayout layout;
+  if (fc) {
+    // The forms are distinct (term_of interned uniquely), so the sort is
+    // strict and the remap a permutation.
+    std::vector<uint32_t> order(terms.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&terms](uint32_t a, uint32_t b) {
+      return terms[a] < terms[b];
+    });
+    std::vector<uint32_t> remap(terms.size());
+    std::vector<std::string_view> sorted(terms.size());
+    for (size_t k = 0; k < order.size(); ++k) {
+      remap[order[k]] = static_cast<uint32_t>(k);
+      sorted[k] = terms[order[k]];
+    }
+    terms = std::move(sorted);
+    for (uint32_t& t : lex) t = remap[t];
+    layout = FrontCodeTerms(terms.size(),
+                            [&terms](size_t k) { return terms[k]; });
+  }
+  std::vector<uint64_t> term_offsets;
+  if (fc) {
+    term_offsets = std::move(layout.suffix_offsets);
+  } else {
+    term_offsets.assign(terms.size() + 1, 0);
+    for (size_t t = 0; t < terms.size(); ++t) {
+      term_offsets[t + 1] = term_offsets[t] + terms[t].size();
+    }
   }
 
   struct Payload {
@@ -152,8 +201,10 @@ Result<std::string> EncodeUpdateBatch(const UpdateBatch& batch) {
   };
   std::string blob;
   blob.reserve(term_offsets.back());
-  for (std::string_view t : terms) blob.append(t);
-  const Payload payloads[kNumUpdateSections] = {
+  for (size_t t = 0; t < terms.size(); ++t) {
+    blob.append(fc ? terms[t].substr(layout.prefix_lens[t]) : terms[t]);
+  }
+  const Payload payloads[kNumUpdateSectionsV2] = {
       {term_offsets.data(), term_offsets.size() * sizeof(uint64_t)},
       {blob.data(), blob.size()},
       {kinds.data(), kinds.size()},
@@ -162,11 +213,13 @@ Result<std::string> EncodeUpdateBatch(const UpdateBatch& batch) {
        batch.removed_nodes.size() * sizeof(uint32_t)},
       {batch.removed.data(), batch.removed.size() * sizeof(Triple)},
       {batch.added.data(), batch.added.size() * sizeof(Triple)},
+      {layout.prefix_lens.data(),
+       layout.prefix_lens.size() * sizeof(uint32_t)},
   };
 
-  SectionEntry table[kNumUpdateSections];
-  uint64_t cursor = kUpdatePayloadStart;
-  for (size_t s = 0; s < kNumUpdateSections; ++s) {
+  SectionEntry table[kNumUpdateSectionsV2];
+  uint64_t cursor = UpdatePayloadStart(version);
+  for (size_t s = 0; s < num_sections; ++s) {
     cursor = AlignUp(cursor);
     table[s].id = static_cast<uint32_t>(kUpdateSectionOrder[s]);
     table[s].reserved = 0;
@@ -179,7 +232,7 @@ Result<std::string> EncodeUpdateBatch(const UpdateBatch& batch) {
   UpdateHeader header;
   std::memset(&header, 0, sizeof(header));
   header.magic = kUpdateMagic;
-  header.version = kUpdateFormatVersion;
+  header.version = version;
   header.endian_tag = kEndianTag;
   header.sequence = batch.sequence;
   header.num_refs = batch.nodes.size();
@@ -188,21 +241,21 @@ Result<std::string> EncodeUpdateBatch(const UpdateBatch& batch) {
   header.num_removed_triples = batch.removed.size();
   header.num_added_triples = batch.added.size();
   header.num_terms = terms.size();
-  header.num_sections = kNumUpdateSections;
+  header.num_sections = num_sections;
   header.file_size = cursor;
   header.header_checksum = 0;
   {
     Checksummer c;
     c.Update(&header, sizeof(header));
-    c.Update(table, sizeof(table));
+    c.Update(table, num_sections * sizeof(SectionEntry));
     header.header_checksum = c.Finish();
   }
 
   std::string out;
   out.reserve(cursor);
   AppendBytes(&out, &header, sizeof(header));
-  AppendBytes(&out, table, sizeof(table));
-  for (size_t s = 0; s < kNumUpdateSections; ++s) {
+  AppendBytes(&out, table, num_sections * sizeof(SectionEntry));
+  for (size_t s = 0; s < num_sections; ++s) {
     PadTo(&out, table[s].offset);
     AppendBytes(&out, payloads[s].data, payloads[s].size);
   }
@@ -222,41 +275,47 @@ Result<UpdateBatch> DecodeUpdateBatch(std::string_view bytes,
     return Status::InvalidArgument("not an rdfalign update fragment: " +
                                    name);
   }
-  if (header.version != kUpdateFormatVersion) {
+  if (header.version != kUpdateFormatVersion &&
+      header.version != kUpdateFormatVersionFrontCoded) {
     return Status::NotSupported(
         "unsupported update fragment version " +
-        std::to_string(header.version) + " (this build reads version " +
-        std::to_string(kUpdateFormatVersion) + "): " + name);
+        std::to_string(header.version) + " (this build reads versions " +
+        std::to_string(kUpdateFormatVersion) + "-" +
+        std::to_string(kUpdateFormatVersionFrontCoded) + "): " + name);
   }
   if (header.endian_tag != kEndianTag) {
     return Status::NotSupported(
         "update fragment written with a different byte order: " + name);
   }
-  if (header.num_sections != kNumUpdateSections) {
+  const bool fc = header.version == kUpdateFormatVersionFrontCoded;
+  const size_t num_sections = UpdateSectionCount(header.version);
+  const uint64_t payload_start = UpdatePayloadStart(header.version);
+  if (header.num_sections != num_sections) {
     return Status::Corruption("unexpected update section count: " + name);
   }
   if (header.file_size != bytes.size()) {
     return Status::Corruption("update fragment size mismatch: " + name);
   }
-  if (bytes.size() < kUpdatePayloadStart) {
+  if (bytes.size() < payload_start) {
     return Status::Corruption("truncated update fragment (no sections): " +
                               name);
   }
-  SectionEntry table[kNumUpdateSections];
-  std::memcpy(table, base + sizeof(UpdateHeader), sizeof(table));
+  SectionEntry table[kNumUpdateSectionsV2];
+  std::memcpy(table, base + sizeof(UpdateHeader),
+              num_sections * sizeof(SectionEntry));
   {
     UpdateHeader copy = header;
     copy.header_checksum = 0;
     Checksummer c;
     c.Update(&copy, sizeof(copy));
-    c.Update(table, sizeof(table));
+    c.Update(table, num_sections * sizeof(SectionEntry));
     if (c.Finish() != header.header_checksum) {
       return Status::Corruption("update fragment header checksum mismatch: " +
                                 name);
     }
   }
-  uint64_t cursor = kUpdatePayloadStart;
-  for (size_t s = 0; s < kNumUpdateSections; ++s) {
+  uint64_t cursor = payload_start;
+  for (size_t s = 0; s < num_sections; ++s) {
     if (table[s].id != static_cast<uint32_t>(kUpdateSectionOrder[s]) ||
         table[s].reserved != 0) {
       return Status::Corruption("unexpected update section table: " + name);
@@ -299,19 +358,54 @@ Result<UpdateBatch> DecodeUpdateBatch(std::string_view bytes,
       expect_size(5, header.num_removed_triples * sizeof(Triple)));
   RDFALIGN_RETURN_IF_ERROR(
       expect_size(6, header.num_added_triples * sizeof(Triple)));
+  if (fc) {
+    RDFALIGN_RETURN_IF_ERROR(expect_size(7, terms * sizeof(uint32_t)));
+  }
 
   const auto* term_offsets =
       reinterpret_cast<const uint64_t*>(base + table[0].offset);
   const uint64_t blob_size = table[1].size;
-  if (term_offsets[0] != 0 || term_offsets[terms] != blob_size) {
-    return Status::Corruption("update term offsets malformed: " + name);
-  }
-  for (uint64_t t = 0; t < terms; ++t) {
-    if (term_offsets[t] > term_offsets[t + 1]) {
-      return Status::Corruption("update term offsets not monotonic: " + name);
+  const auto* prefix_lens =
+      fc ? reinterpret_cast<const uint32_t*>(base + table[7].offset)
+         : nullptr;
+  if (fc) {
+    if (const char* defect = CheckFrontCodedGeometry(
+            std::span<const uint32_t>(prefix_lens, terms),
+            std::span<const uint64_t>(term_offsets, terms + 1), blob_size,
+            nullptr)) {
+      return Status::Corruption(std::string(defect) + ": " + name);
+    }
+  } else {
+    if (term_offsets[0] != 0 || term_offsets[terms] != blob_size) {
+      return Status::Corruption("update term offsets malformed: " + name);
+    }
+    for (uint64_t t = 0; t < terms; ++t) {
+      if (term_offsets[t] > term_offsets[t + 1]) {
+        return Status::Corruption("update term offsets not monotonic: " +
+                                  name);
+      }
     }
   }
   const char* blob = reinterpret_cast<const char*>(base + table[1].offset);
+  // Front-coded decode: each term is its predecessor's head plus its own
+  // suffix; the geometry check above bounds every prefix length, and the
+  // strict-ascending check rejects crafted non-sorted dictionaries.
+  std::vector<std::string> decoded_terms;
+  if (fc) {
+    decoded_terms.resize(terms);
+    for (uint64_t t = 0; t < terms; ++t) {
+      std::string& cur = decoded_terms[t];
+      const uint32_t plen = prefix_lens[t];
+      const uint64_t suffix_len = term_offsets[t + 1] - term_offsets[t];
+      cur.reserve(plen + suffix_len);
+      if (plen > 0) cur.assign(decoded_terms[t - 1].data(), plen);
+      cur.append(blob + term_offsets[t], suffix_len);
+      if (t > 0 && !(decoded_terms[t - 1] < cur)) {
+        return Status::Corruption(
+            "update front-coded terms not strictly ascending: " + name);
+      }
+    }
+  }
 
   UpdateBatch batch;
   batch.sequence = header.sequence;
@@ -328,9 +422,14 @@ Result<UpdateBatch> DecodeUpdateBatch(std::string_view bytes,
                                 name);
     }
     batch.nodes[i].kind = static_cast<TermKind>(kinds[i]);
-    batch.nodes[i].lex.assign(
-        blob + term_offsets[lex[i]],
-        static_cast<size_t>(term_offsets[lex[i] + 1] - term_offsets[lex[i]]));
+    if (fc) {
+      batch.nodes[i].lex = decoded_terms[lex[i]];
+    } else {
+      batch.nodes[i].lex.assign(
+          blob + term_offsets[lex[i]],
+          static_cast<size_t>(term_offsets[lex[i] + 1] -
+                              term_offsets[lex[i]]));
+    }
   }
   const auto* removed_nodes =
       reinterpret_cast<const uint32_t*>(base + table[4].offset);
@@ -475,8 +574,10 @@ Result<UpdateBatch> BuildUpdateBatch(const TripleGraph& base,
   return batch;
 }
 
-Status WriteUpdateFile(const UpdateBatch& batch, const std::string& path) {
-  RDFALIGN_ASSIGN_OR_RETURN(std::string bytes, EncodeUpdateBatch(batch));
+Status WriteUpdateFile(const UpdateBatch& batch, const std::string& path,
+                       const StoreWriteOptions& options) {
+  RDFALIGN_ASSIGN_OR_RETURN(std::string bytes,
+                            EncodeUpdateBatch(batch, options));
   return AtomicWriteFile(path, bytes.data(), bytes.size(), "update fragment");
 }
 

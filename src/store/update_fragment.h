@@ -49,19 +49,29 @@ inline constexpr std::array<char, 8> kUpdateMagic = {'R', 'D', 'F', 'U',
 
 inline constexpr uint32_t kUpdateFormatVersion = 1;
 
-/// The payload sections of a version-1 update fragment, in file order.
+/// Version 2 front-codes the term dictionary: terms are sorted
+/// lexicographically, kTermOffsets indexes *suffix* tails in kTermBlob,
+/// and a kTermPrefixLens section carries the shared-prefix lengths (see
+/// store/front_coding.h and docs/store.md "Front-coded dictionary").
+inline constexpr uint32_t kUpdateFormatVersionFrontCoded = 2;
+
+/// The payload sections of an update fragment, in file order. Version-1
+/// fragments carry the first seven; version-2 fragments add
+/// kTermPrefixLens.
 enum class UpdateSectionId : uint32_t {
   kTermOffsets = 1,     ///< (num_terms + 1) x u64 into kTermBlob
-  kTermBlob = 2,        ///< concatenated UTF-8 lexical forms
+  kTermBlob = 2,        ///< concatenated UTF-8 lexical forms (v2: suffixes)
   kNodeKinds = 3,       ///< num_refs x u8: TermKind per node reference
   kNodeLex = 4,         ///< num_refs x u32: term index per node reference
   kRemovedNodes = 5,    ///< u32[]: node references retired by this batch,
                         ///< ascending; must index the existing-node suffix
   kRemovedTriples = 6,  ///< Triple[] of node references, sorted ascending
   kAddedTriples = 7,    ///< Triple[] of node references, sorted ascending
+  kTermPrefixLens = 8,  ///< v2 only: num_terms x u32 shared-prefix lengths
 };
 
 inline constexpr size_t kNumUpdateSections = 7;
+inline constexpr size_t kNumUpdateSectionsV2 = 8;
 
 /// The fixed-size fragment header.
 struct UpdateHeader {
@@ -83,9 +93,11 @@ struct UpdateHeader {
 static_assert(sizeof(UpdateHeader) == 96);
 static_assert(std::is_trivially_copyable_v<UpdateHeader>);
 
-/// Byte offset of the first section payload.
+/// Byte offset of the first section payload, per format version.
 inline constexpr size_t kUpdatePayloadStart =
     sizeof(UpdateHeader) + kNumUpdateSections * sizeof(SectionEntry);
+inline constexpr size_t kUpdatePayloadStartV2 =
+    sizeof(UpdateHeader) + kNumUpdateSectionsV2 * sizeof(SectionEntry);
 
 /// One update batch, decoded. Triples index `nodes`; references
 /// [0, num_new) are created by the batch, [num_new, nodes.size()) resolve
@@ -105,8 +117,11 @@ struct UpdateBatch {
 
 /// Serializes a batch (validating its internal invariants: ref indexes in
 /// range, triple lists sorted and deduplicated, removed nodes ascending
-/// existing refs).
-Result<std::string> EncodeUpdateBatch(const UpdateBatch& batch);
+/// existing refs). The term dictionary is front-coded by default (format
+/// version 2); options.compress_dict = false writes the raw version-1
+/// layout byte for byte.
+Result<std::string> EncodeUpdateBatch(const UpdateBatch& batch,
+                                      const StoreWriteOptions& options = {});
 
 /// Parses and fully validates a fragment image: magic/version/endianness,
 /// header and per-section checksums, section geometry, ref/term index
@@ -132,7 +147,8 @@ Result<UpdateBatch> BuildUpdateBatch(const TripleGraph& base,
                                      uint64_t sequence);
 
 /// File convenience wrappers over Encode/Decode.
-Status WriteUpdateFile(const UpdateBatch& batch, const std::string& path);
+Status WriteUpdateFile(const UpdateBatch& batch, const std::string& path,
+                       const StoreWriteOptions& options = {});
 Result<UpdateBatch> ReadUpdateFile(const std::string& path);
 
 /// Reads a whole file into a string (shared by the stream CLI verb).

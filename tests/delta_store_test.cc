@@ -307,13 +307,13 @@ TEST(DeltaStoreTest, InfoReportsCountsAndMagicSniffing) {
   ASSERT_TRUE(WriteDelta(g1, g2, AlignMap(g1, g2), path).ok());
   auto info = ReadDeltaInfo(path);
   ASSERT_TRUE(info.ok()) << info.status();
-  EXPECT_EQ(info->version, store::kDeltaFormatVersion);
+  EXPECT_EQ(info->version, store::kDeltaFormatVersionFrontCoded);
   EXPECT_EQ(info->base_nodes, g1.NumNodes());
   EXPECT_EQ(info->base_triples, g1.NumEdges());
   EXPECT_EQ(info->next_nodes, g2.NumNodes());
   EXPECT_EQ(info->next_triples, g2.NumEdges());
   EXPECT_EQ(info->base_fingerprint, store::GraphFingerprint(g1));
-  EXPECT_EQ(info->sections.size(), store::kNumDeltaSections);
+  EXPECT_EQ(info->sections.size(), store::kNumDeltaSectionsV2);
   EXPECT_TRUE(store::LooksLikeDelta(path));
   EXPECT_FALSE(store::LooksLikeSnapshot(path));
 
@@ -361,8 +361,9 @@ void PatchWithValidChecksums(std::vector<char>& bytes,
   const size_t hc_pos = offsetof(store::DeltaHeader, header_checksum);
   const uint64_t zero = 0;
   std::memcpy(bytes.data() + hc_pos, &zero, sizeof(zero));
-  const uint64_t hc =
-      store::Checksum64(bytes.data(), store::kDeltaPayloadStart);
+  const uint64_t hc = store::Checksum64(
+      bytes.data(), sizeof(store::DeltaHeader) +
+                        info.sections.size() * sizeof(store::SectionEntry));
   std::memcpy(bytes.data() + hc_pos, &hc, sizeof(hc));
 }
 
@@ -435,7 +436,10 @@ TEST(DeltaStoreTest, RejectsBitFlips) {
   auto info = ReadDeltaInfo(path);
   ASSERT_TRUE(info.ok());
   const auto meaningful = [&info](size_t pos) {
-    if (pos < store::kDeltaPayloadStart) return true;
+    if (pos < sizeof(store::DeltaHeader) +
+                  info->sections.size() * sizeof(store::SectionEntry)) {
+      return true;
+    }
     for (const auto& s : info->sections) {
       if (pos >= s.offset && pos < s.offset + s.size) return true;
     }
@@ -531,6 +535,48 @@ TEST(DeltaStoreTest, RejectsOutOfRangeTermSourcesAndAddedTriples) {
       crafted, *info, 8, 0,
       static_cast<uint32_t>(info->next_nodes + 9));
   ExpectCraftedCorruption(g1, crafted, path, "");
+  std::remove(path.c_str());
+}
+
+// The --no-dict-compress escape hatch: raw-mode deltas carry the
+// version-1 layout (no prefix-lens section) and still apply to the same
+// next graph, bit-identically.
+TEST(DeltaStoreTest, RawModeWritesVersion1) {
+  auto [g1, g2] = testing::RandomEvolvingPair(13);
+  const std::string path = TempPath("raw.delta");
+  store::StoreWriteOptions raw{.compress_dict = false};
+  ASSERT_TRUE(
+      WriteDelta(g1, g2, AlignMap(g1, g2), path, nullptr, raw).ok());
+  auto info = ReadDeltaInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->version, store::kDeltaFormatVersion);
+  EXPECT_EQ(info->sections.size(), store::kNumDeltaSections);
+  auto applied = ApplyDelta(g1, path, nullptr);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  EXPECT_TRUE(GraphsBitIdentical(g2, *applied));
+  std::remove(path.c_str());
+}
+
+// Crafted front-coded prefix tables (section index 9, v2 only): a restart
+// entry with a nonzero prefix and a prefix longer than the previous term
+// must both fail structural validation, with or without checksums.
+TEST(DeltaStoreTest, RejectsCraftedFrontCodedPrefixTable) {
+  auto [g1, g2] = testing::RandomEvolvingPair(27);
+  const std::string path = TempPath("prefix.delta");
+  DeltaWriteStats wstats;
+  std::vector<char> bytes = MakeDeltaBytes(g1, g2, path, &wstats);
+  ASSERT_GE(wstats.new_terms, 2u);
+  auto info = ReadDeltaInfo(path);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->version, store::kDeltaFormatVersionFrontCoded);
+  // Entry 0 is a restart point; its prefix length must be zero.
+  std::vector<char> crafted = bytes;
+  PatchWithValidChecksums<uint32_t>(crafted, *info, 9, 0, 1);
+  ExpectCraftedCorruption(g1, crafted, path, "restart");
+  // Entry 1 claims a prefix far longer than any previous term.
+  crafted = bytes;
+  PatchWithValidChecksums<uint32_t>(crafted, *info, 9, 1, 0x10000);
+  ExpectCraftedCorruption(g1, crafted, path, "prefix");
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,75 @@
+// Pins the nearest-rank Percentile definition (util/stats.h) on small
+// sample sets, where the old floor(p * (n - 1)) interpolation index and
+// the true nearest-rank ceil(p * n) visibly disagree: p95 of 10 samples
+// must be the 10th value (the smallest with >= 95% of the mass at or
+// below it), not the 9th. The daemon's stats verb and the bench tables
+// share this one implementation, so these cases pin both.
+
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rdfalign {
+namespace {
+
+// Ten distinct samples, recorded out of order (Percentile sorts a copy).
+std::vector<double> TenSamples() {
+  return {7, 2, 10, 4, 9, 1, 6, 3, 8, 5};
+}
+
+TEST(PercentileTest, EmptyIsZero) {
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleIsThatSampleAtEveryP) {
+  EXPECT_EQ(Percentile({42.0}, 0.0), 42.0);
+  EXPECT_EQ(Percentile({42.0}, 0.5), 42.0);
+  EXPECT_EQ(Percentile({42.0}, 1.0), 42.0);
+}
+
+TEST(PercentileTest, ZeroIsMinimumOneIsMaximum) {
+  EXPECT_EQ(Percentile(TenSamples(), 0.0), 1.0);
+  EXPECT_EQ(Percentile(TenSamples(), 1.0), 10.0);
+}
+
+TEST(PercentileTest, P95OfTenIsTenthValue) {
+  // ceil(0.95 * 10) = 10 -> rank 10, the maximum. The old
+  // floor(0.95 * 9) = 8 indexing returned the 9th value (9.0).
+  EXPECT_EQ(Percentile(TenSamples(), 0.95), 10.0);
+}
+
+TEST(PercentileTest, P99OfTenIsTenthValue) {
+  EXPECT_EQ(Percentile(TenSamples(), 0.99), 10.0);
+}
+
+TEST(PercentileTest, P50OfTenIsFifthValue) {
+  // ceil(0.5 * 10) = 5 -> rank 5 (nearest-rank medians take the lower of
+  // the two middle values).
+  EXPECT_EQ(Percentile(TenSamples(), 0.5), 5.0);
+}
+
+TEST(PercentileTest, P90OfTenIsNinthValue) {
+  // ceil(0.9 * 10) = 9: exactly 90% of the mass sits at or below the 9th
+  // value, so rank 9 — not the maximum.
+  EXPECT_EQ(Percentile(TenSamples(), 0.9), 9.0);
+}
+
+TEST(PercentileTest, P50OfTwoIsLowerValue) {
+  // ceil(0.5 * 2) = 1 -> the first of the two.
+  EXPECT_EQ(Percentile({2.0, 1.0}, 0.5), 1.0);
+}
+
+TEST(PercentileTest, P75OfFourIsThirdValue) {
+  EXPECT_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 0.75), 3.0);
+}
+
+TEST(PercentileTest, DoesNotDisturbCallerOrder) {
+  std::vector<double> samples = {3.0, 1.0, 2.0};
+  (void)Percentile(samples, 0.5);
+  EXPECT_EQ(samples, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+}  // namespace
+}  // namespace rdfalign

@@ -126,22 +126,50 @@ TEST(SnapshotStoreTest, RoundTripsEmptyGraph) {
 }
 
 // save(load(save(G))) is byte-identical to save(G): loading renumbers
-// nothing, and saving a loaded graph reproduces the file.
+// nothing, and saving a loaded graph reproduces the file — in both the
+// front-coded default and the raw version-1 mode.
 TEST(SnapshotStoreTest, ResaveIsByteIdentical) {
-  for (uint64_t seed = 1; seed <= 10; ++seed) {
-    testing::RandomGraphOptions options;
-    options.seed = seed;
-    TripleGraph g = testing::RandomGraph(options);
-    const std::string path1 = TempPath("first.snap");
-    const std::string path2 = TempPath("second.snap");
-    ASSERT_TRUE(WriteSnapshot(g, path1).ok());
-    auto loaded = LoadSnapshot(path1, nullptr);
-    ASSERT_TRUE(loaded.ok()) << loaded.status();
-    ASSERT_TRUE(WriteSnapshot(*loaded, path2).ok());
-    EXPECT_EQ(ReadFileBytes(path1), ReadFileBytes(path2)) << "seed " << seed;
-    std::remove(path1.c_str());
-    std::remove(path2.c_str());
+  for (bool compress : {true, false}) {
+    const store::StoreWriteOptions write{.compress_dict = compress};
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      testing::RandomGraphOptions options;
+      options.seed = seed;
+      TripleGraph g = testing::RandomGraph(options);
+      const std::string path1 = TempPath("first.snap");
+      const std::string path2 = TempPath("second.snap");
+      ASSERT_TRUE(WriteSnapshot(g, path1, write).ok());
+      auto loaded = LoadSnapshot(path1, nullptr);
+      ASSERT_TRUE(loaded.ok()) << loaded.status();
+      ASSERT_TRUE(WriteSnapshot(*loaded, path2, write).ok());
+      EXPECT_EQ(ReadFileBytes(path1), ReadFileBytes(path2))
+          << "seed " << seed << " compress " << compress;
+      std::remove(path1.c_str());
+      std::remove(path2.c_str());
+    }
   }
+}
+
+// The point of front coding: on prefix-heavy graphs (IRIs share
+// namespaces by construction) the compressed snapshot is strictly
+// smaller than the raw one, and both load to the same graph.
+TEST(SnapshotStoreTest, CompressedSnapshotIsSmaller) {
+  testing::RandomGraphOptions options;
+  options.seed = 3;
+  options.uris = 40;
+  options.edges = 120;
+  TripleGraph g = testing::RandomGraph(options);
+  const std::string compressed = TempPath("fc.snap");
+  const std::string raw = TempPath("raw.snap");
+  ASSERT_TRUE(WriteSnapshot(g, compressed).ok());
+  ASSERT_TRUE(WriteSnapshot(g, raw, {.compress_dict = false}).ok());
+  EXPECT_LT(ReadFileBytes(compressed).size(), ReadFileBytes(raw).size());
+  auto from_fc = LoadSnapshot(compressed, nullptr);
+  auto from_raw = LoadSnapshot(raw, nullptr);
+  ASSERT_TRUE(from_fc.ok()) << from_fc.status();
+  ASSERT_TRUE(from_raw.ok()) << from_raw.status();
+  EXPECT_TRUE(LabeledGraphsEqual(*from_fc, *from_raw));
+  std::remove(compressed.c_str());
+  std::remove(raw.c_str());
 }
 
 TEST(SnapshotStoreTest, RandomGraphsRoundTripBothPaths) {
@@ -226,10 +254,25 @@ TEST(SnapshotStoreTest, InfoReportsCounts) {
   ASSERT_TRUE(WriteSnapshot(g, path).ok());
   auto info = ReadSnapshotInfo(path);
   ASSERT_TRUE(info.ok()) << info.status();
-  EXPECT_EQ(info->version, store::kFormatVersion);
+  EXPECT_EQ(info->version, store::kFormatVersionFrontCoded);
   EXPECT_EQ(info->num_nodes, g.NumNodes());
   EXPECT_EQ(info->num_triples, g.NumEdges());
+  EXPECT_EQ(info->sections.size(), store::kNumSectionsV2);
+  std::remove(path.c_str());
+}
+
+// The --no-dict-compress escape hatch writes the raw version-1 layout.
+TEST(SnapshotStoreTest, RawModeWritesVersion1) {
+  TripleGraph g = MixedGraph();
+  const std::string path = TempPath("raw.snap");
+  ASSERT_TRUE(WriteSnapshot(g, path, {.compress_dict = false}).ok());
+  auto info = ReadSnapshotInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->version, store::kFormatVersion);
   EXPECT_EQ(info->sections.size(), store::kNumSections);
+  auto loaded = LoadSnapshot(path, nullptr);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(LabeledGraphsEqual(g, *loaded));
   std::remove(path.c_str());
 }
 
@@ -296,7 +339,12 @@ TEST(SnapshotStoreTest, RejectsBitFlips) {
   auto info = ReadSnapshotInfo(path);
   ASSERT_TRUE(info.ok());
   const auto meaningful = [&info](size_t pos) {
-    if (pos < store::kPayloadStart) return true;
+    // Header plus section table — sized by the file's own section count,
+    // so the sweep covers the v2 prefix-lens table entry too.
+    if (pos < sizeof(store::SnapshotHeader) +
+                  info->sections.size() * sizeof(store::SectionEntry)) {
+      return true;
+    }
     for (const auto& s : info->sections) {
       if (pos >= s.offset && pos < s.offset + s.size) return true;
     }
@@ -319,17 +367,16 @@ TEST(SnapshotStoreTest, RejectsBitFlips) {
   std::remove(path.c_str());
 }
 
-/// Overwrites u64 entry `entry_index` of section `sec_index`, then
-/// recomputes the section checksum and the header checksum so the file
-/// models a deliberately crafted snapshot (all checksums match) rather
-/// than bit rot — only structural validation can reject it.
-void PatchU64WithValidChecksums(std::vector<char>& bytes,
-                                const store::SnapshotInfo& info,
-                                size_t sec_index, uint64_t entry_index,
-                                uint64_t value) {
+/// Overwrites `len` bytes at `byte_offset` within section `sec_index`,
+/// then recomputes the section checksum and the header checksum so the
+/// file models a deliberately crafted snapshot (all checksums match)
+/// rather than bit rot — only structural validation can reject it.
+void PatchBytesWithValidChecksums(std::vector<char>& bytes,
+                                  const store::SnapshotInfo& info,
+                                  size_t sec_index, size_t byte_offset,
+                                  const void* data, size_t len) {
   const auto& sec = info.sections[sec_index];
-  std::memcpy(bytes.data() + sec.offset + entry_index * sizeof(uint64_t),
-              &value, sizeof(value));
+  std::memcpy(bytes.data() + sec.offset + byte_offset, data, len);
   const uint64_t sec_checksum =
       store::Checksum64(bytes.data() + sec.offset, sec.size);
   const size_t entry_pos = sizeof(store::SnapshotHeader) +
@@ -340,8 +387,19 @@ void PatchU64WithValidChecksums(std::vector<char>& bytes,
   const size_t hc_pos = offsetof(store::SnapshotHeader, header_checksum);
   const uint64_t zero = 0;
   std::memcpy(bytes.data() + hc_pos, &zero, sizeof(zero));
-  const uint64_t hc = store::Checksum64(bytes.data(), store::kPayloadStart);
+  const uint64_t hc = store::Checksum64(
+      bytes.data(), sizeof(store::SnapshotHeader) +
+                        info.sections.size() * sizeof(store::SectionEntry));
   std::memcpy(bytes.data() + hc_pos, &hc, sizeof(hc));
+}
+
+void PatchU64WithValidChecksums(std::vector<char>& bytes,
+                                const store::SnapshotInfo& info,
+                                size_t sec_index, uint64_t entry_index,
+                                uint64_t value) {
+  PatchBytesWithValidChecksums(bytes, info, sec_index,
+                               entry_index * sizeof(uint64_t), &value,
+                               sizeof(value));
 }
 
 // Regression: an offsets entry pointing far past its payload while the
@@ -378,6 +436,122 @@ TEST(SnapshotStoreTest, RejectsOutOfBoundsOffsetEntries) {
       }
     }
   }
+  std::remove(path.c_str());
+}
+
+// Crafted front-coded geometry (checksums recomputed, so only structural
+// validation can object) is rejected with Corruption before any blob byte
+// is interpreted. Section index 9 = term_prefix_lens in a v2 snapshot.
+TEST(SnapshotStoreTest, RejectsCraftedFrontCodedPrefixTable) {
+  TripleGraph g = MixedGraph();
+  const std::string path = TempPath("fc_prefix.snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+  auto info = ReadSnapshotInfo(path);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->version, store::kFormatVersionFrontCoded);
+  ASSERT_EQ(info->sections.size(), store::kNumSectionsV2);
+  ASSERT_GE(info->num_terms, 2u);
+  const std::vector<char> bytes = ReadFileBytes(path);
+
+  // A restart term (index 0) with a nonzero prefix length.
+  {
+    std::vector<char> crafted = bytes;
+    const uint32_t bogus = 1;
+    PatchBytesWithValidChecksums(crafted, *info, /*sec_index=*/9,
+                                 /*byte_offset=*/0, &bogus, sizeof(bogus));
+    WriteFileBytes(path, crafted);
+    auto loaded = LoadSnapshot(path, nullptr);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+    EXPECT_NE(loaded.status().message().find("restart term"),
+              std::string::npos)
+        << loaded.status();
+  }
+  // A prefix length longer than the previous term can supply.
+  {
+    std::vector<char> crafted = bytes;
+    const uint32_t bogus = 0x10000;
+    PatchBytesWithValidChecksums(crafted, *info, /*sec_index=*/9,
+                                 /*byte_offset=*/sizeof(uint32_t), &bogus,
+                                 sizeof(bogus));
+    WriteFileBytes(path, crafted);
+    auto loaded = LoadSnapshot(path, nullptr);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+    EXPECT_NE(loaded.status().message().find("prefix longer"),
+              std::string::npos)
+        << loaded.status();
+  }
+  // Checksums-off loads must reject both the same way.
+  {
+    std::vector<char> crafted = bytes;
+    const uint32_t bogus = 7;
+    PatchBytesWithValidChecksums(crafted, *info, /*sec_index=*/9,
+                                 /*byte_offset=*/0, &bogus, sizeof(bogus));
+    WriteFileBytes(path, crafted);
+    SnapshotLoadOptions load;
+    load.verify_checksums = false;
+    auto loaded = LoadSnapshot(path, nullptr, load);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+  }
+  std::remove(path.c_str());
+}
+
+// Crafted suffix-offset tables: the restart-block structure is intact but
+// the offsets no longer span the blob / are not monotonic.
+TEST(SnapshotStoreTest, RejectsCraftedFrontCodedOffsets) {
+  TripleGraph g = MixedGraph();
+  const std::string path = TempPath("fc_offsets.snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+  auto info = ReadSnapshotInfo(path);
+  ASSERT_TRUE(info.ok());
+  ASSERT_GE(info->num_terms, 2u);
+  const std::vector<char> bytes = ReadFileBytes(path);
+  // Section index 0 = term_offsets (suffix offsets in v2). Entry 1 far
+  // past the blob breaks the span-and-monotonic invariant.
+  std::vector<char> crafted = bytes;
+  PatchU64WithValidChecksums(crafted, *info, /*sec_index=*/0, 1,
+                             uint64_t{1} << 40);
+  WriteFileBytes(path, crafted);
+  auto loaded = LoadSnapshot(path, nullptr);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+  std::remove(path.c_str());
+}
+
+// Crafted blob bytes that decode to a non-ascending term sequence: the
+// geometry is untouched, so only the strict-ascending decode check can
+// reject the file (sorted order is what makes resave byte-identical).
+// Patching term 0's bytes would change every shared prefix head with it
+// and keep the order — the divergence byte of term 1 (the first byte of
+// its own suffix) is the one the order hinges on.
+TEST(SnapshotStoreTest, RejectsCraftedNonAscendingTerms) {
+  TripleGraph g = MixedGraph();
+  const std::string path = TempPath("fc_order.snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+  auto info = ReadSnapshotInfo(path);
+  ASSERT_TRUE(info.ok());
+  ASSERT_GE(info->num_terms, 2u);
+  std::vector<char> bytes = ReadFileBytes(path);
+  // Section index 0 = suffix offsets, 1 = term_blob. Term 1's suffix
+  // starts at suffix_offsets[1]; forcing its first byte to 0x00 makes the
+  // decoded term 1 sort before term 0 (MixedGraph's smallest two terms
+  // diverge at their suffix byte; neither is a prefix of the other).
+  uint64_t suffix_start = 0;
+  std::memcpy(&suffix_start,
+              bytes.data() + info->sections[0].offset + sizeof(uint64_t),
+              sizeof(suffix_start));
+  const unsigned char bogus = 0x00;
+  PatchBytesWithValidChecksums(bytes, *info, /*sec_index=*/1,
+                               static_cast<size_t>(suffix_start), &bogus,
+                               sizeof(bogus));
+  WriteFileBytes(path, bytes);
+  auto loaded = LoadSnapshot(path, nullptr);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+  EXPECT_NE(loaded.status().message().find("ascending"), std::string::npos)
+      << loaded.status();
   std::remove(path.c_str());
 }
 

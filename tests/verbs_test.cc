@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <regex>
 #include <string>
 #include <vector>
@@ -73,8 +74,9 @@ TEST(VerbsTest, FullPipelineThroughExecuteVerb) {
   VerbResult info = RunVerb({"info", v1, "--json"});
   EXPECT_EQ(info.exit_code, 0) << info.error;
   // The legacy snapshot JSON is kind-less; the new fingerprint field
-  // rides along after "terms".
-  EXPECT_NE(info.output.find("\"version\": 1"), std::string::npos);
+  // rides along after "terms". Builds default to the front-coded
+  // version-2 dictionary layout.
+  EXPECT_NE(info.output.find("\"version\": 2"), std::string::npos);
   EXPECT_NE(info.output.find("\"fingerprint\": \""), std::string::npos);
 
   VerbResult align = RunVerb({"align", v1, v2, "--method=hybrid", "--json"});
@@ -126,6 +128,76 @@ TEST(VerbsTest, FullPipelineThroughExecuteVerb) {
   }
 }
 
+// The --no-dict-compress escape hatch reaches the writer through every
+// writing verb: a raw-mode build reports the version-1 layout while the
+// default build reports version 2, and both load to the same graph.
+TEST(VerbsTest, NoDictCompressBuildsVersion1Snapshots) {
+  const std::string prefix = ScratchPrefix();
+  VerbResult gen = RunVerb({"gen", prefix, "--scale=0.02", "--seed=3",
+                            "--versions=1"});
+  ASSERT_EQ(gen.exit_code, 0) << gen.error;
+  const std::string raw = prefix + "_raw.snap";
+  ASSERT_EQ(
+      RunVerb({"build", prefix + "1.nt", raw, "--no-dict-compress"})
+          .exit_code,
+      0);
+  VerbResult info = RunVerb({"info", raw, "--json"});
+  ASSERT_EQ(info.exit_code, 0) << info.error;
+  EXPECT_NE(info.output.find("\"version\": 1"), std::string::npos);
+
+  const std::string fc = prefix + "_fc.snap";
+  ASSERT_EQ(RunVerb({"build", prefix + "1.nt", fc}).exit_code, 0);
+  // Bit-for-bit the same graph either way: a trivial alignment of the
+  // two loads is perfect.
+  VerbResult check = RunVerb({"align", raw, fc, "--method=trivial",
+                              "--json"});
+  ASSERT_EQ(check.exit_code, 0) << check.error;
+  EXPECT_NE(check.output.find("\"aligned_edge_ratio\": 1.000000"),
+            std::string::npos);
+  for (const std::string& p : {prefix + "1.nt", raw, fc}) {
+    std::remove(p.c_str());
+  }
+}
+
+// Literals carrying JSON-hostile bytes — control characters, quotes,
+// backslashes — survive the build -> snapshot -> align pipeline, and the
+// JSON bodies the verbs render around them never contain a raw control
+// byte (JsonEscape's contract; see tests/json_test.cc for the unit
+// cases).
+TEST(VerbsTest, ControlCharacterLiteralsSurviveThePipeline) {
+  const std::string prefix = ScratchPrefix();
+  const std::string nt = prefix + ".nt";
+  {
+    std::ofstream out(nt);
+    out << "<http://example.org/s> <http://example.org/p> "
+           "\"ctl\\u0001mid\\u001Fquote\\\"back\\\\slash\\ttab\" .\n"
+           "<http://example.org/s> <http://example.org/q> "
+           "<http://example.org/o> .\n";
+    ASSERT_TRUE(out.good());
+  }
+  const std::string snap = prefix + ".snap";
+  VerbResult build = RunVerb({"build", nt, snap});
+  ASSERT_EQ(build.exit_code, 0) << build.error;
+
+  VerbResult info = RunVerb({"info", snap, "--json"});
+  ASSERT_EQ(info.exit_code, 0) << info.error;
+  VerbResult align = RunVerb({"align", snap, snap, "--method=trivial",
+                              "--json"});
+  ASSERT_EQ(align.exit_code, 0) << align.error;
+  EXPECT_NE(align.output.find("\"aligned_edge_ratio\": 1.000000"),
+            std::string::npos);
+  for (const std::string& body : {info.output, align.output}) {
+    for (char c : body) {
+      const auto byte = static_cast<unsigned char>(c);
+      EXPECT_TRUE(byte >= 0x20 || c == '\n')
+          << "raw control byte " << static_cast<int>(byte)
+          << " in a JSON body";
+    }
+  }
+  std::remove(nt.c_str());
+  std::remove(snap.c_str());
+}
+
 TEST(VerbsTest, ExactFlagErrorMessages) {
   struct Case {
     std::vector<std::string> tokens;
@@ -134,6 +206,11 @@ TEST(VerbsTest, ExactFlagErrorMessages) {
   const Case cases[] = {
       {{"align", "a", "b", "--threads=zomg"},
        "rdfalign: --threads expects an integer, got 'zomg'"},
+      // Out-of-long-long-range values must report the same integer
+      // message (strtoll's ERANGE path), not clamp or wrap.
+      {{"align", "a", "b", "--threads=99999999999999999999"},
+       "rdfalign: --threads expects an integer, got "
+       "'99999999999999999999'"},
       {{"align", "a", "b", "--threads=9999"},
        "rdfalign align: --threads must be in [0, 4096]"},
       {{"align", "a", "b", "--bogus=1"}, "rdfalign: unknown flag --bogus"},
